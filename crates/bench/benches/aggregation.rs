@@ -1,0 +1,40 @@
+//! Aggregation-method scaling: cost per round at the aggregator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdflmq_core::{AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
+use std::hint::black_box;
+
+const PARAMS: usize = 109_386; // the paper's MLP
+
+fn contributions(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..PARAMS)
+                .map(|j| ((i * 31 + j) % 97) as f32 * 0.01 - 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for n in [2usize, 5, 10, 20] {
+        let inputs = contributions(n);
+        let refs: Vec<(&[f32], u64)> = inputs.iter().map(|v| (v.as_slice(), 100)).collect();
+        group.throughput(Throughput::Elements((n * PARAMS) as u64));
+        group.bench_with_input(BenchmarkId::new("fedavg", n), &n, |b, _| {
+            b.iter(|| black_box(FedAvg.aggregate(black_box(&refs)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("median", n), &n, |b, _| {
+            b.iter(|| black_box(CoordinateMedian.aggregate(black_box(&refs)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("trimmed", n), &n, |b, _| {
+            let method = TrimmedMean::new(0.2);
+            b.iter(|| black_box(method.aggregate(black_box(&refs)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

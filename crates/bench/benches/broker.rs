@@ -1,0 +1,89 @@
+//! End-to-end broker benchmarks: publish fan-out and RFC round-trip over
+//! the real threaded stack.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS, TopicName};
+use sdflmq_mqttfc::{FleetController, RfcConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_fanout");
+    group.sample_size(20);
+    for subs in [1usize, 8, 32] {
+        let broker = Broker::start_default();
+        let counters: Vec<_> = (0..subs)
+            .map(|i| {
+                let client =
+                    Client::connect(&broker, ClientOptions::new(format!("sub{i}"))).unwrap();
+                let (tx, rx) = crossbeam::channel::unbounded::<()>();
+                client
+                    .subscribe_with(
+                        &"fan/#".parse().unwrap(),
+                        QoS::AtMostOnce,
+                        Arc::new(move |_p| {
+                            let _ = tx.send(());
+                        }),
+                    )
+                    .unwrap();
+                (client, rx)
+            })
+            .collect();
+        let publisher = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        let topic = TopicName::new("fan/x").unwrap();
+        let payload = Bytes::from(vec![0u8; 512]);
+
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(subs), &subs, |b, _| {
+            b.iter(|| {
+                publisher
+                    .publish(&topic, payload.clone(), QoS::AtMostOnce, false)
+                    .unwrap();
+                for (_, rx) in &counters {
+                    rx.recv_timeout(Duration::from_secs(5)).unwrap();
+                }
+            });
+        });
+        drop(counters);
+    }
+    group.finish();
+}
+
+fn bench_rfc_roundtrip(c: &mut Criterion) {
+    let broker = Broker::start_default();
+    let svc = FleetController::new(
+        Client::connect(&broker, ClientOptions::new("svc")).unwrap(),
+        "svc",
+        RfcConfig::default(),
+    )
+    .unwrap();
+    svc.expose("echo", Arc::new(|msg| Ok(msg.payload.clone())))
+        .unwrap();
+    let cli = FleetController::new(
+        Client::connect(&broker, ClientOptions::new("cli")).unwrap(),
+        "cli",
+        RfcConfig::default(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("rfc_roundtrip");
+    group.sample_size(20);
+    for size in [64usize, 16 * 1024] {
+        let payload = Bytes::from(vec![0x3Cu8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    cli.call_with_reply("echo", payload.clone())
+                        .expect("echo reply"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_rfc_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Coordinator planning costs: cluster construction, rearrangement diffs,
+//! and optimizer ranking at fleet scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdflmq_core::{build_plan, diff_plans, ClientInfo, ClientId, MemoryAware, RoleOptimizer, Topology};
+use sdflmq_core::{CompositeScore, PreferredRole};
+use sdflmq_sim::SystemStats;
+use std::hint::black_box;
+
+fn fleet(n: usize) -> Vec<ClientInfo> {
+    (0..n)
+        .map(|i| ClientInfo {
+            id: ClientId::new(format!("c{i}")).unwrap(),
+            stats: SystemStats {
+                free_memory: (64 + (i * 37) % 4096) as u64 * 1024 * 1024,
+                available_flops: 1e9 + (i % 17) as f64 * 3e8,
+                memory_utilization: (i % 10) as f64 / 10.0,
+            },
+            preferred: PreferredRole::Any,
+            num_samples: 100 + (i % 5) as u64 * 50,
+        })
+        .collect()
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_plan");
+    for n in [10usize, 100, 1_000] {
+        let clients = fleet(n);
+        let ranking: Vec<ClientId> = MemoryAware.rank(&clients, 1);
+        let topo = Topology::Hierarchical {
+            aggregator_ratio: 0.3,
+        };
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(build_plan(&clients, &topo, &ranking, 1)));
+        });
+
+        let plan1 = build_plan(&clients, &topo, &ranking, 1);
+        let mut shuffled = ranking.clone();
+        shuffled.rotate_left(3);
+        let plan2 = build_plan(&clients, &topo, &shuffled, 2);
+        group.bench_with_input(BenchmarkId::new("diff", n), &n, |b, _| {
+            b.iter(|| black_box(diff_plans(&plan1, &plan2).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let clients = fleet(1_000);
+    let mut group = c.benchmark_group("optimizer_rank_1000");
+    group.bench_function("memory_aware", |b| {
+        b.iter(|| black_box(MemoryAware.rank(black_box(&clients), 1).len()));
+    });
+    group.bench_function("composite", |b| {
+        let mut opt = CompositeScore::default();
+        b.iter(|| black_box(opt.rank(black_box(&clients), 1).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_optimizers);
+criterion_main!(benches);

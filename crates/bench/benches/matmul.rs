@@ -1,0 +1,58 @@
+//! Matrix-multiply kernels: the training-loop hot path, including the
+//! threshold where the scoped-thread parallel path engages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdflmq_nn::Matrix;
+use std::hint::black_box;
+
+fn matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| (((i as u32).wrapping_mul(seed) >> 7) % 255) as f32 * 0.01 - 1.27)
+            .collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    // batch x in @ in x out — shapes from the paper's MLP forward pass.
+    for (batch, input, output) in [(32usize, 784usize, 128usize), (256, 784, 128), (32, 128, 64)] {
+        let a = matrix(batch, input, 17);
+        let w = matrix(input, output, 23);
+        let mut out = Matrix::zeros(batch, output);
+        let flops = 2 * batch * input * output;
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{batch}x{input}x{output}")),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    a.matmul_into(black_box(&w), &mut out);
+                    black_box(out.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backward_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward");
+    group.sample_size(20);
+    let dz = matrix(64, 128, 29);
+    let w = matrix(784, 128, 31);
+    let x = matrix(64, 784, 37);
+    group.bench_function("dx_matmul_transpose_b", |b| {
+        b.iter(|| black_box(dz.matmul_transpose_b(black_box(&w))));
+    });
+    group.bench_function("dw_transpose_a_matmul", |b| {
+        b.iter(|| black_box(x.transpose_a_matmul(black_box(&dz))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_backward_kernels);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Subscription-trie matching throughput: the broker's routing hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdflmq_mqtt::topic::{TopicFilter, TopicName};
+use sdflmq_mqtt::trie::SubscriptionTrie;
+use std::hint::black_box;
+
+fn build_trie(subs: usize) -> SubscriptionTrie<u32, u8> {
+    let mut trie = SubscriptionTrie::new();
+    for i in 0..subs {
+        // A realistic mixture: exact, one-level wildcard, tail wildcard.
+        let filter = match i % 3 {
+            0 => format!("sdflmq/session/s{}/role/agg{}", i % 50, i % 7),
+            1 => format!("sdflmq/session/s{}/+/agg{}", i % 50, i % 7),
+            _ => format!("mqttfc/fn/f{}/#", i % 100),
+        };
+        trie.subscribe(&TopicFilter::new(filter).unwrap(), i as u32, 0u8);
+    }
+    trie
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_match");
+    for subs in [100usize, 1_000, 10_000] {
+        let trie = build_trie(subs);
+        let topics: Vec<TopicName> = (0..64)
+            .map(|i| {
+                TopicName::new(format!("sdflmq/session/s{}/role/agg{}", i % 50, i % 7)).unwrap()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(subs), &subs, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let topic = &topics[i % topics.len()];
+                i += 1;
+                black_box(trie.matches(black_box(topic)).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_subscribe_unsubscribe(c: &mut Criterion) {
+    c.bench_function("trie_subscribe_unsubscribe", |b| {
+        let mut trie: SubscriptionTrie<u32, u8> = SubscriptionTrie::new();
+        let filter = TopicFilter::new("a/b/c/d/e").unwrap();
+        b.iter(|| {
+            trie.subscribe(black_box(&filter), 1, 0);
+            trie.unsubscribe(black_box(&filter), &1);
+        });
+    });
+}
+
+criterion_group!(benches, bench_matching, bench_subscribe_unsubscribe);
+criterion_main!(benches);

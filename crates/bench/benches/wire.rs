@@ -1,0 +1,72 @@
+//! Wire-path micro-benchmarks: MQTT codec, LZSS compression, batching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdflmq_mqtt::codec;
+use sdflmq_mqtt::packet::{Packet, Publish};
+use sdflmq_mqtt::topic::TopicName;
+use sdflmq_mqttfc::batching::{split, BatchConfig};
+use sdflmq_mqttfc::compress::{compress_auto, decompress_auto};
+use sdflmq_nn::{Mlp, MlpSpec};
+use std::hint::black_box;
+
+fn param_payload() -> Vec<u8> {
+    let model = Mlp::new(MlpSpec::mnist_mlp(), 3);
+    sdflmq_nn::serialize_params(model.params())
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqtt_codec");
+    for size in [128usize, 4_096, 65_536] {
+        let packet = Packet::Publish(Publish::simple(
+            TopicName::new("sdflmq/session/s1/role/agg0").unwrap(),
+            vec![0xA5u8; size],
+        ));
+        let encoded = codec::encode(&packet).unwrap();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| black_box(codec::encode(black_box(&packet)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let payload = param_payload();
+    let compressed = compress_auto(&payload);
+    let mut group = c.benchmark_group("lzss");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("compress_mlp_params", |b| {
+        b.iter(|| black_box(compress_auto(black_box(&payload))));
+    });
+    group.bench_function("decompress_mlp_params", |b| {
+        b.iter(|| black_box(decompress_auto(black_box(&compressed)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let payload = param_payload();
+    let mut group = c.benchmark_group("batching");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for compress in [false, true] {
+        let cfg = BatchConfig {
+            chunk_size: 64 * 1024,
+            compress,
+            ..BatchConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("split_64k", compress),
+            &compress,
+            |b, _| {
+                b.iter(|| black_box(split(black_box(&payload), 1, &cfg).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_compress, bench_batching);
+criterion_main!(benches);

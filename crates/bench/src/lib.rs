@@ -1,0 +1,1 @@
+//! Shared helpers for the SDFLMQ benchmark harness live in the bin/ and benches/ targets.

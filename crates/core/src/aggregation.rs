@@ -1,0 +1,249 @@
+//! Aggregation methods over flat parameter vectors.
+//!
+//! FedAvg is the paper's method; coordinate-median and trimmed-mean are
+//! robustness extensions used by the ablation benches (they tolerate
+//! poisoned/label-flipped contributors that would skew a plain average).
+
+use crate::error::{CoreError, Result};
+
+/// A weighted parameter contribution: `(params, weight)` where weight is
+/// the number of samples the vector was trained on.
+pub type Contribution<'a> = (&'a [f32], u64);
+
+/// An aggregation rule combining weighted parameter vectors.
+pub trait AggregationMethod: Send + Sync {
+    /// Method name for configs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Combines the contributions into a new parameter vector.
+    ///
+    /// Implementations must reject empty input and mismatched lengths.
+    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>>;
+}
+
+fn validate(inputs: &[Contribution<'_>]) -> Result<usize> {
+    let Some(((first, _), rest)) = inputs.split_first() else {
+        return Err(CoreError::Protocol("aggregate of zero inputs".into()));
+    };
+    for (params, _) in rest {
+        if params.len() != first.len() {
+            return Err(CoreError::Protocol(format!(
+                "parameter length mismatch: {} vs {}",
+                params.len(),
+                first.len()
+            )));
+        }
+    }
+    Ok(first.len())
+}
+
+/// Sample-count-weighted averaging — FedAvg (McMahan et al.), the method
+/// the paper's evaluation uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl AggregationMethod for FedAvg {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
+        let len = validate(inputs)?;
+        let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
+        if total_weight == 0 {
+            return Err(CoreError::Protocol("total aggregation weight is zero".into()));
+        }
+        let mut out = vec![0.0f32; len];
+        let inv_total = 1.0 / total_weight as f64;
+        for (params, weight) in inputs {
+            let scale = (*weight as f64 * inv_total) as f32;
+            for (o, p) in out.iter_mut().zip(*params) {
+                *o += p * scale;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Coordinate-wise median (ignores weights) — robust to a minority of
+/// arbitrarily corrupted contributions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinateMedian;
+
+impl AggregationMethod for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+
+    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
+        let len = validate(inputs)?;
+        let n = inputs.len();
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        for (j, o) in out.iter_mut().enumerate() {
+            for (i, (params, _)) in inputs.iter().enumerate() {
+                column[i] = params[j];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                0.5 * (column[n / 2 - 1] + column[n / 2])
+            };
+        }
+        Ok(out)
+    }
+}
+
+/// Coordinate-wise trimmed mean: drops the `trim_ratio` fraction of values
+/// at each extreme before averaging (unweighted).
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    /// Fraction trimmed from *each* end (`0.0..0.5`).
+    pub trim_ratio: f64,
+}
+
+impl TrimmedMean {
+    /// Creates a trimmed mean; panics if the ratio is out of range.
+    pub fn new(trim_ratio: f64) -> TrimmedMean {
+        assert!((0.0..0.5).contains(&trim_ratio), "trim ratio out of range");
+        TrimmedMean { trim_ratio }
+    }
+}
+
+impl AggregationMethod for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed_mean"
+    }
+
+    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
+        let len = validate(inputs)?;
+        let n = inputs.len();
+        let trim = ((n as f64) * self.trim_ratio).floor() as usize;
+        let kept = n - 2 * trim;
+        if kept == 0 {
+            return Err(CoreError::Protocol("trim ratio leaves no contributions".into()));
+        }
+        let mut out = vec![0.0f32; len];
+        let mut column = vec![0.0f32; n];
+        let inv = 1.0 / kept as f32;
+        for (j, o) in out.iter_mut().enumerate() {
+            for (i, (params, _)) in inputs.iter().enumerate() {
+                column[i] = params[j];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = column[trim..n - trim].iter().sum::<f32>() * inv;
+        }
+        Ok(out)
+    }
+}
+
+/// Looks up a method by config token.
+pub fn by_name(name: &str) -> Option<Box<dyn AggregationMethod>> {
+    match name {
+        "fedavg" => Some(Box::new(FedAvg)),
+        "median" => Some(Box::new(CoordinateMedian)),
+        "trimmed_mean" => Some(Box::new(TrimmedMean::new(0.2))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_weights_correctly() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        // 3:1 weighting.
+        let out = FedAvg.aggregate(&[(&a, 3), (&b, 1)]).unwrap();
+        assert!((out[0] - 0.75).abs() < 1e-6);
+        assert!((out[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_equal_weights_is_mean() {
+        let a = [2.0f32];
+        let b = [4.0f32];
+        let c = [6.0f32];
+        let out = FedAvg.aggregate(&[(&a, 5), (&b, 5), (&c, 5)]).unwrap();
+        assert!((out[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_rejects_bad_input() {
+        assert!(FedAvg.aggregate(&[]).is_err());
+        let a = [1.0f32, 2.0];
+        let b = [1.0f32];
+        assert!(FedAvg.aggregate(&[(&a, 1), (&b, 1)]).is_err());
+        assert!(FedAvg.aggregate(&[(&a, 0)]).is_err(), "zero total weight");
+    }
+
+    #[test]
+    fn median_ignores_outlier() {
+        let good1 = [1.0f32];
+        let good2 = [1.1f32];
+        let poison = [1000.0f32];
+        let out = CoordinateMedian
+            .aggregate(&[(&good1, 1), (&poison, 1), (&good2, 1)])
+            .unwrap();
+        assert!((out[0] - 1.1).abs() < 1e-6);
+        // FedAvg, by contrast, is dragged away.
+        let avg = FedAvg
+            .aggregate(&[(&good1, 1), (&poison, 1), (&good2, 1)])
+            .unwrap();
+        assert!(avg[0] > 300.0);
+    }
+
+    #[test]
+    fn median_even_count_averages_middle() {
+        let v1 = [1.0f32];
+        let v2 = [2.0f32];
+        let v3 = [3.0f32];
+        let v4 = [4.0f32];
+        let out = CoordinateMedian
+            .aggregate(&[(&v1, 1), (&v2, 1), (&v3, 1), (&v4, 1)])
+            .unwrap();
+        assert!((out[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let vals: Vec<[f32; 1]> = vec![[-100.0], [1.0], [2.0], [3.0], [100.0]];
+        let inputs: Vec<Contribution<'_>> = vals.iter().map(|v| (&v[..], 1)).collect();
+        let out = TrimmedMean::new(0.2).aggregate(&inputs).unwrap();
+        assert!((out[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_guards_over_trim() {
+        let v = [1.0f32];
+        let inputs: Vec<Contribution<'_>> = vec![(&v, 1), (&v, 1)];
+        // 0.49 trims 0 of 2 → fine.
+        assert!(TrimmedMean::new(0.49).aggregate(&inputs).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "trim ratio")]
+    fn invalid_trim_ratio_panics() {
+        let _ = TrimmedMean::new(0.5);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("fedavg").unwrap().name(), "fedavg");
+        assert_eq!(by_name("median").unwrap().name(), "median");
+        assert_eq!(by_name("trimmed_mean").unwrap().name(), "trimmed_mean");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn single_contribution_is_identity() {
+        let v = [1.5f32, -2.5];
+        for method in [by_name("fedavg").unwrap(), by_name("median").unwrap()] {
+            let out = method.aggregate(&[(&v, 7)]).unwrap();
+            assert_eq!(out, v.to_vec(), "{}", method.name());
+        }
+    }
+}

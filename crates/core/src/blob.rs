@@ -1,0 +1,223 @@
+//! Chunked parameter-blob pub/sub on raw MQTT topics.
+//!
+//! Control messages ride MQTTFC functions, but model parameters flow over
+//! *positional role topics* (see [`crate::topics`]) where the set of
+//! receivers is determined by subscription, not by function registry. This
+//! channel reuses the MQTTFC batching layer (compress → split →
+//! CRC-checked chunks → reassemble) on arbitrary topics.
+
+use crate::error::Result;
+use crate::messages::Blob;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sdflmq_mqtt::{Client, QoS, TopicFilter, TopicName};
+use sdflmq_mqttfc::batching::{split, BatchConfig, PushResult, Reassembler};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handler invoked with each fully reassembled blob.
+pub type BlobHandler = Arc<dyn Fn(Blob) + Send + Sync>;
+
+/// A blob pub/sub endpoint bound to one MQTT client.
+#[derive(Clone)]
+pub struct BlobChannel {
+    client: Client,
+    batch: BatchConfig,
+    qos: QoS,
+    transfer_base: u64,
+    next_transfer: Arc<AtomicU64>,
+}
+
+impl BlobChannel {
+    /// Wraps an MQTT client. `node_id` seeds transfer-id uniqueness.
+    pub fn new(client: Client, node_id: &str, batch: BatchConfig, qos: QoS) -> BlobChannel {
+        let mut base = 0xcbf2_9ce4_8422_2325u64;
+        for b in node_id.as_bytes() {
+            base ^= *b as u64;
+            base = base.wrapping_mul(0x1000_0000_01b3);
+        }
+        BlobChannel {
+            client,
+            batch,
+            qos,
+            transfer_base: base,
+            next_transfer: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// Publishes a blob to `topic`, splitting into chunks as needed.
+    pub fn publish(&self, topic: &TopicName, blob: &Blob) -> Result<()> {
+        let encoded = blob.encode();
+        let transfer_id =
+            self.transfer_base ^ self.next_transfer.fetch_add(1, Ordering::Relaxed);
+        for frame in split(&encoded, transfer_id, &self.batch) {
+            self.client.publish(topic, frame, self.qos, false)?;
+        }
+        Ok(())
+    }
+
+    /// Subscribes to `filter` (wildcards allowed), invoking `handler` for
+    /// every complete, valid blob. Corrupt transfers are dropped silently
+    /// (the sender's QoS handles transport loss; corruption here means a
+    /// protocol bug or malicious peer).
+    pub fn subscribe(&self, filter: &TopicFilter, handler: BlobHandler) -> Result<()> {
+        let reassembler = Mutex::new(Reassembler::new(self.batch.clone()));
+        let counter = AtomicU64::new(0);
+        self.client.subscribe_with(
+            filter,
+            self.qos,
+            Arc::new(move |publish| {
+                if counter.fetch_add(1, Ordering::Relaxed) % 256 == 255 {
+                    reassembler.lock().evict_stale();
+                }
+                let result = reassembler
+                    .lock()
+                    .push(publish.topic.as_str(), publish.payload.clone());
+                if let Ok(PushResult::Complete(body)) = result {
+                    if let Ok(blob) = Blob::decode(body) {
+                        handler(blob);
+                    }
+                }
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// Removes a subscription added with [`BlobChannel::subscribe`].
+    pub fn unsubscribe(&self, filter: &TopicFilter) -> Result<()> {
+        self.client.unsubscribe(filter)?;
+        Ok(())
+    }
+
+    /// The underlying MQTT client.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+}
+
+/// Encodes a one-off JSON document as a retained message on `topic`
+/// (used for topology publications).
+pub fn publish_retained_json(
+    client: &Client,
+    topic: &TopicName,
+    json: &sdflmq_mqttfc::Json,
+) -> Result<()> {
+    client.publish(
+        topic,
+        Bytes::from(json.to_string_compact().into_bytes()),
+        QoS::AtLeastOnce,
+        true,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionId;
+    use crossbeam::channel::bounded;
+    use sdflmq_mqtt::{Broker, ClientOptions};
+    use std::time::Duration;
+
+    fn channel(broker: &Broker, id: &str) -> BlobChannel {
+        let client = Client::connect(broker, ClientOptions::new(id)).unwrap();
+        BlobChannel::new(client, id, BatchConfig::default(), QoS::AtLeastOnce)
+    }
+
+    fn blob(params: Vec<u8>) -> Blob {
+        Blob {
+            session_id: SessionId::new("s1").unwrap(),
+            round: 1,
+            sender: "alice".into(),
+            weight: 10,
+            params: Bytes::from(params),
+        }
+    }
+
+    #[test]
+    fn blob_pubsub_roundtrip() {
+        let broker = Broker::start_default();
+        let rx_chan = channel(&broker, "rx");
+        let (tx, rx) = bounded(1);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("params/in").unwrap(),
+                Arc::new(move |b| {
+                    let _ = tx.send(b);
+                }),
+            )
+            .unwrap();
+        let tx_chan = channel(&broker, "tx");
+        let sent = blob((0..200_000u32).map(|i| (i % 251) as u8).collect());
+        tx_chan
+            .publish(&TopicName::new("params/in").unwrap(), &sent)
+            .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn wildcard_subscription_sees_all_sessions() {
+        let broker = Broker::start_default();
+        let rx_chan = channel(&broker, "ps");
+        let (tx, rx) = bounded(4);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("sdflmq/session/+/ps").unwrap(),
+                Arc::new(move |b| {
+                    let _ = tx.send(b.session_id.as_str().to_owned());
+                }),
+            )
+            .unwrap();
+        let tx_chan = channel(&broker, "root");
+        for sid in ["a", "b"] {
+            let mut b = blob(vec![1, 2, 3]);
+            b.session_id = SessionId::new(sid).unwrap();
+            tx_chan
+                .publish(
+                    &TopicName::new(format!("sdflmq/session/{sid}/ps")).unwrap(),
+                    &b,
+                )
+                .unwrap();
+        }
+        let mut got = vec![
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        ];
+        got.sort();
+        assert_eq!(got, vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn concurrent_senders_to_one_topic() {
+        let broker = Broker::start_default();
+        let rx_chan = channel(&broker, "agg");
+        let (tx, rx) = bounded(8);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("agg/stack").unwrap(),
+                Arc::new(move |b| {
+                    let _ = tx.send(b.sender.clone());
+                }),
+            )
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let chan = channel(&broker, &format!("t{i}"));
+            handles.push(std::thread::spawn(move || {
+                let mut b = blob(vec![0u8; 50_000]);
+                b.sender = format!("t{i}");
+                chan.publish(&TopicName::new("agg/stack").unwrap(), &b)
+                    .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<String> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["t0", "t1", "t2", "t3"]);
+    }
+}

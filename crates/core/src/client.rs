@@ -1,0 +1,645 @@
+//! The SDFLMQ client (paper §III.C and Listing 1).
+//!
+//! One [`SdflmqClient`] embeds everything a contributor needs:
+//!
+//! * the **role arbiter** — consumes `set_role` commands, manages the
+//!   position-topic subscription that *is* the aggregation role;
+//! * the **aggregation pipeline** — a per-round parameter stack; when the
+//!   expected number of contributions arrives it aggregates and forwards
+//!   up the hierarchy (or to the parameter server at the root);
+//! * the **model controller** — per-session local model storage;
+//! * the **global update synchronizer** — applies parameter-server
+//!   broadcasts and reports round completion (with fresh system stats)
+//!   back to the coordinator.
+//!
+//! The public surface mirrors the paper's Python API: `create_fl_session`,
+//! `join_fl_session`, `set_model`, `send_local`, `wait_global_update`.
+
+use crate::aggregation::{AggregationMethod, FedAvg};
+use crate::blob::BlobChannel;
+use crate::error::{CoreError, Result};
+use crate::ids::{ClientId, ModelId, SessionId};
+use crate::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg};
+use crate::model_controller::ModelController;
+use crate::roles::{PreferredRole, RoleSpec};
+use crate::topics::{functions, global_topic, param_server_topic, position_topic, Position};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
+use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
+use sdflmq_nn::params as nn_params;
+use sdflmq_sim::{ClientSystem, SystemSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client configuration.
+pub struct SdflmqClientConfig {
+    /// Role the client volunteers for.
+    pub preferred_role: PreferredRole,
+    /// Aggregation rule used when this client holds an aggregator position.
+    pub aggregation: Box<dyn AggregationMethod>,
+    /// Simulated machine profile (the psutil stand-in; see DESIGN.md).
+    pub system: SystemSpec,
+    /// Seed for the system model's load drift.
+    pub system_seed: u64,
+    /// MQTTFC transport settings (chunking, compression, QoS).
+    pub rfc: RfcConfig,
+}
+
+impl Default for SdflmqClientConfig {
+    fn default() -> Self {
+        SdflmqClientConfig {
+            preferred_role: PreferredRole::Any,
+            aggregation: Box::new(FedAvg),
+            system: SystemSpec::edge_medium(),
+            system_seed: 0,
+            rfc: RfcConfig::default(),
+        }
+    }
+}
+
+/// Events surfaced to [`SdflmqClient::wait_global_update`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaitOutcome {
+    /// The global model was applied and the coordinator opened `round`.
+    NextRound(u32),
+    /// The session finished; the final global model is in the controller.
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+enum SessionEvent {
+    RoundStart(u32),
+    Completed,
+    Aborted(String),
+}
+
+/// Blocks `send_local` until the coordinator opens a round. The gate value
+/// is the currently open round (0 = not started, `CLOSED` = terminal).
+struct RoundGate {
+    state: Mutex<u32>,
+    cond: parking_lot::Condvar,
+}
+
+impl RoundGate {
+    const CLOSED: u32 = u32::MAX;
+
+    fn new() -> Arc<RoundGate> {
+        Arc::new(RoundGate {
+            state: Mutex::new(0),
+            cond: parking_lot::Condvar::new(),
+        })
+    }
+
+    fn open(&self, round: u32) {
+        *self.state.lock() = round;
+        self.cond.notify_all();
+    }
+
+    fn close(&self) {
+        *self.state.lock() = Self::CLOSED;
+        self.cond.notify_all();
+    }
+
+    /// Waits for any round to be open; returns the round number.
+    fn wait_open(&self, timeout: Duration) -> Result<u32> {
+        let mut state = self.state.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while *state == 0 {
+            if self
+                .cond
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return Err(CoreError::Timeout);
+            }
+        }
+        if *state == Self::CLOSED {
+            Err(CoreError::Aborted("session closed".into()))
+        } else {
+            Ok(*state)
+        }
+    }
+}
+
+struct SessionHandle {
+    role: Option<RoleSpec>,
+    subscribed_position: Option<Position>,
+    /// Parameter stacks keyed by round: `(params, weight)` contributions.
+    stacks: HashMap<u32, Vec<(Vec<f32>, u64)>>,
+    round_gate: Arc<RoundGate>,
+    events_tx: Sender<SessionEvent>,
+    events_rx: Receiver<SessionEvent>,
+    num_samples: u64,
+    /// Round of the most recent `send_local`; `wait_global_update` ignores
+    /// round-start events at or below this mark.
+    last_sent_round: u32,
+}
+
+struct Inner {
+    id: ClientId,
+    fc: FleetController,
+    blobs: BlobChannel,
+    aggregation: Box<dyn AggregationMethod>,
+    mc: Mutex<ModelController>,
+    sessions: Mutex<HashMap<SessionId, SessionHandle>>,
+    system: Mutex<ClientSystem>,
+}
+
+/// A connected SDFLMQ contributor.
+#[derive(Clone)]
+pub struct SdflmqClient {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SdflmqClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdflmqClient")
+            .field("id", &self.inner.id.as_str())
+            .finish()
+    }
+}
+
+impl SdflmqClient {
+    /// Connects a contributor to the broker and exposes its control
+    /// function.
+    pub fn connect(
+        broker: &Broker,
+        id: ClientId,
+        config: SdflmqClientConfig,
+    ) -> Result<SdflmqClient> {
+        let mqtt = Client::connect(broker, ClientOptions::new(id.as_str()))?;
+        let fc = FleetController::new(mqtt.clone(), id.as_str(), config.rfc.clone())?;
+        let blobs = BlobChannel::new(
+            mqtt,
+            id.as_str(),
+            config.rfc.batch.clone(),
+            config.rfc.qos,
+        );
+        let inner = Arc::new(Inner {
+            id: id.clone(),
+            fc: fc.clone(),
+            blobs,
+            aggregation: config.aggregation,
+            mc: Mutex::new(ModelController::new()),
+            sessions: Mutex::new(HashMap::new()),
+            system: Mutex::new(ClientSystem::new(config.system, config.system_seed)),
+        });
+
+        // Control function: role arbiter + session lifecycle.
+        let ctrl_inner = Arc::downgrade(&inner);
+        fc.expose(
+            &functions::client_ctrl(id.as_str()),
+            Arc::new(move |msg| {
+                let Some(inner) = ctrl_inner.upgrade() else {
+                    return Err("client gone".into());
+                };
+                let text = String::from_utf8_lossy(&msg.payload);
+                let json = Json::parse(&text).map_err(|e| e.to_string())?;
+                let (session, ctrl) = CtrlMsg::from_envelope(&json).map_err(|e| e.to_string())?;
+                Self::handle_ctrl(&inner, &session, ctrl).map_err(|e| e.to_string())?;
+                Ok(Bytes::from_static(b"{\"status\":\"ok\"}"))
+            }),
+        )?;
+
+        let client = SdflmqClient { inner };
+        let _ = config.preferred_role; // preferred role travels per join call
+        Ok(client)
+    }
+
+    /// The client's id.
+    pub fn id(&self) -> &ClientId {
+        &self.inner.id
+    }
+
+    /// Creates a new FL session on the coordinator and joins it
+    /// (Listing 1: `create_fl_session`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_fl_session(
+        &self,
+        session_id: &SessionId,
+        model_name: &ModelId,
+        session_time: Duration,
+        capacity_min: usize,
+        capacity_max: usize,
+        waiting_time: Duration,
+        fl_rounds: u32,
+        preferred_role: PreferredRole,
+        num_samples: u64,
+    ) -> Result<()> {
+        let req = NewSessionRequest {
+            session_id: session_id.clone(),
+            client_id: self.inner.id.clone(),
+            model_name: model_name.clone(),
+            session_time_secs: session_time.as_secs_f64(),
+            capacity_min,
+            capacity_max,
+            waiting_time_secs: waiting_time.as_secs_f64(),
+            fl_rounds,
+            preferred_role,
+        };
+        self.inner
+            .fc
+            .call_with_reply(
+                functions::NEW_SESSION,
+                Bytes::from(req.to_json().to_string_compact().into_bytes()),
+            )
+            .map_err(map_remote)?;
+        self.join_fl_session(session_id, model_name, preferred_role, num_samples)
+    }
+
+    /// Joins an existing session (Listing 1: `join_fl_session`).
+    pub fn join_fl_session(
+        &self,
+        session_id: &SessionId,
+        model_name: &ModelId,
+        preferred_role: PreferredRole,
+        num_samples: u64,
+    ) -> Result<()> {
+        // Register local state and subscribe the global-update
+        // synchronizer *before* the coordinator can start the session.
+        {
+            let mut sessions = self.inner.sessions.lock();
+            if sessions.contains_key(session_id) {
+                return Err(CoreError::Refused("already joined locally".into()));
+            }
+            let (events_tx, events_rx) = unbounded();
+            sessions.insert(
+                session_id.clone(),
+                SessionHandle {
+                    role: None,
+                    subscribed_position: None,
+                    stacks: HashMap::new(),
+                    round_gate: RoundGate::new(),
+                    events_tx,
+                    events_rx,
+                    num_samples,
+                    last_sent_round: 0,
+                },
+            );
+        }
+        let global_inner = Arc::downgrade(&self.inner);
+        let sid = session_id.clone();
+        self.inner.blobs.subscribe(
+            &TopicFilter::new(global_topic(session_id).as_str().to_owned())
+                .expect("global topic is a valid filter"),
+            Arc::new(move |blob: Blob| {
+                if let Some(inner) = global_inner.upgrade() {
+                    Self::handle_global(&inner, &sid, blob);
+                }
+            }),
+        )?;
+
+        let stats = StatsMsg::from_stats(self.inner.system.lock().stats());
+        let req = JoinRequest {
+            session_id: session_id.clone(),
+            client_id: self.inner.id.clone(),
+            model_name: model_name.clone(),
+            preferred_role,
+            num_samples,
+            stats,
+        };
+        self.inner
+            .fc
+            .call_with_reply(
+                functions::JOIN_SESSION,
+                Bytes::from(req.to_json().to_string_compact().into_bytes()),
+            )
+            .map_err(map_remote)?;
+        Ok(())
+    }
+
+    /// Registers the local model for a session (Listing 1: `set_model`).
+    pub fn set_model(&self, session_id: &SessionId, params: &[f32]) -> Result<()> {
+        let num_samples = {
+            let sessions = self.inner.sessions.lock();
+            sessions
+                .get(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?
+                .num_samples
+        };
+        self.inner
+            .mc
+            .lock()
+            .set_model(session_id, params.to_vec(), num_samples);
+        Ok(())
+    }
+
+    /// Sends the local model for global aggregation (Listing 1:
+    /// `send_local`). Trainers publish to their cluster head's position
+    /// topic; aggregating clients feed their own stack directly.
+    pub fn send_local(&self, session_id: &SessionId) -> Result<()> {
+        let (params, weight) = {
+            let mc = self.inner.mc.lock();
+            let entry = mc.get(session_id)?;
+            (entry.params.clone(), entry.num_samples)
+        };
+        // Block until the coordinator has opened a round (the session may
+        // still be forming when the first `send_local` is issued).
+        let gate = {
+            let sessions = self.inner.sessions.lock();
+            Arc::clone(
+                &sessions
+                    .get(session_id)
+                    .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?
+                    .round_gate,
+            )
+        };
+        let round = gate.wait_open(Duration::from_secs(120))?;
+        let role = {
+            let mut sessions = self.inner.sessions.lock();
+            let handle = sessions
+                .get_mut(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            handle.last_sent_round = round;
+            handle
+                .role
+                .ok_or_else(|| CoreError::Protocol("no role assigned yet".into()))?
+        };
+        if !role.role.trains() {
+            return Err(CoreError::Protocol(
+                "pure aggregators have no local update to send".into(),
+            ));
+        }
+        if role.role.aggregates() {
+            // Our own contribution enters our stack.
+            Self::ingest_contribution(&self.inner, session_id, round, params, weight)
+        } else {
+            let blob = Blob {
+                session_id: session_id.clone(),
+                round,
+                sender: self.inner.id.as_str().to_owned(),
+                weight,
+                params: Bytes::from(nn_params::serialize(&params)),
+            };
+            self.inner
+                .blobs
+                .publish(&position_topic(session_id, role.parent), &blob)
+        }
+    }
+
+    /// Blocks until the next global update cycle completes (Listing 1:
+    /// `wait_global_update`): returns when the coordinator opens the next
+    /// round, completes the session, or aborts.
+    pub fn wait_global_update(
+        &self,
+        session_id: &SessionId,
+        timeout: Duration,
+    ) -> Result<WaitOutcome> {
+        let (rx, baseline) = {
+            let sessions = self.inner.sessions.lock();
+            let handle = sessions
+                .get(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            (handle.events_rx.clone(), handle.last_sent_round)
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(CoreError::Timeout)?;
+            match rx.recv_timeout(remaining) {
+                // Round starts at or below the round we contributed to are
+                // stale (e.g. the session's very first round_start).
+                Ok(SessionEvent::RoundStart(r)) if r > baseline => {
+                    return Ok(WaitOutcome::NextRound(r))
+                }
+                Ok(SessionEvent::RoundStart(_)) => continue,
+                Ok(SessionEvent::Completed) => return Ok(WaitOutcome::Completed),
+                Ok(SessionEvent::Aborted(reason)) => return Err(CoreError::Aborted(reason)),
+                Err(_) => return Err(CoreError::Timeout),
+            }
+        }
+    }
+
+    /// Current model parameters for a session (after `wait_global_update`
+    /// this is the global model).
+    pub fn model_params(&self, session_id: &SessionId) -> Result<Vec<f32>> {
+        Ok(self.inner.mc.lock().get(session_id)?.params.clone())
+    }
+
+    /// The last global round applied for a session.
+    pub fn global_round(&self, session_id: &SessionId) -> Result<u32> {
+        Ok(self.inner.mc.lock().get(session_id)?.global_round)
+    }
+
+    /// The role currently assigned by the coordinator, if any.
+    pub fn current_role(&self, session_id: &SessionId) -> Option<RoleSpec> {
+        self.inner.sessions.lock().get(session_id)?.role
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    fn handle_ctrl(inner: &Arc<Inner>, session_id: &SessionId, msg: CtrlMsg) -> Result<()> {
+        match msg {
+            CtrlMsg::SetRole(spec) => Self::apply_role(inner, session_id, spec),
+            CtrlMsg::ResetRole => {
+                let old = {
+                    let mut sessions = inner.sessions.lock();
+                    let handle = sessions
+                        .get_mut(session_id)
+                        .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+                    handle.role = None;
+                    handle.subscribed_position.take()
+                };
+                if let Some(pos) = old {
+                    let filter =
+                        TopicFilter::new(position_topic(session_id, pos).as_str().to_owned())
+                            .expect("valid");
+                    let _ = inner.blobs.unsubscribe(&filter);
+                }
+                Ok(())
+            }
+            CtrlMsg::RoundStart { round } => {
+                let (tx, gate) = {
+                    let mut sessions = inner.sessions.lock();
+                    let handle = sessions
+                        .get_mut(session_id)
+                        .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+                    // Prune stacks from closed rounds.
+                    handle.stacks.retain(|&r, _| r + 1 >= round);
+                    (handle.events_tx.clone(), Arc::clone(&handle.round_gate))
+                };
+                gate.open(round);
+                let _ = tx.send(SessionEvent::RoundStart(round));
+                Ok(())
+            }
+            CtrlMsg::SessionComplete => {
+                let (tx, gate) = Self::events_and_gate(inner, session_id)?;
+                gate.close();
+                let _ = tx.send(SessionEvent::Completed);
+                Ok(())
+            }
+            CtrlMsg::Abort(reason) => {
+                let (tx, gate) = Self::events_and_gate(inner, session_id)?;
+                gate.close();
+                let _ = tx.send(SessionEvent::Aborted(reason));
+                Ok(())
+            }
+        }
+    }
+
+    fn events_and_gate(
+        inner: &Arc<Inner>,
+        session_id: &SessionId,
+    ) -> Result<(Sender<SessionEvent>, Arc<RoundGate>)> {
+        let sessions = inner.sessions.lock();
+        let handle = sessions
+            .get(session_id)
+            .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+        Ok((handle.events_tx.clone(), Arc::clone(&handle.round_gate)))
+    }
+
+    /// Role arbiter: installs a new role spec, adjusting the position-topic
+    /// subscription (paper Fig. 6: unsubscribe old role topic, subscribe
+    /// the new one).
+    fn apply_role(inner: &Arc<Inner>, session_id: &SessionId, spec: RoleSpec) -> Result<()> {
+        let (to_unsub, to_sub) = {
+            let mut sessions = inner.sessions.lock();
+            let handle = sessions
+                .get_mut(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            let old = handle.subscribed_position;
+            let new = spec.position;
+            handle.role = Some(spec);
+            if old == new {
+                (None, None)
+            } else {
+                handle.subscribed_position = new;
+                (old, new)
+            }
+        };
+        if let Some(pos) = to_unsub {
+            let filter = TopicFilter::new(position_topic(session_id, pos).as_str().to_owned())
+                .expect("valid");
+            let _ = inner.blobs.unsubscribe(&filter);
+        }
+        if let Some(pos) = to_sub {
+            let ingest_inner = Arc::downgrade(inner);
+            let sid = session_id.clone();
+            let filter = TopicFilter::new(position_topic(session_id, pos).as_str().to_owned())
+                .expect("valid");
+            inner.blobs.subscribe(
+                &filter,
+                Arc::new(move |blob: Blob| {
+                    let Some(inner) = ingest_inner.upgrade() else {
+                        return;
+                    };
+                    if blob.session_id != sid {
+                        return;
+                    }
+                    if let Ok(params) = nn_params::deserialize(&blob.params) {
+                        let _ = Self::ingest_contribution(
+                            &inner,
+                            &sid,
+                            blob.round,
+                            params,
+                            blob.weight,
+                        );
+                    }
+                }),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Aggregation pipeline: stacks a contribution; on completeness,
+    /// aggregates and forwards up the hierarchy.
+    fn ingest_contribution(
+        inner: &Arc<Inner>,
+        session_id: &SessionId,
+        round: u32,
+        params: Vec<f32>,
+        weight: u64,
+    ) -> Result<()> {
+        let ready = {
+            let mut sessions = inner.sessions.lock();
+            let handle = sessions
+                .get_mut(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            let Some(role) = handle.role else {
+                return Err(CoreError::Protocol("contribution without a role".into()));
+            };
+            if !role.role.aggregates() {
+                return Err(CoreError::Protocol("trainer received a contribution".into()));
+            }
+            let stack = handle.stacks.entry(round).or_default();
+            stack.push((params, weight));
+            if stack.len() as u32 >= role.expected_inputs && role.expected_inputs > 0 {
+                let inputs = handle.stacks.remove(&round).expect("stack exists");
+                Some((role, inputs))
+            } else {
+                None
+            }
+        };
+
+        if let Some((role, inputs)) = ready {
+            let contributions: Vec<(&[f32], u64)> = inputs
+                .iter()
+                .map(|(p, w)| (p.as_slice(), *w))
+                .collect();
+            let aggregated = inner.aggregation.aggregate(&contributions)?;
+            let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
+            let blob = Blob {
+                session_id: session_id.clone(),
+                round,
+                sender: inner.id.as_str().to_owned(),
+                weight: total_weight,
+                params: Bytes::from(nn_params::serialize(&aggregated)),
+            };
+            let destination = if role.is_root() {
+                param_server_topic(session_id)
+            } else {
+                position_topic(session_id, role.parent)
+            };
+            inner.blobs.publish(&destination, &blob)?;
+        }
+        Ok(())
+    }
+
+    /// Global update synchronizer: applies a parameter-server broadcast,
+    /// drifts the simulated system, and reports round completion.
+    fn handle_global(inner: &Arc<Inner>, session_id: &SessionId, blob: Blob) {
+        if &blob.session_id != session_id {
+            return;
+        }
+        let Ok(params) = nn_params::deserialize(&blob.params) else {
+            return;
+        };
+        let applied = {
+            let mut mc = inner.mc.lock();
+            matches!(mc.apply_global(session_id, blob.round, params), Ok(true))
+        };
+        if !applied {
+            return;
+        }
+        // Paper §III.E.4: after its contribution, the client sends its
+        // readiness plus system stats to the coordinator.
+        let stats = {
+            let mut system = inner.system.lock();
+            system.drift();
+            StatsMsg::from_stats(system.stats())
+        };
+        let report = RoundDone {
+            session_id: session_id.clone(),
+            client_id: inner.id.clone(),
+            round: blob.round,
+            stats,
+        };
+        let _ = inner.fc.call(
+            functions::ROUND_DONE,
+            Bytes::from(report.to_json().to_string_compact().into_bytes()),
+        );
+    }
+}
+
+fn map_remote(e: sdflmq_mqttfc::RfcError) -> CoreError {
+    match e {
+        sdflmq_mqttfc::RfcError::Remote(msg) => CoreError::Refused(msg),
+        other => CoreError::Rfc(other),
+    }
+}

@@ -1,0 +1,516 @@
+//! The SDFLMQ coordinator (paper §III.D-E).
+//!
+//! Owns session management, the clustering engine, topic-based role
+//! (re)arrangement, and the load balancer. The coordinator is *not* on the
+//! data path: model parameters flow client → aggregator positions →
+//! parameter server; the coordinator only exchanges small JSON control
+//! messages, which is the core scalability claim of semi-decentralized FL.
+//!
+//! Protocol summary:
+//!
+//! 1. `coord_new_session` — creates a session (first request wins).
+//! 2. `coord_join_session` — registers a contributor; when the session
+//!    fills (or its waiting window closes above `capacity_min`) the
+//!    coordinator builds a [`ClusterPlan`], pushes `set_role` to every
+//!    client (awaiting acks so position subscriptions exist before data
+//!    flows), publishes the retained topology document, and broadcasts
+//!    `round_start`.
+//! 3. `coord_round_done` — after every contributor reports, the load
+//!    balancer re-ranks aggregators; only clients whose assignment changed
+//!    receive new `set_role` messages (paper §III.E.5), then the next
+//!    `round_start` goes out. After the final round, `session_complete`.
+
+use crate::blob::publish_retained_json;
+use crate::clustering::{build_plan, diff_plans, PlanChange, Topology};
+use crate::error::{CoreError, Result};
+use crate::ids::{ClientId, SessionId};
+use crate::messages::{CtrlMsg, JoinRequest, NewSessionRequest, RoundDone};
+use crate::optimizer::{MemoryAware, RoleOptimizer};
+use crate::session::{FlSession, SessionConfig, SessionState};
+use crate::topics::{functions, topology_topic};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sdflmq_mqtt::{Broker, Client, ClientOptions};
+use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Coordinator configuration.
+pub struct CoordinatorConfig {
+    /// Topology built for every session.
+    pub topology: Topology,
+    /// The load-balancer policy.
+    pub optimizer: Box<dyn RoleOptimizer>,
+    /// Per-round deadline before a session is aborted.
+    pub round_timeout: Duration,
+    /// Housekeeping cadence (waiting-window and deadline checks).
+    pub tick: Duration,
+    /// MQTTFC transport settings.
+    pub rfc: RfcConfig,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            topology: Topology::Hierarchical {
+                aggregator_ratio: 0.3,
+            },
+            optimizer: Box::new(MemoryAware),
+            round_timeout: Duration::from_secs(120),
+            tick: Duration::from_millis(50),
+            rfc: RfcConfig::default(),
+        }
+    }
+}
+
+struct CoordState {
+    sessions: HashMap<SessionId, FlSession>,
+    optimizer: Box<dyn RoleOptimizer>,
+    topology: Topology,
+    round_timeout: Duration,
+}
+
+/// Deferred orchestration work. RFC handlers run on the coordinator's MQTT
+/// dispatcher thread; anything that *waits for client acknowledgements*
+/// (role handshakes) must run elsewhere or the acks — which arrive on that
+/// same dispatcher — could never be processed. A single worker thread
+/// serializes all session orchestration.
+enum WorkItem {
+    StartSession(SessionId),
+    Advance(SessionId),
+}
+
+/// A running coordinator node.
+pub struct Coordinator {
+    fc: FleetController,
+    state: Arc<Mutex<CoordState>>,
+    running: Arc<AtomicBool>,
+    work_tx: crossbeam::channel::Sender<WorkItem>,
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator").finish_non_exhaustive()
+    }
+}
+
+/// The coordinator's well-known node id.
+pub const COORDINATOR_ID: &str = "coordinator";
+
+impl Coordinator {
+    /// Starts a coordinator on `broker`.
+    pub fn start(broker: &Broker, config: CoordinatorConfig) -> Result<Coordinator> {
+        let client = Client::connect(broker, ClientOptions::new(COORDINATOR_ID))?;
+        let fc = FleetController::new(client, COORDINATOR_ID, config.rfc.clone())?;
+        let state = Arc::new(Mutex::new(CoordState {
+            sessions: HashMap::new(),
+            optimizer: config.optimizer,
+            topology: config.topology,
+            round_timeout: config.round_timeout,
+        }));
+        let running = Arc::new(AtomicBool::new(true));
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
+
+        let coordinator = Coordinator {
+            fc: fc.clone(),
+            state: Arc::clone(&state),
+            running: Arc::clone(&running),
+            work_tx: work_tx.clone(),
+        };
+        coordinator.expose_handlers()?;
+
+        // Orchestration worker: performs role handshakes and round
+        // transitions off the dispatcher thread.
+        let work_state = Arc::clone(&state);
+        let work_fc = fc.clone();
+        std::thread::Builder::new()
+            .name("coordinator-worker".into())
+            .spawn(move || {
+                while let Ok(item) = work_rx.recv() {
+                    let result = match item {
+                        WorkItem::StartSession(sid) => {
+                            Self::start_session(&work_state, &work_fc, &sid)
+                        }
+                        WorkItem::Advance(sid) => Self::advance(&work_state, &work_fc, &sid),
+                    };
+                    if let Err(e) = result {
+                        // Orchestration failures abort the affected session.
+                        let _ = e;
+                    }
+                }
+            })
+            .expect("spawn coordinator worker");
+
+        // Housekeeping thread: waiting-window expiry and round deadlines.
+        let tick_state = Arc::clone(&state);
+        let tick_fc = fc.clone();
+        let tick_running = Arc::clone(&running);
+        let tick = config.tick;
+        std::thread::Builder::new()
+            .name("coordinator-ticker".into())
+            .spawn(move || {
+                while tick_running.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    Self::housekeeping(&tick_state, &tick_fc, &work_tx);
+                }
+            })
+            .expect("spawn coordinator ticker");
+
+        Ok(coordinator)
+    }
+
+    /// The coordinator's fleet controller (exposed for tests/telemetry).
+    pub fn fleet(&self) -> &FleetController {
+        &self.fc
+    }
+
+    /// Snapshot of a session's lifecycle state.
+    pub fn session_state(&self, session: &SessionId) -> Option<SessionState> {
+        self.state
+            .lock()
+            .sessions
+            .get(session)
+            .map(|s| s.state.clone())
+    }
+
+    /// Stops housekeeping (sessions freeze; used on shutdown).
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+
+    fn expose_handlers(&self) -> Result<()> {
+        let state = Arc::clone(&self.state);
+        self.fc.expose(
+            functions::NEW_SESSION,
+            Arc::new(move |msg| {
+                let text = String::from_utf8_lossy(&msg.payload);
+                let json = Json::parse(&text).map_err(|e| e.to_string())?;
+                let req = NewSessionRequest::from_json(&json).map_err(|e| e.to_string())?;
+                Self::handle_new_session(&state, req).map_err(|e| e.to_string())?;
+                Ok(Bytes::from_static(b"{\"status\":\"created\"}"))
+            }),
+        )?;
+
+        let state = Arc::clone(&self.state);
+        let work = self.work_tx.clone();
+        self.fc.expose(
+            functions::JOIN_SESSION,
+            Arc::new(move |msg| {
+                let text = String::from_utf8_lossy(&msg.payload);
+                let json = Json::parse(&text).map_err(|e| e.to_string())?;
+                let req = JoinRequest::from_json(&json).map_err(|e| e.to_string())?;
+                Self::handle_join(&state, &work, req).map_err(|e| e.to_string())?;
+                Ok(Bytes::from_static(b"{\"status\":\"joined\"}"))
+            }),
+        )?;
+
+        let state = Arc::clone(&self.state);
+        let work = self.work_tx.clone();
+        self.fc.expose(
+            functions::ROUND_DONE,
+            Arc::new(move |msg| {
+                let text = String::from_utf8_lossy(&msg.payload);
+                let json = Json::parse(&text).map_err(|e| e.to_string())?;
+                let report = RoundDone::from_json(&json).map_err(|e| e.to_string())?;
+                Self::handle_round_done(&state, &work, report).map_err(|e| e.to_string())?;
+                Ok(Bytes::new())
+            }),
+        )?;
+        Ok(())
+    }
+
+    fn handle_new_session(state: &Mutex<CoordState>, req: NewSessionRequest) -> Result<()> {
+        let mut guard = state.lock();
+        // "If two clients send initiation requests, the coordinator will
+        // serve the first request, and dump the other one."
+        if guard.sessions.contains_key(&req.session_id) {
+            return Err(CoreError::Refused("session id already exists".into()));
+        }
+        if req.capacity_min == 0 || req.capacity_min > req.capacity_max {
+            return Err(CoreError::Refused("invalid capacity bounds".into()));
+        }
+        if req.fl_rounds == 0 {
+            return Err(CoreError::Refused("fl_rounds must be positive".into()));
+        }
+        let topology = guard.topology.clone();
+        guard.sessions.insert(
+            req.session_id.clone(),
+            FlSession::new(SessionConfig {
+                session_id: req.session_id.clone(),
+                model_name: req.model_name,
+                capacity_min: req.capacity_min,
+                capacity_max: req.capacity_max,
+                fl_rounds: req.fl_rounds,
+                session_time: Duration::from_secs_f64(req.session_time_secs.max(1.0)),
+                waiting_time: Duration::from_secs_f64(req.waiting_time_secs.max(0.0)),
+                topology,
+            }),
+        );
+        Ok(())
+    }
+
+    fn handle_join(
+        state: &Mutex<CoordState>,
+        work: &crossbeam::channel::Sender<WorkItem>,
+        req: JoinRequest,
+    ) -> Result<()> {
+        let start_now = {
+            let mut guard = state.lock();
+            let session = guard
+                .sessions
+                .get_mut(&req.session_id)
+                .ok_or_else(|| CoreError::UnknownSession(req.session_id.as_str().into()))?;
+            session.add_client(
+                crate::clustering::ClientInfo {
+                    id: req.client_id.clone(),
+                    stats: req.stats.into_stats(),
+                    preferred: req.preferred_role,
+                    num_samples: req.num_samples,
+                },
+                &req.model_name,
+            )?;
+            session.clients.len() >= session.config.capacity_max
+        };
+        if start_now {
+            let _ = work.send(WorkItem::StartSession(req.session_id.clone()));
+        }
+        Ok(())
+    }
+
+    /// Builds the round-1 plan and pushes roles to every contributor.
+    fn start_session(
+        state: &Mutex<CoordState>,
+        fc: &FleetController,
+        session_id: &SessionId,
+    ) -> Result<()> {
+        // Build the plan under the lock, send messages outside it: role
+        // acks can take a while and the handlers must stay responsive.
+        let (plan, clients) = {
+            let mut guard = state.lock();
+            let guard = &mut *guard;
+            let session = guard
+                .sessions
+                .get_mut(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            if session.state != SessionState::Waiting {
+                return Ok(()); // lost a start race; already started
+            }
+            let ranking = guard.optimizer.rank(&session.clients, 1);
+            let plan = build_plan(&session.clients, &session.config.topology, &ranking, 1);
+            session.plan = Some(plan.clone());
+            session.start();
+            let clients: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
+            (plan, clients)
+        };
+
+        // Paper Fig. 5: the coordinator informs every client of its role
+        // (awaiting acknowledgement so position subscriptions are in place
+        // before any trainer publishes), then publishes the topology.
+        for assignment in &plan.assignments {
+            Self::send_ctrl_acked(fc, session_id, &assignment.client, &CtrlMsg::SetRole(assignment.spec))?;
+        }
+        publish_retained_json(
+            fc.client(),
+            &topology_topic(session_id),
+            &plan.topology_json(session_id.as_str()),
+        )?;
+        for client in &clients {
+            Self::send_ctrl(fc, session_id, client, &CtrlMsg::RoundStart { round: 1 })?;
+        }
+        Ok(())
+    }
+
+    fn handle_round_done(
+        state: &Mutex<CoordState>,
+        work: &crossbeam::channel::Sender<WorkItem>,
+        report: RoundDone,
+    ) -> Result<()> {
+        let round_closed = {
+            let mut guard = state.lock();
+            let session = guard
+                .sessions
+                .get_mut(&report.session_id)
+                .ok_or_else(|| CoreError::UnknownSession(report.session_id.as_str().into()))?;
+            session.update_stats(&report.client_id, report.stats.into_stats());
+            session.record_done(&report.client_id, report.round)?
+        };
+        if round_closed {
+            let _ = work.send(WorkItem::Advance(report.session_id.clone()));
+        }
+        Ok(())
+    }
+
+    /// Closes a round: rearrange roles (diff only), then start the next
+    /// round or complete the session.
+    fn advance(
+        state: &Mutex<CoordState>,
+        fc: &FleetController,
+        session_id: &SessionId,
+    ) -> Result<()> {
+        enum Next {
+            Complete(Vec<ClientId>),
+            Round {
+                round: u32,
+                changes: Vec<(ClientId, PlanChange)>,
+                all: Vec<ClientId>,
+                topology: Json,
+            },
+        }
+
+        let next = {
+            let mut guard = state.lock();
+            let guard = &mut *guard;
+            let session = guard
+                .sessions
+                .get_mut(session_id)
+                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            let all: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
+            // Black-box feedback (paper future-work item): report the
+            // closed round's wall-clock span to the optimizer.
+            if let crate::session::SessionState::Running {
+                round, round_started, ..
+            } = &session.state
+            {
+                guard
+                    .optimizer
+                    .observe_round(*round, round_started.elapsed().as_secs_f64());
+            }
+            match session.advance_round() {
+                None => Next::Complete(all),
+                Some(round) => {
+                    // Role optimization (paper §III.E.6): re-rank with the
+                    // freshest stats, rebuild, diff.
+                    let ranking = guard.optimizer.rank(&session.clients, round);
+                    let new_plan =
+                        build_plan(&session.clients, &session.config.topology, &ranking, round);
+                    let old_plan = session.plan.as_ref().expect("running session has a plan");
+                    let changes = diff_plans(old_plan, &new_plan);
+                    let topology = new_plan.topology_json(session_id.as_str());
+                    session.plan = Some(new_plan);
+                    Next::Round {
+                        round,
+                        changes,
+                        all,
+                        topology,
+                    }
+                }
+            }
+        };
+
+        match next {
+            Next::Complete(all) => {
+                for client in &all {
+                    Self::send_ctrl(fc, session_id, client, &CtrlMsg::SessionComplete)?;
+                }
+            }
+            Next::Round {
+                round,
+                changes,
+                all,
+                topology,
+            } => {
+                // Only changed clients hear about roles (paper §III.E.5).
+                for (client, PlanChange::Set(spec)) in &changes {
+                    Self::send_ctrl_acked(fc, session_id, client, &CtrlMsg::SetRole(*spec))?;
+                }
+                if !changes.is_empty() {
+                    publish_retained_json(fc.client(), &topology_topic(session_id), &topology)?;
+                }
+                for client in &all {
+                    Self::send_ctrl(fc, session_id, client, &CtrlMsg::RoundStart { round })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Periodic housekeeping: start sessions whose waiting window closed,
+    /// abort under-subscribed or overdue ones.
+    fn housekeeping(
+        state: &Arc<Mutex<CoordState>>,
+        fc: &FleetController,
+        work: &crossbeam::channel::Sender<WorkItem>,
+    ) {
+        #[derive(Debug)]
+        enum Action {
+            Start(SessionId),
+            Abort(SessionId, String, Vec<ClientId>),
+        }
+        let actions: Vec<Action> = {
+            let mut guard = state.lock();
+            let round_timeout = guard.round_timeout;
+            let mut actions = Vec::new();
+            for (id, session) in guard.sessions.iter_mut() {
+                if session.should_start() {
+                    actions.push(Action::Start(id.clone()));
+                } else if session.should_abort_waiting() {
+                    let clients = session.clients.iter().map(|c| c.id.clone()).collect();
+                    session.state =
+                        SessionState::Aborted("not enough contributors".into());
+                    actions.push(Action::Abort(
+                        id.clone(),
+                        "not enough contributors".into(),
+                        clients,
+                    ));
+                } else if session.is_overdue(round_timeout) {
+                    let clients = session.clients.iter().map(|c| c.id.clone()).collect();
+                    session.state = SessionState::Aborted("round deadline exceeded".into());
+                    actions.push(Action::Abort(
+                        id.clone(),
+                        "round deadline exceeded".into(),
+                        clients,
+                    ));
+                }
+            }
+            actions
+        };
+        for action in actions {
+            match action {
+                Action::Start(id) => {
+                    let _ = work.send(WorkItem::StartSession(id));
+                }
+                Action::Abort(id, reason, clients) => {
+                    for client in clients {
+                        let _ =
+                            Self::send_ctrl(fc, &id, &client, &CtrlMsg::Abort(reason.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_ctrl(
+        fc: &FleetController,
+        session: &SessionId,
+        client: &ClientId,
+        msg: &CtrlMsg,
+    ) -> Result<()> {
+        fc.call(
+            &functions::client_ctrl(client.as_str()),
+            Bytes::from(msg.to_envelope(session).to_string_compact().into_bytes()),
+        )?;
+        Ok(())
+    }
+
+    fn send_ctrl_acked(
+        fc: &FleetController,
+        session: &SessionId,
+        client: &ClientId,
+        msg: &CtrlMsg,
+    ) -> Result<()> {
+        fc.call_with_reply_timeout(
+            &functions::client_ctrl(client.as_str()),
+            Bytes::from(msg.to_envelope(session).to_string_compact().into_bytes()),
+            Duration::from_secs(30),
+        )?;
+        Ok(())
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,104 @@
+//! Topic-safe identifier newtypes.
+
+use std::fmt;
+
+/// Errors from identifier validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidId(pub String);
+
+impl fmt::Display for InvalidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid identifier: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidId {}
+
+fn validate(s: &str) -> Result<(), InvalidId> {
+    let ok = !s.is_empty()
+        && s.len() <= 128
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(InvalidId(s.to_owned()))
+    }
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Validates and wraps an identifier. Identifiers must be
+            /// non-empty, ≤128 chars, and use only `[A-Za-z0-9_.-]` so they
+            /// embed safely in MQTT topic levels.
+            pub fn new(s: impl Into<String>) -> Result<$name, InvalidId> {
+                let s = s.into();
+                validate(&s)?;
+                Ok($name(s))
+            }
+
+            /// The identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl std::str::FromStr for $name {
+            type Err = InvalidId;
+            fn from_str(s: &str) -> Result<Self, InvalidId> {
+                $name::new(s)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A contributing client's identifier.
+    ClientId
+);
+id_type!(
+    /// A federated-learning session identifier.
+    SessionId
+);
+id_type!(
+    /// A model name registered within a session.
+    ModelId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_topic_safe_ids() {
+        assert!(ClientId::new("client_01").is_ok());
+        assert!(SessionId::new("session-2024.a").is_ok());
+        assert!(ModelId::new("mlp").is_ok());
+    }
+
+    #[test]
+    fn rejects_unsafe_ids() {
+        for bad in ["", "a/b", "a+b", "a#b", "with space", "ütf"] {
+            assert!(ClientId::new(bad).is_err(), "{bad:?}");
+        }
+        assert!(ClientId::new("x".repeat(129)).is_err());
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let id: ClientId = "c1".parse().unwrap();
+        assert_eq!(id.to_string(), "c1");
+        assert_eq!(id.as_str(), "c1");
+    }
+}

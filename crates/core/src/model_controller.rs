@@ -1,0 +1,154 @@
+//! Client-side model repository (paper §III.B.2).
+//!
+//! Tracks one model per session the client participates in: the local
+//! parameter vector, its FedAvg weight, and the last global round applied.
+//! The training pipeline reads/writes through this controller, and the
+//! global-update synchronizer replaces the parameters when a new global
+//! model arrives.
+
+use crate::error::{CoreError, Result};
+use crate::ids::SessionId;
+use std::collections::HashMap;
+
+/// State of one session's model on this client.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Current flat parameters.
+    pub params: Vec<f32>,
+    /// Number of local samples (FedAvg weight).
+    pub num_samples: u64,
+    /// Last global round applied (0 = none yet).
+    pub global_round: u32,
+}
+
+/// Per-session model store.
+#[derive(Debug, Default)]
+pub struct ModelController {
+    models: HashMap<SessionId, ModelEntry>,
+}
+
+impl ModelController {
+    /// Creates an empty controller.
+    pub fn new() -> ModelController {
+        ModelController::default()
+    }
+
+    /// Registers or replaces the local model for a session.
+    pub fn set_model(&mut self, session: &SessionId, params: Vec<f32>, num_samples: u64) {
+        let global_round = self
+            .models
+            .get(session)
+            .map(|e| e.global_round)
+            .unwrap_or(0);
+        self.models.insert(
+            session.clone(),
+            ModelEntry {
+                params,
+                num_samples,
+                global_round,
+            },
+        );
+    }
+
+    /// Reads the model entry for a session.
+    pub fn get(&self, session: &SessionId) -> Result<&ModelEntry> {
+        self.models
+            .get(session)
+            .ok_or_else(|| CoreError::NoModel(session.as_str().to_owned()))
+    }
+
+    /// Applies a global update: replaces parameters and advances the round
+    /// marker. Stale updates (round ≤ last applied) are ignored and
+    /// reported as `false`.
+    pub fn apply_global(&mut self, session: &SessionId, round: u32, params: Vec<f32>) -> Result<bool> {
+        let entry = self
+            .models
+            .get_mut(session)
+            .ok_or_else(|| CoreError::NoModel(session.as_str().to_owned()))?;
+        if round <= entry.global_round {
+            return Ok(false);
+        }
+        if entry.params.len() != params.len() && !entry.params.is_empty() {
+            return Err(CoreError::Protocol(format!(
+                "global update length {} != local {}",
+                params.len(),
+                entry.params.len()
+            )));
+        }
+        entry.params = params;
+        entry.global_round = round;
+        Ok(true)
+    }
+
+    /// Removes a session's model (session complete).
+    pub fn remove(&mut self, session: &SessionId) -> Option<ModelEntry> {
+        self.models.remove(session)
+    }
+
+    /// Number of tracked sessions.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(s: &str) -> SessionId {
+        SessionId::new(s).unwrap()
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut mc = ModelController::new();
+        mc.set_model(&sid("s1"), vec![1.0, 2.0], 100);
+        let entry = mc.get(&sid("s1")).unwrap();
+        assert_eq!(entry.params, vec![1.0, 2.0]);
+        assert_eq!(entry.num_samples, 100);
+        assert_eq!(entry.global_round, 0);
+        assert!(mc.get(&sid("missing")).is_err());
+    }
+
+    #[test]
+    fn apply_global_advances_round() {
+        let mut mc = ModelController::new();
+        mc.set_model(&sid("s1"), vec![0.0, 0.0], 10);
+        assert!(mc.apply_global(&sid("s1"), 1, vec![1.0, 1.0]).unwrap());
+        assert_eq!(mc.get(&sid("s1")).unwrap().global_round, 1);
+        // Stale/duplicate round is ignored.
+        assert!(!mc.apply_global(&sid("s1"), 1, vec![9.0, 9.0]).unwrap());
+        assert_eq!(mc.get(&sid("s1")).unwrap().params, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_global_checks_shape() {
+        let mut mc = ModelController::new();
+        mc.set_model(&sid("s1"), vec![0.0, 0.0], 10);
+        assert!(mc.apply_global(&sid("s1"), 1, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn set_model_preserves_round_marker() {
+        let mut mc = ModelController::new();
+        mc.set_model(&sid("s1"), vec![0.0], 10);
+        mc.apply_global(&sid("s1"), 3, vec![1.0]).unwrap();
+        // Local re-training replaces params but keeps the global marker.
+        mc.set_model(&sid("s1"), vec![2.0], 10);
+        assert_eq!(mc.get(&sid("s1")).unwrap().global_round, 3);
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut mc = ModelController::new();
+        mc.set_model(&sid("s1"), vec![0.0], 1);
+        assert_eq!(mc.len(), 1);
+        assert!(mc.remove(&sid("s1")).is_some());
+        assert!(mc.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The parameter server (paper §III.B.2).
+//!
+//! "The Parameter Server would listen to a public topic that is designated
+//! for sending and receiving Global models. Thus, it serves as a repository
+//! for global models." The root aggregator publishes its round aggregate to
+//! `sdflmq/session/<sid>/ps`; the server stores it and broadcasts it on
+//! `sdflmq/session/<sid>/global`, where every contributor's global-update
+//! synchronizer picks it up.
+
+use crate::blob::BlobChannel;
+use crate::error::Result;
+use crate::ids::SessionId;
+use crate::messages::Blob;
+use crate::topics::global_topic;
+use parking_lot::Mutex;
+use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS, TopicFilter};
+use sdflmq_mqttfc::BatchConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The parameter server's well-known node id.
+pub const PARAM_SERVER_ID: &str = "paramserver";
+
+/// A stored global model.
+#[derive(Debug, Clone)]
+pub struct GlobalModel {
+    /// Round the model was produced in.
+    pub round: u32,
+    /// Serialized flat parameters (`sdflmq_nn::params` format).
+    pub params: bytes::Bytes,
+    /// Total sample weight behind the aggregate.
+    pub weight: u64,
+}
+
+/// A running parameter server node.
+pub struct ParamServer {
+    repo: Arc<Mutex<HashMap<SessionId, GlobalModel>>>,
+    #[allow(dead_code)]
+    blobs: BlobChannel,
+}
+
+impl std::fmt::Debug for ParamServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParamServer").finish_non_exhaustive()
+    }
+}
+
+impl ParamServer {
+    /// Starts a parameter server on `broker`. It can run on the same host
+    /// as the coordinator or a separate one (paper §III.B.2) — here that
+    /// simply means any broker the session's clients can reach.
+    pub fn start(broker: &Broker, batch: BatchConfig) -> Result<ParamServer> {
+        let client = Client::connect(broker, ClientOptions::new(PARAM_SERVER_ID))?;
+        let blobs = BlobChannel::new(client, PARAM_SERVER_ID, batch, QoS::AtLeastOnce);
+        let repo: Arc<Mutex<HashMap<SessionId, GlobalModel>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+
+        let repo_in = Arc::clone(&repo);
+        let rebroadcast = blobs.clone();
+        blobs.subscribe(
+            &TopicFilter::new("sdflmq/session/+/ps").expect("valid filter"),
+            Arc::new(move |blob: Blob| {
+                let session = blob.session_id.clone();
+                {
+                    let mut repo = repo_in.lock();
+                    let entry = repo.entry(session.clone());
+                    use std::collections::hash_map::Entry;
+                    match entry {
+                        Entry::Occupied(mut slot) => {
+                            // Ignore stale or duplicate rounds.
+                            if blob.round <= slot.get().round {
+                                return;
+                            }
+                            slot.insert(GlobalModel {
+                                round: blob.round,
+                                params: blob.params.clone(),
+                                weight: blob.weight,
+                            });
+                        }
+                        Entry::Vacant(slot) => {
+                            slot.insert(GlobalModel {
+                                round: blob.round,
+                                params: blob.params.clone(),
+                                weight: blob.weight,
+                            });
+                        }
+                    }
+                }
+                // Global update synchronizer: broadcast to all clients.
+                let global = Blob {
+                    session_id: session.clone(),
+                    round: blob.round,
+                    sender: PARAM_SERVER_ID.to_owned(),
+                    weight: blob.weight,
+                    params: blob.params,
+                };
+                let _ = rebroadcast.publish(&global_topic(&session), &global);
+            }),
+        )?;
+
+        Ok(ParamServer { repo, blobs })
+    }
+
+    /// Reads the stored global model for a session, if any.
+    pub fn global(&self, session: &SessionId) -> Option<GlobalModel> {
+        self.repo.lock().get(session).cloned()
+    }
+
+    /// Number of sessions with stored globals.
+    pub fn sessions_tracked(&self) -> usize {
+        self.repo.lock().len()
+    }
+}

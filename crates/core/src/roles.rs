@@ -1,0 +1,218 @@
+//! Roles and role specifications.
+//!
+//! A client holds one of three roles per round (paper §III.C): *trainer*,
+//! *aggregator*, or *trainer-aggregator*. Aggregating clients additionally
+//! occupy a [`Position`] in the session's hierarchy; trainers only know the
+//! position topic of their cluster head.
+
+use crate::error::{CoreError, Result};
+use crate::messages::{req_num, req_str};
+use crate::topics::Position;
+use sdflmq_mqttfc::Json;
+
+/// A client's effective role for a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Trains locally and sends parameters up.
+    Trainer,
+    /// Only aggregates (contributes no local update).
+    Aggregator,
+    /// Trains locally *and* aggregates a cluster (paper Fig. 5's "A/T").
+    TrainerAggregator,
+}
+
+impl Role {
+    /// True if the role performs aggregation.
+    pub fn aggregates(&self) -> bool {
+        matches!(self, Role::Aggregator | Role::TrainerAggregator)
+    }
+
+    /// True if the role performs local training.
+    pub fn trains(&self) -> bool {
+        matches!(self, Role::Trainer | Role::TrainerAggregator)
+    }
+
+    /// Stable token form.
+    pub fn as_token(&self) -> &'static str {
+        match self {
+            Role::Trainer => "trainer",
+            Role::Aggregator => "aggregator",
+            Role::TrainerAggregator => "trainer_aggregator",
+        }
+    }
+
+    /// Parses the token form.
+    pub fn from_token(s: &str) -> Option<Role> {
+        match s {
+            "trainer" => Some(Role::Trainer),
+            "aggregator" => Some(Role::Aggregator),
+            "trainer_aggregator" => Some(Role::TrainerAggregator),
+            _ => None,
+        }
+    }
+}
+
+/// What a client *wants* to be (sent at session join; the coordinator
+/// decides, paper §III.C.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreferredRole {
+    /// Prefers training only.
+    Trainer,
+    /// Prefers to aggregate.
+    Aggregator,
+    /// No preference.
+    Any,
+}
+
+impl PreferredRole {
+    /// Stable token form.
+    pub fn as_token(&self) -> &'static str {
+        match self {
+            PreferredRole::Trainer => "trainer",
+            PreferredRole::Aggregator => "aggregator",
+            PreferredRole::Any => "any",
+        }
+    }
+
+    /// Parses the token form.
+    pub fn from_token(s: &str) -> Option<PreferredRole> {
+        match s {
+            "trainer" => Some(PreferredRole::Trainer),
+            "aggregator" => Some(PreferredRole::Aggregator),
+            "any" => Some(PreferredRole::Any),
+            _ => None,
+        }
+    }
+}
+
+/// A full role assignment for one client and one round — the payload of a
+/// `set_role` control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleSpec {
+    /// The role to take.
+    pub role: Role,
+    /// The aggregation position held (None for pure trainers).
+    pub position: Option<Position>,
+    /// Where this client sends its (local or aggregated) parameters:
+    /// the parent's position. `Position::Root`'s own parent is the
+    /// parameter server — encoded separately by `parent` being the
+    /// client's own position when it *is* root (see `sends_to_ps`).
+    pub parent: Position,
+    /// For aggregators: how many parameter blobs to expect per round.
+    pub expected_inputs: u32,
+    /// Round this assignment takes effect.
+    pub round: u32,
+}
+
+impl RoleSpec {
+    /// True if this client is the root aggregator (its aggregate goes to
+    /// the parameter server rather than another position).
+    pub fn is_root(&self) -> bool {
+        self.position == Some(Position::Root)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("role".to_owned(), Json::str(self.role.as_token())),
+            ("parent".to_owned(), Json::str(self.parent.as_token())),
+            (
+                "expected_inputs".to_owned(),
+                Json::num(self.expected_inputs as f64),
+            ),
+            ("round".to_owned(), Json::num(self.round as f64)),
+        ];
+        if let Some(p) = self.position {
+            fields.push(("position".to_owned(), Json::str(p.as_token())));
+        }
+        Json::object(fields)
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(j: &Json) -> Result<RoleSpec> {
+        let role = Role::from_token(&req_str(j, "role")?)
+            .ok_or_else(|| CoreError::Protocol("bad role token".into()))?;
+        let position = match j.get("position").and_then(Json::as_str) {
+            Some(tok) => Some(
+                Position::from_token(tok)
+                    .ok_or_else(|| CoreError::Protocol("bad position token".into()))?,
+            ),
+            None => None,
+        };
+        let parent = Position::from_token(&req_str(j, "parent")?)
+            .ok_or_else(|| CoreError::Protocol("bad parent token".into()))?;
+        Ok(RoleSpec {
+            role,
+            position,
+            parent,
+            expected_inputs: req_num(j, "expected_inputs")? as u32,
+            round: req_num(j, "round")? as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates() {
+        assert!(Role::Trainer.trains());
+        assert!(!Role::Trainer.aggregates());
+        assert!(Role::Aggregator.aggregates());
+        assert!(!Role::Aggregator.trains());
+        assert!(Role::TrainerAggregator.trains());
+        assert!(Role::TrainerAggregator.aggregates());
+    }
+
+    #[test]
+    fn token_roundtrips() {
+        for r in [Role::Trainer, Role::Aggregator, Role::TrainerAggregator] {
+            assert_eq!(Role::from_token(r.as_token()), Some(r));
+        }
+        for p in [
+            PreferredRole::Trainer,
+            PreferredRole::Aggregator,
+            PreferredRole::Any,
+        ] {
+            assert_eq!(PreferredRole::from_token(p.as_token()), Some(p));
+        }
+        assert_eq!(Role::from_token("chef"), None);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let specs = [
+            RoleSpec {
+                role: Role::Trainer,
+                position: None,
+                parent: Position::Agg(1),
+                expected_inputs: 0,
+                round: 1,
+            },
+            RoleSpec {
+                role: Role::TrainerAggregator,
+                position: Some(Position::Root),
+                parent: Position::Root,
+                expected_inputs: 3,
+                round: 5,
+            },
+        ];
+        for spec in specs {
+            let j = Json::parse(&spec.to_json().to_string_compact()).unwrap();
+            assert_eq!(RoleSpec::from_json(&j).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn root_detection() {
+        let spec = RoleSpec {
+            role: Role::Aggregator,
+            position: Some(Position::Root),
+            parent: Position::Root,
+            expected_inputs: 2,
+            round: 1,
+        };
+        assert!(spec.is_root());
+    }
+}

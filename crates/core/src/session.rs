@@ -1,0 +1,322 @@
+//! Coordinator-side FL session state machine (paper §III.E.1).
+//!
+//! Lifecycle: `Waiting` (accepting join requests) → `Running` (rounds 1..R)
+//! → `Completed` | `Aborted`. A session starts when it fills to
+//! `capacity_max`, or when the waiting window closes with at least
+//! `capacity_min` contributors; it aborts when the window closes
+//! under-subscribed, when a round exceeds its deadline, or when the
+//! session's total time budget runs out.
+
+use crate::clustering::{ClientInfo, ClusterPlan, Topology};
+use crate::error::{CoreError, Result};
+use crate::ids::{ClientId, ModelId, SessionId};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Immutable session parameters fixed at creation.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The session identifier.
+    pub session_id: SessionId,
+    /// Model the session optimizes.
+    pub model_name: ModelId,
+    /// Minimum contributors to start.
+    pub capacity_min: usize,
+    /// Maximum contributors accepted.
+    pub capacity_max: usize,
+    /// Number of FL rounds.
+    pub fl_rounds: u32,
+    /// Total session time budget.
+    pub session_time: Duration,
+    /// How long to wait for contributors.
+    pub waiting_time: Duration,
+    /// Cluster topology to build each round.
+    pub topology: Topology,
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionState {
+    /// Accepting contributors.
+    Waiting,
+    /// Round `round` in progress; `done` holds reporters.
+    Running {
+        /// Current 1-based round.
+        round: u32,
+        /// Clients that reported this round complete.
+        done: HashSet<ClientId>,
+        /// When the round started (for the deadline check). Not part of
+        /// equality semantics but kept here for atomic state swaps.
+        round_started: Instant,
+    },
+    /// All rounds finished.
+    Completed,
+    /// Terminated early; the string says why.
+    Aborted(String),
+}
+
+/// One tracked session.
+#[derive(Debug)]
+pub struct FlSession {
+    /// Fixed parameters.
+    pub config: SessionConfig,
+    /// Contributors in join order.
+    pub clients: Vec<ClientInfo>,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// The active cluster plan, once started.
+    pub plan: Option<ClusterPlan>,
+    /// Creation instant (for the session-time budget).
+    pub created: Instant,
+}
+
+impl FlSession {
+    /// Creates a session in `Waiting`.
+    pub fn new(config: SessionConfig) -> FlSession {
+        FlSession {
+            config,
+            clients: Vec::new(),
+            state: SessionState::Waiting,
+            plan: None,
+            created: Instant::now(),
+        }
+    }
+
+    /// Registers a contributor. Fails when the session is not waiting, is
+    /// full, the model name mismatches, or the client already joined.
+    pub fn add_client(&mut self, info: ClientInfo, model: &ModelId) -> Result<()> {
+        if self.state != SessionState::Waiting {
+            return Err(CoreError::Refused("session already started".into()));
+        }
+        if self.clients.len() >= self.config.capacity_max {
+            return Err(CoreError::Refused("session full".into()));
+        }
+        if model != &self.config.model_name {
+            return Err(CoreError::Refused(format!(
+                "model mismatch: session trains {:?}",
+                self.config.model_name.as_str()
+            )));
+        }
+        if self.clients.iter().any(|c| c.id == info.id) {
+            return Err(CoreError::Refused("already joined".into()));
+        }
+        self.clients.push(info);
+        Ok(())
+    }
+
+    /// True when the session should start right now.
+    pub fn should_start(&self) -> bool {
+        self.state == SessionState::Waiting
+            && (self.clients.len() >= self.config.capacity_max
+                || (self.created.elapsed() >= self.config.waiting_time
+                    && self.clients.len() >= self.config.capacity_min))
+    }
+
+    /// True when the waiting window closed under-subscribed.
+    pub fn should_abort_waiting(&self) -> bool {
+        self.state == SessionState::Waiting
+            && self.created.elapsed() >= self.config.waiting_time
+            && self.clients.len() < self.config.capacity_min
+    }
+
+    /// Moves to `Running` round 1.
+    pub fn start(&mut self) {
+        debug_assert_eq!(self.state, SessionState::Waiting);
+        self.state = SessionState::Running {
+            round: 1,
+            done: HashSet::new(),
+            round_started: Instant::now(),
+        };
+    }
+
+    /// Records a client's round-completion report. Returns `true` when the
+    /// report closes the round (all contributors done).
+    pub fn record_done(&mut self, client: &ClientId, round: u32) -> Result<bool> {
+        let total = self.clients.len();
+        match &mut self.state {
+            SessionState::Running {
+                round: current,
+                done,
+                ..
+            } if *current == round => {
+                if !self.clients.iter().any(|c| &c.id == client) {
+                    return Err(CoreError::Refused("not a contributor".into()));
+                }
+                done.insert(client.clone());
+                Ok(done.len() == total)
+            }
+            SessionState::Running { round: current, .. } => Err(CoreError::Protocol(format!(
+                "round_done for round {round}, session at {current}"
+            ))),
+            _ => Err(CoreError::Refused("session not running".into())),
+        }
+    }
+
+    /// Advances to the next round (or `Completed` after the last).
+    /// Returns the new round number, or `None` if the session completed.
+    pub fn advance_round(&mut self) -> Option<u32> {
+        let SessionState::Running { round, .. } = &self.state else {
+            return None;
+        };
+        let next = *round + 1;
+        if next > self.config.fl_rounds {
+            self.state = SessionState::Completed;
+            None
+        } else {
+            self.state = SessionState::Running {
+                round: next,
+                done: HashSet::new(),
+                round_started: Instant::now(),
+            };
+            Some(next)
+        }
+    }
+
+    /// True when the current round exceeded `deadline` or the session blew
+    /// its total time budget.
+    pub fn is_overdue(&self, round_deadline: Duration) -> bool {
+        match &self.state {
+            SessionState::Running { round_started, .. } => {
+                round_started.elapsed() > round_deadline
+                    || self.created.elapsed() > self.config.session_time
+            }
+            _ => false,
+        }
+    }
+
+    /// Current round number, if running.
+    pub fn current_round(&self) -> Option<u32> {
+        match &self.state {
+            SessionState::Running { round, .. } => Some(*round),
+            _ => None,
+        }
+    }
+
+    /// Updates a contributor's stats (from a round_done report).
+    pub fn update_stats(&mut self, client: &ClientId, stats: sdflmq_sim::SystemStats) {
+        if let Some(c) = self.clients.iter_mut().find(|c| &c.id == client) {
+            c.stats = stats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roles::PreferredRole;
+    use sdflmq_sim::SystemStats;
+
+    fn config(min: usize, max: usize, rounds: u32) -> SessionConfig {
+        SessionConfig {
+            session_id: SessionId::new("s1").unwrap(),
+            model_name: ModelId::new("mlp").unwrap(),
+            capacity_min: min,
+            capacity_max: max,
+            fl_rounds: rounds,
+            session_time: Duration::from_secs(3600),
+            waiting_time: Duration::from_millis(50),
+            topology: Topology::Central,
+        }
+    }
+
+    fn info(id: &str) -> ClientInfo {
+        ClientInfo {
+            id: ClientId::new(id).unwrap(),
+            stats: SystemStats {
+                free_memory: 1 << 30,
+                available_flops: 1e9,
+                memory_utilization: 0.2,
+            },
+            preferred: PreferredRole::Any,
+            num_samples: 10,
+        }
+    }
+
+    fn mlp() -> ModelId {
+        ModelId::new("mlp").unwrap()
+    }
+
+    #[test]
+    fn join_rules() {
+        let mut s = FlSession::new(config(2, 3, 2));
+        s.add_client(info("a"), &mlp()).unwrap();
+        assert!(s.add_client(info("a"), &mlp()).is_err(), "dup join");
+        assert!(
+            s.add_client(info("b"), &ModelId::new("cnn").unwrap())
+                .is_err(),
+            "model mismatch"
+        );
+        s.add_client(info("b"), &mlp()).unwrap();
+        s.add_client(info("c"), &mlp()).unwrap();
+        assert!(s.add_client(info("d"), &mlp()).is_err(), "full");
+    }
+
+    #[test]
+    fn starts_when_full() {
+        let mut s = FlSession::new(config(2, 2, 1));
+        s.add_client(info("a"), &mlp()).unwrap();
+        assert!(!s.should_start());
+        s.add_client(info("b"), &mlp()).unwrap();
+        assert!(s.should_start());
+        s.start();
+        assert_eq!(s.current_round(), Some(1));
+        assert!(s.add_client(info("c"), &mlp()).is_err(), "no joins after start");
+    }
+
+    #[test]
+    fn starts_after_waiting_window_with_min() {
+        let mut s = FlSession::new(config(1, 5, 1));
+        s.add_client(info("a"), &mlp()).unwrap();
+        assert!(!s.should_start(), "window still open");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(s.should_start());
+    }
+
+    #[test]
+    fn aborts_when_undersubscribed() {
+        let s = FlSession::new(config(3, 5, 1));
+        assert!(!s.should_abort_waiting());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(s.should_abort_waiting());
+    }
+
+    #[test]
+    fn round_accounting() {
+        let mut s = FlSession::new(config(2, 2, 2));
+        s.add_client(info("a"), &mlp()).unwrap();
+        s.add_client(info("b"), &mlp()).unwrap();
+        s.start();
+        assert!(!s.record_done(&ClientId::new("a").unwrap(), 1).unwrap());
+        assert!(
+            s.record_done(&ClientId::new("x").unwrap(), 1).is_err(),
+            "stranger"
+        );
+        assert!(
+            s.record_done(&ClientId::new("b").unwrap(), 2).is_err(),
+            "wrong round"
+        );
+        assert!(s.record_done(&ClientId::new("b").unwrap(), 1).unwrap());
+        assert_eq!(s.advance_round(), Some(2));
+        // Final round closes the session.
+        s.record_done(&ClientId::new("a").unwrap(), 2).unwrap();
+        s.record_done(&ClientId::new("b").unwrap(), 2).unwrap();
+        assert_eq!(s.advance_round(), None);
+        assert_eq!(s.state, SessionState::Completed);
+    }
+
+    #[test]
+    fn overdue_detection() {
+        let mut cfg = config(1, 1, 1);
+        cfg.session_time = Duration::from_millis(10);
+        let mut s = FlSession::new(cfg);
+        s.add_client(info("a"), &mlp()).unwrap();
+        s.start();
+        assert!(!s.is_overdue(Duration::from_secs(100)) || {
+            std::thread::sleep(Duration::from_millis(1));
+            true
+        });
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(s.is_overdue(Duration::from_secs(100)), "session budget blown");
+        assert!(s.is_overdue(Duration::from_millis(1)), "round deadline blown");
+    }
+}

@@ -1,0 +1,417 @@
+//! Virtual-time SDFL round simulator.
+//!
+//! Reproduces the paper's delay experiments (Fig. 8) deterministically: the
+//! same clustering engine and role optimizers as the threaded runtime, but
+//! time comes from the `sdflmq-sim` models instead of wall clocks —
+//! training time from the per-client CPU model, transfer time from
+//! FIFO-contended access links, aggregation time from the memory-pressure
+//! model. See DESIGN.md substitution 3 for why this preserves the paper's
+//! mechanism (a central aggregator serializes N ingest transfers and pays
+//! memory pressure; hierarchical aggregation parallelizes both).
+
+use crate::clustering::{build_plan, diff_plans, ClientInfo, ClusterPlan, Topology};
+use crate::ids::ClientId;
+use crate::optimizer::RoleOptimizer;
+use crate::roles::PreferredRole;
+use crate::topics::Position;
+use sdflmq_sim::{ClientSystem, Network, NodeLink, SimDuration, SimTime, SystemSpec};
+use std::collections::HashMap;
+
+/// Parameters for a simulated deployment.
+pub struct SimConfig {
+    /// Number of contributing clients.
+    pub num_clients: usize,
+    /// Cluster topology.
+    pub topology: Topology,
+    /// FL rounds to run.
+    pub rounds: u32,
+    /// Model size in parameters (f32 each).
+    pub model_params: usize,
+    /// Local samples per client.
+    pub samples_per_client: usize,
+    /// Local epochs per round.
+    pub local_epochs: usize,
+    /// Per-client access bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Per-link propagation latency.
+    pub link_latency: SimDuration,
+    /// Broker forwarding overhead per message.
+    pub broker_forward: SimDuration,
+    /// Role-optimization policy (rearranges between rounds).
+    pub optimizer: Box<dyn RoleOptimizer>,
+    /// Effective wire-size ratio after compression (1.0 = uncompressed).
+    pub compression_ratio: f64,
+    /// Machine profile assigned to every client.
+    pub system: SystemSpec,
+    /// Seed for system drift.
+    pub seed: u64,
+    /// Heterogeneous machine profiles: client `i` uses
+    /// `system_mix[i % len]`. Empty = everyone uses [`SimConfig::system`].
+    pub system_mix: Vec<SystemSpec>,
+    /// Whether per-client loads drift between rounds. Disable for
+    /// stationary-environment experiments (e.g. evaluating black-box
+    /// optimizers whose fitness snapshots must stay comparable).
+    pub drift: bool,
+    /// Model gateway-class hardware with proportionally faster access
+    /// links: each client's bandwidth is scaled by sqrt(cpu/2 GFLOP/s).
+    /// Off by default (uniform links, the Fig. 8 setting).
+    pub scale_bandwidth_with_cpu: bool,
+    /// Number of broker regions; clients are assigned round-robin. 1 = a
+    /// single broker. The parameter server and cross-region traffic pay
+    /// [`SimConfig::bridge_hop`] extra latency.
+    pub regions: u32,
+    /// Added latency for each cross-region (bridged) message.
+    pub bridge_hop: SimDuration,
+}
+
+impl SimConfig {
+    /// The Fig. 8 baseline configuration for `num_clients` clients and the
+    /// given topology: the paper's MNIST MLP, 600 samples/client, 5 local
+    /// epochs, constrained edge machines on 2 MB/s links.
+    pub fn fig8(num_clients: usize, topology: Topology) -> SimConfig {
+        SimConfig {
+            num_clients,
+            topology,
+            rounds: 10,
+            model_params: 109_386, // 784-128-64-10 MLP
+            samples_per_client: 600,
+            local_epochs: 5,
+            bandwidth: 2.0 * 1024.0 * 1024.0,
+            link_latency: SimDuration::from_millis(5),
+            broker_forward: SimDuration::from_millis(2),
+            optimizer: Box::new(crate::optimizer::MemoryAware),
+            // Raw f32 parameters do not LZSS-compress (see ABL-3), so the
+            // wire carries them 1:1.
+            compression_ratio: 1.0,
+            system: SystemSpec::edge_small(),
+            seed: 7,
+            system_mix: Vec::new(),
+            drift: true,
+            scale_bandwidth_with_cpu: false,
+            regions: 1,
+            bridge_hop: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Timing breakdown for one simulated round.
+#[derive(Debug, Clone)]
+pub struct RoundBreakdown {
+    /// 1-based round number.
+    pub round: u32,
+    /// When the last client finished local training (relative to round
+    /// start).
+    pub train_span: SimDuration,
+    /// When the root aggregate reached the parameter server (relative to
+    /// round start).
+    pub agg_span: SimDuration,
+    /// Full round span: global model delivered to every client.
+    pub round_span: SimDuration,
+    /// Clients whose roles changed entering this round.
+    pub rearranged: usize,
+}
+
+/// Results of a simulated deployment.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Total processing delay across all rounds (the paper's Fig. 8
+    /// y-axis).
+    pub total: SimDuration,
+    /// Per-round breakdowns.
+    pub rounds: Vec<RoundBreakdown>,
+    /// Total bytes carried by the network.
+    pub network_bytes: u64,
+}
+
+/// Runs the virtual-time simulation.
+pub fn simulate(mut config: SimConfig) -> SimReport {
+    assert!(config.num_clients > 0);
+    let ids: Vec<ClientId> = (0..config.num_clients)
+        .map(|i| ClientId::new(format!("c{i}")).unwrap())
+        .collect();
+
+    // Systems drift per round; network links are rebuilt each round (link
+    // occupancy does not carry over: rounds are serialized).
+    let mut systems: HashMap<ClientId, ClientSystem> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            let spec = if config.system_mix.is_empty() {
+                config.system.clone()
+            } else {
+                config.system_mix[i % config.system_mix.len()].clone()
+            };
+            (
+                id.clone(),
+                ClientSystem::new(spec, config.seed ^ (i as u64) << 1),
+            )
+        })
+        .collect();
+
+    let payload_bytes =
+        ((config.model_params * 4) as f64 * config.compression_ratio).ceil() as u64;
+
+    let mut infos: Vec<ClientInfo> = ids
+        .iter()
+        .map(|id| ClientInfo {
+            id: id.clone(),
+            stats: systems[id].stats(),
+            preferred: PreferredRole::Any,
+            num_samples: config.samples_per_client as u64,
+        })
+        .collect();
+
+    let mut plan: Option<ClusterPlan> = None;
+    let mut rounds = Vec::with_capacity(config.rounds as usize);
+    let mut total = SimDuration::ZERO;
+    let mut network_bytes = 0u64;
+
+    for round in 1..=config.rounds {
+        // Role (re)arrangement with the freshest stats.
+        let ranking = config.optimizer.rank(&infos, round);
+        let new_plan = build_plan(&infos, &config.topology, &ranking, round);
+        let rearranged = match &plan {
+            Some(old) => diff_plans(old, &new_plan).len(),
+            None => new_plan.assignments.len(),
+        };
+        let breakdown = simulate_round(
+            &new_plan,
+            &systems,
+            &config,
+            payload_bytes,
+            round,
+            rearranged,
+            &mut network_bytes,
+        );
+        total += breakdown.round_span;
+        config
+            .optimizer
+            .observe_round(round, breakdown.round_span.as_secs_f64());
+        rounds.push(breakdown);
+        plan = Some(new_plan);
+
+        // Post-round: stats drift and are re-reported (paper §III.E.4).
+        if config.drift {
+            for info in &mut infos {
+                let system = systems.get_mut(&info.id).expect("known client");
+                system.drift();
+                info.stats = system.stats();
+            }
+        }
+    }
+
+    SimReport {
+        total,
+        rounds,
+        network_bytes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_round(
+    plan: &ClusterPlan,
+    systems: &HashMap<ClientId, ClientSystem>,
+    config: &SimConfig,
+    payload_bytes: u64,
+    round: u32,
+    rearranged: usize,
+    network_bytes: &mut u64,
+) -> RoundBreakdown {
+    let mut net = Network::new(config.broker_forward);
+    net.bridge_hop = config.bridge_hop;
+    let regions = config.regions.max(1);
+    for (i, assignment) in plan.assignments.iter().enumerate() {
+        let bandwidth = if config.scale_bandwidth_with_cpu {
+            let cpu = systems[&assignment.client].spec.cpu_flops;
+            config.bandwidth * (cpu / 2e9).sqrt().max(0.25)
+        } else {
+            config.bandwidth
+        };
+        net.add_node_in_region(
+            assignment.client.as_str().to_owned(),
+            NodeLink::symmetric(bandwidth, config.link_latency),
+            i as u32 % regions,
+        );
+    }
+    // The parameter server sits in region 0 with a fatter pipe.
+    net.add_node_in_region(
+        "ps",
+        NodeLink::symmetric(config.bandwidth * 4.0, config.link_latency),
+        0,
+    );
+
+    let t0 = SimTime::ZERO;
+    // Control-plane overhead: each rearranged client exchanges a small
+    // set_role/ack pair before the round opens.
+    let ctrl = SimDuration::from_millis(2 * rearranged as u64);
+    let start = t0 + ctrl;
+
+    // Phase 1: local training (fully parallel across clients).
+    let mut train_done: HashMap<&ClientId, SimTime> = HashMap::new();
+    let mut latest_train = start;
+    for a in &plan.assignments {
+        if a.spec.role.trains() {
+            let t = start
+                + systems[&a.client].training_time(
+                    config.samples_per_client,
+                    config.local_epochs,
+                    config.model_params,
+                );
+            latest_train = latest_train.max(t);
+            train_done.insert(&a.client, t);
+        }
+    }
+
+    // Client holding each position.
+    let holder_of: HashMap<Position, &ClientId> = plan
+        .assignments
+        .iter()
+        .filter_map(|a| a.spec.position.map(|p| (p, &a.client)))
+        .collect();
+
+    // Phase 2: trainers upload to their cluster head (link contention
+    // applies at the head's downlink).
+    // arrivals[position] = times each expected input became available.
+    let mut arrivals: HashMap<Position, Vec<SimTime>> = HashMap::new();
+    for a in &plan.assignments {
+        if a.spec.position.is_none() {
+            let head = holder_of[&a.spec.parent];
+            let done = net.send(
+                a.client.as_str(),
+                head.as_str(),
+                payload_bytes,
+                train_done[&a.client],
+            );
+            arrivals.entry(a.spec.parent).or_default().push(done);
+        }
+    }
+    // Aggregators' own updates are local (no transfer).
+    for a in &plan.assignments {
+        if let Some(pos) = a.spec.position {
+            if a.spec.role.trains() {
+                arrivals.entry(pos).or_default().push(train_done[&a.client]);
+            }
+        }
+    }
+
+    // Phase 3: intermediate aggregators, ordered bottom-up (intermediates
+    // then root). With two levels, intermediates complete then feed root.
+    let mut intermediate_positions: Vec<Position> = holder_of
+        .keys()
+        .copied()
+        .filter(|p| *p != Position::Root)
+        .collect();
+    intermediate_positions.sort();
+    for pos in intermediate_positions {
+        let holder = holder_of[&pos];
+        let inputs = arrivals.remove(&pos).unwrap_or_default();
+        let ready = inputs
+            .iter()
+            .copied()
+            .fold(start, SimTime::max);
+        let agg_done = ready + systems[holder].aggregation_time(inputs.len(), config.model_params);
+        let root_holder = holder_of[&Position::Root];
+        let delivered = net.send(
+            holder.as_str(),
+            root_holder.as_str(),
+            payload_bytes,
+            agg_done,
+        );
+        arrivals.entry(Position::Root).or_default().push(delivered);
+    }
+
+    // Phase 4: root aggregation and push to the parameter server.
+    let root_holder = holder_of[&Position::Root];
+    let root_inputs = arrivals.remove(&Position::Root).unwrap_or_default();
+    let root_ready = root_inputs.iter().copied().fold(start, SimTime::max);
+    let root_done =
+        root_ready + systems[root_holder].aggregation_time(root_inputs.len(), config.model_params);
+    let at_ps = net.send(root_holder.as_str(), "ps", payload_bytes, root_done);
+
+    // Phase 5: parameter server broadcasts the global model.
+    let client_names: Vec<&str> = plan.assignments.iter().map(|a| a.client.as_str()).collect();
+    let deliveries = net.broadcast("ps", &client_names, payload_bytes, at_ps);
+    let round_end = deliveries.into_iter().fold(at_ps, SimTime::max);
+
+    *network_bytes += net.total_bytes();
+
+    RoundBreakdown {
+        round,
+        train_span: latest_train.since(t0),
+        agg_span: at_ps.since(t0),
+        round_span: round_end.since(t0),
+        rearranged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{MemoryAware, StaticOrder};
+
+    fn quick(num_clients: usize, topology: Topology, optimizer: Box<dyn RoleOptimizer>) -> SimReport {
+        simulate(SimConfig {
+            optimizer,
+            rounds: 3,
+            ..SimConfig::fig8(num_clients, topology)
+        })
+    }
+
+    #[test]
+    fn produces_requested_rounds() {
+        let report = quick(5, Topology::Central, Box::new(StaticOrder));
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.total.as_secs_f64() > 0.0);
+        assert!(report.network_bytes > 0);
+        // Phases are ordered within a round.
+        for r in &report.rounds {
+            assert!(r.train_span <= r.agg_span);
+            assert!(r.agg_span <= r.round_span);
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_client_count() {
+        let small = quick(5, Topology::Central, Box::new(StaticOrder));
+        let large = quick(20, Topology::Central, Box::new(StaticOrder));
+        assert!(
+            large.total > small.total,
+            "central delay must grow with N: {} vs {}",
+            small.total,
+            large.total
+        );
+    }
+
+    #[test]
+    fn hierarchical_beats_central_at_scale() {
+        // The Fig. 8 claim: at larger client counts, single-point
+        // aggregation costs more than hierarchical.
+        let topo = Topology::Hierarchical {
+            aggregator_ratio: 0.3,
+        };
+        let hier = quick(20, topo, Box::new(MemoryAware));
+        let central = quick(20, Topology::Central, Box::new(MemoryAware));
+        assert!(
+            hier.total < central.total,
+            "hierarchical {} vs central {}",
+            hier.total,
+            central.total
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(8, Topology::Central, Box::new(StaticOrder));
+        let b = quick(8, Topology::Central, Box::new(StaticOrder));
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    #[test]
+    fn first_round_assigns_everyone() {
+        let report = quick(6, Topology::Central, Box::new(StaticOrder));
+        assert_eq!(report.rounds[0].rearranged, 6);
+        // Static optimizer: later rounds change nothing.
+        assert_eq!(report.rounds[1].rearranged, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests: clustering invariants and aggregation laws.
+
+use proptest::prelude::*;
+use sdflmq_core::{
+    build_plan, diff_plans, AggregationMethod, ClientId, ClientInfo, CoordinateMedian, FedAvg,
+    PreferredRole, Topology, TrimmedMean,
+};
+use sdflmq_sim::SystemStats;
+
+fn fleet(n: usize) -> Vec<ClientInfo> {
+    (0..n)
+        .map(|i| ClientInfo {
+            id: ClientId::new(format!("c{i}")).unwrap(),
+            stats: SystemStats {
+                free_memory: 1 << 28,
+                available_flops: 1e9,
+                memory_utilization: 0.5,
+            },
+            preferred: PreferredRole::Any,
+            num_samples: 100,
+        })
+        .collect()
+}
+
+fn ranking(n: usize, rotate: usize) -> Vec<ClientId> {
+    let mut ids: Vec<ClientId> = (0..n)
+        .map(|i| ClientId::new(format!("c{i}")).unwrap())
+        .collect();
+    ids.rotate_left(rotate % n.max(1));
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Structural invariants hold for every fleet size and ratio:
+    /// * every client appears exactly once;
+    /// * exactly one root;
+    /// * the expected-input ledger balances: inputs expected across all
+    ///   aggregators == trainers' uploads + intermediate forwards.
+    #[test]
+    fn plan_invariants(
+        n in 1usize..60,
+        ratio in 0.05f64..0.95,
+        rotate in 0usize..60,
+        central in prop::bool::ANY,
+    ) {
+        let topo = if central {
+            Topology::Central
+        } else {
+            Topology::Hierarchical { aggregator_ratio: ratio }
+        };
+        let clients = fleet(n);
+        let plan = build_plan(&clients, &topo, &ranking(n, rotate), 1);
+
+        prop_assert_eq!(plan.assignments.len(), n, "everyone assigned once");
+        let mut seen = std::collections::HashSet::new();
+        for a in &plan.assignments {
+            prop_assert!(seen.insert(a.client.clone()), "duplicate assignment");
+        }
+        let roots = plan
+            .assignments
+            .iter()
+            .filter(|a| a.spec.is_root())
+            .count();
+        prop_assert_eq!(roots, 1, "exactly one root");
+
+        let total_expected: u32 = plan
+            .assignments
+            .iter()
+            .map(|a| a.spec.expected_inputs)
+            .sum();
+        let trainers = plan
+            .assignments
+            .iter()
+            .filter(|a| a.spec.role.trains())
+            .count() as u32;
+        let forwards = plan
+            .assignments
+            .iter()
+            .filter(|a| a.spec.position.is_some() && !a.spec.is_root())
+            .count() as u32;
+        prop_assert_eq!(total_expected, trainers + forwards, "input ledger balances");
+    }
+
+    /// Diffing a plan against itself (any round relabeling) is empty, and
+    /// every reported change is a genuine difference.
+    #[test]
+    fn diff_soundness(
+        n in 2usize..40,
+        ratio in 0.1f64..0.6,
+        rotate in 0usize..40,
+    ) {
+        let topo = Topology::Hierarchical { aggregator_ratio: ratio };
+        let clients = fleet(n);
+        let plan1 = build_plan(&clients, &topo, &ranking(n, 0), 1);
+        let plan1_next = build_plan(&clients, &topo, &ranking(n, 0), 2);
+        prop_assert!(diff_plans(&plan1, &plan1_next).is_empty());
+
+        let plan2 = build_plan(&clients, &topo, &ranking(n, rotate), 2);
+        for (client, sdflmq_core::clustering::PlanChange::Set(spec)) in
+            diff_plans(&plan1, &plan2)
+        {
+            let mut old = *plan1.spec_of(&client).unwrap();
+            old.round = spec.round;
+            prop_assert_ne!(old, spec, "change for {} is real", client);
+        }
+    }
+
+    /// FedAvg output is coordinate-wise within the min/max envelope of its
+    /// inputs (convex combination) and exact for identical inputs.
+    #[test]
+    fn fedavg_convexity(
+        vectors in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 4),
+            1..8,
+        ),
+        weights in prop::collection::vec(1u64..1000, 8),
+    ) {
+        let inputs: Vec<(&[f32], u64)> = vectors
+            .iter()
+            .zip(&weights)
+            .map(|(v, w)| (v.as_slice(), *w))
+            .collect();
+        let out = FedAvg.aggregate(&inputs).unwrap();
+        for j in 0..4 {
+            let lo = inputs.iter().map(|(v, _)| v[j]).fold(f32::INFINITY, f32::min);
+            let hi = inputs.iter().map(|(v, _)| v[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[j] >= lo - 1e-3 && out[j] <= hi + 1e-3,
+                "coordinate {j}: {} outside [{lo}, {hi}]", out[j]);
+        }
+    }
+
+    /// Median and trimmed-mean tolerate a strict minority of arbitrarily
+    /// corrupted inputs: the output stays within the honest envelope.
+    #[test]
+    fn robust_methods_bound_poison(
+        honest in prop::collection::vec(-1.0f32..1.0, 3..9),
+        poison_value in prop::num::f32::NORMAL,
+    ) {
+        let n = honest.len();
+        let poisoned = n / 3; // strict minority for median
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                if i < poisoned {
+                    vec![poison_value.clamp(-1e20, 1e20)]
+                } else {
+                    vec![honest[i]]
+                }
+            })
+            .collect();
+        let inputs: Vec<(&[f32], u64)> =
+            vectors.iter().map(|v| (v.as_slice(), 1)).collect();
+
+        let median = CoordinateMedian.aggregate(&inputs).unwrap();
+        prop_assert!(median[0] >= -1.0 - 1e-4 && median[0] <= 1.0 + 1e-4,
+            "median {} left the honest envelope", median[0]);
+
+        if poisoned > 0 && n >= 5 {
+            let trim = TrimmedMean::new(0.34);
+            let trimmed = trim.aggregate(&inputs).unwrap();
+            prop_assert!(trimmed[0].is_finite());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Virtual-time simulator laws
+// ---------------------------------------------------------------------
+
+use sdflmq_core::{simulate, SimConfig, StaticOrder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Central-topology delay is monotone in client count (the Fig. 8
+    /// mechanism), and every round's phases are ordered.
+    #[test]
+    fn sim_delay_monotone_in_clients(n in 2usize..24) {
+        let run = |clients: usize| {
+            simulate(SimConfig {
+                optimizer: Box::new(StaticOrder),
+                rounds: 2,
+                ..SimConfig::fig8(clients, Topology::Central)
+            })
+        };
+        let small = run(n);
+        let large = run(n + 4);
+        prop_assert!(large.total >= small.total,
+            "delay must grow with N: {} vs {}", small.total, large.total);
+        for r in &large.rounds {
+            prop_assert!(r.train_span <= r.agg_span);
+            prop_assert!(r.agg_span <= r.round_span);
+        }
+    }
+
+    /// The simulation is a pure function of its config.
+    #[test]
+    fn sim_is_deterministic(n in 2usize..16, seed in any::<u64>()) {
+        let run = || {
+            simulate(SimConfig {
+                optimizer: Box::new(StaticOrder),
+                rounds: 2,
+                seed,
+                ..SimConfig::fig8(n, Topology::Hierarchical { aggregator_ratio: 0.3 })
+            })
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.total, b.total);
+        prop_assert_eq!(a.network_bytes, b.network_bytes);
+    }
+}

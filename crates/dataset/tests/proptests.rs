@@ -1,0 +1,85 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use proptest::prelude::*;
+use sdflmq_dataset::{partition, Split, SynthDigits, IMG_PIXELS, NUM_CLASSES};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated pixel is a valid intensity, and labels are in range,
+    /// for arbitrary seeds and offsets.
+    #[test]
+    fn samples_are_well_formed(
+        seed in any::<u64>(),
+        offset in 0usize..10_000,
+        count in 1usize..30,
+    ) {
+        let ds = SynthDigits::new(seed).generate_range(Split::Train, offset, count);
+        prop_assert_eq!(ds.len(), count);
+        prop_assert_eq!(ds.images.len(), count * IMG_PIXELS);
+        prop_assert!(ds.images.iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(ds.labels.iter().all(|&l| l < NUM_CLASSES));
+    }
+
+    /// Generation is a pure function of (seed, split, index): regenerating
+    /// any sub-range reproduces the identical bytes.
+    #[test]
+    fn generation_is_stateless(
+        seed in any::<u64>(),
+        offset in 0usize..100,
+        count in 2usize..20,
+    ) {
+        let gen = SynthDigits::new(seed);
+        let full = gen.generate_range(Split::Train, offset, count);
+        let half = gen.generate_range(Split::Train, offset + count / 2, count - count / 2);
+        prop_assert_eq!(
+            &full.images[(count / 2) * IMG_PIXELS..],
+            &half.images[..]
+        );
+    }
+
+    /// IID partitions are disjoint and exactly sized for any valid shape.
+    #[test]
+    fn iid_partitions_are_disjoint(
+        clients in 1usize..10,
+        per_client in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let total = clients * per_client + 17;
+        let parts = partition::iid(total, clients, per_client, seed);
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            prop_assert_eq!(p.len(), per_client);
+            for &i in p {
+                prop_assert!(i < total);
+                prop_assert!(seen.insert(i), "index {} duplicated", i);
+            }
+        }
+    }
+
+    /// Shard and Dirichlet partitions assign every sample exactly once.
+    #[test]
+    fn full_partitions_cover_exactly_once(
+        clients in 2usize..8,
+        samples_per_class in 4usize..20,
+        alpha in 0.1f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let labels: Vec<usize> =
+            (0..samples_per_class * NUM_CLASSES).map(|i| i % NUM_CLASSES).collect();
+
+        for parts in [
+            partition::shards(&labels, clients, 2, seed),
+            partition::dirichlet(&labels, clients, alpha, seed),
+        ] {
+            let mut seen = vec![false; labels.len()];
+            for p in &parts {
+                for &i in p {
+                    prop_assert!(!seen[i], "index {} duplicated", i);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "every sample assigned");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Broker bridging.
+//!
+//! A bridge connects two brokers so that topics published on one are
+//! re-published on the other, letting SDFLMQ regionalize clusters: clients
+//! connect only to their region's broker yet contribute to an FL session
+//! spanning regions (paper §III.F, Fig. 2).
+//!
+//! Implementation: the bridge opens one client connection to each broker
+//! using a [`crate::broker::BRIDGE_PREFIX`] client id. For every configured
+//! topic it subscribes on the source side and re-publishes on the other.
+//! Loop prevention relies on the broker's bridge rule — a message is never
+//! echoed back to the bridge connection it arrived from — which makes any
+//! *acyclic* bridge topology (chains, trees) safe. Do not bridge brokers
+//! into a cycle; this mirrors the deployment constraint of production MQTT
+//! bridges such as mosquitto's.
+
+use crate::broker::{Broker, BRIDGE_PREFIX};
+use crate::client::{Client, ClientOptions};
+use crate::error::Result;
+use crate::packet::QoS;
+use crate::topic::TopicFilter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Direction of topic flow, from the perspective of the *local* broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeDirection {
+    /// Remote → local.
+    In,
+    /// Local → remote.
+    Out,
+    /// Both directions.
+    Both,
+}
+
+/// One bridged topic rule.
+#[derive(Debug, Clone)]
+pub struct BridgeTopic {
+    /// Which topics flow across.
+    pub filter: TopicFilter,
+    /// Flow direction.
+    pub direction: BridgeDirection,
+    /// QoS used for the cross-broker leg.
+    pub qos: QoS,
+}
+
+impl BridgeTopic {
+    /// Bridges `filter` in both directions at QoS 0.
+    pub fn both(filter: TopicFilter) -> Self {
+        BridgeTopic {
+            filter,
+            direction: BridgeDirection::Both,
+            qos: QoS::AtMostOnce,
+        }
+    }
+}
+
+/// Bridge configuration.
+#[derive(Debug, Clone)]
+pub struct BridgeConfig {
+    /// Unique bridge name (appears in the bridge's client ids).
+    pub name: String,
+    /// Topic rules.
+    pub topics: Vec<BridgeTopic>,
+}
+
+impl BridgeConfig {
+    /// A bridge named `name` that mirrors everything (`#`) both ways.
+    pub fn mirror_all(name: impl Into<String>) -> Self {
+        BridgeConfig {
+            name: name.into(),
+            topics: vec![BridgeTopic::both(TopicFilter::new("#").unwrap())],
+        }
+    }
+}
+
+/// Counters for one bridge instance.
+#[derive(Debug, Default)]
+pub struct BridgeStats {
+    /// Messages forwarded local → remote.
+    pub forwarded_out: AtomicU64,
+    /// Messages forwarded remote → local.
+    pub forwarded_in: AtomicU64,
+}
+
+/// A running bridge. Dropping it tears the bridge down (both client
+/// connections disconnect gracefully).
+pub struct Bridge {
+    local: Client,
+    remote: Client,
+    stats: Arc<BridgeStats>,
+    name: String,
+}
+
+impl std::fmt::Debug for Bridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bridge").field("name", &self.name).finish()
+    }
+}
+
+impl Bridge {
+    /// Establishes a bridge between two brokers.
+    pub fn establish(local: &Broker, remote: &Broker, config: BridgeConfig) -> Result<Bridge> {
+        let local_client = Client::connect(
+            local,
+            ClientOptions::new(format!("{BRIDGE_PREFIX}{}/local", config.name)),
+        )?;
+        let remote_client = Client::connect(
+            remote,
+            ClientOptions::new(format!("{BRIDGE_PREFIX}{}/remote", config.name)),
+        )?;
+        let stats = Arc::new(BridgeStats::default());
+
+        for rule in &config.topics {
+            if matches!(rule.direction, BridgeDirection::Out | BridgeDirection::Both) {
+                let forward_to = remote_client.clone();
+                let qos = rule.qos;
+                let stats_out = Arc::clone(&stats);
+                local_client.subscribe_with(
+                    &rule.filter,
+                    rule.qos,
+                    Arc::new(move |p| {
+                        if forward_to
+                            .publish(&p.topic, p.payload.clone(), qos, p.retain)
+                            .is_ok()
+                        {
+                            stats_out.forwarded_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }),
+                )?;
+            }
+            if matches!(rule.direction, BridgeDirection::In | BridgeDirection::Both) {
+                let forward_to = local_client.clone();
+                let qos = rule.qos;
+                let stats_in = Arc::clone(&stats);
+                remote_client.subscribe_with(
+                    &rule.filter,
+                    rule.qos,
+                    Arc::new(move |p| {
+                        if forward_to
+                            .publish(&p.topic, p.payload.clone(), qos, p.retain)
+                            .is_ok()
+                        {
+                            stats_in.forwarded_in.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }),
+                )?;
+            }
+        }
+
+        Ok(Bridge {
+            local: local_client,
+            remote: remote_client,
+            stats,
+            name: config.name,
+        })
+    }
+
+    /// The bridge's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Forwarding counters.
+    pub fn stats(&self) -> &Arc<BridgeStats> {
+        &self.stats
+    }
+
+    /// Gracefully disconnects both legs.
+    pub fn teardown(self) {
+        let _ = self.local.disconnect();
+        let _ = self.remote.disconnect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::packet::QoS;
+    use crate::topic::TopicName;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    fn broker(name: &str) -> Broker {
+        Broker::start(BrokerConfig {
+            name: name.into(),
+            ..BrokerConfig::default()
+        })
+    }
+
+    #[test]
+    fn messages_cross_the_bridge_both_ways() {
+        let a = broker("a");
+        let b = broker("b");
+        let _bridge = Bridge::establish(&a, &b, BridgeConfig::mirror_all("ab")).unwrap();
+
+        let sub_b = Client::connect(&b, ClientOptions::new("sub-b")).unwrap();
+        sub_b.subscribe_str("x/#", QoS::AtMostOnce).unwrap();
+        let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
+        pub_a
+            .publish(&TopicName::new("x/1").unwrap(), b"ab".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        let got = sub_b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"ab"));
+
+        let sub_a = Client::connect(&a, ClientOptions::new("sub-a")).unwrap();
+        sub_a.subscribe_str("y/#", QoS::AtMostOnce).unwrap();
+        let pub_b = Client::connect(&b, ClientOptions::new("pub-b")).unwrap();
+        pub_b
+            .publish(&TopicName::new("y/1").unwrap(), b"ba".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        let got = sub_a.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"ba"));
+    }
+
+    #[test]
+    fn no_echo_loop_on_two_way_bridge() {
+        let a = broker("a");
+        let b = broker("b");
+        let bridge = Bridge::establish(&a, &b, BridgeConfig::mirror_all("ab")).unwrap();
+
+        let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
+        pub_a
+            .publish(
+                &TopicName::new("loop/test").unwrap(),
+                b"once".as_slice(),
+                QoS::AtMostOnce,
+                false,
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        // The message crossed exactly once, never back.
+        assert_eq!(bridge.stats().forwarded_out.load(Ordering::Relaxed), 1);
+        assert_eq!(bridge.stats().forwarded_in.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn directional_rules_respected() {
+        let a = broker("a");
+        let b = broker("b");
+        let _bridge = Bridge::establish(
+            &a,
+            &b,
+            BridgeConfig {
+                name: "oneway".into(),
+                topics: vec![BridgeTopic {
+                    filter: TopicFilter::new("tele/#").unwrap(),
+                    direction: BridgeDirection::Out,
+                    qos: QoS::AtMostOnce,
+                }],
+            },
+        )
+        .unwrap();
+
+        // Out direction works.
+        let sub_b = Client::connect(&b, ClientOptions::new("sub-b")).unwrap();
+        sub_b.subscribe_str("tele/#", QoS::AtMostOnce).unwrap();
+        let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
+        pub_a
+            .publish_str("tele/1", b"out".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        assert!(sub_b.recv_timeout(Duration::from_secs(2)).is_ok());
+
+        // In direction is not bridged.
+        let sub_a = Client::connect(&a, ClientOptions::new("sub-a")).unwrap();
+        sub_a.subscribe_str("tele/#", QoS::AtMostOnce).unwrap();
+        let pub_b = Client::connect(&b, ClientOptions::new("pub-b")).unwrap();
+        pub_b
+            .publish_str("tele/2", b"in".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        assert!(sub_a.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn three_broker_chain_propagates() {
+        let a = broker("a");
+        let b = broker("b");
+        let c = broker("c");
+        let _ab = Bridge::establish(&a, &b, BridgeConfig::mirror_all("ab")).unwrap();
+        let _bc = Bridge::establish(&b, &c, BridgeConfig::mirror_all("bc")).unwrap();
+
+        let sub_c = Client::connect(&c, ClientOptions::new("sub-c")).unwrap();
+        sub_c.subscribe_str("chain/#", QoS::AtMostOnce).unwrap();
+        let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
+        pub_a
+            .publish_str("chain/msg", b"far".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        let got = sub_c.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"far"));
+    }
+
+    #[test]
+    fn retained_messages_propagate_with_flag() {
+        let a = broker("a");
+        let b = broker("b");
+        let _bridge = Bridge::establish(&a, &b, BridgeConfig::mirror_all("ab")).unwrap();
+
+        let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
+        pub_a
+            .publish_str("cfg/x", b"v".as_slice(), QoS::AtLeastOnce, true)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        // A late subscriber on B sees the retained copy.
+        let sub_b = Client::connect(&b, ClientOptions::new("late-b")).unwrap();
+        sub_b.subscribe_str("cfg/#", QoS::AtMostOnce).unwrap();
+        let got = sub_b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"v"));
+        assert!(got.retain);
+    }
+}

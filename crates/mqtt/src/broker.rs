@@ -1,0 +1,1116 @@
+//! The embedded MQTT broker.
+//!
+//! Architecture: one event-loop thread owns *all* broker state (sessions,
+//! subscription trie, retained store) and consumes a single MPSC event
+//! channel. Each accepted connection gets a lightweight reader thread that
+//! decodes frames off its link and forwards them as events. This is the
+//! message-passing design the concurrency guides recommend: no shared
+//! mutable state, no lock ordering, and the loop is trivially deterministic
+//! with respect to its event order.
+//!
+//! Bridge connections (client ids beginning with [`BRIDGE_PREFIX`]) receive
+//! special treatment: messages they publish are never echoed back to them,
+//! which is the loop-prevention rule that makes acyclic broker bridging safe
+//! (see [`crate::bridge`]).
+
+use crate::codec;
+use crate::error::{ConnectReturnCode, MqttError, Result};
+use crate::packet::*;
+use crate::retained::RetainedStore;
+use crate::session::{InflightOut, QueuedMessage, Session};
+use crate::stats::{BrokerCounters, BrokerStatsSnapshot};
+use crate::topic::TopicName;
+use crate::transport::{link, FrameSender, LinkEnd};
+use crate::trie::SubscriptionTrie;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Client-id prefix identifying bridge connections.
+pub const BRIDGE_PREFIX: &str = "$bridge/";
+
+/// Broker configuration.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Human-readable broker name (used in traces and bridge ids).
+    pub name: String,
+    /// Cap on per-session offline message queues.
+    pub max_queued_per_session: usize,
+    /// Keep-alive grace multiplier (spec says 1.5).
+    pub keepalive_grace: f64,
+    /// How often the loop checks keep-alive expiry.
+    pub tick_interval: Duration,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            name: "broker".to_owned(),
+            max_queued_per_session: 1024,
+            keepalive_grace: 1.5,
+            tick_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Unique id of one transport connection.
+pub type ConnId = u64;
+
+enum Event {
+    NewConnection(LinkEnd),
+    Incoming(ConnId, Packet),
+    ConnClosed(ConnId),
+    Tick,
+    Shutdown,
+}
+
+/// A running broker. Dropping the handle shuts the broker down.
+pub struct Broker {
+    tx: Sender<Event>,
+    counters: Arc<BrokerCounters>,
+    name: String,
+    loop_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker").field("name", &self.name).finish()
+    }
+}
+
+impl Broker {
+    /// Starts a broker with the default configuration.
+    pub fn start_default() -> Broker {
+        Broker::start(BrokerConfig::default())
+    }
+
+    /// Starts a broker thread with the given configuration.
+    pub fn start(config: BrokerConfig) -> Broker {
+        let (tx, rx) = unbounded();
+        let counters = Arc::new(BrokerCounters::default());
+        let name = config.name.clone();
+
+        // Ticker thread: drives keep-alive expiry. Exits when the loop drops
+        // its receiver.
+        let tick_tx = tx.clone();
+        let tick_interval = config.tick_interval;
+        std::thread::Builder::new()
+            .name(format!("{name}-ticker"))
+            .spawn(move || {
+                while tick_tx.send(Event::Tick).is_ok() {
+                    std::thread::sleep(tick_interval);
+                }
+            })
+            .expect("spawn ticker");
+
+        let loop_counters = Arc::clone(&counters);
+        let loop_tx = tx.clone();
+        let loop_handle = std::thread::Builder::new()
+            .name(format!("{name}-loop"))
+            .spawn(move || {
+                let mut core = BrokerCore::new(config, loop_counters, loop_tx);
+                core.run(rx);
+            })
+            .expect("spawn broker loop");
+
+        Broker {
+            tx,
+            counters,
+            name,
+            loop_handle: Some(loop_handle),
+        }
+    }
+
+    /// The broker's configured name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Opens a new transport connection to this broker and returns the
+    /// client-side link end. The caller then speaks MQTT over it (or hands
+    /// it to [`crate::client::Client`]).
+    pub fn connect_transport(&self) -> Result<LinkEnd> {
+        let (client_end, broker_end) = link();
+        self.tx
+            .send(Event::NewConnection(broker_end))
+            .map_err(|_| MqttError::BrokerUnavailable)?;
+        Ok(client_end)
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> BrokerStatsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Requests shutdown and waits for the loop thread to finish.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(h) = self.loop_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ConnState {
+    link: FrameSender,
+    client_id: Option<String>,
+    is_bridge: bool,
+    keep_alive: u16,
+    last_activity: Instant,
+    will: Option<LastWill>,
+    graceful: bool,
+}
+
+struct BrokerCore {
+    config: BrokerConfig,
+    counters: Arc<BrokerCounters>,
+    event_tx: Sender<Event>,
+    next_conn_id: ConnId,
+    conns: HashMap<ConnId, ConnState>,
+    /// client id → live connection.
+    by_client: HashMap<String, ConnId>,
+    /// client id → session (present for connected and parked sessions).
+    sessions: HashMap<String, Session>,
+    /// Subscriptions keyed by client id; payload is the granted QoS.
+    trie: SubscriptionTrie<String, QoS>,
+    retained: RetainedStore,
+}
+
+impl BrokerCore {
+    fn new(config: BrokerConfig, counters: Arc<BrokerCounters>, event_tx: Sender<Event>) -> Self {
+        BrokerCore {
+            config,
+            counters,
+            event_tx,
+            next_conn_id: 1,
+            conns: HashMap::new(),
+            by_client: HashMap::new(),
+            sessions: HashMap::new(),
+            trie: SubscriptionTrie::new(),
+            retained: RetainedStore::new(),
+        }
+    }
+
+    fn run(&mut self, rx: Receiver<Event>) {
+        while let Ok(event) = rx.recv() {
+            match event {
+                Event::NewConnection(end) => self.on_new_connection(end),
+                Event::Incoming(conn, packet) => self.on_packet(conn, packet),
+                Event::ConnClosed(conn) => self.on_conn_closed(conn),
+                Event::Tick => self.on_tick(),
+                Event::Shutdown => break,
+            }
+        }
+        // Close every link so clients observe disconnection.
+        self.conns.clear();
+    }
+
+    fn on_new_connection(&mut self, end: LinkEnd) {
+        let conn_id = self.next_conn_id;
+        self.next_conn_id += 1;
+        let (sender_half, reader_end) = end.split();
+        let event_tx = self.event_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("{}-reader-{conn_id}", self.config.name))
+            .spawn(move || {
+                loop {
+                    match reader_end.recv_frame() {
+                        Ok(frame) => {
+                            let mut rest: Bytes = frame;
+                            // A frame may carry several back-to-back packets.
+                            loop {
+                                match codec::decode(&rest) {
+                                    Ok((packet, used)) => {
+                                        if event_tx.send(Event::Incoming(conn_id, packet)).is_err()
+                                        {
+                                            return;
+                                        }
+                                        if used >= rest.len() {
+                                            break;
+                                        }
+                                        rest = rest.slice(used..);
+                                    }
+                                    Err(_) => {
+                                        let _ = event_tx.send(Event::ConnClosed(conn_id));
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            let _ = event_tx.send(Event::ConnClosed(conn_id));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn reader");
+        self.conns.insert(
+            conn_id,
+            ConnState {
+                link: sender_half,
+                client_id: None,
+                is_bridge: false,
+                keep_alive: 0,
+                last_activity: Instant::now(),
+                will: None,
+                graceful: false,
+            },
+        );
+        BrokerCounters::bump(&self.counters.connections_total);
+        BrokerCounters::bump(&self.counters.connections_current);
+    }
+
+    fn on_packet(&mut self, conn_id: ConnId, packet: Packet) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // already closed
+        };
+        conn.last_activity = Instant::now();
+        match packet {
+            Packet::Connect(c) => self.on_connect(conn_id, c),
+            Packet::Publish(p) => self.on_publish(conn_id, p),
+            Packet::Puback(id) => self.on_puback(conn_id, id),
+            Packet::Pubrec(id) => self.on_pubrec(conn_id, id),
+            Packet::Pubrel(id) => self.on_pubrel(conn_id, id),
+            Packet::Pubcomp(id) => self.on_pubcomp(conn_id, id),
+            Packet::Subscribe(s) => self.on_subscribe(conn_id, s),
+            Packet::Unsubscribe(u) => self.on_unsubscribe(conn_id, u),
+            Packet::Pingreq => {
+                self.send_to_conn(conn_id, &Packet::Pingresp);
+            }
+            Packet::Disconnect => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.graceful = true;
+                    conn.will = None;
+                }
+                self.on_conn_closed(conn_id);
+            }
+            // Server-to-client packets arriving at the broker are protocol
+            // violations; drop the connection.
+            Packet::Connack(_) | Packet::Suback(_) | Packet::Unsuback(_) | Packet::Pingresp => {
+                self.on_conn_closed(conn_id);
+            }
+        }
+    }
+
+    fn on_connect(&mut self, conn_id: ConnId, c: Connect) {
+        if c.client_id.is_empty() {
+            self.send_to_conn(
+                conn_id,
+                &Packet::Connack(Connack {
+                    session_present: false,
+                    code: ConnectReturnCode::IdentifierRejected,
+                }),
+            );
+            self.on_conn_closed(conn_id);
+            return;
+        }
+
+        // Session takeover: disconnect any live connection with this id.
+        if let Some(&old) = self.by_client.get(&c.client_id) {
+            if old != conn_id {
+                self.on_conn_closed(old);
+            }
+        }
+
+        let session_present = if c.clean_session {
+            // Fresh session: purge stored state and subscriptions.
+            if self.sessions.remove(&c.client_id).is_some() {
+                self.counters.sessions_current.fetch_sub(1, Ordering::Relaxed);
+            }
+            let removed = self.trie.unsubscribe_all(&c.client_id);
+            self.counters
+                .subscriptions_current
+                .fetch_sub(removed as u64, Ordering::Relaxed);
+            false
+        } else {
+            self.sessions.contains_key(&c.client_id)
+        };
+
+        if !self.sessions.contains_key(&c.client_id) {
+            self.sessions.insert(
+                c.client_id.clone(),
+                Session::new(
+                    c.client_id.clone(),
+                    c.clean_session,
+                    self.config.max_queued_per_session,
+                ),
+            );
+            BrokerCounters::bump(&self.counters.sessions_current);
+        } else if let Some(s) = self.sessions.get_mut(&c.client_id) {
+            s.clean = c.clean_session;
+        }
+
+        let is_bridge = c.client_id.starts_with(BRIDGE_PREFIX);
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.client_id = Some(c.client_id.clone());
+            conn.is_bridge = is_bridge;
+            conn.keep_alive = c.keep_alive;
+            conn.will = c.will;
+        }
+        self.by_client.insert(c.client_id.clone(), conn_id);
+
+        self.send_to_conn(
+            conn_id,
+            &Packet::Connack(Connack {
+                session_present,
+                code: ConnectReturnCode::Accepted,
+            }),
+        );
+
+        // Replay: queued offline messages, then unacknowledged inflight.
+        if session_present {
+            self.replay_session(conn_id, &c.client_id);
+        }
+    }
+
+    fn replay_session(&mut self, conn_id: ConnId, client_id: &str) {
+        let Some(session) = self.sessions.get_mut(client_id) else {
+            return;
+        };
+        let queued = session.drain_queued();
+        let inflight = session.take_inflight();
+        self.counters
+            .queued_current
+            .fetch_sub(queued.len() as u64, Ordering::Relaxed);
+        for msg in queued {
+            self.deliver(client_id.to_owned(), msg.topic, msg.payload, msg.qos, false);
+        }
+        for (_, inflight_msg) in inflight {
+            // Retransmit with a fresh id and DUP=1.
+            let Some(session) = self.sessions.get_mut(client_id) else {
+                return;
+            };
+            let id = session.alloc_packet_id();
+            session.inflight_out.insert(
+                id,
+                InflightOut {
+                    topic: inflight_msg.topic.clone(),
+                    payload: inflight_msg.payload.clone(),
+                    qos: inflight_msg.qos,
+                    retain: inflight_msg.retain,
+                    released: false,
+                },
+            );
+            self.send_to_conn(
+                conn_id,
+                &Packet::Publish(Publish {
+                    dup: true,
+                    qos: inflight_msg.qos,
+                    retain: inflight_msg.retain,
+                    topic: inflight_msg.topic,
+                    packet_id: Some(id),
+                    payload: inflight_msg.payload,
+                }),
+            );
+            BrokerCounters::bump(&self.counters.publishes_out);
+        }
+    }
+
+    fn on_publish(&mut self, conn_id: ConnId, p: Publish) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if conn.client_id.is_none() {
+            // PUBLISH before CONNECT: protocol violation.
+            self.on_conn_closed(conn_id);
+            return;
+        }
+        let client_id = conn.client_id.clone().unwrap();
+        let is_bridge = conn.is_bridge;
+
+        BrokerCounters::bump(&self.counters.publishes_in);
+        BrokerCounters::add(&self.counters.payload_bytes_in, p.payload.len() as u64);
+        if is_bridge {
+            BrokerCounters::bump(&self.counters.bridge_in);
+        }
+
+        match p.qos {
+            QoS::AtMostOnce => self.route(&p, conn_id, is_bridge),
+            QoS::AtLeastOnce => {
+                let id = p.packet_id.unwrap_or(0);
+                self.route(&p, conn_id, is_bridge);
+                self.send_to_conn(conn_id, &Packet::Puback(id));
+            }
+            QoS::ExactlyOnce => {
+                let id = p.packet_id.unwrap_or(0);
+                let fresh = self
+                    .sessions
+                    .get_mut(&client_id)
+                    .map(|s| s.inbound_qos2.insert(id))
+                    .unwrap_or(true);
+                if fresh {
+                    // Method A: route on first receipt, dedupe duplicates.
+                    self.route(&p, conn_id, is_bridge);
+                }
+                self.send_to_conn(conn_id, &Packet::Pubrec(id));
+            }
+        }
+    }
+
+    /// Routes a publish to every matching subscriber and updates the
+    /// retained store.
+    fn route(&mut self, p: &Publish, origin: ConnId, origin_is_bridge: bool) {
+        if p.retain {
+            let had = self.retained.len();
+            self.retained.apply(p);
+            let now = self.retained.len();
+            match now.cmp(&had) {
+                std::cmp::Ordering::Greater => {
+                    BrokerCounters::bump(&self.counters.retained_current);
+                }
+                std::cmp::Ordering::Less => {
+                    self.counters.retained_current.fetch_sub(1, Ordering::Relaxed);
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+
+        // Dedupe overlapping subscriptions per client, keeping max QoS.
+        let mut targets: HashMap<String, QoS> = HashMap::new();
+        for (client, granted) in self.trie.matches(&p.topic) {
+            targets
+                .entry(client.clone())
+                .and_modify(|q| *q = (*q).max(*granted))
+                .or_insert(*granted);
+        }
+
+        for (client, granted) in targets {
+            // Loop prevention: never echo a bridge's own message back.
+            if origin_is_bridge {
+                if let Some(&target_conn) = self.by_client.get(&client) {
+                    if target_conn == origin {
+                        continue;
+                    }
+                }
+            }
+            let qos = p.qos.min(granted);
+            // Forwarded messages carry retain=0 for established subs, with
+            // one exception: bridge connections keep the flag so retained
+            // state propagates across brokers (mosquitto behaves the same).
+            let retain_out = p.retain && client.starts_with(BRIDGE_PREFIX);
+            self.deliver(client, p.topic.clone(), p.payload.clone(), qos, retain_out);
+        }
+    }
+
+    /// Delivers one message to one client (live) or queues it (parked
+    /// persistent session).
+    fn deliver(&mut self, client: String, topic: TopicName, payload: Bytes, qos: QoS, retain: bool) {
+        match self.by_client.get(&client) {
+            Some(&conn_id) if self.conns.contains_key(&conn_id) => {
+                let packet_id = if qos == QoS::AtMostOnce {
+                    None
+                } else {
+                    let Some(session) = self.sessions.get_mut(&client) else {
+                        return;
+                    };
+                    let id = session.alloc_packet_id();
+                    session.inflight_out.insert(
+                        id,
+                        InflightOut {
+                            topic: topic.clone(),
+                            payload: payload.clone(),
+                            qos,
+                            retain,
+                            released: false,
+                        },
+                    );
+                    Some(id)
+                };
+                self.send_to_conn(
+                    conn_id,
+                    &Packet::Publish(Publish {
+                        dup: false,
+                        qos,
+                        retain,
+                        topic,
+                        packet_id,
+                        payload,
+                    }),
+                );
+                BrokerCounters::bump(&self.counters.publishes_out);
+            }
+            _ => {
+                // Parked session: queue QoS>0; drop QoS 0 per spec latitude.
+                let Some(session) = self.sessions.get_mut(&client) else {
+                    BrokerCounters::bump(&self.counters.dropped);
+                    return;
+                };
+                if qos == QoS::AtMostOnce || session.clean {
+                    BrokerCounters::bump(&self.counters.dropped);
+                } else {
+                    let intact = session.queue_message(QueuedMessage { topic, payload, qos });
+                    BrokerCounters::bump(&self.counters.queued_current);
+                    if !intact {
+                        BrokerCounters::bump(&self.counters.dropped);
+                        self.counters.queued_current.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    fn session_of_conn(&mut self, conn_id: ConnId) -> Option<&mut Session> {
+        let client = self.conns.get(&conn_id)?.client_id.clone()?;
+        self.sessions.get_mut(&client)
+    }
+
+    fn on_puback(&mut self, conn_id: ConnId, id: PacketId) {
+        if let Some(session) = self.session_of_conn(conn_id) {
+            session.inflight_out.remove(&id);
+        }
+    }
+
+    fn on_pubrec(&mut self, conn_id: ConnId, id: PacketId) {
+        if let Some(session) = self.session_of_conn(conn_id) {
+            if let Some(inflight) = session.inflight_out.get_mut(&id) {
+                inflight.released = true;
+            }
+        }
+        self.send_to_conn(conn_id, &Packet::Pubrel(id));
+    }
+
+    fn on_pubrel(&mut self, conn_id: ConnId, id: PacketId) {
+        if let Some(session) = self.session_of_conn(conn_id) {
+            session.inbound_qos2.remove(&id);
+        }
+        self.send_to_conn(conn_id, &Packet::Pubcomp(id));
+    }
+
+    fn on_pubcomp(&mut self, conn_id: ConnId, id: PacketId) {
+        if let Some(session) = self.session_of_conn(conn_id) {
+            session.inflight_out.remove(&id);
+        }
+    }
+
+    fn on_subscribe(&mut self, conn_id: ConnId, s: Subscribe) {
+        let Some(client_id) = self.conns.get(&conn_id).and_then(|c| c.client_id.clone()) else {
+            self.on_conn_closed(conn_id);
+            return;
+        };
+        let mut codes = Vec::with_capacity(s.filters.len());
+        let mut replays: Vec<(TopicName, Bytes, QoS)> = Vec::new();
+        for (filter, requested) in &s.filters {
+            // The embedded broker grants every valid filter at the
+            // requested QoS (codec already validated syntax).
+            let granted = *requested;
+            let new = self.trie.subscribe(filter, client_id.clone(), granted);
+            if new {
+                BrokerCounters::bump(&self.counters.subscriptions_current);
+            }
+            if let Some(session) = self.sessions.get_mut(&client_id) {
+                session.subscriptions.insert(filter.clone(), granted);
+            }
+            codes.push(SubackCode::Granted(granted));
+            for (topic, retained) in self.retained.matching(filter) {
+                replays.push((topic, retained.payload, retained.qos.min(granted)));
+            }
+        }
+        self.send_to_conn(
+            conn_id,
+            &Packet::Suback(Suback {
+                packet_id: s.packet_id,
+                return_codes: codes,
+            }),
+        );
+        for (topic, payload, qos) in replays {
+            // Retained replays carry retain=1.
+            self.deliver(client_id.clone(), topic, payload, qos, true);
+        }
+    }
+
+    fn on_unsubscribe(&mut self, conn_id: ConnId, u: Unsubscribe) {
+        let Some(client_id) = self.conns.get(&conn_id).and_then(|c| c.client_id.clone()) else {
+            self.on_conn_closed(conn_id);
+            return;
+        };
+        for filter in &u.filters {
+            if self.trie.unsubscribe(filter, &client_id) {
+                self.counters.subscriptions_current.fetch_sub(1, Ordering::Relaxed);
+            }
+            if let Some(session) = self.sessions.get_mut(&client_id) {
+                session.subscriptions.remove(filter);
+            }
+        }
+        self.send_to_conn(conn_id, &Packet::Unsuback(u.packet_id));
+    }
+
+    fn on_conn_closed(&mut self, conn_id: ConnId) {
+        let Some(conn) = self.conns.remove(&conn_id) else {
+            return;
+        };
+        self.counters.connections_current.fetch_sub(1, Ordering::Relaxed);
+
+        let will = if conn.graceful { None } else { conn.will.clone() };
+
+        if let Some(client_id) = conn.client_id {
+            if self.by_client.get(&client_id) == Some(&conn_id) {
+                self.by_client.remove(&client_id);
+            }
+            let clean = self
+                .sessions
+                .get(&client_id)
+                .map(|s| s.clean)
+                .unwrap_or(true);
+            if clean {
+                if self.sessions.remove(&client_id).is_some() {
+                    self.counters.sessions_current.fetch_sub(1, Ordering::Relaxed);
+                }
+                let removed = self.trie.unsubscribe_all(&client_id);
+                self.counters
+                    .subscriptions_current
+                    .fetch_sub(removed as u64, Ordering::Relaxed);
+            }
+        }
+
+        if let Some(will) = will {
+            let publish = Publish {
+                dup: false,
+                qos: will.qos,
+                retain: will.retain,
+                topic: will.topic,
+                packet_id: None,
+                payload: will.payload,
+            };
+            // conn_id is gone, so origin-echo suppression is a no-op here.
+            self.route(&publish, conn_id, false);
+        }
+    }
+
+    fn on_tick(&mut self) {
+        if self.conns.is_empty() {
+            return;
+        }
+        let grace = self.config.keepalive_grace;
+        let expired: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.keep_alive > 0
+                    && c.last_activity.elapsed()
+                        > Duration::from_secs_f64(c.keep_alive as f64 * grace)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            BrokerCounters::bump(&self.counters.keepalive_timeouts);
+            self.on_conn_closed(id);
+        }
+    }
+
+    fn send_to_conn(&mut self, conn_id: ConnId, packet: &Packet) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if let Packet::Publish(p) = packet {
+            BrokerCounters::add(&self.counters.payload_bytes_out, p.payload.len() as u64);
+        }
+        if conn.link.send_packet(packet).is_err() {
+            self.on_conn_closed(conn_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicFilter;
+    use std::time::Duration;
+
+    /// Minimal raw-packet client for exercising the broker without the
+    /// full `Client` machinery.
+    struct RawClient {
+        link: LinkEnd,
+    }
+
+    impl RawClient {
+        fn connect(broker: &Broker, id: &str, clean: bool) -> RawClient {
+            Self::connect_full(broker, id, clean, 0, None)
+        }
+
+        fn connect_full(
+            broker: &Broker,
+            id: &str,
+            clean: bool,
+            keep_alive: u16,
+            will: Option<LastWill>,
+        ) -> RawClient {
+            let link = broker.connect_transport().unwrap();
+            link.send_packet(&Packet::Connect(Connect {
+                client_id: id.to_owned(),
+                clean_session: clean,
+                keep_alive,
+                will,
+            }))
+            .unwrap();
+            match link.recv_packet_timeout(Duration::from_secs(2)).unwrap() {
+                Packet::Connack(c) => assert_eq!(c.code, ConnectReturnCode::Accepted),
+                other => panic!("expected connack, got {other:?}"),
+            }
+            RawClient { link }
+        }
+
+        fn subscribe(&self, filter: &str, qos: QoS) {
+            self.link
+                .send_packet(&Packet::Subscribe(Subscribe {
+                    packet_id: 1,
+                    filters: vec![(TopicFilter::new(filter).unwrap(), qos)],
+                }))
+                .unwrap();
+            match self.recv() {
+                Packet::Suback(_) => {}
+                other => panic!("expected suback, got {other:?}"),
+            }
+        }
+
+        fn publish(&self, topic: &str, payload: &[u8], qos: QoS, retain: bool) {
+            let packet_id = if qos == QoS::AtMostOnce { None } else { Some(9) };
+            self.link
+                .send_packet(&Packet::Publish(Publish {
+                    dup: false,
+                    qos,
+                    retain,
+                    topic: TopicName::new(topic).unwrap(),
+                    packet_id,
+                    payload: Bytes::from(payload.to_vec()),
+                }))
+                .unwrap();
+        }
+
+        fn recv(&self) -> Packet {
+            self.link.recv_packet_timeout(Duration::from_secs(2)).unwrap()
+        }
+
+        fn expect_publish(&self) -> Publish {
+            loop {
+                match self.recv() {
+                    Packet::Publish(p) => return p,
+                    Packet::Puback(_) | Packet::Pubrec(_) | Packet::Pubcomp(_) => continue,
+                    other => panic!("expected publish, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qos0_pubsub_roundtrip() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("a/b", QoS::AtMostOnce);
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("a/b", b"hi", QoS::AtMostOnce, false);
+        let got = sub.expect_publish();
+        assert_eq!(got.topic.as_str(), "a/b");
+        assert_eq!(got.payload, Bytes::from_static(b"hi"));
+        assert_eq!(got.qos, QoS::AtMostOnce);
+    }
+
+    #[test]
+    fn qos1_gets_puback_and_delivery() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("t", QoS::AtLeastOnce);
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"x", QoS::AtLeastOnce, false);
+        match publ.recv() {
+            Packet::Puback(9) => {}
+            other => panic!("expected puback(9), got {other:?}"),
+        }
+        let got = sub.expect_publish();
+        assert_eq!(got.qos, QoS::AtLeastOnce);
+        assert!(got.packet_id.is_some());
+    }
+
+    #[test]
+    fn qos2_full_handshake_no_duplicates() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("t", QoS::ExactlyOnce);
+        let publ = RawClient::connect(&broker, "pub", true);
+
+        publ.publish("t", b"x", QoS::ExactlyOnce, false);
+        match publ.recv() {
+            Packet::Pubrec(9) => {}
+            other => panic!("expected pubrec, got {other:?}"),
+        }
+        // Duplicate publish with the same id must not be re-routed.
+        publ.publish("t", b"x", QoS::ExactlyOnce, false);
+        match publ.recv() {
+            Packet::Pubrec(9) => {}
+            other => panic!("expected pubrec, got {other:?}"),
+        }
+        publ.link.send_packet(&Packet::Pubrel(9)).unwrap();
+        match publ.recv() {
+            Packet::Pubcomp(9) => {}
+            other => panic!("expected pubcomp, got {other:?}"),
+        }
+
+        let got = sub.expect_publish();
+        assert_eq!(got.qos, QoS::ExactlyOnce);
+        // Complete the subscriber-side handshake.
+        let id = got.packet_id.unwrap();
+        sub.link.send_packet(&Packet::Pubrec(id)).unwrap();
+        match sub.recv() {
+            Packet::Pubrel(got_id) => assert_eq!(got_id, id),
+            other => panic!("expected pubrel, got {other:?}"),
+        }
+        sub.link.send_packet(&Packet::Pubcomp(id)).unwrap();
+
+        // Exactly one delivery.
+        assert_eq!(broker.stats().publishes_out, 1);
+    }
+
+    #[test]
+    fn qos_downgrade_to_subscription_grant() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("t", QoS::AtMostOnce);
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"x", QoS::AtLeastOnce, false);
+        let got = sub.expect_publish();
+        assert_eq!(got.qos, QoS::AtMostOnce, "delivery QoS = min(pub, sub)");
+    }
+
+    #[test]
+    fn retained_message_replayed_on_subscribe() {
+        let broker = Broker::start_default();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("cfg/x", b"v1", QoS::AtMostOnce, true);
+        std::thread::sleep(Duration::from_millis(50));
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("cfg/#", QoS::AtMostOnce);
+        let got = sub.expect_publish();
+        assert!(got.retain, "retained replay sets the retain flag");
+        assert_eq!(got.payload, Bytes::from_static(b"v1"));
+    }
+
+    #[test]
+    fn empty_retained_clears() {
+        let broker = Broker::start_default();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("cfg/x", b"v1", QoS::AtMostOnce, true);
+        publ.publish("cfg/x", b"", QoS::AtMostOnce, true);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.stats().retained_current, 0);
+    }
+
+    #[test]
+    fn persistent_session_queues_while_offline() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", false);
+        sub.subscribe("t", QoS::AtLeastOnce);
+        drop(sub); // goes offline; session persists
+        std::thread::sleep(Duration::from_millis(50));
+
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"while-away", QoS::AtLeastOnce, false);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.stats().queued_current, 1);
+
+        // Reconnect without clean: message is replayed.
+        let link = broker.connect_transport().unwrap();
+        link.send_packet(&Packet::Connect(Connect {
+            client_id: "sub".into(),
+            clean_session: false,
+            keep_alive: 0,
+            will: None,
+        }))
+        .unwrap();
+        match link.recv_packet_timeout(Duration::from_secs(2)).unwrap() {
+            Packet::Connack(c) => assert!(c.session_present),
+            other => panic!("expected connack, got {other:?}"),
+        }
+        match link.recv_packet_timeout(Duration::from_secs(2)).unwrap() {
+            Packet::Publish(p) => assert_eq!(p.payload, Bytes::from_static(b"while-away")),
+            other => panic!("expected publish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_session_discards_state() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", false);
+        sub.subscribe("t", QoS::AtLeastOnce);
+        drop(sub);
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Reconnect with clean=true: no session, no subscriptions.
+        let link = broker.connect_transport().unwrap();
+        link.send_packet(&Packet::Connect(Connect {
+            client_id: "sub".into(),
+            clean_session: true,
+            keep_alive: 0,
+            will: None,
+        }))
+        .unwrap();
+        match link.recv_packet_timeout(Duration::from_secs(2)).unwrap() {
+            Packet::Connack(c) => assert!(!c.session_present),
+            other => panic!("expected connack, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.stats().subscriptions_current, 0);
+    }
+
+    #[test]
+    fn last_will_published_on_ungraceful_drop() {
+        let broker = Broker::start_default();
+        let watcher = RawClient::connect(&broker, "watcher", true);
+        watcher.subscribe("status/+", QoS::AtMostOnce);
+        let doomed = RawClient::connect_full(
+            &broker,
+            "doomed",
+            true,
+            0,
+            Some(LastWill {
+                topic: TopicName::new("status/doomed").unwrap(),
+                payload: Bytes::from_static(b"offline"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+            }),
+        );
+        drop(doomed); // ungraceful: no DISCONNECT sent
+        let got = watcher.expect_publish();
+        assert_eq!(got.topic.as_str(), "status/doomed");
+        assert_eq!(got.payload, Bytes::from_static(b"offline"));
+    }
+
+    #[test]
+    fn graceful_disconnect_suppresses_will() {
+        let broker = Broker::start_default();
+        let watcher = RawClient::connect(&broker, "watcher", true);
+        watcher.subscribe("status/+", QoS::AtMostOnce);
+        let polite = RawClient::connect_full(
+            &broker,
+            "polite",
+            true,
+            0,
+            Some(LastWill {
+                topic: TopicName::new("status/polite").unwrap(),
+                payload: Bytes::from_static(b"offline"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+            }),
+        );
+        polite.link.send_packet(&Packet::Disconnect).unwrap();
+        drop(polite);
+        // No will should arrive.
+        assert!(watcher
+            .link
+            .recv_packet_timeout(Duration::from_millis(200))
+            .is_err());
+    }
+
+    #[test]
+    fn session_takeover_disconnects_old() {
+        let broker = Broker::start_default();
+        let first = RawClient::connect(&broker, "dup", true);
+        let _second = RawClient::connect(&broker, "dup", true);
+        std::thread::sleep(Duration::from_millis(50));
+        // The first connection's link is now closed by the broker.
+        assert_eq!(broker.stats().connections_current, 1);
+        // Receiving on the first link eventually errors (channel closed).
+        let r = first.link.recv_packet_timeout(Duration::from_millis(200));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn keepalive_expiry_drops_connection() {
+        let broker = Broker::start(BrokerConfig {
+            tick_interval: Duration::from_millis(20),
+            ..BrokerConfig::default()
+        });
+        let _quiet = RawClient::connect_full(&broker, "quiet", true, 1, None);
+        // 1s keepalive * 1.5 grace = 1.5s until expiry.
+        std::thread::sleep(Duration::from_millis(1700));
+        assert_eq!(broker.stats().connections_current, 0);
+        assert_eq!(broker.stats().keepalive_timeouts, 1);
+    }
+
+    #[test]
+    fn pingreq_keeps_connection_alive() {
+        let broker = Broker::start(BrokerConfig {
+            tick_interval: Duration::from_millis(20),
+            ..BrokerConfig::default()
+        });
+        let client = RawClient::connect_full(&broker, "alive", true, 1, None);
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(500));
+            client.link.send_packet(&Packet::Pingreq).unwrap();
+            match client.recv() {
+                Packet::Pingresp => {}
+                other => panic!("expected pingresp, got {other:?}"),
+            }
+        }
+        assert_eq!(broker.stats().connections_current, 1);
+    }
+
+    #[test]
+    fn fanout_to_many_subscribers() {
+        let broker = Broker::start_default();
+        let subs: Vec<RawClient> = (0..10)
+            .map(|i| {
+                let c = RawClient::connect(&broker, &format!("sub{i}"), true);
+                c.subscribe("fan/+", QoS::AtMostOnce);
+                c
+            })
+            .collect();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("fan/1", b"data", QoS::AtMostOnce, false);
+        for sub in &subs {
+            assert_eq!(sub.expect_publish().payload, Bytes::from_static(b"data"));
+        }
+        let stats = broker.stats();
+        assert_eq!(stats.publishes_in, 1);
+        assert_eq!(stats.publishes_out, 10);
+        assert!((stats.fanout_ratio() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn publish_before_connect_drops_connection() {
+        let broker = Broker::start_default();
+        let link = broker.connect_transport().unwrap();
+        link.send_packet(&Packet::Publish(Publish::simple(
+            TopicName::new("t").unwrap(),
+            b"x".to_vec(),
+        )))
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.stats().connections_current, 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let broker = Broker::start_default();
+        let sub = RawClient::connect(&broker, "sub", true);
+        sub.subscribe("t", QoS::AtMostOnce);
+        sub.link
+            .send_packet(&Packet::Unsubscribe(Unsubscribe {
+                packet_id: 2,
+                filters: vec![TopicFilter::new("t").unwrap()],
+            }))
+            .unwrap();
+        match sub.recv() {
+            Packet::Unsuback(2) => {}
+            other => panic!("expected unsuback, got {other:?}"),
+        }
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"x", QoS::AtMostOnce, false);
+        assert!(sub
+            .link
+            .recv_packet_timeout(Duration::from_millis(200))
+            .is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! High-level MQTT client.
+//!
+//! The client owns three threads:
+//!
+//! * a **reader** that decodes frames, answers protocol handshakes
+//!   (PUBACK/PUBREC/PUBREL/PUBCOMP), resolves pending operation waiters, and
+//!   forwards application messages to the dispatcher;
+//! * a **dispatcher** that runs registered topic handlers — kept off the
+//!   reader thread so a handler may itself publish (even QoS 1/2) without
+//!   deadlocking the acknowledgement path;
+//! * an optional **pinger** that emits PINGREQ at half the keep-alive
+//!   interval.
+//!
+//! Messages that match no registered handler land in a default inbox
+//! readable via [`Client::recv_timeout`].
+
+use crate::broker::Broker;
+use crate::codec;
+use crate::error::{ConnectReturnCode, MqttError, Result};
+use crate::packet::*;
+use crate::topic::{TopicFilter, TopicName};
+use crate::transport::{FrameSender, LinkEnd};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handler invoked for each message matching a subscription filter.
+pub type MessageHandler = Arc<dyn Fn(&Publish) + Send + Sync>;
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct ClientOptions {
+    /// Unique client identifier.
+    pub client_id: String,
+    /// Discard session state on connect/disconnect.
+    pub clean_session: bool,
+    /// Keep-alive interval in seconds (0 disables pinging).
+    pub keep_alive: u16,
+    /// Optional last-will registration.
+    pub will: Option<LastWill>,
+    /// How long blocking operations wait for broker acknowledgements.
+    pub response_timeout: Duration,
+}
+
+impl ClientOptions {
+    /// Sensible defaults for an id: clean session, no keep-alive, 5 s acks.
+    pub fn new(client_id: impl Into<String>) -> Self {
+        ClientOptions {
+            client_id: client_id.into(),
+            clean_session: true,
+            keep_alive: 0,
+            will: None,
+            response_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct Pending {
+    tx: Sender<Packet>,
+}
+
+struct Inner {
+    sender: FrameSender,
+    client_id: String,
+    connected: AtomicBool,
+    response_timeout: Duration,
+    /// Waiters for QoS publish acks, keyed by packet id.
+    pending_pub: Mutex<HashMap<PacketId, Pending>>,
+    /// Waiters for SUBACK/UNSUBACK, keyed by packet id.
+    pending_sub: Mutex<HashMap<PacketId, Pending>>,
+    /// Inbound QoS 2 messages held until PUBREL.
+    inbound_qos2: Mutex<HashMap<PacketId, Publish>>,
+    /// Registered (filter, handler) pairs, scanned per delivery.
+    handlers: RwLock<Vec<(TopicFilter, MessageHandler)>>,
+    /// Default inbox for messages with no matching handler.
+    inbox_tx: Sender<Publish>,
+    /// Packet id allocator.
+    next_id: Mutex<PacketId>,
+    /// Dispatch queue feeding the handler thread.
+    dispatch_tx: Sender<Publish>,
+}
+
+impl Inner {
+    fn alloc_id(&self) -> PacketId {
+        let mut next = self.next_id.lock();
+        let pending = self.pending_pub.lock();
+        for _ in 0..=u16::MAX {
+            let id = *next;
+            *next = next.wrapping_add(1);
+            if *next == 0 {
+                *next = 1;
+            }
+            if id != 0 && !pending.contains_key(&id) {
+                return id;
+            }
+        }
+        1
+    }
+}
+
+/// A connected MQTT client. Clone-cheap (`Arc` inside).
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+    inbox_rx: Receiver<Publish>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("client_id", &self.inner.client_id)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to a broker and completes the CONNECT/CONNACK handshake.
+    pub fn connect(broker: &Broker, options: ClientOptions) -> Result<Client> {
+        let link = broker.connect_transport()?;
+        Client::connect_link(link, options)
+    }
+
+    /// Connects over an already-established transport link (used by bridges
+    /// and tests that interpose on the transport).
+    pub fn connect_link(link: LinkEnd, options: ClientOptions) -> Result<Client> {
+        if options.client_id.is_empty() {
+            return Err(MqttError::InvalidClientId(options.client_id));
+        }
+        let (sender, receiver) = link.split();
+        sender.send_packet(&Packet::Connect(Connect {
+            client_id: options.client_id.clone(),
+            clean_session: options.clean_session,
+            keep_alive: options.keep_alive,
+            will: options.will.clone(),
+        }))?;
+        // Handshake runs synchronously before the reader thread exists.
+        let connack = loop {
+            let frame = receiver.recv_frame_timeout(options.response_timeout)?;
+            let (packet, _) = codec::decode(&frame)?;
+            match packet {
+                Packet::Connack(c) => break c,
+                _ => continue,
+            }
+        };
+        if connack.code != ConnectReturnCode::Accepted {
+            return Err(MqttError::ConnectionRefused(connack.code));
+        }
+
+        let (inbox_tx, inbox_rx) = unbounded();
+        let (dispatch_tx, dispatch_rx) = unbounded::<Publish>();
+        let inner = Arc::new(Inner {
+            sender,
+            client_id: options.client_id.clone(),
+            connected: AtomicBool::new(true),
+            response_timeout: options.response_timeout,
+            pending_pub: Mutex::new(HashMap::new()),
+            pending_sub: Mutex::new(HashMap::new()),
+            inbound_qos2: Mutex::new(HashMap::new()),
+            handlers: RwLock::new(Vec::new()),
+            inbox_tx,
+            next_id: Mutex::new(1),
+            dispatch_tx,
+        });
+
+        // Dispatcher thread: runs handlers off the reader thread.
+        let dispatch_inner = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name(format!("{}-dispatch", options.client_id))
+            .spawn(move || {
+                while let Ok(publish) = dispatch_rx.recv() {
+                    let Some(inner) = dispatch_inner.upgrade() else {
+                        return;
+                    };
+                    // Snapshot matching handlers, then release the lock
+                    // before invoking them: a handler may itself subscribe
+                    // (taking the write lock) without deadlocking.
+                    let matching: Vec<MessageHandler> = {
+                        let handlers = inner.handlers.read();
+                        handlers
+                            .iter()
+                            .filter(|(filter, _)| filter.matches(&publish.topic))
+                            .map(|(_, handler)| Arc::clone(handler))
+                            .collect()
+                    };
+                    if matching.is_empty() {
+                        let _ = inner.inbox_tx.send(publish);
+                    } else {
+                        for handler in matching {
+                            handler(&publish);
+                        }
+                    }
+                }
+            })
+            .expect("spawn dispatcher");
+
+        // Reader thread: protocol handling.
+        let reader_inner = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name(format!("{}-reader", options.client_id))
+            .spawn(move || loop {
+                let frame = match receiver.recv_frame() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        if let Some(inner) = reader_inner.upgrade() {
+                            inner.connected.store(false, Ordering::Release);
+                        }
+                        return;
+                    }
+                };
+                let Some(inner) = reader_inner.upgrade() else {
+                    return;
+                };
+                let mut rest: Bytes = frame;
+                loop {
+                    let (packet, used) = match codec::decode(&rest) {
+                        Ok(ok) => ok,
+                        Err(_) => break,
+                    };
+                    Self::handle_packet(&inner, packet);
+                    if used >= rest.len() {
+                        break;
+                    }
+                    rest = rest.slice(used..);
+                }
+            })
+            .expect("spawn reader");
+
+        // Pinger thread.
+        if options.keep_alive > 0 {
+            let ping_inner = Arc::downgrade(&inner);
+            let interval = Duration::from_secs_f64((options.keep_alive as f64 / 2.0).max(0.1));
+            std::thread::Builder::new()
+                .name(format!("{}-pinger", options.client_id))
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    let Some(inner) = ping_inner.upgrade() else {
+                        return;
+                    };
+                    if !inner.connected.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if inner.sender.send_packet(&Packet::Pingreq).is_err() {
+                        inner.connected.store(false, Ordering::Release);
+                        return;
+                    }
+                })
+                .expect("spawn pinger");
+        }
+
+        Ok(Client { inner, inbox_rx })
+    }
+
+    fn handle_packet(inner: &Arc<Inner>, packet: Packet) {
+        match packet {
+            Packet::Publish(p) => match p.qos {
+                QoS::AtMostOnce => {
+                    let _ = inner.dispatch_tx.send(p);
+                }
+                QoS::AtLeastOnce => {
+                    let id = p.packet_id.unwrap_or(0);
+                    let _ = inner.dispatch_tx.send(p);
+                    let _ = inner.sender.send_packet(&Packet::Puback(id));
+                }
+                QoS::ExactlyOnce => {
+                    let id = p.packet_id.unwrap_or(0);
+                    // Hold until PUBREL; replacing an existing entry
+                    // implements duplicate suppression.
+                    inner.inbound_qos2.lock().insert(id, p);
+                    let _ = inner.sender.send_packet(&Packet::Pubrec(id));
+                }
+            },
+            Packet::Pubrel(id) => {
+                if let Some(p) = inner.inbound_qos2.lock().remove(&id) {
+                    let _ = inner.dispatch_tx.send(p);
+                }
+                let _ = inner.sender.send_packet(&Packet::Pubcomp(id));
+            }
+            Packet::Puback(id) | Packet::Pubcomp(id) => {
+                let waiter = inner.pending_pub.lock().remove(&id);
+                if let Some(w) = waiter {
+                    let _ = w.tx.send(if matches!(packet, Packet::Puback(_)) {
+                        Packet::Puback(id)
+                    } else {
+                        Packet::Pubcomp(id)
+                    });
+                }
+            }
+            Packet::Pubrec(id) => {
+                // Forward the intermediate ack to the waiter but keep the
+                // entry: PUBCOMP arrives later.
+                let guard = inner.pending_pub.lock();
+                if let Some(w) = guard.get(&id) {
+                    let _ = w.tx.send(Packet::Pubrec(id));
+                }
+                drop(guard);
+                let _ = inner.sender.send_packet(&Packet::Pubrel(id));
+            }
+            Packet::Suback(s) => {
+                let waiter = inner.pending_sub.lock().remove(&s.packet_id);
+                if let Some(w) = waiter {
+                    let _ = w.tx.send(Packet::Suback(s));
+                }
+            }
+            Packet::Unsuback(id) => {
+                let waiter = inner.pending_sub.lock().remove(&id);
+                if let Some(w) = waiter {
+                    let _ = w.tx.send(Packet::Unsuback(id));
+                }
+            }
+            Packet::Pingresp => {}
+            // Broker-bound packets should never arrive here; ignore.
+            _ => {}
+        }
+    }
+
+    /// The client identifier.
+    pub fn client_id(&self) -> &str {
+        &self.inner.client_id
+    }
+
+    /// True while the transport is up.
+    pub fn is_connected(&self) -> bool {
+        self.inner.connected.load(Ordering::Acquire)
+    }
+
+    /// Publishes a message. Blocks until the QoS handshake completes
+    /// (QoS 0 returns immediately after the frame is sent).
+    pub fn publish(
+        &self,
+        topic: &TopicName,
+        payload: impl Into<Bytes>,
+        qos: QoS,
+        retain: bool,
+    ) -> Result<()> {
+        self.ensure_connected()?;
+        match qos {
+            QoS::AtMostOnce => self.inner.sender.send_packet(&Packet::Publish(Publish {
+                dup: false,
+                qos,
+                retain,
+                topic: topic.clone(),
+                packet_id: None,
+                payload: payload.into(),
+            })),
+            QoS::AtLeastOnce => {
+                let id = self.inner.alloc_id();
+                let rx = self.register_pub_waiter(id);
+                self.inner.sender.send_packet(&Packet::Publish(Publish {
+                    dup: false,
+                    qos,
+                    retain,
+                    topic: topic.clone(),
+                    packet_id: Some(id),
+                    payload: payload.into(),
+                }))?;
+                match self.await_ack(&rx, id)? {
+                    Packet::Puback(_) => Ok(()),
+                    other => Err(unexpected(other)),
+                }
+            }
+            QoS::ExactlyOnce => {
+                let id = self.inner.alloc_id();
+                let rx = self.register_pub_waiter(id);
+                self.inner.sender.send_packet(&Packet::Publish(Publish {
+                    dup: false,
+                    qos,
+                    retain,
+                    topic: topic.clone(),
+                    packet_id: Some(id),
+                    payload: payload.into(),
+                }))?;
+                match self.await_ack(&rx, id)? {
+                    Packet::Pubrec(_) => {}
+                    other => return Err(unexpected(other)),
+                }
+                match self.await_ack(&rx, id)? {
+                    Packet::Pubcomp(_) => Ok(()),
+                    other => Err(unexpected(other)),
+                }
+            }
+        }
+    }
+
+    /// Publishes to a topic given as a string (validated here).
+    pub fn publish_str(
+        &self,
+        topic: &str,
+        payload: impl Into<Bytes>,
+        qos: QoS,
+        retain: bool,
+    ) -> Result<()> {
+        self.publish(&TopicName::new(topic)?, payload, qos, retain)
+    }
+
+    /// Subscribes to a filter; messages with no registered handler go to
+    /// the default inbox. Returns the granted QoS.
+    pub fn subscribe(&self, filter: &TopicFilter, qos: QoS) -> Result<QoS> {
+        self.ensure_connected()?;
+        let id = self.inner.alloc_id();
+        let (tx, rx) = bounded(2);
+        self.inner.pending_sub.lock().insert(id, Pending { tx });
+        self.inner.sender.send_packet(&Packet::Subscribe(Subscribe {
+            packet_id: id,
+            filters: vec![(filter.clone(), qos)],
+        }))?;
+        let ack = rx
+            .recv_timeout(self.inner.response_timeout)
+            .map_err(|_| MqttError::Timeout)?;
+        match ack {
+            Packet::Suback(s) => match s.return_codes.first() {
+                Some(SubackCode::Granted(granted)) => Ok(*granted),
+                _ => Err(MqttError::Malformed("subscription refused")),
+            },
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Subscribes and registers a handler invoked for every matching
+    /// message (on the dispatcher thread).
+    pub fn subscribe_with(
+        &self,
+        filter: &TopicFilter,
+        qos: QoS,
+        handler: MessageHandler,
+    ) -> Result<QoS> {
+        // Register the handler before the wire subscribe so retained
+        // replays are not lost to the default inbox.
+        self.inner
+            .handlers
+            .write()
+            .push((filter.clone(), handler));
+        self.subscribe(filter, qos)
+    }
+
+    /// Subscribes with a string filter.
+    pub fn subscribe_str(&self, filter: &str, qos: QoS) -> Result<QoS> {
+        self.subscribe(&TopicFilter::new(filter)?, qos)
+    }
+
+    /// Removes a subscription (and any handlers registered for the exact
+    /// same filter).
+    pub fn unsubscribe(&self, filter: &TopicFilter) -> Result<()> {
+        self.ensure_connected()?;
+        self.inner
+            .handlers
+            .write()
+            .retain(|(f, _)| f != filter);
+        let id = self.inner.alloc_id();
+        let (tx, rx) = bounded(2);
+        self.inner.pending_sub.lock().insert(id, Pending { tx });
+        self.inner
+            .sender
+            .send_packet(&Packet::Unsubscribe(Unsubscribe {
+                packet_id: id,
+                filters: vec![filter.clone()],
+            }))?;
+        rx.recv_timeout(self.inner.response_timeout)
+            .map_err(|_| MqttError::Timeout)?;
+        Ok(())
+    }
+
+    /// Pops one message from the default inbox, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Publish> {
+        self.inbox_rx
+            .recv_timeout(timeout)
+            .map_err(|_| MqttError::Timeout)
+    }
+
+    /// Attempts to pop one message from the default inbox without blocking.
+    pub fn try_recv(&self) -> Option<Publish> {
+        self.inbox_rx.try_recv().ok()
+    }
+
+    /// Sends a graceful DISCONNECT. The broker will drop the connection and
+    /// suppress the last will.
+    pub fn disconnect(&self) -> Result<()> {
+        self.inner.connected.store(false, Ordering::Release);
+        self.inner.sender.send_packet(&Packet::Disconnect)
+    }
+
+    fn ensure_connected(&self) -> Result<()> {
+        if self.is_connected() {
+            Ok(())
+        } else {
+            Err(MqttError::NotConnected)
+        }
+    }
+
+    fn register_pub_waiter(&self, id: PacketId) -> Receiver<Packet> {
+        let (tx, rx) = bounded(2);
+        self.inner.pending_pub.lock().insert(id, Pending { tx });
+        rx
+    }
+
+    fn await_ack(&self, rx: &Receiver<Packet>, id: PacketId) -> Result<Packet> {
+        rx.recv_timeout(self.inner.response_timeout).map_err(|_| {
+            self.inner.pending_pub.lock().remove(&id);
+            MqttError::Timeout
+        })
+    }
+}
+
+fn unexpected(p: Packet) -> MqttError {
+    let _ = p;
+    MqttError::Malformed("unexpected acknowledgement packet")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use std::sync::atomic::AtomicUsize;
+
+    fn topic(s: &str) -> TopicName {
+        TopicName::new(s).unwrap()
+    }
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+
+    #[test]
+    fn publish_subscribe_qos0() {
+        let broker = Broker::start_default();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        sub.subscribe(&filter("a/#"), QoS::AtMostOnce).unwrap();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        publ.publish(&topic("a/b"), b"hi".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        let got = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"hi"));
+    }
+
+    #[test]
+    fn publish_qos1_blocks_until_ack() {
+        let broker = Broker::start_default();
+        let c = Client::connect(&broker, ClientOptions::new("c")).unwrap();
+        // No subscriber needed: the broker still acks.
+        c.publish(&topic("t"), b"x".as_slice(), QoS::AtLeastOnce, false)
+            .unwrap();
+    }
+
+    #[test]
+    fn publish_qos2_full_handshake() {
+        let broker = Broker::start_default();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        sub.subscribe(&filter("t"), QoS::ExactlyOnce).unwrap();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        publ.publish(&topic("t"), b"once".as_slice(), QoS::ExactlyOnce, false)
+            .unwrap();
+        let got = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"once"));
+        assert_eq!(got.qos, QoS::ExactlyOnce);
+        // Exactly one copy.
+        assert!(sub.recv_timeout(Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn handlers_receive_matching_messages() {
+        let broker = Broker::start_default();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = Arc::clone(&count);
+        sub.subscribe_with(
+            &filter("evt/+"),
+            QoS::AtMostOnce,
+            Arc::new(move |p| {
+                assert!(p.topic.as_str().starts_with("evt/"));
+                count2.fetch_add(1, Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        for i in 0..5 {
+            publ.publish(
+                &topic(&format!("evt/{i}")),
+                b"e".as_slice(),
+                QoS::AtLeastOnce,
+                false,
+            )
+            .unwrap();
+        }
+        // QoS1 publish blocks on ack, so deliveries are in flight; spin.
+        for _ in 0..100 {
+            if count.load(Ordering::SeqCst) == 5 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 5);
+        // Nothing leaked to the default inbox.
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn handler_can_publish_reply_qos1() {
+        // Regression guard for the dispatcher-thread design: a handler that
+        // performs a blocking QoS1 publish must not deadlock the client.
+        let broker = Broker::start_default();
+        let responder = Client::connect(&broker, ClientOptions::new("responder")).unwrap();
+        let responder_clone = responder.clone();
+        responder
+            .subscribe_with(
+                &filter("req"),
+                QoS::AtLeastOnce,
+                Arc::new(move |_p| {
+                    responder_clone
+                        .publish(
+                            &TopicName::new("resp").unwrap(),
+                            b"pong".as_slice(),
+                            QoS::AtLeastOnce,
+                            false,
+                        )
+                        .unwrap();
+                }),
+            )
+            .unwrap();
+
+        let caller = Client::connect(&broker, ClientOptions::new("caller")).unwrap();
+        caller.subscribe(&filter("resp"), QoS::AtLeastOnce).unwrap();
+        caller
+            .publish(&topic("req"), b"ping".as_slice(), QoS::AtLeastOnce, false)
+            .unwrap();
+        let got = caller.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.payload, Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn unsubscribe_removes_handler_and_flow() {
+        let broker = Broker::start_default();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        sub.subscribe(&filter("x"), QoS::AtMostOnce).unwrap();
+        sub.unsubscribe(&filter("x")).unwrap();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        publ.publish(&topic("x"), b"gone".as_slice(), QoS::AtMostOnce, false)
+            .unwrap();
+        assert!(sub.recv_timeout(Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn empty_client_id_rejected_locally() {
+        let broker = Broker::start_default();
+        let err = Client::connect(&broker, ClientOptions::new("")).unwrap_err();
+        assert!(matches!(err, MqttError::InvalidClientId(_)));
+    }
+
+    #[test]
+    fn retained_replay_reaches_handler() {
+        let broker = Broker::start_default();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        publ.publish(&topic("cfg/a"), b"v".as_slice(), QoS::AtLeastOnce, true)
+            .unwrap();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        let (tx, rx) = bounded(1);
+        sub.subscribe_with(
+            &filter("cfg/#"),
+            QoS::AtMostOnce,
+            Arc::new(move |p| {
+                let _ = tx.send(p.payload.clone());
+            }),
+        )
+        .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Bytes::from_static(b"v")
+        );
+    }
+
+    #[test]
+    fn concurrent_publishers_unique_ids() {
+        let broker = Broker::start_default();
+        let sub = Client::connect(&broker, ClientOptions::new("sub")).unwrap();
+        sub.subscribe(&filter("load/#"), QoS::AtMostOnce).unwrap();
+        let publ = Client::connect(&broker, ClientOptions::new("pub")).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let p = publ.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    p.publish(
+                        &TopicName::new(format!("load/{t}/{i}")).unwrap(),
+                        b"d".as_slice(),
+                        QoS::AtLeastOnce,
+                        false,
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut received = 0;
+        while sub.recv_timeout(Duration::from_millis(500)).is_ok() {
+            received += 1;
+            if received == 100 {
+                break;
+            }
+        }
+        assert_eq!(received, 100);
+    }
+}

@@ -1,0 +1,606 @@
+//! MQTT 3.1.1 wire codec: fixed header with variable-length remaining-length
+//! field, UTF-8 strings with u16 length prefixes, and per-packet variable
+//! headers and payloads.
+//!
+//! The codec is allocation-conscious: encoding reserves the exact frame size
+//! up front, and decoding slices payload bytes out of the input `Bytes`
+//! without copying.
+
+use crate::error::{ConnectReturnCode, MqttError, Result};
+use crate::packet::*;
+use crate::topic::{TopicFilter, TopicName};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum value of the remaining-length field (4 varint bytes).
+pub const MAX_REMAINING_LENGTH: usize = 268_435_455;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a packet into a freshly allocated frame.
+pub fn encode(packet: &Packet) -> Result<Bytes> {
+    let mut buf = BytesMut::with_capacity(estimate_size(packet));
+    encode_into(packet, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// Encodes a packet into `buf`, appending one complete frame.
+pub fn encode_into(packet: &Packet, buf: &mut BytesMut) -> Result<()> {
+    match packet {
+        Packet::Connect(c) => encode_connect(c, buf),
+        Packet::Connack(c) => {
+            buf.put_u8(0x20);
+            buf.put_u8(2);
+            buf.put_u8(c.session_present as u8);
+            buf.put_u8(c.code as u8);
+            Ok(())
+        }
+        Packet::Publish(p) => encode_publish(p, buf),
+        Packet::Puback(id) => encode_ack(0x40, *id, buf),
+        Packet::Pubrec(id) => encode_ack(0x50, *id, buf),
+        Packet::Pubrel(id) => encode_ack(0x62, *id, buf),
+        Packet::Pubcomp(id) => encode_ack(0x70, *id, buf),
+        Packet::Subscribe(s) => encode_subscribe(s, buf),
+        Packet::Suback(s) => encode_suback(s, buf),
+        Packet::Unsubscribe(u) => encode_unsubscribe(u, buf),
+        Packet::Unsuback(id) => encode_ack(0xB0, *id, buf),
+        Packet::Pingreq => {
+            buf.put_slice(&[0xC0, 0]);
+            Ok(())
+        }
+        Packet::Pingresp => {
+            buf.put_slice(&[0xD0, 0]);
+            Ok(())
+        }
+        Packet::Disconnect => {
+            buf.put_slice(&[0xE0, 0]);
+            Ok(())
+        }
+    }
+}
+
+fn estimate_size(packet: &Packet) -> usize {
+    match packet {
+        Packet::Publish(p) => 7 + p.topic.as_str().len() + p.payload.len(),
+        Packet::Connect(c) => {
+            16 + c.client_id.len()
+                + c.will
+                    .as_ref()
+                    .map(|w| 4 + w.topic.as_str().len() + w.payload.len())
+                    .unwrap_or(0)
+        }
+        Packet::Subscribe(s) => {
+            7 + s
+                .filters
+                .iter()
+                .map(|(f, _)| 3 + f.as_str().len())
+                .sum::<usize>()
+        }
+        Packet::Unsubscribe(u) => {
+            7 + u.filters.iter().map(|f| 2 + f.as_str().len()).sum::<usize>()
+        }
+        Packet::Suback(s) => 7 + s.return_codes.len(),
+        _ => 4,
+    }
+}
+
+fn encode_remaining_length(mut len: usize, buf: &mut BytesMut) -> Result<()> {
+    if len > MAX_REMAINING_LENGTH {
+        return Err(MqttError::RemainingLengthOverflow);
+    }
+    loop {
+        let mut byte = (len % 128) as u8;
+        len /= 128;
+        if len > 0 {
+            byte |= 0x80;
+        }
+        buf.put_u8(byte);
+        if len == 0 {
+            return Ok(());
+        }
+    }
+}
+
+fn put_string(s: &str, buf: &mut BytesMut) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn encode_ack(first_byte: u8, id: PacketId, buf: &mut BytesMut) -> Result<()> {
+    buf.put_u8(first_byte);
+    buf.put_u8(2);
+    buf.put_u16(id);
+    Ok(())
+}
+
+fn encode_connect(c: &Connect, buf: &mut BytesMut) -> Result<()> {
+    let mut flags = 0u8;
+    if c.clean_session {
+        flags |= 0x02;
+    }
+    let mut remaining = 10 + 2 + c.client_id.len();
+    if let Some(w) = &c.will {
+        flags |= 0x04 | ((w.qos as u8) << 3) | ((w.retain as u8) << 5);
+        remaining += 2 + w.topic.as_str().len() + 2 + w.payload.len();
+    }
+    buf.put_u8(0x10);
+    encode_remaining_length(remaining, buf)?;
+    put_string("MQTT", buf);
+    buf.put_u8(4); // protocol level 4 = MQTT 3.1.1
+    buf.put_u8(flags);
+    buf.put_u16(c.keep_alive);
+    put_string(&c.client_id, buf);
+    if let Some(w) = &c.will {
+        put_string(w.topic.as_str(), buf);
+        buf.put_u16(w.payload.len() as u16);
+        buf.put_slice(&w.payload);
+    }
+    Ok(())
+}
+
+fn encode_publish(p: &Publish, buf: &mut BytesMut) -> Result<()> {
+    let mut first = 0x30u8;
+    if p.dup {
+        first |= 0x08;
+    }
+    first |= (p.qos as u8) << 1;
+    if p.retain {
+        first |= 0x01;
+    }
+    let mut remaining = 2 + p.topic.as_str().len() + p.payload.len();
+    if p.qos != QoS::AtMostOnce {
+        remaining += 2;
+    }
+    buf.put_u8(first);
+    encode_remaining_length(remaining, buf)?;
+    put_string(p.topic.as_str(), buf);
+    if p.qos != QoS::AtMostOnce {
+        let id = p.packet_id.ok_or(MqttError::Malformed("QoS>0 publish without packet id"))?;
+        buf.put_u16(id);
+    }
+    buf.put_slice(&p.payload);
+    Ok(())
+}
+
+fn encode_subscribe(s: &Subscribe, buf: &mut BytesMut) -> Result<()> {
+    if s.filters.is_empty() {
+        return Err(MqttError::Malformed("SUBSCRIBE with no filters"));
+    }
+    let remaining =
+        2 + s.filters.iter().map(|(f, _)| 3 + f.as_str().len()).sum::<usize>();
+    buf.put_u8(0x82);
+    encode_remaining_length(remaining, buf)?;
+    buf.put_u16(s.packet_id);
+    for (filter, qos) in &s.filters {
+        put_string(filter.as_str(), buf);
+        buf.put_u8(*qos as u8);
+    }
+    Ok(())
+}
+
+fn encode_suback(s: &Suback, buf: &mut BytesMut) -> Result<()> {
+    buf.put_u8(0x90);
+    encode_remaining_length(2 + s.return_codes.len(), buf)?;
+    buf.put_u16(s.packet_id);
+    for code in &s.return_codes {
+        buf.put_u8(code.to_u8());
+    }
+    Ok(())
+}
+
+fn encode_unsubscribe(u: &Unsubscribe, buf: &mut BytesMut) -> Result<()> {
+    if u.filters.is_empty() {
+        return Err(MqttError::Malformed("UNSUBSCRIBE with no filters"));
+    }
+    let remaining = 2 + u.filters.iter().map(|f| 2 + f.as_str().len()).sum::<usize>();
+    buf.put_u8(0xA2);
+    encode_remaining_length(remaining, buf)?;
+    buf.put_u16(u.packet_id);
+    for filter in &u.filters {
+        put_string(filter.as_str(), buf);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decodes exactly one packet from `frame`, which must contain one complete
+/// frame (as produced by [`encode`]). Returns the packet and the number of
+/// bytes consumed, so callers can decode back-to-back frames from one buffer.
+pub fn decode(frame: &Bytes) -> Result<(Packet, usize)> {
+    let mut cur = frame.clone();
+    if cur.remaining() < 2 {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let first = cur.get_u8();
+    let remaining = decode_remaining_length(&mut cur)?;
+    if cur.remaining() < remaining {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let header_len = frame.len() - cur.remaining();
+    let mut body = cur.slice(..remaining);
+    let consumed = header_len + remaining;
+
+    let packet_type = first >> 4;
+    let flags = first & 0x0F;
+    let packet = match packet_type {
+        1 => decode_connect(&mut body)?,
+        2 => decode_connack(&mut body)?,
+        3 => decode_publish(flags, &mut body)?,
+        4 => Packet::Puback(get_u16(&mut body)?),
+        5 => Packet::Pubrec(get_u16(&mut body)?),
+        6 => {
+            if flags != 0x02 {
+                return Err(MqttError::Malformed("PUBREL flags must be 0010"));
+            }
+            Packet::Pubrel(get_u16(&mut body)?)
+        }
+        7 => Packet::Pubcomp(get_u16(&mut body)?),
+        8 => {
+            if flags != 0x02 {
+                return Err(MqttError::Malformed("SUBSCRIBE flags must be 0010"));
+            }
+            decode_subscribe(&mut body)?
+        }
+        9 => decode_suback(&mut body)?,
+        10 => {
+            if flags != 0x02 {
+                return Err(MqttError::Malformed("UNSUBSCRIBE flags must be 0010"));
+            }
+            decode_unsubscribe(&mut body)?
+        }
+        11 => Packet::Unsuback(get_u16(&mut body)?),
+        12 => Packet::Pingreq,
+        13 => Packet::Pingresp,
+        14 => Packet::Disconnect,
+        other => return Err(MqttError::UnknownPacketType(other)),
+    };
+    Ok((packet, consumed))
+}
+
+fn decode_remaining_length(buf: &mut Bytes) -> Result<usize> {
+    let mut value = 0usize;
+    let mut shift = 0u32;
+    for _ in 0..4 {
+        if !buf.has_remaining() {
+            return Err(MqttError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        value |= ((byte & 0x7F) as usize) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(MqttError::RemainingLengthOverflow)
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(MqttError::UnexpectedEof);
+    }
+    Ok(buf.get_u16())
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    let len = get_u16(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| MqttError::Malformed("invalid UTF-8 string"))
+}
+
+fn decode_connect(buf: &mut Bytes) -> Result<Packet> {
+    let proto = get_string(buf)?;
+    if proto != "MQTT" {
+        return Err(MqttError::Malformed("unknown protocol name"));
+    }
+    if !buf.has_remaining() {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let level = buf.get_u8();
+    if level != 4 {
+        return Err(MqttError::Malformed("unsupported protocol level"));
+    }
+    if !buf.has_remaining() {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let flags = buf.get_u8();
+    if flags & 0x01 != 0 {
+        return Err(MqttError::Malformed("CONNECT reserved flag set"));
+    }
+    let keep_alive = get_u16(buf)?;
+    let client_id = get_string(buf)?;
+    let will = if flags & 0x04 != 0 {
+        let topic = TopicName::new(get_string(buf)?)?;
+        let len = get_u16(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(MqttError::UnexpectedEof);
+        }
+        let payload = buf.split_to(len);
+        let qos = QoS::from_u8((flags >> 3) & 0x03)
+            .ok_or(MqttError::Malformed("invalid will QoS"))?;
+        Some(LastWill {
+            topic,
+            payload,
+            qos,
+            retain: flags & 0x20 != 0,
+        })
+    } else {
+        if flags & 0x38 != 0 {
+            return Err(MqttError::Malformed("will flags set without will"));
+        }
+        None
+    };
+    Ok(Packet::Connect(Connect {
+        client_id,
+        clean_session: flags & 0x02 != 0,
+        keep_alive,
+        will,
+    }))
+}
+
+fn decode_connack(buf: &mut Bytes) -> Result<Packet> {
+    if buf.remaining() < 2 {
+        return Err(MqttError::UnexpectedEof);
+    }
+    let ack_flags = buf.get_u8();
+    let code = buf.get_u8();
+    Ok(Packet::Connack(Connack {
+        session_present: ack_flags & 0x01 != 0,
+        code: ConnectReturnCode::from_u8(code),
+    }))
+}
+
+fn decode_publish(flags: u8, buf: &mut Bytes) -> Result<Packet> {
+    let dup = flags & 0x08 != 0;
+    let retain = flags & 0x01 != 0;
+    let qos = QoS::from_u8((flags >> 1) & 0x03).ok_or(MqttError::Malformed("QoS 3 is reserved"))?;
+    let topic = TopicName::new(get_string(buf)?)?;
+    let packet_id = if qos != QoS::AtMostOnce {
+        Some(get_u16(buf)?)
+    } else {
+        None
+    };
+    // Zero-copy: the payload is the rest of the body slice.
+    let payload = buf.split_to(buf.remaining());
+    Ok(Packet::Publish(Publish {
+        dup,
+        qos,
+        retain,
+        topic,
+        packet_id,
+        payload,
+    }))
+}
+
+fn decode_subscribe(buf: &mut Bytes) -> Result<Packet> {
+    let packet_id = get_u16(buf)?;
+    let mut filters = Vec::new();
+    while buf.has_remaining() {
+        let filter = TopicFilter::new(get_string(buf)?)?;
+        if !buf.has_remaining() {
+            return Err(MqttError::UnexpectedEof);
+        }
+        let qos = QoS::from_u8(buf.get_u8()).ok_or(MqttError::Malformed("invalid requested QoS"))?;
+        filters.push((filter, qos));
+    }
+    if filters.is_empty() {
+        return Err(MqttError::Malformed("SUBSCRIBE with no filters"));
+    }
+    Ok(Packet::Subscribe(Subscribe { packet_id, filters }))
+}
+
+fn decode_suback(buf: &mut Bytes) -> Result<Packet> {
+    let packet_id = get_u16(buf)?;
+    let mut return_codes = Vec::with_capacity(buf.remaining());
+    while buf.has_remaining() {
+        let b = buf.get_u8();
+        return_codes
+            .push(SubackCode::from_u8(b).ok_or(MqttError::Malformed("invalid SUBACK code"))?);
+    }
+    Ok(Packet::Suback(Suback {
+        packet_id,
+        return_codes,
+    }))
+}
+
+fn decode_unsubscribe(buf: &mut Bytes) -> Result<Packet> {
+    let packet_id = get_u16(buf)?;
+    let mut filters = Vec::new();
+    while buf.has_remaining() {
+        filters.push(TopicFilter::new(get_string(buf)?)?);
+    }
+    if filters.is_empty() {
+        return Err(MqttError::Malformed("UNSUBSCRIBE with no filters"));
+    }
+    Ok(Packet::Unsubscribe(Unsubscribe { packet_id, filters }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: Packet) {
+        let encoded = encode(&p).unwrap();
+        let (decoded, consumed) = decode(&encoded).unwrap();
+        assert_eq!(consumed, encoded.len(), "{} consumed all bytes", p.type_name());
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn roundtrip_simple_packets() {
+        roundtrip(Packet::Pingreq);
+        roundtrip(Packet::Pingresp);
+        roundtrip(Packet::Disconnect);
+        roundtrip(Packet::Puback(7));
+        roundtrip(Packet::Pubrec(65535));
+        roundtrip(Packet::Pubrel(1));
+        roundtrip(Packet::Pubcomp(0));
+        roundtrip(Packet::Unsuback(42));
+    }
+
+    #[test]
+    fn roundtrip_connect() {
+        roundtrip(Packet::Connect(Connect {
+            client_id: "trainer-01".into(),
+            clean_session: true,
+            keep_alive: 60,
+            will: None,
+        }));
+        roundtrip(Packet::Connect(Connect {
+            client_id: "agg".into(),
+            clean_session: false,
+            keep_alive: 0,
+            will: Some(LastWill {
+                topic: TopicName::new("sdflmq/client/agg/offline").unwrap(),
+                payload: Bytes::from_static(b"gone"),
+                qos: QoS::AtLeastOnce,
+                retain: true,
+            }),
+        }));
+    }
+
+    #[test]
+    fn roundtrip_connack() {
+        roundtrip(Packet::Connack(Connack {
+            session_present: true,
+            code: ConnectReturnCode::Accepted,
+        }));
+        roundtrip(Packet::Connack(Connack {
+            session_present: false,
+            code: ConnectReturnCode::IdentifierRejected,
+        }));
+    }
+
+    #[test]
+    fn roundtrip_publish_all_qos() {
+        for (qos, id) in [
+            (QoS::AtMostOnce, None),
+            (QoS::AtLeastOnce, Some(3)),
+            (QoS::ExactlyOnce, Some(999)),
+        ] {
+            roundtrip(Packet::Publish(Publish {
+                dup: qos != QoS::AtMostOnce,
+                qos,
+                retain: true,
+                topic: TopicName::new("sdflmq/session/s1/agg/root").unwrap(),
+                packet_id: id,
+                payload: Bytes::from(vec![0xAB; 300]),
+            }));
+        }
+    }
+
+    #[test]
+    fn roundtrip_subscribe_suback_unsubscribe() {
+        roundtrip(Packet::Subscribe(Subscribe {
+            packet_id: 11,
+            filters: vec![
+                (TopicFilter::new("a/+/c").unwrap(), QoS::AtLeastOnce),
+                (TopicFilter::new("#").unwrap(), QoS::AtMostOnce),
+            ],
+        }));
+        roundtrip(Packet::Suback(Suback {
+            packet_id: 11,
+            return_codes: vec![
+                SubackCode::Granted(QoS::AtLeastOnce),
+                SubackCode::Failure,
+            ],
+        }));
+        roundtrip(Packet::Unsubscribe(Unsubscribe {
+            packet_id: 12,
+            filters: vec![TopicFilter::new("a/+/c").unwrap()],
+        }));
+    }
+
+    #[test]
+    fn large_payload_uses_multi_byte_remaining_length() {
+        let payload = vec![0x5A; 200_000];
+        let p = Packet::Publish(Publish::simple(
+            TopicName::new("big").unwrap(),
+            payload.clone(),
+        ));
+        let encoded = encode(&p).unwrap();
+        // 3-byte varint for remaining length: frame = 1 + 3 + 2+3 + payload.
+        assert_eq!(encoded.len(), 1 + 3 + 5 + payload.len());
+        let (decoded, _) = decode(&encoded).unwrap();
+        match decoded {
+            Packet::Publish(p) => assert_eq!(p.payload.len(), 200_000),
+            other => panic!("expected publish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qos1_publish_without_id_is_rejected() {
+        let p = Packet::Publish(Publish {
+            dup: false,
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            topic: TopicName::new("x").unwrap(),
+            packet_id: None,
+            payload: Bytes::new(),
+        });
+        assert!(encode(&p).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let p = Packet::Publish(Publish::simple(
+            TopicName::new("a/b").unwrap(),
+            b"hello".to_vec(),
+        ));
+        let encoded = encode(&p).unwrap();
+        for cut in 0..encoded.len() {
+            let truncated = encoded.slice(..cut);
+            assert!(
+                decode(&truncated).is_err(),
+                "cut at {cut} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn reserved_qos3_is_rejected() {
+        // Hand-craft a PUBLISH with QoS bits = 3.
+        let mut frame = BytesMut::new();
+        frame.put_u8(0x36); // publish, qos=3
+        frame.put_u8(5);
+        frame.put_u16(1);
+        frame.put_u8(b'x');
+        frame.put_u16(0);
+        assert!(decode(&frame.freeze()).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_with_offsets() {
+        let a = encode(&Packet::Pingreq).unwrap();
+        let b = encode(&Packet::Puback(5)).unwrap();
+        let mut joined = BytesMut::new();
+        joined.put_slice(&a);
+        joined.put_slice(&b);
+        let joined = joined.freeze();
+        let (p1, n1) = decode(&joined).unwrap();
+        assert_eq!(p1, Packet::Pingreq);
+        let rest = joined.slice(n1..);
+        let (p2, n2) = decode(&rest).unwrap();
+        assert_eq!(p2, Packet::Puback(5));
+        assert_eq!(n1 + n2, joined.len());
+    }
+
+    #[test]
+    fn remaining_length_boundaries() {
+        // Boundary payload sizes around varint length changes.
+        for size in [0usize, 1, 120, 127, 128, 16_383, 16_384] {
+            let p = Packet::Publish(Publish::simple(
+                TopicName::new("t").unwrap(),
+                vec![1u8; size],
+            ));
+            roundtrip(p);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Retained message store.
+//!
+//! A PUBLISH with the retain flag replaces the stored message for its topic;
+//! an empty retained payload clears it (MQTT 3.1.1 §3.3.1.3). When a client
+//! subscribes, the broker replays every retained message whose topic matches
+//! the new filter.
+
+use crate::packet::{Publish, QoS};
+use crate::topic::{TopicFilter, TopicName};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A single retained message.
+#[derive(Debug, Clone)]
+pub struct Retained {
+    /// The retained payload.
+    pub payload: Bytes,
+    /// QoS the message was published with (caps replay QoS).
+    pub qos: QoS,
+}
+
+/// Map from topic name to its retained message.
+#[derive(Debug, Default)]
+pub struct RetainedStore {
+    messages: HashMap<TopicName, Retained>,
+}
+
+impl RetainedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained topics.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Applies a retained publish: stores it, or clears the slot if the
+    /// payload is empty. Returns true if the store changed.
+    pub fn apply(&mut self, publish: &Publish) -> bool {
+        debug_assert!(publish.retain);
+        if publish.payload.is_empty() {
+            self.messages.remove(&publish.topic).is_some()
+        } else {
+            self.messages.insert(
+                publish.topic.clone(),
+                Retained {
+                    payload: publish.payload.clone(),
+                    qos: publish.qos,
+                },
+            );
+            true
+        }
+    }
+
+    /// Returns all retained messages matching `filter`, as (topic, message)
+    /// pairs ready for replay to a fresh subscriber.
+    pub fn matching(&self, filter: &TopicFilter) -> Vec<(TopicName, Retained)> {
+        self.messages
+            .iter()
+            .filter(|(topic, _)| filter.matches(topic))
+            .map(|(topic, msg)| (topic.clone(), msg.clone()))
+            .collect()
+    }
+
+    /// Looks up the retained message for an exact topic.
+    pub fn get(&self, topic: &TopicName) -> Option<&Retained> {
+        self.messages.get(topic)
+    }
+
+    /// Clears all retained state.
+    pub fn clear(&mut self) {
+        self.messages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publish(topic: &str, payload: &[u8]) -> Publish {
+        Publish {
+            dup: false,
+            qos: QoS::AtLeastOnce,
+            retain: true,
+            topic: TopicName::new(topic).unwrap(),
+            packet_id: Some(1),
+            payload: Bytes::from(payload.to_vec()),
+        }
+    }
+
+    #[test]
+    fn stores_and_replaces() {
+        let mut store = RetainedStore::new();
+        assert!(store.apply(&publish("a/b", b"v1")));
+        assert!(store.apply(&publish("a/b", b"v2")));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get(&TopicName::new("a/b").unwrap()).unwrap().payload,
+            Bytes::from_static(b"v2")
+        );
+    }
+
+    #[test]
+    fn empty_payload_clears() {
+        let mut store = RetainedStore::new();
+        store.apply(&publish("a/b", b"v1"));
+        assert!(store.apply(&publish("a/b", b"")));
+        assert!(store.is_empty());
+        // Clearing an absent slot reports no change.
+        assert!(!store.apply(&publish("a/b", b"")));
+    }
+
+    #[test]
+    fn wildcard_replay() {
+        let mut store = RetainedStore::new();
+        store.apply(&publish("s/1/state", b"a"));
+        store.apply(&publish("s/2/state", b"b"));
+        store.apply(&publish("other", b"c"));
+        let mut hits = store.matching(&TopicFilter::new("s/+/state").unwrap());
+        hits.sort_by(|(t1, _), (t2, _)| t1.cmp(t2));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0.as_str(), "s/1/state");
+        assert_eq!(hits[1].0.as_str(), "s/2/state");
+        assert_eq!(store.matching(&TopicFilter::new("#").unwrap()).len(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Broker runtime statistics.
+//!
+//! Counters are plain atomics updated by the broker event loop and read by
+//! any thread via [`BrokerCounters::snapshot`]. All updates use `Relaxed`
+//! ordering — these are monitoring counters, not synchronization points, so
+//! no happens-before edges are required (cf. "Rust Atomics and Locks" ch. 2,
+//! Example: Statistics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters for one broker instance.
+#[derive(Debug, Default)]
+pub struct BrokerCounters {
+    /// PUBLISH packets received from clients.
+    pub publishes_in: AtomicU64,
+    /// PUBLISH packets sent to clients (fan-out counted per delivery).
+    pub publishes_out: AtomicU64,
+    /// Application payload bytes received in PUBLISH packets.
+    pub payload_bytes_in: AtomicU64,
+    /// Application payload bytes sent in PUBLISH packets.
+    pub payload_bytes_out: AtomicU64,
+    /// Currently open connections.
+    pub connections_current: AtomicU64,
+    /// Connections accepted since the broker started.
+    pub connections_total: AtomicU64,
+    /// Sessions currently stored (connected or parked).
+    pub sessions_current: AtomicU64,
+    /// Subscriptions currently stored in the trie.
+    pub subscriptions_current: AtomicU64,
+    /// Retained messages currently stored.
+    pub retained_current: AtomicU64,
+    /// Messages queued for offline persistent sessions.
+    pub queued_current: AtomicU64,
+    /// Messages dropped (queue overflow, no matching subscriber for a
+    /// will, or delivery to a vanished connection).
+    pub dropped: AtomicU64,
+    /// Connections closed due to keep-alive expiry.
+    pub keepalive_timeouts: AtomicU64,
+    /// Messages forwarded in from a bridge connection.
+    pub bridge_in: AtomicU64,
+}
+
+impl BrokerCounters {
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of every counter.
+    pub fn snapshot(&self) -> BrokerStatsSnapshot {
+        BrokerStatsSnapshot {
+            publishes_in: self.publishes_in.load(Ordering::Relaxed),
+            publishes_out: self.publishes_out.load(Ordering::Relaxed),
+            payload_bytes_in: self.payload_bytes_in.load(Ordering::Relaxed),
+            payload_bytes_out: self.payload_bytes_out.load(Ordering::Relaxed),
+            connections_current: self.connections_current.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            sessions_current: self.sessions_current.load(Ordering::Relaxed),
+            subscriptions_current: self.subscriptions_current.load(Ordering::Relaxed),
+            retained_current: self.retained_current.load(Ordering::Relaxed),
+            queued_current: self.queued_current.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
+            bridge_in: self.bridge_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`BrokerCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStatsSnapshot {
+    /// PUBLISH packets received from clients.
+    pub publishes_in: u64,
+    /// PUBLISH packets sent to clients.
+    pub publishes_out: u64,
+    /// Payload bytes received.
+    pub payload_bytes_in: u64,
+    /// Payload bytes sent.
+    pub payload_bytes_out: u64,
+    /// Currently open connections.
+    pub connections_current: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Sessions currently stored.
+    pub sessions_current: u64,
+    /// Subscriptions currently stored.
+    pub subscriptions_current: u64,
+    /// Retained messages stored.
+    pub retained_current: u64,
+    /// Messages queued for offline sessions.
+    pub queued_current: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Keep-alive expiries.
+    pub keepalive_timeouts: u64,
+    /// Messages that arrived over bridges.
+    pub bridge_in: u64,
+}
+
+impl BrokerStatsSnapshot {
+    /// Average fan-out per inbound publish, or 0 if none were received.
+    pub fn fanout_ratio(&self) -> f64 {
+        if self.publishes_in == 0 {
+            0.0
+        } else {
+            self.publishes_out as f64 / self.publishes_in as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_updates() {
+        let c = BrokerCounters::default();
+        BrokerCounters::bump(&c.publishes_in);
+        BrokerCounters::add(&c.payload_bytes_in, 512);
+        BrokerCounters::bump(&c.publishes_out);
+        BrokerCounters::bump(&c.publishes_out);
+        let snap = c.snapshot();
+        assert_eq!(snap.publishes_in, 1);
+        assert_eq!(snap.publishes_out, 2);
+        assert_eq!(snap.payload_bytes_in, 512);
+        assert!((snap.fanout_ratio() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn fanout_ratio_handles_zero() {
+        assert_eq!(BrokerStatsSnapshot::default().fanout_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Topic names and topic filters with MQTT 3.1.1 validation and matching.
+//!
+//! A *topic name* is what a PUBLISH carries: a `/`-separated path with no
+//! wildcards. A *topic filter* is what a SUBSCRIBE carries: a path that may
+//! contain the single-level wildcard `+` and the multi-level wildcard `#`
+//! (which must be the last level). Topics beginning with `$` are reserved
+//! system topics and are not matched by filters starting with a wildcard
+//! (MQTT 3.1.1 §4.7.2).
+
+use crate::error::{MqttError, Result};
+use std::fmt;
+
+/// Maximum UTF-8 byte length of a topic, per MQTT's u16 length prefix.
+pub const MAX_TOPIC_LEN: usize = u16::MAX as usize;
+
+/// A validated MQTT topic name (no wildcards).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicName(String);
+
+impl TopicName {
+    /// Validates and wraps a topic name.
+    ///
+    /// Rules: non-empty, ≤ 65535 bytes, no NUL, no `+` or `#` characters.
+    pub fn new(s: impl Into<String>) -> Result<Self> {
+        let s = s.into();
+        validate_common(&s)?;
+        if s.contains('+') || s.contains('#') {
+            return Err(MqttError::InvalidTopic(s));
+        }
+        Ok(TopicName(s))
+    }
+
+    /// Returns the topic as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the `/`-separated levels of the topic.
+    pub fn levels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/')
+    }
+
+    /// True if this is a `$`-prefixed system topic.
+    pub fn is_system(&self) -> bool {
+        self.0.starts_with('$')
+    }
+
+    /// Consumes the wrapper, returning the inner string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+}
+
+impl fmt::Display for TopicName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for TopicName {
+    type Err = MqttError;
+    fn from_str(s: &str) -> Result<Self> {
+        TopicName::new(s)
+    }
+}
+
+/// A validated MQTT topic filter (may contain `+` and `#` wildcards).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicFilter(String);
+
+impl TopicFilter {
+    /// Validates and wraps a topic filter.
+    ///
+    /// Rules: non-empty, ≤ 65535 bytes, no NUL; `+` must occupy an entire
+    /// level; `#` must occupy an entire level *and* be the last level.
+    pub fn new(s: impl Into<String>) -> Result<Self> {
+        let s = s.into();
+        validate_common(&s)?;
+        let levels: Vec<&str> = s.split('/').collect();
+        for (i, level) in levels.iter().enumerate() {
+            if level.contains('+') && *level != "+" {
+                return Err(MqttError::InvalidTopic(s));
+            }
+            if level.contains('#')
+                && (*level != "#" || i != levels.len() - 1) {
+                    return Err(MqttError::InvalidTopic(s));
+                }
+        }
+        Ok(TopicFilter(s))
+    }
+
+    /// Returns the filter as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterates over the `/`-separated levels of the filter.
+    pub fn levels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/')
+    }
+
+    /// True if the filter contains any wildcard level.
+    pub fn has_wildcards(&self) -> bool {
+        self.levels().any(|l| l == "+" || l == "#")
+    }
+
+    /// Tests whether this filter matches the given topic name, following
+    /// MQTT 3.1.1 §4.7 semantics including the `$`-topic carve-out.
+    pub fn matches(&self, topic: &TopicName) -> bool {
+        // Wildcard-leading filters must not match $-topics.
+        if topic.is_system() {
+            let first = self.0.split('/').next().unwrap_or("");
+            if first == "+" || first == "#" {
+                return false;
+            }
+        }
+        filter_matches_levels(self.0.split('/'), topic.0.split('/'))
+    }
+
+    /// Consumes the wrapper, returning the inner string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for TopicFilter {
+    type Err = MqttError;
+    fn from_str(s: &str) -> Result<Self> {
+        TopicFilter::new(s)
+    }
+}
+
+impl From<TopicName> for TopicFilter {
+    fn from(t: TopicName) -> Self {
+        // Every valid topic name is a valid (wildcard-free) filter.
+        TopicFilter(t.0)
+    }
+}
+
+fn validate_common(s: &str) -> Result<()> {
+    if s.is_empty() || s.len() > MAX_TOPIC_LEN || s.contains('\0') {
+        return Err(MqttError::InvalidTopic(s.to_owned()));
+    }
+    Ok(())
+}
+
+/// Core level-by-level matcher shared by [`TopicFilter::matches`] and the
+/// subscription trie's linear fallback.
+pub(crate) fn filter_matches_levels<'a, F, T>(mut filter: F, mut topic: T) -> bool
+where
+    F: Iterator<Item = &'a str>,
+    T: Iterator<Item = &'a str>,
+{
+    loop {
+        match (filter.next(), topic.next()) {
+            // "#" matches the remaining levels, including none at all —
+            // "sport/#" matches "sport" itself.
+            (Some("#"), _) => return true,
+            (Some("+"), Some(_)) => {}
+            (Some(f), Some(t)) if f == t => {}
+            (None, None) => return true,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> TopicName {
+        TopicName::new(s).unwrap()
+    }
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+
+    #[test]
+    fn topic_name_rejects_wildcards() {
+        assert!(TopicName::new("a/+/b").is_err());
+        assert!(TopicName::new("a/#").is_err());
+        assert!(TopicName::new("").is_err());
+        assert!(TopicName::new("a\0b").is_err());
+        assert!(TopicName::new("a/b/c").is_ok());
+    }
+
+    #[test]
+    fn filter_validation() {
+        assert!(TopicFilter::new("a/+/b").is_ok());
+        assert!(TopicFilter::new("a/#").is_ok());
+        assert!(TopicFilter::new("#").is_ok());
+        assert!(TopicFilter::new("+").is_ok());
+        assert!(TopicFilter::new("a/#/b").is_err());
+        assert!(TopicFilter::new("a+/b").is_err());
+        assert!(TopicFilter::new("a/b#").is_err());
+        assert!(TopicFilter::new("").is_err());
+    }
+
+    #[test]
+    fn exact_match() {
+        assert!(f("a/b/c").matches(&t("a/b/c")));
+        assert!(!f("a/b/c").matches(&t("a/b")));
+        assert!(!f("a/b").matches(&t("a/b/c")));
+    }
+
+    #[test]
+    fn single_level_wildcard() {
+        assert!(f("a/+/c").matches(&t("a/b/c")));
+        assert!(f("a/+/c").matches(&t("a/x/c")));
+        assert!(!f("a/+/c").matches(&t("a/b/d")));
+        assert!(!f("a/+").matches(&t("a/b/c")));
+        assert!(f("+/+").matches(&t("a/b")));
+        // "+" matches an empty level.
+        assert!(f("a/+/c").matches(&t("a//c")));
+    }
+
+    #[test]
+    fn multi_level_wildcard() {
+        assert!(f("a/#").matches(&t("a/b")));
+        assert!(f("a/#").matches(&t("a/b/c/d")));
+        assert!(f("a/#").matches(&t("a")));
+        assert!(f("#").matches(&t("a/b/c")));
+        assert!(!f("a/#").matches(&t("b/a")));
+    }
+
+    #[test]
+    fn system_topics_hidden_from_leading_wildcards() {
+        assert!(!f("#").matches(&t("$SYS/broker/load")));
+        assert!(!f("+/broker/load").matches(&t("$SYS/broker/load")));
+        assert!(f("$SYS/#").matches(&t("$SYS/broker/load")));
+        assert!(f("$SYS/broker/load").matches(&t("$SYS/broker/load")));
+    }
+
+    #[test]
+    fn parent_level_hash_match() {
+        assert!(f("sport/tennis/#").matches(&t("sport/tennis")));
+        assert!(f("sport/tennis/#").matches(&t("sport/tennis/player1/score")));
+    }
+
+    #[test]
+    fn name_to_filter_conversion() {
+        let name = t("a/b/c");
+        let filter: TopicFilter = name.clone().into();
+        assert!(filter.matches(&name));
+        assert!(!filter.has_wildcards());
+    }
+
+    #[test]
+    fn levels_iteration() {
+        let name = t("a/b/c");
+        assert_eq!(name.levels().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        let filter = f("a/+/#");
+        assert_eq!(filter.levels().collect::<Vec<_>>(), vec!["a", "+", "#"]);
+    }
+}

@@ -1,0 +1,325 @@
+//! In-process transport links.
+//!
+//! A [`Link`] is a bidirectional, ordered, reliable byte-frame pipe built
+//! from two crossbeam channels — the in-process stand-in for a TCP
+//! connection. Every frame that crosses a link is a complete MQTT packet
+//! encoded by [`crate::codec`], so the wire format is exercised end-to-end
+//! even though no sockets are involved.
+//!
+//! Links can optionally carry a [`LinkShaper`] that models per-link latency
+//! and bandwidth by *recording* the bytes sent; the virtual-time experiment
+//! harness (crate `sdflmq-sim`) uses these counters to compute transfer
+//! delays without real sleeps.
+
+use crate::codec;
+use crate::error::{MqttError, Result};
+use crate::packet::Packet;
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Traffic counters shared by both ends of a link.
+///
+/// Counters use `Relaxed` ordering: they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Frames sent from the A side to the B side.
+    pub a_to_b_frames: AtomicU64,
+    /// Bytes sent from the A side to the B side.
+    pub a_to_b_bytes: AtomicU64,
+    /// Frames sent from the B side to the A side.
+    pub b_to_a_frames: AtomicU64,
+    /// Bytes sent from the B side to the A side.
+    pub b_to_a_bytes: AtomicU64,
+}
+
+impl LinkStats {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.a_to_b_bytes.load(Ordering::Relaxed) + self.b_to_a_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total frames in both directions.
+    pub fn total_frames(&self) -> u64 {
+        self.a_to_b_frames.load(Ordering::Relaxed) + self.b_to_a_frames.load(Ordering::Relaxed)
+    }
+}
+
+/// One end of a bidirectional frame pipe.
+///
+/// Cloning a `LinkEnd` yields another handle to the *same* end (crossbeam
+/// channels are MPMC), which lets a broker keep the send half while a reader
+/// thread owns the receive loop.
+#[derive(Clone)]
+pub struct LinkEnd {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    stats: Arc<LinkStats>,
+    /// True for the A side (used to attribute stats direction).
+    a_side: bool,
+}
+
+impl std::fmt::Debug for LinkEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkEnd")
+            .field("a_side", &self.a_side)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected pair of link ends with unbounded buffering.
+pub fn link() -> (LinkEnd, LinkEnd) {
+    link_with_capacity(None)
+}
+
+/// Creates a connected pair of link ends.
+///
+/// `capacity` bounds each direction's in-flight frame queue; `None` means
+/// unbounded. A bounded link applies backpressure: sends block when full,
+/// which mimics TCP flow control.
+pub fn link_with_capacity(capacity: Option<usize>) -> (LinkEnd, LinkEnd) {
+    let (a_tx, b_rx) = match capacity {
+        Some(c) => bounded(c),
+        None => unbounded(),
+    };
+    let (b_tx, a_rx) = match capacity {
+        Some(c) => bounded(c),
+        None => unbounded(),
+    };
+    let stats = Arc::new(LinkStats::default());
+    (
+        LinkEnd {
+            tx: a_tx,
+            rx: a_rx,
+            stats: Arc::clone(&stats),
+            a_side: true,
+        },
+        LinkEnd {
+            tx: b_tx,
+            rx: b_rx,
+            stats,
+            a_side: false,
+        },
+    )
+}
+
+impl LinkEnd {
+    /// Sends a raw frame. Blocks if the link is bounded and full.
+    pub fn send_frame(&self, frame: Bytes) -> Result<()> {
+        self.record_sent(frame.len());
+        self.tx.send(frame).map_err(|_| MqttError::Disconnected)
+    }
+
+    /// Attempts to send without blocking; returns the frame on a full queue.
+    pub fn try_send_frame(&self, frame: Bytes) -> std::result::Result<(), TrySendError<Bytes>> {
+        let len = frame.len();
+        self.tx.try_send(frame).inspect(|_| self.record_sent(len))
+    }
+
+    /// Encodes and sends one packet.
+    pub fn send_packet(&self, packet: &Packet) -> Result<()> {
+        self.send_frame(codec::encode(packet)?)
+    }
+
+    /// Receives one raw frame, blocking until available or the peer is gone.
+    pub fn recv_frame(&self) -> Result<Bytes> {
+        self.rx.recv().map_err(|_| MqttError::Disconnected)
+    }
+
+    /// Receives one raw frame with a timeout.
+    pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Bytes> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => MqttError::Timeout,
+            RecvTimeoutError::Disconnected => MqttError::Disconnected,
+        })
+    }
+
+    /// Receives and decodes one packet, blocking.
+    pub fn recv_packet(&self) -> Result<Packet> {
+        let frame = self.recv_frame()?;
+        let (packet, _) = codec::decode(&frame)?;
+        Ok(packet)
+    }
+
+    /// Receives and decodes one packet with a timeout.
+    pub fn recv_packet_timeout(&self, timeout: Duration) -> Result<Packet> {
+        let frame = self.recv_frame_timeout(timeout)?;
+        let (packet, _) = codec::decode(&frame)?;
+        Ok(packet)
+    }
+
+    /// Shared traffic counters for this link.
+    pub fn stats(&self) -> &Arc<LinkStats> {
+        &self.stats
+    }
+
+    /// True if the peer end has been dropped.
+    pub fn is_closed(&self) -> bool {
+        // A send to a channel with no receiver fails; probe cheaply via the
+        // receiver side (closed when the sender half is dropped *and* empty).
+        self.tx.is_full() && self.tx.capacity() == Some(0)
+    }
+
+    fn record_sent(&self, len: usize) {
+        if self.a_side {
+            self.stats.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
+            self.stats.a_to_b_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        } else {
+            self.stats.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
+            self.stats.b_to_a_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Splits the end into independent send and receive halves.
+    ///
+    /// This matters for closure detection: when every [`FrameSender`] for a
+    /// direction is dropped, the peer's receive calls return
+    /// [`MqttError::Disconnected`]. Keeping a whole `LinkEnd` clone alive in
+    /// a reader thread would pin the send half and mask closures.
+    pub fn split(self) -> (FrameSender, FrameReceiver) {
+        (
+            FrameSender {
+                tx: self.tx,
+                stats: self.stats,
+                a_side: self.a_side,
+            },
+            FrameReceiver { rx: self.rx },
+        )
+    }
+}
+
+/// Send-only half of a link end.
+#[derive(Clone)]
+pub struct FrameSender {
+    tx: Sender<Bytes>,
+    stats: Arc<LinkStats>,
+    a_side: bool,
+}
+
+impl FrameSender {
+    /// Sends a raw frame.
+    pub fn send_frame(&self, frame: Bytes) -> Result<()> {
+        if self.a_side {
+            self.stats.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .a_to_b_bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        } else {
+            self.stats.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .b_to_a_bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
+        self.tx.send(frame).map_err(|_| MqttError::Disconnected)
+    }
+
+    /// Encodes and sends one packet.
+    pub fn send_packet(&self, packet: &Packet) -> Result<()> {
+        self.send_frame(codec::encode(packet)?)
+    }
+
+    /// Shared traffic counters for this link.
+    pub fn stats(&self) -> &Arc<LinkStats> {
+        &self.stats
+    }
+}
+
+/// Receive-only half of a link end.
+pub struct FrameReceiver {
+    rx: Receiver<Bytes>,
+}
+
+impl FrameReceiver {
+    /// Receives one raw frame, blocking until available or the peer's send
+    /// half is fully dropped.
+    pub fn recv_frame(&self) -> Result<Bytes> {
+        self.rx.recv().map_err(|_| MqttError::Disconnected)
+    }
+
+    /// Receives one raw frame with a timeout.
+    pub fn recv_frame_timeout(&self, timeout: Duration) -> Result<Bytes> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => MqttError::Timeout,
+            RecvTimeoutError::Disconnected => MqttError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Publish};
+    use crate::topic::TopicName;
+
+    #[test]
+    fn frames_flow_both_directions() {
+        let (a, b) = link();
+        a.send_frame(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(b.recv_frame().unwrap(), Bytes::from_static(b"hello"));
+        b.send_frame(Bytes::from_static(b"world")).unwrap();
+        assert_eq!(a.recv_frame().unwrap(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn packets_roundtrip_over_link() {
+        let (a, b) = link();
+        let p = Packet::Publish(Publish::simple(
+            TopicName::new("x/y").unwrap(),
+            b"payload".to_vec(),
+        ));
+        a.send_packet(&p).unwrap();
+        assert_eq!(b.recv_packet().unwrap(), p);
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let (a, _b) = link();
+        let err = a.recv_frame_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, MqttError::Timeout);
+    }
+
+    #[test]
+    fn dropped_peer_disconnects() {
+        let (a, b) = link();
+        drop(b);
+        assert_eq!(
+            a.send_frame(Bytes::from_static(b"x")).unwrap_err(),
+            MqttError::Disconnected
+        );
+        assert_eq!(a.recv_frame().unwrap_err(), MqttError::Disconnected);
+    }
+
+    #[test]
+    fn stats_attribute_directions() {
+        let (a, b) = link();
+        a.send_frame(Bytes::from_static(b"12345")).unwrap();
+        a.send_frame(Bytes::from_static(b"1")).unwrap();
+        b.send_frame(Bytes::from_static(b"22")).unwrap();
+        let stats = a.stats();
+        assert_eq!(stats.a_to_b_frames.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.a_to_b_bytes.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.b_to_a_frames.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.b_to_a_bytes.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.total_bytes(), 8);
+        assert_eq!(stats.total_frames(), 3);
+    }
+
+    #[test]
+    fn threaded_pingpong() {
+        let (a, b) = link();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                let f = b.recv_frame().unwrap();
+                b.send_frame(f).unwrap();
+            }
+        });
+        for i in 0..100u32 {
+            let msg = Bytes::from(i.to_be_bytes().to_vec());
+            a.send_frame(msg.clone()).unwrap();
+            assert_eq!(a.recv_frame().unwrap(), msg);
+        }
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,383 @@
+//! Subscription trie: maps topic names to the set of subscribers whose
+//! filters match, in time proportional to the topic depth rather than the
+//! number of subscriptions.
+//!
+//! Each node corresponds to one topic level. Children are stored in a
+//! `HashMap<String, Node>`; the wildcard children `+` and `#` are kept in
+//! dedicated slots so that matching never scans sibling maps. Subscriber
+//! entries at a node carry an opaque `S` payload (the broker stores the
+//! connection id and granted QoS).
+
+use crate::topic::{TopicFilter, TopicName};
+use std::collections::HashMap;
+
+/// A trie from topic filters to subscriber payloads.
+///
+/// `S` is the per-subscription payload; `K` is the subscriber key used for
+/// deduplication and removal (the broker uses its connection id).
+#[derive(Debug)]
+pub struct SubscriptionTrie<K, S> {
+    root: Node<K, S>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Node<K, S> {
+    children: HashMap<String, Node<K, S>>,
+    plus: Option<Box<Node<K, S>>>,
+    hash: Option<Box<Node<K, S>>>,
+    subscribers: Vec<(K, S)>,
+}
+
+impl<K, S> Default for Node<K, S> {
+    fn default() -> Self {
+        Node {
+            children: HashMap::new(),
+            plus: None,
+            hash: None,
+            subscribers: Vec::new(),
+        }
+    }
+}
+
+impl<K, S> Node<K, S> {
+    fn is_empty(&self) -> bool {
+        self.children.is_empty()
+            && self.plus.is_none()
+            && self.hash.is_none()
+            && self.subscribers.is_empty()
+    }
+}
+
+impl<K: Eq + Clone, S> Default for SubscriptionTrie<K, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Clone, S> SubscriptionTrie<K, S> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        SubscriptionTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of (subscriber, filter) entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no subscriptions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces the subscription `(key, filter)`.
+    ///
+    /// If the same key already subscribes to the same filter, its payload is
+    /// replaced (matching MQTT re-subscription semantics) and `false` is
+    /// returned; otherwise a new entry is created and `true` is returned.
+    pub fn subscribe(&mut self, filter: &TopicFilter, key: K, payload: S) -> bool {
+        let mut node = &mut self.root;
+        for level in filter.levels() {
+            node = match level {
+                "+" => node.plus.get_or_insert_with(Default::default),
+                "#" => node.hash.get_or_insert_with(Default::default),
+                other => node.children.entry(other.to_owned()).or_default(),
+            };
+        }
+        if let Some(slot) = node.subscribers.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = payload;
+            false
+        } else {
+            node.subscribers.push((key, payload));
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Removes the subscription `(key, filter)`. Returns true if it existed.
+    pub fn unsubscribe(&mut self, filter: &TopicFilter, key: &K) -> bool {
+        let levels: Vec<&str> = filter.levels().collect();
+        let removed = Self::remove_rec(&mut self.root, &levels, key);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<K, S>, levels: &[&str], key: &K) -> bool {
+        if levels.is_empty() {
+            let before = node.subscribers.len();
+            node.subscribers.retain(|(k, _)| k != key);
+            return node.subscribers.len() != before;
+        }
+        let (head, rest) = (levels[0], &levels[1..]);
+        let removed = match head {
+            "+" => match node.plus.as_deref_mut() {
+                Some(child) => {
+                    let r = Self::remove_rec(child, rest, key);
+                    if child.is_empty() {
+                        node.plus = None;
+                    }
+                    r
+                }
+                None => false,
+            },
+            "#" => match node.hash.as_deref_mut() {
+                Some(child) => {
+                    let r = Self::remove_rec(child, rest, key);
+                    if child.is_empty() {
+                        node.hash = None;
+                    }
+                    r
+                }
+                None => false,
+            },
+            other => match node.children.get_mut(other) {
+                Some(child) => {
+                    let r = Self::remove_rec(child, rest, key);
+                    if child.is_empty() {
+                        node.children.remove(other);
+                    }
+                    r
+                }
+                None => false,
+            },
+        };
+        removed
+    }
+
+    /// Removes every subscription held by `key` (used on disconnect).
+    /// Returns the number of entries removed.
+    pub fn unsubscribe_all(&mut self, key: &K) -> usize {
+        let removed = Self::purge_rec(&mut self.root, key);
+        self.len -= removed;
+        removed
+    }
+
+    fn purge_rec(node: &mut Node<K, S>, key: &K) -> usize {
+        let before = node.subscribers.len();
+        node.subscribers.retain(|(k, _)| k != key);
+        let mut removed = before - node.subscribers.len();
+        node.children.retain(|_, child| {
+            removed += Self::purge_rec(child, key);
+            !child.is_empty()
+        });
+        if let Some(child) = node.plus.as_deref_mut() {
+            removed += Self::purge_rec(child, key);
+            if child.is_empty() {
+                node.plus = None;
+            }
+        }
+        if let Some(child) = node.hash.as_deref_mut() {
+            removed += Self::purge_rec(child, key);
+            if child.is_empty() {
+                node.hash = None;
+            }
+        }
+        removed
+    }
+
+    /// Collects all subscriber payloads whose filters match `topic`.
+    ///
+    /// The same subscriber may appear several times if several of its
+    /// filters match; the broker deduplicates by connection, keeping the
+    /// maximum granted QoS, as required by overlapping-subscription rules.
+    pub fn matches<'a>(&'a self, topic: &TopicName) -> Vec<(&'a K, &'a S)> {
+        let levels: Vec<&str> = topic.levels().collect();
+        let mut out = Vec::new();
+        let system = topic.is_system();
+        Self::match_rec(&self.root, &levels, true, system, &mut out);
+        out
+    }
+
+    fn match_rec<'a>(
+        node: &'a Node<K, S>,
+        levels: &[&str],
+        first_level: bool,
+        system: bool,
+        out: &mut Vec<(&'a K, &'a S)>,
+    ) {
+        // A `#` child at this point matches the remaining levels (including
+        // none), except that a leading wildcard must not match $-topics.
+        if let Some(hash) = node.hash.as_deref() {
+            if !(first_level && system) {
+                out.extend(hash.subscribers.iter().map(|(k, s)| (k, s)));
+            }
+        }
+        let Some((head, rest)) = levels.split_first() else {
+            out.extend(node.subscribers.iter().map(|(k, s)| (k, s)));
+            return;
+        };
+        if let Some(plus) = node.plus.as_deref() {
+            if !(first_level && system) {
+                Self::match_rec(plus, rest, false, system, out);
+            }
+        }
+        if let Some(child) = node.children.get(*head) {
+            Self::match_rec(child, rest, false, system, out);
+        }
+    }
+
+    /// Visits every stored (filter, key, payload) triple. Filters are
+    /// reconstructed from the path; used by broker bridging to mirror the
+    /// subscription table.
+    pub fn for_each<F: FnMut(&str, &K, &S)>(&self, mut f: F) {
+        let mut path = String::new();
+        Self::walk(&self.root, &mut path, &mut f);
+    }
+
+    fn walk<F: FnMut(&str, &K, &S)>(node: &Node<K, S>, path: &mut String, f: &mut F) {
+        for (k, s) in &node.subscribers {
+            f(path, k, s);
+        }
+        let base = path.len();
+        for (level, child) in &node.children {
+            if base > 0 {
+                path.push('/');
+            }
+            path.push_str(level);
+            Self::walk(child, path, f);
+            path.truncate(base);
+        }
+        if let Some(child) = node.plus.as_deref() {
+            if base > 0 {
+                path.push('/');
+            }
+            path.push('+');
+            Self::walk(child, path, f);
+            path.truncate(base);
+        }
+        if let Some(child) = node.hash.as_deref() {
+            if base > 0 {
+                path.push('/');
+            }
+            path.push('#');
+            Self::walk(child, path, f);
+            path.truncate(base);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> TopicName {
+        TopicName::new(s).unwrap()
+    }
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+
+    fn keys(trie: &SubscriptionTrie<u32, u8>, topic: &str) -> Vec<u32> {
+        let mut v: Vec<u32> = trie.matches(&t(topic)).into_iter().map(|(k, _)| *k).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn exact_and_wildcard_matching() {
+        let mut trie = SubscriptionTrie::new();
+        trie.subscribe(&f("a/b"), 1u32, 0u8);
+        trie.subscribe(&f("a/+"), 2, 0);
+        trie.subscribe(&f("a/#"), 3, 0);
+        trie.subscribe(&f("#"), 4, 0);
+        trie.subscribe(&f("b/c"), 5, 0);
+
+        assert_eq!(keys(&trie, "a/b"), vec![1, 2, 3, 4]);
+        assert_eq!(keys(&trie, "a/c"), vec![2, 3, 4]);
+        assert_eq!(keys(&trie, "a/b/c"), vec![3, 4]);
+        assert_eq!(keys(&trie, "b/c"), vec![4, 5]);
+        assert_eq!(keys(&trie, "a"), vec![3, 4]);
+    }
+
+    #[test]
+    fn resubscription_replaces_payload() {
+        let mut trie = SubscriptionTrie::new();
+        assert!(trie.subscribe(&f("x"), 1u32, 0u8));
+        assert!(!trie.subscribe(&f("x"), 1, 2));
+        assert_eq!(trie.len(), 1);
+        let m = trie.matches(&t("x"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(*m[0].1, 2);
+    }
+
+    #[test]
+    fn unsubscribe_prunes_empty_branches() {
+        let mut trie = SubscriptionTrie::new();
+        trie.subscribe(&f("a/b/c/d"), 1u32, 0u8);
+        assert!(trie.unsubscribe(&f("a/b/c/d"), &1));
+        assert!(!trie.unsubscribe(&f("a/b/c/d"), &1));
+        assert!(trie.is_empty());
+        assert!(trie.root.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_all_on_disconnect() {
+        let mut trie = SubscriptionTrie::new();
+        trie.subscribe(&f("a/b"), 1u32, 0u8);
+        trie.subscribe(&f("a/+"), 1, 0);
+        trie.subscribe(&f("c/#"), 1, 0);
+        trie.subscribe(&f("a/b"), 2, 0);
+        assert_eq!(trie.unsubscribe_all(&1), 3);
+        assert_eq!(trie.len(), 1);
+        assert_eq!(keys(&trie, "a/b"), vec![2]);
+    }
+
+    #[test]
+    fn system_topics_invisible_to_leading_wildcards() {
+        let mut trie = SubscriptionTrie::new();
+        trie.subscribe(&f("#"), 1u32, 0u8);
+        trie.subscribe(&f("+/x"), 2, 0);
+        trie.subscribe(&f("$SYS/#"), 3, 0);
+        assert_eq!(keys(&trie, "$SYS/x"), vec![3]);
+        assert_eq!(keys(&trie, "normal/x"), vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_reconstructs_filters() {
+        let mut trie = SubscriptionTrie::new();
+        trie.subscribe(&f("a/b"), 1u32, 0u8);
+        trie.subscribe(&f("a/+/c"), 2, 0);
+        trie.subscribe(&f("#"), 3, 0);
+        let mut seen = Vec::new();
+        trie.for_each(|filter, k, _| seen.push((filter.to_owned(), *k)));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                ("#".to_owned(), 3),
+                ("a/+/c".to_owned(), 2),
+                ("a/b".to_owned(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn trie_agrees_with_linear_matcher() {
+        // Cross-check the trie against TopicFilter::matches on a fixed corpus.
+        let filters = [
+            "a/b/c", "a/+/c", "a/#", "+/b/#", "#", "+/+/+", "a/b/+", "$SYS/#", "+",
+        ];
+        let topics = ["a/b/c", "a/x/c", "a", "b", "$SYS/load", "a/b/c/d", "x/b/z"];
+        let mut trie = SubscriptionTrie::new();
+        for (i, fs) in filters.iter().enumerate() {
+            trie.subscribe(&f(fs), i as u32, 0u8);
+        }
+        for ts in topics {
+            let topic = t(ts);
+            let mut expect: Vec<u32> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, fs)| f(fs).matches(&topic))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(keys(&trie, ts), expect, "topic {ts}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the MQTT wire codec and topic matching.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sdflmq_mqtt::codec::{decode, encode};
+use sdflmq_mqtt::packet::*;
+use sdflmq_mqtt::topic::{TopicFilter, TopicName};
+use sdflmq_mqtt::trie::SubscriptionTrie;
+
+/// A topic-level strategy: alnum words without wildcards or separators.
+fn level() -> impl Strategy<Value = String> {
+    "[a-z0-9_]{1,8}"
+}
+
+fn topic_name() -> impl Strategy<Value = TopicName> {
+    prop::collection::vec(level(), 1..6)
+        .prop_map(|levels| TopicName::new(levels.join("/")).unwrap())
+}
+
+/// A filter strategy: levels may be literals or `+`, optionally `#` tail.
+fn topic_filter() -> impl Strategy<Value = TopicFilter> {
+    (
+        prop::collection::vec(
+            prop_oneof![3 => level(), 1 => Just("+".to_owned())],
+            1..6,
+        ),
+        prop::bool::ANY,
+    )
+        .prop_map(|(mut levels, hash_tail)| {
+            if hash_tail {
+                levels.push("#".to_owned());
+            }
+            TopicFilter::new(levels.join("/")).unwrap()
+        })
+}
+
+fn qos() -> impl Strategy<Value = QoS> {
+    prop_oneof![
+        Just(QoS::AtMostOnce),
+        Just(QoS::AtLeastOnce),
+        Just(QoS::ExactlyOnce)
+    ]
+}
+
+fn publish() -> impl Strategy<Value = Packet> {
+    (
+        topic_name(),
+        qos(),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::collection::vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(topic, qos, retain, dup, payload)| {
+            Packet::Publish(Publish {
+                dup: dup && qos != QoS::AtMostOnce,
+                qos,
+                retain,
+                topic,
+                packet_id: if qos == QoS::AtMostOnce { None } else { Some(7) },
+                payload: Bytes::from(payload),
+            })
+        })
+}
+
+fn any_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        publish(),
+        (1u16..=u16::MAX).prop_map(Packet::Puback),
+        (1u16..=u16::MAX).prop_map(Packet::Pubrec),
+        (1u16..=u16::MAX).prop_map(Packet::Pubrel),
+        (1u16..=u16::MAX).prop_map(Packet::Pubcomp),
+        (1u16..=u16::MAX).prop_map(Packet::Unsuback),
+        Just(Packet::Pingreq),
+        Just(Packet::Pingresp),
+        Just(Packet::Disconnect),
+        (
+            "[a-z0-9]{1,16}",
+            prop::bool::ANY,
+            any::<u16>(),
+        )
+            .prop_map(|(id, clean, keep_alive)| Packet::Connect(Connect {
+                client_id: id,
+                clean_session: clean,
+                keep_alive,
+                will: None,
+            })),
+        (
+            1u16..=u16::MAX,
+            prop::collection::vec((topic_filter(), qos()), 1..5)
+        )
+            .prop_map(|(packet_id, filters)| Packet::Subscribe(Subscribe {
+                packet_id,
+                filters
+            })),
+    ]
+}
+
+proptest! {
+    /// Every packet the encoder accepts must decode back to itself.
+    #[test]
+    fn packet_roundtrip(packet in any_packet()) {
+        let frame = encode(&packet).unwrap();
+        let (decoded, used) = decode(&frame).unwrap();
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(decoded, packet);
+    }
+
+    /// The decoder must never panic on arbitrary bytes — errors only.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&Bytes::from(bytes));
+    }
+
+    /// The subscription trie agrees with the reference linear matcher on
+    /// arbitrary filter sets and topics.
+    #[test]
+    fn trie_matches_linear(
+        filters in prop::collection::vec(topic_filter(), 1..20),
+        topics in prop::collection::vec(topic_name(), 1..10),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.subscribe(f, i as u32, 0u8);
+        }
+        for topic in &topics {
+            let mut got: Vec<u32> =
+                trie.matches(topic).into_iter().map(|(k, _)| *k).collect();
+            got.sort_unstable();
+            got.dedup();
+            let mut expected: Vec<u32> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(topic))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Unsubscribing every key empties the trie regardless of order.
+    #[test]
+    fn trie_unsubscribe_all_empties(
+        filters in prop::collection::vec(topic_filter(), 1..20),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.subscribe(f, (i % 3) as u32, 0u8);
+        }
+        for key in 0u32..3 {
+            trie.unsubscribe_all(&key);
+        }
+        prop_assert!(trie.is_empty());
+    }
+
+    /// A filter built from a topic's own path always matches it.
+    #[test]
+    fn self_filter_matches(topic in topic_name()) {
+        let filter = TopicFilter::new(topic.as_str().to_owned()).unwrap();
+        prop_assert!(filter.matches(&topic));
+    }
+}

@@ -1,0 +1,341 @@
+//! Payload batching: serialize → compress → split → reassemble.
+//!
+//! MQTT brokers and constrained links dislike multi-megabyte publishes, so
+//! MQTTFC splits large payloads (e.g. a full set of MLP parameters) into
+//! fixed-size chunks, each a self-verifying [`Chunk`] frame, and reassembles
+//! them on the receiving side (paper §IV: "a batching mechanism … which
+//! serializes the payload and divides it into multiple batches before
+//! sending. The batches are encoded and batch ids are allocated to them").
+//!
+//! The [`Reassembler`] tolerates out-of-order and duplicated chunks,
+//! isolates concurrent transfers by (sender, transfer id), verifies the
+//! whole-payload CRC before releasing it, and evicts stale partial
+//! transfers after a configurable age so lost chunks cannot leak memory.
+
+use crate::compress::{compress_auto, decompress_auto};
+use crate::wire::{crc32, Chunk, WireError};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Batching configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum bytes of payload per chunk.
+    pub chunk_size: usize,
+    /// Whether to LZSS-compress the payload before splitting.
+    pub compress: bool,
+    /// Partial transfers older than this are evicted by
+    /// [`Reassembler::evict_stale`].
+    pub stale_after: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            chunk_size: 64 * 1024,
+            compress: true,
+            stale_after: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Splits `payload` into encoded chunk frames ready to publish.
+///
+/// The payload is first passed through [`compress_auto`] when the config
+/// enables compression, so receivers must reassemble with
+/// [`Reassembler::push`], which reverses it.
+pub fn split(payload: &[u8], transfer_id: u64, config: &BatchConfig) -> Vec<Bytes> {
+    let body: Vec<u8> = if config.compress {
+        compress_auto(payload)
+    } else {
+        // Mode tag for "raw" keeps the two paths symmetrical.
+        let mut v = Vec::with_capacity(payload.len() + 1);
+        v.push(crate::compress::MODE_RAW);
+        v.extend_from_slice(payload);
+        v
+    };
+    let payload_crc = crc32(&body);
+    let chunk_size = config.chunk_size.max(1);
+    let total = body.len().div_ceil(chunk_size).max(1) as u32;
+    let body = Bytes::from(body);
+    let mut frames = Vec::with_capacity(total as usize);
+    for seq in 0..total {
+        let start = seq as usize * chunk_size;
+        let end = (start + chunk_size).min(body.len());
+        frames.push(
+            Chunk {
+                transfer_id,
+                seq,
+                total,
+                payload_crc,
+                data: body.slice(start..end),
+            }
+            .encode(),
+        );
+    }
+    frames
+}
+
+/// Outcome of feeding one chunk to the reassembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushResult {
+    /// More chunks are needed; `received`/`total` report progress.
+    Incomplete {
+        /// Chunks received so far for this transfer.
+        received: u32,
+        /// Total chunks expected.
+        total: u32,
+    },
+    /// The transfer completed; the original payload is returned.
+    Complete(Bytes),
+    /// The chunk was a duplicate of one already received.
+    Duplicate,
+}
+
+struct Partial {
+    chunks: Vec<Option<Bytes>>,
+    received: u32,
+    payload_crc: u32,
+    started: Instant,
+    bytes: usize,
+}
+
+/// Reassembles chunked transfers keyed by (sender, transfer id).
+pub struct Reassembler {
+    partials: HashMap<(String, u64), Partial>,
+    config: BatchConfig,
+}
+
+impl Reassembler {
+    /// Creates a reassembler with the given config.
+    pub fn new(config: BatchConfig) -> Self {
+        Reassembler {
+            partials: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Number of in-progress transfers.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Total buffered bytes across partial transfers.
+    pub fn buffered_bytes(&self) -> usize {
+        self.partials.values().map(|p| p.bytes).sum()
+    }
+
+    /// Feeds one encoded chunk frame received from `sender`.
+    pub fn push(&mut self, sender: &str, frame: Bytes) -> Result<PushResult, WireError> {
+        let chunk = Chunk::decode(frame)?;
+        let key = (sender.to_owned(), chunk.transfer_id);
+        let partial = self.partials.entry(key.clone()).or_insert_with(|| Partial {
+            chunks: vec![None; chunk.total as usize],
+            received: 0,
+            payload_crc: chunk.payload_crc,
+            started: Instant::now(),
+            bytes: 0,
+        });
+        if partial.chunks.len() != chunk.total as usize || partial.payload_crc != chunk.payload_crc
+        {
+            // A new transfer reused the id with different shape: restart.
+            *partial = Partial {
+                chunks: vec![None; chunk.total as usize],
+                received: 0,
+                payload_crc: chunk.payload_crc,
+                started: Instant::now(),
+                bytes: 0,
+            };
+        }
+        let slot = &mut partial.chunks[chunk.seq as usize];
+        if slot.is_some() {
+            return Ok(PushResult::Duplicate);
+        }
+        partial.bytes += chunk.data.len();
+        *slot = Some(chunk.data);
+        partial.received += 1;
+
+        if partial.received as usize == partial.chunks.len() {
+            let partial = self.partials.remove(&key).expect("just inserted");
+            let mut body = Vec::with_capacity(partial.bytes);
+            for piece in partial.chunks.into_iter() {
+                body.extend_from_slice(&piece.expect("all received"));
+            }
+            let actual = crc32(&body);
+            if actual != partial.payload_crc {
+                return Err(WireError::BadChecksum {
+                    expected: partial.payload_crc,
+                    actual,
+                });
+            }
+            let payload =
+                decompress_auto(&body).map_err(|_| WireError::Invalid("bad compression"))?;
+            Ok(PushResult::Complete(Bytes::from(payload)))
+        } else {
+            Ok(PushResult::Incomplete {
+                received: partial.received,
+                total: partial.chunks.len() as u32,
+            })
+        }
+    }
+
+    /// Drops partial transfers older than the configured staleness bound.
+    /// Returns how many were evicted.
+    pub fn evict_stale(&mut self) -> usize {
+        let deadline = self.config.stale_after;
+        let before = self.partials.len();
+        self.partials.retain(|_, p| p.started.elapsed() < deadline);
+        before - self.partials.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(chunk_size: usize, compress: bool) -> BatchConfig {
+        BatchConfig {
+            chunk_size,
+            compress,
+            stale_after: Duration::from_secs(60),
+        }
+    }
+
+    fn roundtrip_with(payload: &[u8], cfg: &BatchConfig) {
+        let frames = split(payload, 7, cfg);
+        let mut r = Reassembler::new(cfg.clone());
+        let mut out = None;
+        for (i, f) in frames.iter().enumerate() {
+            match r.push("alice", f.clone()).unwrap() {
+                PushResult::Complete(b) => {
+                    assert_eq!(i, frames.len() - 1, "completes on last chunk");
+                    out = Some(b);
+                }
+                PushResult::Incomplete { received, total } => {
+                    assert_eq!(received as usize, i + 1);
+                    assert_eq!(total as usize, frames.len());
+                }
+                PushResult::Duplicate => panic!("unexpected duplicate"),
+            }
+        }
+        assert_eq!(&out.unwrap()[..], payload);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn single_chunk_roundtrip() {
+        roundtrip_with(b"small", &config(1024, true));
+        roundtrip_with(b"small", &config(1024, false));
+        roundtrip_with(b"", &config(1024, true));
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip() {
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        roundtrip_with(&payload, &config(4096, false));
+        roundtrip_with(&payload, &config(4096, true));
+        roundtrip_with(&payload, &config(1, false)); // pathological chunk size
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 13) as u8).collect();
+        let cfg = config(1000, false);
+        let mut frames = split(&payload, 1, &cfg);
+        frames.reverse();
+        let mut r = Reassembler::new(cfg);
+        let mut done = None;
+        for f in frames {
+            if let PushResult::Complete(b) = r.push("bob", f).unwrap() {
+                done = Some(b);
+            }
+        }
+        assert_eq!(&done.unwrap()[..], &payload[..]);
+    }
+
+    #[test]
+    fn duplicates_are_flagged_and_harmless() {
+        let payload = vec![9u8; 10_000];
+        let cfg = config(1000, false);
+        let frames = split(&payload, 3, &cfg);
+        let mut r = Reassembler::new(cfg);
+        assert!(matches!(
+            r.push("x", frames[0].clone()).unwrap(),
+            PushResult::Incomplete { .. }
+        ));
+        assert_eq!(r.push("x", frames[0].clone()).unwrap(), PushResult::Duplicate);
+        for f in &frames[1..] {
+            let _ = r.push("x", f.clone()).unwrap();
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_transfers_do_not_mix() {
+        let pa: Vec<u8> = vec![1; 5000];
+        let pb: Vec<u8> = vec![2; 5000];
+        let cfg = config(512, false);
+        let fa = split(&pa, 1, &cfg);
+        let fb = split(&pb, 1, &cfg); // same transfer id, different sender
+        let mut r = Reassembler::new(cfg);
+        let mut done = HashMap::new();
+        for (f1, f2) in fa.iter().zip(fb.iter()) {
+            if let PushResult::Complete(b) = r.push("alice", f1.clone()).unwrap() {
+                done.insert("alice", b);
+            }
+            if let PushResult::Complete(b) = r.push("bob", f2.clone()).unwrap() {
+                done.insert("bob", b);
+            }
+        }
+        assert_eq!(&done["alice"][..], &pa[..]);
+        assert_eq!(&done["bob"][..], &pb[..]);
+    }
+
+    #[test]
+    fn stale_partials_evicted() {
+        let cfg = BatchConfig {
+            chunk_size: 10,
+            compress: false,
+            stale_after: Duration::from_millis(10),
+        };
+        let frames = split(&[0u8; 100], 5, &cfg);
+        let mut r = Reassembler::new(cfg);
+        let _ = r.push("s", frames[0].clone()).unwrap();
+        assert_eq!(r.pending(), 1);
+        assert!(r.buffered_bytes() > 0);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(r.evict_stale(), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn corrupted_chunk_rejected() {
+        let cfg = config(100, false);
+        let frames = split(&[7u8; 1000], 9, &cfg);
+        let mut bad = frames[0].to_vec();
+        let last = bad.len() - 10;
+        bad[last] ^= 0xFF;
+        let mut r = Reassembler::new(cfg);
+        assert!(r.push("s", Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn compression_reduces_wire_bytes_for_model_params() {
+        // Simulated parameter payload: blocky float pattern.
+        let floats: Vec<f32> = (0..50_000).map(|i| ((i / 64) % 10) as f32 * 0.1).collect();
+        let payload: Vec<u8> = floats.iter().flat_map(|f| f.to_le_bytes()).collect();
+        let on: usize = split(&payload, 1, &config(64 * 1024, true))
+            .iter()
+            .map(|f| f.len())
+            .sum();
+        let off: usize = split(&payload, 1, &config(64 * 1024, false))
+            .iter()
+            .map(|f| f.len())
+            .sum();
+        assert!(
+            on < off / 2,
+            "compression should at least halve this payload: {on} vs {off}"
+        );
+    }
+}

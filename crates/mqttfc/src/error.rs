@@ -1,0 +1,59 @@
+//! Error types for the MQTTFC layer.
+
+use crate::json::JsonError;
+use crate::wire::WireError;
+use sdflmq_mqtt::MqttError;
+use std::fmt;
+
+/// Errors produced by the fleet controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RfcError {
+    /// The underlying MQTT operation failed.
+    Mqtt(MqttError),
+    /// A wire structure failed to decode.
+    Wire(WireError),
+    /// JSON (de)serialization failed.
+    Json(JsonError),
+    /// The callee reported an error; the string is its description.
+    Remote(String),
+    /// No reply arrived within the deadline.
+    Timeout,
+    /// A function was exposed twice or the name is invalid.
+    BadFunction(String),
+}
+
+impl fmt::Display for RfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfcError::Mqtt(e) => write!(f, "mqtt: {e}"),
+            RfcError::Wire(e) => write!(f, "wire: {e}"),
+            RfcError::Json(e) => write!(f, "json: {e}"),
+            RfcError::Remote(msg) => write!(f, "remote error: {msg}"),
+            RfcError::Timeout => write!(f, "rfc call timed out"),
+            RfcError::BadFunction(name) => write!(f, "bad function: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RfcError {}
+
+impl From<MqttError> for RfcError {
+    fn from(e: MqttError) -> Self {
+        RfcError::Mqtt(e)
+    }
+}
+
+impl From<WireError> for RfcError {
+    fn from(e: WireError) -> Self {
+        RfcError::Wire(e)
+    }
+}
+
+impl From<JsonError> for RfcError {
+    fn from(e: JsonError) -> Self {
+        RfcError::Json(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, RfcError>;

@@ -1,0 +1,156 @@
+//! Property-based tests: compression, batching, JSON, and RFC wire format.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use sdflmq_mqttfc::batching::{split, BatchConfig, PushResult, Reassembler};
+use sdflmq_mqttfc::compress::{compress, compress_auto, decompress, decompress_auto};
+use sdflmq_mqttfc::json::Json;
+use sdflmq_mqttfc::wire::{Chunk, RfcKind, RfcMessage};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+proptest! {
+    /// LZSS round-trips arbitrary binary data.
+    #[test]
+    fn lzss_roundtrip(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(decompress(&compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(decompress_auto(&compress_auto(&data)).unwrap(), data);
+    }
+
+    /// Repetitive data round-trips and never *grows* through the auto path
+    /// by more than the 1-byte mode tag.
+    #[test]
+    fn lzss_auto_bounded_overhead(
+        pattern in prop::collection::vec(any::<u8>(), 1..16),
+        repeats in 1usize..200,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * repeats).collect();
+        let auto = compress_auto(&data);
+        prop_assert!(auto.len() <= data.len() + 1);
+        prop_assert_eq!(decompress_auto(&auto).unwrap(), data);
+    }
+
+    /// The decompressor must never panic on arbitrary input.
+    #[test]
+    fn decompress_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+        let _ = decompress_auto(&data);
+    }
+
+    /// Batching round-trips any payload at any chunk size, in order or
+    /// reversed.
+    #[test]
+    fn batching_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 0..20_000),
+        chunk_size in 1usize..8192,
+        compress_on in prop::bool::ANY,
+        reversed in prop::bool::ANY,
+    ) {
+        let cfg = BatchConfig {
+            chunk_size,
+            compress: compress_on,
+            stale_after: Duration::from_secs(60),
+        };
+        let mut frames = split(&payload, 42, &cfg);
+        if reversed {
+            frames.reverse();
+        }
+        let mut r = Reassembler::new(cfg);
+        let mut out = None;
+        for f in frames {
+            if let PushResult::Complete(b) = r.push("prop", f).unwrap() {
+                out = Some(b);
+            }
+        }
+        prop_assert_eq!(&out.expect("transfer completes")[..], &payload[..]);
+        prop_assert_eq!(r.pending(), 0);
+    }
+
+    /// Chunk frames survive encode/decode; corrupted frames are rejected,
+    /// never mis-decoded silently (CRC property).
+    #[test]
+    fn chunk_crc_catches_single_bitflips(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        flip_bit in 0usize..64,
+    ) {
+        let chunk = Chunk {
+            transfer_id: 7,
+            seq: 0,
+            total: 1,
+            payload_crc: 0xABCD_EF01,
+            data: Bytes::from(data),
+        };
+        let encoded = chunk.encode();
+        prop_assert_eq!(Chunk::decode(encoded.clone()).unwrap(), chunk);
+        let mut corrupted = encoded.to_vec();
+        let bit = flip_bit % (corrupted.len() * 8);
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        // Either an error, or (if the flip hit the CRC of a zero-length
+        // region...) still never equal to a *different* valid chunk with
+        // matching CRC — single bit flips are always caught by CRC32.
+        prop_assert!(Chunk::decode(Bytes::from(corrupted)).is_err());
+    }
+
+    /// RFC envelopes round-trip arbitrary contents.
+    #[test]
+    fn rfc_message_roundtrip(
+        call_id in any::<u64>(),
+        function in "[a-z_]{1,20}",
+        sender in "[a-z0-9_]{1,20}",
+        has_reply in prop::bool::ANY,
+        kind_sel in 0u8..3,
+        payload in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let msg = RfcMessage {
+            call_id,
+            function,
+            sender: sender.clone(),
+            reply_to: if has_reply { Some(format!("mqttfc/inbox/{sender}")) } else { None },
+            kind: match kind_sel {
+                0 => RfcKind::Request,
+                1 => RfcKind::Response,
+                _ => RfcKind::Error,
+            },
+            payload: Bytes::from(payload),
+        };
+        prop_assert_eq!(RfcMessage::decode(msg.encode()).unwrap(), msg);
+    }
+}
+
+// --- JSON value strategy ---------------------------------------------
+
+fn json_leaf() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite numbers only: NaN/Inf intentionally serialize as null.
+        (-1e9f64..1e9).prop_map(|n| Json::Number((n * 100.0).round() / 100.0)),
+        "[ -~]{0,20}".prop_map(Json::String),
+    ]
+}
+
+fn json_value() -> impl Strategy<Value = Json> {
+    json_leaf().prop_recursive(3, 32, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|m| Json::Object(m.into_iter().collect::<BTreeMap<_, _>>())),
+        ]
+    })
+}
+
+proptest! {
+    /// Serialized JSON parses back to the same value.
+    #[test]
+    fn json_roundtrip(value in json_value()) {
+        let text = value.to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    /// The parser never panics on arbitrary input strings.
+    #[test]
+    fn json_parse_never_panics(text in "[ -~]{0,128}") {
+        let _ = Json::parse(&text);
+    }
+}

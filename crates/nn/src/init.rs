@@ -1,0 +1,89 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initialization scheme for dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming uniform — suited to ReLU activations.
+    HeUniform,
+    /// Xavier/Glorot uniform — suited to symmetric activations.
+    XavierUniform,
+    /// All zeros (used in tests and for bias vectors).
+    Zeros,
+}
+
+impl Init {
+    /// Fills `weights` for a layer with `fan_in` inputs and `fan_out`
+    /// outputs using the scheme, deterministically from `rng`.
+    pub fn fill(self, weights: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut StdRng) {
+        match self {
+            Init::Zeros => weights.fill(0.0),
+            Init::HeUniform => {
+                let bound = (6.0f64 / fan_in.max(1) as f64).sqrt() as f32;
+                for w in weights {
+                    *w = rng.gen_range(-bound..=bound);
+                }
+            }
+            Init::XavierUniform => {
+                let bound = (6.0f64 / (fan_in + fan_out).max(1) as f64).sqrt() as f32;
+                for w in weights {
+                    *w = rng.gen_range(-bound..=bound);
+                }
+            }
+        }
+    }
+}
+
+/// Creates a deterministic RNG for model initialization.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_uniform_respects_bound_and_seed() {
+        let mut rng = seeded_rng(42);
+        let mut w1 = vec![0.0f32; 1000];
+        Init::HeUniform.fill(&mut w1, 100, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w1.iter().all(|v| v.abs() <= bound + 1e-6));
+        assert!(w1.iter().any(|v| v.abs() > bound * 0.5), "spread out");
+
+        // Same seed → identical init.
+        let mut rng2 = seeded_rng(42);
+        let mut w2 = vec![0.0f32; 1000];
+        Init::HeUniform.fill(&mut w2, 100, 50, &mut rng2);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn xavier_bound_uses_both_fans() {
+        let mut rng = seeded_rng(1);
+        let mut w = vec![0.0f32; 500];
+        Init::XavierUniform.fill(&mut w, 300, 100, &mut rng);
+        let bound = (6.0f32 / 400.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = seeded_rng(7);
+        let mut w = vec![1.0f32; 8];
+        Init::Zeros.fill(&mut w, 4, 2, &mut rng);
+        assert!(w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        Init::HeUniform.fill(&mut a, 8, 8, &mut seeded_rng(1));
+        Init::HeUniform.fill(&mut b, 8, 8, &mut seeded_rng(2));
+        assert_ne!(a, b);
+    }
+}

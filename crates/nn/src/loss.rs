@@ -1,0 +1,141 @@
+//! Loss functions with fused gradients.
+
+use crate::tensor::Matrix;
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` is ∂loss/∂logits already
+/// divided by the batch size (i.e. ready to feed [`crate::mlp::Mlp::backward`]).
+/// The softmax uses the max-subtraction trick for numerical stability.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let batch = logits.rows().max(1) as f32;
+    let classes = logits.cols();
+    let mut dlogits = Matrix::zeros(logits.rows(), classes);
+    let mut total_loss = 0.0f64;
+
+    #[allow(clippy::needless_range_loop)] // r indexes three parallel views
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let label = labels[r];
+        assert!(label < classes, "label {label} out of range {classes}");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let out = dlogits.row_mut(r);
+        for (o, &z) in out.iter_mut().zip(row.iter()) {
+            let e = (z - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+        // loss = -log p[label]; clamp avoids -inf on exact zeros.
+        let p = out[label].max(1e-12);
+        total_loss += -(p.ln() as f64);
+        // d/dz = (softmax - onehot) / batch
+        out[label] -= 1.0;
+        for o in out.iter_mut() {
+            *o /= batch;
+        }
+    }
+    ((total_loss / batch as f64) as f32, dlogits)
+}
+
+/// Mean squared error over a batch; returns `(mean_loss, dpred)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.rows(), target.rows());
+    assert_eq!(pred.cols(), target.cols());
+    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    let mut dpred = Matrix::zeros(pred.rows(), pred.cols());
+    let mut total = 0.0f64;
+    for ((d, &p), &t) in dpred
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data().iter())
+        .zip(target.data().iter())
+    {
+        let diff = p - t;
+        total += (diff * diff) as f64;
+        *d = 2.0 * diff / n;
+    }
+    ((total / n as f64) as f32, dpred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Matrix::zeros(4, 10);
+        let labels = [0usize, 3, 7, 9];
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero (softmax minus one-hot).
+        for r in 0..4 {
+            let s: f32 = dlogits.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 1, 10.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-3, "loss {loss}");
+        let (bad_loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(bad_loss > 5.0, "loss {bad_loss}");
+    }
+
+    #[test]
+    fn extreme_logits_are_stable() {
+        let logits = Matrix::from_vec(1, 3, vec![1000.0, -1000.0, 999.0]);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(dlogits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 0.3, 0.9, -0.7]);
+        let labels = [2usize, 0];
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = logits.get(r, c);
+                logits.set(r, c, orig + eps);
+                let (lp, _) = softmax_cross_entropy(&logits, &labels);
+                logits.set(r, c, orig - eps);
+                let (lm, _) = softmax_cross_entropy(&logits, &labels);
+                logits.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - dlogits.get(r, c)).abs() < 1e-3,
+                    "({r},{c}): {numeric} vs {}",
+                    dlogits.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Matrix::zeros(1, 3);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 2.0]);
+        let (loss, dpred) = mse(&pred, &target);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert!((dpred.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(dpred.get(0, 1), 0.0);
+    }
+}

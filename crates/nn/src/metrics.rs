@@ -1,0 +1,137 @@
+//! Classification metrics.
+
+use crate::tensor::Matrix;
+
+/// Index of the maximum value in a row (ties resolve to the first).
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fraction of rows whose argmax equals the label, in `[0, 1]`.
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..logits.rows())
+        .filter(|&r| argmax(logits.row(r)) == labels[r])
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Confusion matrix: `counts[true][predicted]`.
+pub fn confusion_matrix(logits: &Matrix, labels: &[usize], classes: usize) -> Vec<Vec<u32>> {
+    let mut counts = vec![vec![0u32; classes]; classes];
+    for (r, &label) in labels.iter().enumerate() {
+        let pred = argmax(logits.row(r));
+        if label < classes && pred < classes {
+            counts[label][pred] += 1;
+        }
+    }
+    counts
+}
+
+/// Per-class recall (diagonal over row sums), `f64::NAN` for absent classes.
+pub fn per_class_recall(confusion: &[Vec<u32>]) -> Vec<f64> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let total: u32 = row.iter().sum();
+            if total == 0 {
+                f64::NAN
+            } else {
+                row[i] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Online mean tracker used for loss curves.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Current mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 0.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_and_recall() {
+        let logits = Matrix::from_vec(
+            4,
+            2,
+            vec![
+                0.9, 0.1, // pred 0, true 0
+                0.2, 0.8, // pred 1, true 0
+                0.3, 0.7, // pred 1, true 1
+                0.6, 0.4, // pred 0, true 1
+            ],
+        );
+        let cm = confusion_matrix(&logits, &[0, 0, 1, 1], 2);
+        assert_eq!(cm, vec![vec![1, 1], vec![1, 1]]);
+        let recall = per_class_recall(&cm);
+        assert!((recall[0] - 0.5).abs() < 1e-9);
+        assert!((recall[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(2.0);
+        m.push(4.0);
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(m.count(), 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Multi-layer perceptron with *flat* parameter storage.
+//!
+//! All weights and biases live in one contiguous `Vec<f32>`; layers address
+//! slices of it via offsets. This layout is chosen for federated learning:
+//! "send the model" is a single slice serialization, aggregation is
+//! element-wise arithmetic over equal-length vectors, and optimizers step
+//! over one flat buffer with no per-layer bookkeeping.
+
+use crate::init::{seeded_rng, Init};
+use crate::tensor::Matrix;
+
+/// Architecture description for an MLP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    /// Input feature count.
+    pub input: usize,
+    /// Hidden layer widths (each followed by ReLU).
+    pub hidden: Vec<usize>,
+    /// Output class count (linear logits; pair with softmax cross-entropy).
+    pub output: usize,
+}
+
+impl MlpSpec {
+    /// The paper's evaluation model: 784-→128→64→10 MLP for 28×28 digits.
+    pub fn mnist_mlp() -> MlpSpec {
+        MlpSpec {
+            input: 28 * 28,
+            hidden: vec![128, 64],
+            output: 10,
+        }
+    }
+
+    /// Layer (fan_in, fan_out) pairs, input to output.
+    pub fn layer_dims(&self) -> Vec<(usize, usize)> {
+        let mut dims = Vec::with_capacity(self.hidden.len() + 1);
+        let mut prev = self.input;
+        for &h in &self.hidden {
+            dims.push((prev, h));
+            prev = h;
+        }
+        dims.push((prev, self.output));
+        dims
+    }
+
+    /// Total parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.layer_dims()
+            .iter()
+            .map(|(fi, fo)| fi * fo + fo)
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LayerLayout {
+    w_off: usize,
+    b_off: usize,
+    fan_in: usize,
+    fan_out: usize,
+}
+
+/// The MLP model.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    spec: MlpSpec,
+    layout: Vec<LayerLayout>,
+    params: Vec<f32>,
+}
+
+/// Forward-pass caches needed by [`Mlp::backward`].
+pub struct ForwardCache {
+    /// Layer inputs: `activations[0]` is the batch, `activations[i]` the
+    /// post-ReLU output of layer `i-1`.
+    activations: Vec<Matrix>,
+    /// Pre-activation values per layer.
+    pre_activations: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// The network output (logits) for the cached batch.
+    pub fn logits(&self) -> &Matrix {
+        self.pre_activations.last().expect("at least one layer")
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with He-uniform weights and zero biases,
+    /// deterministically from `seed`.
+    pub fn new(spec: MlpSpec, seed: u64) -> Mlp {
+        let mut layout = Vec::with_capacity(spec.hidden.len() + 1);
+        let mut off = 0usize;
+        for (fan_in, fan_out) in spec.layer_dims() {
+            layout.push(LayerLayout {
+                w_off: off,
+                b_off: off + fan_in * fan_out,
+                fan_in,
+                fan_out,
+            });
+            off += fan_in * fan_out + fan_out;
+        }
+        let mut params = vec![0.0f32; off];
+        let mut rng = seeded_rng(seed);
+        for l in &layout {
+            Init::HeUniform.fill(
+                &mut params[l.w_off..l.b_off],
+                l.fan_in,
+                l.fan_out,
+                &mut rng,
+            );
+            // Biases stay zero.
+        }
+        Mlp {
+            spec,
+            layout,
+            params,
+        }
+    }
+
+    /// The architecture.
+    pub fn spec(&self) -> &MlpSpec {
+        &self.spec
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable flat parameter vector (optimizers step over this).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Replaces all parameters; the length must match.
+    pub fn set_params(&mut self, new: &[f32]) {
+        assert_eq!(new.len(), self.params.len(), "parameter count mismatch");
+        self.params.copy_from_slice(new);
+    }
+
+    /// Number of dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.layout.len()
+    }
+
+    fn weights_of(&self, l: &LayerLayout) -> Matrix {
+        Matrix::from_vec(
+            l.fan_in,
+            l.fan_out,
+            self.params[l.w_off..l.b_off].to_vec(),
+        )
+    }
+
+    fn bias_of(&self, l: &LayerLayout) -> &[f32] {
+        &self.params[l.b_off..l.b_off + l.fan_out]
+    }
+
+    /// Computes logits for a batch (rows = samples, cols = features).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.spec.input, "input width mismatch");
+        let mut a = x.clone();
+        for (i, l) in self.layout.iter().enumerate() {
+            let w = self.weights_of(l);
+            let mut z = a.matmul(&w);
+            z.add_row_bias(self.bias_of(l));
+            if i + 1 < self.layout.len() {
+                z.map_inplace(|v| v.max(0.0));
+            }
+            a = z;
+        }
+        a
+    }
+
+    /// Forward pass retaining every intermediate needed for backprop.
+    pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
+        assert_eq!(x.cols(), self.spec.input, "input width mismatch");
+        let mut activations = Vec::with_capacity(self.layout.len());
+        let mut pre_activations = Vec::with_capacity(self.layout.len());
+        let mut a = x.clone();
+        for (i, l) in self.layout.iter().enumerate() {
+            let w = self.weights_of(l);
+            let mut z = a.matmul(&w);
+            z.add_row_bias(self.bias_of(l));
+            activations.push(a);
+            if i + 1 < self.layout.len() {
+                let mut relu = z.clone();
+                relu.map_inplace(|v| v.max(0.0));
+                pre_activations.push(z);
+                a = relu;
+            } else {
+                pre_activations.push(z.clone());
+                a = z;
+            }
+        }
+        ForwardCache {
+            activations,
+            pre_activations,
+        }
+    }
+
+    /// Backpropagates `dlogits` (∂loss/∂logits, already averaged over the
+    /// batch) through the cached forward pass, returning the flat gradient
+    /// vector aligned with [`Mlp::params`].
+    pub fn backward(&self, cache: &ForwardCache, dlogits: &Matrix) -> Vec<f32> {
+        let mut grads = vec![0.0f32; self.params.len()];
+        let mut dz = dlogits.clone();
+        for (i, l) in self.layout.iter().enumerate().rev() {
+            let a_in = &cache.activations[i];
+            // dW = a_inᵀ @ dz ; db = column sums of dz.
+            let dw = a_in.transpose_a_matmul(&dz);
+            grads[l.w_off..l.b_off].copy_from_slice(dw.data());
+            let db = dz.column_sums();
+            grads[l.b_off..l.b_off + l.fan_out].copy_from_slice(&db);
+            if i > 0 {
+                // dA_prev = dz @ Wᵀ, then gate by ReLU'(z_prev).
+                let w = self.weights_of(l);
+                let mut da = dz.matmul_transpose_b(&w);
+                let z_prev = &cache.pre_activations[i - 1];
+                for (d, z) in da.data_mut().iter_mut().zip(z_prev.data().iter()) {
+                    if *z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                dz = da;
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    fn tiny_spec() -> MlpSpec {
+        MlpSpec {
+            input: 4,
+            hidden: vec![5],
+            output: 3,
+        }
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let spec = tiny_spec();
+        assert_eq!(spec.param_count(), 4 * 5 + 5 + 5 * 3 + 3);
+        let mlp = Mlp::new(spec.clone(), 0);
+        assert_eq!(mlp.param_count(), spec.param_count());
+        assert_eq!(MlpSpec::mnist_mlp().param_count(), 784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(tiny_spec(), 1);
+        let x = Matrix::zeros(7, 4);
+        let logits = mlp.forward(&x);
+        assert_eq!(logits.rows(), 7);
+        assert_eq!(logits.cols(), 3);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Mlp::new(tiny_spec(), 99);
+        let b = Mlp::new(tiny_spec(), 99);
+        assert_eq!(a.params(), b.params());
+        let c = Mlp::new(tiny_spec(), 100);
+        assert_ne!(a.params(), c.params());
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut mlp = Mlp::new(tiny_spec(), 2);
+        let saved: Vec<f32> = mlp.params().to_vec();
+        mlp.params_mut().iter_mut().for_each(|p| *p += 1.0);
+        assert_ne!(mlp.params(), &saved[..]);
+        mlp.set_params(&saved);
+        assert_eq!(mlp.params(), &saved[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn set_params_checks_length() {
+        let mut mlp = Mlp::new(tiny_spec(), 2);
+        mlp.set_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let mlp = Mlp::new(tiny_spec(), 5);
+        let x = Matrix::from_vec(2, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, -0.8]);
+        let direct = mlp.forward(&x);
+        let cached = mlp.forward_cached(&x);
+        assert_eq!(cached.logits().data(), direct.data());
+    }
+
+    /// Numerical gradient check: the analytic backward pass must agree with
+    /// central finite differences on every parameter of a tiny network.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let spec = MlpSpec {
+            input: 3,
+            hidden: vec![4],
+            output: 2,
+        };
+        let mut mlp = Mlp::new(spec, 7);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.3, 0.8, -0.1, 0.9, 0.2]);
+        let labels = [1usize, 0];
+
+        let cache = mlp.forward_cached(&x);
+        let (_, dlogits) = softmax_cross_entropy(cache.logits(), &labels);
+        let analytic = mlp.backward(&cache, &dlogits);
+
+        let eps = 1e-3f32;
+        for idx in 0..mlp.param_count() {
+            let orig = mlp.params()[idx];
+            mlp.params_mut()[idx] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&mlp.forward(&x), &labels);
+            mlp.params_mut()[idx] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&mlp.forward(&x), &labels);
+            mlp.params_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 2e-2,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gates_backward_flow() {
+        // With all-negative pre-activations in the hidden layer, hidden
+        // weight gradients must be zero.
+        let spec = MlpSpec {
+            input: 2,
+            hidden: vec![2],
+            output: 2,
+        };
+        let mut mlp = Mlp::new(spec, 3);
+        // Force hidden layer pre-activations negative via biases.
+        let w_end = 2 * 2;
+        for b in &mut mlp.params_mut()[w_end..w_end + 2] {
+            *b = -100.0;
+        }
+        let x = Matrix::from_vec(1, 2, vec![0.1, 0.1]);
+        let cache = mlp.forward_cached(&x);
+        let (_, dlogits) = softmax_cross_entropy(cache.logits(), &[0]);
+        let grads = mlp.backward(&cache, &dlogits);
+        // First-layer weight grads (offsets 0..4) are zero: ReLU is closed.
+        assert!(grads[..4].iter().all(|&g| g == 0.0), "{:?}", &grads[..4]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Optimizers stepping over flat parameter vectors.
+
+/// An optimizer updates parameters in place from a gradient of equal length.
+pub trait Optimizer: Send {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    /// Clears accumulated state (momentum buffers etc.).
+    fn reset(&mut self);
+    /// Human-readable name for logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum factor in `[0, 1)`; 0 disables momentum.
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
+        assert!((0.0..1.0).contains(&momentum));
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+        } else {
+            if self.velocity.len() != params.len() {
+                self.velocity = vec![0.0; params.len()];
+            }
+            for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+                *v = self.momentum * *v + g;
+                *p -= self.lr * *v;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the paper's use-case snippet optimizes with
+/// Adam at lr 0.001.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bias1;
+            let v_hat = *v / bias2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)² from x = 0 and checks convergence.
+    fn optimize_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut params = vec![0.0f32];
+        for _ in 0..steps {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            opt.step(&mut params, &grads);
+        }
+        params[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = optimize_quadratic(&mut opt, 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01);
+        let mut momentum = Sgd::with_momentum(0.01, 0.9);
+        let x_plain = optimize_quadratic(&mut plain, 50);
+        let x_momentum = optimize_quadratic(&mut momentum, 50);
+        assert!(
+            (x_momentum - 3.0).abs() < (x_plain - 3.0).abs(),
+            "momentum {x_momentum} vs plain {x_plain}"
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = optimize_quadratic(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut p = vec![1.0f32];
+        opt.step(&mut p, &[1.0]);
+        assert_eq!(opt.t, 1);
+        opt.reset();
+        assert_eq!(opt.t, 0);
+        assert!(opt.m.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![0.0f32; 2];
+        opt.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the first Adam step ≈ lr regardless of
+        // gradient magnitude.
+        let mut opt = Adam::new(0.5);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1e-4]);
+        assert!((p[0].abs() - 0.5).abs() < 0.01, "step {}", p[0]);
+    }
+}

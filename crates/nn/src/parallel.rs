@@ -1,0 +1,146 @@
+//! Scoped-thread data-parallel helpers.
+//!
+//! The guides' recommended pattern (rayon's `par_chunks_mut`) implemented
+//! directly on `std::thread::scope`: split a mutable slice into disjoint
+//! chunks and hand each to its own thread. Disjointness makes this safe
+//! without any locking, and `scope` guarantees the borrows end before the
+//! function returns.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads to use for data-parallel kernels.
+///
+/// Defaults to the machine's available parallelism, clamped to 8 — beyond
+/// that, the memory-bound kernels in this crate stop scaling. Can be
+/// overridden (for experiments and tests) via the `SDFLMQ_NN_THREADS`
+/// environment variable, read once.
+pub fn recommended_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("SDFLMQ_NN_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.clamp(1, 64);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
+    })
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint chunks of `data`, each up to
+/// `chunk_len` elements, in parallel. Falls back to an inline call when
+/// there is only one chunk (or chunks are degenerate), so small inputs pay
+/// no threading cost.
+pub fn for_each_chunk_mut<T: Send, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    if data.len() <= chunk_len {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx, chunk));
+        }
+    });
+}
+
+/// Maps `f` over index ranges `[0, len)` split into `parts` contiguous
+/// ranges, collecting each part's result in order. Used for parallel
+/// reductions where each worker owns a private accumulator.
+pub fn map_ranges<R: Send, F>(len: usize, parts: usize, f: F) -> Vec<R>
+where
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let parts = parts.clamp(1, len.max(1));
+    let per = len.div_ceil(parts);
+    if parts == 1 {
+        return vec![f(0..len)];
+    }
+    let mut out: Vec<Option<R>> = (0..parts).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (idx, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            let start = idx * per;
+            let end = ((idx + 1) * per).min(len);
+            scope.spawn(move || {
+                *slot = Some(f(start..end));
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("worker finished")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut data = vec![0u32; 1000];
+        for_each_chunk_mut(&mut data, 173, |_, chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn chunk_indices_are_positional() {
+        let mut data = vec![0usize; 100];
+        for_each_chunk_mut(&mut data, 30, |idx, chunk| {
+            for v in chunk {
+                *v = idx;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[29], 0);
+        assert_eq!(data[30], 1);
+        assert_eq!(data[99], 3);
+    }
+
+    #[test]
+    fn small_input_runs_inline() {
+        let mut data = vec![1u8; 4];
+        for_each_chunk_mut(&mut data, 100, |idx, chunk| {
+            assert_eq!(idx, 0);
+            assert_eq!(chunk.len(), 4);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut data: Vec<u8> = vec![];
+        for_each_chunk_mut(&mut data, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_ranges_partitions_exactly() {
+        let sums = map_ranges(1000, 7, |range| range.sum::<usize>());
+        let total: usize = sums.iter().sum();
+        assert_eq!(total, (0..1000).sum::<usize>());
+        assert_eq!(sums.len(), 7);
+    }
+
+    #[test]
+    fn map_ranges_single_part() {
+        let sums = map_ranges(10, 1, |range| range.len());
+        assert_eq!(sums, vec![10]);
+    }
+
+    #[test]
+    fn threads_env_is_clamped() {
+        // Only checks the static accessor works; the env var is read once
+        // per process so we cannot vary it here.
+        let n = recommended_threads();
+        assert!((1..=64).contains(&n));
+    }
+}

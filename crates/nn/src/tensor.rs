@@ -1,0 +1,361 @@
+//! Dense row-major matrices with cache-friendly, optionally multi-threaded
+//! kernels.
+//!
+//! This is deliberately a *small* tensor library: 2-D `f32` matrices with
+//! exactly the operations an MLP training loop needs. The matmul uses the
+//! i-k-j loop order (streaming the B rows through cache) and splits the
+//! output rows across scoped threads above a size threshold — the
+//! rayon-style data-parallel pattern implemented directly on
+//! `std::thread::scope`.
+
+use crate::parallel::{for_each_chunk_mut, recommended_threads};
+
+/// Row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the backing buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Builds a matrix from a subset of rows (used for mini-batching).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// `self @ other`, allocating the output.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self @ other` without allocating. `out` must be pre-shaped.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert_eq!(out.rows, self.rows, "output rows");
+        assert_eq!(out.cols, other.cols, "output cols");
+        out.data.fill(0.0);
+
+        let n = other.cols;
+        let k_dim = self.cols;
+        // Parallel across output-row chunks when the work is large enough
+        // to amortize thread spawn (~0.5 MFLOP per thread minimum).
+        let flops = self.rows * n * k_dim;
+        let threads = if flops >= 1 << 20 {
+            recommended_threads().min(self.rows.max(1))
+        } else {
+            1
+        };
+
+        let a = &self.data;
+        let b = &other.data;
+        let rows_per_chunk = chunkwise_rows(self.rows, threads);
+        for_each_chunk_mut(&mut out.data, rows_per_chunk * n, |chunk_idx, chunk| {
+            // i-k-j: for each output row, stream B rows through cache.
+            let start_row = chunk_idx * rows_per_chunk;
+            for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = start_row + local_i;
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[k * n..(k + 1) * n];
+                    for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_ik * b_kj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// `self @ otherᵀ` (without materializing the transpose) — used for the
+    /// backward pass `dX = dY @ Wᵀ`.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        let k_dim = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        let flops = self.rows * n * k_dim;
+        let threads = if flops >= 1 << 20 {
+            recommended_threads().min(self.rows.max(1))
+        } else {
+            1
+        };
+        let rows_per_chunk = chunkwise_rows(self.rows, threads);
+        for_each_chunk_mut(&mut out.data, rows_per_chunk * n, |chunk_idx, chunk| {
+            let start_row = chunk_idx * rows_per_chunk;
+            for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = start_row + local_i;
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k_dim..(j + 1) * k_dim];
+                    let mut acc = 0.0f32;
+                    for (x, y) in a_row.iter().zip(b_row.iter()) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// `selfᵀ @ other` — used for the weight gradient `dW = Xᵀ @ dY`.
+    pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "batch dimensions must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        // Accumulate rank-1 updates row by row; single-threaded because the
+        // output (in×out) is small relative to the batch work and writes
+        // would contend.
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (k, &a_rk) in a_row.iter().enumerate() {
+                if a_rk == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for (o, &b_rj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_rk * b_rj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `bias` (length = cols) to every row.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums each column into a vector of length `cols` (bias gradient).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Rows handled per chunk when splitting `rows` across `threads`.
+fn chunkwise_rows(rows: usize, threads: usize) -> usize {
+    rows.div_ceil(threads.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    fn seq_matrix(rows: usize, cols: usize, scale: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i % 17) as f32 - 8.0) * scale).collect(),
+        )
+    }
+
+    #[test]
+    fn small_matmul_matches_naive() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        approx_eq(&c, &naive_matmul(&a, &b), 1e-6);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn large_matmul_takes_parallel_path() {
+        // 128x256 @ 256x128 exceeds the 1 MFLOP threshold.
+        let a = seq_matrix(128, 256, 0.01);
+        let b = seq_matrix(256, 128, 0.02);
+        approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn ragged_row_split_is_correct() {
+        // Rows not divisible by thread count exercise the tail chunk.
+        let a = seq_matrix(67, 130, 0.013);
+        let b = seq_matrix(130, 131, 0.007);
+        approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit() {
+        let a = seq_matrix(5, 7, 0.1);
+        let b = seq_matrix(4, 7, 0.2); // will be used as bᵀ: 7x4
+        let mut bt = Matrix::zeros(7, 4);
+        for i in 0..4 {
+            for j in 0..7 {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        approx_eq(&a.matmul_transpose_b(&b), &naive_matmul(&a, &bt), 1e-4);
+    }
+
+    #[test]
+    fn transpose_a_matmul_matches_explicit() {
+        let a = seq_matrix(6, 3, 0.3); // aᵀ: 3x6
+        let b = seq_matrix(6, 4, 0.1);
+        let mut at = Matrix::zeros(3, 6);
+        for i in 0..6 {
+            for j in 0..3 {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        approx_eq(&a.transpose_a_matmul(&b), &naive_matmul(&at, &b), 1e-4);
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        m.add_row_bias(&[10., 20., 30.]);
+        assert_eq!(m.data(), &[11., 22., 33., 14., 25., 36.]);
+        assert_eq!(m.column_sums(), vec![25., 47., 69.]);
+    }
+
+    #[test]
+    fn gather_rows_builds_batches() {
+        let m = Matrix::from_vec(4, 2, vec![0., 1., 10., 11., 20., 21., 30., 31.]);
+        let batch = m.gather_rows(&[3, 0]);
+        assert_eq!(batch.data(), &[30., 31., 0., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let mut m = Matrix::from_vec(1, 3, vec![3., 0., 4.]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        m.map_inplace(|v| v.max(1.0));
+        assert_eq!(m.data(), &[3., 1., 4.]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: tensor algebra laws and parameter serialization.
+
+use proptest::prelude::*;
+use sdflmq_nn::{deserialize_params, serialize_params, Matrix};
+
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn assert_close(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows());
+    prop_assert_eq!(a.cols(), b.cols());
+    for (x, y) in a.data().iter().zip(b.data().iter()) {
+        prop_assert!((x - y).abs() <= 1e-3 + 1e-4 * x.abs().max(y.abs()),
+            "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimized matmul agrees with the naive triple loop.
+    #[test]
+    fn matmul_matches_naive(
+        a in matrix(1..20, 1..20),
+        cols in 1usize..20,
+    ) {
+        let b_data: Vec<f32> = (0..a.cols() * cols)
+            .map(|i| ((i % 13) as f32) * 0.31 - 1.8)
+            .collect();
+        let b = Matrix::from_vec(a.cols(), cols, b_data);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b))?;
+    }
+
+    /// `a @ bᵀ` equals `a @ (explicit transpose of b)`.
+    #[test]
+    fn matmul_transpose_b_agrees(
+        a in matrix(1..12, 1..12),
+        rows_b in 1usize..12,
+    ) {
+        let b_data: Vec<f32> = (0..rows_b * a.cols())
+            .map(|i| ((i % 7) as f32) * 0.5 - 1.5)
+            .collect();
+        let b = Matrix::from_vec(rows_b, a.cols(), b_data);
+        let mut bt = Matrix::zeros(a.cols(), rows_b);
+        for i in 0..rows_b {
+            for j in 0..a.cols() {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        assert_close(&a.matmul_transpose_b(&b), &naive_matmul(&a, &bt))?;
+    }
+
+    /// `aᵀ @ b` equals the explicit construction too.
+    #[test]
+    fn transpose_a_matmul_agrees(
+        a in matrix(1..12, 1..12),
+        cols_b in 1usize..12,
+    ) {
+        let b_data: Vec<f32> = (0..a.rows() * cols_b)
+            .map(|i| ((i % 11) as f32) * 0.25 - 1.0)
+            .collect();
+        let b = Matrix::from_vec(a.rows(), cols_b, b_data);
+        let mut at = Matrix::zeros(a.cols(), a.rows());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        assert_close(&a.transpose_a_matmul(&b), &naive_matmul(&at, &b))?;
+    }
+
+    /// Column sums equal the row-bias inverse: sum(add_row_bias(zeros, b))
+    /// distributes b to every row.
+    #[test]
+    fn bias_column_sum_law(
+        rows in 1usize..16,
+        bias in prop::collection::vec(-5.0f32..5.0, 1..16),
+    ) {
+        let mut m = Matrix::zeros(rows, bias.len());
+        m.add_row_bias(&bias);
+        let sums = m.column_sums();
+        for (s, b) in sums.iter().zip(&bias) {
+            prop_assert!((s - b * rows as f32).abs() < 1e-3);
+        }
+    }
+
+    /// Parameter blobs round-trip bit-exactly.
+    #[test]
+    fn params_roundtrip(params in prop::collection::vec(any::<f32>(), 0..2048)) {
+        let bytes = serialize_params(&params);
+        let back = deserialize_params(&bytes).unwrap();
+        prop_assert_eq!(back.len(), params.len());
+        for (a, b) in back.iter().zip(&params) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Deserialization never panics on arbitrary bytes.
+    #[test]
+    fn deserialize_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = deserialize_params(&bytes);
+    }
+}

@@ -1,0 +1,181 @@
+//! Discrete-event simulation core.
+//!
+//! A classic event-queue simulator: events are `(time, sequence, payload)`
+//! triples in a min-heap; ties in time break by insertion order, making
+//! runs bit-for-bit deterministic regardless of payload content.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A discrete-event simulator over event payloads `E`.
+pub struct Simulator<E> {
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Simulator<E> {
+        Simulator {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still scheduled.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — a scheduling bug in the caller.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drives the simulation until the queue empties, invoking `handler`
+    /// for each event; the handler may schedule more events. Returns the
+    /// final time. `max_events` bounds runaway simulations.
+    pub fn run<F: FnMut(&mut Simulator<E>, SimTime, E)>(
+        &mut self,
+        max_events: u64,
+        mut handler: F,
+    ) -> SimTime {
+        let mut handled = 0u64;
+        while let Some((at, event)) = self.pop() {
+            handler(self, at, event);
+            handled += 1;
+            assert!(
+                handled <= max_events,
+                "simulation exceeded {max_events} events — livelock?"
+            );
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(3.0), "c");
+        sim.schedule_at(SimTime::from_secs_f64(1.0), "a");
+        sim.schedule_at(SimTime::from_secs_f64(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| sim.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulator::new();
+        let t = SimTime::from_secs_f64(1.0);
+        for i in 0..10 {
+            sim.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| sim.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_cascades() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        sim.run(100, |sim, _, depth| {
+            seen.push(depth);
+            if depth < 4 {
+                sim.schedule_in(SimDuration::from_secs_f64(1.0), depth + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(4.0));
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs_f64(1.0), ());
+        sim.pop();
+        sim.schedule_at(SimTime::from_secs_f64(0.5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn runaway_simulation_is_bounded() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.run(10, |sim, _, ()| {
+            sim.schedule_in(SimDuration::from_nanos(1), ());
+        });
+    }
+}

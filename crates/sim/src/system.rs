@@ -1,0 +1,202 @@
+//! Per-client system model: memory, CPU, and their round-to-round drift.
+//!
+//! The paper reads client stats with PSUtil/Tracemalloc and feeds them to
+//! the coordinator's load balancer. Here the "system" is simulated: each
+//! client has a memory capacity and CPU throughput that drift stochastically
+//! between rounds (other tenant processes come and go), which is precisely
+//! the signal the role-optimization experiments need.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Static description of a client machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Total RAM in bytes.
+    pub memory_total: u64,
+    /// Effective training throughput in f32 FLOP/s.
+    pub cpu_flops: f64,
+    /// Fraction of memory already used at start (0..1).
+    pub base_memory_load: f64,
+}
+
+impl SystemSpec {
+    /// A constrained edge device (512 MB RAM, 2 GFLOP/s).
+    pub fn edge_small() -> SystemSpec {
+        SystemSpec {
+            memory_total: 512 << 20,
+            cpu_flops: 2e9,
+            base_memory_load: 0.3,
+        }
+    }
+
+    /// A mid-range edge gateway (2 GB RAM, 8 GFLOP/s).
+    pub fn edge_medium() -> SystemSpec {
+        SystemSpec {
+            memory_total: 2 << 30,
+            cpu_flops: 8e9,
+            base_memory_load: 0.25,
+        }
+    }
+
+    /// A beefy edge server (8 GB RAM, 32 GFLOP/s).
+    pub fn edge_large() -> SystemSpec {
+        SystemSpec {
+            memory_total: 8u64 << 30,
+            cpu_flops: 32e9,
+            base_memory_load: 0.2,
+        }
+    }
+}
+
+/// A live client system whose load drifts across rounds.
+#[derive(Debug, Clone)]
+pub struct ClientSystem {
+    /// The machine description.
+    pub spec: SystemSpec,
+    /// Current fraction of memory in use by other tenants (0..1).
+    pub memory_load: f64,
+    /// Current fraction of CPU consumed by other tenants (0..1).
+    pub cpu_load: f64,
+    rng: StdRng,
+}
+
+/// A point-in-time stats report, the payload clients send the coordinator
+/// after each round (paper §III.E.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemStats {
+    /// Free memory in bytes.
+    pub free_memory: u64,
+    /// Available CPU throughput in FLOP/s.
+    pub available_flops: f64,
+    /// Memory utilization fraction.
+    pub memory_utilization: f64,
+}
+
+impl ClientSystem {
+    /// Creates a system with deterministic drift from `seed`.
+    pub fn new(spec: SystemSpec, seed: u64) -> ClientSystem {
+        let memory_load = spec.base_memory_load;
+        ClientSystem {
+            spec,
+            memory_load,
+            cpu_load: 0.1,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current stats snapshot.
+    pub fn stats(&self) -> SystemStats {
+        let free = (self.spec.memory_total as f64 * (1.0 - self.memory_load)).max(0.0) as u64;
+        SystemStats {
+            free_memory: free,
+            available_flops: self.spec.cpu_flops * (1.0 - self.cpu_load),
+            memory_utilization: self.memory_load,
+        }
+    }
+
+    /// Advances one round: loads take a bounded random-walk step.
+    pub fn drift(&mut self) {
+        let dm: f64 = self.rng.gen_range(-0.08..0.10);
+        self.memory_load = (self.memory_load + dm).clamp(0.05, 0.95);
+        let dc: f64 = self.rng.gen_range(-0.10..0.12);
+        self.cpu_load = (self.cpu_load + dc).clamp(0.0, 0.9);
+    }
+
+    /// Virtual time to train `samples` samples for `epochs` epochs on a
+    /// model with `params` parameters.
+    ///
+    /// Cost model: forward+backward ≈ 6 FLOPs per parameter per sample
+    /// (2 for forward matmul, 4 for backward), at current available
+    /// throughput.
+    pub fn training_time(&self, samples: usize, epochs: usize, params: usize) -> SimDuration {
+        let flops = 6.0 * params as f64 * samples as f64 * epochs as f64;
+        let available = (self.spec.cpu_flops * (1.0 - self.cpu_load)).max(1.0);
+        SimDuration::from_secs_f64(flops / available)
+    }
+
+    /// Virtual time to aggregate `n_models` parameter vectors of `params`
+    /// elements: one multiply-add per element per model, with a memory-
+    /// pressure penalty when the parameter stack spills past free memory
+    /// (the paper's motivation for dynamic role placement: an overloaded
+    /// aggregator pays extra load/store traffic).
+    pub fn aggregation_time(&self, n_models: usize, params: usize) -> SimDuration {
+        let flops = 2.0 * params as f64 * n_models as f64;
+        let available = (self.spec.cpu_flops * (1.0 - self.cpu_load)).max(1.0);
+        let mut secs = flops / available;
+        let needed = (n_models + 1) as f64 * params as f64 * 4.0; // f32 stack
+        let free = self.stats().free_memory as f64;
+        if needed > free {
+            // Thrash penalty proportional to the spill ratio.
+            let spill = (needed / free.max(1.0)).min(16.0);
+            secs *= 1.0 + spill;
+        }
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reflect_loads() {
+        let sys = ClientSystem::new(SystemSpec::edge_medium(), 1);
+        let stats = sys.stats();
+        assert!(stats.free_memory > 0);
+        assert!(stats.available_flops > 0.0);
+        assert!((stats.memory_utilization - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_bounded_and_deterministic() {
+        let mut a = ClientSystem::new(SystemSpec::edge_small(), 9);
+        let mut b = ClientSystem::new(SystemSpec::edge_small(), 9);
+        for _ in 0..100 {
+            a.drift();
+            b.drift();
+            assert!((0.05..=0.95).contains(&a.memory_load));
+            assert!((0.0..=0.9).contains(&a.cpu_load));
+        }
+        assert_eq!(a.memory_load, b.memory_load);
+        assert_eq!(a.cpu_load, b.cpu_load);
+    }
+
+    #[test]
+    fn training_time_scales_linearly() {
+        let sys = ClientSystem::new(SystemSpec::edge_medium(), 1);
+        let t1 = sys.training_time(100, 1, 10_000);
+        let t2 = sys.training_time(200, 1, 10_000);
+        let t4 = sys.training_time(200, 2, 10_000);
+        // Nanosecond rounding allows tiny deviations from exact ratios.
+        assert!((t2.as_secs_f64() / t1.as_secs_f64() - 2.0).abs() < 1e-5);
+        assert!((t4.as_secs_f64() / t1.as_secs_f64() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn faster_cpu_trains_faster() {
+        let small = ClientSystem::new(SystemSpec::edge_small(), 1);
+        let large = ClientSystem::new(SystemSpec::edge_large(), 1);
+        assert!(
+            large.training_time(1000, 5, 100_000).as_secs_f64()
+                < small.training_time(1000, 5, 100_000).as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn aggregation_penalized_by_memory_pressure() {
+        let mut sys = ClientSystem::new(SystemSpec::edge_small(), 1);
+        let fast = sys.aggregation_time(4, 100_000);
+        // Saturate memory: almost nothing free.
+        sys.memory_load = 0.95;
+        // Force a big enough stack to spill 512MB*0.05 ≈ 25 MB free.
+        let slow = sys.aggregation_time(100, 100_000);
+        let per_model_fast = fast.as_secs_f64() / 4.0;
+        let per_model_slow = slow.as_secs_f64() / 100.0;
+        assert!(
+            per_model_slow > per_model_fast * 2.0,
+            "spill penalty: {per_model_fast} vs {per_model_slow}"
+        );
+    }
+}

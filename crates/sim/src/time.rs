@@ -1,0 +1,178 @@
+//! Virtual time.
+//!
+//! Simulated time is integer nanoseconds — totally ordered, hashable, and
+//! immune to the float-comparison pitfalls of `f64`-based clocks. The
+//! experiment harness converts to seconds only at reporting time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Constructs from fractional seconds (must be finite and ≥ 0).
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Time elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Constructs from fractional seconds (must be finite and ≥ 0).
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Nanoseconds in the span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in the span.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimDuration::from_millis(250).as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs_f64(1.0) + SimDuration::from_secs_f64(0.5);
+        assert_eq!(t, SimTime::from_secs_f64(1.5));
+        let d = t - SimTime::from_secs_f64(1.0);
+        assert_eq!(d, SimDuration::from_secs_f64(0.5));
+        assert_eq!(t.since(SimTime::from_secs_f64(2.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = vec![
+            SimTime::from_secs_f64(2.0),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(1.0),
+        ];
+        times.sort();
+        assert_eq!(times[0], SimTime::ZERO);
+        assert_eq!(times[2], SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_subtraction_panics() {
+        let _ = SimTime::ZERO - SimTime::from_secs_f64(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn nan_time_panics() {
+        let _ = SimTime::from_secs_f64(f64::NAN);
+    }
+}

@@ -1,0 +1,93 @@
+//! Lightweight event tracing for experiment post-processing.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Free-form category (e.g. "train_done", "agg_done").
+    pub kind: String,
+    /// Subject node id.
+    pub node: String,
+}
+
+/// An append-only trace of simulation events.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, at: SimTime, kind: impl Into<String>, node: impl Into<String>) {
+        self.events.push(TraceEvent {
+            at,
+            kind: kind.into(),
+            node: node.into(),
+        });
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Timestamp of the last event of `kind`, if any.
+    pub fn last_of_kind(&self, kind: &str) -> Option<SimTime> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.kind == kind)
+            .map(|e| e.at)
+    }
+
+    /// Duration between the first event of `from` and the last of `to`.
+    pub fn span(&self, from: &str, to: &str) -> Option<SimDuration> {
+        let start = self.of_kind(from).next()?.at;
+        let end = self.last_of_kind(to)?;
+        Some(end.since(start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs_f64(1.0), "train_done", "c1");
+        t.record(SimTime::from_secs_f64(2.0), "agg_done", "a1");
+        t.record(SimTime::from_secs_f64(3.0), "agg_done", "root");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.of_kind("agg_done").count(), 2);
+        assert_eq!(t.last_of_kind("agg_done"), Some(SimTime::from_secs_f64(3.0)));
+        assert_eq!(
+            t.span("train_done", "agg_done"),
+            Some(SimDuration::from_secs_f64(2.0))
+        );
+        assert_eq!(t.span("missing", "agg_done"), None);
+    }
+}

@@ -1,0 +1,470 @@
+//! Integration tests for federation behaviours beyond the happy path:
+//! bridged-broker sessions, role rearrangement under drift, failure
+//! injection, and large-model transport.
+
+use sdflmq::core::{
+    ClientId, Coordinator, CoordinatorConfig, CoreError, MemoryAware, ModelId, ParamServer,
+    PreferredRole, RoundRobin, SdflmqClient, SdflmqClientConfig, SessionId, Topology, WaitOutcome,
+};
+use sdflmq::mqtt::{Bridge, BridgeConfig, Broker, BrokerConfig};
+use sdflmq::mqttfc::BatchConfig;
+use sdflmq::sim::SystemSpec;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn broker(name: &str) -> Broker {
+    Broker::start(BrokerConfig {
+        name: name.into(),
+        ..BrokerConfig::default()
+    })
+}
+
+#[test]
+fn fl_session_spans_bridged_brokers() {
+    let a = broker("region-a");
+    let b = broker("region-b");
+    let _bridge = Bridge::establish(&a, &b, BridgeConfig::mirror_all("ab")).unwrap();
+
+    let _coord = Coordinator::start(&a, CoordinatorConfig::default()).unwrap();
+    let _ps = ParamServer::start(&a, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("bridged-fl").unwrap();
+    let model = ModelId::new("toy").unwrap();
+
+    // Two clients on A (including the creator), two on B.
+    let creator = SdflmqClient::connect(
+        &a,
+        ClientId::new("a0").unwrap(),
+        SdflmqClientConfig::default(),
+    )
+    .unwrap();
+    creator
+        .create_fl_session(
+            &session,
+            &model,
+            Duration::from_secs(600),
+            4,
+            4,
+            Duration::from_secs(30),
+            2,
+            PreferredRole::Any,
+            100,
+        )
+        .unwrap();
+    let mut contributors = vec![(creator, 1.0f32)];
+    for (i, (home, value)) in [(&a, 2.0f32), (&b, 3.0), (&b, 4.0)].iter().enumerate() {
+        let c = SdflmqClient::connect(
+            home,
+            ClientId::new(format!("x{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        c.join_fl_session(&session, &model, PreferredRole::Any, 100)
+            .unwrap();
+        contributors.push((c, *value));
+    }
+
+    let mut handles = Vec::new();
+    for (client, value) in contributors {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            let local = vec![value; 16];
+            for _ in 0..2 {
+                client.set_model(&session, &local).unwrap();
+                client.send_local(&session).unwrap();
+                if client
+                    .wait_global_update(&session, Duration::from_secs(60))
+                    .unwrap()
+                    == WaitOutcome::Completed
+                {
+                    break;
+                }
+            }
+            client.model_params(&session).unwrap()
+        }));
+    }
+    for h in handles {
+        let finals = h.join().unwrap();
+        for v in finals {
+            assert!((v - 2.5).abs() < 1e-5, "mean of 1..4 is 2.5, got {v}");
+        }
+    }
+}
+
+#[test]
+fn round_robin_rotates_aggregators_across_rounds() {
+    let b = broker("rr");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            optimizer: Box::new(RoundRobin),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("rr-session").unwrap();
+    let model = ModelId::new("toy").unwrap();
+    let rounds = 4u32;
+
+    let aggregator_log: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+    let mut handles = Vec::new();
+    for i in 0..3usize {
+        let client = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("rr{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        if i == 0 {
+            client
+                .create_fl_session(
+                    &session,
+                    &model,
+                    Duration::from_secs(600),
+                    3,
+                    3,
+                    Duration::from_secs(30),
+                    rounds,
+                    PreferredRole::Any,
+                    10,
+                )
+                .unwrap();
+        } else {
+            client
+                .join_fl_session(&session, &model, PreferredRole::Any, 10)
+                .unwrap();
+        }
+        let session = session.clone();
+        let log = Arc::clone(&aggregator_log);
+        handles.push(std::thread::spawn(move || {
+            let local = vec![1.0f32; 8];
+            for _ in 1..=rounds {
+                client.set_model(&session, &local).unwrap();
+                client.send_local(&session).unwrap();
+                if client
+                    .current_role(&session)
+                    .map(|r| r.role.aggregates())
+                    .unwrap_or(false)
+                {
+                    log.lock().unwrap().insert(client.id().as_str().to_owned());
+                }
+                if client
+                    .wait_global_update(&session, Duration::from_secs(60))
+                    .unwrap()
+                    == WaitOutcome::Completed
+                {
+                    break;
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // With round-robin over 4 rounds and 3 clients, aggregation duty must
+    // have visited more than one client.
+    let distinct = aggregator_log.lock().unwrap().len();
+    assert!(
+        distinct >= 2,
+        "round robin should rotate the aggregator: only {distinct} distinct"
+    );
+}
+
+#[test]
+fn dead_client_aborts_session_via_round_timeout() {
+    let b = broker("timeout");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            round_timeout: Duration::from_secs(2),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("dead-client").unwrap();
+    let model = ModelId::new("toy").unwrap();
+
+    let alive = SdflmqClient::connect(
+        &b,
+        ClientId::new("alive").unwrap(),
+        SdflmqClientConfig::default(),
+    )
+    .unwrap();
+    alive
+        .create_fl_session(
+            &session,
+            &model,
+            Duration::from_secs(600),
+            2,
+            2,
+            Duration::from_secs(30),
+            2,
+            PreferredRole::Any,
+            10,
+        )
+        .unwrap();
+    // The second contributor joins but never sends its local model.
+    let ghost = SdflmqClient::connect(
+        &b,
+        ClientId::new("ghost").unwrap(),
+        SdflmqClientConfig::default(),
+    )
+    .unwrap();
+    ghost
+        .join_fl_session(&session, &model, PreferredRole::Any, 10)
+        .unwrap();
+
+    alive.set_model(&session, &[1.0; 4]).unwrap();
+    alive.send_local(&session).unwrap();
+    // The round can never complete; the coordinator's deadline fires.
+    let err = alive
+        .wait_global_update(&session, Duration::from_secs(20))
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Aborted(_)),
+        "expected abort, got {err:?}"
+    );
+}
+
+#[test]
+fn large_model_crosses_batching_path() {
+    let b = broker("large");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("large-model").unwrap();
+    let model = ModelId::new("big").unwrap();
+
+    // ~437 KB of parameters per client — forces multi-chunk transfers
+    // (64 KiB chunks) on every hop.
+    const PARAMS: usize = 109_386;
+    let mut handles = Vec::new();
+    for i in 0..2usize {
+        let client = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("big{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        if i == 0 {
+            client
+                .create_fl_session(
+                    &session,
+                    &model,
+                    Duration::from_secs(600),
+                    2,
+                    2,
+                    Duration::from_secs(30),
+                    1,
+                    PreferredRole::Any,
+                    100,
+                )
+                .unwrap();
+        } else {
+            client
+                .join_fl_session(&session, &model, PreferredRole::Any, 100)
+                .unwrap();
+        }
+        let session = session.clone();
+        let value = i as f32;
+        handles.push(std::thread::spawn(move || {
+            let local = vec![value; PARAMS];
+            client.set_model(&session, &local).unwrap();
+            client.send_local(&session).unwrap();
+            assert_eq!(
+                client
+                    .wait_global_update(&session, Duration::from_secs(120))
+                    .unwrap(),
+                WaitOutcome::Completed
+            );
+            client.model_params(&session).unwrap()
+        }));
+    }
+    for h in handles {
+        let finals = h.join().unwrap();
+        assert_eq!(finals.len(), PARAMS);
+        for v in finals {
+            assert!((v - 0.5).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn topology_document_is_retained_for_observers() {
+    // Paper Fig. 5: the coordinator publishes the cluster topology on the
+    // session topic. It is retained, so an observer subscribing *after*
+    // session start still receives it.
+    use sdflmq::mqtt::{Client, ClientOptions, QoS};
+    use sdflmq::mqttfc::Json;
+
+    let b = broker("observer");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("observed").unwrap();
+    let model = ModelId::new("toy").unwrap();
+    let mut clients = Vec::new();
+    for i in 0..2usize {
+        let c = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("obs{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        if i == 0 {
+            c.create_fl_session(
+                &session,
+                &model,
+                Duration::from_secs(600),
+                2,
+                2,
+                Duration::from_secs(30),
+                1,
+                PreferredRole::Any,
+                10,
+            )
+            .unwrap();
+        } else {
+            c.join_fl_session(&session, &model, PreferredRole::Any, 10)
+                .unwrap();
+        }
+        clients.push(c);
+    }
+    // Let the session start (roles handed out, topology published).
+    std::thread::sleep(Duration::from_millis(500));
+
+    let observer = Client::connect(&b, ClientOptions::new("late-observer")).unwrap();
+    observer
+        .subscribe_str("sdflmq/session/observed/topology", QoS::AtLeastOnce)
+        .unwrap();
+    let msg = observer.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert!(msg.retain, "topology arrives via retained replay");
+    let doc = Json::parse(&String::from_utf8_lossy(&msg.payload)).unwrap();
+    assert_eq!(doc.get("session").unwrap().as_str(), Some("observed"));
+    let assignments = doc.get("assignments").unwrap().as_array().unwrap();
+    assert_eq!(assignments.len(), 2);
+    // Exactly one root position in a central topology.
+    let roots = assignments
+        .iter()
+        .filter(|a| a.get("position").and_then(Json::as_str) == Some("root"))
+        .count();
+    assert_eq!(roots, 1);
+
+    // Drive the session to completion so threads exit cleanly.
+    let mut handles = Vec::new();
+    for c in clients {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            c.set_model(&session, &[1.0; 4]).unwrap();
+            c.send_local(&session).unwrap();
+            c.wait_global_update(&session, Duration::from_secs(60)).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn heterogeneous_fleet_prefers_big_machines_for_aggregation() {
+    let b = broker("hetero");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            optimizer: Box::new(MemoryAware),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("hetero").unwrap();
+    let model = ModelId::new("toy").unwrap();
+
+    // One big gateway among small devices: with memory-aware placement it
+    // must hold the aggregator role in round 1.
+    let specs = [
+        SystemSpec::edge_small(),
+        SystemSpec::edge_large(),
+        SystemSpec::edge_small(),
+    ];
+    let mut clients = Vec::new();
+    for (i, spec) in specs.into_iter().enumerate() {
+        let c = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("h{i}")).unwrap(),
+            SdflmqClientConfig {
+                system: spec,
+                system_seed: i as u64,
+                ..SdflmqClientConfig::default()
+            },
+        )
+        .unwrap();
+        if i == 0 {
+            c.create_fl_session(
+                &session,
+                &model,
+                Duration::from_secs(600),
+                3,
+                3,
+                Duration::from_secs(30),
+                1,
+                PreferredRole::Any,
+                10,
+            )
+            .unwrap();
+        } else {
+            c.join_fl_session(&session, &model, PreferredRole::Any, 10)
+                .unwrap();
+        }
+        clients.push(c);
+    }
+
+    let mut handles = Vec::new();
+    for client in clients {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            client.set_model(&session, &[1.0; 4]).unwrap();
+            client.send_local(&session).unwrap();
+            client
+                .wait_global_update(&session, Duration::from_secs(60))
+                .unwrap();
+            (
+                client.id().as_str().to_owned(),
+                client
+                    .current_role(&session)
+                    .map(|r| r.role.aggregates())
+                    .unwrap_or(false),
+            )
+        }));
+    }
+    let results: Vec<(String, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let aggregator: Vec<&str> = results
+        .iter()
+        .filter(|(_, agg)| *agg)
+        .map(|(id, _)| id.as_str())
+        .collect();
+    assert_eq!(aggregator, vec!["h1"], "the large machine aggregates");
+}
