@@ -2,7 +2,9 @@
 //! and optimizer ranking at fleet scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sdflmq_core::{build_plan, diff_plans, ClientInfo, ClientId, MemoryAware, RoleOptimizer, Topology};
+use sdflmq_core::{
+    build_plan, diff_plans, ClientId, ClientInfo, MemoryAware, RoleOptimizer, Topology,
+};
 use sdflmq_core::{CompositeScore, PreferredRole};
 use sdflmq_sim::SystemStats;
 use std::hint::black_box;

@@ -19,7 +19,11 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     group.sample_size(20);
     // batch x in @ in x out — shapes from the paper's MLP forward pass.
-    for (batch, input, output) in [(32usize, 784usize, 128usize), (256, 784, 128), (32, 128, 64)] {
+    for (batch, input, output) in [
+        (32usize, 784usize, 128usize),
+        (256, 784, 128),
+        (32, 128, 64),
+    ] {
         let a = matrix(batch, input, 17);
         let w = matrix(input, output, 23);
         let mut out = Matrix::zeros(batch, output);

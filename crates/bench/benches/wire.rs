@@ -1,6 +1,12 @@
-//! Wire-path micro-benchmarks: MQTT codec, LZSS compression, batching.
+//! Wire-path micro-benchmarks: MQTT codec, LZSS compression, batching,
+//! and the JSON-vs-binary control-plane codecs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdflmq_core::messages::{CtrlMsg, JoinRequest, RoundDone, StatsMsg};
+use sdflmq_core::{
+    ClientId, ControlMsg, Envelope, ModelId, MsgKind, Position, PreferredRole, Role, RoleSpec,
+    SessionId, WireVersion,
+};
 use sdflmq_mqtt::codec;
 use sdflmq_mqtt::packet::{Packet, Publish};
 use sdflmq_mqtt::topic::TopicName;
@@ -68,5 +74,107 @@ fn bench_batching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_compress, bench_batching);
+/// Representative control-plane messages: the three frames exchanged per
+/// client per round, plus the largest session-setup message.
+fn control_messages() -> Vec<(&'static str, MsgKind, ControlMsg)> {
+    let session = SessionId::new("fig8-session").unwrap();
+    let stats = StatsMsg {
+        free_memory: 3_221_225_472,
+        available_flops: 3.7e9,
+        memory_utilization: 0.4375,
+    };
+    vec![
+        (
+            "join",
+            MsgKind::Join,
+            ControlMsg::Join(JoinRequest {
+                session_id: session.clone(),
+                client_id: ClientId::new("client_017").unwrap(),
+                model_name: ModelId::new("mnist-mlp").unwrap(),
+                preferred_role: PreferredRole::Any,
+                num_samples: 600,
+                stats,
+                proto: WireVersion::LATEST.as_u8(),
+            }),
+        ),
+        (
+            "set_role",
+            MsgKind::Ctrl,
+            ControlMsg::Ctrl {
+                session: session.clone(),
+                msg: CtrlMsg::SetRole(RoleSpec {
+                    role: Role::TrainerAggregator,
+                    position: Some(Position::Agg(3)),
+                    parent: Position::Root,
+                    expected_inputs: 6,
+                    round: 4,
+                    data_wire: 2,
+                }),
+            },
+        ),
+        (
+            "round_done",
+            MsgKind::RoundDone,
+            ControlMsg::RoundDone(RoundDone {
+                session_id: session,
+                client_id: ClientId::new("client_017").unwrap(),
+                round: 4,
+                stats,
+            }),
+        ),
+    ]
+}
+
+fn bench_wirecodec(c: &mut Criterion) {
+    let messages = control_messages();
+
+    // Bytes-on-wire comparison (the tentpole acceptance number).
+    println!("\nwirecodec bytes-on-wire (json v1 vs binary v2):");
+    for (name, _kind, msg) in &messages {
+        let json = Envelope::new(WireVersion::V1Json, msg.clone()).encode();
+        let binary = Envelope::new(WireVersion::V2Binary, msg.clone()).encode();
+        println!(
+            "  {name:<12} json {:>4} B  binary {:>4} B  ({:.1}% smaller)",
+            json.len(),
+            binary.len(),
+            100.0 * (1.0 - binary.len() as f64 / json.len() as f64),
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("wirecodec");
+    for (name, kind, msg) in &messages {
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let tag = match version {
+                WireVersion::V1Json => "json",
+                WireVersion::V2Binary => "binary",
+            };
+            let frame = Envelope::new(version, msg.clone()).encode();
+            group.throughput(Throughput::Bytes(frame.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("encode_{name}"), tag),
+                msg,
+                |b, msg| {
+                    b.iter(|| black_box(Envelope::new(version, black_box(msg).clone()).encode()));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("decode_{name}"), tag),
+                &frame,
+                |b, frame| {
+                    b.iter(|| black_box(Envelope::decode(*kind, black_box(frame)).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_compress,
+    bench_batching,
+    bench_wirecodec
+);
 criterion_main!(benches);

@@ -17,24 +17,28 @@ use sdflmq_core::{
     simulate, AggregationMethod, CoordinateMedian, FedAvg, GeneticConfig, GeneticPlacement,
     MemoryAware, RandomPlacement, RoundRobin, SimConfig, StaticOrder, Topology, TrimmedMean,
 };
-use sdflmq_sim::SystemSpec;
 use sdflmq_dataset::{Split, SynthDigits};
 use sdflmq_mqttfc::batching::{split, BatchConfig};
 use sdflmq_nn::{evaluate, train, Matrix, Mlp, MlpSpec, Sgd, TrainConfig};
+use sdflmq_sim::SystemSpec;
 use std::time::Duration as StdDuration;
 
 fn ratio_sweep() {
     println!("\n## ABL-1: aggregator ratio sweep (20 clients, 10 rounds, virtual time)");
-    println!("{:>7} | {:>10} | {:>12}", "ratio", "total (s)", "aggregators");
+    println!(
+        "{:>7} | {:>10} | {:>12}",
+        "ratio", "total (s)", "aggregators"
+    );
     for ratio in [0.1, 0.2, 0.3, 0.4, 0.5] {
         let topo = Topology::Hierarchical {
             aggregator_ratio: ratio,
         };
         let aggs = topo.aggregator_count(20);
-        let report = simulate(SimConfig {
-            optimizer: Box::new(MemoryAware),
-            ..SimConfig::fig8(20, topo)
-        });
+        let report = simulate(
+            SimConfig::builder(20, topo)
+                .optimizer(Box::new(MemoryAware))
+                .build(),
+        );
         println!(
             "{ratio:>7.1} | {:>10.2} | {aggs:>12}",
             report.total.as_secs_f64()
@@ -55,15 +59,16 @@ fn optimizer_sweep() {
         ("random", Box::new(RandomPlacement::new(3))),
     ];
     for (name, optimizer) in policies {
-        let report = simulate(SimConfig {
-            optimizer,
-            ..SimConfig::fig8(
+        let report = simulate(
+            SimConfig::builder(
                 15,
                 Topology::Hierarchical {
                     aggregator_ratio: 0.3,
                 },
             )
-        });
+            .optimizer(optimizer)
+            .build(),
+        );
         let changes: usize = report.rounds.iter().skip(1).map(|r| r.rearranged).sum();
         println!(
             "{name:>12} | {:>10.2} | {:>16.1}",
@@ -79,7 +84,11 @@ fn payload_sweep() {
     let spec = MlpSpec::mnist_mlp();
     let model = Mlp::new(spec, 9);
     let payload = sdflmq_nn::serialize_params(model.params());
-    println!("raw payload: {} bytes ({} params)", payload.len(), model.param_count());
+    println!(
+        "raw payload: {} bytes ({} params)",
+        payload.len(),
+        model.param_count()
+    );
     println!(
         "{:>10} {:>12} | {:>8} | {:>12} | {:>14}",
         "chunk", "compress", "chunks", "wire bytes", "vs raw"
@@ -133,16 +142,17 @@ fn bridge_sweep() {
     println!("\n## ABL-4: broker bridging (20 clients, 10 rounds, virtual time)");
     println!("{:>8} | {:>10}", "regions", "total (s)");
     for regions in [1u32, 2, 4] {
-        let report = simulate(SimConfig {
-            optimizer: Box::new(MemoryAware),
-            regions,
-            ..SimConfig::fig8(
+        let report = simulate(
+            SimConfig::builder(
                 20,
                 Topology::Hierarchical {
                     aggregator_ratio: 0.3,
                 },
             )
-        });
+            .optimizer(Box::new(MemoryAware))
+            .regions(regions)
+            .build(),
+        );
         println!("{regions:>8} | {:>10.2}", report.total.as_secs_f64());
     }
     println!("(bridged regions pay a per-hop latency but keep per-broker load lower;");
@@ -195,9 +205,13 @@ fn robust_sweep() {
         "poisoned", "fedavg", "median", "trimmed(0.2)"
     );
     for poisoned in [0usize, 1, 2, 3, 4] {
-        let locals: Vec<Vec<f32>> = (0..clients).map(|ci| train_client(ci, ci < poisoned)).collect();
-        let contributions: Vec<(&[f32], u64)> =
-            locals.iter().map(|p| (p.as_slice(), samples as u64)).collect();
+        let locals: Vec<Vec<f32>> = (0..clients)
+            .map(|ci| train_client(ci, ci < poisoned))
+            .collect();
+        let contributions: Vec<(&[f32], u64)> = locals
+            .iter()
+            .map(|p| (p.as_slice(), samples as u64))
+            .collect();
         let mut row = format!("{poisoned:>9} |");
         for method in [
             Box::new(FedAvg) as Box<dyn AggregationMethod>,
@@ -218,31 +232,32 @@ fn genetic_sweep() {
     println!("\n## ABL-6: black-box genetic placement (paper future work) - heterogeneous fleet");
     println!("16 clients (1 large / 1 medium / 2 small, cycled), 120 rounds, stationary loads");
     let run = |optimizer: Box<dyn sdflmq_core::RoleOptimizer>| -> Vec<f64> {
-        let report = simulate(SimConfig {
-            optimizer,
-            rounds: 120,
-            drift: false, // stationary fleet: GA fitness stays comparable
-            // Light local training plus a large model: the round is
-            // dominated by aggregation, and an aggregator whose parameter
-            // stack spills its free memory pays the thrash penalty (paper
-            // s-III.E.6) - placement is the lever under test.
-            samples_per_client: 50,
-            local_epochs: 1,
-            model_params: 2_000_000,
-            scale_bandwidth_with_cpu: true,
-            system_mix: vec![
-                SystemSpec::edge_large(),
-                SystemSpec::edge_medium(),
-                SystemSpec::edge_small(),
-                SystemSpec::edge_small(),
-            ],
-            ..SimConfig::fig8(
+        let report = simulate(
+            SimConfig::builder(
                 16,
                 Topology::Hierarchical {
                     aggregator_ratio: 0.3,
                 },
             )
-        });
+            .optimizer(optimizer)
+            .rounds(120)
+            .drift(false) // stationary fleet: GA fitness stays comparable
+            // Light local training plus a large model: the round is
+            // dominated by aggregation, and an aggregator whose parameter
+            // stack spills its free memory pays the thrash penalty (paper
+            // s-III.E.6) - placement is the lever under test.
+            .samples_per_client(50)
+            .local_epochs(1)
+            .model_params(2_000_000)
+            .scale_bandwidth_with_cpu(true)
+            .system_mix(vec![
+                SystemSpec::edge_large(),
+                SystemSpec::edge_medium(),
+                SystemSpec::edge_small(),
+                SystemSpec::edge_small(),
+            ])
+            .build(),
+        );
         report
             .rounds
             .iter()

@@ -51,7 +51,9 @@ impl AggregationMethod for FedAvg {
         let len = validate(inputs)?;
         let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
         if total_weight == 0 {
-            return Err(CoreError::Protocol("total aggregation weight is zero".into()));
+            return Err(CoreError::Protocol(
+                "total aggregation weight is zero".into(),
+            ));
         }
         let mut out = vec![0.0f32; len];
         let inv_total = 1.0 / total_weight as f64;
@@ -122,7 +124,9 @@ impl AggregationMethod for TrimmedMean {
         let trim = ((n as f64) * self.trim_ratio).floor() as usize;
         let kept = n - 2 * trim;
         if kept == 0 {
-            return Err(CoreError::Protocol("trim ratio leaves no contributions".into()));
+            return Err(CoreError::Protocol(
+                "trim ratio leaves no contributions".into(),
+            ));
         }
         let mut out = vec![0.0f32; len];
         let mut column = vec![0.0f32; n];

@@ -8,6 +8,7 @@
 
 use crate::error::Result;
 use crate::messages::Blob;
+use crate::wirecodec::WireVersion;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sdflmq_mqtt::{Client, QoS, TopicFilter, TopicName};
@@ -15,8 +16,9 @@ use sdflmq_mqttfc::batching::{split, BatchConfig, PushResult, Reassembler};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Handler invoked with each fully reassembled blob.
-pub type BlobHandler = Arc<dyn Fn(Blob) + Send + Sync>;
+/// Handler invoked with each fully reassembled blob, along with the wire
+/// version its metadata used (so relays can answer in kind).
+pub type BlobHandler = Arc<dyn Fn(Blob, WireVersion) + Send + Sync>;
 
 /// A blob pub/sub endpoint bound to one MQTT client.
 #[derive(Clone)]
@@ -45,11 +47,25 @@ impl BlobChannel {
         }
     }
 
-    /// Publishes a blob to `topic`, splitting into chunks as needed.
+    /// Publishes a blob to `topic` with v1 (JSON) metadata — the version
+    /// every peer understands. Session participants should prefer
+    /// [`BlobChannel::publish_versioned`] with the role's stamped
+    /// data-plane version.
     pub fn publish(&self, topic: &TopicName, blob: &Blob) -> Result<()> {
-        let encoded = blob.encode();
-        let transfer_id =
-            self.transfer_base ^ self.next_transfer.fetch_add(1, Ordering::Relaxed);
+        self.publish_versioned(topic, blob, WireVersion::V1Json)
+    }
+
+    /// Publishes with an explicit metadata wire version, splitting into
+    /// chunks as needed. Relays use the version the inbound blob carried;
+    /// session participants use the role's stamped data-plane version.
+    pub fn publish_versioned(
+        &self,
+        topic: &TopicName,
+        blob: &Blob,
+        version: WireVersion,
+    ) -> Result<()> {
+        let encoded = blob.encode(version);
+        let transfer_id = self.transfer_base ^ self.next_transfer.fetch_add(1, Ordering::Relaxed);
         for frame in split(&encoded, transfer_id, &self.batch) {
             self.client.publish(topic, frame, self.qos, false)?;
         }
@@ -74,8 +90,8 @@ impl BlobChannel {
                     .lock()
                     .push(publish.topic.as_str(), publish.payload.clone());
                 if let Ok(PushResult::Complete(body)) = result {
-                    if let Ok(blob) = Blob::decode(body) {
-                        handler(blob);
+                    if let Ok((blob, version)) = Blob::decode_versioned(body) {
+                        handler(blob, version);
                     }
                 }
             }),
@@ -142,7 +158,7 @@ mod tests {
         rx_chan
             .subscribe(
                 &TopicFilter::new("params/in").unwrap(),
-                Arc::new(move |b| {
+                Arc::new(move |b, _| {
                     let _ = tx.send(b);
                 }),
             )
@@ -157,6 +173,32 @@ mod tests {
     }
 
     #[test]
+    fn binary_meta_pubsub_roundtrip() {
+        let broker = Broker::start_default();
+        let rx_chan = channel(&broker, "rx2");
+        let (tx, rx) = bounded(1);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("params/bin").unwrap(),
+                Arc::new(move |b, _| {
+                    let _ = tx.send(b);
+                }),
+            )
+            .unwrap();
+        let tx_chan = channel(&broker, "tx2");
+        let sent = blob(vec![9u8; 10_000]);
+        tx_chan
+            .publish_versioned(
+                &TopicName::new("params/bin").unwrap(),
+                &sent,
+                WireVersion::V2Binary,
+            )
+            .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, sent);
+    }
+
+    #[test]
     fn wildcard_subscription_sees_all_sessions() {
         let broker = Broker::start_default();
         let rx_chan = channel(&broker, "ps");
@@ -164,7 +206,7 @@ mod tests {
         rx_chan
             .subscribe(
                 &TopicFilter::new("sdflmq/session/+/ps").unwrap(),
-                Arc::new(move |b| {
+                Arc::new(move |b, _| {
                     let _ = tx.send(b.session_id.as_str().to_owned());
                 }),
             )
@@ -196,7 +238,7 @@ mod tests {
         rx_chan
             .subscribe(
                 &TopicFilter::new("agg/stack").unwrap(),
-                Arc::new(move |b| {
+                Arc::new(move |b, _| {
                     let _ = tx.send(b.sender.clone());
                 }),
             )

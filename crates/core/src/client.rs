@@ -23,11 +23,12 @@ use crate::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, 
 use crate::model_controller::ModelController;
 use crate::roles::{PreferredRole, RoleSpec};
 use crate::topics::{functions, global_topic, param_server_topic, position_topic, Position};
+use crate::wirecodec::{ControlMsg, Envelope, MsgKind, WireVersion};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
-use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
+use sdflmq_mqttfc::{FleetController, RfcConfig};
 use sdflmq_nn::params as nn_params;
 use sdflmq_sim::{ClientSystem, SystemSpec};
 use std::collections::HashMap;
@@ -108,11 +109,7 @@ impl RoundGate {
         let mut state = self.state.lock();
         let deadline = std::time::Instant::now() + timeout;
         while *state == 0 {
-            if self
-                .cond
-                .wait_until(&mut state, deadline)
-                .timed_out()
-            {
+            if self.cond.wait_until(&mut state, deadline).timed_out() {
                 return Err(CoreError::Timeout);
             }
         }
@@ -136,6 +133,9 @@ struct SessionHandle {
     /// Round of the most recent `send_local`; `wait_global_update` ignores
     /// round-start events at or below this mark.
     last_sent_round: u32,
+    /// Wire version negotiated with the coordinator at join time; used
+    /// for this session's control messages and blob metadata.
+    wire: WireVersion,
 }
 
 struct Inner {
@@ -172,12 +172,7 @@ impl SdflmqClient {
     ) -> Result<SdflmqClient> {
         let mqtt = Client::connect(broker, ClientOptions::new(id.as_str()))?;
         let fc = FleetController::new(mqtt.clone(), id.as_str(), config.rfc.clone())?;
-        let blobs = BlobChannel::new(
-            mqtt,
-            id.as_str(),
-            config.rfc.batch.clone(),
-            config.rfc.qos,
-        );
+        let blobs = BlobChannel::new(mqtt, id.as_str(), config.rfc.batch.clone(), config.rfc.qos);
         let inner = Arc::new(Inner {
             id: id.clone(),
             fc: fc.clone(),
@@ -188,7 +183,9 @@ impl SdflmqClient {
             system: Mutex::new(ClientSystem::new(config.system, config.system_seed)),
         });
 
-        // Control function: role arbiter + session lifecycle.
+        // Control function: role arbiter + session lifecycle. Decoding
+        // sniffs the frame, so JSON v1 and binary v2 coordinators both
+        // work regardless of what this session negotiated.
         let ctrl_inner = Arc::downgrade(&inner);
         fc.expose(
             &functions::client_ctrl(id.as_str()),
@@ -196,9 +193,11 @@ impl SdflmqClient {
                 let Some(inner) = ctrl_inner.upgrade() else {
                     return Err("client gone".into());
                 };
-                let text = String::from_utf8_lossy(&msg.payload);
-                let json = Json::parse(&text).map_err(|e| e.to_string())?;
-                let (session, ctrl) = CtrlMsg::from_envelope(&json).map_err(|e| e.to_string())?;
+                let envelope =
+                    Envelope::decode(MsgKind::Ctrl, &msg.payload).map_err(|e| e.to_string())?;
+                let ControlMsg::Ctrl { session, msg: ctrl } = envelope.msg else {
+                    return Err("expected a ctrl frame".into());
+                };
                 Self::handle_ctrl(&inner, &session, ctrl).map_err(|e| e.to_string())?;
                 Ok(Bytes::from_static(b"{\"status\":\"ok\"}"))
             }),
@@ -239,12 +238,15 @@ impl SdflmqClient {
             waiting_time_secs: waiting_time.as_secs_f64(),
             fl_rounds,
             preferred_role,
+            proto: WireVersion::LATEST.as_u8(),
         };
+        // Session requests always go out as JSON v1 so any coordinator can
+        // read them; the `proto` field advertises what we support.
         self.inner
             .fc
             .call_with_reply(
                 functions::NEW_SESSION,
-                Bytes::from(req.to_json().to_string_compact().into_bytes()),
+                Envelope::new(WireVersion::V1Json, ControlMsg::NewSession(req)).encode(),
             )
             .map_err(map_remote)?;
         self.join_fl_session(session_id, model_name, preferred_role, num_samples)
@@ -277,6 +279,7 @@ impl SdflmqClient {
                     events_rx,
                     num_samples,
                     last_sent_round: 0,
+                    wire: WireVersion::V1Json,
                 },
             );
         }
@@ -285,7 +288,7 @@ impl SdflmqClient {
         self.inner.blobs.subscribe(
             &TopicFilter::new(global_topic(session_id).as_str().to_owned())
                 .expect("global topic is a valid filter"),
-            Arc::new(move |blob: Blob| {
+            Arc::new(move |blob: Blob, _version: WireVersion| {
                 if let Some(inner) = global_inner.upgrade() {
                     Self::handle_global(&inner, &sid, blob);
                 }
@@ -300,15 +303,43 @@ impl SdflmqClient {
             preferred_role,
             num_samples,
             stats,
+            proto: WireVersion::LATEST.as_u8(),
         };
-        self.inner
+        let reply = self
+            .inner
             .fc
             .call_with_reply(
                 functions::JOIN_SESSION,
-                Bytes::from(req.to_json().to_string_compact().into_bytes()),
+                Envelope::new(WireVersion::V1Json, ControlMsg::Join(req)).encode(),
             )
             .map_err(map_remote)?;
+        // The coordinator answers with the highest mutually supported wire
+        // version; use it for this session's control and blob traffic. A
+        // legacy coordinator's reply has no proto field and leaves us on v1.
+        let negotiated = match Envelope::decode(MsgKind::Reply, &reply) {
+            Ok(env) => match env.msg {
+                ControlMsg::Reply(r) => r.version(),
+                _ => WireVersion::V1Json,
+            },
+            Err(_) => WireVersion::V1Json,
+        };
+        {
+            let mut sessions = self.inner.sessions.lock();
+            if let Some(handle) = sessions.get_mut(session_id) {
+                handle.wire = negotiated;
+            }
+        }
         Ok(())
+    }
+
+    /// The control-plane wire version negotiated for a session (v1 before
+    /// the join reply arrives).
+    pub fn wire_version(&self, session_id: &SessionId) -> Option<WireVersion> {
+        self.inner
+            .sessions
+            .lock()
+            .get(session_id)
+            .map(|handle| handle.wire)
     }
 
     /// Registers the local model for a session (Listing 1: `set_model`).
@@ -374,9 +405,14 @@ impl SdflmqClient {
                 weight,
                 params: Bytes::from(nn_params::serialize(&params)),
             };
-            self.inner
-                .blobs
-                .publish(&position_topic(session_id, role.parent), &blob)
+            // Blobs travel client → client: use the session-wide floor
+            // version the coordinator stamped into the role, not this
+            // client's own negotiation result.
+            self.inner.blobs.publish_versioned(
+                &position_topic(session_id, role.parent),
+                &blob,
+                WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
+            )
         }
     }
 
@@ -525,7 +561,7 @@ impl SdflmqClient {
                 .expect("valid");
             inner.blobs.subscribe(
                 &filter,
-                Arc::new(move |blob: Blob| {
+                Arc::new(move |blob: Blob, _version: WireVersion| {
                     let Some(inner) = ingest_inner.upgrade() else {
                         return;
                     };
@@ -565,7 +601,9 @@ impl SdflmqClient {
                 return Err(CoreError::Protocol("contribution without a role".into()));
             };
             if !role.role.aggregates() {
-                return Err(CoreError::Protocol("trainer received a contribution".into()));
+                return Err(CoreError::Protocol(
+                    "trainer received a contribution".into(),
+                ));
             }
             let stack = handle.stacks.entry(round).or_default();
             stack.push((params, weight));
@@ -578,10 +616,8 @@ impl SdflmqClient {
         };
 
         if let Some((role, inputs)) = ready {
-            let contributions: Vec<(&[f32], u64)> = inputs
-                .iter()
-                .map(|(p, w)| (p.as_slice(), *w))
-                .collect();
+            let contributions: Vec<(&[f32], u64)> =
+                inputs.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
             let aggregated = inner.aggregation.aggregate(&contributions)?;
             let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
             let blob = Blob {
@@ -596,7 +632,11 @@ impl SdflmqClient {
             } else {
                 position_topic(session_id, role.parent)
             };
-            inner.blobs.publish(&destination, &blob)?;
+            inner.blobs.publish_versioned(
+                &destination,
+                &blob,
+                WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
+            )?;
         }
         Ok(())
     }
@@ -618,12 +658,19 @@ impl SdflmqClient {
             return;
         }
         // Paper §III.E.4: after its contribution, the client sends its
-        // readiness plus system stats to the coordinator.
+        // readiness plus system stats to the coordinator, encoded with the
+        // session's negotiated wire version.
         let stats = {
             let mut system = inner.system.lock();
             system.drift();
             StatsMsg::from_stats(system.stats())
         };
+        let wire = inner
+            .sessions
+            .lock()
+            .get(session_id)
+            .map(|handle| handle.wire)
+            .unwrap_or(WireVersion::V1Json);
         let report = RoundDone {
             session_id: session_id.clone(),
             client_id: inner.id.clone(),
@@ -632,7 +679,7 @@ impl SdflmqClient {
         };
         let _ = inner.fc.call(
             functions::ROUND_DONE,
-            Bytes::from(report.to_json().to_string_compact().into_bytes()),
+            Envelope::new(wire, ControlMsg::RoundDone(report)).encode(),
         );
     }
 }

@@ -106,10 +106,7 @@ impl ClusterPlan {
                 let mut fields = vec![
                     ("client".to_owned(), Json::str(a.client.as_str())),
                     ("role".to_owned(), Json::str(a.spec.role.as_token())),
-                    (
-                        "parent".to_owned(),
-                        Json::str(a.spec.parent.as_token()),
-                    ),
+                    ("parent".to_owned(), Json::str(a.spec.parent.as_token())),
                 ];
                 if let Some(p) = a.spec.position {
                     fields.push(("position".to_owned(), Json::str(p.as_token())));
@@ -161,10 +158,7 @@ pub fn build_plan(
 
     let root = aggs[0].clone();
     let intermediates: Vec<ClientId> = aggs[1..].iter().map(|c| (*c).clone()).collect();
-    let trainers: Vec<&ClientInfo> = clients
-        .iter()
-        .filter(|c| !aggs.contains(&&c.id))
-        .collect();
+    let trainers: Vec<&ClientInfo> = clients.iter().filter(|c| !aggs.contains(&&c.id)).collect();
 
     let mut assignments = Vec::with_capacity(clients.len());
     let mut inputs_per_intermediate = vec![0u32; intermediates.len()];
@@ -189,6 +183,7 @@ pub fn build_plan(
                 parent,
                 expected_inputs: 0,
                 round,
+                data_wire: 1,
             },
         });
     }
@@ -207,6 +202,7 @@ pub fn build_plan(
                 parent: Position::Root,
                 expected_inputs: inputs_per_intermediate[k] + own,
                 round,
+                data_wire: 1,
             },
         });
     }
@@ -221,6 +217,7 @@ pub fn build_plan(
             parent: Position::Root,
             expected_inputs: root_inputs + u32::from(root_role.trains()),
             round,
+            data_wire: 1,
         },
     });
 
@@ -253,10 +250,7 @@ pub fn diff_plans(old: &ClusterPlan, new: &ClusterPlan) -> Vec<(ClientId, PlanCh
             None => true,
         };
         if changed {
-            changes.push((
-                assignment.client.clone(),
-                PlanChange::Set(assignment.spec),
-            ));
+            changes.push((assignment.client.clone(), PlanChange::Set(assignment.spec)));
         }
     }
     changes
@@ -400,10 +394,7 @@ mod tests {
         let plan = build_plan(&cs, &Topology::Central, &ids(4), 1);
         let j = plan.topology_json("s1");
         assert_eq!(j.get("session").unwrap().as_str(), Some("s1"));
-        assert_eq!(
-            j.get("assignments").unwrap().as_array().unwrap().len(),
-            4
-        );
+        assert_eq!(j.get("assignments").unwrap().as_array().unwrap().len(), 4);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::messages::{CtrlMsg, JoinRequest, NewSessionRequest, RoundDone};
 use crate::optimizer::{MemoryAware, RoleOptimizer};
 use crate::session::{FlSession, SessionConfig, SessionState};
 use crate::topics::{functions, topology_topic};
+use crate::wirecodec::{ControlMsg, Envelope, MsgKind, SessionReply, WireVersion};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sdflmq_mqtt::{Broker, Client, ClientOptions};
@@ -181,15 +182,25 @@ impl Coordinator {
     }
 
     fn expose_handlers(&self) -> Result<()> {
+        // Handlers decode by sniffing the frame (JSON v1 or binary v2),
+        // so a mixed fleet of legacy and upgraded clients coexists. The
+        // negotiation replies are always JSON v1 for the same reason.
         let state = Arc::clone(&self.state);
         self.fc.expose(
             functions::NEW_SESSION,
             Arc::new(move |msg| {
-                let text = String::from_utf8_lossy(&msg.payload);
-                let json = Json::parse(&text).map_err(|e| e.to_string())?;
-                let req = NewSessionRequest::from_json(&json).map_err(|e| e.to_string())?;
+                let envelope = Envelope::decode(MsgKind::NewSession, &msg.payload)
+                    .map_err(|e| e.to_string())?;
+                let ControlMsg::NewSession(req) = envelope.msg else {
+                    return Err("expected a new_session frame".into());
+                };
+                let negotiated = WireVersion::negotiate(req.proto);
                 Self::handle_new_session(&state, req).map_err(|e| e.to_string())?;
-                Ok(Bytes::from_static(b"{\"status\":\"created\"}"))
+                Ok(Envelope::new(
+                    WireVersion::V1Json,
+                    ControlMsg::Reply(SessionReply::new("created", negotiated)),
+                )
+                .encode())
             }),
         )?;
 
@@ -198,11 +209,18 @@ impl Coordinator {
         self.fc.expose(
             functions::JOIN_SESSION,
             Arc::new(move |msg| {
-                let text = String::from_utf8_lossy(&msg.payload);
-                let json = Json::parse(&text).map_err(|e| e.to_string())?;
-                let req = JoinRequest::from_json(&json).map_err(|e| e.to_string())?;
-                Self::handle_join(&state, &work, req).map_err(|e| e.to_string())?;
-                Ok(Bytes::from_static(b"{\"status\":\"joined\"}"))
+                let envelope =
+                    Envelope::decode(MsgKind::Join, &msg.payload).map_err(|e| e.to_string())?;
+                let ControlMsg::Join(req) = envelope.msg else {
+                    return Err("expected a join frame".into());
+                };
+                let negotiated = WireVersion::negotiate(req.proto);
+                Self::handle_join(&state, &work, req, negotiated).map_err(|e| e.to_string())?;
+                Ok(Envelope::new(
+                    WireVersion::V1Json,
+                    ControlMsg::Reply(SessionReply::new("joined", negotiated)),
+                )
+                .encode())
             }),
         )?;
 
@@ -211,9 +229,11 @@ impl Coordinator {
         self.fc.expose(
             functions::ROUND_DONE,
             Arc::new(move |msg| {
-                let text = String::from_utf8_lossy(&msg.payload);
-                let json = Json::parse(&text).map_err(|e| e.to_string())?;
-                let report = RoundDone::from_json(&json).map_err(|e| e.to_string())?;
+                let envelope = Envelope::decode(MsgKind::RoundDone, &msg.payload)
+                    .map_err(|e| e.to_string())?;
+                let ControlMsg::RoundDone(report) = envelope.msg else {
+                    return Err("expected a round_done frame".into());
+                };
                 Self::handle_round_done(&state, &work, report).map_err(|e| e.to_string())?;
                 Ok(Bytes::new())
             }),
@@ -255,6 +275,7 @@ impl Coordinator {
         state: &Mutex<CoordState>,
         work: &crossbeam::channel::Sender<WorkItem>,
         req: JoinRequest,
+        negotiated: WireVersion,
     ) -> Result<()> {
         let start_now = {
             let mut guard = state.lock();
@@ -271,6 +292,7 @@ impl Coordinator {
                 },
                 &req.model_name,
             )?;
+            session.wire.insert(req.client_id.clone(), negotiated);
             session.clients.len() >= session.config.capacity_max
         };
         if start_now {
@@ -287,7 +309,7 @@ impl Coordinator {
     ) -> Result<()> {
         // Build the plan under the lock, send messages outside it: role
         // acks can take a while and the handlers must stay responsive.
-        let (plan, clients) = {
+        let (plan, clients, wire) = {
             let mut guard = state.lock();
             let guard = &mut *guard;
             let session = guard
@@ -298,18 +320,27 @@ impl Coordinator {
                 return Ok(()); // lost a start race; already started
             }
             let ranking = guard.optimizer.rank(&session.clients, 1);
-            let plan = build_plan(&session.clients, &session.config.topology, &ranking, 1);
+            let mut plan = build_plan(&session.clients, &session.config.topology, &ranking, 1);
+            stamp_data_wire(&mut plan, session);
             session.plan = Some(plan.clone());
             session.start();
             let clients: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
-            (plan, clients)
+            (plan, clients, session.wire.clone())
         };
 
         // Paper Fig. 5: the coordinator informs every client of its role
         // (awaiting acknowledgement so position subscriptions are in place
-        // before any trainer publishes), then publishes the topology.
+        // before any trainer publishes), then publishes the topology. Each
+        // client hears control traffic in its negotiated wire version.
         for assignment in &plan.assignments {
-            Self::send_ctrl_acked(fc, session_id, &assignment.client, &CtrlMsg::SetRole(assignment.spec))?;
+            let version = wire_of(&wire, &assignment.client);
+            Self::send_ctrl_acked(
+                fc,
+                session_id,
+                &assignment.client,
+                version,
+                &CtrlMsg::SetRole(assignment.spec),
+            )?;
         }
         publish_retained_json(
             fc.client(),
@@ -317,7 +348,14 @@ impl Coordinator {
             &plan.topology_json(session_id.as_str()),
         )?;
         for client in &clients {
-            Self::send_ctrl(fc, session_id, client, &CtrlMsg::RoundStart { round: 1 })?;
+            let version = wire_of(&wire, client);
+            Self::send_ctrl(
+                fc,
+                session_id,
+                client,
+                version,
+                &CtrlMsg::RoundStart { round: 1 },
+            )?;
         }
         Ok(())
     }
@@ -359,32 +397,38 @@ impl Coordinator {
             },
         }
 
-        let next = {
+        let (next, wire) = {
             let mut guard = state.lock();
             let guard = &mut *guard;
             let session = guard
                 .sessions
                 .get_mut(session_id)
                 .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            let wire = session.wire.clone();
             let all: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
             // Black-box feedback (paper future-work item): report the
             // closed round's wall-clock span to the optimizer.
             if let crate::session::SessionState::Running {
-                round, round_started, ..
+                round,
+                round_started,
+                ..
             } = &session.state
             {
                 guard
                     .optimizer
                     .observe_round(*round, round_started.elapsed().as_secs_f64());
             }
-            match session.advance_round() {
+            let next = match session.advance_round() {
                 None => Next::Complete(all),
                 Some(round) => {
                     // Role optimization (paper §III.E.6): re-rank with the
                     // freshest stats, rebuild, diff.
                     let ranking = guard.optimizer.rank(&session.clients, round);
-                    let new_plan =
+                    let mut new_plan =
                         build_plan(&session.clients, &session.config.topology, &ranking, round);
+                    // Stamp before diffing so the data-plane version never
+                    // registers as a per-round role change.
+                    stamp_data_wire(&mut new_plan, session);
                     let old_plan = session.plan.as_ref().expect("running session has a plan");
                     let changes = diff_plans(old_plan, &new_plan);
                     let topology = new_plan.topology_json(session_id.as_str());
@@ -396,13 +440,15 @@ impl Coordinator {
                         topology,
                     }
                 }
-            }
+            };
+            (next, wire)
         };
 
         match next {
             Next::Complete(all) => {
                 for client in &all {
-                    Self::send_ctrl(fc, session_id, client, &CtrlMsg::SessionComplete)?;
+                    let version = wire_of(&wire, client);
+                    Self::send_ctrl(fc, session_id, client, version, &CtrlMsg::SessionComplete)?;
                 }
             }
             Next::Round {
@@ -413,13 +459,27 @@ impl Coordinator {
             } => {
                 // Only changed clients hear about roles (paper §III.E.5).
                 for (client, PlanChange::Set(spec)) in &changes {
-                    Self::send_ctrl_acked(fc, session_id, client, &CtrlMsg::SetRole(*spec))?;
+                    let version = wire_of(&wire, client);
+                    Self::send_ctrl_acked(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::SetRole(*spec),
+                    )?;
                 }
                 if !changes.is_empty() {
                     publish_retained_json(fc.client(), &topology_topic(session_id), &topology)?;
                 }
                 for client in &all {
-                    Self::send_ctrl(fc, session_id, client, &CtrlMsg::RoundStart { round })?;
+                    let version = wire_of(&wire, client);
+                    Self::send_ctrl(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::RoundStart { round },
+                    )?;
                 }
             }
         }
@@ -436,7 +496,7 @@ impl Coordinator {
         #[derive(Debug)]
         enum Action {
             Start(SessionId),
-            Abort(SessionId, String, Vec<ClientId>),
+            Abort(SessionId, String, Vec<(ClientId, WireVersion)>),
         }
         let actions: Vec<Action> = {
             let mut guard = state.lock();
@@ -446,16 +506,23 @@ impl Coordinator {
                 if session.should_start() {
                     actions.push(Action::Start(id.clone()));
                 } else if session.should_abort_waiting() {
-                    let clients = session.clients.iter().map(|c| c.id.clone()).collect();
-                    session.state =
-                        SessionState::Aborted("not enough contributors".into());
+                    let clients = session
+                        .clients
+                        .iter()
+                        .map(|c| (c.id.clone(), session.wire_version(&c.id)))
+                        .collect();
+                    session.state = SessionState::Aborted("not enough contributors".into());
                     actions.push(Action::Abort(
                         id.clone(),
                         "not enough contributors".into(),
                         clients,
                     ));
                 } else if session.is_overdue(round_timeout) {
-                    let clients = session.clients.iter().map(|c| c.id.clone()).collect();
+                    let clients = session
+                        .clients
+                        .iter()
+                        .map(|c| (c.id.clone(), session.wire_version(&c.id)))
+                        .collect();
                     session.state = SessionState::Aborted("round deadline exceeded".into());
                     actions.push(Action::Abort(
                         id.clone(),
@@ -472,24 +539,41 @@ impl Coordinator {
                     let _ = work.send(WorkItem::StartSession(id));
                 }
                 Action::Abort(id, reason, clients) => {
-                    for client in clients {
-                        let _ =
-                            Self::send_ctrl(fc, &id, &client, &CtrlMsg::Abort(reason.clone()));
+                    for (client, version) in clients {
+                        let _ = Self::send_ctrl(
+                            fc,
+                            &id,
+                            &client,
+                            version,
+                            &CtrlMsg::Abort(reason.clone()),
+                        );
                     }
                 }
             }
         }
     }
 
+    fn ctrl_frame(session: &SessionId, version: WireVersion, msg: &CtrlMsg) -> Bytes {
+        Envelope::new(
+            version,
+            ControlMsg::Ctrl {
+                session: session.clone(),
+                msg: msg.clone(),
+            },
+        )
+        .encode()
+    }
+
     fn send_ctrl(
         fc: &FleetController,
         session: &SessionId,
         client: &ClientId,
+        version: WireVersion,
         msg: &CtrlMsg,
     ) -> Result<()> {
         fc.call(
             &functions::client_ctrl(client.as_str()),
-            Bytes::from(msg.to_envelope(session).to_string_compact().into_bytes()),
+            Self::ctrl_frame(session, version, msg),
         )?;
         Ok(())
     }
@@ -498,14 +582,36 @@ impl Coordinator {
         fc: &FleetController,
         session: &SessionId,
         client: &ClientId,
+        version: WireVersion,
         msg: &CtrlMsg,
     ) -> Result<()> {
         fc.call_with_reply_timeout(
             &functions::client_ctrl(client.as_str()),
-            Bytes::from(msg.to_envelope(session).to_string_compact().into_bytes()),
+            Self::ctrl_frame(session, version, msg),
             Duration::from_secs(30),
         )?;
         Ok(())
+    }
+}
+
+/// Looks up a client's negotiated version in a cloned wire map.
+fn wire_of(wire: &HashMap<ClientId, WireVersion>, client: &ClientId) -> WireVersion {
+    wire.get(client).copied().unwrap_or(WireVersion::V1Json)
+}
+
+/// Stamps every assignment with the session's data-plane wire version:
+/// blobs flow client → client, so the sender must use the *minimum*
+/// version negotiated across all members — any aggregator could be the
+/// receiver.
+fn stamp_data_wire(plan: &mut crate::clustering::ClusterPlan, session: &FlSession) {
+    let floor = session
+        .clients
+        .iter()
+        .map(|c| session.wire_version(&c.id))
+        .min()
+        .unwrap_or(WireVersion::V1Json);
+    for assignment in &mut plan.assignments {
+        assignment.spec.data_wire = floor.as_u8();
     }
 }
 

@@ -109,14 +109,13 @@ impl GeneticPlacement {
 
     fn population_matches(&self, ids: &[ClientId]) -> bool {
         self.population.first().map(|g| {
-            g.ranking.len() == ids.len()
-                && {
-                    let mut a: Vec<&ClientId> = g.ranking.iter().collect();
-                    let mut b: Vec<&ClientId> = ids.iter().collect();
-                    a.sort();
-                    b.sort();
-                    a == b
-                }
+            g.ranking.len() == ids.len() && {
+                let mut a: Vec<&ClientId> = g.ranking.iter().collect();
+                let mut b: Vec<&ClientId> = ids.iter().collect();
+                a.sort();
+                b.sort();
+                a == b
+            }
         }) == Some(true)
     }
 
@@ -181,9 +180,9 @@ fn order_crossover(a: &[ClientId], b: &[ClientId], rng: &mut StdRng) -> Vec<Clie
     let slice: Vec<&ClientId> = a[lo..=hi].iter().collect();
     let mut child: Vec<ClientId> = Vec::with_capacity(n);
     let mut b_iter = b.iter().filter(|id| !slice.contains(id));
-    for pos in 0..n {
+    for (pos, gene) in a.iter().enumerate().take(n) {
         if pos >= lo && pos <= hi {
-            child.push(a[pos].clone());
+            child.push(gene.clone());
         } else {
             child.push(b_iter.next().expect("enough remaining genes").clone());
         }
@@ -303,7 +302,11 @@ mod tests {
             }
             last_best = ga.best_fitness().unwrap_or(last_best);
         }
-        assert!(ga.generation() >= 5, "evolved: {} generations", ga.generation());
+        assert!(
+            ga.generation() >= 5,
+            "evolved: {} generations",
+            ga.generation()
+        );
         assert!(
             last_best <= first_gen_best,
             "no regression: {last_best} vs first-gen {first_gen_best}"
@@ -335,7 +338,9 @@ mod tests {
     #[test]
     fn crossover_preserves_permutations() {
         let mut rng = StdRng::seed_from_u64(5);
-        let a: Vec<ClientId> = (0..10).map(|i| ClientId::new(format!("c{i}")).unwrap()).collect();
+        let a: Vec<ClientId> = (0..10)
+            .map(|i| ClientId::new(format!("c{i}")).unwrap())
+            .collect();
         let mut b = a.clone();
         b.reverse();
         for _ in 0..50 {

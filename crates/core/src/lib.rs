@@ -25,6 +25,10 @@
 //!   (`sdflmq-mqtt`) — every byte crosses real MQTT frames;
 //! * the *virtual-time simulator* ([`simrun`]) — deterministic delay
 //!   measurements for the paper's Fig. 8 experiments.
+//!
+//! All coordination traffic travels through the versioned [`wirecodec`]
+//! envelope: JSON v1 (the paper's format) or a compact binary v2,
+//! negotiated per session and described in `docs/PROTOCOL.md`.
 
 #![warn(missing_docs)]
 
@@ -44,6 +48,7 @@ pub mod roles;
 pub mod session;
 pub mod simrun;
 pub mod topics;
+pub mod wirecodec;
 
 pub use aggregation::{AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
 pub use client::{SdflmqClient, SdflmqClientConfig, WaitOutcome};
@@ -52,8 +57,13 @@ pub use coordinator::{Coordinator, CoordinatorConfig, COORDINATOR_ID};
 pub use error::{CoreError, Result};
 pub use genetic::{GeneticConfig, GeneticPlacement};
 pub use ids::{ClientId, ModelId, SessionId};
-pub use optimizer::{CompositeScore, MemoryAware, RandomPlacement, RoleOptimizer, RoundRobin, StaticOrder};
+pub use optimizer::{
+    CompositeScore, MemoryAware, RandomPlacement, RoleOptimizer, RoundRobin, StaticOrder,
+};
 pub use param_server::{ParamServer, PARAM_SERVER_ID};
 pub use roles::{PreferredRole, Role, RoleSpec};
-pub use simrun::{simulate, RoundBreakdown, SimConfig, SimReport};
+pub use simrun::{simulate, RoundBreakdown, SimConfig, SimConfigBuilder, SimReport};
 pub use topics::Position;
+pub use wirecodec::{
+    BinaryCodec, ControlMsg, Envelope, JsonCodec, MsgKind, SessionReply, WireCodec, WireVersion,
+};

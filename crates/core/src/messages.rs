@@ -1,16 +1,23 @@
 //! Coordination message payloads.
 //!
-//! Control-plane messages (session management, role assignments, stats) are
-//! JSON documents — matching the paper's implementation, which encodes
-//! "session stats and cluster topologies into JSON format". Data-plane
-//! messages (model parameters) are [`Blob`]s: a compact JSON header plus
-//! raw little-endian `f32` bytes, shipped through MQTTFC batching.
+//! Control-plane messages (session management, role assignments, stats)
+//! travel in the versioned [`crate::wirecodec`] envelope: JSON v1 (the
+//! paper's format — it encodes "session stats and cluster topologies into
+//! JSON format") or the compact binary v2, negotiated per session via the
+//! `proto` field on [`NewSessionRequest`]/[`JoinRequest`]. This module
+//! holds only the plain message *types*; their wire schemas — one
+//! declarative definition per message driving both codecs — live in
+//! [`crate::wirecodec`].
+//!
+//! Data-plane messages (model parameters) are [`Blob`]s: a compact
+//! metadata header (JSON or binary, same negotiation) plus raw
+//! little-endian `f32` bytes, shipped through MQTTFC batching.
 
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
 use crate::roles::{PreferredRole, RoleSpec};
+use crate::wirecodec::{decode_blob_meta, encode_blob_meta, WireVersion};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sdflmq_mqttfc::Json;
 use sdflmq_sim::SystemStats;
 
 /// Request to create a new FL session (paper Fig. 4a).
@@ -34,39 +41,10 @@ pub struct NewSessionRequest {
     pub fl_rounds: u32,
     /// The creator's preferred role.
     pub preferred_role: PreferredRole,
-}
-
-impl NewSessionRequest {
-    /// Serializes to the wire JSON document.
-    pub fn to_json(&self) -> Json {
-        Json::object([
-            ("session_id", Json::str(self.session_id.as_str())),
-            ("client_id", Json::str(self.client_id.as_str())),
-            ("model_name", Json::str(self.model_name.as_str())),
-            ("session_time", Json::num(self.session_time_secs)),
-            ("capacity_min", Json::num(self.capacity_min as f64)),
-            ("capacity_max", Json::num(self.capacity_max as f64)),
-            ("waiting_time", Json::num(self.waiting_time_secs)),
-            ("fl_rounds", Json::num(self.fl_rounds as f64)),
-            ("preferred_role", Json::str(self.preferred_role.as_token())),
-        ])
-    }
-
-    /// Parses from the wire JSON document.
-    pub fn from_json(j: &Json) -> Result<NewSessionRequest> {
-        Ok(NewSessionRequest {
-            session_id: SessionId::new(req_str(j, "session_id")?)?,
-            client_id: ClientId::new(req_str(j, "client_id")?)?,
-            model_name: ModelId::new(req_str(j, "model_name")?)?,
-            session_time_secs: req_num(j, "session_time")?,
-            capacity_min: req_num(j, "capacity_min")? as usize,
-            capacity_max: req_num(j, "capacity_max")? as usize,
-            waiting_time_secs: req_num(j, "waiting_time")?,
-            fl_rounds: req_num(j, "fl_rounds")? as u32,
-            preferred_role: PreferredRole::from_token(&req_str(j, "preferred_role")?)
-                .ok_or_else(|| CoreError::Protocol("bad preferred_role".into()))?,
-        })
-    }
+    /// Highest wire version the sender supports (see
+    /// [`WireVersion::negotiate`]). Legacy JSON docs without the field
+    /// decode as `1`.
+    pub proto: u8,
 }
 
 /// Request to join an existing session (paper Fig. 4b).
@@ -84,36 +62,9 @@ pub struct JoinRequest {
     pub num_samples: u64,
     /// Current system stats for initial role placement.
     pub stats: StatsMsg,
-}
-
-impl JoinRequest {
-    /// Serializes to the wire JSON document.
-    pub fn to_json(&self) -> Json {
-        Json::object([
-            ("session_id", Json::str(self.session_id.as_str())),
-            ("client_id", Json::str(self.client_id.as_str())),
-            ("model_name", Json::str(self.model_name.as_str())),
-            ("preferred_role", Json::str(self.preferred_role.as_token())),
-            ("num_samples", Json::num(self.num_samples as f64)),
-            ("stats", self.stats.to_json()),
-        ])
-    }
-
-    /// Parses from the wire JSON document.
-    pub fn from_json(j: &Json) -> Result<JoinRequest> {
-        Ok(JoinRequest {
-            session_id: SessionId::new(req_str(j, "session_id")?)?,
-            client_id: ClientId::new(req_str(j, "client_id")?)?,
-            model_name: ModelId::new(req_str(j, "model_name")?)?,
-            preferred_role: PreferredRole::from_token(&req_str(j, "preferred_role")?)
-                .ok_or_else(|| CoreError::Protocol("bad preferred_role".into()))?,
-            num_samples: req_num(j, "num_samples")? as u64,
-            stats: StatsMsg::from_json(
-                j.get("stats")
-                    .ok_or_else(|| CoreError::Protocol("missing stats".into()))?,
-            )?,
-        })
-    }
+    /// Highest wire version the sender supports (see
+    /// [`WireVersion::negotiate`]).
+    pub proto: u8,
 }
 
 /// System stats in wire form.
@@ -145,24 +96,6 @@ impl StatsMsg {
             memory_utilization: self.memory_utilization,
         }
     }
-
-    /// Serializes to JSON.
-    pub fn to_json(&self) -> Json {
-        Json::object([
-            ("free_memory", Json::num(self.free_memory as f64)),
-            ("available_flops", Json::num(self.available_flops)),
-            ("memory_utilization", Json::num(self.memory_utilization)),
-        ])
-    }
-
-    /// Parses from JSON.
-    pub fn from_json(j: &Json) -> Result<StatsMsg> {
-        Ok(StatsMsg {
-            free_memory: req_num(j, "free_memory")? as u64,
-            available_flops: req_num(j, "available_flops")?,
-            memory_utilization: req_num(j, "memory_utilization")?,
-        })
-    }
 }
 
 /// Client → coordinator round completion report (paper §III.E.4).
@@ -178,33 +111,9 @@ pub struct RoundDone {
     pub stats: StatsMsg,
 }
 
-impl RoundDone {
-    /// Serializes to JSON.
-    pub fn to_json(&self) -> Json {
-        Json::object([
-            ("session_id", Json::str(self.session_id.as_str())),
-            ("client_id", Json::str(self.client_id.as_str())),
-            ("round", Json::num(self.round as f64)),
-            ("stats", self.stats.to_json()),
-        ])
-    }
-
-    /// Parses from JSON.
-    pub fn from_json(j: &Json) -> Result<RoundDone> {
-        Ok(RoundDone {
-            session_id: SessionId::new(req_str(j, "session_id")?)?,
-            client_id: ClientId::new(req_str(j, "client_id")?)?,
-            round: req_num(j, "round")? as u32,
-            stats: StatsMsg::from_json(
-                j.get("stats")
-                    .ok_or_else(|| CoreError::Protocol("missing stats".into()))?,
-            )?,
-        })
-    }
-}
-
 /// Coordinator → client control commands, delivered to the per-client
-/// control function.
+/// control function inside a [`crate::wirecodec::ControlMsg::Ctrl`]
+/// envelope that names the target session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtrlMsg {
     /// Take a role for the coming round (paper Fig. 5/6 `set_role`).
@@ -222,62 +131,7 @@ pub enum CtrlMsg {
     Abort(String),
 }
 
-impl CtrlMsg {
-    /// Serializes with the target session for transport to a client's
-    /// control function.
-    pub fn to_envelope(&self, session: &SessionId) -> Json {
-        let mut base = self.to_json();
-        if let Json::Object(map) = &mut base {
-            map.insert("session".to_owned(), Json::str(session.as_str()));
-        }
-        base
-    }
-
-    /// Parses an envelope produced by [`CtrlMsg::to_envelope`].
-    pub fn from_envelope(j: &Json) -> Result<(SessionId, CtrlMsg)> {
-        let session = SessionId::new(req_str(j, "session")?)?;
-        Ok((session, CtrlMsg::from_json(j)?))
-    }
-
-    /// Serializes to JSON.
-    pub fn to_json(&self) -> Json {
-        match self {
-            CtrlMsg::SetRole(spec) => Json::object([
-                ("cmd", Json::str("set_role")),
-                ("spec", spec.to_json()),
-            ]),
-            CtrlMsg::ResetRole => Json::object([("cmd", Json::str("reset_role"))]),
-            CtrlMsg::RoundStart { round } => Json::object([
-                ("cmd", Json::str("round_start")),
-                ("round", Json::num(*round as f64)),
-            ]),
-            CtrlMsg::SessionComplete => Json::object([("cmd", Json::str("session_complete"))]),
-            CtrlMsg::Abort(reason) => Json::object([
-                ("cmd", Json::str("abort")),
-                ("reason", Json::str(reason.clone())),
-            ]),
-        }
-    }
-
-    /// Parses from JSON.
-    pub fn from_json(j: &Json) -> Result<CtrlMsg> {
-        match req_str(j, "cmd")?.as_str() {
-            "set_role" => Ok(CtrlMsg::SetRole(RoleSpec::from_json(
-                j.get("spec")
-                    .ok_or_else(|| CoreError::Protocol("missing spec".into()))?,
-            )?)),
-            "reset_role" => Ok(CtrlMsg::ResetRole),
-            "round_start" => Ok(CtrlMsg::RoundStart {
-                round: req_num(j, "round")? as u32,
-            }),
-            "session_complete" => Ok(CtrlMsg::SessionComplete),
-            "abort" => Ok(CtrlMsg::Abort(req_str(j, "reason").unwrap_or_default())),
-            other => Err(CoreError::Protocol(format!("unknown ctrl cmd {other:?}"))),
-        }
-    }
-}
-
-/// A parameter blob: JSON metadata + raw `f32` little-endian payload.
+/// A parameter blob: metadata header + raw `f32` little-endian payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Blob {
     /// Session the parameters belong to.
@@ -293,24 +147,26 @@ pub struct Blob {
 }
 
 impl Blob {
-    /// Encodes to bytes: u32 meta length + meta JSON + params.
-    pub fn encode(&self) -> Bytes {
-        let meta = Json::object([
-            ("session_id", Json::str(self.session_id.as_str())),
-            ("round", Json::num(self.round as f64)),
-            ("sender", Json::str(self.sender.clone())),
-            ("weight", Json::num(self.weight as f64)),
-        ])
-        .to_string_compact();
+    /// Encodes to bytes: u32 meta length + metadata (JSON v1 or binary v2
+    /// per `version`) + params.
+    pub fn encode(&self, version: WireVersion) -> Bytes {
+        let meta = encode_blob_meta(self, version);
         let mut out = BytesMut::with_capacity(4 + meta.len() + self.params.len());
         out.put_u32(meta.len() as u32);
-        out.put_slice(meta.as_bytes());
+        out.put_slice(&meta);
         out.put_slice(&self.params);
         out.freeze()
     }
 
-    /// Decodes from bytes produced by [`Blob::encode`].
-    pub fn decode(mut input: Bytes) -> Result<Blob> {
+    /// Decodes from bytes produced by [`Blob::encode`], sniffing the
+    /// metadata version.
+    pub fn decode(input: Bytes) -> Result<Blob> {
+        Ok(Blob::decode_versioned(input)?.0)
+    }
+
+    /// Like [`Blob::decode`], also reporting which wire version the sender
+    /// used (so relays can answer in kind).
+    pub fn decode_versioned(mut input: Bytes) -> Result<(Blob, WireVersion)> {
         if input.remaining() < 4 {
             return Err(CoreError::Protocol("blob too short".into()));
         }
@@ -319,112 +175,30 @@ impl Blob {
             return Err(CoreError::Protocol("blob meta truncated".into()));
         }
         let meta_bytes = input.split_to(meta_len);
-        let meta_text = std::str::from_utf8(&meta_bytes)
-            .map_err(|_| CoreError::Protocol("blob meta not UTF-8".into()))?;
-        let meta = Json::parse(meta_text)?;
-        Ok(Blob {
-            session_id: SessionId::new(req_str(&meta, "session_id")?)?,
-            round: req_num(&meta, "round")? as u32,
-            sender: req_str(&meta, "sender")?,
-            weight: req_num(&meta, "weight")? as u64,
-            params: input,
-        })
+        let (meta, version) = decode_blob_meta(&meta_bytes)?;
+        Ok((
+            Blob {
+                session_id: meta.session_id,
+                round: meta.round,
+                sender: meta.sender,
+                weight: meta.weight,
+                params: input,
+            },
+            version,
+        ))
     }
 }
 
-pub(crate) fn req_str(j: &Json, key: &str) -> Result<String> {
-    j.get(key)
-        .and_then(Json::as_str)
-        .map(str::to_owned)
-        .ok_or_else(|| CoreError::Protocol(format!("missing string field {key:?}")))
-}
-
-pub(crate) fn req_num(j: &Json, key: &str) -> Result<f64> {
-    j.get(key)
-        .and_then(Json::as_f64)
-        .ok_or_else(|| CoreError::Protocol(format!("missing numeric field {key:?}")))
-}
-
+// Round-trip coverage for these message types lives with their wire
+// schemas: unit tests in `crate::wirecodec` and property tests in
+// `tests/proptests.rs`. Only the blob framing implemented *here* is
+// tested here.
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::roles::Role;
-    use crate::topics::Position;
-
-    fn stats() -> StatsMsg {
-        StatsMsg {
-            free_memory: 1 << 30,
-            available_flops: 4e9,
-            memory_utilization: 0.4,
-        }
-    }
 
     #[test]
-    fn new_session_roundtrip() {
-        let req = NewSessionRequest {
-            session_id: SessionId::new("s1").unwrap(),
-            client_id: ClientId::new("c1").unwrap(),
-            model_name: ModelId::new("mlp").unwrap(),
-            session_time_secs: 3600.0,
-            capacity_min: 5,
-            capacity_max: 8,
-            waiting_time_secs: 120.0,
-            fl_rounds: 10,
-            preferred_role: PreferredRole::Aggregator,
-        };
-        let j = Json::parse(&req.to_json().to_string_compact()).unwrap();
-        assert_eq!(NewSessionRequest::from_json(&j).unwrap(), req);
-    }
-
-    #[test]
-    fn join_roundtrip() {
-        let req = JoinRequest {
-            session_id: SessionId::new("s1").unwrap(),
-            client_id: ClientId::new("c2").unwrap(),
-            model_name: ModelId::new("mlp").unwrap(),
-            preferred_role: PreferredRole::Trainer,
-            num_samples: 600,
-            stats: stats(),
-        };
-        let j = Json::parse(&req.to_json().to_string_compact()).unwrap();
-        assert_eq!(JoinRequest::from_json(&j).unwrap(), req);
-    }
-
-    #[test]
-    fn round_done_roundtrip() {
-        let msg = RoundDone {
-            session_id: SessionId::new("s1").unwrap(),
-            client_id: ClientId::new("c2").unwrap(),
-            round: 3,
-            stats: stats(),
-        };
-        let j = Json::parse(&msg.to_json().to_string_compact()).unwrap();
-        assert_eq!(RoundDone::from_json(&j).unwrap(), msg);
-    }
-
-    #[test]
-    fn ctrl_roundtrips() {
-        let msgs = [
-            CtrlMsg::SetRole(RoleSpec {
-                role: Role::TrainerAggregator,
-                position: Some(Position::Agg(2)),
-                parent: Position::Root,
-                expected_inputs: 4,
-                round: 2,
-            }),
-            CtrlMsg::ResetRole,
-            CtrlMsg::RoundStart { round: 7 },
-            CtrlMsg::SessionComplete,
-            CtrlMsg::Abort("timeout".into()),
-        ];
-        for msg in msgs {
-            let j = Json::parse(&msg.to_json().to_string_compact()).unwrap();
-            assert_eq!(CtrlMsg::from_json(&j).unwrap(), msg);
-        }
-    }
-
-    #[test]
-    fn blob_roundtrip() {
+    fn blob_roundtrip_both_versions() {
         let blob = Blob {
             session_id: SessionId::new("s9").unwrap(),
             round: 4,
@@ -432,29 +206,16 @@ mod tests {
             weight: 600,
             params: Bytes::from(vec![1u8, 2, 3, 4, 5]),
         };
-        assert_eq!(Blob::decode(blob.encode()).unwrap(), blob);
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let (decoded, got) = Blob::decode_versioned(blob.encode(version)).unwrap();
+            assert_eq!(decoded, blob);
+            assert_eq!(got, version);
+        }
     }
 
     #[test]
     fn blob_rejects_garbage() {
         assert!(Blob::decode(Bytes::from_static(b"xx")).is_err());
         assert!(Blob::decode(Bytes::from_static(&[0, 0, 0, 99, b'{'])).is_err());
-    }
-
-    #[test]
-    fn ctrl_rejects_unknown_cmd() {
-        let j = Json::parse(r#"{"cmd":"dance"}"#).unwrap();
-        assert!(CtrlMsg::from_json(&j).is_err());
-    }
-
-    #[test]
-    fn ctrl_envelope_roundtrip() {
-        let sid = SessionId::new("s3").unwrap();
-        let msg = CtrlMsg::RoundStart { round: 2 };
-        let env = msg.to_envelope(&sid);
-        let parsed = Json::parse(&env.to_string_compact()).unwrap();
-        let (got_sid, got_msg) = CtrlMsg::from_envelope(&parsed).unwrap();
-        assert_eq!(got_sid, sid);
-        assert_eq!(got_msg, msg);
     }
 }

@@ -60,7 +60,12 @@ impl ModelController {
     /// Applies a global update: replaces parameters and advances the round
     /// marker. Stale updates (round ≤ last applied) are ignored and
     /// reported as `false`.
-    pub fn apply_global(&mut self, session: &SessionId, round: u32, params: Vec<f32>) -> Result<bool> {
+    pub fn apply_global(
+        &mut self,
+        session: &SessionId,
+        round: u32,
+        params: Vec<f32>,
+    ) -> Result<bool> {
         let entry = self
             .models
             .get_mut(session)

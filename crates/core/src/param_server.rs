@@ -12,6 +12,7 @@ use crate::error::Result;
 use crate::ids::SessionId;
 use crate::messages::Blob;
 use crate::topics::global_topic;
+use crate::wirecodec::WireVersion;
 use parking_lot::Mutex;
 use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS, TopicFilter};
 use sdflmq_mqttfc::BatchConfig;
@@ -59,7 +60,7 @@ impl ParamServer {
         let rebroadcast = blobs.clone();
         blobs.subscribe(
             &TopicFilter::new("sdflmq/session/+/ps").expect("valid filter"),
-            Arc::new(move |blob: Blob| {
+            Arc::new(move |blob: Blob, version: WireVersion| {
                 let session = blob.session_id.clone();
                 {
                     let mut repo = repo_in.lock();
@@ -86,7 +87,8 @@ impl ParamServer {
                         }
                     }
                 }
-                // Global update synchronizer: broadcast to all clients.
+                // Global update synchronizer: broadcast to all clients,
+                // answering in the wire version the root aggregate used.
                 let global = Blob {
                     session_id: session.clone(),
                     round: blob.round,
@@ -94,7 +96,7 @@ impl ParamServer {
                     weight: blob.weight,
                     params: blob.params,
                 };
-                let _ = rebroadcast.publish(&global_topic(&session), &global);
+                let _ = rebroadcast.publish_versioned(&global_topic(&session), &global, version);
             }),
         )?;
 

@@ -5,10 +5,7 @@
 //! occupy a [`Position`] in the session's hierarchy; trainers only know the
 //! position topic of their cluster head.
 
-use crate::error::{CoreError, Result};
-use crate::messages::{req_num, req_str};
 use crate::topics::Position;
-use sdflmq_mqttfc::Json;
 
 /// A client's effective role for a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +99,13 @@ pub struct RoleSpec {
     pub expected_inputs: u32,
     /// Round this assignment takes effect.
     pub round: u32,
+    /// Wire version for the session's data-plane blob metadata: the
+    /// *minimum* version negotiated across all session members, stamped
+    /// by the coordinator. Blobs flow client → client, so the sender
+    /// must use a version every possible receiver understands; `1`
+    /// (JSON) is the safe floor and the default when a legacy
+    /// coordinator omits the field.
+    pub data_wire: u8,
 }
 
 impl RoleSpec {
@@ -109,45 +113,6 @@ impl RoleSpec {
     /// the parameter server rather than another position).
     pub fn is_root(&self) -> bool {
         self.position == Some(Position::Root)
-    }
-
-    /// Serializes to JSON.
-    pub fn to_json(&self) -> Json {
-        let mut fields = vec![
-            ("role".to_owned(), Json::str(self.role.as_token())),
-            ("parent".to_owned(), Json::str(self.parent.as_token())),
-            (
-                "expected_inputs".to_owned(),
-                Json::num(self.expected_inputs as f64),
-            ),
-            ("round".to_owned(), Json::num(self.round as f64)),
-        ];
-        if let Some(p) = self.position {
-            fields.push(("position".to_owned(), Json::str(p.as_token())));
-        }
-        Json::object(fields)
-    }
-
-    /// Parses from JSON.
-    pub fn from_json(j: &Json) -> Result<RoleSpec> {
-        let role = Role::from_token(&req_str(j, "role")?)
-            .ok_or_else(|| CoreError::Protocol("bad role token".into()))?;
-        let position = match j.get("position").and_then(Json::as_str) {
-            Some(tok) => Some(
-                Position::from_token(tok)
-                    .ok_or_else(|| CoreError::Protocol("bad position token".into()))?,
-            ),
-            None => None,
-        };
-        let parent = Position::from_token(&req_str(j, "parent")?)
-            .ok_or_else(|| CoreError::Protocol("bad parent token".into()))?;
-        Ok(RoleSpec {
-            role,
-            position,
-            parent,
-            expected_inputs: req_num(j, "expected_inputs")? as u32,
-            round: req_num(j, "round")? as u32,
-        })
     }
 }
 
@@ -181,30 +146,6 @@ mod tests {
     }
 
     #[test]
-    fn spec_json_roundtrip() {
-        let specs = [
-            RoleSpec {
-                role: Role::Trainer,
-                position: None,
-                parent: Position::Agg(1),
-                expected_inputs: 0,
-                round: 1,
-            },
-            RoleSpec {
-                role: Role::TrainerAggregator,
-                position: Some(Position::Root),
-                parent: Position::Root,
-                expected_inputs: 3,
-                round: 5,
-            },
-        ];
-        for spec in specs {
-            let j = Json::parse(&spec.to_json().to_string_compact()).unwrap();
-            assert_eq!(RoleSpec::from_json(&j).unwrap(), spec);
-        }
-    }
-
-    #[test]
     fn root_detection() {
         let spec = RoleSpec {
             role: Role::Aggregator,
@@ -212,6 +153,7 @@ mod tests {
             parent: Position::Root,
             expected_inputs: 2,
             round: 1,
+            data_wire: 1,
         };
         assert!(spec.is_root());
     }

@@ -10,7 +10,8 @@
 use crate::clustering::{ClientInfo, ClusterPlan, Topology};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
-use std::collections::HashSet;
+use crate::wirecodec::WireVersion;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// Immutable session parameters fixed at creation.
@@ -68,6 +69,9 @@ pub struct FlSession {
     pub plan: Option<ClusterPlan>,
     /// Creation instant (for the session-time budget).
     pub created: Instant,
+    /// Per-client negotiated control-plane wire version (from the `proto`
+    /// field of each join request; absent clients are v1).
+    pub wire: HashMap<ClientId, WireVersion>,
 }
 
 impl FlSession {
@@ -79,7 +83,16 @@ impl FlSession {
             state: SessionState::Waiting,
             plan: None,
             created: Instant::now(),
+            wire: HashMap::new(),
         }
+    }
+
+    /// The wire version negotiated with `client` (v1 when unknown).
+    pub fn wire_version(&self, client: &ClientId) -> WireVersion {
+        self.wire
+            .get(client)
+            .copied()
+            .unwrap_or(WireVersion::V1Json)
     }
 
     /// Registers a contributor. Fails when the session is not waiting, is
@@ -260,7 +273,10 @@ mod tests {
         assert!(s.should_start());
         s.start();
         assert_eq!(s.current_round(), Some(1));
-        assert!(s.add_client(info("c"), &mlp()).is_err(), "no joins after start");
+        assert!(
+            s.add_client(info("c"), &mlp()).is_err(),
+            "no joins after start"
+        );
     }
 
     #[test]
@@ -311,12 +327,20 @@ mod tests {
         let mut s = FlSession::new(cfg);
         s.add_client(info("a"), &mlp()).unwrap();
         s.start();
-        assert!(!s.is_overdue(Duration::from_secs(100)) || {
-            std::thread::sleep(Duration::from_millis(1));
-            true
-        });
+        assert!(
+            !s.is_overdue(Duration::from_secs(100)) || {
+                std::thread::sleep(Duration::from_millis(1));
+                true
+            }
+        );
         std::thread::sleep(Duration::from_millis(15));
-        assert!(s.is_overdue(Duration::from_secs(100)), "session budget blown");
-        assert!(s.is_overdue(Duration::from_millis(1)), "round deadline blown");
+        assert!(
+            s.is_overdue(Duration::from_secs(100)),
+            "session budget blown"
+        );
+        assert!(
+            s.is_overdue(Duration::from_millis(1)),
+            "round deadline blown"
+        );
     }
 }

@@ -11,13 +11,20 @@
 
 use crate::clustering::{build_plan, diff_plans, ClientInfo, ClusterPlan, Topology};
 use crate::ids::ClientId;
+use crate::messages::{CtrlMsg, RoundDone, StatsMsg};
 use crate::optimizer::RoleOptimizer;
-use crate::roles::PreferredRole;
+use crate::roles::{PreferredRole, Role, RoleSpec};
 use crate::topics::Position;
+use crate::wirecodec::{ControlMsg, Envelope, WireVersion};
 use sdflmq_sim::{ClientSystem, Network, NodeLink, SimDuration, SimTime, SystemSpec};
 use std::collections::HashMap;
 
 /// Parameters for a simulated deployment.
+///
+/// Construct with [`SimConfig::fig8`] (the paper baseline) or
+/// [`SimConfig::builder`]; the struct is `#[non_exhaustive]` so new
+/// scenario knobs can be added without breaking downstream constructors.
+#[non_exhaustive]
 pub struct SimConfig {
     /// Number of contributing clients.
     pub num_clients: usize,
@@ -62,6 +69,10 @@ pub struct SimConfig {
     pub regions: u32,
     /// Added latency for each cross-region (bridged) message.
     pub bridge_hop: SimDuration,
+    /// Control-plane wire version: sizes of `set_role` / `round_start` /
+    /// `round_done` frames are measured from real encodings at this
+    /// version and reported in [`SimReport::control_bytes`].
+    pub control_wire: WireVersion,
 }
 
 impl SimConfig {
@@ -90,7 +101,78 @@ impl SimConfig {
             scale_bandwidth_with_cpu: false,
             regions: 1,
             bridge_hop: SimDuration::from_millis(20),
+            control_wire: WireVersion::LATEST,
         }
+    }
+
+    /// Starts a builder seeded with the Fig. 8 baseline for
+    /// `num_clients` / `topology`. Every other knob has a setter, so
+    /// examples and benches survive new fields being added here.
+    pub fn builder(num_clients: usize, topology: Topology) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::fig8(num_clients, topology),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`] (see [`SimConfig::builder`]).
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident : $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.config.$field = value;
+                self
+            }
+        )+
+    };
+}
+
+impl SimConfigBuilder {
+    builder_setters! {
+        /// FL rounds to run.
+        rounds: u32,
+        /// Model size in parameters (f32 each).
+        model_params: usize,
+        /// Local samples per client.
+        samples_per_client: usize,
+        /// Local epochs per round.
+        local_epochs: usize,
+        /// Per-client access bandwidth in bytes/s.
+        bandwidth: f64,
+        /// Per-link propagation latency.
+        link_latency: SimDuration,
+        /// Broker forwarding overhead per message.
+        broker_forward: SimDuration,
+        /// Role-optimization policy.
+        optimizer: Box<dyn RoleOptimizer>,
+        /// Effective wire-size ratio after compression.
+        compression_ratio: f64,
+        /// Machine profile assigned to every client.
+        system: SystemSpec,
+        /// Seed for system drift.
+        seed: u64,
+        /// Heterogeneous machine profiles (round-robin).
+        system_mix: Vec<SystemSpec>,
+        /// Whether per-client loads drift between rounds.
+        drift: bool,
+        /// Scale access bandwidth with CPU class.
+        scale_bandwidth_with_cpu: bool,
+        /// Number of broker regions.
+        regions: u32,
+        /// Added latency per cross-region message.
+        bridge_hop: SimDuration,
+        /// Control-plane wire version.
+        control_wire: WireVersion,
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.config
     }
 }
 
@@ -119,8 +201,12 @@ pub struct SimReport {
     pub total: SimDuration,
     /// Per-round breakdowns.
     pub rounds: Vec<RoundBreakdown>,
-    /// Total bytes carried by the network.
+    /// Total data-plane (parameter) bytes carried by the network.
     pub network_bytes: u64,
+    /// Total control-plane bytes (`set_role` + `round_start` +
+    /// `round_done` frames), measured from real encodings at
+    /// [`SimConfig::control_wire`].
+    pub control_bytes: u64,
 }
 
 /// Runs the virtual-time simulation.
@@ -148,8 +234,7 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
         })
         .collect();
 
-    let payload_bytes =
-        ((config.model_params * 4) as f64 * config.compression_ratio).ceil() as u64;
+    let payload_bytes = ((config.model_params * 4) as f64 * config.compression_ratio).ceil() as u64;
 
     let mut infos: Vec<ClientInfo> = ids
         .iter()
@@ -165,6 +250,8 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
     let mut rounds = Vec::with_capacity(config.rounds as usize);
     let mut total = SimDuration::ZERO;
     let mut network_bytes = 0u64;
+    let mut control_bytes = 0u64;
+    let ctrl_sizes = ControlFrameSizes::measure(config.control_wire);
 
     for round in 1..=config.rounds {
         // Role (re)arrangement with the freshest stats.
@@ -184,6 +271,7 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
             &mut network_bytes,
         );
         total += breakdown.round_span;
+        control_bytes += ctrl_sizes.round_total(rearranged, config.num_clients);
         config
             .optimizer
             .observe_round(round, breakdown.round_span.as_secs_f64());
@@ -204,6 +292,75 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
         total,
         rounds,
         network_bytes,
+        control_bytes,
+    }
+}
+
+/// Byte sizes of representative control frames at one wire version,
+/// measured by actually encoding them (so the accounting tracks the codec,
+/// not an estimate).
+struct ControlFrameSizes {
+    set_role: u64,
+    round_start: u64,
+    round_done: u64,
+}
+
+impl ControlFrameSizes {
+    fn measure(version: WireVersion) -> ControlFrameSizes {
+        let session = crate::ids::SessionId::new("sim-session").expect("valid id");
+        let client = ClientId::new("c0").expect("valid id");
+        let set_role = Envelope::new(
+            version,
+            ControlMsg::Ctrl {
+                session: session.clone(),
+                msg: CtrlMsg::SetRole(RoleSpec {
+                    role: Role::TrainerAggregator,
+                    position: Some(Position::Agg(0)),
+                    parent: Position::Root,
+                    expected_inputs: 8,
+                    round: 1,
+                    data_wire: version.as_u8(),
+                }),
+            },
+        )
+        .encode()
+        .len() as u64;
+        let round_start = Envelope::new(
+            version,
+            ControlMsg::Ctrl {
+                session: session.clone(),
+                msg: CtrlMsg::RoundStart { round: 1 },
+            },
+        )
+        .encode()
+        .len() as u64;
+        let round_done = Envelope::new(
+            version,
+            ControlMsg::RoundDone(RoundDone {
+                session_id: session,
+                client_id: client,
+                round: 1,
+                stats: StatsMsg {
+                    free_memory: 1 << 28,
+                    available_flops: 2e9,
+                    memory_utilization: 0.5,
+                },
+            }),
+        )
+        .encode()
+        .len() as u64;
+        ControlFrameSizes {
+            set_role,
+            round_start,
+            round_done,
+        }
+    }
+
+    /// Control bytes for one round: role pushes to rearranged clients plus
+    /// a round-start and a round-done exchange per contributor.
+    fn round_total(&self, rearranged: usize, num_clients: usize) -> u64 {
+        rearranged as u64 * self.set_role
+            + num_clients as u64 * (self.round_start + self.round_done)
     }
 }
 
@@ -305,10 +462,7 @@ fn simulate_round(
     for pos in intermediate_positions {
         let holder = holder_of[&pos];
         let inputs = arrivals.remove(&pos).unwrap_or_default();
-        let ready = inputs
-            .iter()
-            .copied()
-            .fold(start, SimTime::max);
+        let ready = inputs.iter().copied().fold(start, SimTime::max);
         let agg_done = ready + systems[holder].aggregation_time(inputs.len(), config.model_params);
         let root_holder = holder_of[&Position::Root];
         let delivered = net.send(
@@ -349,7 +503,11 @@ mod tests {
     use super::*;
     use crate::optimizer::{MemoryAware, StaticOrder};
 
-    fn quick(num_clients: usize, topology: Topology, optimizer: Box<dyn RoleOptimizer>) -> SimReport {
+    fn quick(
+        num_clients: usize,
+        topology: Topology,
+        optimizer: Box<dyn RoleOptimizer>,
+    ) -> SimReport {
         simulate(SimConfig {
             optimizer,
             rounds: 3,
@@ -403,6 +561,47 @@ mod tests {
     fn deterministic_given_seed() {
         let a = quick(8, Topology::Central, Box::new(StaticOrder));
         let b = quick(8, Topology::Central, Box::new(StaticOrder));
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    #[test]
+    fn binary_control_plane_is_smaller() {
+        let run = |wire| {
+            simulate(
+                SimConfig::builder(8, Topology::Central)
+                    .rounds(3)
+                    .optimizer(Box::new(StaticOrder))
+                    .control_wire(wire)
+                    .build(),
+            )
+        };
+        let v1 = run(crate::wirecodec::WireVersion::V1Json);
+        let v2 = run(crate::wirecodec::WireVersion::V2Binary);
+        assert!(v1.control_bytes > 0 && v2.control_bytes > 0);
+        assert!(
+            (v2.control_bytes as f64) < 0.6 * v1.control_bytes as f64,
+            "binary control plane {} vs JSON {}",
+            v2.control_bytes,
+            v1.control_bytes
+        );
+        // The data plane is unaffected by the control codec.
+        assert_eq!(v1.network_bytes, v2.network_bytes);
+    }
+
+    #[test]
+    fn builder_matches_functional_update() {
+        let a = simulate(
+            SimConfig::builder(6, Topology::Central)
+                .rounds(2)
+                .optimizer(Box::new(StaticOrder))
+                .build(),
+        );
+        let b = simulate(SimConfig {
+            rounds: 2,
+            optimizer: Box::new(StaticOrder),
+            ..SimConfig::fig8(6, Topology::Central)
+        });
         assert_eq!(a.total, b.total);
         assert_eq!(a.network_bytes, b.network_bytes);
     }

@@ -178,11 +178,12 @@ proptest! {
     #[test]
     fn sim_delay_monotone_in_clients(n in 2usize..24) {
         let run = |clients: usize| {
-            simulate(SimConfig {
-                optimizer: Box::new(StaticOrder),
-                rounds: 2,
-                ..SimConfig::fig8(clients, Topology::Central)
-            })
+            simulate(
+                SimConfig::builder(clients, Topology::Central)
+                    .optimizer(Box::new(StaticOrder))
+                    .rounds(2)
+                    .build(),
+            )
         };
         let small = run(n);
         let large = run(n + 4);
@@ -198,16 +199,241 @@ proptest! {
     #[test]
     fn sim_is_deterministic(n in 2usize..16, seed in any::<u64>()) {
         let run = || {
-            simulate(SimConfig {
-                optimizer: Box::new(StaticOrder),
-                rounds: 2,
-                seed,
-                ..SimConfig::fig8(n, Topology::Hierarchical { aggregator_ratio: 0.3 })
-            })
+            simulate(
+                SimConfig::builder(n, Topology::Hierarchical { aggregator_ratio: 0.3 })
+                    .optimizer(Box::new(StaticOrder))
+                    .rounds(2)
+                    .seed(seed)
+                    .build(),
+            )
         };
         let a = run();
         let b = run();
         prop_assert_eq!(a.total, b.total);
         prop_assert_eq!(a.network_bytes, b.network_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec laws: every control-plane message round-trips under both
+// codecs, binary re-encoding is byte-exact, and version negotiation
+// falls back to JSON v1 for legacy peers.
+// ---------------------------------------------------------------------
+
+use sdflmq_core::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg};
+use sdflmq_core::{
+    ClientId as WireClientId, ControlMsg, Envelope, ModelId, MsgKind, Position, Role, RoleSpec,
+    SessionId, SessionReply, WireVersion,
+};
+
+fn wire_id() -> impl Strategy<Value = String> {
+    "[a-z0-9_.-]{1,16}"
+}
+
+fn stats_msg() -> impl Strategy<Value = StatsMsg> {
+    (0u64..(1 << 40), 1e6f64..1e12, 0.0f64..1.0).prop_map(
+        |(free_memory, available_flops, memory_utilization)| StatsMsg {
+            free_memory,
+            available_flops,
+            // Keep values JSON-exact: v1 prints f64s with enough digits to
+            // round-trip, so any finite value works; NaN/Inf would not.
+            memory_utilization,
+        },
+    )
+}
+
+fn preferred_role() -> impl Strategy<Value = sdflmq_core::PreferredRole> {
+    prop_oneof![
+        Just(sdflmq_core::PreferredRole::Trainer),
+        Just(sdflmq_core::PreferredRole::Aggregator),
+        Just(sdflmq_core::PreferredRole::Any),
+    ]
+}
+
+fn position() -> impl Strategy<Value = Position> {
+    prop_oneof![Just(Position::Root), (0u32..64).prop_map(Position::Agg)]
+}
+
+fn role_spec() -> impl Strategy<Value = RoleSpec> {
+    (
+        prop_oneof![
+            Just(Role::Trainer),
+            Just(Role::Aggregator),
+            Just(Role::TrainerAggregator)
+        ],
+        prop_oneof![Just(None), position().prop_map(Some)],
+        position(),
+        0u32..1000,
+        1u32..10_000,
+        0u8..5,
+    )
+        .prop_map(
+            |(role, position, parent, expected_inputs, round, data_wire)| RoleSpec {
+                role,
+                position,
+                parent,
+                expected_inputs,
+                round,
+                data_wire,
+            },
+        )
+}
+
+fn ctrl_msg() -> impl Strategy<Value = CtrlMsg> {
+    prop_oneof![
+        role_spec().prop_map(CtrlMsg::SetRole),
+        Just(CtrlMsg::ResetRole),
+        (1u32..10_000).prop_map(|round| CtrlMsg::RoundStart { round }),
+        Just(CtrlMsg::SessionComplete),
+        "[ -~]{0,40}".prop_map(CtrlMsg::Abort),
+    ]
+}
+
+fn control_msg() -> impl Strategy<Value = ControlMsg> {
+    prop_oneof![
+        (
+            wire_id(),
+            wire_id(),
+            wire_id(),
+            1.0f64..1e6,
+            1usize..100,
+            1usize..100,
+            0.0f64..1e4,
+            1u32..1000,
+            preferred_role(),
+            0u8..5
+        )
+            .prop_map(|(s, c, m, time, lo, hi, wait, rounds, role, proto)| {
+                ControlMsg::NewSession(NewSessionRequest {
+                    session_id: SessionId::new(s).unwrap(),
+                    client_id: WireClientId::new(c).unwrap(),
+                    model_name: ModelId::new(m).unwrap(),
+                    session_time_secs: time,
+                    capacity_min: lo.min(hi),
+                    capacity_max: lo.max(hi),
+                    waiting_time_secs: wait,
+                    fl_rounds: rounds,
+                    preferred_role: role,
+                    proto,
+                })
+            }),
+        (
+            wire_id(),
+            wire_id(),
+            wire_id(),
+            preferred_role(),
+            1u64..1_000_000,
+            stats_msg(),
+            0u8..5
+        )
+            .prop_map(|(s, c, m, role, samples, stats, proto)| {
+                ControlMsg::Join(JoinRequest {
+                    session_id: SessionId::new(s).unwrap(),
+                    client_id: WireClientId::new(c).unwrap(),
+                    model_name: ModelId::new(m).unwrap(),
+                    preferred_role: role,
+                    num_samples: samples,
+                    stats,
+                    proto,
+                })
+            }),
+        (wire_id(), wire_id(), 1u32..10_000, stats_msg()).prop_map(|(s, c, round, stats)| {
+            ControlMsg::RoundDone(RoundDone {
+                session_id: SessionId::new(s).unwrap(),
+                client_id: WireClientId::new(c).unwrap(),
+                round,
+                stats,
+            })
+        }),
+        (wire_id(), ctrl_msg()).prop_map(|(s, msg)| ControlMsg::Ctrl {
+            session: SessionId::new(s).unwrap(),
+            msg,
+        }),
+        ("[a-z]{1,10}", 0u8..5)
+            .prop_map(|(status, proto)| { ControlMsg::Reply(SessionReply { status, proto }) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every control-plane message round-trips under both codecs, and the
+    /// sniffing decoder reports the version that was used.
+    #[test]
+    fn control_messages_roundtrip_under_both_codecs(msg in control_msg()) {
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let frame = Envelope::new(version, msg.clone()).encode();
+            let decoded = Envelope::decode(msg.kind(), &frame)
+                .expect("well-formed frame decodes");
+            prop_assert_eq!(decoded.version, version);
+            prop_assert_eq!(&decoded.msg, &msg, "version {:?}", version);
+        }
+    }
+
+    /// Binary frames are canonical: decode followed by re-encode
+    /// reproduces the exact bytes.
+    #[test]
+    fn binary_frames_are_byte_exact(msg in control_msg()) {
+        let frame = Envelope::new(WireVersion::V2Binary, msg.clone()).encode();
+        let decoded = Envelope::decode(msg.kind(), &frame).unwrap();
+        let reencoded = Envelope::new(WireVersion::V2Binary, decoded.msg).encode();
+        prop_assert_eq!(&reencoded[..], &frame[..]);
+    }
+
+    /// Cross-codec negotiation: whatever two peers advertise, the chosen
+    /// version is supported by both, and a legacy peer (proto ≤ 1) always
+    /// lands on JSON v1.
+    #[test]
+    fn negotiation_is_mutual_and_falls_back(peer in 0u8..=255) {
+        let chosen = WireVersion::negotiate(peer);
+        prop_assert!(chosen <= WireVersion::LATEST);
+        if peer <= 1 {
+            prop_assert_eq!(chosen, WireVersion::V1Json);
+        } else {
+            prop_assert_eq!(chosen, WireVersion::V2Binary);
+        }
+        // The chosen version must round-trip a representative message.
+        let msg = ControlMsg::Reply(SessionReply::new("ok", chosen));
+        let frame = Envelope::new(chosen, msg.clone()).encode();
+        prop_assert_eq!(Envelope::decode(MsgKind::Reply, &frame).unwrap().msg, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes, under either codec
+    /// entry point.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        for kind in [MsgKind::NewSession, MsgKind::Join, MsgKind::RoundDone,
+                     MsgKind::Ctrl, MsgKind::Reply] {
+            let _ = Envelope::decode(kind, &bytes);
+        }
+        let _ = Blob::decode(bytes::Bytes::from(bytes.clone()));
+    }
+
+    /// Blobs round-trip under both metadata versions and report the
+    /// version used, so relays can echo it.
+    #[test]
+    fn blob_metadata_roundtrips(
+        sid in wire_id(),
+        sender in "[a-z0-9_]{1,12}",
+        round in 1u32..10_000,
+        weight in 1u64..1_000_000,
+        params in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let blob = Blob {
+            session_id: SessionId::new(sid).unwrap(),
+            round,
+            sender,
+            weight,
+            params: bytes::Bytes::from(params),
+        };
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let (decoded, got) = Blob::decode_versioned(blob.encode(version)).unwrap();
+            prop_assert_eq!(&decoded, &blob);
+            prop_assert_eq!(got, version);
+        }
+        // Binary metadata is never larger than JSON metadata.
+        prop_assert!(
+            blob.encode(WireVersion::V2Binary).len() <= blob.encode(WireVersion::V1Json).len()
+        );
     }
 }

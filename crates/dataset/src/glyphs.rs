@@ -75,19 +75,10 @@ pub fn digit_segments(d: usize) -> &'static [Segment] {
         Segment::new(0.42, B, 0.70, B),
     ];
     // "2" uses a diagonal descender instead of E.
-    const TWO: &[Segment] = &[
-        SEG_A,
-        SEG_B,
-        Segment::new(R, M, L, B),
-        SEG_D,
-    ];
+    const TWO: &[Segment] = &[SEG_A, SEG_B, Segment::new(R, M, L, B), SEG_D];
     const THREE: &[Segment] = &[SEG_A, SEG_B, SEG_G, SEG_C, SEG_D];
     // "4": diagonal from top-left to middle, then across and down.
-    const FOUR: &[Segment] = &[
-        Segment::new(L, T, L, M),
-        SEG_G,
-        Segment::new(R, T, R, B),
-    ];
+    const FOUR: &[Segment] = &[Segment::new(L, T, L, M), SEG_G, Segment::new(R, T, R, B)];
     const FIVE: &[Segment] = &[SEG_A, SEG_F, SEG_G, SEG_C, SEG_D];
     const SIX: &[Segment] = &[SEG_A, SEG_F, SEG_E, SEG_D, SEG_C, SEG_G];
     // "7" with a diagonal leg.
@@ -154,7 +145,10 @@ mod tests {
     fn distance_to_segment() {
         let s = Segment::new(0.0, 0.0, 1.0, 0.0);
         assert!((s.distance_to((0.5, 0.5)) - 0.5).abs() < 1e-6);
-        assert!((s.distance_to((2.0, 0.0)) - 1.0).abs() < 1e-6, "clamps to endpoint");
+        assert!(
+            (s.distance_to((2.0, 0.0)) - 1.0).abs() < 1e-6,
+            "clamps to endpoint"
+        );
         assert!(s.distance_to((0.3, 0.0)) < 1e-6, "on the segment");
         // Degenerate segment behaves like a point.
         let p = Segment::new(0.5, 0.5, 0.5, 0.5);

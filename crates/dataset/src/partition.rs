@@ -77,12 +77,7 @@ pub fn shards(
 /// Dirichlet label-skew partitioning: for each class, splits its samples
 /// across clients with proportions drawn from `Dirichlet(alpha)`. Small
 /// `alpha` (e.g. 0.1) is highly non-IID; large `alpha` approaches IID.
-pub fn dirichlet(
-    labels: &[usize],
-    num_clients: usize,
-    alpha: f64,
-    seed: u64,
-) -> Vec<Vec<usize>> {
+pub fn dirichlet(labels: &[usize], num_clients: usize, alpha: f64, seed: u64) -> Vec<Vec<usize>> {
     assert!(num_clients > 0);
     assert!(alpha > 0.0, "alpha must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -265,10 +260,7 @@ mod tests {
         let labels = balanced_labels(1000);
         assert_eq!(iid(1000, 4, 50, 9), iid(1000, 4, 50, 9));
         assert_eq!(shards(&labels, 4, 2, 9), shards(&labels, 4, 2, 9));
-        assert_eq!(
-            dirichlet(&labels, 4, 0.5, 9),
-            dirichlet(&labels, 4, 0.5, 9)
-        );
+        assert_eq!(dirichlet(&labels, 4, 0.5, 9), dirichlet(&labels, 4, 0.5, 9));
     }
 
     #[test]

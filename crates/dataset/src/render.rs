@@ -62,10 +62,7 @@ fn transform(p: (f32, f32), jitter: &Jitter) -> (f32, f32) {
     y *= jitter.scale;
     let (sin, cos) = jitter.rotation.sin_cos();
     let (rx, ry) = (x * cos - y * sin, x * sin + y * cos);
-    (
-        rx + cx + jitter.translate.0,
-        ry + cy + jitter.translate.1,
-    )
+    (rx + cx + jitter.translate.0, ry + cy + jitter.translate.1)
 }
 
 /// Renders `segments` with `jitter` into a new `IMG_PIXELS`-length buffer,

@@ -199,7 +199,12 @@ mod tests {
         sub_b.subscribe_str("x/#", QoS::AtMostOnce).unwrap();
         let pub_a = Client::connect(&a, ClientOptions::new("pub-a")).unwrap();
         pub_a
-            .publish(&TopicName::new("x/1").unwrap(), b"ab".as_slice(), QoS::AtMostOnce, false)
+            .publish(
+                &TopicName::new("x/1").unwrap(),
+                b"ab".as_slice(),
+                QoS::AtMostOnce,
+                false,
+            )
             .unwrap();
         let got = sub_b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got.payload, Bytes::from_static(b"ab"));
@@ -208,7 +213,12 @@ mod tests {
         sub_a.subscribe_str("y/#", QoS::AtMostOnce).unwrap();
         let pub_b = Client::connect(&b, ClientOptions::new("pub-b")).unwrap();
         pub_b
-            .publish(&TopicName::new("y/1").unwrap(), b"ba".as_slice(), QoS::AtMostOnce, false)
+            .publish(
+                &TopicName::new("y/1").unwrap(),
+                b"ba".as_slice(),
+                QoS::AtMostOnce,
+                false,
+            )
             .unwrap();
         let got = sub_a.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got.payload, Bytes::from_static(b"ba"));

@@ -329,7 +329,9 @@ impl BrokerCore {
         let session_present = if c.clean_session {
             // Fresh session: purge stored state and subscriptions.
             if self.sessions.remove(&c.client_id).is_some() {
-                self.counters.sessions_current.fetch_sub(1, Ordering::Relaxed);
+                self.counters
+                    .sessions_current
+                    .fetch_sub(1, Ordering::Relaxed);
             }
             let removed = self.trie.unsubscribe_all(&c.client_id);
             self.counters
@@ -405,6 +407,9 @@ impl BrokerCore {
                     released: false,
                 },
             );
+            // Count before sending: once a receiver observes the frame,
+            // the counter must already reflect it.
+            BrokerCounters::bump(&self.counters.publishes_out);
             self.send_to_conn(
                 conn_id,
                 &Packet::Publish(Publish {
@@ -416,7 +421,6 @@ impl BrokerCore {
                     payload: inflight_msg.payload,
                 }),
             );
-            BrokerCounters::bump(&self.counters.publishes_out);
         }
     }
 
@@ -473,7 +477,9 @@ impl BrokerCore {
                     BrokerCounters::bump(&self.counters.retained_current);
                 }
                 std::cmp::Ordering::Less => {
-                    self.counters.retained_current.fetch_sub(1, Ordering::Relaxed);
+                    self.counters
+                        .retained_current
+                        .fetch_sub(1, Ordering::Relaxed);
                 }
                 std::cmp::Ordering::Equal => {}
             }
@@ -508,7 +514,14 @@ impl BrokerCore {
 
     /// Delivers one message to one client (live) or queues it (parked
     /// persistent session).
-    fn deliver(&mut self, client: String, topic: TopicName, payload: Bytes, qos: QoS, retain: bool) {
+    fn deliver(
+        &mut self,
+        client: String,
+        topic: TopicName,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+    ) {
         match self.by_client.get(&client) {
             Some(&conn_id) if self.conns.contains_key(&conn_id) => {
                 let packet_id = if qos == QoS::AtMostOnce {
@@ -530,6 +543,9 @@ impl BrokerCore {
                     );
                     Some(id)
                 };
+                // Count before sending: once a receiver observes the
+                // frame, the counter must already reflect it.
+                BrokerCounters::bump(&self.counters.publishes_out);
                 self.send_to_conn(
                     conn_id,
                     &Packet::Publish(Publish {
@@ -541,7 +557,6 @@ impl BrokerCore {
                         payload,
                     }),
                 );
-                BrokerCounters::bump(&self.counters.publishes_out);
             }
             _ => {
                 // Parked session: queue QoS>0; drop QoS 0 per spec latitude.
@@ -552,7 +567,11 @@ impl BrokerCore {
                 if qos == QoS::AtMostOnce || session.clean {
                     BrokerCounters::bump(&self.counters.dropped);
                 } else {
-                    let intact = session.queue_message(QueuedMessage { topic, payload, qos });
+                    let intact = session.queue_message(QueuedMessage {
+                        topic,
+                        payload,
+                        qos,
+                    });
                     BrokerCounters::bump(&self.counters.queued_current);
                     if !intact {
                         BrokerCounters::bump(&self.counters.dropped);
@@ -639,7 +658,9 @@ impl BrokerCore {
         };
         for filter in &u.filters {
             if self.trie.unsubscribe(filter, &client_id) {
-                self.counters.subscriptions_current.fetch_sub(1, Ordering::Relaxed);
+                self.counters
+                    .subscriptions_current
+                    .fetch_sub(1, Ordering::Relaxed);
             }
             if let Some(session) = self.sessions.get_mut(&client_id) {
                 session.subscriptions.remove(filter);
@@ -652,9 +673,15 @@ impl BrokerCore {
         let Some(conn) = self.conns.remove(&conn_id) else {
             return;
         };
-        self.counters.connections_current.fetch_sub(1, Ordering::Relaxed);
+        self.counters
+            .connections_current
+            .fetch_sub(1, Ordering::Relaxed);
 
-        let will = if conn.graceful { None } else { conn.will.clone() };
+        let will = if conn.graceful {
+            None
+        } else {
+            conn.will.clone()
+        };
 
         if let Some(client_id) = conn.client_id {
             if self.by_client.get(&client_id) == Some(&conn_id) {
@@ -667,7 +694,9 @@ impl BrokerCore {
                 .unwrap_or(true);
             if clean {
                 if self.sessions.remove(&client_id).is_some() {
-                    self.counters.sessions_current.fetch_sub(1, Ordering::Relaxed);
+                    self.counters
+                        .sessions_current
+                        .fetch_sub(1, Ordering::Relaxed);
                 }
                 let removed = self.trie.unsubscribe_all(&client_id);
                 self.counters
@@ -756,7 +785,9 @@ mod tests {
                 will,
             }))
             .unwrap();
-            match link.recv_packet_timeout(Duration::from_secs(2)).unwrap() {
+            // Generous timeout: the full workspace test run executes many
+            // binaries in parallel and can starve this thread for seconds.
+            match link.recv_packet_timeout(Duration::from_secs(30)).unwrap() {
                 Packet::Connack(c) => assert_eq!(c.code, ConnectReturnCode::Accepted),
                 other => panic!("expected connack, got {other:?}"),
             }
@@ -777,7 +808,11 @@ mod tests {
         }
 
         fn publish(&self, topic: &str, payload: &[u8], qos: QoS, retain: bool) {
-            let packet_id = if qos == QoS::AtMostOnce { None } else { Some(9) };
+            let packet_id = if qos == QoS::AtMostOnce {
+                None
+            } else {
+                Some(9)
+            };
             self.link
                 .send_packet(&Packet::Publish(Publish {
                     dup: false,
@@ -791,7 +826,9 @@ mod tests {
         }
 
         fn recv(&self) -> Packet {
-            self.link.recv_packet_timeout(Duration::from_secs(2)).unwrap()
+            self.link
+                .recv_packet_timeout(Duration::from_secs(30))
+                .unwrap()
         }
 
         fn expect_publish(&self) -> Publish {

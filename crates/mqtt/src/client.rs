@@ -215,11 +215,7 @@ impl Client {
                     return;
                 };
                 let mut rest: Bytes = frame;
-                loop {
-                    let (packet, used) = match codec::decode(&rest) {
-                        Ok(ok) => ok,
-                        Err(_) => break,
-                    };
+                while let Ok((packet, used)) = codec::decode(&rest) {
                     Self::handle_packet(&inner, packet);
                     if used >= rest.len() {
                         break;
@@ -403,10 +399,12 @@ impl Client {
         let id = self.inner.alloc_id();
         let (tx, rx) = bounded(2);
         self.inner.pending_sub.lock().insert(id, Pending { tx });
-        self.inner.sender.send_packet(&Packet::Subscribe(Subscribe {
-            packet_id: id,
-            filters: vec![(filter.clone(), qos)],
-        }))?;
+        self.inner
+            .sender
+            .send_packet(&Packet::Subscribe(Subscribe {
+                packet_id: id,
+                filters: vec![(filter.clone(), qos)],
+            }))?;
         let ack = rx
             .recv_timeout(self.inner.response_timeout)
             .map_err(|_| MqttError::Timeout)?;
@@ -429,10 +427,7 @@ impl Client {
     ) -> Result<QoS> {
         // Register the handler before the wire subscribe so retained
         // replays are not lost to the default inbox.
-        self.inner
-            .handlers
-            .write()
-            .push((filter.clone(), handler));
+        self.inner.handlers.write().push((filter.clone(), handler));
         self.subscribe(filter, qos)
     }
 
@@ -445,10 +440,7 @@ impl Client {
     /// same filter).
     pub fn unsubscribe(&self, filter: &TopicFilter) -> Result<()> {
         self.ensure_connected()?;
-        self.inner
-            .handlers
-            .write()
-            .retain(|(f, _)| f != filter);
+        self.inner.handlers.write().retain(|(f, _)| f != filter);
         let id = self.inner.alloc_id();
         let (tx, rx) = bounded(2);
         self.inner.pending_sub.lock().insert(id, Pending { tx });

@@ -78,7 +78,11 @@ fn estimate_size(packet: &Packet) -> usize {
                 .sum::<usize>()
         }
         Packet::Unsubscribe(u) => {
-            7 + u.filters.iter().map(|f| 2 + f.as_str().len()).sum::<usize>()
+            7 + u
+                .filters
+                .iter()
+                .map(|f| 2 + f.as_str().len())
+                .sum::<usize>()
         }
         Packet::Suback(s) => 7 + s.return_codes.len(),
         _ => 4,
@@ -157,7 +161,9 @@ fn encode_publish(p: &Publish, buf: &mut BytesMut) -> Result<()> {
     encode_remaining_length(remaining, buf)?;
     put_string(p.topic.as_str(), buf);
     if p.qos != QoS::AtMostOnce {
-        let id = p.packet_id.ok_or(MqttError::Malformed("QoS>0 publish without packet id"))?;
+        let id = p
+            .packet_id
+            .ok_or(MqttError::Malformed("QoS>0 publish without packet id"))?;
         buf.put_u16(id);
     }
     buf.put_slice(&p.payload);
@@ -168,8 +174,11 @@ fn encode_subscribe(s: &Subscribe, buf: &mut BytesMut) -> Result<()> {
     if s.filters.is_empty() {
         return Err(MqttError::Malformed("SUBSCRIBE with no filters"));
     }
-    let remaining =
-        2 + s.filters.iter().map(|(f, _)| 3 + f.as_str().len()).sum::<usize>();
+    let remaining = 2 + s
+        .filters
+        .iter()
+        .map(|(f, _)| 3 + f.as_str().len())
+        .sum::<usize>();
     buf.put_u8(0x82);
     encode_remaining_length(remaining, buf)?;
     buf.put_u16(s.packet_id);
@@ -194,7 +203,11 @@ fn encode_unsubscribe(u: &Unsubscribe, buf: &mut BytesMut) -> Result<()> {
     if u.filters.is_empty() {
         return Err(MqttError::Malformed("UNSUBSCRIBE with no filters"));
     }
-    let remaining = 2 + u.filters.iter().map(|f| 2 + f.as_str().len()).sum::<usize>();
+    let remaining = 2 + u
+        .filters
+        .iter()
+        .map(|f| 2 + f.as_str().len())
+        .sum::<usize>();
     buf.put_u8(0xA2);
     encode_remaining_length(remaining, buf)?;
     buf.put_u16(u.packet_id);
@@ -323,8 +336,8 @@ fn decode_connect(buf: &mut Bytes) -> Result<Packet> {
             return Err(MqttError::UnexpectedEof);
         }
         let payload = buf.split_to(len);
-        let qos = QoS::from_u8((flags >> 3) & 0x03)
-            .ok_or(MqttError::Malformed("invalid will QoS"))?;
+        let qos =
+            QoS::from_u8((flags >> 3) & 0x03).ok_or(MqttError::Malformed("invalid will QoS"))?;
         Some(LastWill {
             topic,
             payload,
@@ -387,7 +400,8 @@ fn decode_subscribe(buf: &mut Bytes) -> Result<Packet> {
         if !buf.has_remaining() {
             return Err(MqttError::UnexpectedEof);
         }
-        let qos = QoS::from_u8(buf.get_u8()).ok_or(MqttError::Malformed("invalid requested QoS"))?;
+        let qos =
+            QoS::from_u8(buf.get_u8()).ok_or(MqttError::Malformed("invalid requested QoS"))?;
         filters.push((filter, qos));
     }
     if filters.is_empty() {
@@ -429,7 +443,12 @@ mod tests {
     fn roundtrip(p: Packet) {
         let encoded = encode(&p).unwrap();
         let (decoded, consumed) = decode(&encoded).unwrap();
-        assert_eq!(consumed, encoded.len(), "{} consumed all bytes", p.type_name());
+        assert_eq!(
+            consumed,
+            encoded.len(),
+            "{} consumed all bytes",
+            p.type_name()
+        );
         assert_eq!(decoded, p);
     }
 
@@ -507,10 +526,7 @@ mod tests {
         }));
         roundtrip(Packet::Suback(Suback {
             packet_id: 11,
-            return_codes: vec![
-                SubackCode::Granted(QoS::AtLeastOnce),
-                SubackCode::Failure,
-            ],
+            return_codes: vec![SubackCode::Granted(QoS::AtLeastOnce), SubackCode::Failure],
         }));
         roundtrip(Packet::Unsubscribe(Unsubscribe {
             packet_id: 12,

@@ -95,7 +95,10 @@ mod tests {
             MqttError::InvalidTopic("a/#/b".into()).to_string(),
             "invalid topic: \"a/#/b\""
         );
-        assert_eq!(MqttError::UnexpectedEof.to_string(), "unexpected end of packet");
+        assert_eq!(
+            MqttError::UnexpectedEof.to_string(),
+            "unexpected end of packet"
+        );
     }
 
     #[test]

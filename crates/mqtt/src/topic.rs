@@ -81,10 +81,9 @@ impl TopicFilter {
             if level.contains('+') && *level != "+" {
                 return Err(MqttError::InvalidTopic(s));
             }
-            if level.contains('#')
-                && (*level != "#" || i != levels.len() - 1) {
-                    return Err(MqttError::InvalidTopic(s));
-                }
+            if level.contains('#') && (*level != "#" || i != levels.len() - 1) {
+                return Err(MqttError::InvalidTopic(s));
+            }
         }
         Ok(TopicFilter(s))
     }

@@ -165,10 +165,14 @@ impl LinkEnd {
     fn record_sent(&self, len: usize) {
         if self.a_side {
             self.stats.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats.a_to_b_bytes.fetch_add(len as u64, Ordering::Relaxed);
+            self.stats
+                .a_to_b_bytes
+                .fetch_add(len as u64, Ordering::Relaxed);
         } else {
             self.stats.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats.b_to_a_bytes.fetch_add(len as u64, Ordering::Relaxed);
+            self.stats
+                .b_to_a_bytes
+                .fetch_add(len as u64, Ordering::Relaxed);
         }
     }
 

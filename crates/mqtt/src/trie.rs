@@ -274,7 +274,11 @@ mod tests {
     }
 
     fn keys(trie: &SubscriptionTrie<u32, u8>, topic: &str) -> Vec<u32> {
-        let mut v: Vec<u32> = trie.matches(&t(topic)).into_iter().map(|(k, _)| *k).collect();
+        let mut v: Vec<u32> = trie
+            .matches(&t(topic))
+            .into_iter()
+            .map(|(k, _)| *k)
+            .collect();
         v.sort_unstable();
         v
     }

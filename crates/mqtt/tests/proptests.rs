@@ -20,10 +20,7 @@ fn topic_name() -> impl Strategy<Value = TopicName> {
 /// A filter strategy: levels may be literals or `+`, optionally `#` tail.
 fn topic_filter() -> impl Strategy<Value = TopicFilter> {
     (
-        prop::collection::vec(
-            prop_oneof![3 => level(), 1 => Just("+".to_owned())],
-            1..6,
-        ),
+        prop::collection::vec(prop_oneof![3 => level(), 1 => Just("+".to_owned())], 1..6),
         prop::bool::ANY,
     )
         .prop_map(|(mut levels, hash_tail)| {
@@ -56,7 +53,11 @@ fn publish() -> impl Strategy<Value = Packet> {
                 qos,
                 retain,
                 topic,
-                packet_id: if qos == QoS::AtMostOnce { None } else { Some(7) },
+                packet_id: if qos == QoS::AtMostOnce {
+                    None
+                } else {
+                    Some(7)
+                },
                 payload: Bytes::from(payload),
             })
         })
@@ -73,25 +74,19 @@ fn any_packet() -> impl Strategy<Value = Packet> {
         Just(Packet::Pingreq),
         Just(Packet::Pingresp),
         Just(Packet::Disconnect),
-        (
-            "[a-z0-9]{1,16}",
-            prop::bool::ANY,
-            any::<u16>(),
-        )
-            .prop_map(|(id, clean, keep_alive)| Packet::Connect(Connect {
+        ("[a-z0-9]{1,16}", prop::bool::ANY, any::<u16>(),).prop_map(|(id, clean, keep_alive)| {
+            Packet::Connect(Connect {
                 client_id: id,
                 clean_session: clean,
                 keep_alive,
                 will: None,
-            })),
+            })
+        }),
         (
             1u16..=u16::MAX,
             prop::collection::vec((topic_filter(), qos()), 1..5)
         )
-            .prop_map(|(packet_id, filters)| Packet::Subscribe(Subscribe {
-                packet_id,
-                filters
-            })),
+            .prop_map(|(packet_id, filters)| Packet::Subscribe(Subscribe { packet_id, filters })),
     ]
 }
 

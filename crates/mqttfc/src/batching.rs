@@ -264,7 +264,10 @@ mod tests {
             r.push("x", frames[0].clone()).unwrap(),
             PushResult::Incomplete { .. }
         ));
-        assert_eq!(r.push("x", frames[0].clone()).unwrap(), PushResult::Duplicate);
+        assert_eq!(
+            r.push("x", frames[0].clone()).unwrap(),
+            PushResult::Duplicate
+        );
         for f in &frames[1..] {
             let _ = r.push("x", f.clone()).unwrap();
         }

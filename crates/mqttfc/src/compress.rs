@@ -79,8 +79,12 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut flag_bit = 0u8;
     let mut flag_acc = 0u8;
 
-    let push_item = |out: &mut Vec<u8>, literal: Option<u8>, pair: Option<(usize, usize)>,
-                         flags_at: &mut usize, flag_bit: &mut u8, flag_acc: &mut u8| {
+    let push_item = |out: &mut Vec<u8>,
+                     literal: Option<u8>,
+                     pair: Option<(usize, usize)>,
+                     flags_at: &mut usize,
+                     flag_bit: &mut u8,
+                     flag_acc: &mut u8| {
         if let Some(b) = literal {
             *flag_acc |= 1 << *flag_bit;
             out.push(b);
@@ -358,7 +362,10 @@ mod tests {
     fn corrupt_streams_error() {
         assert!(decompress(&[]).is_err());
         assert!(decompress(&[5, 0, 0, 0]).is_err(), "missing body");
-        assert!(decompress(&[5, 0, 0, 0, 0b0000_0000, 0xFF]).is_err(), "truncated pair");
+        assert!(
+            decompress(&[5, 0, 0, 0, 0b0000_0000, 0xFF]).is_err(),
+            "truncated pair"
+        );
         // Offset pointing before output start.
         let bad = [2u8, 0, 0, 0, 0b0000_0000, 0xFF, 0xFF];
         assert!(decompress(&bad).is_err());

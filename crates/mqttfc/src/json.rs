@@ -91,7 +91,9 @@ impl Json {
     /// Returns the number as u64 if it is a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            // Strictly below 2^64: `u64::MAX as f64` rounds *up* to 2^64,
+            // so a `<=` guard would let 2^64 saturate to u64::MAX.
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -318,8 +320,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -349,7 +350,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32, JsonError> {
         let mut value = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -444,11 +447,18 @@ mod tests {
 
     #[test]
     fn containers_roundtrip() {
-        roundtrip(&Json::Array(vec![Json::num(1), Json::str("two"), Json::Null]));
+        roundtrip(&Json::Array(vec![
+            Json::num(1),
+            Json::str("two"),
+            Json::Null,
+        ]));
         roundtrip(&Json::object([
             ("id", Json::str("client_5")),
             ("mem", Json::num(4096)),
-            ("roles", Json::Array(vec![Json::str("trainer"), Json::str("aggregator")])),
+            (
+                "roles",
+                Json::Array(vec![Json::str("trainer"), Json::str("aggregator")]),
+            ),
             ("nested", Json::object([("x", Json::Bool(false))])),
         ]));
         roundtrip(&Json::Array(vec![]));
@@ -474,8 +484,20 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "tru", "nul",
-            "\"unterminated", "{\"a\":1,}", "1 2", "[1]]", "\"bad \\x escape\"",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "1 2",
+            "[1]]",
+            "\"bad \\x escape\"",
             "\u{0001}",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
@@ -505,5 +527,17 @@ mod tests {
     #[test]
     fn nan_becomes_null() {
         assert_eq!(Json::Number(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn as_u64_rejects_out_of_range_and_fractional() {
+        assert_eq!(Json::num(5).as_u64(), Some(5));
+        assert_eq!(Json::num(-1).as_u64(), None);
+        assert_eq!(Json::num(2.5).as_u64(), None);
+        // 2^64 itself must not saturate to u64::MAX.
+        assert_eq!(Json::Number(18446744073709551616.0).as_u64(), None);
+        // The largest double below 2^64 is a valid u64.
+        let below = f64::from_bits(18446744073709551616.0f64.to_bits() - 1);
+        assert_eq!(Json::Number(below).as_u64(), Some(below as u64));
     }
 }

@@ -53,4 +53,4 @@ pub use batching::{BatchConfig, PushResult, Reassembler};
 pub use error::{Result, RfcError};
 pub use json::{Json, JsonError};
 pub use rfc::{function_topic, inbox_topic, FleetController, RfcConfig, RfcHandler};
-pub use wire::{crc32, Chunk, RfcKind, RfcMessage, WireError};
+pub use wire::{crc32, get_varint, put_varint, Chunk, RfcKind, RfcMessage, WireError};

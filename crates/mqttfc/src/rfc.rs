@@ -413,10 +413,7 @@ mod tests {
         let broker = Broker::start_default();
         let callee = controller(&broker, "svc");
         callee
-            .expose(
-                "id",
-                Arc::new(|msg| Ok(msg.payload.clone())),
-            )
+            .expose("id", Arc::new(|msg| Ok(msg.payload.clone())))
             .unwrap();
         let caller = controller(&broker, "cli");
         let mut handles = Vec::new();
@@ -450,10 +447,18 @@ mod tests {
     fn two_exposed_functions_dispatch_separately() {
         let broker = Broker::start_default();
         let ctl = controller(&broker, "svc");
-        ctl.expose("a", Arc::new(|_| Ok(Bytes::from_static(b"A")))).unwrap();
-        ctl.expose("b", Arc::new(|_| Ok(Bytes::from_static(b"B")))).unwrap();
+        ctl.expose("a", Arc::new(|_| Ok(Bytes::from_static(b"A"))))
+            .unwrap();
+        ctl.expose("b", Arc::new(|_| Ok(Bytes::from_static(b"B"))))
+            .unwrap();
         let caller = controller(&broker, "cli");
-        assert_eq!(&caller.call_with_reply("a", b"".as_slice()).unwrap()[..], b"A");
-        assert_eq!(&caller.call_with_reply("b", b"".as_slice()).unwrap()[..], b"B");
+        assert_eq!(
+            &caller.call_with_reply("a", b"".as_slice()).unwrap()[..],
+            b"A"
+        );
+        assert_eq!(
+            &caller.call_with_reply("b", b"".as_slice()).unwrap()[..],
+            b"B"
+        );
     }
 }

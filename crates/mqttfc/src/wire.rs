@@ -36,7 +36,10 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated wire data"),
             WireError::Invalid(what) => write!(f, "invalid wire data: {what}"),
             WireError::BadChecksum { expected, actual } => {
-                write!(f, "chunk checksum mismatch: header {expected:#10x}, body {actual:#10x}")
+                write!(
+                    f,
+                    "chunk checksum mismatch: header {expected:#10x}, body {actual:#10x}"
+                )
             }
         }
     }
@@ -71,6 +74,46 @@ pub fn crc32(data: &[u8]) -> u32 {
         crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128) — shared by the RFC layer and the SDFLMQ control-plane
+// binary codec
+// ---------------------------------------------------------------------------
+
+/// Appends `value` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint, advancing `input` (works over `Bytes` or a
+/// `&mut &[u8]` cursor). Returns `None` on truncation or a varint longer
+/// than 10 bytes (overflow).
+pub fn get_varint<B: Buf>(input: &mut B) -> Option<u64> {
+    let mut value = 0u64;
+    for i in 0..10 {
+        if !input.has_remaining() {
+            return None;
+        }
+        let byte = input.get_u8();
+        let bits = (byte & 0x7F) as u64;
+        if i == 9 && bits > 1 {
+            return None; // would overflow 64 bits
+        }
+        value |= bits << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -270,6 +313,35 @@ impl Chunk {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes), Some(v), "value {v}");
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert_eq!(get_varint(&mut Bytes::new()), None);
+        assert_eq!(get_varint(&mut Bytes::from_static(&[0x80])), None);
+        // 11-byte varint: overflow.
+        assert_eq!(get_varint(&mut Bytes::from_static(&[0xFF; 11])), None);
+    }
 
     #[test]
     fn crc32_known_vectors() {

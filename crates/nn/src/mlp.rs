@@ -44,10 +44,7 @@ impl MlpSpec {
 
     /// Total parameter count (weights + biases).
     pub fn param_count(&self) -> usize {
-        self.layer_dims()
-            .iter()
-            .map(|(fi, fo)| fi * fo + fo)
-            .sum()
+        self.layer_dims().iter().map(|(fi, fo)| fi * fo + fo).sum()
     }
 }
 
@@ -101,12 +98,7 @@ impl Mlp {
         let mut params = vec![0.0f32; off];
         let mut rng = seeded_rng(seed);
         for l in &layout {
-            Init::HeUniform.fill(
-                &mut params[l.w_off..l.b_off],
-                l.fan_in,
-                l.fan_out,
-                &mut rng,
-            );
+            Init::HeUniform.fill(&mut params[l.w_off..l.b_off], l.fan_in, l.fan_out, &mut rng);
             // Biases stay zero.
         }
         Mlp {
@@ -148,11 +140,7 @@ impl Mlp {
     }
 
     fn weights_of(&self, l: &LayerLayout) -> Matrix {
-        Matrix::from_vec(
-            l.fan_in,
-            l.fan_out,
-            self.params[l.w_off..l.b_off].to_vec(),
-        )
+        Matrix::from_vec(l.fan_in, l.fan_out, self.params[l.w_off..l.b_off].to_vec())
     }
 
     fn bias_of(&self, l: &LayerLayout) -> &[f32] {
@@ -251,7 +239,10 @@ mod tests {
         assert_eq!(spec.param_count(), 4 * 5 + 5 + 5 * 3 + 3);
         let mlp = Mlp::new(spec.clone(), 0);
         assert_eq!(mlp.param_count(), spec.param_count());
-        assert_eq!(MlpSpec::mnist_mlp().param_count(), 784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10);
+        assert_eq!(
+            MlpSpec::mnist_mlp().param_count(),
+            784 * 128 + 128 + 128 * 64 + 64 + 64 * 10 + 10
+        );
     }
 
     #[test]
@@ -316,6 +307,8 @@ mod tests {
         let analytic = mlp.backward(&cache, &dlogits);
 
         let eps = 1e-3f32;
+        // Indexing is the point here: each parameter is perturbed in place.
+        #[allow(clippy::needless_range_loop)]
         for idx in 0..mlp.param_count() {
             let orig = mlp.params()[idx];
             mlp.params_mut()[idx] = orig + eps;

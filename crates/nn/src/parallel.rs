@@ -75,7 +75,9 @@ where
             });
         }
     });
-    out.into_iter().map(|r| r.expect("worker finished")).collect()
+    out.into_iter()
+        .map(|r| r.expect("worker finished"))
+        .collect()
 }
 
 #[cfg(test)]

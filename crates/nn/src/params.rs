@@ -116,7 +116,13 @@ mod tests {
 
     #[test]
     fn special_values_roundtrip() {
-        let params = vec![f32::INFINITY, f32::NEG_INFINITY, 0.0, -0.0, f32::MIN_POSITIVE];
+        let params = vec![
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+        ];
         let got = deserialize(&serialize(&params)).unwrap();
         assert_eq!(got.len(), params.len());
         for (a, b) in got.iter().zip(&params) {

@@ -272,7 +272,9 @@ mod tests {
         Matrix::from_vec(
             rows,
             cols,
-            (0..rows * cols).map(|i| ((i % 17) as f32 - 8.0) * scale).collect(),
+            (0..rows * cols)
+                .map(|i| ((i % 17) as f32 - 8.0) * scale)
+                .collect(),
         )
     }
 

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 use sdflmq_nn::{deserialize_params, serialize_params, Matrix};
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-10.0f32..10.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))
@@ -28,8 +31,10 @@ fn assert_close(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.rows(), b.rows());
     prop_assert_eq!(a.cols(), b.cols());
     for (x, y) in a.data().iter().zip(b.data().iter()) {
-        prop_assert!((x - y).abs() <= 1e-3 + 1e-4 * x.abs().max(y.abs()),
-            "{x} vs {y}");
+        prop_assert!(
+            (x - y).abs() <= 1e-3 + 1e-4 * x.abs().max(y.abs()),
+            "{x} vs {y}"
+        );
     }
     Ok(())
 }

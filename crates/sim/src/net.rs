@@ -173,7 +173,13 @@ impl Network {
     /// payload *once* (the broker fans out), then each recipient's downlink
     /// carries its own copy. Returns each recipient's delivery time, in
     /// `tos` order.
-    pub fn broadcast(&mut self, from: &str, tos: &[&str], bytes: u64, now: SimTime) -> Vec<SimTime> {
+    pub fn broadcast(
+        &mut self,
+        from: &str,
+        tos: &[&str],
+        bytes: u64,
+        now: SimTime,
+    ) -> Vec<SimTime> {
         let up_done = {
             let sender = self
                 .nodes
@@ -237,7 +243,10 @@ mod tests {
         let d1 = link.transfer(SimTime::ZERO, 1_000_000);
         let d2 = link.transfer(SimTime::ZERO, 1_000_000);
         assert!((d1.as_secs_f64() - 1.0).abs() < 1e-9);
-        assert!((d2.as_secs_f64() - 2.0).abs() < 1e-9, "second waits for first");
+        assert!(
+            (d2.as_secs_f64() - 2.0).abs() < 1e-9,
+            "second waits for first"
+        );
         assert!((link.busy().as_secs_f64() - 2.0).abs() < 1e-9);
     }
 
@@ -265,7 +274,10 @@ mod tests {
         // The Fig-8 mechanism: 4 senders converging on one receiver.
         let mut net = Network::new(SimDuration::ZERO);
         for i in 0..4 {
-            net.add_node(format!("s{i}"), NodeLink::symmetric(1_000_000.0, SimDuration::ZERO));
+            net.add_node(
+                format!("s{i}"),
+                NodeLink::symmetric(1_000_000.0, SimDuration::ZERO),
+            );
         }
         net.add_node("agg", NodeLink::symmetric(1_000_000.0, SimDuration::ZERO));
         let mut last = SimTime::ZERO;

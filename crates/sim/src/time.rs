@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = vec![
+        let mut times = [
             SimTime::from_secs_f64(2.0),
             SimTime::ZERO,
             SimTime::from_secs_f64(1.0),

@@ -83,7 +83,10 @@ mod tests {
         t.record(SimTime::from_secs_f64(3.0), "agg_done", "root");
         assert_eq!(t.len(), 3);
         assert_eq!(t.of_kind("agg_done").count(), 2);
-        assert_eq!(t.last_of_kind("agg_done"), Some(SimTime::from_secs_f64(3.0)));
+        assert_eq!(
+            t.last_of_kind("agg_done"),
+            Some(SimTime::from_secs_f64(3.0))
+        );
         assert_eq!(
             t.span("train_done", "agg_done"),
             Some(SimDuration::from_secs_f64(2.0))

@@ -19,7 +19,7 @@ proptest! {
         let mut last_done = SimTime::ZERO;
         let mut expected_busy = 0.0f64;
         for (size, gap) in sizes.iter().zip(gaps.iter().cycle()) {
-            now = now + SimDuration::from_nanos(*gap);
+            now += SimDuration::from_nanos(*gap);
             let done = link.transfer(now, *size);
             prop_assert!(done >= last_done, "FIFO ordering");
             prop_assert!(done >= now, "no time travel");

@@ -58,8 +58,7 @@ fn main() {
     let model_name = ModelId::new("regional-model").unwrap();
     let total = CLIENTS_PER_REGION * 3;
 
-    let regions: [(&str, &Broker); 3] =
-        [("a", &broker_a), ("b", &broker_b), ("c", &broker_c)];
+    let regions: [(&str, &Broker); 3] = [("a", &broker_a), ("b", &broker_b), ("c", &broker_c)];
 
     let mut handles = Vec::new();
     let mut created = false;

@@ -114,8 +114,7 @@ fn main() {
     }
 
     println!("device  aggregator-rounds (of {FL_ROUNDS})  machine");
-    let mut results: Vec<(usize, u32)> =
-        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut results: Vec<(usize, u32)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     results.sort();
     let mut total_agg_rounds = 0;
     for (i, agg_rounds) in &results {

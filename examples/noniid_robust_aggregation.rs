@@ -78,9 +78,7 @@ fn main() {
 
     let contributions: Vec<(&[f32], u64)> =
         locals.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
-    println!(
-        "\nglobal accuracy with {POISONED}/{CLIENTS} poisoned clients:"
-    );
+    println!("\nglobal accuracy with {POISONED}/{CLIENTS} poisoned clients:");
     for method in [
         Box::new(FedAvg) as Box<dyn AggregationMethod>,
         Box::new(CoordinateMedian),

@@ -71,10 +71,10 @@ fn main() {
                 .create_fl_session(
                     &session,
                     &model_name,
-                    Duration::from_secs(3600),  // session_time
-                    CLIENTS,                    // capacity_min
-                    CLIENTS,                    // capacity_max
-                    Duration::from_secs(120),   // waiting_time
+                    Duration::from_secs(3600), // session_time
+                    CLIENTS,                   // capacity_min
+                    CLIENTS,                   // capacity_max
+                    Duration::from_secs(120),  // waiting_time
                     FL_ROUNDS,
                     PreferredRole::Aggregator,
                     SAMPLES_PER_CLIENT as u64,

@@ -1,0 +1,365 @@
+//! Minimal offline stand-in for `crossbeam` (the `channel` module only).
+//!
+//! MPMC channels with cloneable senders *and* receivers, bounded
+//! backpressure, and crossbeam's disconnect semantics: `recv` fails once
+//! the queue is empty and every `Sender` is gone; `send` fails once every
+//! `Receiver` is gone. Built on `std::sync::{Mutex, Condvar}`.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`]: every receiver is gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and full.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]: empty and every sender gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel with capacity `cap` (must be > 0; this
+    /// shim does not implement zero-capacity rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "shim does not support zero-capacity channels");
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.inner.not_full.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// The channel's capacity (`None` if unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.inner.cap
+        }
+
+        /// True if a bounded channel is at capacity.
+        pub fn is_full(&self) -> bool {
+            match self.inner.cap {
+                Some(cap) => self.inner.state.lock().unwrap().queue.len() >= cap,
+                None => false,
+            }
+        }
+
+        /// Sends without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.inner.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a value or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives with a deadline of `timeout` from now.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, result) = self.inner.not_empty.wait_timeout(state, remaining).unwrap();
+                state = s;
+                if result.timed_out() && state.queue.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Number of queued values.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// True if no values are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn disconnect_on_sender_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn disconnect_on_receiver_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn bounded_backpressure() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            let t = std::thread::spawn(move || tx.send(3));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(3));
+            t.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn clone_receivers_share_stream() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            let a = rx1.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            let mut got = vec![a, b];
+            got.sort();
+            assert_eq!(got, vec![7, 8]);
+        }
+    }
+}

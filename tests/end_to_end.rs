@@ -3,8 +3,8 @@
 //! clients exchanging actual MQTT frames.
 
 use sdflmq::core::{
-    ClientId, CoordinatorConfig, Coordinator, ModelId, ParamServer, PreferredRole, SdflmqClient,
-    SdflmqClientConfig, SessionId, Topology, WaitOutcome,
+    ClientId, Coordinator, CoordinatorConfig, ModelId, ParamServer, PreferredRole, SdflmqClient,
+    SdflmqClientConfig, SessionId, Topology, WaitOutcome, WireVersion,
 };
 use sdflmq_mqtt::{Broker, BrokerConfig};
 use sdflmq_mqttfc::BatchConfig;
@@ -112,8 +112,55 @@ fn central_session_fedavg_two_rounds() {
     for h in handles {
         let finals = h.join().unwrap();
         for v in &finals {
-            assert!((v - 2.0).abs() < 1e-5, "global should be the mean: {finals:?}");
+            assert!(
+                (v - 2.0).abs() < 1e-5,
+                "global should be the mean: {finals:?}"
+            );
         }
+    }
+}
+
+#[test]
+fn wire_negotiation_lands_on_binary_and_session_completes() {
+    let broker = broker();
+    let (_coord, _ps) = infra(&broker, Topology::Central);
+
+    let session = SessionId::new("e2e-wire-v2").unwrap();
+    let model = ModelId::new("toy").unwrap();
+
+    let creator = client(&broker, "neg-a", 1);
+    creator
+        .create_fl_session(
+            &session,
+            &model,
+            Duration::from_secs(600),
+            2,
+            2,
+            Duration::from_secs(30),
+            1,
+            PreferredRole::Any,
+            100,
+        )
+        .unwrap();
+    let joiner = client(&broker, "neg-b", 2);
+    joiner
+        .join_fl_session(&session, &model, PreferredRole::Any, 100)
+        .unwrap();
+
+    // Both sides implement v2, so the join replies negotiate binary; the
+    // round below then runs entirely over binary control frames and blob
+    // metadata on the real broker.
+    assert_eq!(creator.wire_version(&session), Some(WireVersion::V2Binary));
+    assert_eq!(joiner.wire_version(&session), Some(WireVersion::V2Binary));
+
+    let mut handles = Vec::new();
+    for (c, local) in [(creator, vec![1.0f32, 3.0]), (joiner, vec![3.0f32, 5.0])] {
+        let s = session.clone();
+        handles.push(std::thread::spawn(move || run_contributor(c, s, local, 1)));
+    }
+    for h in handles {
+        let finals = h.join().unwrap();
+        assert_eq!(finals, vec![2.0, 4.0], "mean over binary control plane");
     }
 }
 
@@ -320,5 +367,8 @@ fn model_mismatch_join_is_refused() {
             10,
         )
         .unwrap_err();
-    assert!(matches!(err, sdflmq::core::CoreError::Refused(_)), "{err:?}");
+    assert!(
+        matches!(err, sdflmq::core::CoreError::Refused(_)),
+        "{err:?}"
+    );
 }

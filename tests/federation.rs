@@ -378,7 +378,8 @@ fn topology_document_is_retained_for_observers() {
         handles.push(std::thread::spawn(move || {
             c.set_model(&session, &[1.0; 4]).unwrap();
             c.send_local(&session).unwrap();
-            c.wait_global_update(&session, Duration::from_secs(60)).unwrap();
+            c.wait_global_update(&session, Duration::from_secs(60))
+                .unwrap();
         }));
     }
     for h in handles {
