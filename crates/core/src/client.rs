@@ -4,9 +4,11 @@
 //!
 //! * the **role arbiter** — consumes `set_role` commands, manages the
 //!   position-topic subscription that *is* the aggregation role;
-//! * the **aggregation pipeline** — a per-round parameter stack; when the
-//!   expected number of contributions arrives it aggregates and forwards
-//!   up the hierarchy (or to the parameter server at the root);
+//! * the **aggregation pipeline** — a per-round parameter stack keyed by
+//!   sender (so re-sent contributions after a mid-round re-delegation
+//!   deduplicate instead of double-counting); when the expected number of
+//!   distinct contributions arrives it aggregates and forwards up the
+//!   hierarchy (or to the parameter server at the root);
 //! * the **model controller** — per-session local model storage;
 //! * the **global update synchronizer** — applies parameter-server
 //!   broadcasts and reports round completion (with fresh system stats)
@@ -14,12 +16,21 @@
 //!
 //! The public surface mirrors the paper's Python API: `create_fl_session`,
 //! `join_fl_session`, `set_model`, `send_local`, `wait_global_update`.
+//!
+//! Dropout tolerance: every contribution is announced to the coordinator
+//! with a lightweight `contrib` liveness ping; a `round_start`
+//! re-announcement for the *current* round (mid-round re-delegation) makes
+//! the client re-send its stored contribution to its — possibly new —
+//! parent; and an `evicted` command tears the session handle down,
+//! surfacing [`WaitOutcome::Evicted`] to the training loop.
 
 use crate::aggregation::{AggregationMethod, FedAvg};
 use crate::blob::BlobChannel;
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
-use crate::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg};
+use crate::messages::{
+    Blob, ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg,
+};
 use crate::model_controller::ModelController;
 use crate::roles::{PreferredRole, RoleSpec};
 use crate::topics::{functions, global_topic, param_server_topic, position_topic, Position};
@@ -31,7 +42,7 @@ use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
 use sdflmq_mqttfc::{FleetController, RfcConfig};
 use sdflmq_nn::params as nn_params;
 use sdflmq_sim::{ClientSystem, SystemSpec};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -68,6 +79,9 @@ pub enum WaitOutcome {
     NextRound(u32),
     /// The session finished; the final global model is in the controller.
     Completed,
+    /// The coordinator evicted this client (dropout/straggling); the
+    /// session continues without it and the local handle was torn down.
+    Evicted,
 }
 
 #[derive(Debug, Clone)]
@@ -75,6 +89,7 @@ enum SessionEvent {
     RoundStart(u32),
     Completed,
     Aborted(String),
+    Evicted(String),
 }
 
 /// Blocks `send_local` until the coordinator opens a round. The gate value
@@ -121,18 +136,39 @@ impl RoundGate {
     }
 }
 
+/// The most recent local contribution, kept so a mid-round re-delegation
+/// (`set_role` re-parent or a `round_start` re-announcement) can re-send
+/// it without involving the training loop.
+#[derive(Clone)]
+struct LastSent {
+    round: u32,
+    params: Vec<f32>,
+    weight: u64,
+}
+
+/// A per-round parameter stack keyed by sender id: duplicate deliveries
+/// (re-sends after re-delegation) replace rather than double-count, and
+/// iteration order is deterministic for the aggregation rule.
+type ParamStack = BTreeMap<String, (Vec<f32>, u64)>;
+
 struct SessionHandle {
     role: Option<RoleSpec>,
     subscribed_position: Option<Position>,
-    /// Parameter stacks keyed by round: `(params, weight)` contributions.
-    stacks: HashMap<u32, Vec<(Vec<f32>, u64)>>,
+    /// Parameter stacks keyed by round.
+    stacks: HashMap<u32, ParamStack>,
+    /// The round most recently announced via `round_start` (0 = none).
+    /// Contributions for earlier rounds are dropped, and stacks from
+    /// closed rounds are pruned when this advances — stragglers and
+    /// evictions can otherwise leak partial stacks forever.
+    current_round: u32,
     round_gate: Arc<RoundGate>,
     events_tx: Sender<SessionEvent>,
     events_rx: Receiver<SessionEvent>,
     num_samples: u64,
-    /// Round of the most recent `send_local`; `wait_global_update` ignores
-    /// round-start events at or below this mark.
-    last_sent_round: u32,
+    /// Contribution of the most recent `send_local`; `wait_global_update`
+    /// ignores round-start events at or below its round, and re-delegation
+    /// re-sends it.
+    last_sent: Option<LastSent>,
     /// Wire version negotiated with the coordinator at join time; used
     /// for this session's control messages and blob metadata.
     wire: WireVersion,
@@ -274,11 +310,12 @@ impl SdflmqClient {
                     role: None,
                     subscribed_position: None,
                     stacks: HashMap::new(),
+                    current_round: 0,
                     round_gate: RoundGate::new(),
                     events_tx,
                     events_rx,
                     num_samples,
-                    last_sent_round: 0,
+                    last_sent: None,
                     wire: WireVersion::V1Json,
                 },
             );
@@ -360,7 +397,10 @@ impl SdflmqClient {
 
     /// Sends the local model for global aggregation (Listing 1:
     /// `send_local`). Trainers publish to their cluster head's position
-    /// topic; aggregating clients feed their own stack directly.
+    /// topic; aggregating clients feed their own stack directly. The
+    /// contribution is also announced to the coordinator (`contrib`
+    /// liveness ping) and retained locally so a mid-round re-delegation
+    /// can re-send it.
     pub fn send_local(&self, session_id: &SessionId) -> Result<()> {
         let (params, weight) = {
             let mc = self.inner.mc.lock();
@@ -384,7 +424,11 @@ impl SdflmqClient {
             let handle = sessions
                 .get_mut(session_id)
                 .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
-            handle.last_sent_round = round;
+            handle.last_sent = Some(LastSent {
+                round,
+                params: params.clone(),
+                weight,
+            });
             handle
                 .role
                 .ok_or_else(|| CoreError::Protocol("no role assigned yet".into()))?
@@ -394,21 +438,43 @@ impl SdflmqClient {
                 "pure aggregators have no local update to send".into(),
             ));
         }
+        Self::contribute(&self.inner, session_id, round, params, weight, role)?;
+        Self::send_contrib_ping(&self.inner, session_id, round);
+        Ok(())
+    }
+
+    /// Routes a local contribution: aggregating clients feed their own
+    /// stack, trainers publish to their cluster head's position topic.
+    fn contribute(
+        inner: &Arc<Inner>,
+        session_id: &SessionId,
+        round: u32,
+        params: Vec<f32>,
+        weight: u64,
+        role: RoleSpec,
+    ) -> Result<()> {
         if role.role.aggregates() {
             // Our own contribution enters our stack.
-            Self::ingest_contribution(&self.inner, session_id, round, params, weight)
+            Self::ingest_contribution(
+                inner,
+                session_id,
+                round,
+                inner.id.as_str().to_owned(),
+                params,
+                weight,
+            )
         } else {
             let blob = Blob {
                 session_id: session_id.clone(),
                 round,
-                sender: self.inner.id.as_str().to_owned(),
+                sender: inner.id.as_str().to_owned(),
                 weight,
                 params: Bytes::from(nn_params::serialize(&params)),
             };
             // Blobs travel client → client: use the session-wide floor
             // version the coordinator stamped into the role, not this
             // client's own negotiation result.
-            self.inner.blobs.publish_versioned(
+            inner.blobs.publish_versioned(
                 &position_topic(session_id, role.parent),
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
@@ -416,9 +482,30 @@ impl SdflmqClient {
         }
     }
 
+    /// Announces a contribution to the coordinator so the straggler
+    /// detector knows this client is alive even while the aggregation
+    /// pipeline is still in flight. Best-effort.
+    fn send_contrib_ping(inner: &Arc<Inner>, session_id: &SessionId, round: u32) {
+        let wire = inner
+            .sessions
+            .lock()
+            .get(session_id)
+            .map(|handle| handle.wire)
+            .unwrap_or(WireVersion::V1Json);
+        let ping = ContribMsg {
+            session_id: session_id.clone(),
+            client_id: inner.id.clone(),
+            round,
+        };
+        let _ = inner.fc.call(
+            functions::CONTRIB,
+            Envelope::new(wire, ControlMsg::Contrib(ping)).encode(),
+        );
+    }
+
     /// Blocks until the next global update cycle completes (Listing 1:
     /// `wait_global_update`): returns when the coordinator opens the next
-    /// round, completes the session, or aborts.
+    /// round, completes the session, evicts this client, or aborts.
     pub fn wait_global_update(
         &self,
         session_id: &SessionId,
@@ -429,7 +516,10 @@ impl SdflmqClient {
             let handle = sessions
                 .get(session_id)
                 .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
-            (handle.events_rx.clone(), handle.last_sent_round)
+            (
+                handle.events_rx.clone(),
+                handle.last_sent.as_ref().map(|l| l.round).unwrap_or(0),
+            )
         };
         let deadline = std::time::Instant::now() + timeout;
         loop {
@@ -438,12 +528,14 @@ impl SdflmqClient {
                 .ok_or(CoreError::Timeout)?;
             match rx.recv_timeout(remaining) {
                 // Round starts at or below the round we contributed to are
-                // stale (e.g. the session's very first round_start).
+                // stale (the session's very first round_start, or a
+                // mid-round re-delegation re-announcement).
                 Ok(SessionEvent::RoundStart(r)) if r > baseline => {
                     return Ok(WaitOutcome::NextRound(r))
                 }
                 Ok(SessionEvent::RoundStart(_)) => continue,
                 Ok(SessionEvent::Completed) => return Ok(WaitOutcome::Completed),
+                Ok(SessionEvent::Evicted(_reason)) => return Ok(WaitOutcome::Evicted),
                 Ok(SessionEvent::Aborted(reason)) => return Err(CoreError::Aborted(reason)),
                 Err(_) => return Err(CoreError::Timeout),
             }
@@ -491,17 +583,58 @@ impl SdflmqClient {
                 Ok(())
             }
             CtrlMsg::RoundStart { round } => {
-                let (tx, gate) = {
+                let (tx, gate, resend) = {
                     let mut sessions = inner.sessions.lock();
                     let handle = sessions
                         .get_mut(session_id)
                         .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
-                    // Prune stacks from closed rounds.
-                    handle.stacks.retain(|&r, _| r + 1 >= round);
-                    (handle.events_tx.clone(), Arc::clone(&handle.round_gate))
+                    if round < handle.current_round {
+                        return Ok(()); // stale out-of-order announcement
+                    }
+                    let resync = round == handle.current_round;
+                    if !resync {
+                        handle.current_round = round;
+                        // Prune stacks from closed rounds: stragglers and
+                        // evictions leave partial stacks that would
+                        // otherwise never be removed.
+                        handle.stacks.retain(|&r, _| r >= round);
+                    } else if handle.role.is_some_and(|r| r.role.aggregates()) {
+                        // Mid-round re-delegation: the plan may have moved
+                        // children to other parents or evicted them, so
+                        // entries already stacked could double-count (the
+                        // re-parented child re-sends to its new parent
+                        // too). Start clean — every live contributor
+                        // re-sends in response to this re-announcement.
+                        handle.stacks.remove(&round);
+                    }
+                    // A re-announcement of the running round is the
+                    // mid-round re-delegation signal: re-send our stored
+                    // contribution (dedup at the receiver makes this safe).
+                    let resend = if resync {
+                        match (&handle.last_sent, handle.role) {
+                            (Some(last), Some(role))
+                                if last.round == round && role.role.trains() =>
+                            {
+                                Some((last.clone(), role))
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    (
+                        handle.events_tx.clone(),
+                        Arc::clone(&handle.round_gate),
+                        resend,
+                    )
                 };
                 gate.open(round);
                 let _ = tx.send(SessionEvent::RoundStart(round));
+                if let Some((last, role)) = resend {
+                    let _ =
+                        Self::contribute(inner, session_id, round, last.params, last.weight, role);
+                    Self::send_contrib_ping(inner, session_id, round);
+                }
                 Ok(())
             }
             CtrlMsg::SessionComplete => {
@@ -514,6 +647,26 @@ impl SdflmqClient {
                 let (tx, gate) = Self::events_and_gate(inner, session_id)?;
                 gate.close();
                 let _ = tx.send(SessionEvent::Aborted(reason));
+                Ok(())
+            }
+            CtrlMsg::Evicted { reason } => {
+                // Tear the session handle down: the fleet continues
+                // without us. Idempotent — a duplicate eviction finds no
+                // handle and does nothing.
+                let Some(handle) = inner.sessions.lock().remove(session_id) else {
+                    return Ok(());
+                };
+                handle.round_gate.close();
+                let _ = handle.events_tx.send(SessionEvent::Evicted(reason));
+                if let Some(pos) = handle.subscribed_position {
+                    let filter =
+                        TopicFilter::new(position_topic(session_id, pos).as_str().to_owned())
+                            .expect("valid");
+                    let _ = inner.blobs.unsubscribe(&filter);
+                }
+                let global =
+                    TopicFilter::new(global_topic(session_id).as_str().to_owned()).expect("valid");
+                let _ = inner.blobs.unsubscribe(&global);
                 Ok(())
             }
         }
@@ -532,22 +685,48 @@ impl SdflmqClient {
 
     /// Role arbiter: installs a new role spec, adjusting the position-topic
     /// subscription (paper Fig. 6: unsubscribe old role topic, subscribe
-    /// the new one).
+    /// the new one). When the spec re-parents this client *within the
+    /// running round* (mid-round re-delegation after an eviction), the
+    /// stored contribution is redirected to the new parent, and a shrunken
+    /// `expected_inputs` re-checks the stack for completeness.
     fn apply_role(inner: &Arc<Inner>, session_id: &SessionId, spec: RoleSpec) -> Result<()> {
-        let (to_unsub, to_sub) = {
+        let (to_unsub, to_sub, redirect) = {
             let mut sessions = inner.sessions.lock();
             let handle = sessions
                 .get_mut(session_id)
                 .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            let old_spec = handle.role.replace(spec);
+            // A mid-round re-delegation invalidates the stack: entries
+            // from children that were re-parented away or evicted must
+            // not be counted into this aggregator's flush (the child
+            // re-sends to its new parent, which would double-count it).
+            // The round_start re-announcement that follows rebuilds the
+            // stack from the current children's re-sends.
+            if spec.round == handle.current_round && spec.role.aggregates() {
+                handle.stacks.remove(&spec.round);
+            }
             let old = handle.subscribed_position;
             let new = spec.position;
-            handle.role = Some(spec);
-            if old == new {
+            let subs = if old == new {
                 (None, None)
             } else {
                 handle.subscribed_position = new;
                 (old, new)
-            }
+            };
+            // Redirect an orphaned contribution: we already sent for this
+            // round, and the re-delegated spec changes where it must go.
+            let redirect = match (&handle.last_sent, old_spec) {
+                (Some(last), Some(old_spec))
+                    if last.round == spec.round
+                        && last.round == handle.current_round
+                        && spec.role.trains()
+                        && (old_spec.parent != spec.parent || old_spec.role != spec.role) =>
+                {
+                    Some(last.clone())
+                }
+                _ => None,
+            };
+            (subs.0, subs.1, redirect)
         };
         if let Some(pos) = to_unsub {
             let filter = TopicFilter::new(position_topic(session_id, pos).as_str().to_owned())
@@ -573,6 +752,7 @@ impl SdflmqClient {
                             &inner,
                             &sid,
                             blob.round,
+                            blob.sender.clone(),
                             params,
                             blob.weight,
                         );
@@ -580,19 +760,35 @@ impl SdflmqClient {
                 }),
             )?;
         }
-        Ok(())
+        if let Some(last) = redirect {
+            let _ = Self::contribute(
+                inner,
+                session_id,
+                last.round,
+                last.params,
+                last.weight,
+                spec,
+            );
+        }
+        // A re-delegated aggregator may owe fewer inputs than its stack
+        // already holds (a dead child was evicted): flush without waiting
+        // for an arrival that will never come.
+        Self::maybe_flush(inner, session_id, spec.round)
     }
 
-    /// Aggregation pipeline: stacks a contribution; on completeness,
-    /// aggregates and forwards up the hierarchy.
+    /// Aggregation pipeline: stacks a contribution keyed by sender.
+    /// Stale-round contributions (the round already closed under quorum or
+    /// re-delegation) are dropped rather than stacked, and duplicates
+    /// replace, so re-sends never double-count.
     fn ingest_contribution(
         inner: &Arc<Inner>,
         session_id: &SessionId,
         round: u32,
+        sender: String,
         params: Vec<f32>,
         weight: u64,
     ) -> Result<()> {
-        let ready = {
+        let role = {
             let mut sessions = inner.sessions.lock();
             let handle = sessions
                 .get_mut(session_id)
@@ -605,17 +801,59 @@ impl SdflmqClient {
                     "trainer received a contribution".into(),
                 ));
             }
-            let stack = handle.stacks.entry(round).or_default();
-            stack.push((params, weight));
-            if stack.len() as u32 >= role.expected_inputs && role.expected_inputs > 0 {
-                let inputs = handle.stacks.remove(&round).expect("stack exists");
-                Some((role, inputs))
+            // Only the running round and its successor may stack: earlier
+            // rounds are closed (their stacks pruned), and anything
+            // further ahead is bogus.
+            if round < handle.current_round || round > handle.current_round.saturating_add(1) {
+                return Ok(());
+            }
+            handle
+                .stacks
+                .entry(round)
+                .or_default()
+                .insert(sender, (params, weight));
+            role
+        };
+        // A pure aggregator never calls send_local, so ingest progress is
+        // its only liveness evidence: ping the straggler detector on every
+        // arrival, or a healthy aggregator blocked by one dead child would
+        // accrue strikes as fast as the dead client itself.
+        if !role.role.trains() {
+            Self::send_contrib_ping(inner, session_id, round);
+        }
+        Self::maybe_flush(inner, session_id, round)
+    }
+
+    /// Flushes the round's stack if it holds the expected number of
+    /// distinct contributions: aggregates and forwards up the hierarchy
+    /// (or to the parameter server at the root), announcing liveness so
+    /// pure aggregators are also covered by the straggler detector.
+    fn maybe_flush(inner: &Arc<Inner>, session_id: &SessionId, round: u32) -> Result<()> {
+        let ready = {
+            let mut sessions = inner.sessions.lock();
+            let Some(handle) = sessions.get_mut(session_id) else {
+                return Ok(());
+            };
+            let Some(role) = handle.role else {
+                return Ok(());
+            };
+            if !role.role.aggregates() || role.expected_inputs == 0 {
+                return Ok(());
+            }
+            let complete = handle
+                .stacks
+                .get(&round)
+                .is_some_and(|stack| stack.len() as u32 >= role.expected_inputs);
+            if complete {
+                let stack = handle.stacks.remove(&round).expect("stack exists");
+                Some((role, stack))
             } else {
                 None
             }
         };
 
-        if let Some((role, inputs)) = ready {
+        if let Some((role, stack)) = ready {
+            let inputs: Vec<(Vec<f32>, u64)> = stack.into_values().collect();
             let contributions: Vec<(&[f32], u64)> =
                 inputs.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
             let aggregated = inner.aggregation.aggregate(&contributions)?;
@@ -637,6 +875,7 @@ impl SdflmqClient {
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
             )?;
+            Self::send_contrib_ping(inner, session_id, round);
         }
         Ok(())
     }

@@ -15,23 +15,40 @@
 //!    client (awaiting acks so position subscriptions exist before data
 //!    flows), publishes the retained topology document, and broadcasts
 //!    `round_start`.
-//! 3. `coord_round_done` — after every contributor reports, the load
-//!    balancer re-ranks aggregators; only clients whose assignment changed
-//!    receive new `set_role` messages (paper §III.E.5), then the next
-//!    `round_start` goes out. After the final round, `session_complete`.
+//! 3. `coord_contrib` — a lightweight liveness ping each client sends when
+//!    its contribution goes on the wire; it separates true stragglers from
+//!    clients stuck behind a stalled aggregation pipeline.
+//! 4. `coord_round_done` — a round closes when every contributor reports,
+//!    or when the session's `quorum` fraction has reported and the `grace`
+//!    period elapsed. The load balancer then re-ranks aggregators; only
+//!    clients whose assignment changed receive new `set_role` messages
+//!    (paper §III.E.5), then the next `round_start` goes out. After the
+//!    final round, `session_complete`.
+//!
+//! **Dropout tolerance.** A blown round deadline no longer aborts the
+//! session: unresponsive contributors accrue missed-round strikes and are
+//! evicted (`evicted` control message) once the streak reaches
+//! `max_missed_rounds`. When an evicted client held an aggregator
+//! position, the cluster plan is rebuilt and diffed *mid-round*: orphaned
+//! children are re-parented via `set_role` and the same round is restarted
+//! with a `round_start` re-announcement, which makes survivors re-send
+//! their (sender-deduplicated) contributions. The session aborts only when
+//! fewer than `capacity_min` survivors remain or the session time budget
+//! runs out. On completion or abort the retained topology document is
+//! cleared and the session is eventually garbage-collected.
 
 use crate::blob::publish_retained_json;
 use crate::clustering::{build_plan, diff_plans, PlanChange, Topology};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, SessionId};
-use crate::messages::{CtrlMsg, JoinRequest, NewSessionRequest, RoundDone};
+use crate::messages::{ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone};
 use crate::optimizer::{MemoryAware, RoleOptimizer};
 use crate::session::{FlSession, SessionConfig, SessionState};
 use crate::topics::{functions, topology_topic};
 use crate::wirecodec::{ControlMsg, Envelope, MsgKind, SessionReply, WireVersion};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sdflmq_mqtt::{Broker, Client, ClientOptions};
+use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS};
 use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,12 +61,27 @@ pub struct CoordinatorConfig {
     pub topology: Topology,
     /// The load-balancer policy.
     pub optimizer: Box<dyn RoleOptimizer>,
-    /// Per-round deadline before a session is aborted.
+    /// Per-round deadline before stragglers are penalized (and, after
+    /// `max_missed_rounds` strikes, evicted).
     pub round_timeout: Duration,
     /// Housekeeping cadence (waiting-window and deadline checks).
     pub tick: Duration,
     /// MQTTFC transport settings.
     pub rfc: RfcConfig,
+    /// Fraction of contributors whose round-done reports close a round
+    /// (1.0 = wait for everyone, the paper's behaviour).
+    pub quorum: f64,
+    /// Extra wait after the quorum is met before force-closing the round.
+    pub grace: Duration,
+    /// Consecutive missed round closures before a contributor is evicted.
+    pub max_missed_rounds: u32,
+    /// How long to wait for a client to acknowledge a `set_role` push
+    /// before carrying on without it (it will be penalized as a straggler
+    /// if it really is gone).
+    pub role_ack_timeout: Duration,
+    /// How long completed/aborted sessions stay queryable before they are
+    /// garbage-collected from coordinator memory.
+    pub terminal_linger: Duration,
 }
 
 impl Default for CoordinatorConfig {
@@ -62,6 +94,11 @@ impl Default for CoordinatorConfig {
             round_timeout: Duration::from_secs(120),
             tick: Duration::from_millis(50),
             rfc: RfcConfig::default(),
+            quorum: 1.0,
+            grace: Duration::from_millis(500),
+            max_missed_rounds: 2,
+            role_ack_timeout: Duration::from_secs(30),
+            terminal_linger: Duration::from_secs(60),
         }
     }
 }
@@ -71,6 +108,11 @@ struct CoordState {
     optimizer: Box<dyn RoleOptimizer>,
     topology: Topology,
     round_timeout: Duration,
+    quorum: f64,
+    grace: Duration,
+    max_missed_rounds: u32,
+    role_ack_timeout: Duration,
+    terminal_linger: Duration,
 }
 
 /// Deferred orchestration work. RFC handlers run on the coordinator's MQTT
@@ -80,7 +122,18 @@ struct CoordState {
 /// serializes all session orchestration.
 enum WorkItem {
     StartSession(SessionId),
-    Advance(SessionId),
+    /// Close `round` and open the next one. Stamped with the round it was
+    /// enqueued for so duplicate closure signals (a late `round_done`
+    /// racing housekeeping's quorum check, or an abort racing a closure)
+    /// become no-ops instead of double-advancing or resurrecting a
+    /// terminal session.
+    Advance {
+        session: SessionId,
+        round: u32,
+    },
+    /// The round deadline blew: penalize stragglers, maybe evict and
+    /// re-delegate mid-round.
+    Overdue(SessionId),
 }
 
 /// A running coordinator node.
@@ -110,6 +163,11 @@ impl Coordinator {
             optimizer: config.optimizer,
             topology: config.topology,
             round_timeout: config.round_timeout,
+            quorum: config.quorum,
+            grace: config.grace,
+            max_missed_rounds: config.max_missed_rounds,
+            role_ack_timeout: config.role_ack_timeout,
+            terminal_linger: config.terminal_linger,
         }));
         let running = Arc::new(AtomicBool::new(true));
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
@@ -126,6 +184,7 @@ impl Coordinator {
         // transitions off the dispatcher thread.
         let work_state = Arc::clone(&state);
         let work_fc = fc.clone();
+        let loop_tx = work_tx.clone();
         std::thread::Builder::new()
             .name("coordinator-worker".into())
             .spawn(move || {
@@ -134,7 +193,12 @@ impl Coordinator {
                         WorkItem::StartSession(sid) => {
                             Self::start_session(&work_state, &work_fc, &sid)
                         }
-                        WorkItem::Advance(sid) => Self::advance(&work_state, &work_fc, &sid),
+                        WorkItem::Advance { session, round } => {
+                            Self::advance(&work_state, &work_fc, &session, round)
+                        }
+                        WorkItem::Overdue(sid) => {
+                            Self::handle_overdue(&work_state, &work_fc, &loop_tx, &sid)
+                        }
                     };
                     if let Err(e) = result {
                         // Orchestration failures abort the affected session.
@@ -144,7 +208,8 @@ impl Coordinator {
             })
             .expect("spawn coordinator worker");
 
-        // Housekeeping thread: waiting-window expiry and round deadlines.
+        // Housekeeping thread: waiting-window expiry, quorum grace expiry,
+        // round deadlines, session budgets, and terminal-session GC.
         let tick_state = Arc::clone(&state);
         let tick_fc = fc.clone();
         let tick_running = Arc::clone(&running);
@@ -167,13 +232,24 @@ impl Coordinator {
         &self.fc
     }
 
-    /// Snapshot of a session's lifecycle state.
+    /// Snapshot of a session's lifecycle state. Terminal sessions are
+    /// garbage-collected after the configured linger, after which this
+    /// returns `None`.
     pub fn session_state(&self, session: &SessionId) -> Option<SessionState> {
         self.state
             .lock()
             .sessions
             .get(session)
             .map(|s| s.state.clone())
+    }
+
+    /// Ids of a session's current (surviving) contributors.
+    pub fn session_members(&self, session: &SessionId) -> Option<Vec<ClientId>> {
+        self.state
+            .lock()
+            .sessions
+            .get(session)
+            .map(|s| s.clients.iter().map(|c| c.id.clone()).collect())
     }
 
     /// Stops housekeeping (sessions freeze; used on shutdown).
@@ -238,6 +314,20 @@ impl Coordinator {
                 Ok(Bytes::new())
             }),
         )?;
+
+        let state = Arc::clone(&self.state);
+        self.fc.expose(
+            functions::CONTRIB,
+            Arc::new(move |msg| {
+                let envelope =
+                    Envelope::decode(MsgKind::Contrib, &msg.payload).map_err(|e| e.to_string())?;
+                let ControlMsg::Contrib(ping) = envelope.msg else {
+                    return Err("expected a contrib frame".into());
+                };
+                Self::handle_contrib(&state, ping);
+                Ok(Bytes::new())
+            }),
+        )?;
         Ok(())
     }
 
@@ -255,6 +345,8 @@ impl Coordinator {
             return Err(CoreError::Refused("fl_rounds must be positive".into()));
         }
         let topology = guard.topology.clone();
+        let (quorum, grace, max_missed_rounds) =
+            (guard.quorum, guard.grace, guard.max_missed_rounds);
         guard.sessions.insert(
             req.session_id.clone(),
             FlSession::new(SessionConfig {
@@ -266,6 +358,9 @@ impl Coordinator {
                 session_time: Duration::from_secs_f64(req.session_time_secs.max(1.0)),
                 waiting_time: Duration::from_secs_f64(req.waiting_time_secs.max(0.0)),
                 topology,
+                quorum,
+                grace,
+                max_missed_rounds,
             }),
         );
         Ok(())
@@ -309,7 +404,7 @@ impl Coordinator {
     ) -> Result<()> {
         // Build the plan under the lock, send messages outside it: role
         // acks can take a while and the handlers must stay responsive.
-        let (plan, clients, wire) = {
+        let (plan, clients, wire, ack_timeout) = {
             let mut guard = state.lock();
             let guard = &mut *guard;
             let session = guard
@@ -325,22 +420,25 @@ impl Coordinator {
             session.plan = Some(plan.clone());
             session.start();
             let clients: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
-            (plan, clients, session.wire.clone())
+            (plan, clients, session.wire.clone(), guard.role_ack_timeout)
         };
 
         // Paper Fig. 5: the coordinator informs every client of its role
         // (awaiting acknowledgement so position subscriptions are in place
         // before any trainer publishes), then publishes the topology. Each
-        // client hears control traffic in its negotiated wire version.
+        // client hears control traffic in its negotiated wire version. A
+        // client that fails to ack is carried anyway — if it really is
+        // gone, the straggler machinery will evict it.
         for assignment in &plan.assignments {
             let version = wire_of(&wire, &assignment.client);
-            Self::send_ctrl_acked(
+            let _ = Self::send_ctrl_acked(
                 fc,
                 session_id,
                 &assignment.client,
                 version,
                 &CtrlMsg::SetRole(assignment.spec),
-            )?;
+                ack_timeout,
+            );
         }
         publish_retained_json(
             fc.client(),
@@ -349,13 +447,13 @@ impl Coordinator {
         )?;
         for client in &clients {
             let version = wire_of(&wire, client);
-            Self::send_ctrl(
+            let _ = Self::send_ctrl(
                 fc,
                 session_id,
                 client,
                 version,
                 &CtrlMsg::RoundStart { round: 1 },
-            )?;
+            );
         }
         Ok(())
     }
@@ -375,111 +473,352 @@ impl Coordinator {
             session.record_done(&report.client_id, report.round)?
         };
         if round_closed {
-            let _ = work.send(WorkItem::Advance(report.session_id.clone()));
+            let _ = work.send(WorkItem::Advance {
+                session: report.session_id.clone(),
+                round: report.round,
+            });
         }
         Ok(())
     }
 
-    /// Closes a round: rearrange roles (diff only), then start the next
-    /// round or complete the session.
+    fn handle_contrib(state: &Mutex<CoordState>, ping: ContribMsg) {
+        let mut guard = state.lock();
+        if let Some(session) = guard.sessions.get_mut(&ping.session_id) {
+            session.record_contrib(&ping.client_id, ping.round);
+        }
+    }
+
+    /// Closes `round`: penalize/evict stragglers, rearrange roles (diff
+    /// only), then start the next round or complete the session. A no-op
+    /// unless the session is still `Running` at exactly `round`, so late
+    /// or duplicate closure signals — including an `Advance` racing an
+    /// abort — cannot double-advance or broadcast `session_complete` after
+    /// an `abort`.
     fn advance(
         state: &Mutex<CoordState>,
         fc: &FleetController,
         session_id: &SessionId,
+        round: u32,
     ) -> Result<()> {
         enum Next {
-            Complete(Vec<ClientId>),
+            Aborted {
+                reason: String,
+                all: Vec<ClientId>,
+            },
+            Complete {
+                all: Vec<ClientId>,
+                evicted: Vec<ClientId>,
+            },
             Round {
                 round: u32,
+                changes: Vec<(ClientId, PlanChange)>,
+                all: Vec<ClientId>,
+                evicted: Vec<ClientId>,
+                topology: Json,
+            },
+        }
+
+        let (next, wire, ack_timeout) = {
+            let mut guard = state.lock();
+            let guard = &mut *guard;
+            let ack_timeout = guard.role_ack_timeout;
+            let Some(session) = guard.sessions.get_mut(session_id) else {
+                return Ok(()); // garbage-collected; nothing to do
+            };
+            if session.current_round() != Some(round) {
+                return Ok(()); // stale closure signal (already advanced or terminal)
+            }
+            let wire = session.wire.clone();
+            // Contributors that neither completed nor contributed this
+            // round accrue a strike; long streaks are evicted before the
+            // next plan is built.
+            let candidates = session.penalize_stragglers();
+            if session.clients.len() - candidates.len() < session.config.capacity_min {
+                let reason = "too few live contributors".to_string();
+                session.abort(&reason);
+                let all = session.clients.iter().map(|c| c.id.clone()).collect();
+                (Next::Aborted { reason, all }, wire, ack_timeout)
+            } else {
+                for client in &candidates {
+                    session.evict(client);
+                }
+                let all: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
+                // Black-box feedback (paper future-work item): report the
+                // closed round's wall-clock span to the optimizer.
+                if let SessionState::Running {
+                    round,
+                    round_started,
+                    ..
+                } = &session.state
+                {
+                    guard
+                        .optimizer
+                        .observe_round(*round, round_started.elapsed().as_secs_f64());
+                }
+                let next = match session.advance_round() {
+                    None => Next::Complete {
+                        all,
+                        evicted: candidates,
+                    },
+                    Some(round) => {
+                        // Role optimization (paper §III.E.6): re-rank with
+                        // the freshest stats, rebuild, diff.
+                        let (changes, topology) =
+                            rebuild_plan(session, guard.optimizer.as_mut(), round);
+                        Next::Round {
+                            round,
+                            changes,
+                            all,
+                            evicted: candidates,
+                            topology,
+                        }
+                    }
+                };
+                (next, wire, ack_timeout)
+            }
+        };
+
+        match next {
+            Next::Aborted { reason, all } => {
+                for client in &all {
+                    let version = wire_of(&wire, client);
+                    let _ = Self::send_ctrl(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::Abort(reason.clone()),
+                    );
+                }
+                Self::clear_retained_topology(fc, session_id);
+            }
+            Next::Complete { all, evicted } => {
+                Self::send_evictions(fc, session_id, &wire, &evicted);
+                for client in &all {
+                    let version = wire_of(&wire, client);
+                    let _ =
+                        Self::send_ctrl(fc, session_id, client, version, &CtrlMsg::SessionComplete);
+                }
+                // Late subscribers must not read a stale retained plan for
+                // a finished session.
+                Self::clear_retained_topology(fc, session_id);
+            }
+            Next::Round {
+                round,
+                changes,
+                all,
+                evicted,
+                topology,
+            } => {
+                Self::send_evictions(fc, session_id, &wire, &evicted);
+                // Only changed clients hear about roles (paper §III.E.5).
+                for (client, PlanChange::Set(spec)) in &changes {
+                    let version = wire_of(&wire, client);
+                    let _ = Self::send_ctrl_acked(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::SetRole(*spec),
+                        ack_timeout,
+                    );
+                }
+                if !changes.is_empty() || !evicted.is_empty() {
+                    publish_retained_json(fc.client(), &topology_topic(session_id), &topology)?;
+                }
+                for client in &all {
+                    let version = wire_of(&wire, client);
+                    // Best-effort: one unreachable client must not starve
+                    // the rest of the fleet of its round_start.
+                    let _ = Self::send_ctrl(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::RoundStart { round },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The round deadline blew without closure (a data-plane stall, e.g. a
+    /// dead trainer starving its aggregator, or a dead aggregator starving
+    /// the root). Penalize stragglers; once a streak reaches the limit,
+    /// evict them and re-delegate *mid-round*: rebuild the plan for the
+    /// same round over the survivors, re-parent orphaned children via
+    /// `set_role` diffs, and re-announce the round so survivors re-send
+    /// their contributions (sender-deduplicated, so re-sends are safe).
+    fn handle_overdue(
+        state: &Mutex<CoordState>,
+        fc: &FleetController,
+        work: &crossbeam::channel::Sender<WorkItem>,
+        session_id: &SessionId,
+    ) -> Result<()> {
+        enum Outcome {
+            Abort {
+                reason: String,
+                all: Vec<ClientId>,
+            },
+            /// No one evictable yet: fresh deadline + re-announce the round
+            /// so live clients re-send anything the stall swallowed.
+            Nudge {
+                round: u32,
+                all: Vec<ClientId>,
+            },
+            /// Evicting the holdouts closed the round outright: no
+            /// same-round re-delegation needed, just notify the evicted
+            /// and let the regular advance rebuild for the next round.
+            Closed {
+                round: u32,
+                evicted: Vec<ClientId>,
+            },
+            Redelegate {
+                round: u32,
+                evicted: Vec<ClientId>,
                 changes: Vec<(ClientId, PlanChange)>,
                 all: Vec<ClientId>,
                 topology: Json,
             },
         }
 
-        let (next, wire) = {
+        let (outcome, wire, ack_timeout) = {
             let mut guard = state.lock();
             let guard = &mut *guard;
-            let session = guard
-                .sessions
-                .get_mut(session_id)
-                .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
-            let wire = session.wire.clone();
-            let all: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
-            // Black-box feedback (paper future-work item): report the
-            // closed round's wall-clock span to the optimizer.
-            if let crate::session::SessionState::Running {
-                round,
-                round_started,
-                ..
-            } = &session.state
-            {
-                guard
-                    .optimizer
-                    .observe_round(*round, round_started.elapsed().as_secs_f64());
-            }
-            let next = match session.advance_round() {
-                None => Next::Complete(all),
-                Some(round) => {
-                    // Role optimization (paper §III.E.6): re-rank with the
-                    // freshest stats, rebuild, diff.
-                    let ranking = guard.optimizer.rank(&session.clients, round);
-                    let mut new_plan =
-                        build_plan(&session.clients, &session.config.topology, &ranking, round);
-                    // Stamp before diffing so the data-plane version never
-                    // registers as a per-round role change.
-                    stamp_data_wire(&mut new_plan, session);
-                    let old_plan = session.plan.as_ref().expect("running session has a plan");
-                    let changes = diff_plans(old_plan, &new_plan);
-                    let topology = new_plan.topology_json(session_id.as_str());
-                    session.plan = Some(new_plan);
-                    Next::Round {
-                        round,
-                        changes,
-                        all,
-                        topology,
-                    }
-                }
+            let (round_timeout, ack_timeout) = (guard.round_timeout, guard.role_ack_timeout);
+            let Some(session) = guard.sessions.get_mut(session_id) else {
+                return Ok(());
             };
-            (next, wire)
+            let Some(round) = session.current_round() else {
+                return Ok(()); // aborted/completed while this item was queued
+            };
+            // Re-check under the lock: a previous Overdue item may already
+            // have reset the clock, or the round may just have closed.
+            if !session.round_overdue(round_timeout) {
+                return Ok(());
+            }
+            let wire = session.wire.clone();
+            let candidates = session.penalize_stragglers();
+            // Each blown deadline opens a fresh strike window: liveness
+            // evidence must be re-established (the resync re-announcement
+            // makes live clients re-ping), so dead clients keep accruing
+            // strikes even though the round never closes.
+            session.begin_strike_window();
+            if session.clients.len() - candidates.len() < session.config.capacity_min {
+                let reason = "too few live contributors".to_string();
+                session.abort(&reason);
+                let all = session.clients.iter().map(|c| c.id.clone()).collect();
+                (Outcome::Abort { reason, all }, wire, ack_timeout)
+            } else if candidates.is_empty() {
+                session.reset_round_clock();
+                let all = session.clients.iter().map(|c| c.id.clone()).collect();
+                (Outcome::Nudge { round, all }, wire, ack_timeout)
+            } else {
+                for client in &candidates {
+                    session.evict(client);
+                }
+                if session.all_done() {
+                    // Evicting the holdouts closed the round: the regular
+                    // advance path rebuilds (and diffs against the
+                    // outgoing plan) for the *next* round, so a same-round
+                    // re-delegation would only trigger a redundant
+                    // fleet-wide re-send.
+                    (
+                        Outcome::Closed {
+                            round,
+                            evicted: candidates,
+                        },
+                        wire,
+                        ack_timeout,
+                    )
+                } else {
+                    // Mid-round re-delegation: same round, surviving
+                    // clients. `build_plan`/`diff_plans` re-parent the
+                    // evicted aggregators' orphaned children automatically.
+                    let (changes, topology) =
+                        rebuild_plan(session, guard.optimizer.as_mut(), round);
+                    session.reset_round_clock();
+                    let all = session.clients.iter().map(|c| c.id.clone()).collect();
+                    (
+                        Outcome::Redelegate {
+                            round,
+                            evicted: candidates,
+                            changes,
+                            all,
+                            topology,
+                        },
+                        wire,
+                        ack_timeout,
+                    )
+                }
+            }
         };
 
-        match next {
-            Next::Complete(all) => {
+        match outcome {
+            Outcome::Abort { reason, all } => {
                 for client in &all {
                     let version = wire_of(&wire, client);
-                    Self::send_ctrl(fc, session_id, client, version, &CtrlMsg::SessionComplete)?;
-                }
-            }
-            Next::Round {
-                round,
-                changes,
-                all,
-                topology,
-            } => {
-                // Only changed clients hear about roles (paper §III.E.5).
-                for (client, PlanChange::Set(spec)) in &changes {
-                    let version = wire_of(&wire, client);
-                    Self::send_ctrl_acked(
+                    let _ = Self::send_ctrl(
                         fc,
                         session_id,
                         client,
                         version,
-                        &CtrlMsg::SetRole(*spec),
-                    )?;
+                        &CtrlMsg::Abort(reason.clone()),
+                    );
                 }
-                if !changes.is_empty() {
-                    publish_retained_json(fc.client(), &topology_topic(session_id), &topology)?;
-                }
+                Self::clear_retained_topology(fc, session_id);
+            }
+            Outcome::Nudge { round, all } => {
                 for client in &all {
                     let version = wire_of(&wire, client);
-                    Self::send_ctrl(
+                    let _ = Self::send_ctrl(
                         fc,
                         session_id,
                         client,
                         version,
                         &CtrlMsg::RoundStart { round },
-                    )?;
+                    );
+                }
+            }
+            Outcome::Closed { round, evicted } => {
+                Self::send_evictions(fc, session_id, &wire, &evicted);
+                let _ = work.send(WorkItem::Advance {
+                    session: session_id.clone(),
+                    round,
+                });
+            }
+            Outcome::Redelegate {
+                round,
+                evicted,
+                changes,
+                all,
+                topology,
+            } => {
+                Self::send_evictions(fc, session_id, &wire, &evicted);
+                for (client, PlanChange::Set(spec)) in &changes {
+                    let version = wire_of(&wire, client);
+                    let _ = Self::send_ctrl_acked(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::SetRole(*spec),
+                        ack_timeout,
+                    );
+                }
+                publish_retained_json(fc.client(), &topology_topic(session_id), &topology)?;
+                // Re-announce the running round: survivors with a pending
+                // contribution re-send it to their (possibly new) parent.
+                for client in &all {
+                    let version = wire_of(&wire, client);
+                    let _ = Self::send_ctrl(
+                        fc,
+                        session_id,
+                        client,
+                        version,
+                        &CtrlMsg::RoundStart { round },
+                    );
                 }
             }
         }
@@ -487,7 +826,9 @@ impl Coordinator {
     }
 
     /// Periodic housekeeping: start sessions whose waiting window closed,
-    /// abort under-subscribed or overdue ones.
+    /// abort under-subscribed or budget-blown ones, force-close rounds
+    /// whose quorum grace expired, escalate blown round deadlines to the
+    /// straggler machinery, and garbage-collect terminal sessions.
     fn housekeeping(
         state: &Arc<Mutex<CoordState>>,
         fc: &FleetController,
@@ -497,11 +838,15 @@ impl Coordinator {
         enum Action {
             Start(SessionId),
             Abort(SessionId, String, Vec<(ClientId, WireVersion)>),
+            CloseQuorum(SessionId, u32),
+            Overdue(SessionId),
         }
         let actions: Vec<Action> = {
             let mut guard = state.lock();
             let round_timeout = guard.round_timeout;
+            let linger = guard.terminal_linger;
             let mut actions = Vec::new();
+            guard.sessions.retain(|_, s| !s.collectable(linger));
             for (id, session) in guard.sessions.iter_mut() {
                 if session.should_start() {
                     actions.push(Action::Start(id.clone()));
@@ -511,24 +856,30 @@ impl Coordinator {
                         .iter()
                         .map(|c| (c.id.clone(), session.wire_version(&c.id)))
                         .collect();
-                    session.state = SessionState::Aborted("not enough contributors".into());
+                    session.abort("not enough contributors");
                     actions.push(Action::Abort(
                         id.clone(),
                         "not enough contributors".into(),
                         clients,
                     ));
-                } else if session.is_overdue(round_timeout) {
+                } else if session.budget_blown() {
                     let clients = session
                         .clients
                         .iter()
                         .map(|c| (c.id.clone(), session.wire_version(&c.id)))
                         .collect();
-                    session.state = SessionState::Aborted("round deadline exceeded".into());
+                    session.abort("session time budget exceeded");
                     actions.push(Action::Abort(
                         id.clone(),
-                        "round deadline exceeded".into(),
+                        "session time budget exceeded".into(),
                         clients,
                     ));
+                } else if session.quorum_ready() {
+                    if let Some(round) = session.current_round() {
+                        actions.push(Action::CloseQuorum(id.clone(), round));
+                    }
+                } else if session.round_overdue(round_timeout) {
+                    actions.push(Action::Overdue(id.clone()));
                 }
             }
             actions
@@ -548,9 +899,49 @@ impl Coordinator {
                             &CtrlMsg::Abort(reason.clone()),
                         );
                     }
+                    Self::clear_retained_topology(fc, &id);
+                }
+                Action::CloseQuorum(id, round) => {
+                    let _ = work.send(WorkItem::Advance { session: id, round });
+                }
+                Action::Overdue(id) => {
+                    let _ = work.send(WorkItem::Overdue(id));
                 }
             }
         }
+    }
+
+    fn send_evictions(
+        fc: &FleetController,
+        session_id: &SessionId,
+        wire: &HashMap<ClientId, WireVersion>,
+        evicted: &[ClientId],
+    ) {
+        for client in evicted {
+            let version = wire_of(wire, client);
+            // Fire-and-forget: the evictee is very possibly dead.
+            let _ = Self::send_ctrl(
+                fc,
+                session_id,
+                client,
+                version,
+                &CtrlMsg::Evicted {
+                    reason: "missed too many consecutive rounds".into(),
+                },
+            );
+        }
+    }
+
+    /// Publishes an empty retained payload on the session's topology
+    /// topic, clearing the retained plan (MQTT 3.1.1 §3.3.1.3) so late
+    /// subscribers of a finished session do not read a stale topology.
+    fn clear_retained_topology(fc: &FleetController, session_id: &SessionId) {
+        let _ = fc.client().publish(
+            &topology_topic(session_id),
+            Bytes::new(),
+            QoS::AtLeastOnce,
+            true,
+        );
     }
 
     fn ctrl_frame(session: &SessionId, version: WireVersion, msg: &CtrlMsg) -> Bytes {
@@ -584,14 +975,45 @@ impl Coordinator {
         client: &ClientId,
         version: WireVersion,
         msg: &CtrlMsg,
+        timeout: Duration,
     ) -> Result<()> {
         fc.call_with_reply_timeout(
             &functions::client_ctrl(client.as_str()),
             Self::ctrl_frame(session, version, msg),
-            Duration::from_secs(30),
+            timeout,
         )?;
         Ok(())
     }
+}
+
+/// Re-ranks, rebuilds, stamps, and installs the cluster plan for `round`
+/// over the session's current membership. Returns the per-client change
+/// set (diffed against the outgoing plan) and the new topology document.
+/// Shared by the end-of-round advance and the mid-round re-delegation so
+/// the two paths can never diverge.
+fn rebuild_plan(
+    session: &mut FlSession,
+    optimizer: &mut dyn RoleOptimizer,
+    round: u32,
+) -> (Vec<(ClientId, PlanChange)>, Json) {
+    let ranking = optimizer.rank(&session.clients, round);
+    let mut new_plan = build_plan(&session.clients, &session.config.topology, &ranking, round);
+    // Stamp before diffing so the data-plane version never registers as a
+    // per-round role change.
+    stamp_data_wire(&mut new_plan, session);
+    let changes = match &session.plan {
+        Some(old_plan) => diff_plans(old_plan, &new_plan),
+        // Defensive: a running session always has a plan, but losing one
+        // must not panic — treat every assignment as changed instead.
+        None => new_plan
+            .assignments
+            .iter()
+            .map(|a| (a.client.clone(), PlanChange::Set(a.spec)))
+            .collect(),
+    };
+    let topology = new_plan.topology_json(session.config.session_id.as_str());
+    session.plan = Some(new_plan);
+    (changes, topology)
 }
 
 /// Looks up a client's negotiated version in a cloned wire map.

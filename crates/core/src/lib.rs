@@ -29,6 +29,11 @@
 //! All coordination traffic travels through the versioned [`wirecodec`]
 //! envelope: JSON v1 (the paper's format) or a compact binary v2,
 //! negotiated per session and described in `docs/PROTOCOL.md`.
+//!
+//! Rounds are **dropout-tolerant**: quorum-based closure, straggler
+//! eviction, and mid-round aggregator re-delegation keep a session alive
+//! under participant churn instead of aborting on the first blown
+//! deadline (see `docs/PROTOCOL.md`, "Dropout-tolerant round lifecycle").
 
 #![warn(missing_docs)]
 

@@ -98,6 +98,21 @@ impl StatsMsg {
     }
 }
 
+/// Client → coordinator liveness ping: "my contribution for `round` is on
+/// the wire". Sent alongside `send_local` (and by aggregators when they
+/// forward an aggregate), it lets the coordinator distinguish a straggler
+/// that produced nothing from a healthy client stuck behind a stalled
+/// aggregation pipeline — only the former accrues missed-round penalties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContribMsg {
+    /// Session the contribution belongs to.
+    pub session_id: SessionId,
+    /// Contributing client.
+    pub client_id: ClientId,
+    /// Round the contribution targets (1-based).
+    pub round: u32,
+}
+
 /// Client → coordinator round completion report (paper §III.E.4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundDone {
@@ -129,6 +144,12 @@ pub enum CtrlMsg {
     SessionComplete,
     /// The session was aborted; the string describes why.
     Abort(String),
+    /// This client was removed from the session (dropout eviction); the
+    /// rest of the fleet continues without it.
+    Evicted {
+        /// Why the coordinator evicted the client.
+        reason: String,
+    },
 }
 
 /// A parameter blob: metadata header + raw `f32` little-endian payload.

@@ -4,8 +4,16 @@
 //! → `Completed` | `Aborted`. A session starts when it fills to
 //! `capacity_max`, or when the waiting window closes with at least
 //! `capacity_min` contributors; it aborts when the window closes
-//! under-subscribed, when a round exceeds its deadline, or when the
-//! session's total time budget runs out.
+//! under-subscribed or when the session's total time budget runs out.
+//!
+//! Rounds are **dropout-tolerant**: a round closes when every contributor
+//! reports done, *or* when a [`SessionConfig::quorum`] fraction has
+//! reported and [`SessionConfig::grace`] has elapsed since the quorum was
+//! reached. Contributors that neither complete nor contribute accumulate a
+//! missed-round streak ([`FlSession::penalize_stragglers`]); once the
+//! streak reaches [`SessionConfig::max_missed_rounds`] they are evicted —
+//! the session continues as long as `capacity_min` survivors remain,
+//! instead of aborting on the first blown deadline.
 
 use crate::clustering::{ClientInfo, ClusterPlan, Topology};
 use crate::error::{CoreError, Result};
@@ -21,7 +29,8 @@ pub struct SessionConfig {
     pub session_id: SessionId,
     /// Model the session optimizes.
     pub model_name: ModelId,
-    /// Minimum contributors to start.
+    /// Minimum contributors to start (and to keep running: eviction below
+    /// this floor aborts the session).
     pub capacity_min: usize,
     /// Maximum contributors accepted.
     pub capacity_max: usize,
@@ -33,6 +42,14 @@ pub struct SessionConfig {
     pub waiting_time: Duration,
     /// Cluster topology to build each round.
     pub topology: Topology,
+    /// Fraction of contributors whose round-done reports close a round
+    /// (1.0 = everyone, the paper's all-or-abort behaviour).
+    pub quorum: f64,
+    /// Extra wait after the quorum is met before the round force-closes
+    /// without the remaining reports.
+    pub grace: Duration,
+    /// Consecutive missed round closures before a contributor is evicted.
+    pub max_missed_rounds: u32,
 }
 
 /// Where a session is in its lifecycle.
@@ -46,9 +63,16 @@ pub enum SessionState {
         round: u32,
         /// Clients that reported this round complete.
         done: HashSet<ClientId>,
+        /// Clients that signalled a contribution (liveness) this round.
+        contributed: HashSet<ClientId>,
+        /// Clients already charged a missed round for this round (so a
+        /// deadline blow and the eventual closure don't double-count).
+        penalized: HashSet<ClientId>,
         /// When the round started (for the deadline check). Not part of
         /// equality semantics but kept here for atomic state swaps.
         round_started: Instant,
+        /// When the done-count first reached the quorum, if it has.
+        quorum_met_at: Option<Instant>,
     },
     /// All rounds finished.
     Completed,
@@ -72,6 +96,11 @@ pub struct FlSession {
     /// Per-client negotiated control-plane wire version (from the `proto`
     /// field of each join request; absent clients are v1).
     pub wire: HashMap<ClientId, WireVersion>,
+    /// Consecutive missed-closure streak per contributor (reset whenever
+    /// the contributor reports done or contributes).
+    pub missed: HashMap<ClientId, u32>,
+    /// When the session reached a terminal state (for garbage collection).
+    pub finished_at: Option<Instant>,
 }
 
 impl FlSession {
@@ -84,6 +113,8 @@ impl FlSession {
             plan: None,
             created: Instant::now(),
             wire: HashMap::new(),
+            missed: HashMap::new(),
+            finished_at: None,
         }
     }
 
@@ -135,33 +166,194 @@ impl FlSession {
     /// Moves to `Running` round 1.
     pub fn start(&mut self) {
         debug_assert_eq!(self.state, SessionState::Waiting);
-        self.state = SessionState::Running {
-            round: 1,
+        self.state = Self::fresh_round(1);
+    }
+
+    fn fresh_round(round: u32) -> SessionState {
+        SessionState::Running {
+            round,
             done: HashSet::new(),
+            contributed: HashSet::new(),
+            penalized: HashSet::new(),
             round_started: Instant::now(),
-        };
+            quorum_met_at: None,
+        }
+    }
+
+    /// Moves to `Aborted` and stamps the terminal instant.
+    pub fn abort(&mut self, reason: &str) {
+        self.state = SessionState::Aborted(reason.to_owned());
+        self.finished_at = Some(Instant::now());
+    }
+
+    /// Number of done reports that constitutes a quorum for the current
+    /// membership: `ceil(quorum × contributors)`, at least 1, at most all.
+    pub fn quorum_count(&self) -> usize {
+        quorum_count_for(self.clients.len(), self.config.quorum)
     }
 
     /// Records a client's round-completion report. Returns `true` when the
-    /// report closes the round (all contributors done).
+    /// report closes the round: all contributors done, or the quorum met
+    /// with the grace period already elapsed.
     pub fn record_done(&mut self, client: &ClientId, round: u32) -> Result<bool> {
+        if !self.clients.iter().any(|c| &c.id == client) {
+            return Err(CoreError::Refused("not a contributor".into()));
+        }
         let total = self.clients.len();
+        let quorum_count = self.quorum_count();
+        let grace = self.config.grace;
         match &mut self.state {
             SessionState::Running {
                 round: current,
                 done,
+                quorum_met_at,
                 ..
             } if *current == round => {
-                if !self.clients.iter().any(|c| &c.id == client) {
-                    return Err(CoreError::Refused("not a contributor".into()));
-                }
                 done.insert(client.clone());
-                Ok(done.len() == total)
+                self.missed.remove(client);
+                if done.len() >= quorum_count && quorum_met_at.is_none() {
+                    *quorum_met_at = Some(Instant::now());
+                }
+                Ok(done.len() == total
+                    || (done.len() >= quorum_count
+                        && quorum_met_at.is_some_and(|t| t.elapsed() >= grace)))
             }
             SessionState::Running { round: current, .. } => Err(CoreError::Protocol(format!(
                 "round_done for round {round}, session at {current}"
             ))),
             _ => Err(CoreError::Refused("session not running".into())),
+        }
+    }
+
+    /// Records a liveness signal: the client published its contribution
+    /// for `round`. Stale, early, or stranger reports are ignored — the
+    /// signal only ever helps a contributor, never hurts it.
+    pub fn record_contrib(&mut self, client: &ClientId, round: u32) {
+        if !self.clients.iter().any(|c| &c.id == client) {
+            return;
+        }
+        if let SessionState::Running {
+            round: current,
+            contributed,
+            ..
+        } = &mut self.state
+        {
+            if *current == round {
+                contributed.insert(client.clone());
+                self.missed.remove(client);
+            }
+        }
+    }
+
+    /// True when the quorum is met, the grace has elapsed, and stragglers
+    /// are still outstanding — housekeeping should force-close the round.
+    pub fn quorum_ready(&self) -> bool {
+        let SessionState::Running {
+            done,
+            quorum_met_at,
+            ..
+        } = &self.state
+        else {
+            return false;
+        };
+        done.len() < self.clients.len()
+            && done.len() >= self.quorum_count()
+            && quorum_met_at.is_some_and(|t| t.elapsed() >= self.config.grace)
+    }
+
+    /// Charges every unresponsive contributor (neither done nor
+    /// contributed this round) one missed round — at most once per round —
+    /// and clears the streak of responsive ones. Returns the contributors
+    /// whose streak has reached [`SessionConfig::max_missed_rounds`], i.e.
+    /// the eviction candidates.
+    pub fn penalize_stragglers(&mut self) -> Vec<ClientId> {
+        let SessionState::Running {
+            done,
+            contributed,
+            penalized,
+            ..
+        } = &mut self.state
+        else {
+            return Vec::new();
+        };
+        let mut candidates = Vec::new();
+        for client in &self.clients {
+            if done.contains(&client.id) || contributed.contains(&client.id) {
+                self.missed.remove(&client.id);
+                continue;
+            }
+            if penalized.insert(client.id.clone()) {
+                *self.missed.entry(client.id.clone()).or_insert(0) += 1;
+            }
+            if self.missed.get(&client.id).copied().unwrap_or(0) >= self.config.max_missed_rounds {
+                candidates.push(client.id.clone());
+            }
+        }
+        candidates
+    }
+
+    /// Removes a contributor from the session (dropout eviction). The
+    /// caller is responsible for re-planning and for notifying the client.
+    pub fn evict(&mut self, client: &ClientId) {
+        self.clients.retain(|c| &c.id != client);
+        self.wire.remove(client);
+        self.missed.remove(client);
+        if let SessionState::Running {
+            done,
+            contributed,
+            penalized,
+            quorum_met_at,
+            ..
+        } = &mut self.state
+        {
+            done.remove(client);
+            contributed.remove(client);
+            penalized.remove(client);
+            // Membership shrank, so the quorum may be newly met.
+            if !done.is_empty()
+                && quorum_met_at.is_none()
+                && done.len() >= quorum_count_for(self.clients.len(), self.config.quorum)
+            {
+                *quorum_met_at = Some(Instant::now());
+            }
+        }
+    }
+
+    /// Opens a fresh straggler-strike window after a blown round deadline:
+    /// clears the per-round `contributed` and `penalized` evidence (but
+    /// not `done` — completion is authoritative) so the *next* blown
+    /// deadline requires fresh liveness proof. Live clients re-establish
+    /// it automatically — the deadline's `round_start` re-announcement
+    /// makes them re-send and re-ping — while dead ones cannot, so their
+    /// streak keeps growing toward eviction. Without this, a stalled
+    /// round charges at most one strike ever and eviction is unreachable
+    /// whenever `max_missed_rounds > 1`.
+    pub fn begin_strike_window(&mut self) {
+        if let SessionState::Running {
+            contributed,
+            penalized,
+            ..
+        } = &mut self.state
+        {
+            contributed.clear();
+            penalized.clear();
+        }
+    }
+
+    /// True when every remaining contributor has reported the current
+    /// round done (e.g. after evictions removed the holdouts).
+    pub fn all_done(&self) -> bool {
+        match &self.state {
+            SessionState::Running { done, .. } => done.len() >= self.clients.len(),
+            _ => false,
+        }
+    }
+
+    /// Restarts the round deadline clock (after a mid-round re-delegation
+    /// gave the survivors fresh work).
+    pub fn reset_round_clock(&mut self) {
+        if let SessionState::Running { round_started, .. } = &mut self.state {
+            *round_started = Instant::now();
         }
     }
 
@@ -174,27 +366,42 @@ impl FlSession {
         let next = *round + 1;
         if next > self.config.fl_rounds {
             self.state = SessionState::Completed;
+            self.finished_at = Some(Instant::now());
             None
         } else {
-            self.state = SessionState::Running {
-                round: next,
-                done: HashSet::new(),
-                round_started: Instant::now(),
-            };
+            self.state = Self::fresh_round(next);
             Some(next)
         }
     }
 
-    /// True when the current round exceeded `deadline` or the session blew
-    /// its total time budget.
-    pub fn is_overdue(&self, round_deadline: Duration) -> bool {
+    /// True when the current round exceeded `round_deadline` (a data-plane
+    /// stall: time to penalize and possibly evict stragglers).
+    pub fn round_overdue(&self, round_deadline: Duration) -> bool {
         match &self.state {
-            SessionState::Running { round_started, .. } => {
-                round_started.elapsed() > round_deadline
-                    || self.created.elapsed() > self.config.session_time
-            }
+            SessionState::Running { round_started, .. } => round_started.elapsed() > round_deadline,
             _ => false,
         }
+    }
+
+    /// True when the session blew its total time budget (aborts).
+    pub fn budget_blown(&self) -> bool {
+        matches!(self.state, SessionState::Running { .. })
+            && self.created.elapsed() > self.config.session_time
+    }
+
+    /// True when the current round exceeded `round_deadline` or the session
+    /// blew its total time budget.
+    pub fn is_overdue(&self, round_deadline: Duration) -> bool {
+        self.round_overdue(round_deadline) || self.budget_blown()
+    }
+
+    /// True when the session reached `Completed` or `Aborted` at least
+    /// `linger` ago — safe to garbage-collect.
+    pub fn collectable(&self, linger: Duration) -> bool {
+        matches!(
+            self.state,
+            SessionState::Completed | SessionState::Aborted(_)
+        ) && self.finished_at.is_some_and(|t| t.elapsed() >= linger)
     }
 
     /// Current round number, if running.
@@ -213,6 +420,13 @@ impl FlSession {
     }
 }
 
+/// The single definition of the quorum formula:
+/// `ceil(quorum × total).clamp(1, total)`.
+fn quorum_count_for(total: usize, quorum: f64) -> usize {
+    let total = total.max(1);
+    ((quorum.clamp(0.0, 1.0) * total as f64).ceil() as usize).clamp(1, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +443,9 @@ mod tests {
             session_time: Duration::from_secs(3600),
             waiting_time: Duration::from_millis(50),
             topology: Topology::Central,
+            quorum: 1.0,
+            grace: Duration::ZERO,
+            max_missed_rounds: 2,
         }
     }
 
@@ -247,6 +464,18 @@ mod tests {
 
     fn mlp() -> ModelId {
         ModelId::new("mlp").unwrap()
+    }
+
+    fn cid(s: &str) -> ClientId {
+        ClientId::new(s).unwrap()
+    }
+
+    fn session_of(n: usize, cfg: SessionConfig) -> FlSession {
+        let mut s = FlSession::new(cfg);
+        for i in 0..n {
+            s.add_client(info(&format!("c{i}")), &mlp()).unwrap();
+        }
+        s
     }
 
     #[test]
@@ -298,26 +527,177 @@ mod tests {
 
     #[test]
     fn round_accounting() {
-        let mut s = FlSession::new(config(2, 2, 2));
-        s.add_client(info("a"), &mlp()).unwrap();
-        s.add_client(info("b"), &mlp()).unwrap();
+        let mut s = session_of(2, config(2, 2, 2));
         s.start();
-        assert!(!s.record_done(&ClientId::new("a").unwrap(), 1).unwrap());
-        assert!(
-            s.record_done(&ClientId::new("x").unwrap(), 1).is_err(),
-            "stranger"
-        );
-        assert!(
-            s.record_done(&ClientId::new("b").unwrap(), 2).is_err(),
-            "wrong round"
-        );
-        assert!(s.record_done(&ClientId::new("b").unwrap(), 1).unwrap());
+        assert!(!s.record_done(&cid("c0"), 1).unwrap());
+        assert!(s.record_done(&cid("x"), 1).is_err(), "stranger");
+        assert!(s.record_done(&cid("c1"), 2).is_err(), "wrong round");
+        assert!(s.record_done(&cid("c1"), 1).unwrap());
         assert_eq!(s.advance_round(), Some(2));
         // Final round closes the session.
-        s.record_done(&ClientId::new("a").unwrap(), 2).unwrap();
-        s.record_done(&ClientId::new("b").unwrap(), 2).unwrap();
+        s.record_done(&cid("c0"), 2).unwrap();
+        s.record_done(&cid("c1"), 2).unwrap();
         assert_eq!(s.advance_round(), None);
         assert_eq!(s.state, SessionState::Completed);
+        assert!(s.finished_at.is_some(), "terminal instant stamped");
+    }
+
+    #[test]
+    fn duplicate_and_stale_round_done_reports() {
+        let mut s = session_of(3, config(3, 3, 2));
+        s.start();
+        assert!(!s.record_done(&cid("c0"), 1).unwrap());
+        // A duplicate report neither closes the round nor double-counts.
+        assert!(!s.record_done(&cid("c0"), 1).unwrap());
+        assert!(!s.record_done(&cid("c1"), 1).unwrap());
+        assert!(s.record_done(&cid("c2"), 1).unwrap());
+        // A duplicate of the closing report re-signals closure; the
+        // coordinator's round-stamped advance makes the second a no-op.
+        assert!(s.record_done(&cid("c2"), 1).unwrap());
+        s.advance_round();
+        // A stale report for the closed round is rejected, not counted.
+        let err = s.record_done(&cid("c0"), 1).unwrap_err();
+        assert!(matches!(err, CoreError::Protocol(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn abort_then_advance_is_inert() {
+        let mut s = session_of(2, config(2, 2, 3));
+        s.start();
+        s.abort("deadline");
+        assert!(s.finished_at.is_some());
+        // A late advance on the aborted session must not resurrect it.
+        assert_eq!(s.advance_round(), None);
+        assert_eq!(s.state, SessionState::Aborted("deadline".into()));
+        assert!(s.record_done(&cid("c0"), 1).is_err());
+        assert!(!s.quorum_ready());
+        assert!(s.penalize_stragglers().is_empty());
+    }
+
+    #[test]
+    fn quorum_closure_with_grace() {
+        let mut cfg = config(2, 4, 2);
+        cfg.quorum = 0.5;
+        cfg.grace = Duration::from_millis(30);
+        let mut s = session_of(4, cfg);
+        s.start();
+        assert_eq!(s.quorum_count(), 2);
+        assert!(!s.record_done(&cid("c0"), 1).unwrap());
+        // Quorum met, but grace has not elapsed: not closed yet.
+        assert!(!s.record_done(&cid("c1"), 1).unwrap());
+        assert!(!s.quorum_ready());
+        std::thread::sleep(Duration::from_millis(40));
+        // Grace elapsed: housekeeping sees a force-closable round, and a
+        // further (late but valid) report also reads as closing.
+        assert!(s.quorum_ready());
+        assert!(s.record_done(&cid("c2"), 1).unwrap());
+    }
+
+    #[test]
+    fn full_quorum_closes_without_grace_wait() {
+        let mut cfg = config(2, 2, 1);
+        cfg.quorum = 0.5;
+        cfg.grace = Duration::from_secs(3600);
+        let mut s = session_of(2, cfg);
+        s.start();
+        assert!(!s.record_done(&cid("c0"), 1).unwrap());
+        // Everyone reported: the round closes immediately, grace or not.
+        assert!(s.record_done(&cid("c1"), 1).unwrap());
+    }
+
+    #[test]
+    fn straggler_penalties_accumulate_and_reset() {
+        let mut s = session_of(3, config(1, 3, 5));
+        s.start();
+        s.record_done(&cid("c0"), 1).unwrap();
+        s.record_contrib(&cid("c1"), 1);
+        // c2 is unresponsive: first strike.
+        assert!(s.penalize_stragglers().is_empty(), "one strike, N=2");
+        // Same round: penalties are idempotent.
+        assert!(s.penalize_stragglers().is_empty());
+        assert_eq!(s.missed.get(&cid("c2")), Some(&1));
+        s.advance_round();
+        // Second unresponsive round: eviction candidate.
+        s.record_done(&cid("c0"), 2).unwrap();
+        s.record_contrib(&cid("c1"), 2);
+        assert_eq!(s.penalize_stragglers(), vec![cid("c2")]);
+        // A late contribution clears the streak.
+        s.record_contrib(&cid("c2"), 2);
+        assert!(s.penalize_stragglers().is_empty());
+        assert_eq!(s.missed.get(&cid("c2")), None);
+    }
+
+    #[test]
+    fn strikes_accrue_across_deadline_windows_in_a_stalled_round() {
+        // Default policy (quorum 1.0, max_missed_rounds 2): a dead client
+        // stalls the round forever, so strikes must accrue across blown
+        // deadlines of the SAME round — otherwise eviction is unreachable
+        // and the session can only die on its time budget.
+        let mut s = session_of(3, config(2, 3, 5));
+        s.start();
+        s.record_done(&cid("c0"), 1).unwrap();
+        s.record_contrib(&cid("c1"), 1);
+        // Deadline window 1: first strike for c2.
+        assert!(s.penalize_stragglers().is_empty(), "strike 1 of 2");
+        s.begin_strike_window();
+        // c1 is alive: the resync re-announcement makes it re-ping.
+        s.record_contrib(&cid("c1"), 1);
+        // Deadline window 2: second strike for c2 → eviction candidate.
+        assert_eq!(s.penalize_stragglers(), vec![cid("c2")]);
+        // c1 refreshed its liveness and is safe.
+        assert_eq!(s.missed.get(&cid("c1")), None);
+    }
+
+    #[test]
+    fn contributed_shield_expires_with_the_strike_window() {
+        // A client that pings contrib and then dies must not be shielded
+        // forever: the shield only covers the current deadline window.
+        let mut s = session_of(2, config(1, 2, 5));
+        s.start();
+        s.record_done(&cid("c0"), 1).unwrap();
+        s.record_contrib(&cid("c1"), 1); // ...then c1 dies.
+        assert!(s.penalize_stragglers().is_empty(), "shielded this window");
+        s.begin_strike_window();
+        assert!(s.penalize_stragglers().is_empty(), "strike 1 of 2");
+        s.begin_strike_window();
+        assert_eq!(s.penalize_stragglers(), vec![cid("c1")], "strike 2 of 2");
+    }
+
+    #[test]
+    fn eviction_shrinks_membership_and_requorums() {
+        let mut cfg = config(2, 4, 3);
+        cfg.quorum = 1.0;
+        let mut s = session_of(4, cfg);
+        s.start();
+        s.record_done(&cid("c0"), 1).unwrap();
+        s.record_done(&cid("c1"), 1).unwrap();
+        s.record_done(&cid("c2"), 1).unwrap();
+        assert!(!s.all_done());
+        s.evict(&cid("c3"));
+        assert_eq!(s.clients.len(), 3);
+        assert!(s.all_done(), "evicting the holdout closes the round");
+        assert!(!s.wire.contains_key(&cid("c3")));
+    }
+
+    #[test]
+    fn quorum_closure_at_exactly_capacity_min_survivors() {
+        let mut cfg = config(3, 4, 2);
+        cfg.quorum = 0.75;
+        cfg.grace = Duration::ZERO;
+        cfg.max_missed_rounds = 1;
+        let mut s = session_of(4, cfg);
+        s.start();
+        s.record_done(&cid("c0"), 1).unwrap();
+        s.record_done(&cid("c1"), 1).unwrap();
+        // 3 of 4 = exactly the quorum; closure reads true with zero grace.
+        assert!(s.record_done(&cid("c2"), 1).unwrap());
+        // The straggler is an eviction candidate; evicting it leaves
+        // exactly capacity_min survivors, so the session must continue.
+        assert_eq!(s.penalize_stragglers(), vec![cid("c3")]);
+        s.evict(&cid("c3"));
+        assert_eq!(s.clients.len(), s.config.capacity_min);
+        assert_eq!(s.advance_round(), Some(2));
+        assert_eq!(s.quorum_count(), 3, "quorum tracks the shrunk fleet");
     }
 
     #[test]
@@ -334,13 +714,35 @@ mod tests {
             }
         );
         std::thread::sleep(Duration::from_millis(15));
+        assert!(s.budget_blown(), "session budget blown");
         assert!(
             s.is_overdue(Duration::from_secs(100)),
             "session budget blown"
         );
+        assert!(s.round_overdue(Duration::from_millis(1)), "round deadline");
         assert!(
             s.is_overdue(Duration::from_millis(1)),
             "round deadline blown"
         );
+    }
+
+    #[test]
+    fn reset_round_clock_defers_the_deadline() {
+        let mut s = session_of(1, config(1, 1, 1));
+        s.start();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(s.round_overdue(Duration::from_millis(5)));
+        s.reset_round_clock();
+        assert!(!s.round_overdue(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn terminal_sessions_become_collectable() {
+        let mut s = session_of(1, config(1, 1, 1));
+        s.start();
+        assert!(!s.collectable(Duration::ZERO), "running is never GC'd");
+        s.abort("test");
+        assert!(!s.collectable(Duration::from_secs(3600)), "linger holds");
+        assert!(s.collectable(Duration::ZERO));
     }
 }

@@ -73,6 +73,21 @@ pub struct SimConfig {
     /// `round_done` frames are measured from real encodings at this
     /// version and reported in [`SimReport::control_bytes`].
     pub control_wire: WireVersion,
+    /// Per-client, per-round probability of dropping out (dying) at the
+    /// start of a round. Dropped clients are evicted: the plan for that
+    /// round is rebuilt over the survivors (mid-round re-delegation) and
+    /// the round pays [`SimConfig::eviction_detect`] once. 0.0 = the
+    /// paper's churn-free baseline.
+    pub dropout_prob: f64,
+    /// Fraction of clients that are stragglers: their training time is
+    /// multiplied by [`SimConfig::straggler_multiplier`].
+    pub straggler_fraction: f64,
+    /// Training-time multiplier applied to straggler clients (≥ 1.0).
+    pub straggler_multiplier: f64,
+    /// Virtual time the coordinator needs to notice a dropout and
+    /// re-delegate (deadline + grace stand-in); charged once per round
+    /// with at least one eviction.
+    pub eviction_detect: SimDuration,
 }
 
 impl SimConfig {
@@ -102,6 +117,10 @@ impl SimConfig {
             regions: 1,
             bridge_hop: SimDuration::from_millis(20),
             control_wire: WireVersion::LATEST,
+            dropout_prob: 0.0,
+            straggler_fraction: 0.0,
+            straggler_multiplier: 1.0,
+            eviction_detect: SimDuration::from_millis(500),
         }
     }
 
@@ -168,6 +187,14 @@ impl SimConfigBuilder {
         bridge_hop: SimDuration,
         /// Control-plane wire version.
         control_wire: WireVersion,
+        /// Per-client, per-round dropout probability.
+        dropout_prob: f64,
+        /// Fraction of clients that straggle.
+        straggler_fraction: f64,
+        /// Training-time multiplier for stragglers.
+        straggler_multiplier: f64,
+        /// Virtual re-delegation delay per round with evictions.
+        eviction_detect: SimDuration,
     }
 
     /// Finalizes the configuration.
@@ -191,6 +218,10 @@ pub struct RoundBreakdown {
     pub round_span: SimDuration,
     /// Clients whose roles changed entering this round.
     pub rearranged: usize,
+    /// Clients still alive in this round.
+    pub survivors: usize,
+    /// Clients evicted (dropped out) entering this round.
+    pub evicted: usize,
 }
 
 /// Results of a simulated deployment.
@@ -207,6 +238,33 @@ pub struct SimReport {
     /// `round_done` frames), measured from real encodings at
     /// [`SimConfig::control_wire`].
     pub control_bytes: u64,
+    /// Clients evicted over the whole run (dropout churn).
+    pub evicted: usize,
+    /// Evicted clients that held an aggregator position when they died —
+    /// each one forced a mid-round role re-delegation.
+    pub aggregators_redelegated: usize,
+    /// Rounds that completed *after* the first eviction — the session
+    /// survived dropout instead of aborting.
+    pub completed_despite_dropout: u32,
+}
+
+/// A tiny deterministic xorshift generator for dropout/straggler draws —
+/// the simulation must stay a pure function of its config.
+struct SimRng(u64);
+
+impl SimRng {
+    fn new(seed: u64) -> SimRng {
+        SimRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 /// Runs the virtual-time simulation.
@@ -214,6 +272,20 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
     assert!(config.num_clients > 0);
     let ids: Vec<ClientId> = (0..config.num_clients)
         .map(|i| ClientId::new(format!("c{i}")).unwrap())
+        .collect();
+    let mut rng = SimRng::new(config.seed);
+
+    // Straggler designation is drawn once per client up front.
+    let train_scale: HashMap<ClientId, f64> = ids
+        .iter()
+        .map(|id| {
+            let scale = if rng.next_f64() < config.straggler_fraction {
+                config.straggler_multiplier.max(1.0)
+            } else {
+                1.0
+            };
+            (id.clone(), scale)
+        })
         .collect();
 
     // Systems drift per round; network links are rebuilt each round (link
@@ -251,10 +323,37 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
     let mut total = SimDuration::ZERO;
     let mut network_bytes = 0u64;
     let mut control_bytes = 0u64;
+    let mut evicted_total = 0usize;
+    let mut aggregators_redelegated = 0usize;
+    let mut completed_despite_dropout = 0u32;
     let ctrl_sizes = ControlFrameSizes::measure(config.control_wire);
 
     for round in 1..=config.rounds {
-        // Role (re)arrangement with the freshest stats.
+        // Dropout churn: each alive client dies with `dropout_prob` at the
+        // round boundary. The coordinator evicts the dead and rebuilds the
+        // plan over the survivors — the DFML/massive-IoT behaviour, in
+        // place of the paper's all-or-abort. At least one client survives.
+        let mut dropped: Vec<ClientId> = Vec::new();
+        if config.dropout_prob > 0.0 {
+            for info in &infos {
+                if infos.len() - dropped.len() > 1 && rng.next_f64() < config.dropout_prob {
+                    dropped.push(info.id.clone());
+                }
+            }
+        }
+        for id in &dropped {
+            if plan
+                .as_ref()
+                .and_then(|p| p.spec_of(id))
+                .is_some_and(|spec| spec.position.is_some())
+            {
+                aggregators_redelegated += 1;
+            }
+            infos.retain(|info| &info.id != id);
+        }
+        evicted_total += dropped.len();
+
+        // Role (re)arrangement over the survivors with the freshest stats.
         let ranking = config.optimizer.rank(&infos, round);
         let new_plan = build_plan(&infos, &config.topology, &ranking, round);
         let rearranged = match &plan {
@@ -268,15 +367,20 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
             payload_bytes,
             round,
             rearranged,
+            dropped.len(),
+            &train_scale,
             &mut network_bytes,
         );
         total += breakdown.round_span;
-        control_bytes += ctrl_sizes.round_total(rearranged, config.num_clients);
+        control_bytes += ctrl_sizes.round_total(rearranged, infos.len());
         config
             .optimizer
             .observe_round(round, breakdown.round_span.as_secs_f64());
         rounds.push(breakdown);
         plan = Some(new_plan);
+        if evicted_total > 0 {
+            completed_despite_dropout += 1;
+        }
 
         // Post-round: stats drift and are re-reported (paper §III.E.4).
         if config.drift {
@@ -293,6 +397,9 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
         rounds,
         network_bytes,
         control_bytes,
+        evicted: evicted_total,
+        aggregators_redelegated,
+        completed_despite_dropout,
     }
 }
 
@@ -364,6 +471,15 @@ impl ControlFrameSizes {
     }
 }
 
+/// Multiplies a virtual duration by a straggler factor.
+fn scale_duration(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        d
+    } else {
+        SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn simulate_round(
     plan: &ClusterPlan,
@@ -372,6 +488,8 @@ fn simulate_round(
     payload_bytes: u64,
     round: u32,
     rearranged: usize,
+    evicted: usize,
+    train_scale: &HashMap<ClientId, f64>,
     network_bytes: &mut u64,
 ) -> RoundBreakdown {
     let mut net = Network::new(config.broker_forward);
@@ -399,21 +517,29 @@ fn simulate_round(
 
     let t0 = SimTime::ZERO;
     // Control-plane overhead: each rearranged client exchanges a small
-    // set_role/ack pair before the round opens.
-    let ctrl = SimDuration::from_millis(2 * rearranged as u64);
+    // set_role/ack pair before the round opens, and a round with
+    // evictions first pays the coordinator's dropout-detection window.
+    let detect = if evicted > 0 {
+        config.eviction_detect
+    } else {
+        SimDuration::ZERO
+    };
+    let ctrl = SimDuration::from_millis(2 * rearranged as u64) + detect;
     let start = t0 + ctrl;
 
-    // Phase 1: local training (fully parallel across clients).
+    // Phase 1: local training (fully parallel across clients; stragglers
+    // pay their multiplier).
     let mut train_done: HashMap<&ClientId, SimTime> = HashMap::new();
     let mut latest_train = start;
     for a in &plan.assignments {
         if a.spec.role.trains() {
-            let t = start
-                + systems[&a.client].training_time(
-                    config.samples_per_client,
-                    config.local_epochs,
-                    config.model_params,
-                );
+            let base = systems[&a.client].training_time(
+                config.samples_per_client,
+                config.local_epochs,
+                config.model_params,
+            );
+            let factor = train_scale.get(&a.client).copied().unwrap_or(1.0);
+            let t = start + scale_duration(base, factor);
             latest_train = latest_train.max(t);
             train_done.insert(&a.client, t);
         }
@@ -495,6 +621,8 @@ fn simulate_round(
         agg_span: at_ps.since(t0),
         round_span: round_end.since(t0),
         rearranged,
+        survivors: plan.assignments.len(),
+        evicted,
     }
 }
 
@@ -612,5 +740,81 @@ mod tests {
         assert_eq!(report.rounds[0].rearranged, 6);
         // Static optimizer: later rounds change nothing.
         assert_eq!(report.rounds[1].rearranged, 0);
+    }
+
+    #[test]
+    fn no_dropout_means_no_evictions() {
+        let report = quick(6, Topology::Central, Box::new(StaticOrder));
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.completed_despite_dropout, 0);
+        assert!(report.rounds.iter().all(|r| r.survivors == 6));
+    }
+
+    #[test]
+    fn dropout_evicts_and_session_survives() {
+        let report = simulate(
+            SimConfig::builder(
+                20,
+                Topology::Hierarchical {
+                    aggregator_ratio: 0.3,
+                },
+            )
+            .rounds(8)
+            .optimizer(Box::new(StaticOrder))
+            .dropout_prob(0.05)
+            .seed(11)
+            .build(),
+        );
+        assert_eq!(report.rounds.len(), 8, "no round aborts under churn");
+        assert!(report.evicted > 0, "5% per-round churn over 8 rounds");
+        assert!(report.completed_despite_dropout > 0);
+        for w in report.rounds.windows(2) {
+            assert!(w[1].survivors <= w[0].survivors, "survivors only shrink");
+        }
+        let final_survivors = report.rounds.last().unwrap().survivors;
+        assert_eq!(final_survivors + report.evicted, 20, "ledger balances");
+    }
+
+    #[test]
+    fn stragglers_slow_rounds_down() {
+        let run = |fraction: f64| {
+            simulate(
+                SimConfig::builder(8, Topology::Central)
+                    .rounds(2)
+                    .optimizer(Box::new(StaticOrder))
+                    .straggler_fraction(fraction)
+                    .straggler_multiplier(4.0)
+                    .build(),
+            )
+        };
+        let base = run(0.0);
+        let slow = run(1.0);
+        assert!(
+            slow.total > base.total,
+            "4x stragglers must cost time: {} vs {}",
+            slow.total,
+            base.total
+        );
+    }
+
+    #[test]
+    fn dropout_runs_are_deterministic() {
+        let run = || {
+            simulate(
+                SimConfig::builder(12, Topology::Central)
+                    .rounds(4)
+                    .optimizer(Box::new(StaticOrder))
+                    .dropout_prob(0.1)
+                    .straggler_fraction(0.25)
+                    .straggler_multiplier(2.0)
+                    .seed(3)
+                    .build(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.evicted, b.evicted);
+        assert_eq!(a.aggregators_redelegated, b.aggregators_redelegated);
     }
 }

@@ -19,6 +19,8 @@ pub mod functions {
     pub const JOIN_SESSION: &str = "coord_join_session";
     /// Report round completion + client stats.
     pub const ROUND_DONE: &str = "coord_round_done";
+    /// Contribution liveness ping (straggler detection).
+    pub const CONTRIB: &str = "coord_contrib";
 
     /// The per-client control function (role and session commands).
     pub fn client_ctrl(client_id: &str) -> String {

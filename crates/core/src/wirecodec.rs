@@ -37,7 +37,9 @@
 
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
-use crate::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg};
+use crate::messages::{
+    Blob, ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg,
+};
 use crate::roles::{PreferredRole, Role, RoleSpec};
 use crate::topics::Position;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -112,6 +114,8 @@ pub enum MsgKind {
     BlobMeta = 5,
     /// Coordinator reply to session requests (status + negotiated proto).
     Reply = 6,
+    /// Contribution liveness ping (straggler detection).
+    Contrib = 7,
 }
 
 impl MsgKind {
@@ -123,6 +127,7 @@ impl MsgKind {
             4 => Some(MsgKind::Ctrl),
             5 => Some(MsgKind::BlobMeta),
             6 => Some(MsgKind::Reply),
+            7 => Some(MsgKind::Contrib),
             _ => None,
         }
     }
@@ -146,6 +151,8 @@ pub enum ControlMsg {
     },
     /// Coordinator reply to a session request.
     Reply(SessionReply),
+    /// Contribution liveness ping.
+    Contrib(ContribMsg),
 }
 
 impl ControlMsg {
@@ -157,6 +164,7 @@ impl ControlMsg {
             ControlMsg::RoundDone(_) => MsgKind::RoundDone,
             ControlMsg::Ctrl { .. } => MsgKind::Ctrl,
             ControlMsg::Reply(_) => MsgKind::Reply,
+            ControlMsg::Contrib(_) => MsgKind::Contrib,
         }
     }
 }
@@ -417,6 +425,12 @@ wire_schema!(RoundDone {
     stats: nested(StatsMsg) => "stats",
 });
 
+wire_schema!(ContribMsg {
+    session_id: id(SessionId) => "session_id",
+    client_id: id(ClientId) => "client_id",
+    round: u32 => "round",
+});
+
 wire_schema!(RoleSpec {
     role: token(Role) => "role",
     parent: token(Position) => "parent",
@@ -453,6 +467,7 @@ const CTRL_CMDS: &[(&str, u8)] = &[
     ("round_start", 3),
     ("session_complete", 4),
     ("abort", 5),
+    ("evicted", 6),
 ];
 
 impl WireSchema for CtrlMsg {
@@ -472,6 +487,10 @@ impl WireSchema for CtrlMsg {
                 w.w_tag("cmd", "abort", 5);
                 w.w_str("reason", reason);
             }
+            CtrlMsg::Evicted { reason } => {
+                w.w_tag("cmd", "evicted", 6);
+                w.w_str("reason", reason);
+            }
         }
     }
 
@@ -484,6 +503,9 @@ impl WireSchema for CtrlMsg {
             }),
             4 => Ok(CtrlMsg::SessionComplete),
             5 => Ok(CtrlMsg::Abort(r.r_str_lenient("reason")?)),
+            6 => Ok(CtrlMsg::Evicted {
+                reason: r.r_str_lenient("reason")?,
+            }),
             _ => unreachable!("r_tag validates against the table"),
         }
     }
@@ -499,6 +521,7 @@ fn write_msg<W: FieldWriter>(msg: &ControlMsg, w: &mut W) {
             msg.write_fields(w);
         }
         ControlMsg::Reply(m) => m.write_fields(w),
+        ControlMsg::Contrib(m) => m.write_fields(w),
     }
 }
 
@@ -512,6 +535,7 @@ fn read_msg<R: FieldReader>(kind: MsgKind, r: &mut R) -> Result<ControlMsg> {
             msg: CtrlMsg::read_fields(r)?,
         },
         MsgKind::Reply => ControlMsg::Reply(SessionReply::read_fields(r)?),
+        MsgKind::Contrib => ControlMsg::Contrib(ContribMsg::read_fields(r)?),
         MsgKind::BlobMeta => {
             return Err(CoreError::Protocol(
                 "blob metadata is not an envelope payload".into(),
@@ -1028,6 +1052,9 @@ mod tests {
             CtrlMsg::RoundStart { round: 7 },
             CtrlMsg::SessionComplete,
             CtrlMsg::Abort("timeout".into()),
+            CtrlMsg::Evicted {
+                reason: "missed 2 consecutive rounds".into(),
+            },
         ];
         for version in [WireVersion::V1Json, WireVersion::V2Binary] {
             for msg in &msgs {
@@ -1086,6 +1113,37 @@ mod tests {
                 msg: CtrlMsg::Abort(ref r),
                 ..
             } if r.is_empty()
+        ));
+    }
+
+    #[test]
+    fn contrib_roundtrips_both_codecs() {
+        let msg = ControlMsg::Contrib(ContribMsg {
+            session_id: SessionId::new("s4").unwrap(),
+            client_id: ClientId::new("c7").unwrap(),
+            round: 3,
+        });
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let frame = Envelope::new(version, msg.clone()).encode();
+            let decoded = Envelope::decode(MsgKind::Contrib, &frame).unwrap();
+            assert_eq!(decoded.version, version);
+            assert_eq!(decoded.msg, msg, "version {version:?}");
+        }
+        // Kind guard: a contrib frame is not a round_done frame.
+        let frame = Envelope::new(WireVersion::V2Binary, msg).encode();
+        assert!(Envelope::decode(MsgKind::RoundDone, &frame).is_err());
+    }
+
+    #[test]
+    fn legacy_json_evicted_without_reason_decodes_empty() {
+        let legacy = br#"{"cmd":"evicted","session":"s1"}"#;
+        let env = Envelope::decode(MsgKind::Ctrl, legacy).unwrap();
+        assert!(matches!(
+            env.msg,
+            ControlMsg::Ctrl {
+                msg: CtrlMsg::Evicted { ref reason },
+                ..
+            } if reason.is_empty()
         ));
     }
 

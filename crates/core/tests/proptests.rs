@@ -220,7 +220,9 @@ proptest! {
 // falls back to JSON v1 for legacy peers.
 // ---------------------------------------------------------------------
 
-use sdflmq_core::messages::{Blob, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg};
+use sdflmq_core::messages::{
+    Blob, ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg,
+};
 use sdflmq_core::{
     ClientId as WireClientId, ControlMsg, Envelope, ModelId, MsgKind, Position, Role, RoleSpec,
     SessionId, SessionReply, WireVersion,
@@ -286,6 +288,7 @@ fn ctrl_msg() -> impl Strategy<Value = CtrlMsg> {
         (1u32..10_000).prop_map(|round| CtrlMsg::RoundStart { round }),
         Just(CtrlMsg::SessionComplete),
         "[ -~]{0,40}".prop_map(CtrlMsg::Abort),
+        "[ -~]{0,40}".prop_map(|reason| CtrlMsg::Evicted { reason }),
     ]
 }
 
@@ -349,6 +352,13 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
             session: SessionId::new(s).unwrap(),
             msg,
         }),
+        (wire_id(), wire_id(), 1u32..10_000).prop_map(|(s, c, round)| {
+            ControlMsg::Contrib(ContribMsg {
+                session_id: SessionId::new(s).unwrap(),
+                client_id: WireClientId::new(c).unwrap(),
+                round,
+            })
+        }),
         ("[a-z]{1,10}", 0u8..5)
             .prop_map(|(status, proto)| { ControlMsg::Reply(SessionReply { status, proto }) }),
     ]
@@ -403,7 +413,7 @@ proptest! {
     #[test]
     fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         for kind in [MsgKind::NewSession, MsgKind::Join, MsgKind::RoundDone,
-                     MsgKind::Ctrl, MsgKind::Reply] {
+                     MsgKind::Ctrl, MsgKind::Reply, MsgKind::Contrib] {
             let _ = Envelope::decode(kind, &bytes);
         }
         let _ = Blob::decode(bytes::Bytes::from(bytes.clone()));

@@ -105,7 +105,7 @@ fn main() {
                     .wait_global_update(&session, Duration::from_secs(120))
                     .unwrap()
                 {
-                    WaitOutcome::Completed => break,
+                    WaitOutcome::Completed | WaitOutcome::Evicted => break,
                     WaitOutcome::NextRound(_) => {}
                 }
             }

@@ -3,8 +3,9 @@
 //! injection, and large-model transport.
 
 use sdflmq::core::{
-    ClientId, Coordinator, CoordinatorConfig, CoreError, MemoryAware, ModelId, ParamServer,
-    PreferredRole, RoundRobin, SdflmqClient, SdflmqClientConfig, SessionId, Topology, WaitOutcome,
+    simulate, ClientId, Coordinator, CoordinatorConfig, CoreError, MemoryAware, ModelId,
+    ParamServer, PreferredRole, RoundRobin, SdflmqClient, SdflmqClientConfig, SessionId, SimConfig,
+    StaticOrder, Topology, WaitOutcome,
 };
 use sdflmq::mqtt::{Bridge, BridgeConfig, Broker, BrokerConfig};
 use sdflmq::mqttfc::BatchConfig;
@@ -176,12 +177,17 @@ fn round_robin_rotates_aggregators_across_rounds() {
 
 #[test]
 fn dead_client_aborts_session_via_round_timeout() {
+    // With capacity_min == 2 and one dead contributor, eviction leaves too
+    // few survivors, so the dropout-tolerant runtime still aborts — it
+    // just takes `max_missed_rounds` blown deadlines to conclude the
+    // straggler is gone.
     let b = broker("timeout");
     let _coord = Coordinator::start(
         &b,
         CoordinatorConfig {
             topology: Topology::Central,
             round_timeout: Duration::from_secs(2),
+            max_missed_rounds: 1,
             ..CoordinatorConfig::default()
         },
     )
@@ -385,6 +391,328 @@ fn topology_document_is_retained_for_observers() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+#[test]
+fn dead_aggregator_is_evicted_and_round_redelegated_mid_round() {
+    // The ROOT aggregator joins and then never trains: the round stalls
+    // with everyone else's contributions stuck in its stack. The
+    // coordinator must evict it mid-round, re-delegate the root position
+    // to a survivor, re-announce the round so survivors re-send, and run
+    // the session to completion — the paper's runtime would have aborted.
+    // max_missed_rounds stays at the default (2): strikes must accrue
+    // across consecutive blown deadlines of the SAME stalled round, while
+    // the live clients stay safe by re-pinging on each re-announcement.
+    let b = broker("evict-agg");
+    let _coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            optimizer: Box::new(StaticOrder), // "a_root" sorts first → root
+            round_timeout: Duration::from_millis(700),
+            role_ack_timeout: Duration::from_secs(5),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("evict-agg").unwrap();
+    let model = ModelId::new("toy").unwrap();
+
+    let ghost = SdflmqClient::connect(
+        &b,
+        ClientId::new("a_root").unwrap(),
+        SdflmqClientConfig::default(),
+    )
+    .unwrap();
+    ghost
+        .create_fl_session(
+            &session,
+            &model,
+            Duration::from_secs(600),
+            3,
+            4,
+            Duration::from_secs(30),
+            2,
+            PreferredRole::Any,
+            10,
+        )
+        .unwrap();
+    let mut survivors = Vec::new();
+    for i in 0..3usize {
+        let c = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("b{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        c.join_fl_session(&session, &model, PreferredRole::Any, 10)
+            .unwrap();
+        survivors.push(c);
+    }
+
+    // The ghost never calls send_local; it only waits — and must learn it
+    // was evicted rather than time out or see an abort.
+    let ghost_session = session.clone();
+    let ghost_handle = std::thread::spawn(move || {
+        // Round-start events pass through (the ghost never contributed, so
+        // its baseline is 0); the eviction must surface eventually.
+        loop {
+            match ghost.wait_global_update(&ghost_session, Duration::from_secs(30)) {
+                Ok(WaitOutcome::Evicted) => break,
+                Ok(WaitOutcome::NextRound(_)) => continue,
+                // The teardown can land between two waits; the handle
+                // being gone is the same signal.
+                Err(CoreError::UnknownSession(_)) => break,
+                other => panic!("expected eviction, got {other:?}"),
+            }
+        }
+        // The handle is torn down: the session is gone locally.
+        assert!(ghost.current_role(&ghost_session).is_none());
+        assert!(matches!(
+            ghost.wait_global_update(&ghost_session, Duration::from_millis(50)),
+            Err(CoreError::UnknownSession(_))
+        ));
+    });
+
+    let mut handles = Vec::new();
+    for (i, client) in survivors.into_iter().enumerate() {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            let local = vec![i as f32; 8];
+            let mut rounds_seen = 0u32;
+            loop {
+                client.set_model(&session, &local).unwrap();
+                client.send_local(&session).unwrap();
+                rounds_seen += 1;
+                match client
+                    .wait_global_update(&session, Duration::from_secs(30))
+                    .unwrap()
+                {
+                    WaitOutcome::Completed => break,
+                    WaitOutcome::NextRound(_) => {}
+                    WaitOutcome::Evicted => panic!("survivor must not be evicted"),
+                }
+            }
+            rounds_seen
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 2, "both rounds completed");
+    }
+    ghost_handle.join().unwrap();
+}
+
+#[test]
+fn session_survives_mid_session_dropout_at_capacity_min() {
+    // Four contributors, capacity_min = 3, quorum = 0.75: one client dies
+    // after contributing to round 1. Round 1 closes by quorum (its done
+    // report never arrives), the dead client is evicted on the next blown
+    // deadline, and the remaining three — exactly capacity_min — finish
+    // all rounds.
+    let b = broker("dropout-quorum");
+    let coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            optimizer: Box::new(StaticOrder),
+            round_timeout: Duration::from_millis(800),
+            quorum: 0.75,
+            grace: Duration::from_millis(100),
+            max_missed_rounds: 1,
+            role_ack_timeout: Duration::from_secs(5),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("dropout-quorum").unwrap();
+    let model = ModelId::new("toy").unwrap();
+    let rounds = 3u32;
+
+    let mut clients = Vec::new();
+    // "z3" sorts last under StaticOrder, so it is a plain trainer.
+    for name in ["a0", "b1", "c2", "z3"] {
+        let c = SdflmqClient::connect(
+            &b,
+            ClientId::new(name).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        if name == "a0" {
+            c.create_fl_session(
+                &session,
+                &model,
+                Duration::from_secs(600),
+                3,
+                4,
+                Duration::from_secs(30),
+                rounds,
+                PreferredRole::Any,
+                10,
+            )
+            .unwrap();
+        } else {
+            c.join_fl_session(&session, &model, PreferredRole::Any, 10)
+                .unwrap();
+        }
+        clients.push(c);
+    }
+
+    let dropper = clients.pop().unwrap(); // z3
+    let dropper_session = session.clone();
+    let dropper_handle = std::thread::spawn(move || {
+        dropper.set_model(&dropper_session, &[9.0; 8]).unwrap();
+        dropper.send_local(&dropper_session).unwrap();
+        // The client object drops here: it disconnects before it can apply
+        // the global update or report round_done — a mid-session death.
+    });
+    dropper_handle.join().unwrap();
+
+    let mut handles = Vec::new();
+    for client in clients {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            let local = vec![1.0f32; 8];
+            loop {
+                client.set_model(&session, &local).unwrap();
+                client.send_local(&session).unwrap();
+                match client
+                    .wait_global_update(&session, Duration::from_secs(30))
+                    .unwrap()
+                {
+                    WaitOutcome::Completed => break,
+                    WaitOutcome::NextRound(_) => {}
+                    WaitOutcome::Evicted => panic!("live client must not be evicted"),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The dead contributor was evicted: exactly capacity_min survivors.
+    let members = coord.session_members(&session);
+    if let Some(members) = members {
+        assert_eq!(members.len(), 3, "z3 evicted, got {members:?}");
+        assert!(!members.iter().any(|m| m.as_str() == "z3"));
+    }
+}
+
+#[test]
+fn retained_topology_is_cleared_when_session_finishes() {
+    use sdflmq::mqtt::{Client, ClientOptions, QoS};
+
+    let b = broker("topo-clear");
+    let coord = Coordinator::start(
+        &b,
+        CoordinatorConfig {
+            topology: Topology::Central,
+            terminal_linger: Duration::from_millis(200),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .unwrap();
+    let _ps = ParamServer::start(&b, BatchConfig::default()).unwrap();
+
+    let session = SessionId::new("topo-clear").unwrap();
+    let model = ModelId::new("toy").unwrap();
+    let mut clients = Vec::new();
+    for i in 0..2usize {
+        let c = SdflmqClient::connect(
+            &b,
+            ClientId::new(format!("tc{i}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .unwrap();
+        if i == 0 {
+            c.create_fl_session(
+                &session,
+                &model,
+                Duration::from_secs(600),
+                2,
+                2,
+                Duration::from_secs(30),
+                1,
+                PreferredRole::Any,
+                10,
+            )
+            .unwrap();
+        } else {
+            c.join_fl_session(&session, &model, PreferredRole::Any, 10)
+                .unwrap();
+        }
+        clients.push(c);
+    }
+    let mut handles = Vec::new();
+    for c in clients {
+        let session = session.clone();
+        handles.push(std::thread::spawn(move || {
+            c.set_model(&session, &[1.0; 4]).unwrap();
+            c.send_local(&session).unwrap();
+            assert_eq!(
+                c.wait_global_update(&session, Duration::from_secs(60))
+                    .unwrap(),
+                WaitOutcome::Completed
+            );
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Give the completion path a beat to publish the clearing payload,
+    // then verify a late subscriber sees no stale retained plan.
+    std::thread::sleep(Duration::from_millis(500));
+    let observer = Client::connect(&b, ClientOptions::new("late-observer")).unwrap();
+    observer
+        .subscribe_str("sdflmq/session/topo-clear/topology", QoS::AtLeastOnce)
+        .unwrap();
+    assert!(
+        observer.recv_timeout(Duration::from_millis(800)).is_err(),
+        "no retained topology replay for a finished session"
+    );
+    // And the coordinator's own session record was garbage-collected
+    // after the linger — no unbounded growth across many sessions.
+    assert!(
+        coord.session_state(&session).is_none(),
+        "terminal session GC'd from coordinator memory"
+    );
+}
+
+#[test]
+fn fifty_client_simulated_session_completes_under_twenty_percent_dropout() {
+    // The acceptance scenario: 50 contributors, ~20% of them dying over
+    // the run, every round still completing, with aggregator positions
+    // re-delegated as their holders drop (virtual-time runtime).
+    let report = simulate(
+        SimConfig::builder(
+            50,
+            Topology::Hierarchical {
+                aggregator_ratio: 0.3,
+            },
+        )
+        .rounds(10)
+        .optimizer(Box::new(MemoryAware))
+        .dropout_prob(0.022) // (1 - 0.022)^10 ≈ 0.80 survival
+        .seed(42)
+        .build(),
+    );
+    assert_eq!(report.rounds.len(), 10, "all rounds completed, no abort");
+    assert!(
+        report.evicted >= 5 && report.evicted <= 16,
+        "~20% of 50 evicted, got {}",
+        report.evicted
+    );
+    assert!(
+        report.aggregators_redelegated >= 1,
+        "at least one dead aggregator forced a re-delegation"
+    );
+    assert!(report.completed_despite_dropout > 0);
+    let final_survivors = report.rounds.last().unwrap().survivors;
+    assert_eq!(final_survivors + report.evicted, 50, "ledger balances");
+    assert!(final_survivors >= 34, "most of the fleet survives");
 }
 
 #[test]
