@@ -95,6 +95,7 @@ fn control_messages() -> Vec<(&'static str, MsgKind, ControlMsg)> {
                 num_samples: 600,
                 stats,
                 proto: WireVersion::LATEST.as_u8(),
+                codec: 2,
             }),
         ),
         (
@@ -109,6 +110,7 @@ fn control_messages() -> Vec<(&'static str, MsgKind, ControlMsg)> {
                     expected_inputs: 6,
                     round: 4,
                     data_wire: 2,
+                    data_codec: 2,
                 }),
             },
         ),

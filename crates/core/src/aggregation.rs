@@ -1,8 +1,19 @@
-//! Aggregation methods over flat parameter vectors.
+//! Streaming aggregation over flat parameter vectors.
 //!
 //! FedAvg is the paper's method; coordinate-median and trimmed-mean are
 //! robustness extensions used by the ablation benches (they tolerate
 //! poisoned/label-flipped contributors that would skew a plain average).
+//!
+//! The API is **streaming**: an [`AggregationMethod`] mints an
+//! [`Accumulator`], contributions are [`Accumulator::fold`]ed in one at a
+//! time as they arrive off the wire, and [`Accumulator::finish`] produces
+//! the aggregate. FedAvg folds into a single running weighted sum, so an
+//! aggregator's peak memory is O(model) — *independent of fan-in* —
+//! instead of the O(model × children) a batch API forces it to buffer.
+//! Order statistics (median, trimmed mean) cannot stream; their
+//! accumulators transparently buffer internally, and
+//! [`Accumulator::buffered_vectors`] reports the difference so tests and
+//! capacity planners can see it.
 
 use crate::error::{CoreError, Result};
 
@@ -10,31 +21,58 @@ use crate::error::{CoreError, Result};
 /// the number of samples the vector was trained on.
 pub type Contribution<'a> = (&'a [f32], u64);
 
+/// In-progress aggregation state for one round. Contributions are folded
+/// in arrival order; `finish` consumes the accumulator.
+pub trait Accumulator: Send {
+    /// Folds one weighted contribution into the running aggregate.
+    ///
+    /// Implementations must reject parameter-length mismatches against
+    /// earlier contributions (the fold is then *not* applied, so the
+    /// caller may continue with the remaining children).
+    fn fold(&mut self, params: &[f32], weight: u64) -> Result<()>;
+
+    /// Number of contributions folded so far.
+    fn count(&self) -> usize;
+
+    /// Sum of the folded contributions' weights.
+    fn total_weight(&self) -> u64;
+
+    /// How many full-length parameter vectors this accumulator currently
+    /// holds. FedAvg stays at 1 regardless of fan-in (the running sum);
+    /// order statistics grow by one per fold.
+    fn buffered_vectors(&self) -> usize;
+
+    /// Produces the aggregate. Errors on zero contributions (and, for
+    /// FedAvg, on zero total weight).
+    fn finish(self: Box<Self>) -> Result<Vec<f32>>;
+}
+
 /// An aggregation rule combining weighted parameter vectors.
 pub trait AggregationMethod: Send + Sync {
     /// Method name for configs and reports.
     fn name(&self) -> &'static str;
 
-    /// Combines the contributions into a new parameter vector.
-    ///
-    /// Implementations must reject empty input and mismatched lengths.
-    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>>;
+    /// Mints a fresh accumulator for one round's contributions.
+    fn accumulator(&self) -> Box<dyn Accumulator>;
+
+    /// Batch convenience: folds every contribution and finishes. Tests
+    /// and benches use this; the runtime folds streamingly instead.
+    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
+        let mut acc = self.accumulator();
+        for (params, weight) in inputs {
+            acc.fold(params, *weight)?;
+        }
+        acc.finish()
+    }
 }
 
-fn validate(inputs: &[Contribution<'_>]) -> Result<usize> {
-    let Some(((first, _), rest)) = inputs.split_first() else {
-        return Err(CoreError::Protocol("aggregate of zero inputs".into()));
-    };
-    for (params, _) in rest {
-        if params.len() != first.len() {
-            return Err(CoreError::Protocol(format!(
-                "parameter length mismatch: {} vs {}",
-                params.len(),
-                first.len()
-            )));
-        }
+fn check_len(expected: usize, got: usize) -> Result<()> {
+    if expected != got {
+        return Err(CoreError::Protocol(format!(
+            "parameter length mismatch: {got} vs {expected}"
+        )));
     }
-    Ok(first.len())
+    Ok(())
 }
 
 /// Sample-count-weighted averaging — FedAvg (McMahan et al.), the method
@@ -42,26 +80,114 @@ fn validate(inputs: &[Contribution<'_>]) -> Result<usize> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FedAvg;
 
+/// FedAvg's streaming state: one `f64` running weighted sum. Peak memory
+/// is O(model) no matter how many children fold in.
+#[derive(Debug, Default)]
+pub struct FedAvgAccumulator {
+    sum: Vec<f64>,
+    total_weight: u64,
+    count: usize,
+}
+
+impl Accumulator for FedAvgAccumulator {
+    fn fold(&mut self, params: &[f32], weight: u64) -> Result<()> {
+        if self.count == 0 {
+            self.sum = vec![0.0; params.len()];
+        } else {
+            check_len(self.sum.len(), params.len())?;
+        }
+        let w = weight as f64;
+        for (s, p) in self.sum.iter_mut().zip(params) {
+            *s += *p as f64 * w;
+        }
+        self.total_weight += weight;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    fn buffered_vectors(&self) -> usize {
+        usize::from(self.count > 0)
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<f32>> {
+        if self.count == 0 {
+            return Err(CoreError::Protocol("aggregate of zero inputs".into()));
+        }
+        if self.total_weight == 0 {
+            return Err(CoreError::Protocol(
+                "total aggregation weight is zero".into(),
+            ));
+        }
+        let inv = 1.0 / self.total_weight as f64;
+        Ok(self.sum.iter().map(|s| (s * inv) as f32).collect())
+    }
+}
+
 impl AggregationMethod for FedAvg {
     fn name(&self) -> &'static str {
         "fedavg"
     }
 
-    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
-        let len = validate(inputs)?;
-        let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
-        if total_weight == 0 {
-            return Err(CoreError::Protocol(
-                "total aggregation weight is zero".into(),
-            ));
+    fn accumulator(&self) -> Box<dyn Accumulator> {
+        Box::<FedAvgAccumulator>::default()
+    }
+}
+
+/// A column statistic over one sorted column of buffered contributions.
+type ColumnReduce = Box<dyn Fn(&[f32]) -> Result<f32> + Send>;
+
+/// Shared buffering accumulator for the order statistics: keeps every
+/// contribution and computes `reduce` over each sorted column at finish.
+struct BufferingAccumulator {
+    rows: Vec<Vec<f32>>,
+    total_weight: u64,
+    reduce: ColumnReduce,
+}
+
+impl Accumulator for BufferingAccumulator {
+    fn fold(&mut self, params: &[f32], weight: u64) -> Result<()> {
+        if let Some(first) = self.rows.first() {
+            check_len(first.len(), params.len())?;
         }
+        self.rows.push(params.to_vec());
+        self.total_weight += weight;
+        Ok(())
+    }
+
+    fn count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    fn buffered_vectors(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn finish(self: Box<Self>) -> Result<Vec<f32>> {
+        let Some(first) = self.rows.first() else {
+            return Err(CoreError::Protocol("aggregate of zero inputs".into()));
+        };
+        let len = first.len();
+        let n = self.rows.len();
         let mut out = vec![0.0f32; len];
-        let inv_total = 1.0 / total_weight as f64;
-        for (params, weight) in inputs {
-            let scale = (*weight as f64 * inv_total) as f32;
-            for (o, p) in out.iter_mut().zip(*params) {
-                *o += p * scale;
+        let mut column = vec![0.0f32; n];
+        for (j, o) in out.iter_mut().enumerate() {
+            for (c, row) in column.iter_mut().zip(&self.rows) {
+                *c = row[j];
             }
+            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *o = (self.reduce)(&column)?;
         }
         Ok(out)
     }
@@ -77,23 +203,19 @@ impl AggregationMethod for CoordinateMedian {
         "median"
     }
 
-    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
-        let len = validate(inputs)?;
-        let n = inputs.len();
-        let mut out = vec![0.0f32; len];
-        let mut column = vec![0.0f32; n];
-        for (j, o) in out.iter_mut().enumerate() {
-            for (i, (params, _)) in inputs.iter().enumerate() {
-                column[i] = params[j];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *o = if n % 2 == 1 {
-                column[n / 2]
-            } else {
-                0.5 * (column[n / 2 - 1] + column[n / 2])
-            };
-        }
-        Ok(out)
+    fn accumulator(&self) -> Box<dyn Accumulator> {
+        Box::new(BufferingAccumulator {
+            rows: Vec::new(),
+            total_weight: 0,
+            reduce: Box::new(|sorted| {
+                let n = sorted.len();
+                Ok(if n % 2 == 1 {
+                    sorted[n / 2]
+                } else {
+                    0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+                })
+            }),
+        })
     }
 }
 
@@ -118,27 +240,23 @@ impl AggregationMethod for TrimmedMean {
         "trimmed_mean"
     }
 
-    fn aggregate(&self, inputs: &[Contribution<'_>]) -> Result<Vec<f32>> {
-        let len = validate(inputs)?;
-        let n = inputs.len();
-        let trim = ((n as f64) * self.trim_ratio).floor() as usize;
-        let kept = n - 2 * trim;
-        if kept == 0 {
-            return Err(CoreError::Protocol(
-                "trim ratio leaves no contributions".into(),
-            ));
-        }
-        let mut out = vec![0.0f32; len];
-        let mut column = vec![0.0f32; n];
-        let inv = 1.0 / kept as f32;
-        for (j, o) in out.iter_mut().enumerate() {
-            for (i, (params, _)) in inputs.iter().enumerate() {
-                column[i] = params[j];
-            }
-            column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *o = column[trim..n - trim].iter().sum::<f32>() * inv;
-        }
-        Ok(out)
+    fn accumulator(&self) -> Box<dyn Accumulator> {
+        let ratio = self.trim_ratio;
+        Box::new(BufferingAccumulator {
+            rows: Vec::new(),
+            total_weight: 0,
+            reduce: Box::new(move |sorted| {
+                let n = sorted.len();
+                let trim = ((n as f64) * ratio).floor() as usize;
+                let kept = n - 2 * trim;
+                if kept == 0 {
+                    return Err(CoreError::Protocol(
+                        "trim ratio leaves no contributions".into(),
+                    ));
+                }
+                Ok(sorted[trim..n - trim].iter().sum::<f32>() / kept as f32)
+            }),
+        })
     }
 }
 
@@ -248,6 +366,80 @@ mod tests {
         for method in [by_name("fedavg").unwrap(), by_name("median").unwrap()] {
             let out = method.aggregate(&[(&v, 7)]).unwrap();
             assert_eq!(out, v.to_vec(), "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn fedavg_fold_is_o_model_under_fan_in_32() {
+        // The streaming-fold acceptance criterion: a FedAvg aggregator
+        // with fan-in 32 never holds more than one full-length vector,
+        // while a buffering method holds one per child.
+        let model = 1024usize;
+        let mut fed = FedAvg.accumulator();
+        let mut med = CoordinateMedian.accumulator();
+        for child in 0..32u32 {
+            let params: Vec<f32> = (0..model).map(|i| (i as f32) + child as f32).collect();
+            fed.fold(&params, 10).unwrap();
+            med.fold(&params, 10).unwrap();
+            assert!(
+                fed.buffered_vectors() <= 1,
+                "fedavg buffered {} vectors after {} folds",
+                fed.buffered_vectors(),
+                child + 1
+            );
+            assert_eq!(med.buffered_vectors(), child as usize + 1);
+        }
+        assert_eq!(fed.count(), 32);
+        assert_eq!(fed.total_weight(), 320);
+        let out = fed.finish().unwrap();
+        assert_eq!(out.len(), model);
+        // Mean of (i + child) over children 0..32 is i + 15.5.
+        assert!((out[0] - 15.5).abs() < 1e-4);
+        assert!((out[7] - 22.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn streaming_fold_matches_batch_aggregate() {
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|r| (0..16).map(|i| (r * 16 + i) as f32 * 0.5 - 10.0).collect())
+            .collect();
+        let weights = [3u64, 1, 7, 2, 5];
+        let inputs: Vec<Contribution<'_>> = rows
+            .iter()
+            .zip(weights)
+            .map(|(r, w)| (r.as_slice(), w))
+            .collect();
+        for method in ["fedavg", "median", "trimmed_mean"] {
+            let method = by_name(method).unwrap();
+            let batch = method.aggregate(&inputs).unwrap();
+            let mut acc = method.accumulator();
+            for (p, w) in &inputs {
+                acc.fold(p, *w).unwrap();
+            }
+            let streamed = acc.finish().unwrap();
+            for (a, b) in batch.iter().zip(&streamed) {
+                assert!((a - b).abs() < 1e-5, "{}: {a} vs {b}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn failed_fold_leaves_accumulator_usable() {
+        let mut acc = FedAvg.accumulator();
+        acc.fold(&[1.0, 2.0], 1).unwrap();
+        assert!(acc.fold(&[1.0], 1).is_err(), "length mismatch rejected");
+        assert_eq!(acc.count(), 1, "bad fold not counted");
+        acc.fold(&[3.0, 4.0], 1).unwrap();
+        let out = acc.finish().unwrap();
+        assert!((out[0] - 2.0).abs() < 1e-6);
+        assert!((out[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finish_without_folds_errors() {
+        for method in ["fedavg", "median", "trimmed_mean"] {
+            let acc = by_name(method).unwrap().accumulator();
+            assert!(acc.finish().is_err(), "{method}");
         }
     }
 }

@@ -7,7 +7,7 @@
 //! CRC-checked chunks → reassemble) on arbitrary topics.
 
 use crate::error::Result;
-use crate::messages::Blob;
+use crate::messages::{Blob, UpdateMeta};
 use crate::wirecodec::WireVersion;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -16,9 +16,19 @@ use sdflmq_mqttfc::batching::{split, BatchConfig, PushResult, Reassembler};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Handler invoked with each fully reassembled blob, along with the wire
-/// version its metadata used (so relays can answer in kind).
-pub type BlobHandler = Arc<dyn Fn(Blob, WireVersion) + Send + Sync>;
+/// Per-delivery context passed to blob handlers: the metadata wire
+/// version the sender used (so relays can answer in kind) and the
+/// update-codec metadata from the blob header.
+#[derive(Debug, Clone, Copy)]
+pub struct BlobCtx {
+    /// Wire version of the blob's metadata header.
+    pub version: WireVersion,
+    /// How the parameter payload is encoded.
+    pub update: UpdateMeta,
+}
+
+/// Handler invoked with each fully reassembled blob.
+pub type BlobHandler = Arc<dyn Fn(Blob, BlobCtx) + Send + Sync>;
 
 /// A blob pub/sub endpoint bound to one MQTT client.
 #[derive(Clone)]
@@ -28,6 +38,7 @@ pub struct BlobChannel {
     qos: QoS,
     transfer_base: u64,
     next_transfer: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl BlobChannel {
@@ -44,7 +55,17 @@ impl BlobChannel {
             qos,
             transfer_base: base,
             next_transfer: Arc::new(AtomicU64::new(1)),
+            dropped: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Transfers this endpoint received but could not deliver: corrupt
+    /// chunks, unparseable blob frames, or reassembly failures. Each one
+    /// was silently discarded on the data path (the sender's QoS handles
+    /// transport loss; corruption means a protocol bug or malicious
+    /// peer) — this counter makes that loss observable.
+    pub fn dropped_transfers(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Publishes a blob to `topic` with v1 (JSON) metadata — the version
@@ -64,7 +85,19 @@ impl BlobChannel {
         blob: &Blob,
         version: WireVersion,
     ) -> Result<()> {
-        let encoded = blob.encode(version);
+        self.publish_update(topic, blob, version, &UpdateMeta::default())
+    }
+
+    /// Publishes a blob whose payload uses a non-default update codec,
+    /// declaring it in the metadata header.
+    pub fn publish_update(
+        &self,
+        topic: &TopicName,
+        blob: &Blob,
+        version: WireVersion,
+        update: &UpdateMeta,
+    ) -> Result<()> {
+        let encoded = blob.encode_update(version, update);
         let transfer_id = self.transfer_base ^ self.next_transfer.fetch_add(1, Ordering::Relaxed);
         for frame in split(&encoded, transfer_id, &self.batch) {
             self.client.publish(topic, frame, self.qos, false)?;
@@ -73,12 +106,14 @@ impl BlobChannel {
     }
 
     /// Subscribes to `filter` (wildcards allowed), invoking `handler` for
-    /// every complete, valid blob. Corrupt transfers are dropped silently
-    /// (the sender's QoS handles transport loss; corruption here means a
-    /// protocol bug or malicious peer).
+    /// every complete, valid blob. Corrupt transfers are dropped (the
+    /// sender's QoS handles transport loss; corruption here means a
+    /// protocol bug or malicious peer) and counted in
+    /// [`BlobChannel::dropped_transfers`].
     pub fn subscribe(&self, filter: &TopicFilter, handler: BlobHandler) -> Result<()> {
         let reassembler = Mutex::new(Reassembler::new(self.batch.clone()));
         let counter = AtomicU64::new(0);
+        let dropped = Arc::clone(&self.dropped);
         self.client.subscribe_with(
             filter,
             self.qos,
@@ -89,9 +124,17 @@ impl BlobChannel {
                 let result = reassembler
                     .lock()
                     .push(publish.topic.as_str(), publish.payload.clone());
-                if let Ok(PushResult::Complete(body)) = result {
-                    if let Ok((blob, version)) = Blob::decode_versioned(body) {
-                        handler(blob, version);
+                match result {
+                    Ok(PushResult::Complete(body)) => match Blob::decode_update(body) {
+                        Ok((blob, update, version)) => handler(blob, BlobCtx { version, update }),
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    // Duplicates are QoS redelivery, not data loss.
+                    Ok(PushResult::Incomplete { .. }) | Ok(PushResult::Duplicate) => {}
+                    Err(_) => {
+                        dropped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }),
@@ -196,6 +239,38 @@ mod tests {
             .unwrap();
         let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn corrupt_transfers_are_counted_not_delivered() {
+        let broker = Broker::start_default();
+        let rx_chan = channel(&broker, "rxd");
+        let (tx, rx) = bounded(2);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("params/corrupt").unwrap(),
+                Arc::new(move |b, _| {
+                    let _ = tx.send(b);
+                }),
+            )
+            .unwrap();
+        assert_eq!(rx_chan.dropped_transfers(), 0);
+        let tx_chan = channel(&broker, "txd");
+        let topic = TopicName::new("params/corrupt").unwrap();
+        // A completed transfer whose body is not a blob frame: reassembly
+        // succeeds, decoding fails, the transfer is dropped and counted.
+        for frame in split(b"not a blob frame", 99, &BatchConfig::default()) {
+            tx_chan
+                .client()
+                .publish(&topic, frame, QoS::AtLeastOnce, false)
+                .unwrap();
+        }
+        // A valid blob still flows on the same subscription.
+        let sent = blob(vec![7u8; 1000]);
+        tx_chan.publish(&topic, &sent).unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, sent);
+        assert_eq!(rx_chan.dropped_transfers(), 1);
     }
 
     #[test]

@@ -24,12 +24,12 @@
 //! parent; and an `evicted` command tears the session handle down,
 //! surfacing [`WaitOutcome::Evicted`] to the training loop.
 
-use crate::aggregation::{AggregationMethod, FedAvg};
-use crate::blob::BlobChannel;
+use crate::aggregation::{Accumulator, AggregationMethod, FedAvg};
+use crate::blob::{BlobChannel, BlobCtx};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
 use crate::messages::{
-    Blob, ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg,
+    Blob, ContribMsg, CtrlMsg, JoinRequest, NewSessionRequest, RoundDone, StatsMsg, UpdateMeta,
 };
 use crate::model_controller::ModelController;
 use crate::roles::{PreferredRole, RoleSpec};
@@ -40,9 +40,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
 use sdflmq_mqttfc::{FleetController, RfcConfig};
-use sdflmq_nn::params as nn_params;
+use sdflmq_nn::codec::UpdateCodec;
 use sdflmq_sim::{ClientSystem, SystemSpec};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,6 +59,11 @@ pub struct SdflmqClientConfig {
     pub system_seed: u64,
     /// MQTTFC transport settings (chunking, compression, QoS).
     pub rfc: RfcConfig,
+    /// The richest update codec this client supports (and volunteers for
+    /// its sessions' data plane). The coordinator negotiates the session
+    /// codec as the floor across all members, so a single dense-only
+    /// member keeps everyone on dense f32.
+    pub update_codec: UpdateCodec,
 }
 
 impl Default for SdflmqClientConfig {
@@ -68,8 +74,22 @@ impl Default for SdflmqClientConfig {
             system: SystemSpec::edge_medium(),
             system_seed: 0,
             rfc: RfcConfig::default(),
+            update_codec: UpdateCodec::Dense,
         }
     }
+}
+
+/// Data-plane health counters for one client (see
+/// [`SdflmqClient::data_plane_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataPlaneStats {
+    /// Transfers the blob channel received but discarded: corrupt chunks,
+    /// reassembly failures, unparseable blob frames.
+    pub dropped_transfers: u64,
+    /// Well-framed blobs whose *payload* could not be decoded: unknown
+    /// codec id, corrupt encoding, or a delta against a base this client
+    /// does not hold.
+    pub undecodable_updates: u64,
 }
 
 /// Events surfaced to [`SdflmqClient::wait_global_update`].
@@ -144,18 +164,31 @@ struct LastSent {
     round: u32,
     params: Vec<f32>,
     weight: u64,
+    /// The round's first wire encoding, cached because encoding is
+    /// *stateful*: the error-feedback residual folds in exactly once per
+    /// round, so a re-send must republish these bytes rather than
+    /// re-encode (which would double-count the residual).
+    encoded: Option<(Vec<u8>, UpdateMeta)>,
 }
 
-/// A per-round parameter stack keyed by sender id: duplicate deliveries
-/// (re-sends after re-delegation) replace rather than double-count, and
-/// iteration order is deterministic for the aggregation rule.
-type ParamStack = BTreeMap<String, (Vec<f32>, u64)>;
+/// A per-round streaming aggregation stack: each child's decoded update
+/// is folded into the accumulator *as it completes* — for FedAvg the
+/// aggregator holds one running sum (O(model) peak memory, independent of
+/// fan-in) instead of a full vector per child. Sender-keyed dedup is
+/// preserved by folding only the **first** contribution per sender per
+/// round: a fold cannot be retracted, so re-sends after a re-delegation
+/// are dropped here (and the whole stack is rebuilt from scratch when the
+/// plan actually changes, which is the only time a re-send could differ).
+struct RoundStack {
+    acc: Box<dyn Accumulator>,
+    senders: BTreeSet<String>,
+}
 
 struct SessionHandle {
     role: Option<RoleSpec>,
     subscribed_position: Option<Position>,
-    /// Parameter stacks keyed by round.
-    stacks: HashMap<u32, ParamStack>,
+    /// Streaming aggregation stacks keyed by round.
+    stacks: HashMap<u32, RoundStack>,
     /// The round most recently announced via `round_start` (0 = none).
     /// Contributions for earlier rounds are dropped, and stacks from
     /// closed rounds are pruned when this advances — stragglers and
@@ -182,6 +215,10 @@ struct Inner {
     mc: Mutex<ModelController>,
     sessions: Mutex<HashMap<SessionId, SessionHandle>>,
     system: Mutex<ClientSystem>,
+    /// The richest update codec this client supports (advertised at join).
+    update_codec: UpdateCodec,
+    /// Blobs whose payload failed to decode (see [`DataPlaneStats`]).
+    undecodable_updates: AtomicU64,
 }
 
 /// A connected SDFLMQ contributor.
@@ -217,6 +254,8 @@ impl SdflmqClient {
             mc: Mutex::new(ModelController::new()),
             sessions: Mutex::new(HashMap::new()),
             system: Mutex::new(ClientSystem::new(config.system, config.system_seed)),
+            update_codec: config.update_codec,
+            undecodable_updates: AtomicU64::new(0),
         });
 
         // Control function: role arbiter + session lifecycle. Decoding
@@ -275,6 +314,7 @@ impl SdflmqClient {
             fl_rounds,
             preferred_role,
             proto: WireVersion::LATEST.as_u8(),
+            codec: self.inner.update_codec.id(),
         };
         // Session requests always go out as JSON v1 so any coordinator can
         // read them; the `proto` field advertises what we support.
@@ -325,9 +365,9 @@ impl SdflmqClient {
         self.inner.blobs.subscribe(
             &TopicFilter::new(global_topic(session_id).as_str().to_owned())
                 .expect("global topic is a valid filter"),
-            Arc::new(move |blob: Blob, _version: WireVersion| {
+            Arc::new(move |blob: Blob, ctx: BlobCtx| {
                 if let Some(inner) = global_inner.upgrade() {
-                    Self::handle_global(&inner, &sid, blob);
+                    Self::handle_global(&inner, &sid, blob, &ctx.update);
                 }
             }),
         )?;
@@ -341,6 +381,7 @@ impl SdflmqClient {
             num_samples,
             stats,
             proto: WireVersion::LATEST.as_u8(),
+            codec: self.inner.update_codec.id(),
         };
         let reply = self
             .inner
@@ -379,6 +420,16 @@ impl SdflmqClient {
             .map(|handle| handle.wire)
     }
 
+    /// Data-plane health counters: transfers dropped by the blob channel
+    /// and payloads that failed to decode. Monotonic over the client's
+    /// lifetime, across all its sessions.
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        DataPlaneStats {
+            dropped_transfers: self.inner.blobs.dropped_transfers(),
+            undecodable_updates: self.inner.undecodable_updates.load(Ordering::Relaxed),
+        }
+    }
+
     /// Registers the local model for a session (Listing 1: `set_model`).
     pub fn set_model(&self, session_id: &SessionId, params: &[f32]) -> Result<()> {
         let num_samples = {
@@ -405,6 +456,11 @@ impl SdflmqClient {
         let (params, weight) = {
             let mc = self.inner.mc.lock();
             let entry = mc.get(session_id)?;
+            if entry.params.is_empty() {
+                // A global-tracking entry (created by a broadcast arriving
+                // before `set_model`) is not a local model.
+                return Err(CoreError::NoModel(session_id.as_str().to_owned()));
+            }
             (entry.params.clone(), entry.num_samples)
         };
         // Block until the coordinator has opened a round (the session may
@@ -424,10 +480,18 @@ impl SdflmqClient {
             let handle = sessions
                 .get_mut(session_id)
                 .ok_or_else(|| CoreError::UnknownSession(session_id.as_str().into()))?;
+            // A repeated send_local in the same round keeps the cached
+            // encoding (the model is unchanged until the next global).
+            let keep = handle
+                .last_sent
+                .take()
+                .filter(|last| last.round == round && last.params == params)
+                .and_then(|last| last.encoded);
             handle.last_sent = Some(LastSent {
                 round,
                 params: params.clone(),
                 weight,
+                encoded: keep,
             });
             handle
                 .role
@@ -443,8 +507,37 @@ impl SdflmqClient {
         Ok(())
     }
 
+    /// Decodes an inbound payload, taking the model-controller lock only
+    /// when the codec actually needs the stored delta base.
+    fn decode_inbound(
+        inner: &Inner,
+        session_id: &SessionId,
+        update: &UpdateMeta,
+        payload: &[u8],
+    ) -> Result<Vec<f32>> {
+        if ModelController::decode_needs_base(update) {
+            inner.mc.lock().decode_update(session_id, update, payload)
+        } else {
+            ModelController::decode_update_stateless(update, payload)
+        }
+    }
+
+    /// The update codec for a role's data plane: the session-floor id the
+    /// coordinator stamped, using this client's own configured variant
+    /// when the ids match (so a locally tuned top-k density survives
+    /// negotiation).
+    fn data_codec(inner: &Inner, role: &RoleSpec) -> UpdateCodec {
+        match UpdateCodec::from_id(role.data_codec) {
+            Some(codec) if codec.id() == inner.update_codec.id() => inner.update_codec,
+            Some(codec) => codec,
+            None => UpdateCodec::Dense,
+        }
+    }
+
     /// Routes a local contribution: aggregating clients feed their own
-    /// stack, trainers publish to their cluster head's position topic.
+    /// stack (raw — no reason to pay encoding loss on a vector that never
+    /// touches the wire), trainers encode with the session codec and
+    /// publish to their cluster head's position topic.
     fn contribute(
         inner: &Arc<Inner>,
         session_id: &SessionId,
@@ -464,20 +557,50 @@ impl SdflmqClient {
                 weight,
             )
         } else {
+            // Reuse the round's cached encoding if there is one: the
+            // error-feedback residual folds in exactly once per round, so
+            // a re-delegation re-send republishes the same bytes instead
+            // of re-running the stateful encode (which would double-count
+            // the residual into the owed delta).
+            let cached = {
+                let sessions = inner.sessions.lock();
+                sessions
+                    .get(session_id)
+                    .and_then(|handle| handle.last_sent.as_ref())
+                    .filter(|last| last.round == round)
+                    .and_then(|last| last.encoded.clone())
+            };
+            let (payload, update) = match cached {
+                Some(pair) => pair,
+                None => {
+                    let codec = Self::data_codec(inner, &role);
+                    let pair = inner.mc.lock().encode_update(session_id, codec, &params)?;
+                    let mut sessions = inner.sessions.lock();
+                    if let Some(last) = sessions
+                        .get_mut(session_id)
+                        .and_then(|handle| handle.last_sent.as_mut())
+                        .filter(|last| last.round == round)
+                    {
+                        last.encoded = Some(pair.clone());
+                    }
+                    pair
+                }
+            };
             let blob = Blob {
                 session_id: session_id.clone(),
                 round,
                 sender: inner.id.as_str().to_owned(),
                 weight,
-                params: Bytes::from(nn_params::serialize(&params)),
+                params: Bytes::from(payload),
             };
             // Blobs travel client → client: use the session-wide floor
             // version the coordinator stamped into the role, not this
             // client's own negotiation result.
-            inner.blobs.publish_versioned(
+            inner.blobs.publish_update(
                 &position_topic(session_id, role.parent),
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
+                &update,
             )
         }
     }
@@ -740,22 +863,32 @@ impl SdflmqClient {
                 .expect("valid");
             inner.blobs.subscribe(
                 &filter,
-                Arc::new(move |blob: Blob, _version: WireVersion| {
+                Arc::new(move |blob: Blob, ctx: BlobCtx| {
                     let Some(inner) = ingest_inner.upgrade() else {
                         return;
                     };
                     if blob.session_id != sid {
                         return;
                     }
-                    if let Ok(params) = nn_params::deserialize(&blob.params) {
-                        let _ = Self::ingest_contribution(
-                            &inner,
-                            &sid,
-                            blob.round,
-                            blob.sender.clone(),
-                            params,
-                            blob.weight,
-                        );
+                    // Decode with the header's codec; delta payloads
+                    // reconstruct against this client's applied global.
+                    // Full-vector payloads decode without the controller
+                    // lock — this is the fan-in hot path.
+                    let decoded = Self::decode_inbound(&inner, &sid, &ctx.update, &blob.params);
+                    match decoded {
+                        Ok(params) => {
+                            let _ = Self::ingest_contribution(
+                                &inner,
+                                &sid,
+                                blob.round,
+                                blob.sender.clone(),
+                                params,
+                                blob.weight,
+                            );
+                        }
+                        Err(_) => {
+                            inner.undecodable_updates.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }),
             )?;
@@ -776,10 +909,14 @@ impl SdflmqClient {
         Self::maybe_flush(inner, session_id, spec.round)
     }
 
-    /// Aggregation pipeline: stacks a contribution keyed by sender.
-    /// Stale-round contributions (the round already closed under quorum or
-    /// re-delegation) are dropped rather than stacked, and duplicates
-    /// replace, so re-sends never double-count.
+    /// Aggregation pipeline: folds a contribution straight into the
+    /// round's streaming accumulator, keyed by sender. Stale-round
+    /// contributions (the round already closed under quorum or
+    /// re-delegation) are dropped rather than folded, and only the first
+    /// contribution per sender counts — a fold cannot be retracted, so
+    /// duplicates (re-sends after a re-delegation) are ignored; the
+    /// stack-clearing on re-delegation guarantees the kept copy is the
+    /// re-sent one whenever the plan changed.
     fn ingest_contribution(
         inner: &Arc<Inner>,
         session_id: &SessionId,
@@ -807,11 +944,21 @@ impl SdflmqClient {
             if round < handle.current_round || round > handle.current_round.saturating_add(1) {
                 return Ok(());
             }
-            handle
-                .stacks
-                .entry(round)
-                .or_default()
-                .insert(sender, (params, weight));
+            let stack = handle.stacks.entry(round).or_insert_with(|| RoundStack {
+                acc: inner.aggregation.accumulator(),
+                senders: BTreeSet::new(),
+            });
+            if stack.senders.contains(&sender) {
+                return Ok(()); // duplicate delivery: first fold wins
+            }
+            if stack.acc.fold(&params, weight).is_err() {
+                // A mismatched-shape contribution (corrupt or poisoned
+                // child): drop it without marking the sender, so a
+                // corrected re-send can still complete the stack.
+                inner.undecodable_updates.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            stack.senders.insert(sender);
             role
         };
         // A pure aggregator never calls send_local, so ingest progress is
@@ -825,8 +972,9 @@ impl SdflmqClient {
     }
 
     /// Flushes the round's stack if it holds the expected number of
-    /// distinct contributions: aggregates and forwards up the hierarchy
-    /// (or to the parameter server at the root), announcing liveness so
+    /// distinct contributions: finishes the streaming fold and forwards
+    /// the aggregate up the hierarchy (or to the parameter server at the
+    /// root) re-encoded with the session codec, announcing liveness so
     /// pure aggregators are also covered by the straggler detector.
     fn maybe_flush(inner: &Arc<Inner>, session_id: &SessionId, round: u32) -> Result<()> {
         let ready = {
@@ -843,7 +991,7 @@ impl SdflmqClient {
             let complete = handle
                 .stacks
                 .get(&round)
-                .is_some_and(|stack| stack.len() as u32 >= role.expected_inputs);
+                .is_some_and(|stack| stack.senders.len() as u32 >= role.expected_inputs);
             if complete {
                 let stack = handle.stacks.remove(&round).expect("stack exists");
                 Some((role, stack))
@@ -853,27 +1001,31 @@ impl SdflmqClient {
         };
 
         if let Some((role, stack)) = ready {
-            let inputs: Vec<(Vec<f32>, u64)> = stack.into_values().collect();
-            let contributions: Vec<(&[f32], u64)> =
-                inputs.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
-            let aggregated = inner.aggregation.aggregate(&contributions)?;
-            let total_weight: u64 = inputs.iter().map(|(_, w)| *w).sum();
+            let total_weight = stack.acc.total_weight();
+            let aggregated = stack.acc.finish()?;
+            let codec = Self::data_codec(inner, &role);
+            let (payload, update) =
+                inner
+                    .mc
+                    .lock()
+                    .encode_aggregate(session_id, codec, &aggregated);
             let blob = Blob {
                 session_id: session_id.clone(),
                 round,
                 sender: inner.id.as_str().to_owned(),
                 weight: total_weight,
-                params: Bytes::from(nn_params::serialize(&aggregated)),
+                params: Bytes::from(payload),
             };
             let destination = if role.is_root() {
                 param_server_topic(session_id)
             } else {
                 position_topic(session_id, role.parent)
             };
-            inner.blobs.publish_versioned(
+            inner.blobs.publish_update(
                 &destination,
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
+                &update,
             )?;
             Self::send_contrib_ping(inner, session_id, round);
         }
@@ -882,11 +1034,15 @@ impl SdflmqClient {
 
     /// Global update synchronizer: applies a parameter-server broadcast,
     /// drifts the simulated system, and reports round completion.
-    fn handle_global(inner: &Arc<Inner>, session_id: &SessionId, blob: Blob) {
+    fn handle_global(inner: &Arc<Inner>, session_id: &SessionId, blob: Blob, update: &UpdateMeta) {
         if &blob.session_id != session_id {
             return;
         }
-        let Ok(params) = nn_params::deserialize(&blob.params) else {
+        // Decode outside the lock where possible; a delta global decoded
+        // against a base that a concurrent newer global replaces is caught
+        // by apply_global's stale-round check.
+        let Ok(params) = Self::decode_inbound(inner, session_id, update, &blob.params) else {
+            inner.undecodable_updates.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let applied = {

@@ -184,6 +184,7 @@ pub fn build_plan(
                 expected_inputs: 0,
                 round,
                 data_wire: 1,
+                data_codec: 0,
             },
         });
     }
@@ -203,6 +204,7 @@ pub fn build_plan(
                 expected_inputs: inputs_per_intermediate[k] + own,
                 round,
                 data_wire: 1,
+                data_codec: 0,
             },
         });
     }
@@ -218,6 +220,7 @@ pub fn build_plan(
             expected_inputs: root_inputs + u32::from(root_role.trains()),
             round,
             data_wire: 1,
+            data_codec: 0,
         },
     });
 

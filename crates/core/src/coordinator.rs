@@ -361,6 +361,7 @@ impl Coordinator {
                 quorum,
                 grace,
                 max_missed_rounds,
+                data_codec: req.codec,
             }),
         );
         Ok(())
@@ -388,6 +389,9 @@ impl Coordinator {
                 &req.model_name,
             )?;
             session.wire.insert(req.client_id.clone(), negotiated);
+            session
+                .codec_support
+                .insert(req.client_id.clone(), req.codec);
             session.clients.len() >= session.config.capacity_max
         };
         if start_now {
@@ -1021,10 +1025,10 @@ fn wire_of(wire: &HashMap<ClientId, WireVersion>, client: &ClientId) -> WireVers
     wire.get(client).copied().unwrap_or(WireVersion::V1Json)
 }
 
-/// Stamps every assignment with the session's data-plane wire version:
-/// blobs flow client → client, so the sender must use the *minimum*
-/// version negotiated across all members — any aggregator could be the
-/// receiver.
+/// Stamps every assignment with the session's data-plane negotiation
+/// results: the blob-metadata wire version and the update codec, both the
+/// *minimum* across all members — blobs flow client → client, so any
+/// aggregator could be the receiver and must be able to decode.
 fn stamp_data_wire(plan: &mut crate::clustering::ClusterPlan, session: &FlSession) {
     let floor = session
         .clients
@@ -1032,8 +1036,10 @@ fn stamp_data_wire(plan: &mut crate::clustering::ClusterPlan, session: &FlSessio
         .map(|c| session.wire_version(&c.id))
         .min()
         .unwrap_or(WireVersion::V1Json);
+    let codec = session.data_codec();
     for assignment in &mut plan.assignments {
         assignment.spec.data_wire = floor.as_u8();
+        assignment.spec.data_codec = codec;
     }
 }
 

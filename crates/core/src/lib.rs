@@ -55,18 +55,21 @@ pub mod simrun;
 pub mod topics;
 pub mod wirecodec;
 
-pub use aggregation::{AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
-pub use client::{SdflmqClient, SdflmqClientConfig, WaitOutcome};
+pub use aggregation::{Accumulator, AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
+pub use blob::BlobCtx;
+pub use client::{DataPlaneStats, SdflmqClient, SdflmqClientConfig, WaitOutcome};
 pub use clustering::{build_plan, diff_plans, ClientInfo, ClusterPlan, Topology};
 pub use coordinator::{Coordinator, CoordinatorConfig, COORDINATOR_ID};
 pub use error::{CoreError, Result};
 pub use genetic::{GeneticConfig, GeneticPlacement};
 pub use ids::{ClientId, ModelId, SessionId};
+pub use messages::UpdateMeta;
 pub use optimizer::{
     CompositeScore, MemoryAware, RandomPlacement, RoleOptimizer, RoundRobin, StaticOrder,
 };
 pub use param_server::{ParamServer, PARAM_SERVER_ID};
 pub use roles::{PreferredRole, Role, RoleSpec};
+pub use sdflmq_nn::codec::UpdateCodec;
 pub use simrun::{simulate, RoundBreakdown, SimConfig, SimConfigBuilder, SimReport};
 pub use topics::Position;
 pub use wirecodec::{

@@ -45,6 +45,10 @@ pub struct NewSessionRequest {
     /// [`WireVersion::negotiate`]). Legacy JSON docs without the field
     /// decode as `1`.
     pub proto: u8,
+    /// Highest update-codec id the creator wants for the session's data
+    /// plane ([`sdflmq_nn::codec`] ids; 0 = dense f32, the legacy
+    /// default). The coordinator caps it at every member's support.
+    pub codec: u8,
 }
 
 /// Request to join an existing session (paper Fig. 4b).
@@ -65,6 +69,9 @@ pub struct JoinRequest {
     /// Highest wire version the sender supports (see
     /// [`WireVersion::negotiate`]).
     pub proto: u8,
+    /// Highest update-codec id this client supports (0 = dense only, the
+    /// legacy default; see [`sdflmq_nn::codec`]).
+    pub codec: u8,
 }
 
 /// System stats in wire form.
@@ -152,7 +159,26 @@ pub enum CtrlMsg {
     },
 }
 
-/// A parameter blob: metadata header + raw `f32` little-endian payload.
+/// Data-plane codec metadata carried in a blob header: how the parameter
+/// payload is encoded. The all-zero default is the legacy dense-f32 wire
+/// form (and is omitted from JSON v1 headers, keeping them byte-identical
+/// to pre-codec senders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateMeta {
+    /// Update-codec id (`sdflmq_nn::codec`: 0 dense, 1 fp16, 2 int8,
+    /// 3 top-k sparse delta).
+    pub codec: u8,
+    /// Decoded element count (0 = unspecified, for legacy senders).
+    pub elems: u64,
+    /// For delta codecs: the global round of the base vector the payload
+    /// is a delta against (0 = the all-zeros base, i.e. no global applied
+    /// yet). Receivers whose applied global round differs cannot
+    /// reconstruct the update.
+    pub delta_base: u32,
+}
+
+/// A parameter blob: metadata header + encoded parameter payload (raw
+/// little-endian `f32`s under the default dense codec).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Blob {
     /// Session the parameters belong to.
@@ -163,15 +189,22 @@ pub struct Blob {
     pub sender: String,
     /// FedAvg weight: number of samples this vector represents.
     pub weight: u64,
-    /// Flat parameter bytes (`sdflmq_nn::params` format).
+    /// Encoded parameter bytes (`sdflmq_nn::params` format for dense, or
+    /// one of the `sdflmq_nn::codec` encodings — see [`UpdateMeta`]).
     pub params: Bytes,
 }
 
 impl Blob {
     /// Encodes to bytes: u32 meta length + metadata (JSON v1 or binary v2
-    /// per `version`) + params.
+    /// per `version`) + params, declaring the legacy dense codec. Senders
+    /// of non-dense payloads use [`Blob::encode_update`].
     pub fn encode(&self, version: WireVersion) -> Bytes {
-        let meta = encode_blob_meta(self, version);
+        self.encode_update(version, &UpdateMeta::default())
+    }
+
+    /// Encodes with explicit update-codec metadata in the header.
+    pub fn encode_update(&self, version: WireVersion, update: &UpdateMeta) -> Bytes {
+        let meta = encode_blob_meta(self, update, version);
         let mut out = BytesMut::with_capacity(4 + meta.len() + self.params.len());
         out.put_u32(meta.len() as u32);
         out.put_slice(&meta);
@@ -187,7 +220,14 @@ impl Blob {
 
     /// Like [`Blob::decode`], also reporting which wire version the sender
     /// used (so relays can answer in kind).
-    pub fn decode_versioned(mut input: Bytes) -> Result<(Blob, WireVersion)> {
+    pub fn decode_versioned(input: Bytes) -> Result<(Blob, WireVersion)> {
+        let (blob, _, version) = Blob::decode_update(input)?;
+        Ok((blob, version))
+    }
+
+    /// Full decode: the blob, its update-codec metadata (all-zero for
+    /// legacy dense headers), and the metadata wire version.
+    pub fn decode_update(mut input: Bytes) -> Result<(Blob, UpdateMeta, WireVersion)> {
         if input.remaining() < 4 {
             return Err(CoreError::Protocol("blob too short".into()));
         }
@@ -204,6 +244,11 @@ impl Blob {
                 sender: meta.sender,
                 weight: meta.weight,
                 params: input,
+            },
+            UpdateMeta {
+                codec: meta.codec,
+                elems: meta.elems,
+                delta_base: meta.delta_base,
             },
             version,
         ))
@@ -232,6 +277,53 @@ mod tests {
             assert_eq!(decoded, blob);
             assert_eq!(got, version);
         }
+    }
+
+    #[test]
+    fn blob_update_meta_roundtrips_and_defaults() {
+        let blob = Blob {
+            session_id: SessionId::new("s9").unwrap(),
+            round: 4,
+            sender: "c3".into(),
+            weight: 600,
+            params: Bytes::from(vec![1u8, 2, 3]),
+        };
+        let update = UpdateMeta {
+            codec: 3,
+            elems: 109_386,
+            delta_base: 3,
+        };
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let frame = blob.encode_update(version, &update);
+            let (decoded, got_update, got_version) = Blob::decode_update(frame).unwrap();
+            assert_eq!(decoded, blob);
+            assert_eq!(got_update, update);
+            assert_eq!(got_version, version);
+        }
+        // A plain `encode` declares the legacy dense default, and a
+        // legacy JSON header without the codec fields decodes to it.
+        let (_, update, _) = Blob::decode_update(blob.encode(WireVersion::V1Json)).unwrap();
+        assert_eq!(update, UpdateMeta::default());
+    }
+
+    #[test]
+    fn dense_v1_header_is_byte_identical_to_legacy() {
+        // The codec fields are omitted from JSON when zero, so a dense v1
+        // blob's bytes are exactly what a pre-codec sender produced.
+        let blob = Blob {
+            session_id: SessionId::new("s1").unwrap(),
+            round: 2,
+            sender: "c1".into(),
+            weight: 5,
+            params: Bytes::from(vec![0u8; 4]),
+        };
+        let frame = blob.encode(WireVersion::V1Json);
+        let meta_len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        let meta = std::str::from_utf8(&frame[4..4 + meta_len]).unwrap();
+        assert_eq!(
+            meta,
+            r#"{"round":2,"sender":"c1","session_id":"s1","weight":5}"#
+        );
     }
 
     #[test]

@@ -5,9 +5,19 @@
 //! The training pipeline reads/writes through this controller, and the
 //! global-update synchronizer replaces the parameters when a new global
 //! model arrives.
+//!
+//! The controller is also the home of the data plane's per-model codec
+//! state: the **last applied global** (the shared base vector delta
+//! codecs encode against) and the **error-feedback residual** (what lossy
+//! encodings of this client's own updates still owe the fleet — folded
+//! into the next round's encoding so quantization error corrects instead
+//! of compounding). Both live here rather than in the codec because they
+//! are properties of *this model's stream*, not of the encoding.
 
 use crate::error::{CoreError, Result};
 use crate::ids::SessionId;
+use crate::messages::UpdateMeta;
+use sdflmq_nn::codec::UpdateCodec;
 use std::collections::HashMap;
 
 /// State of one session's model on this client.
@@ -19,6 +29,12 @@ pub struct ModelEntry {
     pub num_samples: u64,
     /// Last global round applied (0 = none yet).
     pub global_round: u32,
+    /// The last applied global model — the base vector delta codecs
+    /// encode/decode against. Empty until the first global arrives
+    /// (delta base round 0 = the all-zeros vector).
+    pub last_global: Vec<f32>,
+    /// Error-feedback residual for this model's outgoing lossy updates.
+    pub residual: Vec<f32>,
 }
 
 /// Per-session model store.
@@ -33,21 +49,27 @@ impl ModelController {
         ModelController::default()
     }
 
-    /// Registers or replaces the local model for a session.
+    /// Registers or replaces the local model for a session. Codec state
+    /// (global marker, base, residual) survives local re-training.
     pub fn set_model(&mut self, session: &SessionId, params: Vec<f32>, num_samples: u64) {
-        let global_round = self
-            .models
-            .get(session)
-            .map(|e| e.global_round)
-            .unwrap_or(0);
-        self.models.insert(
-            session.clone(),
-            ModelEntry {
-                params,
-                num_samples,
-                global_round,
-            },
-        );
+        match self.models.get_mut(session) {
+            Some(entry) => {
+                entry.params = params;
+                entry.num_samples = num_samples;
+            }
+            None => {
+                self.models.insert(
+                    session.clone(),
+                    ModelEntry {
+                        params,
+                        num_samples,
+                        global_round: 0,
+                        last_global: Vec::new(),
+                        residual: Vec::new(),
+                    },
+                );
+            }
+        }
     }
 
     /// Reads the model entry for a session.
@@ -57,9 +79,14 @@ impl ModelController {
             .ok_or_else(|| CoreError::NoModel(session.as_str().to_owned()))
     }
 
-    /// Applies a global update: replaces parameters and advances the round
-    /// marker. Stale updates (round ≤ last applied) are ignored and
-    /// reported as `false`.
+    /// Applies a global update: replaces parameters, advances the round
+    /// marker, and records the new delta base. Stale updates (round ≤
+    /// last applied) are ignored and reported as `false`.
+    ///
+    /// A session with no registered model gets a tracking entry: a *pure
+    /// aggregator* never calls `set_model`, but it must still follow the
+    /// global stream — the applied round and base vector are what let it
+    /// decode its children's delta contributions in later rounds.
     pub fn apply_global(
         &mut self,
         session: &SessionId,
@@ -68,8 +95,14 @@ impl ModelController {
     ) -> Result<bool> {
         let entry = self
             .models
-            .get_mut(session)
-            .ok_or_else(|| CoreError::NoModel(session.as_str().to_owned()))?;
+            .entry(session.clone())
+            .or_insert_with(|| ModelEntry {
+                params: Vec::new(),
+                num_samples: 0,
+                global_round: 0,
+                last_global: Vec::new(),
+                residual: Vec::new(),
+            });
         if round <= entry.global_round {
             return Ok(false);
         }
@@ -80,9 +113,128 @@ impl ModelController {
                 entry.params.len()
             )));
         }
+        entry.last_global = params.clone();
         entry.params = params;
         entry.global_round = round;
         Ok(true)
+    }
+
+    /// Encodes `params` as this session's outgoing update with `codec`,
+    /// folding the stored error-feedback residual in (and updating it
+    /// with what this encoding dropped). Returns the payload and the
+    /// header metadata (codec id, element count, delta base round).
+    pub fn encode_update(
+        &mut self,
+        session: &SessionId,
+        codec: UpdateCodec,
+        params: &[f32],
+    ) -> Result<(Vec<u8>, UpdateMeta)> {
+        let entry = self
+            .models
+            .get_mut(session)
+            .ok_or_else(|| CoreError::NoModel(session.as_str().to_owned()))?;
+        // Split borrows: the base is read from `last_global` while the
+        // residual is written, both fields of the same entry.
+        let ModelEntry {
+            last_global,
+            residual,
+            global_round,
+            ..
+        } = entry;
+        let (base, delta_base) = delta_base_of(codec, *global_round, last_global, params.len());
+        let bytes = codec.encode(params, base, residual);
+        Ok((
+            bytes,
+            UpdateMeta {
+                codec: codec.id(),
+                elems: params.len() as u64,
+                delta_base,
+            },
+        ))
+    }
+
+    /// Encodes a relayed aggregate (no error feedback: an aggregator's
+    /// truncation error has no next round to be retried in).
+    pub fn encode_aggregate(
+        &self,
+        session: &SessionId,
+        codec: UpdateCodec,
+        params: &[f32],
+    ) -> (Vec<u8>, UpdateMeta) {
+        // Delta encoding needs a matching base; an aggregator without one
+        // (no model registered, e.g. a pure relay) falls back to dense —
+        // payloads are self-describing, so receivers follow the header.
+        let (codec, base, delta_base) = match self.models.get(session) {
+            Some(entry) if codec.is_delta() => {
+                let (base, delta_base) =
+                    delta_base_of(codec, entry.global_round, &entry.last_global, params.len());
+                (codec, base, delta_base)
+            }
+            None if codec.is_delta() => (UpdateCodec::Dense, None, 0),
+            _ => (codec, None, 0),
+        };
+        let bytes = codec.encode_stateless(params, base);
+        (
+            bytes,
+            UpdateMeta {
+                codec: codec.id(),
+                elems: params.len() as u64,
+                delta_base,
+            },
+        )
+    }
+
+    /// True when decoding a payload with this metadata needs the stored
+    /// base vector (and therefore the controller). Payloads for which
+    /// this is false decode through
+    /// [`ModelController::decode_update_stateless`] without any lock.
+    pub fn decode_needs_base(update: &UpdateMeta) -> bool {
+        UpdateCodec::from_id(update.codec).is_some_and(|c| c.is_delta()) && update.delta_base > 0
+    }
+
+    /// Decodes a payload that needs no base vector — full-vector codecs
+    /// and zero-base deltas. A free function so the (model-sized) byte
+    /// decode runs outside the controller mutex on the hot ingest path.
+    pub fn decode_update_stateless(update: &UpdateMeta, payload: &[u8]) -> Result<Vec<f32>> {
+        let codec = UpdateCodec::from_id(update.codec)
+            .ok_or_else(|| CoreError::Protocol(format!("unknown update codec {}", update.codec)))?;
+        let decoded = codec
+            .decode(payload, None)
+            .map_err(|e| CoreError::Protocol(format!("undecodable update payload: {e}")))?;
+        check_elems(update, &decoded)?;
+        Ok(decoded)
+    }
+
+    /// Decodes an inbound update payload according to its header
+    /// metadata. Delta payloads reconstruct against this session's last
+    /// applied global; a `delta_base` that does not match the applied
+    /// round is undecodable and reported as a protocol error.
+    pub fn decode_update(
+        &self,
+        session: &SessionId,
+        update: &UpdateMeta,
+        payload: &[u8],
+    ) -> Result<Vec<f32>> {
+        if !Self::decode_needs_base(update) {
+            return Self::decode_update_stateless(update, payload);
+        }
+        let codec = UpdateCodec::from_id(update.codec)
+            .ok_or_else(|| CoreError::Protocol(format!("unknown update codec {}", update.codec)))?;
+        let base: Option<&[f32]> = {
+            let entry = self.get(session)?;
+            if entry.global_round != update.delta_base || entry.last_global.is_empty() {
+                return Err(CoreError::Protocol(format!(
+                    "delta base round {} does not match applied global {}",
+                    update.delta_base, entry.global_round
+                )));
+            }
+            Some(&entry.last_global)
+        };
+        let decoded = codec
+            .decode(payload, base)
+            .map_err(|e| CoreError::Protocol(format!("undecodable update payload: {e}")))?;
+        check_elems(update, &decoded)?;
+        Ok(decoded)
     }
 
     /// Removes a session's model (session complete).
@@ -98,6 +250,38 @@ impl ModelController {
     /// True when no models are tracked.
     pub fn is_empty(&self) -> bool {
         self.models.is_empty()
+    }
+}
+
+/// Cross-checks the header's element count against the decoded payload:
+/// a mismatch is corruption, caught here with a precise error rather than
+/// later as a misattributed accumulator length error. 0 means a legacy
+/// sender left the field unspecified.
+fn check_elems(update: &UpdateMeta, decoded: &[f32]) -> Result<()> {
+    if update.elems != 0 && decoded.len() as u64 != update.elems {
+        return Err(CoreError::Protocol(format!(
+            "payload decoded {} elements, header declared {}",
+            decoded.len(),
+            update.elems
+        )));
+    }
+    Ok(())
+}
+
+/// The base vector and base-round marker a delta codec should use: the
+/// last applied global when it matches the outgoing vector's length, the
+/// all-zeros base (round 0) otherwise. Both encode paths share this so
+/// the base-selection rule can never diverge between them.
+fn delta_base_of(
+    codec: UpdateCodec,
+    global_round: u32,
+    last_global: &[f32],
+    len: usize,
+) -> (Option<&[f32]>, u32) {
+    if codec.is_delta() && global_round > 0 && last_global.len() == len {
+        (Some(last_global), global_round)
+    } else {
+        (None, 0)
     }
 }
 
@@ -146,6 +330,7 @@ mod tests {
         // Local re-training replaces params but keeps the global marker.
         mc.set_model(&sid("s1"), vec![2.0], 10);
         assert_eq!(mc.get(&sid("s1")).unwrap().global_round, 3);
+        assert_eq!(mc.get(&sid("s1")).unwrap().last_global, vec![1.0]);
     }
 
     #[test]
@@ -155,5 +340,106 @@ mod tests {
         assert_eq!(mc.len(), 1);
         assert!(mc.remove(&sid("s1")).is_some());
         assert!(mc.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_codec() {
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        let params: Vec<f32> = (0..64).map(|i| i as f32 * 0.5 - 16.0).collect();
+        mc.set_model(&s, params.clone(), 10);
+        let (payload, meta) = mc.encode_update(&s, UpdateCodec::Dense, &params).unwrap();
+        assert_eq!(meta.codec, 0);
+        assert_eq!(meta.elems, 64);
+        assert_eq!(mc.decode_update(&s, &meta, &payload).unwrap(), params);
+    }
+
+    #[test]
+    fn delta_codec_uses_applied_global_as_base() {
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        let global: Vec<f32> = vec![1.0; 32];
+        mc.set_model(&s, vec![0.0; 32], 10);
+        mc.apply_global(&s, 2, global.clone()).unwrap();
+        let mut local = global.clone();
+        local[5] += 4.0;
+        let codec = UpdateCodec::TopK { per_mille: 100 };
+        let (payload, meta) = mc.encode_update(&s, codec, &local).unwrap();
+        assert_eq!(meta.delta_base, 2);
+        let decoded = mc.decode_update(&s, &meta, &payload).unwrap();
+        assert_eq!(decoded[5], local[5]);
+        assert_eq!(decoded[0], 1.0, "unshipped coords keep the base");
+        // A receiver on a different global round cannot reconstruct.
+        let mut other = ModelController::new();
+        other.set_model(&s, vec![0.0; 32], 10);
+        assert!(other.decode_update(&s, &meta, &payload).is_err());
+    }
+
+    #[test]
+    fn residual_carries_across_rounds() {
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        mc.set_model(&s, vec![0.0; 8], 1);
+        let x = vec![0.5f32; 8];
+        // int8 over a constant vector is exact, so craft a non-constant:
+        let x2: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let _ = mc.encode_update(&s, UpdateCodec::Int8, &x2).unwrap();
+        let r1 = mc.get(&s).unwrap().residual.clone();
+        assert_eq!(r1.len(), 8);
+        let _ = mc.encode_update(&s, UpdateCodec::Int8, &x).unwrap();
+        assert_eq!(mc.get(&s).unwrap().residual.len(), 8);
+    }
+
+    #[test]
+    fn apply_global_without_model_creates_tracking_entry() {
+        // A pure aggregator never calls set_model but must follow the
+        // global stream to decode its children's delta contributions.
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        let global: Vec<f32> = vec![2.0; 16];
+        assert!(mc.apply_global(&s, 1, global.clone()).unwrap());
+        let entry = mc.get(&s).unwrap();
+        assert_eq!(entry.global_round, 1);
+        assert_eq!(entry.last_global, global);
+        assert_eq!(entry.num_samples, 0);
+
+        // A trainer's round-2 delta against global 1 now decodes here.
+        let mut sender = ModelController::new();
+        let mut local = global.clone();
+        local[3] += 1.0;
+        sender.set_model(&s, local.clone(), 10);
+        sender.apply_global(&s, 1, global).unwrap();
+        let codec = UpdateCodec::TopK { per_mille: 1000 };
+        let (payload, meta) = sender.encode_update(&s, codec, &local).unwrap();
+        assert_eq!(meta.delta_base, 1);
+        assert_eq!(mc.decode_update(&s, &meta, &payload).unwrap(), local);
+    }
+
+    #[test]
+    fn elems_header_mismatch_is_rejected() {
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        let params: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        mc.set_model(&s, params.clone(), 1);
+        let (payload, mut meta) = mc.encode_update(&s, UpdateCodec::Dense, &params).unwrap();
+        assert!(mc.decode_update(&s, &meta, &payload).is_ok());
+        meta.elems = 9;
+        assert!(mc.decode_update(&s, &meta, &payload).is_err());
+        // 0 means "unspecified" (legacy sender): no cross-check.
+        meta.elems = 0;
+        assert!(mc.decode_update(&s, &meta, &payload).is_ok());
+    }
+
+    #[test]
+    fn unknown_codec_id_is_rejected() {
+        let mut mc = ModelController::new();
+        let s = sid("s1");
+        mc.set_model(&s, vec![0.0; 4], 1);
+        let meta = UpdateMeta {
+            codec: 99,
+            elems: 4,
+            delta_base: 0,
+        };
+        assert!(mc.decode_update(&s, &meta, &[0u8; 16]).is_err());
     }
 }

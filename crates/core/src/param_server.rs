@@ -7,10 +7,10 @@
 //! `sdflmq/session/<sid>/global`, where every contributor's global-update
 //! synchronizer picks it up.
 
-use crate::blob::BlobChannel;
-use crate::error::Result;
+use crate::blob::{BlobChannel, BlobCtx};
+use crate::error::{CoreError, Result};
 use crate::ids::SessionId;
-use crate::messages::Blob;
+use crate::messages::{Blob, UpdateMeta};
 use crate::topics::global_topic;
 use crate::wirecodec::WireVersion;
 use parking_lot::Mutex;
@@ -27,16 +27,21 @@ pub const PARAM_SERVER_ID: &str = "paramserver";
 pub struct GlobalModel {
     /// Round the model was produced in.
     pub round: u32,
-    /// Serialized flat parameters (`sdflmq_nn::params` format).
+    /// Encoded parameter payload, exactly as the root aggregate carried
+    /// it (the server is codec-agnostic: delta payloads can only be
+    /// reconstructed by clients holding the base).
     pub params: bytes::Bytes,
     /// Total sample weight behind the aggregate.
     pub weight: u64,
+    /// The payload's update-codec metadata.
+    pub update: UpdateMeta,
+    /// Metadata wire version the root aggregate used.
+    pub wire: WireVersion,
 }
 
 /// A running parameter server node.
 pub struct ParamServer {
     repo: Arc<Mutex<HashMap<SessionId, GlobalModel>>>,
-    #[allow(dead_code)]
     blobs: BlobChannel,
 }
 
@@ -60,8 +65,15 @@ impl ParamServer {
         let rebroadcast = blobs.clone();
         blobs.subscribe(
             &TopicFilter::new("sdflmq/session/+/ps").expect("valid filter"),
-            Arc::new(move |blob: Blob, version: WireVersion| {
+            Arc::new(move |blob: Blob, ctx: BlobCtx| {
                 let session = blob.session_id.clone();
+                let model = GlobalModel {
+                    round: blob.round,
+                    params: blob.params.clone(),
+                    weight: blob.weight,
+                    update: ctx.update,
+                    wire: ctx.version,
+                };
                 {
                     let mut repo = repo_in.lock();
                     let entry = repo.entry(session.clone());
@@ -72,23 +84,19 @@ impl ParamServer {
                             if blob.round <= slot.get().round {
                                 return;
                             }
-                            slot.insert(GlobalModel {
-                                round: blob.round,
-                                params: blob.params.clone(),
-                                weight: blob.weight,
-                            });
+                            slot.insert(model);
                         }
                         Entry::Vacant(slot) => {
-                            slot.insert(GlobalModel {
-                                round: blob.round,
-                                params: blob.params.clone(),
-                                weight: blob.weight,
-                            });
+                            slot.insert(model);
                         }
                     }
                 }
-                // Global update synchronizer: broadcast to all clients,
-                // answering in the wire version the root aggregate used.
+                // Global update synchronizer: broadcast to all clients in
+                // the session's negotiated data-plane form — the wire
+                // version *and* payload codec the root aggregate carried
+                // (the coordinator stamped both into the root's role, so
+                // echoing them is the negotiation result, not a hardcoded
+                // server-side choice).
                 let global = Blob {
                     session_id: session.clone(),
                     round: blob.round,
@@ -96,7 +104,12 @@ impl ParamServer {
                     weight: blob.weight,
                     params: blob.params,
                 };
-                let _ = rebroadcast.publish_versioned(&global_topic(&session), &global, version);
+                let _ = rebroadcast.publish_update(
+                    &global_topic(&session),
+                    &global,
+                    ctx.version,
+                    &ctx.update,
+                );
             }),
         )?;
 
@@ -106,6 +119,29 @@ impl ParamServer {
     /// Reads the stored global model for a session, if any.
     pub fn global(&self, session: &SessionId) -> Option<GlobalModel> {
         self.repo.lock().get(session).cloned()
+    }
+
+    /// Re-broadcasts the stored global for a session on demand (catch-up
+    /// for clients that missed the original push — e.g. after a broker
+    /// bridge flap), in the same data-plane form it arrived in.
+    pub fn rebroadcast(&self, session: &SessionId) -> Result<()> {
+        let Some(model) = self.global(session) else {
+            return Err(CoreError::UnknownSession(session.as_str().into()));
+        };
+        let global = Blob {
+            session_id: session.clone(),
+            round: model.round,
+            sender: PARAM_SERVER_ID.to_owned(),
+            weight: model.weight,
+            params: model.params,
+        };
+        self.blobs
+            .publish_update(&global_topic(session), &global, model.wire, &model.update)
+    }
+
+    /// Data-plane transfers this server received but dropped as corrupt.
+    pub fn dropped_transfers(&self) -> u64 {
+        self.blobs.dropped_transfers()
     }
 
     /// Number of sessions with stored globals.

@@ -106,6 +106,12 @@ pub struct RoleSpec {
     /// (JSON) is the safe floor and the default when a legacy
     /// coordinator omits the field.
     pub data_wire: u8,
+    /// Update codec for the session's data-plane payloads
+    /// (`sdflmq_nn::codec` ids), stamped by the coordinator like
+    /// `data_wire`: the minimum of every member's advertised support and
+    /// the session creator's request. `0` (dense f32) is the safe floor
+    /// and the default when a legacy coordinator omits the field.
+    pub data_codec: u8,
 }
 
 impl RoleSpec {
@@ -154,6 +160,7 @@ mod tests {
             expected_inputs: 2,
             round: 1,
             data_wire: 1,
+            data_codec: 0,
         };
         assert!(spec.is_root());
     }

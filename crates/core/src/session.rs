@@ -50,6 +50,10 @@ pub struct SessionConfig {
     pub grace: Duration,
     /// Consecutive missed round closures before a contributor is evicted.
     pub max_missed_rounds: u32,
+    /// The update codec the session creator requested for the data plane
+    /// (`sdflmq_nn::codec` ids; 0 = dense f32). The stamped session codec
+    /// is this capped at every member's advertised support.
+    pub data_codec: u8,
 }
 
 /// Where a session is in its lifecycle.
@@ -96,6 +100,9 @@ pub struct FlSession {
     /// Per-client negotiated control-plane wire version (from the `proto`
     /// field of each join request; absent clients are v1).
     pub wire: HashMap<ClientId, WireVersion>,
+    /// Per-client advertised update-codec support (from the `codec` field
+    /// of each join request; absent clients are dense-only).
+    pub codec_support: HashMap<ClientId, u8>,
     /// Consecutive missed-closure streak per contributor (reset whenever
     /// the contributor reports done or contributes).
     pub missed: HashMap<ClientId, u32>,
@@ -113,6 +120,7 @@ impl FlSession {
             plan: None,
             created: Instant::now(),
             wire: HashMap::new(),
+            codec_support: HashMap::new(),
             missed: HashMap::new(),
             finished_at: None,
         }
@@ -124,6 +132,19 @@ impl FlSession {
             .get(client)
             .copied()
             .unwrap_or(WireVersion::V1Json)
+    }
+
+    /// The session's data-plane update codec: the creator's request
+    /// capped at every surviving member's advertised support (a single
+    /// dense-only member keeps the whole session on dense f32 — blobs
+    /// flow client → client, so the floor must be decodable by all).
+    pub fn data_codec(&self) -> u8 {
+        self.clients
+            .iter()
+            .map(|c| self.codec_support.get(&c.id).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0)
+            .min(self.config.data_codec)
     }
 
     /// Registers a contributor. Fails when the session is not waiting, is
@@ -446,6 +467,7 @@ mod tests {
             quorum: 1.0,
             grace: Duration::ZERO,
             max_missed_rounds: 2,
+            data_codec: 0,
         }
     }
 

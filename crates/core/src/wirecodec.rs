@@ -254,6 +254,10 @@ pub(crate) trait FieldWriter {
     fn w_tag(&mut self, name: &'static str, token: &str, ord: u8);
     fn w_opt_str(&mut self, name: &'static str, v: Option<&str>);
     fn w_nested<T: WireSchema>(&mut self, name: &'static str, v: &T);
+    /// Writes a numeric field that legacy JSON documents omit: JSON skips
+    /// it when `v == default` (keeping pre-extension documents
+    /// byte-identical), binary always writes it.
+    fn w_u64_default(&mut self, name: &'static str, v: u64, default: u64);
 }
 
 /// Source of a message's fields. All numeric reads are range-validated:
@@ -299,7 +303,10 @@ pub(crate) trait WireSchema: Sized {
 /// Declares a message struct's wire schema as `(field: kind => "name")`
 /// lines. Kinds: `str`, `u32`, `u64`, `usize`, `f64`,
 /// `id(IdType)`, `token(EnumWithTokens)`, `opt_token(EnumWithTokens)`,
-/// `nested(Schema)`, and `proto` (u8 defaulting to 1 when absent).
+/// `nested(Schema)`, `proto` (u8 defaulting to 1 when absent), and the
+/// default-0 extension kinds `u8_def0`/`u32_def0`/`u64_def0` (absent in
+/// legacy JSON docs — and omitted from JSON when 0, so pre-extension
+/// documents stay byte-identical; binary always carries them).
 macro_rules! wire_schema {
     ($ty:ident { $($field:ident : $kind:ident $(($arg:ty))? => $wire:literal),+ $(,)? }) => {
         impl WireSchema for $ty {
@@ -333,6 +340,15 @@ macro_rules! wire_schema {
     (@write $w:ident, $self:ident, $field:ident, proto, $wire:literal) => {
         $w.w_u64($wire, $self.$field as u64)
     };
+    (@write $w:ident, $self:ident, $field:ident, u8_def0, $wire:literal) => {
+        $w.w_u64_default($wire, $self.$field as u64, 0)
+    };
+    (@write $w:ident, $self:ident, $field:ident, u32_def0, $wire:literal) => {
+        $w.w_u64_default($wire, $self.$field as u64, 0)
+    };
+    (@write $w:ident, $self:ident, $field:ident, u64_def0, $wire:literal) => {
+        $w.w_u64_default($wire, $self.$field, 0)
+    };
     (@write $w:ident, $self:ident, $field:ident, id($arg:ty), $wire:literal) => {
         $w.w_str($wire, $self.$field.as_str())
     };
@@ -364,6 +380,17 @@ macro_rules! wire_schema {
     (@read $r:ident, proto, $wire:literal) => {
         u8::try_from($r.r_u64_or($wire, 1)?)
             .map_err(|_| CoreError::Protocol(format!("field {:?} out of u8 range", $wire)))?
+    };
+    (@read $r:ident, u8_def0, $wire:literal) => {
+        u8::try_from($r.r_u64_or($wire, 0)?)
+            .map_err(|_| CoreError::Protocol(format!("field {:?} out of u8 range", $wire)))?
+    };
+    (@read $r:ident, u32_def0, $wire:literal) => {
+        u32::try_from($r.r_u64_or($wire, 0)?)
+            .map_err(|_| CoreError::Protocol(format!("field {:?} out of u32 range", $wire)))?
+    };
+    (@read $r:ident, u64_def0, $wire:literal) => {
+        $r.r_u64_or($wire, 0)?
     };
     (@read $r:ident, id($arg:ty), $wire:literal) => {
         <$arg>::new($r.r_str($wire)?)?
@@ -400,6 +427,7 @@ wire_schema!(NewSessionRequest {
     fl_rounds: u32 => "fl_rounds",
     preferred_role: token(PreferredRole) => "preferred_role",
     proto: proto => "proto",
+    codec: u8_def0 => "codec",
 });
 
 wire_schema!(JoinRequest {
@@ -410,6 +438,7 @@ wire_schema!(JoinRequest {
     num_samples: u64 => "num_samples",
     stats: nested(StatsMsg) => "stats",
     proto: proto => "proto",
+    codec: u8_def0 => "codec",
 });
 
 wire_schema!(StatsMsg {
@@ -438,6 +467,7 @@ wire_schema!(RoleSpec {
     round: u32 => "round",
     position: opt_token(Position) => "position",
     data_wire: proto => "data_wire",
+    data_codec: u8_def0 => "data_codec",
 });
 
 wire_schema!(SessionReply {
@@ -445,13 +475,22 @@ wire_schema!(SessionReply {
     proto: proto => "proto",
 });
 
-/// Parameter-blob metadata (the header in front of raw `f32` payloads).
+/// Parameter-blob metadata (the header in front of the encoded update
+/// payload). The codec fields are default-0 extensions: a legacy dense
+/// blob omits them from JSON (keeping the v1 header byte-identical) and a
+/// legacy reader ignores them.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct BlobMeta {
     pub session_id: SessionId,
     pub round: u32,
     pub sender: String,
     pub weight: u64,
+    /// Update-codec id ([`sdflmq_nn::codec`]); 0 = dense f32.
+    pub codec: u8,
+    /// Decoded element count (0 = unspecified, for legacy senders).
+    pub elems: u64,
+    /// For delta codecs: global round of the base vector (0 = zero base).
+    pub delta_base: u32,
 }
 
 wire_schema!(BlobMeta {
@@ -459,6 +498,9 @@ wire_schema!(BlobMeta {
     round: u32 => "round",
     sender: str => "sender",
     weight: u64 => "weight",
+    codec: u8_def0 => "codec",
+    elems: u64_def0 => "elems",
+    delta_base: u32_def0 => "delta_base",
 });
 
 const CTRL_CMDS: &[(&str, u8)] = &[
@@ -591,6 +633,12 @@ impl FieldWriter for JsonWriter {
         let mut sub = JsonWriter::new();
         v.write_fields(&mut sub);
         self.map.insert(name.to_owned(), Json::Object(sub.map));
+    }
+
+    fn w_u64_default(&mut self, name: &'static str, v: u64, default: u64) {
+        if v != default {
+            self.w_u64(name, v);
+        }
     }
 }
 
@@ -741,6 +789,11 @@ impl FieldWriter for BinWriter {
     fn w_nested<T: WireSchema>(&mut self, _name: &'static str, v: &T) {
         v.write_fields(self);
     }
+
+    fn w_u64_default(&mut self, name: &'static str, v: u64, _default: u64) {
+        // Binary fields have fixed schema positions: always written.
+        self.w_u64(name, v);
+    }
 }
 
 /// Zero-copy cursor over a binary frame's field section. Strings are the
@@ -778,8 +831,15 @@ impl FieldReader for BinReader<'_> {
             .ok_or_else(|| CoreError::Protocol(format!("bad varint at field {name:?}")))
     }
 
-    fn r_u64_or(&mut self, name: &'static str, _default: u64) -> Result<u64> {
-        // Binary frames always carry the field.
+    fn r_u64_or(&mut self, name: &'static str, default: u64) -> Result<u64> {
+        // Upgraded encoders always write the field, but frames from peers
+        // built before a tail extension (e.g. the BlobMeta codec fields)
+        // simply end early: an exhausted buffer means "field absent",
+        // exactly like a missing key in legacy JSON. A *partially*
+        // truncated varint is still an error.
+        if self.buf.is_empty() {
+            return Ok(default);
+        }
         self.r_u64(name)
     }
 
@@ -873,12 +933,19 @@ impl WireCodec for BinaryCodec {
 // Blob metadata entry points (shared by `Blob::encode`/`Blob::decode`)
 // ---------------------------------------------------------------------------
 
-pub(crate) fn encode_blob_meta(blob: &Blob, version: WireVersion) -> Bytes {
+pub(crate) fn encode_blob_meta(
+    blob: &Blob,
+    update: &crate::messages::UpdateMeta,
+    version: WireVersion,
+) -> Bytes {
     let meta = BlobMeta {
         session_id: blob.session_id.clone(),
         round: blob.round,
         sender: blob.sender.clone(),
         weight: blob.weight,
+        codec: update.codec,
+        elems: update.elems,
+        delta_base: update.delta_base,
     };
     match version {
         WireVersion::V1Json => {
@@ -940,6 +1007,7 @@ mod tests {
             num_samples: 600,
             stats: stats(),
             proto: WireVersion::LATEST.as_u8(),
+            codec: 2,
         }
     }
 
@@ -1047,6 +1115,7 @@ mod tests {
                 expected_inputs: 4,
                 round: 2,
                 data_wire: 2,
+                data_codec: 3,
             }),
             CtrlMsg::ResetRole,
             CtrlMsg::RoundStart { round: 7 },
@@ -1157,6 +1226,44 @@ mod tests {
     }
 
     #[test]
+    fn legacy_binary_blob_meta_without_codec_fields_decodes() {
+        // A peer built before the codec extension ends its binary BlobMeta
+        // after `weight`. Byte-wise that is today's dense encoding minus
+        // the three trailing zero varints — it must decode with the
+        // default (dense) codec fields, not error.
+        let blob = Blob {
+            session_id: SessionId::new("s1").unwrap(),
+            round: 2,
+            sender: "c1".into(),
+            weight: 5,
+            params: Bytes::new(),
+        };
+        let meta = encode_blob_meta(
+            &blob,
+            &crate::messages::UpdateMeta::default(),
+            WireVersion::V2Binary,
+        );
+        let legacy = &meta[..meta.len() - 3];
+        let (decoded, version) = decode_blob_meta(legacy).unwrap();
+        assert_eq!(version, WireVersion::V2Binary);
+        assert_eq!(decoded.weight, 5);
+        assert_eq!(
+            (decoded.codec, decoded.elems, decoded.delta_base),
+            (0, 0, 0)
+        );
+        // Same for control frames whose tail gained a field: a Join frame
+        // cut before `codec` still decodes (codec = 0).
+        let frame = Envelope::new(WireVersion::V2Binary, ControlMsg::Join(join_request())).encode();
+        let cut = &frame[..frame.len() - 1];
+        let env = Envelope::decode(MsgKind::Join, cut).unwrap();
+        let ControlMsg::Join(req) = env.msg else {
+            panic!("wrong kind");
+        };
+        assert_eq!(req.codec, 0);
+        assert_eq!(req.proto, join_request().proto);
+    }
+
+    #[test]
     fn blob_meta_roundtrips_both_versions() {
         let blob = Blob {
             session_id: SessionId::new("s9").unwrap(),
@@ -1165,14 +1272,22 @@ mod tests {
             weight: 600,
             params: Bytes::from(vec![1u8, 2, 3]),
         };
+        let update = crate::messages::UpdateMeta {
+            codec: 2,
+            elems: 3,
+            delta_base: 0,
+        };
         for version in [WireVersion::V1Json, WireVersion::V2Binary] {
-            let meta = encode_blob_meta(&blob, version);
+            let meta = encode_blob_meta(&blob, &update, version);
             let (decoded, got_version) = decode_blob_meta(&meta).unwrap();
             assert_eq!(got_version, version);
             assert_eq!(decoded.session_id, blob.session_id);
             assert_eq!(decoded.round, blob.round);
             assert_eq!(decoded.sender, blob.sender);
             assert_eq!(decoded.weight, blob.weight);
+            assert_eq!(decoded.codec, update.codec);
+            assert_eq!(decoded.elems, update.elems);
+            assert_eq!(decoded.delta_base, update.delta_base);
         }
     }
 }

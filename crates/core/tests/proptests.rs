@@ -268,15 +268,17 @@ fn role_spec() -> impl Strategy<Value = RoleSpec> {
         0u32..1000,
         1u32..10_000,
         0u8..5,
+        0u8..4,
     )
         .prop_map(
-            |(role, position, parent, expected_inputs, round, data_wire)| RoleSpec {
+            |(role, position, parent, expected_inputs, round, data_wire, data_codec)| RoleSpec {
                 role,
                 position,
                 parent,
                 expected_inputs,
                 round,
                 data_wire,
+                data_codec,
             },
         )
 }
@@ -304,22 +306,25 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
             0.0f64..1e4,
             1u32..1000,
             preferred_role(),
-            0u8..5
+            (0u8..5, 0u8..4)
         )
-            .prop_map(|(s, c, m, time, lo, hi, wait, rounds, role, proto)| {
-                ControlMsg::NewSession(NewSessionRequest {
-                    session_id: SessionId::new(s).unwrap(),
-                    client_id: WireClientId::new(c).unwrap(),
-                    model_name: ModelId::new(m).unwrap(),
-                    session_time_secs: time,
-                    capacity_min: lo.min(hi),
-                    capacity_max: lo.max(hi),
-                    waiting_time_secs: wait,
-                    fl_rounds: rounds,
-                    preferred_role: role,
-                    proto,
-                })
-            }),
+            .prop_map(
+                |(s, c, m, time, lo, hi, wait, rounds, role, (proto, codec))| {
+                    ControlMsg::NewSession(NewSessionRequest {
+                        session_id: SessionId::new(s).unwrap(),
+                        client_id: WireClientId::new(c).unwrap(),
+                        model_name: ModelId::new(m).unwrap(),
+                        session_time_secs: time,
+                        capacity_min: lo.min(hi),
+                        capacity_max: lo.max(hi),
+                        waiting_time_secs: wait,
+                        fl_rounds: rounds,
+                        preferred_role: role,
+                        proto,
+                        codec,
+                    })
+                }
+            ),
         (
             wire_id(),
             wire_id(),
@@ -327,9 +332,9 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
             preferred_role(),
             1u64..1_000_000,
             stats_msg(),
-            0u8..5
+            (0u8..5, 0u8..4)
         )
-            .prop_map(|(s, c, m, role, samples, stats, proto)| {
+            .prop_map(|(s, c, m, role, samples, stats, (proto, codec))| {
                 ControlMsg::Join(JoinRequest {
                     session_id: SessionId::new(s).unwrap(),
                     client_id: WireClientId::new(c).unwrap(),
@@ -338,6 +343,7 @@ fn control_msg() -> impl Strategy<Value = ControlMsg> {
                     num_samples: samples,
                     stats,
                     proto,
+                    codec,
                 })
             }),
         (wire_id(), wire_id(), 1u32..10_000, stats_msg()).prop_map(|(s, c, round, stats)| {

@@ -1,0 +1,749 @@
+//! Pluggable model-update codecs for the FL data plane.
+//!
+//! The dense little-endian `f32` format ([`crate::params`]) stays the
+//! wire-compatible default; the lossy codecs trade fidelity for uplink
+//! bytes, the lever the massive-IoT literature identifies as binding fleet
+//! size (per-client uplink, not compute):
+//!
+//! * **fp16** — half-precision truncation, 2x smaller, ~1e-3 relative
+//!   error;
+//! * **int8** — affine (min/scale) quantization over the whole vector,
+//!   ~4x smaller, error ≤ half a quantization step per element;
+//! * **top-k** — sparse *delta* against a shared base vector (the last
+//!   applied global model): only the `k` largest-magnitude delta
+//!   coordinates ship, ~16x smaller at the default density.
+//!
+//! Lossy codecs compose with **error feedback**: the caller keeps a
+//! per-model residual vector, the codec folds it into the value it
+//! encodes and writes back what the encoding dropped, so quantization
+//! error from round *r* is retried in round *r+1* instead of compounding
+//! (the standard EF-SGD construction). The residual lives with the model
+//! (`ModelController` in `sdflmq-core`), not in the codec — codecs are
+//! stateless values.
+//!
+//! Every encoding is self-describing (own magic + version + element
+//! count), so a receiver can [`UpdateCodec::sniff`] a payload even when
+//! transport metadata is missing or wrong.
+
+use crate::params;
+
+/// Stable one-byte codec identifiers, carried in blob metadata and in the
+/// session-negotiation `codec` field. Wire-stable: never renumber.
+pub const CODEC_DENSE: u8 = 0;
+/// Half-precision codec id.
+pub const CODEC_FP16: u8 = 1;
+/// Affine int8 codec id.
+pub const CODEC_INT8: u8 = 2;
+/// Top-k sparse-delta codec id.
+pub const CODEC_TOPK: u8 = 3;
+
+const FP16_MAGIC: [u8; 3] = *b"SFH"; // "Sdflmq Flat Half"
+const INT8_MAGIC: [u8; 3] = *b"SFQ"; // "Sdflmq Flat Quantized"
+const TOPK_MAGIC: [u8; 3] = *b"SFS"; // "Sdflmq Flat Sparse"
+const CODEC_VERSION: u8 = 1;
+
+/// Default top-k density: coordinates kept per 1000 (3%).
+pub const DEFAULT_TOPK_PER_MILLE: u16 = 30;
+
+/// Largest finite binary16 value (fp16 targets saturate here).
+const F16_MAX: f32 = 65504.0;
+
+/// Largest element count a zero-base sparse frame may declare (64M
+/// parameters ≈ 256 MB decoded) — the header is attacker-controlled and,
+/// uniquely for the sparse format, not bounded by the payload length.
+pub const MAX_SPARSE_ELEMS: usize = 1 << 26;
+
+/// Decoding errors for the update codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input shorter than its header or declared contents.
+    Truncated,
+    /// Payload magic does not match the codec asked to decode it.
+    WrongCodec,
+    /// Unsupported encoding version.
+    BadVersion(u8),
+    /// A sparse index is out of range or not strictly increasing.
+    BadIndex,
+    /// A delta payload was decoded against a base of the wrong length.
+    BaseMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated update payload"),
+            CodecError::WrongCodec => write!(f, "payload magic does not match codec"),
+            CodecError::BadVersion(v) => write!(f, "unsupported update-codec version {v}"),
+            CodecError::BadIndex => write!(f, "bad sparse index in update payload"),
+            CodecError::BaseMismatch => write!(f, "delta base length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<params::ParamError> for CodecError {
+    fn from(e: params::ParamError) -> CodecError {
+        match e {
+            params::ParamError::Truncated => CodecError::Truncated,
+            params::ParamError::BadMagic => CodecError::WrongCodec,
+            params::ParamError::BadVersion(v) => CodecError::BadVersion(v),
+        }
+    }
+}
+
+/// A model-update encoding. `Copy` by design: a codec is a *value*
+/// (negotiated per session and stamped into role specs), all mutable
+/// state — the error-feedback residual — stays with the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateCodec {
+    /// Raw little-endian `f32`s — the wire-compatible default, byte-
+    /// identical to [`crate::params::serialize`].
+    #[default]
+    Dense,
+    /// Half-precision floats (2 bytes/element).
+    Fp16,
+    /// Affine int8 quantization: one `(min, scale)` pair per vector,
+    /// 1 byte/element.
+    Int8,
+    /// Top-k sparse delta against a shared base vector: only the largest-
+    /// magnitude `per_mille`/1000 of delta coordinates ship.
+    TopK {
+        /// Coordinates kept per 1000 elements (clamped to ≥ 1 element).
+        per_mille: u16,
+    },
+}
+
+impl UpdateCodec {
+    /// The top-k codec at its default density.
+    pub const TOP_K_DEFAULT: UpdateCodec = UpdateCodec::TopK {
+        per_mille: DEFAULT_TOPK_PER_MILLE,
+    };
+
+    /// The codec's wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            UpdateCodec::Dense => CODEC_DENSE,
+            UpdateCodec::Fp16 => CODEC_FP16,
+            UpdateCodec::Int8 => CODEC_INT8,
+            UpdateCodec::TopK { .. } => CODEC_TOPK,
+        }
+    }
+
+    /// Builds a codec from a wire id (top-k at default density).
+    pub fn from_id(id: u8) -> Option<UpdateCodec> {
+        match id {
+            CODEC_DENSE => Some(UpdateCodec::Dense),
+            CODEC_FP16 => Some(UpdateCodec::Fp16),
+            CODEC_INT8 => Some(UpdateCodec::Int8),
+            CODEC_TOPK => Some(UpdateCodec::TOP_K_DEFAULT),
+            _ => None,
+        }
+    }
+
+    /// Stable name for configs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateCodec::Dense => "dense",
+            UpdateCodec::Fp16 => "fp16",
+            UpdateCodec::Int8 => "int8",
+            UpdateCodec::TopK { .. } => "topk",
+        }
+    }
+
+    /// True if payloads are deltas against a shared base vector.
+    pub fn is_delta(self) -> bool {
+        matches!(self, UpdateCodec::TopK { .. })
+    }
+
+    /// True if decode(encode(x)) may differ from x.
+    pub fn is_lossy(self) -> bool {
+        !matches!(self, UpdateCodec::Dense)
+    }
+
+    /// Sniffs a payload's codec from its magic bytes.
+    pub fn sniff(bytes: &[u8]) -> Option<UpdateCodec> {
+        let magic = bytes.get(..3)?;
+        if magic == b"SFP" {
+            Some(UpdateCodec::Dense)
+        } else if magic == FP16_MAGIC {
+            Some(UpdateCodec::Fp16)
+        } else if magic == INT8_MAGIC {
+            Some(UpdateCodec::Int8)
+        } else if magic == TOPK_MAGIC {
+            Some(UpdateCodec::TOP_K_DEFAULT)
+        } else {
+            None
+        }
+    }
+
+    /// Encodes `params`, folding in and updating the caller's error-
+    /// feedback `residual` (resized to `params.len()`; lossless codecs
+    /// leave it untouched). For delta codecs, `base` is the shared base
+    /// vector (`None` = all zeros, the round-1 state); non-delta codecs
+    /// ignore it.
+    pub fn encode(self, x: &[f32], base: Option<&[f32]>, residual: &mut Vec<f32>) -> Vec<u8> {
+        match self {
+            UpdateCodec::Dense => params::serialize(x),
+            UpdateCodec::Fp16 => {
+                residual.resize(x.len(), 0.0);
+                let mut out = Vec::with_capacity(8 + x.len() * 2);
+                out.extend_from_slice(&FP16_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(x.len() as u32).to_le_bytes());
+                for (v, r) in x.iter().zip(residual.iter_mut()) {
+                    let target = v + *r;
+                    if target.is_finite() {
+                        // Saturate instead of converting to ±inf: an
+                        // overflowing target would otherwise leave an
+                        // infinite residual (target − inf) that poisons
+                        // every later round.
+                        let clamped = target.clamp(-F16_MAX, F16_MAX);
+                        let h = f32_to_f16(clamped);
+                        out.extend_from_slice(&h.to_le_bytes());
+                        *r = target - f16_to_f32(h);
+                    } else {
+                        // Non-finite model values ship as-is; feeding
+                        // them back would turn the residual into NaN.
+                        out.extend_from_slice(&f32_to_f16(target).to_le_bytes());
+                        *r = 0.0;
+                    }
+                }
+                out
+            }
+            UpdateCodec::Int8 => {
+                residual.resize(x.len(), 0.0);
+                // Compensated targets first: the quantization grid must
+                // cover value + residual, not just value.
+                let targets: Vec<f32> = x.iter().zip(residual.iter()).map(|(v, r)| v + r).collect();
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for t in &targets {
+                    if t.is_finite() {
+                        lo = lo.min(*t);
+                        hi = hi.max(*t);
+                    }
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    (lo, hi) = (0.0, 0.0);
+                }
+                // The spread is computed in f64: hi − lo can overflow f32
+                // (e.g. ±3e38), and an infinite scale would decode every
+                // element to NaN and poison the residual.
+                let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
+                let mut out = Vec::with_capacity(16 + targets.len());
+                out.extend_from_slice(&INT8_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&scale.to_le_bytes());
+                // Quantize/dequantize in f64: intermediate products like
+                // q·scale or t − lo can overflow f32 at extreme spreads
+                // even though every grid point is a finite f32.
+                for (t, r) in targets.iter().zip(residual.iter_mut()) {
+                    let q = if scale > 0.0 && t.is_finite() {
+                        ((*t as f64 - lo as f64) / scale as f64)
+                            .round()
+                            .clamp(0.0, 255.0) as u8
+                    } else {
+                        0
+                    };
+                    out.push(q);
+                    // A non-finite target must not feed back (t − dequant
+                    // would stay inf/NaN forever).
+                    *r = if t.is_finite() {
+                        (*t as f64 - dequant_int8(lo, scale, q)) as f32
+                    } else {
+                        0.0
+                    };
+                }
+                out
+            }
+            UpdateCodec::TopK { per_mille } => {
+                residual.resize(x.len(), 0.0);
+                // Compensated delta: what we *owe* the receiver.
+                let mut e: Vec<f32> = match base {
+                    Some(b) => {
+                        debug_assert_eq!(b.len(), x.len());
+                        x.iter()
+                            .zip(b)
+                            .zip(residual.iter())
+                            .map(|((v, b), r)| v - b + r)
+                            .collect()
+                    }
+                    None => x.iter().zip(residual.iter()).map(|(v, r)| v + r).collect(),
+                };
+                let k = top_k_count(x.len(), per_mille);
+                let mut order: Vec<u32> = (0..e.len() as u32).collect();
+                if k < order.len() {
+                    // Largest |e| first; ties break on index so the
+                    // selection is deterministic.
+                    order.select_nth_unstable_by(k, |&a, &b| {
+                        let (ma, mb) = (e[a as usize].abs(), e[b as usize].abs());
+                        mb.total_cmp(&ma).then(a.cmp(&b))
+                    });
+                    order.truncate(k);
+                }
+                order.sort_unstable();
+                let mut out = Vec::with_capacity(12 + order.len() * 8);
+                out.extend_from_slice(&TOPK_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(x.len() as u32).to_le_bytes());
+                out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+                for idx in &order {
+                    let i = *idx as usize;
+                    out.extend_from_slice(&idx.to_le_bytes());
+                    out.extend_from_slice(&e[i].to_le_bytes());
+                    e[i] = 0.0; // shipped exactly: nothing owed
+                }
+                *residual = e;
+                out
+            }
+        }
+    }
+
+    /// Encodes without error feedback (aggregates relayed up the
+    /// hierarchy are one-shot: there is no next round to retry their
+    /// truncation error in).
+    pub fn encode_stateless(self, x: &[f32], base: Option<&[f32]>) -> Vec<u8> {
+        let mut residual = Vec::new();
+        self.encode(x, base, &mut residual)
+    }
+
+    /// Decodes a payload back to a full-length vector. For delta codecs,
+    /// `base` must be the same base the sender encoded against (`None` =
+    /// all zeros); non-delta codecs ignore it.
+    pub fn decode(self, bytes: &[u8], base: Option<&[f32]>) -> Result<Vec<f32>, CodecError> {
+        match self {
+            UpdateCodec::Dense => Ok(params::deserialize(bytes)?),
+            UpdateCodec::Fp16 => {
+                let (count, body) = check_header(bytes, &FP16_MAGIC)?;
+                if body.len() < count * 2 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok((0..count)
+                    .map(|i| f16_to_f32(u16::from_le_bytes([body[i * 2], body[i * 2 + 1]])))
+                    .collect())
+            }
+            UpdateCodec::Int8 => {
+                let (count, body) = check_header(bytes, &INT8_MAGIC)?;
+                if body.len() < 8 + count {
+                    return Err(CodecError::Truncated);
+                }
+                let lo = f32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+                let scale = f32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+                Ok(body[8..8 + count]
+                    .iter()
+                    .map(|q| dequant_int8(lo, scale, *q) as f32)
+                    .collect())
+            }
+            UpdateCodec::TopK { .. } => {
+                let (count, body) = check_header(bytes, &TOPK_MAGIC)?;
+                if body.len() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let nnz = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+                if nnz > count {
+                    return Err(CodecError::BadIndex);
+                }
+                let pairs = &body[4..];
+                if pairs.len() < nnz * 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut out = match base {
+                    Some(b) => {
+                        if b.len() != count {
+                            return Err(CodecError::BaseMismatch);
+                        }
+                        b.to_vec()
+                    }
+                    None => {
+                        // The other codecs tie `count` to the payload
+                        // length; a sparse frame has no such tie, so the
+                        // zero-base allocation is the one place a
+                        // 24-byte frame could demand gigabytes. Cap it.
+                        if count > MAX_SPARSE_ELEMS {
+                            return Err(CodecError::BadIndex);
+                        }
+                        vec![0.0f32; count]
+                    }
+                };
+                let mut prev: Option<u32> = None;
+                for p in 0..nnz {
+                    let off = p * 8;
+                    let idx = u32::from_le_bytes(pairs[off..off + 4].try_into().expect("4 bytes"));
+                    let val =
+                        f32::from_le_bytes(pairs[off + 4..off + 8].try_into().expect("4 bytes"));
+                    if idx as usize >= count || prev.is_some_and(|p| idx <= p) {
+                        return Err(CodecError::BadIndex);
+                    }
+                    prev = Some(idx);
+                    out[idx as usize] += val;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Reconstructs an int8 grid point in f64 — `q · scale` can overflow f32
+/// at extreme spreads even though the grid point itself is a finite f32.
+fn dequant_int8(lo: f32, scale: f32, q: u8) -> f64 {
+    lo as f64 + q as f64 * scale as f64
+}
+
+/// Number of coordinates the top-k codec keeps for an `n`-element vector.
+pub fn top_k_count(n: usize, per_mille: u16) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    ((n * per_mille as usize) / 1000).max(1).min(n)
+}
+
+/// Validates a lossy-codec header (magic, version, element count) and
+/// returns `(count, rest)`.
+fn check_header<'a>(bytes: &'a [u8], magic: &[u8; 3]) -> Result<(usize, &'a [u8]), CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..3] != magic {
+        return Err(CodecError::WrongCodec);
+    }
+    if bytes[3] != CODEC_VERSION {
+        return Err(CodecError::BadVersion(bytes[3]));
+    }
+    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    Ok((count, &bytes[8..]))
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Inf / NaN: keep NaN-ness even when the top mantissa bits are 0.
+        let payload = (man >> 13) as u16;
+        let quiet = u16::from(man != 0 && payload == 0);
+        return sign | 0x7c00 | payload | quiet;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let e = (unbiased + 15) as u32;
+        let mut m = man >> 13;
+        let rem = man & 0x1fff;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            m += 1;
+            if m == 0x400 {
+                // Mantissa carry bumps the exponent (e == 30 → inf is
+                // exactly the binary16 rounding rule).
+                return sign | (((e + 1) << 10) as u16);
+            }
+        }
+        return sign | ((e << 10) as u16) | m as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let full = man | 0x0080_0000;
+        let shift = (13 - 14 - unbiased) as u32;
+        let mut m = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1; // may carry into the exponent field: still correct
+        }
+        return sign | m as u16;
+    }
+    sign // underflows to ±0
+}
+
+/// Converts IEEE 754 binary16 bits to an `f32` (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x3ff) as u32;
+    let bits = if exp == 31 {
+        sign | 0x7f80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign
+        } else {
+            // Subnormal: renormalize into f32's wider exponent range.
+            let mut e: i32 = 127 - 15 + 1;
+            let mut m = man;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.37).sin() * (1.0 + (i % 17) as f32 * 0.25))
+            .collect()
+    }
+
+    #[test]
+    fn dense_is_byte_identical_to_params_serialize() {
+        let x = ramp(257);
+        let mut residual = Vec::new();
+        let enc = UpdateCodec::Dense.encode(&x, None, &mut residual);
+        assert_eq!(enc, params::serialize(&x));
+        assert!(residual.is_empty(), "dense never touches the residual");
+        assert_eq!(UpdateCodec::Dense.decode(&enc, None).unwrap(), x);
+    }
+
+    #[test]
+    fn f16_conversion_exact_cases() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(f16_to_f32(f32_to_f16(v)), v, "{v}");
+        }
+        assert_eq!(f16_to_f32(f32_to_f16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Overflow saturates to infinity; tiny values flush to zero.
+        assert_eq!(f16_to_f32(f32_to_f16(1e9)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(1e-30)), 0.0);
+        // Subnormal halves round-trip.
+        let sub = f16_to_f32(0x0001);
+        assert_eq!(f32_to_f16(sub), 0x0001);
+    }
+
+    #[test]
+    fn fp16_roundtrip_error_bounded() {
+        let x = ramp(500);
+        let enc = UpdateCodec::Fp16.encode_stateless(&x, None);
+        assert_eq!(enc.len(), 8 + x.len() * 2);
+        let dec = UpdateCodec::Fp16.decode(&enc, None).unwrap();
+        for (a, b) in x.iter().zip(&dec) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fp16_overflow_saturates_and_residual_stays_finite() {
+        let x = vec![1e9f32, -1e9, 1.0];
+        let mut residual = Vec::new();
+        let enc = UpdateCodec::Fp16.encode(&x, None, &mut residual);
+        let dec = UpdateCodec::Fp16.decode(&enc, None).unwrap();
+        // Saturated, not ±inf — and the overflow remainder is owed.
+        assert_eq!(dec[0], 65504.0);
+        assert_eq!(dec[1], -65504.0);
+        assert!(residual.iter().all(|r| r.is_finite()), "{residual:?}");
+        assert!((residual[0] - (1e9 - 65504.0)).abs() < 1e3);
+
+        // Non-finite model values pass through without poisoning the
+        // residual with inf − inf = NaN.
+        let weird = vec![f32::INFINITY, f32::NAN, 2.0];
+        let mut residual = Vec::new();
+        let enc = UpdateCodec::Fp16.encode(&weird, None, &mut residual);
+        let dec = UpdateCodec::Fp16.decode(&enc, None).unwrap();
+        assert_eq!(dec[0], f32::INFINITY);
+        assert!(dec[1].is_nan());
+        assert!(residual.iter().all(|r| r.is_finite()), "{residual:?}");
+
+        let mut residual = Vec::new();
+        let _ = UpdateCodec::Int8.encode(&weird, None, &mut residual);
+        assert!(residual.iter().all(|r| r.is_finite()), "{residual:?}");
+    }
+
+    #[test]
+    fn int8_roundtrip_error_bounded_by_half_step() {
+        let x = ramp(400);
+        let enc = UpdateCodec::Int8.encode_stateless(&x, None);
+        assert_eq!(enc.len(), 16 + x.len());
+        let dec = UpdateCodec::Int8.decode(&enc, None).unwrap();
+        let (lo, hi) = x.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |a, v| {
+            (a.0.min(*v), a.1.max(*v))
+        });
+        let step = (hi - lo) / 255.0;
+        for (a, b) in x.iter().zip(&dec) {
+            assert!((a - b).abs() <= step * 0.5 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int8_constant_vector_is_exact() {
+        let x = vec![3.25f32; 64];
+        let dec = UpdateCodec::Int8
+            .decode(&UpdateCodec::Int8.encode_stateless(&x, None), None)
+            .unwrap();
+        assert_eq!(dec, x);
+    }
+
+    #[test]
+    fn int8_extreme_spread_stays_finite() {
+        // hi − lo overflows f32 here; the f64 scale computation must keep
+        // the grid (and therefore residual and decode) finite.
+        let x = vec![-3e38f32, 3e38, 0.0];
+        let mut residual = Vec::new();
+        let enc = UpdateCodec::Int8.encode(&x, None, &mut residual);
+        let dec = UpdateCodec::Int8.decode(&enc, None).unwrap();
+        assert!(dec.iter().all(|v| v.is_finite()), "{dec:?}");
+        assert!(residual.iter().all(|v| v.is_finite()), "{residual:?}");
+    }
+
+    #[test]
+    fn topk_zero_base_count_is_capped() {
+        // A 16-byte frame must not be able to demand a 16 GiB allocation:
+        // count is only trusted up to MAX_SPARSE_ELEMS when there is no
+        // base vector to check it against.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&TOPK_MAGIC);
+        frame.push(CODEC_VERSION);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            UpdateCodec::TOP_K_DEFAULT.decode(&frame, None),
+            Err(CodecError::BadIndex)
+        ));
+        // With a base, the length check still governs.
+        assert!(matches!(
+            UpdateCodec::TOP_K_DEFAULT.decode(&frame, Some(&[0.0; 4])),
+            Err(CodecError::BaseMismatch)
+        ));
+    }
+
+    #[test]
+    fn topk_keeps_largest_deltas_and_owes_the_rest() {
+        let base = vec![1.0f32; 10];
+        let mut x = base.clone();
+        x[3] += 5.0;
+        x[7] -= 4.0;
+        x[1] += 0.01;
+        let mut residual = Vec::new();
+        // per_mille 200 over 10 elements → k = 2.
+        let codec = UpdateCodec::TopK { per_mille: 200 };
+        let enc = codec.encode(&x, Some(&base), &mut residual);
+        let dec = codec.decode(&enc, Some(&base)).unwrap();
+        assert_eq!(dec[3], x[3]);
+        assert_eq!(dec[7], x[7]);
+        assert_eq!(dec[1], base[1], "small delta not shipped");
+        assert!((residual[1] - 0.01).abs() < 1e-7, "owed via residual");
+        assert_eq!(residual[3], 0.0);
+
+        // Next round, the residual makes the small delta win.
+        let enc2 = codec.encode(&base, Some(&base), &mut residual);
+        let dec2 = codec.decode(&enc2, Some(&base)).unwrap();
+        assert!((dec2[1] - (base[1] + 0.01)).abs() < 1e-7, "EF retried");
+    }
+
+    #[test]
+    fn topk_zero_base_reconstructs_against_zeros() {
+        let x = vec![0.0f32, 9.0, 0.0, -7.0];
+        let codec = UpdateCodec::TopK { per_mille: 500 };
+        let enc = codec.encode_stateless(&x, None);
+        let dec = codec.decode(&enc, None).unwrap();
+        assert_eq!(dec, x);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let x = ramp(32);
+        for codec in [
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TopK { per_mille: 100 },
+        ] {
+            let enc = codec.encode_stateless(&x, None);
+            assert!(codec.decode(&enc[..4], None).is_err(), "truncated header");
+            assert!(
+                codec.decode(&enc[..enc.len() - 1], None).is_err(),
+                "truncated body"
+            );
+            let mut bad = enc.clone();
+            bad[0] = b'X';
+            assert!(matches!(
+                codec.decode(&bad, None),
+                Err(CodecError::WrongCodec)
+            ));
+            let mut ver = enc.clone();
+            ver[3] = 9;
+            assert!(matches!(
+                codec.decode(&ver, None),
+                Err(CodecError::BadVersion(9))
+            ));
+        }
+        // Cross-codec magic is rejected, not misparsed.
+        let enc = UpdateCodec::Fp16.encode_stateless(&x, None);
+        assert!(matches!(
+            UpdateCodec::Int8.decode(&enc, None),
+            Err(CodecError::WrongCodec)
+        ));
+    }
+
+    #[test]
+    fn topk_rejects_bad_indices_and_base_mismatch() {
+        let x = ramp(16);
+        let codec = UpdateCodec::TopK { per_mille: 500 };
+        let enc = codec.encode_stateless(&x, None);
+        // Base of the wrong length.
+        assert!(matches!(
+            codec.decode(&enc, Some(&[0.0; 4])),
+            Err(CodecError::BaseMismatch)
+        ));
+        // Out-of-range index.
+        let mut bad = enc.clone();
+        bad[12..16].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            codec.decode(&bad, None),
+            Err(CodecError::BadIndex)
+        ));
+    }
+
+    #[test]
+    fn ids_and_sniffing_agree() {
+        for codec in [
+            UpdateCodec::Dense,
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TOP_K_DEFAULT,
+        ] {
+            assert_eq!(UpdateCodec::from_id(codec.id()).unwrap().id(), codec.id());
+            let enc = codec.encode_stateless(&ramp(8), None);
+            assert_eq!(UpdateCodec::sniff(&enc).unwrap().id(), codec.id());
+        }
+        assert_eq!(UpdateCodec::from_id(99), None);
+        assert_eq!(UpdateCodec::sniff(b"xx"), None);
+    }
+
+    #[test]
+    fn empty_vector_roundtrips_everywhere() {
+        for codec in [
+            UpdateCodec::Dense,
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TOP_K_DEFAULT,
+        ] {
+            let enc = codec.encode_stateless(&[], None);
+            assert_eq!(codec.decode(&enc, None).unwrap(), Vec::<f32>::new());
+        }
+    }
+
+    #[test]
+    fn compression_ratios_hold_at_model_scale() {
+        let n = 109_386; // the paper's MNIST MLP
+        let x = ramp(n);
+        let dense = UpdateCodec::Dense.encode_stateless(&x, None).len() as f64;
+        let fp16 = UpdateCodec::Fp16.encode_stateless(&x, None).len() as f64;
+        let int8 = UpdateCodec::Int8.encode_stateless(&x, None).len() as f64;
+        let topk = UpdateCodec::TOP_K_DEFAULT.encode_stateless(&x, None).len() as f64;
+        assert!(dense / fp16 > 1.9, "fp16 ~2x: {}", dense / fp16);
+        assert!(dense / int8 > 3.9, "int8 ~4x: {}", dense / int8);
+        assert!(dense / topk > 10.0, "topk >10x: {}", dense / topk);
+    }
+}

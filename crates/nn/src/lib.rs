@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod init;
 pub mod loss;
 pub mod metrics;
@@ -36,6 +37,7 @@ pub mod params;
 pub mod tensor;
 pub mod train;
 
+pub use codec::{CodecError, UpdateCodec};
 pub use init::Init;
 pub use loss::{mse, softmax_cross_entropy};
 pub use metrics::{accuracy, argmax, confusion_matrix};

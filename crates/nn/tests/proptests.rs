@@ -125,3 +125,168 @@ proptest! {
         let _ = deserialize_params(&bytes);
     }
 }
+
+// ---------------------------------------------------------------------
+// Update-codec laws: every codec round-trips within its error bound,
+// error feedback conserves what lossy encodings drop, and decoders
+// never panic on arbitrary bytes.
+// ---------------------------------------------------------------------
+
+use sdflmq_nn::codec::{f16_to_f32, f32_to_f16, top_k_count, UpdateCodec};
+
+fn finite_params(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Dense is bit-exact and byte-identical to the legacy serializer.
+    #[test]
+    fn dense_roundtrip_is_exact(params in finite_params(512)) {
+        let enc = UpdateCodec::Dense.encode_stateless(&params, None);
+        prop_assert_eq!(&enc, &serialize_params(&params));
+        let dec = UpdateCodec::Dense.decode(&enc, None).unwrap();
+        for (a, b) in dec.iter().zip(&params) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// fp16 error is bounded by half-precision ULP: |x|/1024 + a small
+    /// absolute floor for the subnormal range.
+    #[test]
+    fn fp16_error_bounded(params in finite_params(512)) {
+        let enc = UpdateCodec::Fp16.encode_stateless(&params, None);
+        prop_assert_eq!(enc.len(), 8 + params.len() * 2);
+        let dec = UpdateCodec::Fp16.decode(&enc, None).unwrap();
+        for (a, b) in params.iter().zip(&dec) {
+            prop_assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// f16 conversion round-trips its own output exactly (idempotence).
+    #[test]
+    fn f16_conversion_is_idempotent(x in -65504.0f32..65504.0) {
+        let once = f16_to_f32(f32_to_f16(x));
+        let twice = f16_to_f32(f32_to_f16(once));
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// int8 affine error is bounded by half a quantization step.
+    #[test]
+    fn int8_error_bounded_by_half_step(params in finite_params(512)) {
+        let enc = UpdateCodec::Int8.encode_stateless(&params, None);
+        prop_assert_eq!(enc.len(), 16 + params.len());
+        let dec = UpdateCodec::Int8.decode(&enc, None).unwrap();
+        let (lo, hi) = params
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |a, v| (a.0.min(*v), a.1.max(*v)));
+        let half_step = (hi - lo) / 255.0 * 0.5;
+        for (a, b) in params.iter().zip(&dec) {
+            prop_assert!((a - b).abs() <= half_step + 1e-5, "{} vs {}", a, b);
+        }
+    }
+
+    /// Top-k delta + residual reconstruction: what ships decodes exactly
+    /// against the base, and (decoded - base) + residual equals the full
+    /// compensated delta — error feedback conserves every coordinate.
+    #[test]
+    fn topk_residual_conserves_the_delta(
+        base in finite_params(256),
+        noise in prop::collection::vec(-1.0f32..1.0, 256),
+        prior in prop::collection::vec(-0.5f32..0.5, 256),
+        per_mille in 1u16..1000,
+    ) {
+        let n = base.len();
+        let params: Vec<f32> = base.iter().zip(&noise).map(|(b, d)| b + d).collect();
+        let mut residual: Vec<f32> = prior[..n].to_vec();
+        let expected: Vec<f32> = params
+            .iter()
+            .zip(&base)
+            .zip(&residual)
+            .map(|((x, b), r)| x - b + r)
+            .collect();
+        let codec = UpdateCodec::TopK { per_mille };
+        let enc = codec.encode(&params, Some(&base), &mut residual);
+        // Decoding against the zero base exposes the shipped delta values
+        // bit-exactly (decoding against `base` would re-round through a
+        // base + delta f32 addition).
+        let sent = codec.decode(&enc, None).unwrap();
+        prop_assert_eq!(sent.len(), n);
+        let k = top_k_count(n, per_mille);
+        let mut shipped = 0usize;
+        for i in 0..n {
+            // Conservation: shipped + owed == compensated delta, exactly
+            // (the split moves f32 values, it never recomputes them).
+            prop_assert!(
+                sent[i] + residual[i] == expected[i],
+                "coord {}: {} + {} != {}", i, sent[i], residual[i], expected[i]
+            );
+            // Each coordinate is either shipped exactly or fully owed.
+            if sent[i] != 0.0 {
+                prop_assert_eq!(residual[i], 0.0);
+                shipped += 1;
+            }
+        }
+        prop_assert!(shipped <= k, "{} coords shipped, k = {}", shipped, k);
+    }
+
+    /// The k largest-magnitude compensated deltas are the ones shipped.
+    #[test]
+    fn topk_ships_the_largest_magnitudes(
+        params in finite_params(128),
+        per_mille in 1u16..1000,
+    ) {
+        let n = params.len();
+        let codec = UpdateCodec::TopK { per_mille };
+        let mut residual = Vec::new();
+        let enc = codec.encode(&params, None, &mut residual);
+        let k = top_k_count(n, per_mille);
+        let mut magnitudes: Vec<f32> = params.iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(|a, b| b.total_cmp(a));
+        let threshold = magnitudes[k - 1];
+        let dec = codec.decode(&enc, None).unwrap();
+        for i in 0..n {
+            if params[i].abs() > threshold {
+                prop_assert_eq!(dec[i].to_bits(), params[i].to_bits(), "coord {}", i);
+            }
+        }
+    }
+
+    /// Lossy codecs never grow the payload beyond their nominal ratio.
+    #[test]
+    fn encoded_sizes_match_the_format(params in finite_params(600)) {
+        let n = params.len();
+        prop_assert_eq!(
+            UpdateCodec::Fp16.encode_stateless(&params, None).len(),
+            8 + n * 2
+        );
+        prop_assert_eq!(
+            UpdateCodec::Int8.encode_stateless(&params, None).len(),
+            16 + n
+        );
+        let k = top_k_count(n, 30);
+        prop_assert_eq!(
+            UpdateCodec::TOP_K_DEFAULT.encode_stateless(&params, None).len(),
+            12 + k * 8
+        );
+    }
+
+    /// No codec's decoder panics on arbitrary bytes, with or without a
+    /// base vector.
+    #[test]
+    fn codec_decode_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        base in prop::collection::vec(-1.0f32..1.0, 0..64),
+    ) {
+        for codec in [
+            UpdateCodec::Dense,
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TOP_K_DEFAULT,
+        ] {
+            let _ = codec.decode(&bytes, None);
+            let _ = codec.decode(&bytes, Some(&base));
+        }
+    }
+}
