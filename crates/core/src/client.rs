@@ -26,6 +26,7 @@
 
 use crate::aggregation::{Accumulator, AggregationMethod, FedAvg};
 use crate::blob::{BlobChannel, BlobCtx};
+use crate::clock::{wait_slice, wall_clock, Clock};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
 use crate::messages::{
@@ -64,6 +65,11 @@ pub struct SdflmqClientConfig {
     /// codec as the floor across all members, so a single dense-only
     /// member keeps everyone on dense f32.
     pub update_codec: UpdateCodec,
+    /// Time source for blocking waits (`send_local`'s round gate and
+    /// `wait_global_update`). Wall clock in production; a
+    /// [`crate::clock::TestClock`] measures those timeouts in virtual
+    /// time so scenario tests can step through them deterministically.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for SdflmqClientConfig {
@@ -75,6 +81,7 @@ impl Default for SdflmqClientConfig {
             system_seed: 0,
             rfc: RfcConfig::default(),
             update_codec: UpdateCodec::Dense,
+            clock: wall_clock(),
         }
     }
 }
@@ -139,14 +146,18 @@ impl RoundGate {
         self.cond.notify_all();
     }
 
-    /// Waits for any round to be open; returns the round number.
-    fn wait_open(&self, timeout: Duration) -> Result<u32> {
+    /// Waits for any round to be open; returns the round number. The
+    /// timeout is measured on `clock`: under a virtual clock the wait
+    /// polls in short wall-time slices so stepped time is observed.
+    fn wait_open(&self, clock: &dyn Clock, timeout: Duration) -> Result<u32> {
         let mut state = self.state.lock();
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = clock.now() + timeout;
         while *state == 0 {
-            if self.cond.wait_until(&mut state, deadline).timed_out() {
+            let Some(slice) = wait_slice(clock, deadline) else {
                 return Err(CoreError::Timeout);
-            }
+            };
+            self.cond
+                .wait_until(&mut state, std::time::Instant::now() + slice);
         }
         if *state == Self::CLOSED {
             Err(CoreError::Aborted("session closed".into()))
@@ -219,6 +230,8 @@ struct Inner {
     update_codec: UpdateCodec,
     /// Blobs whose payload failed to decode (see [`DataPlaneStats`]).
     undecodable_updates: AtomicU64,
+    /// Time source for blocking waits.
+    clock: Arc<dyn Clock>,
 }
 
 /// A connected SDFLMQ contributor.
@@ -256,6 +269,7 @@ impl SdflmqClient {
             system: Mutex::new(ClientSystem::new(config.system, config.system_seed)),
             update_codec: config.update_codec,
             undecodable_updates: AtomicU64::new(0),
+            clock: config.clock,
         });
 
         // Control function: role arbiter + session lifecycle. Decoding
@@ -474,7 +488,7 @@ impl SdflmqClient {
                     .round_gate,
             )
         };
-        let round = gate.wait_open(Duration::from_secs(120))?;
+        let round = gate.wait_open(&*self.inner.clock, Duration::from_secs(120))?;
         let role = {
             let mut sessions = self.inner.sessions.lock();
             let handle = sessions
@@ -644,12 +658,15 @@ impl SdflmqClient {
                 handle.last_sent.as_ref().map(|l| l.round).unwrap_or(0),
             )
         };
-        let deadline = std::time::Instant::now() + timeout;
+        let clock = Arc::clone(&self.inner.clock);
+        let deadline = clock.now() + timeout;
         loop {
-            let remaining = deadline
-                .checked_duration_since(std::time::Instant::now())
-                .ok_or(CoreError::Timeout)?;
-            match rx.recv_timeout(remaining) {
+            // Under a virtual clock, poll in short wall-time slices so a
+            // stepped deadline is observed; a wall clock blocks outright.
+            let Some(slice) = wait_slice(&*clock, deadline) else {
+                return Err(CoreError::Timeout);
+            };
+            match rx.recv_timeout(slice) {
                 // Round starts at or below the round we contributed to are
                 // stale (the session's very first round_start, or a
                 // mid-round re-delegation re-announcement).
@@ -660,7 +677,15 @@ impl SdflmqClient {
                 Ok(SessionEvent::Completed) => return Ok(WaitOutcome::Completed),
                 Ok(SessionEvent::Evicted(_reason)) => return Ok(WaitOutcome::Evicted),
                 Ok(SessionEvent::Aborted(reason)) => return Err(CoreError::Aborted(reason)),
-                Err(_) => return Err(CoreError::Timeout),
+                // A slice expired: loop back, which re-checks the (clock-
+                // measured) deadline and times out once it truly passed.
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                // Senders gone means the session handle was torn down —
+                // that only happens on eviction. Looping here would spin
+                // hot until the deadline (Disconnected returns instantly).
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Ok(WaitOutcome::Evicted)
+                }
             }
         }
     }

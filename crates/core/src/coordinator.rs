@@ -38,6 +38,7 @@
 //! cleared and the session is eventually garbage-collected.
 
 use crate::blob::publish_retained_json;
+use crate::clock::{wall_clock, Clock};
 use crate::clustering::{build_plan, diff_plans, PlanChange, Topology};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, SessionId};
@@ -47,13 +48,13 @@ use crate::session::{FlSession, SessionConfig, SessionState};
 use crate::topics::{functions, topology_topic};
 use crate::wirecodec::{ControlMsg, Envelope, MsgKind, SessionReply, WireVersion};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS};
 use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Coordinator configuration.
 pub struct CoordinatorConfig {
@@ -64,7 +65,10 @@ pub struct CoordinatorConfig {
     /// Per-round deadline before stragglers are penalized (and, after
     /// `max_missed_rounds` strikes, evicted).
     pub round_timeout: Duration,
-    /// Housekeeping cadence (waiting-window and deadline checks).
+    /// Upper bound on how long the housekeeping loop sleeps between
+    /// checks. The loop is event-driven — it wakes on new work, clock
+    /// advances, and computed deadlines — so this is only a safety net,
+    /// not a polling period; idle coordinators no longer wake on it.
     pub tick: Duration,
     /// MQTTFC transport settings.
     pub rfc: RfcConfig,
@@ -82,6 +86,10 @@ pub struct CoordinatorConfig {
     /// How long completed/aborted sessions stay queryable before they are
     /// garbage-collected from coordinator memory.
     pub terminal_linger: Duration,
+    /// Time source for every deadline the coordinator tracks. Wall clock
+    /// in production; a [`crate::clock::TestClock`] lets tests step round
+    /// deadlines, grace windows, strike accrual, and GC virtually.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for CoordinatorConfig {
@@ -99,6 +107,7 @@ impl Default for CoordinatorConfig {
             max_missed_rounds: 2,
             role_ack_timeout: Duration::from_secs(30),
             terminal_linger: Duration::from_secs(60),
+            clock: wall_clock(),
         }
     }
 }
@@ -113,6 +122,30 @@ struct CoordState {
     max_missed_rounds: u32,
     role_ack_timeout: Duration,
     terminal_linger: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+/// Wakes the housekeeping loop when there is something new to look at:
+/// a state mutation (session created/joined/advanced) or a virtual-clock
+/// step. Between wake-ups the loop sleeps until the earliest computed
+/// deadline instead of polling on a fixed tick.
+struct TickSignal {
+    pending: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl TickSignal {
+    fn new() -> Arc<TickSignal> {
+        Arc::new(TickSignal {
+            pending: Mutex::new(false),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn nudge(&self) {
+        *self.pending.lock() = true;
+        self.cond.notify_all();
+    }
 }
 
 /// Deferred orchestration work. RFC handlers run on the coordinator's MQTT
@@ -142,6 +175,7 @@ pub struct Coordinator {
     state: Arc<Mutex<CoordState>>,
     running: Arc<AtomicBool>,
     work_tx: crossbeam::channel::Sender<WorkItem>,
+    signal: Arc<TickSignal>,
 }
 
 impl std::fmt::Debug for Coordinator {
@@ -158,6 +192,7 @@ impl Coordinator {
     pub fn start(broker: &Broker, config: CoordinatorConfig) -> Result<Coordinator> {
         let client = Client::connect(broker, ClientOptions::new(COORDINATOR_ID))?;
         let fc = FleetController::new(client, COORDINATOR_ID, config.rfc.clone())?;
+        let clock = Arc::clone(&config.clock);
         let state = Arc::new(Mutex::new(CoordState {
             sessions: HashMap::new(),
             optimizer: config.optimizer,
@@ -168,15 +203,23 @@ impl Coordinator {
             max_missed_rounds: config.max_missed_rounds,
             role_ack_timeout: config.role_ack_timeout,
             terminal_linger: config.terminal_linger,
+            clock: Arc::clone(&clock),
         }));
         let running = Arc::new(AtomicBool::new(true));
         let (work_tx, work_rx) = crossbeam::channel::unbounded::<WorkItem>();
+        let signal = TickSignal::new();
+
+        // A virtual-clock step changes every deadline at once: re-check
+        // immediately instead of waiting out a wall-time sleep.
+        let clock_signal = Arc::clone(&signal);
+        clock.register_waker(Arc::new(move || clock_signal.nudge()));
 
         let coordinator = Coordinator {
             fc: fc.clone(),
             state: Arc::clone(&state),
             running: Arc::clone(&running),
             work_tx: work_tx.clone(),
+            signal: Arc::clone(&signal),
         };
         coordinator.expose_handlers()?;
 
@@ -185,6 +228,7 @@ impl Coordinator {
         let work_state = Arc::clone(&state);
         let work_fc = fc.clone();
         let loop_tx = work_tx.clone();
+        let work_signal = Arc::clone(&signal);
         std::thread::Builder::new()
             .name("coordinator-worker".into())
             .spawn(move || {
@@ -204,22 +248,53 @@ impl Coordinator {
                         // Orchestration failures abort the affected session.
                         let _ = e;
                     }
+                    // Session state (and so the earliest deadline) changed.
+                    work_signal.nudge();
                 }
             })
             .expect("spawn coordinator worker");
 
         // Housekeeping thread: waiting-window expiry, quorum grace expiry,
-        // round deadlines, session budgets, and terminal-session GC.
+        // round deadlines, session budgets, and terminal-session GC. The
+        // loop is condvar-driven: it sleeps until the earliest deadline it
+        // computed, or until a nudge (new work / clock advance) arrives —
+        // an idle coordinator parks indefinitely instead of burning a
+        // wakeup per tick, and virtual-time tests are not bound to the
+        // tick period.
         let tick_state = Arc::clone(&state);
         let tick_fc = fc.clone();
         let tick_running = Arc::clone(&running);
+        let tick_signal = Arc::clone(&signal);
+        let tick_clock = clock;
         let tick = config.tick;
         std::thread::Builder::new()
             .name("coordinator-ticker".into())
             .spawn(move || {
                 while tick_running.load(Ordering::Acquire) {
-                    std::thread::sleep(tick);
-                    Self::housekeeping(&tick_state, &tick_fc, &work_tx);
+                    let next = Self::housekeeping(&tick_state, &tick_fc, &work_tx);
+                    let mut pending = tick_signal.pending.lock();
+                    if !*pending {
+                        match next {
+                            Some(deadline) => {
+                                // +1ms past the deadline so strict `>`
+                                // comparisons read true on wake-up. The
+                                // duration is measured on the session
+                                // clock; for virtual clocks the advance
+                                // waker cuts the wait short.
+                                let wait = deadline
+                                    .saturating_duration_since(tick_clock.now())
+                                    .saturating_add(Duration::from_millis(1))
+                                    .min(tick.max(Duration::from_millis(1)) * 100);
+                                tick_signal
+                                    .cond
+                                    .wait_until(&mut pending, Instant::now() + wait);
+                            }
+                            None => {
+                                tick_signal.cond.wait(&mut pending);
+                            }
+                        }
+                    }
+                    *pending = false;
                 }
             })
             .expect("spawn coordinator ticker");
@@ -255,13 +330,19 @@ impl Coordinator {
     /// Stops housekeeping (sessions freeze; used on shutdown).
     pub fn stop(&self) {
         self.running.store(false, Ordering::Release);
+        // Wake the housekeeping loop so it observes the flag even while
+        // parked without a deadline.
+        self.signal.nudge();
     }
 
     fn expose_handlers(&self) -> Result<()> {
         // Handlers decode by sniffing the frame (JSON v1 or binary v2),
         // so a mixed fleet of legacy and upgraded clients coexists. The
         // negotiation replies are always JSON v1 for the same reason.
+        // Every handler nudges the housekeeping loop: new sessions, joins,
+        // and reports all change what the earliest deadline is.
         let state = Arc::clone(&self.state);
+        let signal = Arc::clone(&self.signal);
         self.fc.expose(
             functions::NEW_SESSION,
             Arc::new(move |msg| {
@@ -272,6 +353,7 @@ impl Coordinator {
                 };
                 let negotiated = WireVersion::negotiate(req.proto);
                 Self::handle_new_session(&state, req).map_err(|e| e.to_string())?;
+                signal.nudge();
                 Ok(Envelope::new(
                     WireVersion::V1Json,
                     ControlMsg::Reply(SessionReply::new("created", negotiated)),
@@ -282,6 +364,7 @@ impl Coordinator {
 
         let state = Arc::clone(&self.state);
         let work = self.work_tx.clone();
+        let signal = Arc::clone(&self.signal);
         self.fc.expose(
             functions::JOIN_SESSION,
             Arc::new(move |msg| {
@@ -292,6 +375,7 @@ impl Coordinator {
                 };
                 let negotiated = WireVersion::negotiate(req.proto);
                 Self::handle_join(&state, &work, req, negotiated).map_err(|e| e.to_string())?;
+                signal.nudge();
                 Ok(Envelope::new(
                     WireVersion::V1Json,
                     ControlMsg::Reply(SessionReply::new("joined", negotiated)),
@@ -302,6 +386,7 @@ impl Coordinator {
 
         let state = Arc::clone(&self.state);
         let work = self.work_tx.clone();
+        let signal = Arc::clone(&self.signal);
         self.fc.expose(
             functions::ROUND_DONE,
             Arc::new(move |msg| {
@@ -311,6 +396,8 @@ impl Coordinator {
                     return Err("expected a round_done frame".into());
                 };
                 Self::handle_round_done(&state, &work, report).map_err(|e| e.to_string())?;
+                // A done report may have armed the quorum-grace deadline.
+                signal.nudge();
                 Ok(Bytes::new())
             }),
         )?;
@@ -347,22 +434,26 @@ impl Coordinator {
         let topology = guard.topology.clone();
         let (quorum, grace, max_missed_rounds) =
             (guard.quorum, guard.grace, guard.max_missed_rounds);
+        let clock = Arc::clone(&guard.clock);
         guard.sessions.insert(
             req.session_id.clone(),
-            FlSession::new(SessionConfig {
-                session_id: req.session_id.clone(),
-                model_name: req.model_name,
-                capacity_min: req.capacity_min,
-                capacity_max: req.capacity_max,
-                fl_rounds: req.fl_rounds,
-                session_time: Duration::from_secs_f64(req.session_time_secs.max(1.0)),
-                waiting_time: Duration::from_secs_f64(req.waiting_time_secs.max(0.0)),
-                topology,
-                quorum,
-                grace,
-                max_missed_rounds,
-                data_codec: req.codec,
-            }),
+            FlSession::with_clock(
+                SessionConfig {
+                    session_id: req.session_id.clone(),
+                    model_name: req.model_name,
+                    capacity_min: req.capacity_min,
+                    capacity_max: req.capacity_max,
+                    fl_rounds: req.fl_rounds,
+                    session_time: Duration::from_secs_f64(req.session_time_secs.max(1.0)),
+                    waiting_time: Duration::from_secs_f64(req.waiting_time_secs.max(0.0)),
+                    topology,
+                    quorum,
+                    grace,
+                    max_missed_rounds,
+                    data_codec: req.codec,
+                },
+                clock,
+            ),
         );
         Ok(())
     }
@@ -548,16 +639,11 @@ impl Coordinator {
                 }
                 let all: Vec<ClientId> = session.clients.iter().map(|c| c.id.clone()).collect();
                 // Black-box feedback (paper future-work item): report the
-                // closed round's wall-clock span to the optimizer.
-                if let SessionState::Running {
-                    round,
-                    round_started,
-                    ..
-                } = &session.state
-                {
-                    guard
-                        .optimizer
-                        .observe_round(*round, round_started.elapsed().as_secs_f64());
+                // closed round's (possibly virtual) time span to the
+                // optimizer.
+                if let Some(closed_round) = session.current_round() {
+                    let span = session.round_elapsed().as_secs_f64();
+                    guard.optimizer.observe_round(closed_round, span);
                 }
                 let next = match session.advance_round() {
                     None => Next::Complete {
@@ -833,11 +919,13 @@ impl Coordinator {
     /// abort under-subscribed or budget-blown ones, force-close rounds
     /// whose quorum grace expired, escalate blown round deadlines to the
     /// straggler machinery, and garbage-collect terminal sessions.
+    /// Returns the earliest upcoming deadline across all sessions, so the
+    /// caller can sleep exactly until something can actually happen.
     fn housekeeping(
         state: &Arc<Mutex<CoordState>>,
         fc: &FleetController,
         work: &crossbeam::channel::Sender<WorkItem>,
-    ) {
+    ) -> Option<Instant> {
         #[derive(Debug)]
         enum Action {
             Start(SessionId),
@@ -845,7 +933,7 @@ impl Coordinator {
             CloseQuorum(SessionId, u32),
             Overdue(SessionId),
         }
-        let actions: Vec<Action> = {
+        let (actions, next_deadline): (Vec<Action>, Option<Instant>) = {
             let mut guard = state.lock();
             let round_timeout = guard.round_timeout;
             let linger = guard.terminal_linger;
@@ -886,7 +974,12 @@ impl Coordinator {
                     actions.push(Action::Overdue(id.clone()));
                 }
             }
-            actions
+            let next = guard
+                .sessions
+                .values()
+                .filter_map(|s| s.next_deadline(round_timeout, linger))
+                .min();
+            (actions, next)
         };
         for action in actions {
             match action {
@@ -913,6 +1006,7 @@ impl Coordinator {
                 }
             }
         }
+        next_deadline
     }
 
     fn send_evictions(

@@ -40,6 +40,7 @@
 pub mod aggregation;
 pub mod blob;
 pub mod client;
+pub mod clock;
 pub mod clustering;
 pub mod coordinator;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod wirecodec;
 pub use aggregation::{Accumulator, AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
 pub use blob::BlobCtx;
 pub use client::{DataPlaneStats, SdflmqClient, SdflmqClientConfig, WaitOutcome};
+pub use clock::{wall_clock, Clock, TestClock, WallClock};
 pub use clustering::{build_plan, diff_plans, ClientInfo, ClusterPlan, Topology};
 pub use coordinator::{Coordinator, CoordinatorConfig, COORDINATOR_ID};
 pub use error::{CoreError, Result};

@@ -15,11 +15,13 @@
 //! the session continues as long as `capacity_min` survivors remain,
 //! instead of aborting on the first blown deadline.
 
+use crate::clock::{elapsed_since, wall_clock, Clock};
 use crate::clustering::{ClientInfo, ClusterPlan, Topology};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
 use crate::wirecodec::WireVersion;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Immutable session parameters fixed at creation.
@@ -108,21 +110,30 @@ pub struct FlSession {
     pub missed: HashMap<ClientId, u32>,
     /// When the session reached a terminal state (for garbage collection).
     pub finished_at: Option<Instant>,
+    /// Time source for every deadline this session tracks. Wall clock in
+    /// production; a [`crate::clock::TestClock`] in virtual-time tests.
+    clock: Arc<dyn Clock>,
 }
 
 impl FlSession {
-    /// Creates a session in `Waiting`.
+    /// Creates a session in `Waiting` on the wall clock.
     pub fn new(config: SessionConfig) -> FlSession {
+        Self::with_clock(config, wall_clock())
+    }
+
+    /// Creates a session in `Waiting` with an explicit time source.
+    pub fn with_clock(config: SessionConfig, clock: Arc<dyn Clock>) -> FlSession {
         FlSession {
             config,
             clients: Vec::new(),
             state: SessionState::Waiting,
             plan: None,
-            created: Instant::now(),
+            created: clock.now(),
             wire: HashMap::new(),
             codec_support: HashMap::new(),
             missed: HashMap::new(),
             finished_at: None,
+            clock,
         }
     }
 
@@ -173,30 +184,30 @@ impl FlSession {
     pub fn should_start(&self) -> bool {
         self.state == SessionState::Waiting
             && (self.clients.len() >= self.config.capacity_max
-                || (self.created.elapsed() >= self.config.waiting_time
+                || (elapsed_since(&*self.clock, self.created) >= self.config.waiting_time
                     && self.clients.len() >= self.config.capacity_min))
     }
 
     /// True when the waiting window closed under-subscribed.
     pub fn should_abort_waiting(&self) -> bool {
         self.state == SessionState::Waiting
-            && self.created.elapsed() >= self.config.waiting_time
+            && elapsed_since(&*self.clock, self.created) >= self.config.waiting_time
             && self.clients.len() < self.config.capacity_min
     }
 
     /// Moves to `Running` round 1.
     pub fn start(&mut self) {
         debug_assert_eq!(self.state, SessionState::Waiting);
-        self.state = Self::fresh_round(1);
+        self.state = self.fresh_round(1);
     }
 
-    fn fresh_round(round: u32) -> SessionState {
+    fn fresh_round(&self, round: u32) -> SessionState {
         SessionState::Running {
             round,
             done: HashSet::new(),
             contributed: HashSet::new(),
             penalized: HashSet::new(),
-            round_started: Instant::now(),
+            round_started: self.clock.now(),
             quorum_met_at: None,
         }
     }
@@ -204,7 +215,7 @@ impl FlSession {
     /// Moves to `Aborted` and stamps the terminal instant.
     pub fn abort(&mut self, reason: &str) {
         self.state = SessionState::Aborted(reason.to_owned());
-        self.finished_at = Some(Instant::now());
+        self.finished_at = Some(self.clock.now());
     }
 
     /// Number of done reports that constitutes a quorum for the current
@@ -223,6 +234,7 @@ impl FlSession {
         let total = self.clients.len();
         let quorum_count = self.quorum_count();
         let grace = self.config.grace;
+        let now = self.clock.now();
         match &mut self.state {
             SessionState::Running {
                 round: current,
@@ -233,11 +245,12 @@ impl FlSession {
                 done.insert(client.clone());
                 self.missed.remove(client);
                 if done.len() >= quorum_count && quorum_met_at.is_none() {
-                    *quorum_met_at = Some(Instant::now());
+                    *quorum_met_at = Some(now);
                 }
                 Ok(done.len() == total
                     || (done.len() >= quorum_count
-                        && quorum_met_at.is_some_and(|t| t.elapsed() >= grace)))
+                        && quorum_met_at
+                            .is_some_and(|t| now.saturating_duration_since(t) >= grace)))
             }
             SessionState::Running { round: current, .. } => Err(CoreError::Protocol(format!(
                 "round_done for round {round}, session at {current}"
@@ -279,7 +292,7 @@ impl FlSession {
         };
         done.len() < self.clients.len()
             && done.len() >= self.quorum_count()
-            && quorum_met_at.is_some_and(|t| t.elapsed() >= self.config.grace)
+            && quorum_met_at.is_some_and(|t| elapsed_since(&*self.clock, t) >= self.config.grace)
     }
 
     /// Charges every unresponsive contributor (neither done nor
@@ -316,6 +329,7 @@ impl FlSession {
     /// Removes a contributor from the session (dropout eviction). The
     /// caller is responsible for re-planning and for notifying the client.
     pub fn evict(&mut self, client: &ClientId) {
+        let now = self.clock.now();
         self.clients.retain(|c| &c.id != client);
         self.wire.remove(client);
         self.missed.remove(client);
@@ -335,7 +349,7 @@ impl FlSession {
                 && quorum_met_at.is_none()
                 && done.len() >= quorum_count_for(self.clients.len(), self.config.quorum)
             {
-                *quorum_met_at = Some(Instant::now());
+                *quorum_met_at = Some(now);
             }
         }
     }
@@ -373,8 +387,9 @@ impl FlSession {
     /// Restarts the round deadline clock (after a mid-round re-delegation
     /// gave the survivors fresh work).
     pub fn reset_round_clock(&mut self) {
+        let now = self.clock.now();
         if let SessionState::Running { round_started, .. } = &mut self.state {
-            *round_started = Instant::now();
+            *round_started = now;
         }
     }
 
@@ -387,11 +402,22 @@ impl FlSession {
         let next = *round + 1;
         if next > self.config.fl_rounds {
             self.state = SessionState::Completed;
-            self.finished_at = Some(Instant::now());
+            self.finished_at = Some(self.clock.now());
             None
         } else {
-            self.state = Self::fresh_round(next);
+            self.state = self.fresh_round(next);
             Some(next)
+        }
+    }
+
+    /// Wall (or virtual) time the current round has been open, `ZERO`
+    /// when not running.
+    pub fn round_elapsed(&self) -> Duration {
+        match &self.state {
+            SessionState::Running { round_started, .. } => {
+                elapsed_since(&*self.clock, *round_started)
+            }
+            _ => Duration::ZERO,
         }
     }
 
@@ -399,7 +425,9 @@ impl FlSession {
     /// stall: time to penalize and possibly evict stragglers).
     pub fn round_overdue(&self, round_deadline: Duration) -> bool {
         match &self.state {
-            SessionState::Running { round_started, .. } => round_started.elapsed() > round_deadline,
+            SessionState::Running { round_started, .. } => {
+                elapsed_since(&*self.clock, *round_started) > round_deadline
+            }
             _ => false,
         }
     }
@@ -407,7 +435,7 @@ impl FlSession {
     /// True when the session blew its total time budget (aborts).
     pub fn budget_blown(&self) -> bool {
         matches!(self.state, SessionState::Running { .. })
-            && self.created.elapsed() > self.config.session_time
+            && elapsed_since(&*self.clock, self.created) > self.config.session_time
     }
 
     /// True when the current round exceeded `round_deadline` or the session
@@ -422,7 +450,37 @@ impl FlSession {
         matches!(
             self.state,
             SessionState::Completed | SessionState::Aborted(_)
-        ) && self.finished_at.is_some_and(|t| t.elapsed() >= linger)
+        ) && self
+            .finished_at
+            .is_some_and(|t| elapsed_since(&*self.clock, t) >= linger)
+    }
+
+    /// The next instant at which a time-driven transition can fire for
+    /// this session, if any — the coordinator's housekeeping loop sleeps
+    /// until then (or until new work arrives) instead of polling on a
+    /// fixed tick.
+    pub fn next_deadline(&self, round_timeout: Duration, linger: Duration) -> Option<Instant> {
+        match &self.state {
+            SessionState::Waiting => Some(self.created + self.config.waiting_time),
+            SessionState::Running {
+                round_started,
+                quorum_met_at,
+                done,
+                ..
+            } => {
+                let mut next =
+                    (*round_started + round_timeout).min(self.created + self.config.session_time);
+                if done.len() < self.clients.len() {
+                    if let Some(met) = quorum_met_at {
+                        next = next.min(*met + self.config.grace);
+                    }
+                }
+                Some(next)
+            }
+            SessionState::Completed | SessionState::Aborted(_) => {
+                self.finished_at.map(|t| t + linger)
+            }
+        }
     }
 
     /// Current round number, if running.
@@ -451,6 +509,7 @@ fn quorum_count_for(total: usize, quorum: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::TestClock;
     use crate::roles::PreferredRole;
     use sdflmq_sim::SystemStats;
 
@@ -500,6 +559,17 @@ mod tests {
         s
     }
 
+    /// A session on a virtual clock: deadline tests *step* time instead of
+    /// sleeping through it — no wall-clock flake, no fixed sleeps.
+    fn clocked_session_of(n: usize, cfg: SessionConfig) -> (FlSession, Arc<TestClock>) {
+        let clock = TestClock::new();
+        let mut s = FlSession::with_clock(cfg, clock.clone());
+        for i in 0..n {
+            s.add_client(info(&format!("c{i}")), &mlp()).unwrap();
+        }
+        (s, clock)
+    }
+
     #[test]
     fn join_rules() {
         let mut s = FlSession::new(config(2, 3, 2));
@@ -532,18 +602,18 @@ mod tests {
 
     #[test]
     fn starts_after_waiting_window_with_min() {
-        let mut s = FlSession::new(config(1, 5, 1));
+        let (mut s, clock) = clocked_session_of(0, config(1, 5, 1));
         s.add_client(info("a"), &mlp()).unwrap();
         assert!(!s.should_start(), "window still open");
-        std::thread::sleep(Duration::from_millis(60));
+        clock.advance(Duration::from_millis(50));
         assert!(s.should_start());
     }
 
     #[test]
     fn aborts_when_undersubscribed() {
-        let s = FlSession::new(config(3, 5, 1));
+        let (s, clock) = clocked_session_of(0, config(3, 5, 1));
         assert!(!s.should_abort_waiting());
-        std::thread::sleep(Duration::from_millis(60));
+        clock.advance(Duration::from_millis(50));
         assert!(s.should_abort_waiting());
     }
 
@@ -601,14 +671,18 @@ mod tests {
         let mut cfg = config(2, 4, 2);
         cfg.quorum = 0.5;
         cfg.grace = Duration::from_millis(30);
-        let mut s = session_of(4, cfg);
+        let (mut s, clock) = clocked_session_of(4, cfg);
         s.start();
         assert_eq!(s.quorum_count(), 2);
         assert!(!s.record_done(&cid("c0"), 1).unwrap());
         // Quorum met, but grace has not elapsed: not closed yet.
         assert!(!s.record_done(&cid("c1"), 1).unwrap());
         assert!(!s.quorum_ready());
-        std::thread::sleep(Duration::from_millis(40));
+        // Stepping to one tick short of the grace keeps the round open;
+        // the exact boundary closes it (elapsed >= grace).
+        clock.advance(Duration::from_millis(29));
+        assert!(!s.quorum_ready());
+        clock.advance(Duration::from_millis(1));
         // Grace elapsed: housekeeping sees a force-closable round, and a
         // further (late but valid) report also reads as closing.
         assert!(s.quorum_ready());
@@ -726,16 +800,11 @@ mod tests {
     fn overdue_detection() {
         let mut cfg = config(1, 1, 1);
         cfg.session_time = Duration::from_millis(10);
-        let mut s = FlSession::new(cfg);
+        let (mut s, clock) = clocked_session_of(0, cfg);
         s.add_client(info("a"), &mlp()).unwrap();
         s.start();
-        assert!(
-            !s.is_overdue(Duration::from_secs(100)) || {
-                std::thread::sleep(Duration::from_millis(1));
-                true
-            }
-        );
-        std::thread::sleep(Duration::from_millis(15));
+        assert!(!s.is_overdue(Duration::from_secs(100)), "nothing elapsed");
+        clock.advance(Duration::from_millis(15));
         assert!(s.budget_blown(), "session budget blown");
         assert!(
             s.is_overdue(Duration::from_secs(100)),
@@ -750,12 +819,42 @@ mod tests {
 
     #[test]
     fn reset_round_clock_defers_the_deadline() {
-        let mut s = session_of(1, config(1, 1, 1));
+        let (mut s, clock) = clocked_session_of(1, config(1, 1, 1));
         s.start();
-        std::thread::sleep(Duration::from_millis(10));
+        clock.advance(Duration::from_millis(10));
         assert!(s.round_overdue(Duration::from_millis(5)));
         s.reset_round_clock();
         assert!(!s.round_overdue(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn next_deadline_tracks_lifecycle() {
+        let mut cfg = config(2, 2, 2);
+        cfg.grace = Duration::from_millis(100);
+        cfg.quorum = 0.5;
+        let (mut s, clock) = clocked_session_of(2, cfg);
+        let timeout = Duration::from_secs(5);
+        let linger = Duration::from_secs(60);
+        // Waiting: the waiting-window close is the next deadline.
+        assert_eq!(
+            s.next_deadline(timeout, linger),
+            Some(clock.now() + Duration::from_millis(50))
+        );
+        s.start();
+        // Running, no quorum yet: the round deadline governs.
+        assert_eq!(
+            s.next_deadline(timeout, linger),
+            Some(clock.now() + timeout)
+        );
+        // Quorum met: the (sooner) grace expiry takes over.
+        s.record_done(&cid("c0"), 1).unwrap();
+        assert_eq!(
+            s.next_deadline(timeout, linger),
+            Some(clock.now() + Duration::from_millis(100))
+        );
+        // Terminal: the GC linger is all that remains.
+        s.abort("test");
+        assert_eq!(s.next_deadline(timeout, linger), Some(clock.now() + linger));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::codec;
 use crate::error::{ConnectReturnCode, MqttError, Result};
+use crate::fault::{FaultPlan, FaultState, FaultVerdict, PendingDelivery};
 use crate::packet::*;
 use crate::retained::RetainedStore;
 use crate::session::{InflightOut, QueuedMessage, Session};
@@ -44,6 +45,9 @@ pub struct BrokerConfig {
     pub keepalive_grace: f64,
     /// How often the loop checks keep-alive expiry.
     pub tick_interval: Duration,
+    /// Optional fault-injection plan applied to every delivery (chaos
+    /// testing; see [`crate::fault`]). `None` delivers everything.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for BrokerConfig {
@@ -53,6 +57,7 @@ impl Default for BrokerConfig {
             max_queued_per_session: 1024,
             keepalive_grace: 1.5,
             tick_interval: Duration::from_millis(100),
+            fault_plan: None,
         }
     }
 }
@@ -65,6 +70,10 @@ enum Event {
     Incoming(ConnId, Packet),
     ConnClosed(ConnId),
     Tick,
+    /// Replay a delivery the fault layer deferred (delayed message).
+    Inject(PendingDelivery),
+    /// Release the deliveries a `Hold` fault rule buffered.
+    ReleaseHeld(String),
     Shutdown,
 }
 
@@ -146,6 +155,18 @@ impl Broker {
         self.counters.snapshot()
     }
 
+    /// Releases every delivery buffered by the `Hold` fault rule with
+    /// `label` (see [`crate::fault::FaultAction::Hold`]). A no-op when no
+    /// such rule exists or nothing is held.
+    pub fn release_held(&self, label: &str) {
+        let _ = self.tx.send(Event::ReleaseHeld(label.to_owned()));
+    }
+
+    /// Per-fault-rule hit counts, labelled. Empty without a fault plan.
+    pub fn fault_hits(&self) -> Vec<(String, u64)> {
+        self.counters.fault_hits()
+    }
+
     /// Requests shutdown and waits for the loop thread to finish.
     pub fn shutdown(mut self) {
         let _ = self.tx.send(Event::Shutdown);
@@ -187,10 +208,18 @@ struct BrokerCore {
     /// Subscriptions keyed by client id; payload is the granted QoS.
     trie: SubscriptionTrie<String, QoS>,
     retained: RetainedStore,
+    /// Fault-injection engine, present when the config carries a plan.
+    faults: Option<FaultState>,
 }
 
 impl BrokerCore {
     fn new(config: BrokerConfig, counters: Arc<BrokerCounters>, event_tx: Sender<Event>) -> Self {
+        let faults = config.fault_plan.as_ref().map(FaultState::new);
+        if let Some(state) = &faults {
+            for (label, hits) in state.labels() {
+                counters.register_fault_rule(label, hits);
+            }
+        }
         BrokerCore {
             config,
             counters,
@@ -201,6 +230,7 @@ impl BrokerCore {
             sessions: HashMap::new(),
             trie: SubscriptionTrie::new(),
             retained: RetainedStore::new(),
+            faults,
         }
     }
 
@@ -211,6 +241,16 @@ impl BrokerCore {
                 Event::Incoming(conn, packet) => self.on_packet(conn, packet),
                 Event::ConnClosed(conn) => self.on_conn_closed(conn),
                 Event::Tick => self.on_tick(),
+                Event::Inject(d) => self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain),
+                Event::ReleaseHeld(label) => {
+                    let released = match &mut self.faults {
+                        Some(state) => state.release(&label),
+                        None => Vec::new(),
+                    };
+                    for d in released {
+                        self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain);
+                    }
+                }
                 Event::Shutdown => break,
             }
         }
@@ -389,7 +429,10 @@ impl BrokerCore {
             .queued_current
             .fetch_sub(queued.len() as u64, Ordering::Relaxed);
         for msg in queued {
-            self.deliver(client_id.to_owned(), msg.topic, msg.payload, msg.qos, false);
+            // Straight to deliver_raw: these messages already passed the
+            // fault plan when they were routed (and queued); evaluating
+            // them again would double-apply rules and skew hit windows.
+            self.deliver_raw(client_id.to_owned(), msg.topic, msg.payload, msg.qos, false);
         }
         for (_, inflight_msg) in inflight {
             // Retransmit with a fresh id and DUP=1.
@@ -443,10 +486,10 @@ impl BrokerCore {
         }
 
         match p.qos {
-            QoS::AtMostOnce => self.route(&p, conn_id, is_bridge),
+            QoS::AtMostOnce => self.route(&p, conn_id, is_bridge, Some(&client_id)),
             QoS::AtLeastOnce => {
                 let id = p.packet_id.unwrap_or(0);
-                self.route(&p, conn_id, is_bridge);
+                self.route(&p, conn_id, is_bridge, Some(&client_id));
                 self.send_to_conn(conn_id, &Packet::Puback(id));
             }
             QoS::ExactlyOnce => {
@@ -458,7 +501,7 @@ impl BrokerCore {
                     .unwrap_or(true);
                 if fresh {
                     // Method A: route on first receipt, dedupe duplicates.
-                    self.route(&p, conn_id, is_bridge);
+                    self.route(&p, conn_id, is_bridge, Some(&client_id));
                 }
                 self.send_to_conn(conn_id, &Packet::Pubrec(id));
             }
@@ -466,8 +509,15 @@ impl BrokerCore {
     }
 
     /// Routes a publish to every matching subscriber and updates the
-    /// retained store.
-    fn route(&mut self, p: &Publish, origin: ConnId, origin_is_bridge: bool) {
+    /// retained store. `origin_client` is the publishing client's id (used
+    /// by fault-rule matching), `None` for broker-internal replays.
+    fn route(
+        &mut self,
+        p: &Publish,
+        origin: ConnId,
+        origin_is_bridge: bool,
+        origin_client: Option<&str>,
+    ) {
         if p.retain {
             let had = self.retained.len();
             self.retained.apply(p);
@@ -508,13 +558,66 @@ impl BrokerCore {
             // one exception: bridge connections keep the flag so retained
             // state propagates across brokers (mosquitto behaves the same).
             let retain_out = p.retain && client.starts_with(BRIDGE_PREFIX);
-            self.deliver(client, p.topic.clone(), p.payload.clone(), qos, retain_out);
+            self.deliver(
+                client,
+                p.topic.clone(),
+                p.payload.clone(),
+                qos,
+                retain_out,
+                origin_client,
+            );
+        }
+    }
+
+    /// Delivers one message to one client, first consulting the fault
+    /// plan (if any): a matching rule may drop, corrupt, duplicate,
+    /// reorder, hold, or delay the delivery. Deliveries the fault layer
+    /// re-injects go straight to [`BrokerCore::deliver_raw`] so rules
+    /// cannot cascade on their own output.
+    fn deliver(
+        &mut self,
+        client: String,
+        topic: TopicName,
+        payload: Bytes,
+        qos: QoS,
+        retain: bool,
+        origin: Option<&str>,
+    ) {
+        let Some(faults) = self.faults.as_mut() else {
+            self.deliver_raw(client, topic, payload, qos, retain);
+            return;
+        };
+        match faults.evaluate(&client, &topic, &payload, qos, retain, origin) {
+            FaultVerdict::Deliver {
+                payload,
+                duplicate,
+                release,
+            } => {
+                self.deliver_raw(client.clone(), topic.clone(), payload.clone(), qos, retain);
+                if duplicate {
+                    self.deliver_raw(client, topic, payload, qos, retain);
+                }
+                for d in release {
+                    self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain);
+                }
+            }
+            FaultVerdict::Consumed => {}
+            FaultVerdict::Delayed { delivery, delay } => {
+                let tx = self.event_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("{}-fault-delay", self.config.name))
+                    .spawn(move || {
+                        std::thread::sleep(delay);
+                        let _ = tx.send(Event::Inject(delivery));
+                    })
+                    .expect("spawn fault delay timer");
+            }
         }
     }
 
     /// Delivers one message to one client (live) or queues it (parked
     /// persistent session).
-    fn deliver(
+    fn deliver_raw(
         &mut self,
         client: String,
         topic: TopicName,
@@ -647,7 +750,7 @@ impl BrokerCore {
         );
         for (topic, payload, qos) in replays {
             // Retained replays carry retain=1.
-            self.deliver(client_id.clone(), topic, payload, qos, true);
+            self.deliver(client_id.clone(), topic, payload, qos, true, None);
         }
     }
 
@@ -682,6 +785,7 @@ impl BrokerCore {
         } else {
             conn.will.clone()
         };
+        let origin_client = conn.client_id.clone();
 
         if let Some(client_id) = conn.client_id {
             if self.by_client.get(&client_id) == Some(&conn_id) {
@@ -715,7 +819,7 @@ impl BrokerCore {
                 payload: will.payload,
             };
             // conn_id is gone, so origin-echo suppression is a no-op here.
-            self.route(&publish, conn_id, false);
+            self.route(&publish, conn_id, false, origin_client.as_deref());
         }
     }
 

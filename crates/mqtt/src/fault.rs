@@ -1,0 +1,639 @@
+//! Deterministic fault injection in the broker's delivery path.
+//!
+//! A [`FaultPlan`] is a seeded, ordered list of [`FaultRule`]s evaluated
+//! against every message the broker is about to deliver to a subscriber.
+//! Rules match on the destination topic (full MQTT filter syntax), the
+//! publishing client, the receiving client, and a *message-count window*
+//! (skip the first `n` matches, act on the next `m`). The first active,
+//! in-window rule whose predicates match decides the message's fate:
+//!
+//! * [`FaultAction::Drop`] — the delivery silently vanishes;
+//! * [`FaultAction::Corrupt`] — one payload byte is flipped (chunk CRCs
+//!   turn this into an observable `dropped_transfers` on the receiver);
+//! * [`FaultAction::Duplicate`] — the delivery happens twice
+//!   (at-least-once semantics without a flaky network);
+//! * [`FaultAction::ReorderNext`] — the delivery is stashed and released
+//!   *after* the next delivery matching the same rule's predicates;
+//! * [`FaultAction::Hold`] — the delivery is buffered until the test
+//!   releases it via [`crate::broker::Broker::release_held`];
+//! * [`FaultAction::Delay`] — the delivery is re-injected after a
+//!   wall-clock delay (prefer `Hold` in deterministic tests).
+//!
+//! Every rule carries an activity toggle and a hit counter shared with the
+//! [`FaultHandle`] the test keeps, so partitions can be opened and healed
+//! mid-run and hit counts asserted afterwards. Rules with `prob < 1.0`
+//! draw from a seeded xorshift stream keyed by the plan seed and the rule
+//! index, so the same seed and the same delivery order reproduce the same
+//! verdicts.
+//!
+//! The fault layer models the *network between broker and client*:
+//! inbound publishes are never faulted (they already arrived), and
+//! deliveries re-injected by the fault machinery itself (duplicates,
+//! released holds, delayed/reordered messages) bypass the plan so rules
+//! cannot cascade on their own output.
+
+use crate::topic::{TopicFilter, TopicName};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a matching rule does to the delivery.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Discard the delivery.
+    Drop,
+    /// Flip one byte of the payload (the receiver sees a corrupt frame).
+    Corrupt,
+    /// Deliver the message twice, back to back.
+    Duplicate,
+    /// Stash the delivery; release it right after the next delivery that
+    /// matches this rule's predicates (swapping their order).
+    ReorderNext,
+    /// Buffer the delivery until [`crate::broker::Broker::release_held`]
+    /// is called with this rule's label.
+    Hold,
+    /// Re-inject the delivery after a wall-clock delay.
+    Delay(Duration),
+}
+
+/// State shared between a rule inside the broker and its [`FaultHandle`].
+#[derive(Debug, Default)]
+struct RuleShared {
+    active: AtomicBool,
+    /// Deliveries this rule acted on (an `Arc` so the broker's stats
+    /// registry can surface it without holding the whole rule).
+    hits: Arc<AtomicU64>,
+    /// Deliveries that matched the predicates (window applied on top).
+    matched: AtomicU64,
+}
+
+/// One fault-injection rule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    label: String,
+    action: FaultAction,
+    topic: Option<TopicFilter>,
+    from: Option<String>,
+    to: Option<String>,
+    between: Option<(String, String)>,
+    skip: u64,
+    take: Option<u64>,
+    prob: f64,
+    shared: Arc<RuleShared>,
+}
+
+impl FaultRule {
+    /// Creates a rule with the given label and action, matching everything
+    /// and initially active.
+    pub fn new(label: impl Into<String>, action: FaultAction) -> FaultRule {
+        let shared = Arc::new(RuleShared::default());
+        shared.active.store(true, Ordering::Release);
+        FaultRule {
+            label: label.into(),
+            action,
+            topic: None,
+            from: None,
+            to: None,
+            between: None,
+            skip: 0,
+            take: None,
+            prob: 1.0,
+            shared,
+        }
+    }
+
+    /// A rule that drops matching deliveries.
+    pub fn drop_matching(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::Drop)
+    }
+
+    /// A rule that corrupts one byte of matching deliveries.
+    pub fn corrupt(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::Corrupt)
+    }
+
+    /// A rule that duplicates matching deliveries.
+    pub fn duplicate(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::Duplicate)
+    }
+
+    /// A rule that swaps each matching delivery with the next one.
+    pub fn reorder_next(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::ReorderNext)
+    }
+
+    /// A rule that buffers matching deliveries until released.
+    pub fn hold(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::Hold)
+    }
+
+    /// A network partition between clients `a` and `b`: deliveries in
+    /// either direction are dropped while the rule is active. Toggle with
+    /// [`FaultHandle::set_active`] to heal or re-open it.
+    pub fn partition(
+        label: impl Into<String>,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> FaultRule {
+        let mut rule = FaultRule::new(label, FaultAction::Drop);
+        rule.between = Some((a.into(), b.into()));
+        rule
+    }
+
+    /// Restricts the rule to deliveries whose destination topic matches
+    /// `filter` (full MQTT wildcard syntax).
+    ///
+    /// # Panics
+    /// If `filter` is not a valid topic filter.
+    pub fn on_topic(mut self, filter: &str) -> FaultRule {
+        self.topic = Some(TopicFilter::new(filter).expect("valid fault topic filter"));
+        self
+    }
+
+    /// Restricts the rule to messages published by `client`.
+    pub fn from_client(mut self, client: impl Into<String>) -> FaultRule {
+        self.from = Some(client.into());
+        self
+    }
+
+    /// Restricts the rule to deliveries destined for `client`.
+    pub fn to_client(mut self, client: impl Into<String>) -> FaultRule {
+        self.to = Some(client.into());
+        self
+    }
+
+    /// Skips the first `n` matching deliveries before acting.
+    pub fn skip(mut self, n: u64) -> FaultRule {
+        self.skip = n;
+        self
+    }
+
+    /// Acts on at most `n` matching deliveries (after `skip`).
+    pub fn take(mut self, n: u64) -> FaultRule {
+        self.take = Some(n);
+        self
+    }
+
+    /// Applies the action with probability `p` per matching delivery,
+    /// drawn from the plan's seeded stream. Skipped draws still consume
+    /// the window slot, keeping verdicts reproducible per seed.
+    pub fn with_probability(mut self, p: f64) -> FaultRule {
+        self.prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Starts the rule disabled; activate it later via the handle.
+    pub fn initially_inactive(self) -> FaultRule {
+        self.shared.active.store(false, Ordering::Release);
+        self
+    }
+
+    /// The rule's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A handle sharing this rule's toggle and counters.
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle {
+            label: self.label.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// True when the rule's static predicates match this delivery.
+    fn matches(&self, to: &str, topic: &TopicName, from: Option<&str>) -> bool {
+        if !self.shared.active.load(Ordering::Acquire) {
+            return false;
+        }
+        if let Some(filter) = &self.topic {
+            if !filter.matches(topic) {
+                return false;
+            }
+        }
+        if let Some(want) = &self.from {
+            if from != Some(want.as_str()) {
+                return false;
+            }
+        }
+        if let Some(want) = &self.to {
+            if to != want {
+                return false;
+            }
+        }
+        if let Some((a, b)) = &self.between {
+            let forward = from == Some(a.as_str()) && to == b;
+            let backward = from == Some(b.as_str()) && to == a;
+            if !forward && !backward {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A live view of one rule: toggle it, read its counters.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    label: String,
+    shared: Arc<RuleShared>,
+}
+
+impl FaultHandle {
+    /// The rule's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Enables or disables the rule (e.g. heal a partition).
+    pub fn set_active(&self, active: bool) {
+        self.shared.active.store(active, Ordering::Release);
+    }
+
+    /// Whether the rule is currently enabled.
+    pub fn is_active(&self) -> bool {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Deliveries the rule acted on so far.
+    pub fn hits(&self) -> u64 {
+        self.shared.hits.load(Ordering::Acquire)
+    }
+
+    /// Deliveries that matched the rule's predicates (before the window).
+    pub fn matched(&self) -> u64 {
+        self.shared.matched.load(Ordering::Acquire)
+    }
+}
+
+/// A seeded, ordered set of fault rules for one broker.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (the seed only matters for rules
+    /// using [`FaultRule::with_probability`]).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule (builder style). Earlier rules win on overlap.
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// A handle for the rule with the given label, if present.
+    pub fn handle(&self, label: &str) -> Option<FaultHandle> {
+        self.rules
+            .iter()
+            .find(|r| r.label == label)
+            .map(FaultRule::handle)
+    }
+}
+
+/// One delivery captured by the fault layer (held, delayed, or stashed for
+/// reordering), replayable through the broker loop.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingDelivery {
+    pub(crate) client: String,
+    pub(crate) topic: TopicName,
+    pub(crate) payload: bytes::Bytes,
+    pub(crate) qos: crate::packet::QoS,
+    pub(crate) retain: bool,
+}
+
+/// The verdict for one delivery.
+pub(crate) enum FaultVerdict {
+    /// Deliver the (possibly rewritten) payload; `duplicate` requests a
+    /// back-to-back second copy; `release` lists stashed deliveries to
+    /// replay immediately afterwards.
+    Deliver {
+        payload: bytes::Bytes,
+        duplicate: bool,
+        release: Vec<PendingDelivery>,
+    },
+    /// The delivery was consumed (dropped, held, stashed, or delayed).
+    Consumed,
+    /// The delivery was consumed and must be re-injected after `delay`.
+    Delayed {
+        delivery: PendingDelivery,
+        delay: Duration,
+    },
+}
+
+/// Per-rule mutable runtime state owned by the broker loop.
+struct RuleRuntime {
+    rule: FaultRule,
+    rng: u64,
+    held: Vec<PendingDelivery>,
+    reorder_slot: Option<PendingDelivery>,
+}
+
+/// The broker-side fault engine: the plan plus per-rule runtime state.
+pub(crate) struct FaultState {
+    rules: Vec<RuleRuntime>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan) -> FaultState {
+        FaultState {
+            rules: plan
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, rule)| RuleRuntime {
+                    rule: rule.clone(),
+                    // Per-rule deterministic stream: seed ⊕ rule index,
+                    // avoiding the all-zero xorshift fixed point.
+                    rng: (plan.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))) | 1,
+                    held: Vec::new(),
+                    reorder_slot: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Registers every rule's hit counter with the broker counters so the
+    /// stats surface can report them.
+    pub(crate) fn labels(&self) -> Vec<(String, Arc<AtomicU64>)> {
+        self.rules
+            .iter()
+            .map(|r| (r.rule.label.clone(), Arc::clone(&r.rule.shared.hits)))
+            .collect()
+    }
+
+    /// Evaluates the plan against one delivery. The first matching active
+    /// rule decides; later rules never see the message.
+    pub(crate) fn evaluate(
+        &mut self,
+        client: &str,
+        topic: &TopicName,
+        payload: &bytes::Bytes,
+        qos: crate::packet::QoS,
+        retain: bool,
+        origin: Option<&str>,
+    ) -> FaultVerdict {
+        for runtime in &mut self.rules {
+            if !runtime.rule.matches(client, topic, origin) {
+                continue;
+            }
+            let shared = &runtime.rule.shared;
+            let ordinal = shared.matched.fetch_add(1, Ordering::AcqRel);
+            // A stashed reorder releases on the next predicate match even
+            // when that match falls outside the action window.
+            let release_stash = runtime.reorder_slot.take();
+            let in_window = ordinal >= runtime.rule.skip
+                && runtime
+                    .rule
+                    .take
+                    .map(|t| ordinal < runtime.rule.skip + t)
+                    .unwrap_or(true);
+            let fires = in_window && next_draw(&mut runtime.rng) < runtime.rule.prob;
+            if !fires {
+                if let Some(stashed) = release_stash {
+                    return FaultVerdict::Deliver {
+                        payload: payload.clone(),
+                        duplicate: false,
+                        release: vec![stashed],
+                    };
+                }
+                // This rule matched but declined; the message is settled
+                // (first-match semantics), deliver untouched.
+                return FaultVerdict::Deliver {
+                    payload: payload.clone(),
+                    duplicate: false,
+                    release: Vec::new(),
+                };
+            }
+            shared.hits.fetch_add(1, Ordering::AcqRel);
+            let pending = || PendingDelivery {
+                client: client.to_owned(),
+                topic: topic.clone(),
+                payload: payload.clone(),
+                qos,
+                retain,
+            };
+            let release = release_stash.into_iter().collect::<Vec<_>>();
+            return match &runtime.rule.action {
+                FaultAction::Drop => FaultVerdict::Consumed,
+                FaultAction::Corrupt => {
+                    let mut bytes = payload.to_vec();
+                    if let Some(last) = bytes.last_mut() {
+                        *last ^= 0xFF;
+                    }
+                    FaultVerdict::Deliver {
+                        payload: bytes::Bytes::from(bytes),
+                        duplicate: false,
+                        release,
+                    }
+                }
+                FaultAction::Duplicate => FaultVerdict::Deliver {
+                    payload: payload.clone(),
+                    duplicate: true,
+                    release,
+                },
+                FaultAction::ReorderNext => {
+                    runtime.reorder_slot = Some(pending());
+                    FaultVerdict::Consumed
+                }
+                FaultAction::Hold => {
+                    runtime.held.push(pending());
+                    FaultVerdict::Consumed
+                }
+                FaultAction::Delay(d) => FaultVerdict::Delayed {
+                    delivery: pending(),
+                    delay: *d,
+                },
+            };
+        }
+        FaultVerdict::Deliver {
+            payload: payload.clone(),
+            duplicate: false,
+            release: Vec::new(),
+        }
+    }
+
+    /// Drains the held queue of the rule with `label` (release order =
+    /// arrival order). Also flushes a pending reorder stash, so a test can
+    /// un-wedge a swap whose second message never came.
+    pub(crate) fn release(&mut self, label: &str) -> Vec<PendingDelivery> {
+        let mut out = Vec::new();
+        for runtime in &mut self.rules {
+            if runtime.rule.label == label {
+                out.append(&mut runtime.held);
+                out.extend(runtime.reorder_slot.take());
+            }
+        }
+        out
+    }
+}
+
+/// xorshift64*: one uniform draw in [0, 1).
+fn next_draw(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::QoS;
+    use bytes::Bytes;
+
+    fn t(s: &str) -> TopicName {
+        TopicName::new(s).unwrap()
+    }
+
+    fn eval(state: &mut FaultState, client: &str, topic: &str, from: Option<&str>) -> FaultVerdict {
+        state.evaluate(
+            client,
+            &t(topic),
+            &Bytes::from_static(b"payload"),
+            QoS::AtMostOnce,
+            false,
+            from,
+        )
+    }
+
+    #[test]
+    fn window_gates_drop_rule() {
+        let plan = FaultPlan::seeded(7).rule(
+            FaultRule::drop_matching("d")
+                .on_topic("a/+")
+                .skip(1)
+                .take(2),
+        );
+        let handle = plan.handle("d").unwrap();
+        let mut state = FaultState::new(&plan);
+        // 1st match skipped, 2nd and 3rd dropped, 4th passes again.
+        assert!(matches!(
+            eval(&mut state, "c", "a/b", None),
+            FaultVerdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            eval(&mut state, "c", "a/b", None),
+            FaultVerdict::Consumed
+        ));
+        assert!(matches!(
+            eval(&mut state, "c", "a/b", None),
+            FaultVerdict::Consumed
+        ));
+        assert!(matches!(
+            eval(&mut state, "c", "a/b", None),
+            FaultVerdict::Deliver { .. }
+        ));
+        // Non-matching topics never consume the window.
+        assert!(matches!(
+            eval(&mut state, "c", "x/y", None),
+            FaultVerdict::Deliver { .. }
+        ));
+        assert_eq!(handle.hits(), 2);
+        assert_eq!(handle.matched(), 4);
+    }
+
+    #[test]
+    fn partition_matches_both_directions_and_heals() {
+        let plan = FaultPlan::seeded(0).rule(FaultRule::partition("p", "alice", "bob"));
+        let handle = plan.handle("p").unwrap();
+        let mut state = FaultState::new(&plan);
+        assert!(matches!(
+            eval(&mut state, "bob", "t", Some("alice")),
+            FaultVerdict::Consumed
+        ));
+        assert!(matches!(
+            eval(&mut state, "alice", "t", Some("bob")),
+            FaultVerdict::Consumed
+        ));
+        // Third parties are unaffected.
+        assert!(matches!(
+            eval(&mut state, "carol", "t", Some("alice")),
+            FaultVerdict::Deliver { .. }
+        ));
+        handle.set_active(false);
+        assert!(matches!(
+            eval(&mut state, "bob", "t", Some("alice")),
+            FaultVerdict::Deliver { .. }
+        ));
+        assert_eq!(handle.hits(), 2);
+    }
+
+    #[test]
+    fn reorder_stashes_then_releases_on_next_match() {
+        let plan = FaultPlan::seeded(0).rule(FaultRule::reorder_next("r").to_client("x").take(1));
+        let mut state = FaultState::new(&plan);
+        assert!(matches!(
+            eval(&mut state, "x", "t", None),
+            FaultVerdict::Consumed
+        ));
+        match eval(&mut state, "x", "t", None) {
+            FaultVerdict::Deliver { release, .. } => assert_eq!(release.len(), 1),
+            _ => panic!("expected pass-through with release"),
+        }
+    }
+
+    #[test]
+    fn hold_buffers_until_released() {
+        let plan = FaultPlan::seeded(0).rule(FaultRule::hold("h").on_topic("q"));
+        let mut state = FaultState::new(&plan);
+        assert!(matches!(
+            eval(&mut state, "x", "q", None),
+            FaultVerdict::Consumed
+        ));
+        assert!(matches!(
+            eval(&mut state, "x", "q", None),
+            FaultVerdict::Consumed
+        ));
+        assert_eq!(state.release("h").len(), 2);
+        assert!(state.release("h").is_empty());
+    }
+
+    #[test]
+    fn corrupt_flips_a_byte() {
+        let plan = FaultPlan::seeded(0).rule(FaultRule::corrupt("c"));
+        let mut state = FaultState::new(&plan);
+        match eval(&mut state, "x", "t", None) {
+            FaultVerdict::Deliver { payload, .. } => {
+                assert_ne!(&payload[..], b"payload");
+                assert_eq!(payload.len(), b"payload".len());
+            }
+            _ => panic!("expected corrupted delivery"),
+        }
+    }
+
+    #[test]
+    fn seeded_probability_is_reproducible() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let plan =
+                FaultPlan::seeded(seed).rule(FaultRule::drop_matching("p").with_probability(0.5));
+            let mut state = FaultState::new(&plan);
+            (0..64)
+                .map(|_| matches!(eval(&mut state, "x", "t", None), FaultVerdict::Consumed))
+                .collect()
+        };
+        assert_eq!(outcomes(9), outcomes(9), "same seed, same verdicts");
+        assert_ne!(outcomes(9), outcomes(10), "different seed diverges");
+        let dropped = outcomes(9).iter().filter(|d| **d).count();
+        assert!((10..=54).contains(&dropped), "roughly half dropped");
+    }
+}

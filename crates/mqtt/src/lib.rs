@@ -38,6 +38,7 @@ pub mod broker;
 pub mod client;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod packet;
 pub mod retained;
 pub mod session;
@@ -50,6 +51,7 @@ pub use bridge::{Bridge, BridgeConfig, BridgeDirection, BridgeTopic};
 pub use broker::{Broker, BrokerConfig, BRIDGE_PREFIX};
 pub use client::{Client, ClientOptions, MessageHandler};
 pub use error::{ConnectReturnCode, MqttError, Result};
+pub use fault::{FaultAction, FaultHandle, FaultPlan, FaultRule};
 pub use packet::{LastWill, Packet, Publish, QoS};
 pub use stats::BrokerStatsSnapshot;
 pub use topic::{TopicFilter, TopicName};

@@ -7,6 +7,7 @@
 //! Example: Statistics).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Shared atomic counters for one broker instance.
 #[derive(Debug, Default)]
@@ -38,6 +39,11 @@ pub struct BrokerCounters {
     pub keepalive_timeouts: AtomicU64,
     /// Messages forwarded in from a bridge connection.
     pub bridge_in: AtomicU64,
+    /// Per-fault-rule hit counters, registered by the broker loop when a
+    /// fault plan is installed (label → shared hit counter). The counters
+    /// themselves live in the rules; this registry surfaces them through
+    /// the stats API.
+    fault_rules: Mutex<Vec<(String, Arc<AtomicU64>)>>,
 }
 
 impl BrokerCounters {
@@ -51,6 +57,24 @@ impl BrokerCounters {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Registers a fault rule's hit counter under `label`.
+    pub fn register_fault_rule(&self, label: String, hits: Arc<AtomicU64>) {
+        self.fault_rules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((label, hits));
+    }
+
+    /// Point-in-time per-rule fault hit counts, in rule order.
+    pub fn fault_hits(&self) -> Vec<(String, u64)> {
+        self.fault_rules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(label, hits)| (label.clone(), hits.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Takes a point-in-time copy of every counter.
@@ -69,6 +93,13 @@ impl BrokerCounters {
             dropped: self.dropped.load(Ordering::Relaxed),
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
             bridge_in: self.bridge_in.load(Ordering::Relaxed),
+            faults_injected: self
+                .fault_rules
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(_, hits)| hits.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 }
@@ -102,6 +133,9 @@ pub struct BrokerStatsSnapshot {
     pub keepalive_timeouts: u64,
     /// Messages that arrived over bridges.
     pub bridge_in: u64,
+    /// Deliveries the fault-injection layer acted on (sum over all rules;
+    /// 0 without a fault plan).
+    pub faults_injected: u64,
 }
 
 impl BrokerStatsSnapshot {

@@ -1,9 +1,12 @@
-//! Property-based tests for the MQTT wire codec and topic matching.
+//! Property-based tests for the MQTT wire codec, topic matching, the
+//! subscription trie (vs. the naive linear matcher as reference model),
+//! and retained-message delivery on fresh subscribe.
 
 use bytes::Bytes;
 use proptest::prelude::*;
 use sdflmq_mqtt::codec::{decode, encode};
 use sdflmq_mqtt::packet::*;
+use sdflmq_mqtt::retained::RetainedStore;
 use sdflmq_mqtt::topic::{TopicFilter, TopicName};
 use sdflmq_mqtt::trie::SubscriptionTrie;
 
@@ -12,9 +15,56 @@ fn level() -> impl Strategy<Value = String> {
     "[a-z0-9_]{1,8}"
 }
 
+/// A nastier level strategy: includes the **empty level** (`a//b` is a
+/// valid topic whose middle level is `""`) and `$`-prefixed words (system
+/// topics when leading).
+fn edge_level() -> impl Strategy<Value = String> {
+    prop_oneof![
+        4 => "[a-z0-9_]{1,6}".boxed(),
+        1 => Just(String::new()).boxed(),
+        1 => "[a-z]{1,4}".prop_map(|s| format!("${s}")).boxed(),
+    ]
+}
+
 fn topic_name() -> impl Strategy<Value = TopicName> {
     prop::collection::vec(level(), 1..6)
         .prop_map(|levels| TopicName::new(levels.join("/")).unwrap())
+}
+
+/// Topic names drawn from [`edge_level`]s (guarding the one invalid
+/// combination, the fully empty string).
+fn edge_topic_name() -> impl Strategy<Value = TopicName> {
+    prop::collection::vec(edge_level(), 1..5).prop_map(|levels| {
+        let joined = levels.join("/");
+        if joined.is_empty() {
+            TopicName::new("x").unwrap()
+        } else {
+            TopicName::new(joined).unwrap()
+        }
+    })
+}
+
+/// Filters over [`edge_level`]s with a higher wildcard density, so `+`
+/// against empty levels and `$`-carve-out interactions get exercised.
+fn edge_topic_filter() -> impl Strategy<Value = TopicFilter> {
+    (
+        prop::collection::vec(
+            prop_oneof![2 => edge_level(), 1 => Just("+".to_owned())],
+            1..5,
+        ),
+        prop::bool::ANY,
+    )
+        .prop_map(|(mut levels, hash_tail)| {
+            if hash_tail {
+                levels.push("#".to_owned());
+            }
+            let joined = levels.join("/");
+            if joined.is_empty() {
+                TopicFilter::new("+").unwrap()
+            } else {
+                TopicFilter::new(joined).unwrap()
+            }
+        })
 }
 
 /// A filter strategy: levels may be literals or `+`, optionally `#` tail.
@@ -154,5 +204,131 @@ proptest! {
     fn self_filter_matches(topic in topic_name()) {
         let filter = TopicFilter::new(topic.as_str().to_owned()).unwrap();
         prop_assert!(filter.matches(&topic));
+    }
+
+    /// Trie vs. linear matcher on the nasty corpus: empty levels,
+    /// `$`-prefixed levels, and wildcard-dense filters.
+    #[test]
+    fn trie_matches_linear_on_edge_topics(
+        filters in prop::collection::vec(edge_topic_filter(), 1..20),
+        topics in prop::collection::vec(edge_topic_name(), 1..10),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.subscribe(f, i as u32, 0u8);
+        }
+        for topic in &topics {
+            let mut got: Vec<u32> =
+                trie.matches(topic).into_iter().map(|(k, _)| *k).collect();
+            got.sort_unstable();
+            got.dedup();
+            let mut expected: Vec<u32> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(topic))
+                .map(|(i, _)| i as u32)
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(got, expected, "topic {}", topic.as_str());
+        }
+    }
+
+    /// `filter/#` matches the filter's own prefix topic and every
+    /// extension of it (MQTT 3.1.1 §4.7.1.2), except the `$` carve-out.
+    #[test]
+    fn hash_matches_prefix_and_all_extensions(
+        base in prop::collection::vec(level(), 1..4),
+        ext in prop::collection::vec(level(), 0..4),
+    ) {
+        let filter = TopicFilter::new(format!("{}/#", base.join("/"))).unwrap();
+        let prefix = TopicName::new(base.join("/")).unwrap();
+        prop_assert!(filter.matches(&prefix), "parent level match");
+        let mut full = base.clone();
+        full.extend(ext);
+        let extended = TopicName::new(full.join("/")).unwrap();
+        prop_assert!(filter.matches(&extended), "extension match");
+    }
+
+    /// `+` substitutes exactly one level: replacing any single level of a
+    /// topic with `+` still matches; the filter never matches a topic
+    /// whose depth differs.
+    #[test]
+    fn plus_substitutes_exactly_one_level(
+        levels in prop::collection::vec(level(), 1..6),
+        extra in level(),
+        idx in any::<usize>(),
+    ) {
+        let topic = TopicName::new(levels.join("/")).unwrap();
+        let i = idx % levels.len();
+        let mut with_plus = levels.clone();
+        with_plus[i] = "+".to_owned();
+        let filter = TopicFilter::new(with_plus.join("/")).unwrap();
+        prop_assert!(filter.matches(&topic));
+        // One level deeper no longer matches.
+        let deeper = TopicName::new(format!("{}/{extra}", levels.join("/"))).unwrap();
+        prop_assert!(!filter.matches(&deeper));
+    }
+
+    /// `$`-topics are invisible to leading wildcards but visible to
+    /// filters that spell the first level out.
+    #[test]
+    fn system_topics_hidden_from_leading_wildcards_only(
+        tail in prop::collection::vec(level(), 1..4),
+    ) {
+        let topic = TopicName::new(format!("$sys/{}", tail.join("/"))).unwrap();
+        prop_assert!(!TopicFilter::new("#").unwrap().matches(&topic));
+        let all_plus = vec!["+"; tail.len() + 1].join("/");
+        prop_assert!(!TopicFilter::new(all_plus).unwrap().matches(&topic));
+        prop_assert!(TopicFilter::new("$sys/#").unwrap().matches(&topic));
+        let exact = TopicFilter::new(topic.as_str().to_owned()).unwrap();
+        prop_assert!(exact.matches(&topic));
+    }
+
+    /// The retained store agrees with a naive map model under arbitrary
+    /// interleavings of stores, overwrites, and clears — and replays to a
+    /// fresh subscriber exactly the retained messages its filter matches.
+    #[test]
+    fn retained_store_matches_reference_model(
+        ops in prop::collection::vec(
+            (edge_topic_name(), prop::collection::vec(any::<u8>(), 0..8)),
+            1..30,
+        ),
+        filter in edge_topic_filter(),
+    ) {
+        let mut store = RetainedStore::new();
+        let mut model: std::collections::HashMap<String, Vec<u8>> =
+            std::collections::HashMap::new();
+        for (topic, payload) in &ops {
+            store.apply(&Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: true,
+                topic: topic.clone(),
+                packet_id: Some(1),
+                payload: Bytes::from(payload.clone()),
+            });
+            // Reference model: empty retained payload clears the slot.
+            if payload.is_empty() {
+                model.remove(topic.as_str());
+            } else {
+                model.insert(topic.as_str().to_owned(), payload.clone());
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        // Fresh-subscribe replay: exactly the matching retained topics.
+        let mut got: Vec<(String, Vec<u8>)> = store
+            .matching(&filter)
+            .into_iter()
+            .map(|(t, r)| (t.as_str().to_owned(), r.payload.to_vec()))
+            .collect();
+        got.sort();
+        let mut expected: Vec<(String, Vec<u8>)> = model
+            .iter()
+            .filter(|(t, _)| filter.matches(&TopicName::new((*t).clone()).unwrap()))
+            .map(|(t, p)| (t.clone(), p.clone()))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
     }
 }

@@ -1,0 +1,58 @@
+//! # sdflmq-testkit — deterministic chaos testing for the real stack
+//!
+//! The simulator (`sdflmq-sim`) is deterministic but never runs the real
+//! protocol code; the integration tests run the real code but at the mercy
+//! of wall-clock timing. This crate closes the gap: a scenario harness
+//! that drives the **real** broker / coordinator / parameter-server /
+//! client stack under seeded fault injection ([`sdflmq_mqtt::fault`]) and
+//! test-controlled virtual time ([`sdflmq_core::clock::TestClock`]),
+//! producing a structured [`ScenarioTrace`] whose hash is stable across
+//! runs of the same seed.
+//!
+//! Three pieces:
+//!
+//! * [`poll`] — a shared poll-until-condition helper (bounded deadline,
+//!   no fixed sleeps) for deflaking ordinary integration tests;
+//! * [`trace`] — the [`ScenarioTrace`] record and its canonical FNV-1a
+//!   hash, plus JSON export for CI artifacts;
+//! * [`scenario`] — the builder DSL (fleet size, topology, codec, fault
+//!   plan, seed) and the [`ScenarioCtl`] the test script uses to step
+//!   virtual time, toggle partitions, and release held messages.
+//!
+//! See `docs/TESTING.md` for the fault model and the seed/trace-hash
+//! reproduction workflow.
+
+#![warn(missing_docs)]
+
+pub mod poll;
+pub mod scenario;
+pub mod trace;
+
+pub use poll::{require, wait_until};
+pub use scenario::{Behavior, ScenarioBuilder, ScenarioCtl};
+pub use trace::{ClientOutcome, ScenarioTrace};
+
+/// Runs `build` twice and asserts both runs produce the same trace hash —
+/// the determinism gate every chaos scenario must pass. Returns the first
+/// trace for further assertions.
+pub fn assert_deterministic(build: impl Fn() -> ScenarioTrace) -> ScenarioTrace {
+    let first = build();
+    let second = build();
+    assert_eq!(
+        first.hash(),
+        second.hash(),
+        "same seed must produce identical traces:\n--- run 1 ---\n{}\n--- run 2 ---\n{}",
+        first.canonical(),
+        second.canonical(),
+    );
+    first
+}
+
+/// Base seed for chaos scenarios: the `SDFLMQ_CHAOS_SEED` environment
+/// variable when set (the CI seed matrix), otherwise `default`.
+pub fn base_seed(default: u64) -> u64 {
+    std::env::var("SDFLMQ_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,65 @@
+//! Poll-until-condition helpers.
+//!
+//! The anti-flake rule for wall-clock integration tests: never `sleep`
+//! a fixed amount and then assert — poll the condition with a bounded
+//! deadline instead. Fast machines pass fast; slow machines get the whole
+//! budget before the test gives up.
+
+use std::time::{Duration, Instant};
+
+/// How often conditions are re-checked while polling.
+const POLL_STEP: Duration = Duration::from_millis(5);
+
+/// Polls `cond` until it returns true or `timeout` elapses. Returns the
+/// final verdict (one last check is made at the deadline, so a condition
+/// that becomes true exactly on time still passes).
+pub fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(POLL_STEP);
+    }
+}
+
+/// Like [`wait_until`], but panics with `what` on timeout — for test
+/// preconditions where a timeout *is* the failure.
+pub fn require(what: &str, timeout: Duration, cond: impl FnMut() -> bool) {
+    assert!(
+        wait_until(timeout, cond),
+        "condition not reached within {timeout:?}: {what}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn passes_once_condition_holds() {
+        let calls = AtomicUsize::new(0);
+        assert!(wait_until(Duration::from_secs(2), || {
+            calls.fetch_add(1, Ordering::SeqCst) >= 3
+        }));
+        assert!(calls.load(Ordering::SeqCst) >= 3);
+    }
+
+    #[test]
+    fn bounded_failure() {
+        let start = Instant::now();
+        assert!(!wait_until(Duration::from_millis(30), || false));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert!(start.elapsed() < Duration::from_secs(5), "bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "condition not reached")]
+    fn require_panics_on_timeout() {
+        require("never true", Duration::from_millis(10), || false);
+    }
+}

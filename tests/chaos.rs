@@ -1,0 +1,315 @@
+//! Deterministic chaos scenarios over the real protocol stack.
+//!
+//! Every test drives the **real** broker / coordinator / param-server /
+//! client threads through a seeded fault plan ([`sdflmq::mqtt::fault`])
+//! on a virtual clock, twice, and asserts the two runs produce an
+//! identical [`ScenarioTrace`] hash — the determinism gate — before
+//! asserting the scenario's protocol invariants. Traces land in
+//! `target/chaos/<name>-<seed>.json` (the CI chaos job uploads them on
+//! failure). Reproduce a failing run with
+//! `SDFLMQ_CHAOS_SEED=<seed> cargo test --test chaos <name>`.
+//!
+//! None of these behaviours is expressible in the pre-existing suite:
+//! the wall-clock integration tests cannot partition a live session,
+//! duplicate a specific frame, swap two control messages, or hit a grace
+//! boundary exactly — and the simulator never runs this code at all.
+
+use sdflmq::core::optimizer::RoundRobin;
+use sdflmq::core::{Topology, UpdateCodec};
+use sdflmq::mqtt::{FaultPlan, FaultRule};
+use sdflmq_testkit::{assert_deterministic, base_seed, Behavior, ScenarioBuilder, ScenarioTrace};
+use std::time::Duration;
+
+/// The bit pattern every client must report for a session whose FedAvg
+/// global is exactly `v` (integer-valued locals make the fold exact, so
+/// this is run-order-independent).
+fn global_bits(v: f64) -> String {
+    format!("g={:08x}", (v as f32).to_bits())
+}
+
+fn assert_all_completed(trace: &ScenarioTrace, rounds: u32, mean: f64) {
+    for o in &trace.outcomes {
+        assert_eq!(
+            o.outcome,
+            format!("completed:{}", global_bits(mean)),
+            "client {} outcome",
+            o.client
+        );
+        assert_eq!(o.rounds, rounds, "client {} rounds", o.client);
+    }
+    assert_eq!(trace.final_state, "completed");
+    assert!(trace.evicted.is_empty(), "evicted: {:?}", trace.evicted);
+}
+
+/// Coordinator ⇄ root-aggregator partition opens mid-round-1, drops the
+/// root's liveness and completion reports, and heals mid-round-2: the
+/// quorum+grace machinery closes round 1 without the partitioned root,
+/// the deadline nudge re-announces round 2 across the healed link, and
+/// the session completes with **no evictions** — the partitioned client
+/// was alive the whole time.
+#[test]
+fn chaos_partition_coordinator_aggregator_heals_mid_round() {
+    let seed = base_seed(42) ^ 0x01;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed)
+            .rule(FaultRule::partition("part", "coordinator", "c00").initially_inactive());
+        ScenarioBuilder::new("chaos-partition", seed)
+            .client(Behavior::Gated(vec![1]), UpdateCodec::Dense) // c00: root
+            .client(Behavior::Normal, UpdateCodec::Dense) // c01
+            .client(Behavior::Normal, UpdateCodec::Dense) // c02
+            .rounds(2)
+            .quorum(0.6, Duration::from_secs(5))
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(4)
+            .capacity_min(2)
+            .faults(plan)
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                // The two trainers have contributed; the gated root has not.
+                ctl.wait_for("trainers-contributed", |c| {
+                    c.contributed() == ["c01", "c02"]
+                });
+                ctl.set_fault("part", true);
+                ctl.release_round("c00", 1);
+                // The root's aggregate flows (data plane is not partitioned),
+                // everyone applies the global, but only the trainers' done
+                // reports reach the coordinator.
+                ctl.wait_for("done-stuck-at-quorum", |c| c.done() == ["c01", "c02"]);
+                assert_eq!(ctl.round(), Some(1), "round must not close before grace");
+                ctl.advance(Duration::from_secs(5)); // exactly the grace
+                ctl.wait_for("round2-open", |c| c.round() == Some(2));
+                ctl.wait_for("round2-trainers-contributed", |c| {
+                    c.contributed() == ["c01", "c02"]
+                });
+                ctl.set_fault("part", false); // heal
+                assert!(ctl.fault_hits("part") >= 2, "partition saw traffic");
+                // Blow the round-2 deadline: the nudge re-announces the round
+                // over the healed link and the root rejoins.
+                ctl.advance(Duration::from_secs(31));
+                ctl.wait_for("completed", |c| c.is_terminal());
+            })
+    });
+    assert_all_completed(&trace, 2, 2.0); // mean of 1,2,3
+    assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
+}
+
+/// A trainer's parameter blob is delivered twice (at-least-once
+/// semantics): the aggregator's sender-keyed stack must fold it exactly
+/// once, keeping the global bit-exact.
+#[test]
+fn chaos_duplicated_contrib_is_deduplicated() {
+    let seed = base_seed(42) ^ 0x02;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::duplicate("dup")
+                .on_topic("sdflmq/session/chaos-dup-contrib/role/root")
+                .from_client("c01")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-dup-contrib", seed)
+            .normal_clients(2, UpdateCodec::Dense) // c00=1, c01=2
+            .client(Behavior::Normal, UpdateCodec::Dense)
+            .value(4.0) // c02=4: a double-counted c01 would shift the mean
+            .rounds(1)
+            .faults(plan)
+            .hash_rule("dup")
+            .run(|ctl| {
+                ctl.wait_for("completed", |c| c.is_terminal());
+            })
+    });
+    // (1+2+4)/3; a double-counted duplicate would read (1+2+2+4)/4 = 2.25.
+    assert_all_completed(&trace, 1, 7.0 / 3.0);
+    assert_eq!(trace.rule_hits, [("dup".to_owned(), 1)]);
+}
+
+/// Round-robin hands the root position to a new client in round 2; the
+/// fault plan swaps that client's `set_role` and `round_start` so it
+/// hears the round open *before* it learns it is the aggregator. The
+/// re-delegation logic (stored-contribution redirect + deadline resync)
+/// must still converge.
+#[test]
+fn chaos_reordered_set_role_and_round_start() {
+    let seed = base_seed(42) ^ 0x03;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            // Messages to c01's control function: round-1 set_role and
+            // round_start pass (skip 2), the round-2 set_role is stashed
+            // and released right after the round-2 round_start.
+            FaultRule::reorder_next("swap")
+                .on_topic("mqttfc/fn/cl_c01")
+                .from_client("coordinator")
+                .skip(2)
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-reorder-ctrl", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(2)
+            .optimizer(|| Box::new(RoundRobin))
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(5)
+            .role_ack_timeout(Duration::from_millis(400))
+            .faults(plan)
+            .hash_rule("swap")
+            .run(|ctl| {
+                ctl.wait_for("round2-open", |c| c.round() == Some(2) || c.is_terminal());
+                // Contributions published while the root position was
+                // vacant may be lost; deadline nudges recover them.
+                ctl.drive_to_completion(Duration::from_secs(35));
+            })
+    });
+    assert_all_completed(&trace, 2, 2.0);
+    assert_eq!(trace.rule_hits, [("swap".to_owned(), 1)]);
+}
+
+/// Two of three reports close the quorum; the third is held hostage. The
+/// round must stay open with zero virtual time elapsed, close exactly at
+/// the grace boundary, and the hostage report — released into round 2 —
+/// must be rejected as stale without disturbing the session.
+#[test]
+fn chaos_delayed_quorum_closes_exactly_at_grace_boundary() {
+    let seed = base_seed(42) ^ 0x04;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::hold("late-done")
+                .on_topic("mqttfc/fn/coord_round_done")
+                .from_client("c02")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-grace-boundary", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(2)
+            .quorum(0.6, Duration::from_secs(5))
+            .faults(plan)
+            .hash_rule("late-done")
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                ctl.wait_for("quorum-met", |c| c.done() == ["c00", "c01"]);
+                // Frozen clock ⇒ the grace can never elapse on its own.
+                std::thread::sleep(Duration::from_millis(200));
+                assert_eq!(ctl.round(), Some(1), "round open until the boundary");
+                assert_eq!(ctl.done(), ["c00", "c01"], "hostage report held");
+                ctl.note("still-open-before-grace");
+                ctl.advance(Duration::from_secs(5)); // exactly the grace
+                                                     // Round 2 can open and complete within milliseconds, so
+                                                     // accept either observation — both prove the boundary
+                                                     // closed round 1.
+                ctl.wait_for("round1-closed", |c| c.round() == Some(2) || c.is_terminal());
+                // The stale round-1 report lands after closure and is refused.
+                ctl.release_held("late-done");
+                ctl.wait_for("completed", |c| c.is_terminal());
+            })
+    });
+    assert_all_completed(&trace, 2, 2.0);
+    assert_eq!(trace.rule_hits, [("late-done".to_owned(), 1)]);
+}
+
+/// One byte of a trainer's blob frame is flipped in flight: the
+/// aggregator's blob channel must count a dropped transfer (CRC), the
+/// round stalls, and the deadline resync makes the trainer re-publish its
+/// cached encoding — the session completes with the loss observable in
+/// `dropped_transfers`.
+#[test]
+fn chaos_corrupt_blob_frame_forces_dropped_transfer_then_resend() {
+    let seed = base_seed(42) ^ 0x05;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::corrupt("flip")
+                .on_topic("sdflmq/session/chaos-blob-loss/role/root")
+                .from_client("c01")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-blob-loss", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(1)
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(4)
+            .faults(plan)
+            .hash_rule("flip")
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                ctl.wait_for("all-contributed", |c| {
+                    c.contributed() == ["c00", "c01", "c02"]
+                });
+                ctl.wait_for("frame-corrupted", |c| c.fault_hits("flip") == 1);
+                // The stalled round blows its deadline; the resync makes
+                // c01 re-send (the fault window is exhausted, so the
+                // retransmission passes clean).
+                ctl.advance(Duration::from_secs(31));
+                ctl.wait_for("completed", |c| c.is_terminal());
+            })
+    });
+    assert_all_completed(&trace, 1, 2.0);
+    assert_eq!(trace.rule_hits, [("flip".to_owned(), 1)]);
+    let root = trace.outcomes.iter().find(|o| o.client == "c00").unwrap();
+    assert_eq!(
+        root.dropped_transfers, 1,
+        "the corrupt frame is counted at the aggregator"
+    );
+}
+
+/// The scale soak: 50 clients on a two-level hierarchy, mixed codec
+/// support (the session floors to dense), six trainers dying after their
+/// round-1 contribution. Rounds close by quorum, the dead accrue strikes
+/// across deadline windows, get evicted mid-round, their parents are
+/// re-delegated, and all three rounds complete for the 44 survivors —
+/// twice, with identical traces.
+#[test]
+fn chaos_fifty_client_mixed_codec_churn_soak() {
+    let seed = base_seed(42) ^ 0x06;
+    let trace = assert_deterministic(|| {
+        let mut builder = ScenarioBuilder::new("chaos-churn-soak", seed)
+            .rounds(3)
+            .topology(Topology::Hierarchical {
+                aggregator_ratio: 0.3,
+            })
+            .quorum(0.8, Duration::from_secs(2))
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(3)
+            .capacity_min(30)
+            .model_len(32)
+            .wait_timeout(Duration::from_secs(120));
+        for i in 0..50usize {
+            let behavior = if i >= 44 {
+                Behavior::DieAfterSend(1)
+            } else {
+                Behavior::Normal
+            };
+            let codec = if i % 2 == 0 {
+                UpdateCodec::Int8
+            } else {
+                UpdateCodec::Dense
+            };
+            builder = builder.client(behavior, codec);
+        }
+        builder.uniform_value(1.0).run(|ctl| {
+            ctl.wait_for("round1-open", |c| c.round() == Some(1));
+            ctl.drive_to_completion(Duration::from_secs(10));
+        })
+    });
+    assert_eq!(trace.final_state, "completed");
+    assert_eq!(
+        trace.survivors.len(),
+        44,
+        "survivors: {:?}",
+        trace.survivors
+    );
+    assert_eq!(
+        trace.evicted,
+        ["c44", "c45", "c46", "c47", "c48", "c49"],
+        "exactly the dead clients are evicted"
+    );
+    for o in &trace.outcomes {
+        if o.client.as_str() >= "c44" {
+            assert_eq!(o.outcome, "died", "client {}", o.client);
+            assert_eq!(o.rounds, 0, "died before any global applied");
+        } else {
+            assert_eq!(
+                o.outcome,
+                format!("completed:{}", global_bits(1.0)),
+                "client {}",
+                o.client
+            );
+            assert_eq!(o.rounds, 3, "client {}", o.client);
+        }
+    }
+}

@@ -318,7 +318,7 @@ fn topology_document_is_retained_for_observers() {
     use sdflmq::mqttfc::Json;
 
     let b = broker("observer");
-    let _coord = Coordinator::start(
+    let coord = Coordinator::start(
         &b,
         CoordinatorConfig {
             topology: Topology::Central,
@@ -357,8 +357,16 @@ fn topology_document_is_retained_for_observers() {
         }
         clients.push(c);
     }
-    // Let the session start (roles handed out, topology published).
-    std::thread::sleep(Duration::from_millis(500));
+    // Let the session start (roles handed out, topology published): poll
+    // for the observable effects instead of sleeping a fixed amount.
+    sdflmq_testkit::require("session running", Duration::from_secs(10), || {
+        coord
+            .session_state(&session)
+            .is_some_and(|s| !matches!(s, sdflmq::core::session::SessionState::Waiting))
+    });
+    sdflmq_testkit::require("topology retained", Duration::from_secs(10), || {
+        b.stats().retained_current >= 1
+    });
 
     let observer = Client::connect(&b, ClientOptions::new("late-observer")).unwrap();
     observer
@@ -662,9 +670,16 @@ fn retained_topology_is_cleared_when_session_finishes() {
     for h in handles {
         h.join().unwrap();
     }
-    // Give the completion path a beat to publish the clearing payload,
-    // then verify a late subscriber sees no stale retained plan.
-    std::thread::sleep(Duration::from_millis(500));
+    // Wait for the observable completion effects — the retained plan
+    // cleared at the broker and the coordinator's session record GC'd
+    // after the linger — instead of sleeping a fixed amount.
+    sdflmq_testkit::require("retained topology cleared", Duration::from_secs(10), || {
+        b.stats().retained_current == 0
+    });
+    sdflmq_testkit::require("terminal session GC'd", Duration::from_secs(10), || {
+        coord.session_state(&session).is_none()
+    });
+    // A late subscriber must see no stale retained plan.
     let observer = Client::connect(&b, ClientOptions::new("late-observer")).unwrap();
     observer
         .subscribe_str("sdflmq/session/topo-clear/topology", QoS::AtLeastOnce)
@@ -672,12 +687,6 @@ fn retained_topology_is_cleared_when_session_finishes() {
     assert!(
         observer.recv_timeout(Duration::from_millis(800)).is_err(),
         "no retained topology replay for a finished session"
-    );
-    // And the coordinator's own session record was garbage-collected
-    // after the linger — no unbounded growth across many sessions.
-    assert!(
-        coord.session_state(&session).is_none(),
-        "terminal session GC'd from coordinator memory"
     );
 }
 
