@@ -67,7 +67,8 @@ pub use genetic::{GeneticConfig, GeneticPlacement};
 pub use ids::{ClientId, ModelId, SessionId};
 pub use messages::UpdateMeta;
 pub use optimizer::{
-    CompositeScore, MemoryAware, RandomPlacement, RoleOptimizer, RoundRobin, StaticOrder,
+    CompositeScore, MemoryAware, OptimizerKind, RandomPlacement, RoleOptimizer, RoundRobin,
+    StaticOrder,
 };
 pub use param_server::{ParamServer, PARAM_SERVER_ID};
 pub use roles::{PreferredRole, Role, RoleSpec};

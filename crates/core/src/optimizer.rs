@@ -10,11 +10,76 @@
 //! application, different optimizers can be employed".
 
 use crate::clustering::ClientInfo;
+use crate::genetic::{GeneticConfig, GeneticPlacement};
 use crate::ids::ClientId;
 use crate::roles::PreferredRole;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Declarative selector for a role-optimization policy.
+///
+/// Unlike a `Box<dyn RoleOptimizer>`, a kind is `Clone` and can be built
+/// any number of times — which is what config surfaces need: the
+/// simulation's [`crate::SimConfigBuilder::optimizer_kind`] and the chaos
+/// scenario DSL (which re-runs the same builder twice for its determinism
+/// gate) both take a kind and call [`OptimizerKind::build`] per run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum OptimizerKind {
+    /// [`StaticOrder`]: fixed id-sorted placement (experimental control).
+    #[default]
+    Static,
+    /// [`RoundRobin`]: rotate aggregation duty by round number.
+    RoundRobin,
+    /// [`MemoryAware`]: greedy by reported free memory.
+    MemoryAware,
+    /// [`CompositeScore`] with its default weights.
+    Composite,
+    /// [`RandomPlacement`] seeded with the given value.
+    Random {
+        /// RNG seed for the shuffle stream.
+        seed: u64,
+    },
+    /// [`GeneticPlacement`] (paper §VII): black-box placement learned
+    /// from end-to-end round delay.
+    Genetic {
+        /// GA hyperparameters (population, elites, mutation, seed).
+        config: GeneticConfig,
+    },
+}
+
+impl OptimizerKind {
+    /// The genetic optimizer with default hyperparameters.
+    pub fn genetic_default() -> OptimizerKind {
+        OptimizerKind::Genetic {
+            config: GeneticConfig::default(),
+        }
+    }
+
+    /// Builds a fresh optimizer instance of this kind.
+    pub fn build(&self) -> Box<dyn RoleOptimizer> {
+        match self {
+            OptimizerKind::Static => Box::new(StaticOrder),
+            OptimizerKind::RoundRobin => Box::new(RoundRobin),
+            OptimizerKind::MemoryAware => Box::new(MemoryAware),
+            OptimizerKind::Composite => Box::new(CompositeScore::default()),
+            OptimizerKind::Random { seed } => Box::new(RandomPlacement::new(*seed)),
+            OptimizerKind::Genetic { config } => Box::new(GeneticPlacement::new(config.clone())),
+        }
+    }
+
+    /// The policy name the built optimizer will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Static => "static",
+            OptimizerKind::RoundRobin => "round_robin",
+            OptimizerKind::MemoryAware => "memory_aware",
+            OptimizerKind::Composite => "composite",
+            OptimizerKind::Random { .. } => "random",
+            OptimizerKind::Genetic { .. } => "genetic",
+        }
+    }
+}
 
 /// Ranks clients for aggregation positions; index 0 becomes the root.
 pub trait RoleOptimizer: Send {

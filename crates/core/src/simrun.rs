@@ -208,6 +208,14 @@ impl SimConfigBuilder {
         update_codec: UpdateCodec,
     }
 
+    /// Selects the role-optimization policy declaratively (see
+    /// [`crate::optimizer::OptimizerKind`]) — the config-file-friendly
+    /// alternative to handing in a boxed [`RoleOptimizer`].
+    pub fn optimizer_kind(mut self, kind: crate::optimizer::OptimizerKind) -> Self {
+        self.config.optimizer = kind.build();
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SimConfig {
         self.config

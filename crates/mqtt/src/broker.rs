@@ -1,32 +1,60 @@
-//! The embedded MQTT broker.
+//! The embedded MQTT broker: a sharded, snapshot-routed core.
 //!
-//! Architecture: one event-loop thread owns *all* broker state (sessions,
-//! subscription trie, retained store) and consumes a single MPSC event
-//! channel. Each accepted connection gets a lightweight reader thread that
-//! decodes frames off its link and forwards them as events. This is the
-//! message-passing design the concurrency guides recommend: no shared
-//! mutable state, no lock ordering, and the loop is trivially deterministic
-//! with respect to its event order.
+//! Architecture: the broker runs **N parallel shard event loops**
+//! ([`BrokerConfig::shards`]). Each accepted connection gets a lightweight
+//! reader thread that decodes frames off its link; the reader waits for the
+//! CONNECT packet, hashes the client id, and from then on forwards every
+//! packet to the one shard that owns that client. A shard therefore owns a
+//! disjoint partition of connections — their keep-alive deadlines, offline
+//! queues, and QoS 1/2 inflight windows — and two shards never share
+//! session state.
+//!
+//! Routing state (subscription trie, retained store, client route table)
+//! lives outside the shards in a [`crate::index::SharedIndex`]:
+//! subscribes, unsubscribes, connects and retained writes funnel through
+//! its single writer, which publishes generation-swapped **read-only
+//! snapshots**. Any shard routes a publish by loading the current snapshot
+//! — no lock is held while matching — and delivers:
+//!
+//! * QoS 0 to a live subscriber: the frame is encoded **once** per
+//!   outgoing (QoS, retain) variant and the same `Bytes` is pushed
+//!   straight into every subscriber's [`FrameSender`], regardless of which
+//!   shard owns the subscriber;
+//! * QoS 1/2, or any delivery to an offline session: the message hops to
+//!   the owner shard's mailbox (the owner must allocate the packet id
+//!   against the session, or queue the message). Same-shard deliveries
+//!   skip the hop and stamp packet ids into a shared pre-encoded template.
+//!
+//! Fan-out order is **sorted by client id** at every shard count, so
+//! delivery order — and which deliveries fall inside fault-rule
+//! `skip`/`take` windows — is reproducible run to run. With `shards = 1`
+//! the broker degenerates to the fully deterministic single-loop mode the
+//! chaos harness relies on: one thread performs every route, fault
+//! evaluation, and delivery in a fixed order.
+//!
+//! Keep-alive expiry is deadline-driven: each shard sleeps until its
+//! earliest keep-alive deadline (or forever when none is armed) instead of
+//! polling on a tick, so an idle broker parks completely and a stalled
+//! loop can never accumulate a backlog of tick events.
 //!
 //! Bridge connections (client ids beginning with [`BRIDGE_PREFIX`]) receive
 //! special treatment: messages they publish are never echoed back to them,
 //! which is the loop-prevention rule that makes acyclic broker bridging safe
 //! (see [`crate::bridge`]).
 
-use crate::codec;
+use crate::codec::{self, PublishTemplate};
 use crate::error::{ConnectReturnCode, MqttError, Result};
 use crate::fault::{FaultPlan, FaultState, FaultVerdict, PendingDelivery};
+use crate::index::{ClientKey, RetainedDelta, RouteEntry, SharedIndex};
 use crate::packet::*;
-use crate::retained::RetainedStore;
 use crate::session::{InflightOut, QueuedMessage, Session};
 use crate::stats::{BrokerCounters, BrokerStatsSnapshot};
 use crate::topic::TopicName;
-use crate::transport::{link, FrameSender, LinkEnd};
-use crate::trie::SubscriptionTrie;
+use crate::transport::{link, link_with_capacity, FrameSender, LinkEnd};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,8 +71,10 @@ pub struct BrokerConfig {
     pub max_queued_per_session: usize,
     /// Keep-alive grace multiplier (spec says 1.5).
     pub keepalive_grace: f64,
-    /// How often the loop checks keep-alive expiry.
-    pub tick_interval: Duration,
+    /// Number of parallel event-loop shards. Connections are partitioned
+    /// by a stable hash of the client id. `1` (the default) is the fully
+    /// deterministic single-loop mode used by the chaos harness.
+    pub shards: usize,
     /// Optional fault-injection plan applied to every delivery (chaos
     /// testing; see [`crate::fault`]). `None` delivers everything.
     pub fault_plan: Option<FaultPlan>,
@@ -56,7 +86,7 @@ impl Default for BrokerConfig {
             name: "broker".to_owned(),
             max_queued_per_session: 1024,
             keepalive_grace: 1.5,
-            tick_interval: Duration::from_millis(100),
+            shards: 1,
             fault_plan: None,
         }
     }
@@ -65,11 +95,44 @@ impl Default for BrokerConfig {
 /// Unique id of one transport connection.
 pub type ConnId = u64;
 
+/// Stable FNV-1a shard assignment for a client id. Identical ids always
+/// land on the same shard, so session takeover is shard-local.
+fn shard_of(client_id: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client_id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// A routed message on its way to one subscriber. Crosses shard mailboxes
+/// for QoS>0 / offline deliveries whose session lives on another shard.
+#[derive(Debug, Clone)]
+struct Delivery {
+    key: ClientKey,
+    topic: TopicName,
+    payload: Bytes,
+    qos: QoS,
+    retain: bool,
+}
+
 enum Event {
-    NewConnection(LinkEnd),
+    /// A reader thread saw a valid CONNECT and hands the connection to its
+    /// owner shard.
+    Register {
+        conn: ConnId,
+        sender: FrameSender,
+        connect: Connect,
+    },
     Incoming(ConnId, Packet),
     ConnClosed(ConnId),
-    Tick,
+    /// Cross-shard delivery hop (fault plan already evaluated by the
+    /// routing shard).
+    Deliver(Delivery),
     /// Replay a delivery the fault layer deferred (delayed message).
     Inject(PendingDelivery),
     /// Release the deliveries a `Hold` fault rule buffered.
@@ -79,58 +142,67 @@ enum Event {
 
 /// A running broker. Dropping the handle shuts the broker down.
 pub struct Broker {
-    tx: Sender<Event>,
+    shard_txs: Vec<Sender<Event>>,
     counters: Arc<BrokerCounters>,
+    index: Arc<SharedIndex>,
     name: String,
-    loop_handle: Option<JoinHandle<()>>,
+    next_conn: Arc<AtomicU64>,
+    loop_handles: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Broker").field("name", &self.name).finish()
+        f.debug_struct("Broker")
+            .field("name", &self.name)
+            .field("shards", &self.shard_txs.len())
+            .finish()
     }
 }
 
 impl Broker {
-    /// Starts a broker with the default configuration.
+    /// Starts a broker with the default configuration (one shard).
     pub fn start_default() -> Broker {
         Broker::start(BrokerConfig::default())
     }
 
-    /// Starts a broker thread with the given configuration.
+    /// Starts a broker with the given configuration, spawning one event
+    /// loop thread per shard.
     pub fn start(config: BrokerConfig) -> Broker {
-        let (tx, rx) = unbounded();
+        let shards = config.shards.max(1);
         let counters = Arc::new(BrokerCounters::default());
+        let index = Arc::new(SharedIndex::new());
         let name = config.name.clone();
 
-        // Ticker thread: drives keep-alive expiry. Exits when the loop drops
-        // its receiver.
-        let tick_tx = tx.clone();
-        let tick_interval = config.tick_interval;
-        std::thread::Builder::new()
-            .name(format!("{name}-ticker"))
-            .spawn(move || {
-                while tick_tx.send(Event::Tick).is_ok() {
-                    std::thread::sleep(tick_interval);
-                }
-            })
-            .expect("spawn ticker");
+        // Fault-rule hit counters are registered once per broker (the
+        // counters live in the rules and are shared by every shard).
+        if let Some(plan) = &config.fault_plan {
+            for rule in plan.rules() {
+                counters.register_fault_rule(rule.label().to_owned(), rule.hits_handle());
+            }
+        }
 
-        let loop_counters = Arc::clone(&counters);
-        let loop_tx = tx.clone();
-        let loop_handle = std::thread::Builder::new()
-            .name(format!("{name}-loop"))
-            .spawn(move || {
-                let mut core = BrokerCore::new(config, loop_counters, loop_tx);
-                core.run(rx);
-            })
-            .expect("spawn broker loop");
+        let channels: Vec<(Sender<Event>, Receiver<Event>)> =
+            (0..shards).map(|_| unbounded()).collect();
+        let shard_txs: Vec<Sender<Event>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut loop_handles = Vec::with_capacity(shards);
+        for (shard, (_, rx)) in channels.into_iter().enumerate() {
+            let mut core = ShardCore::new(shard, &config, &counters, &index, shard_txs.clone());
+            loop_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("{name}-shard-{shard}"))
+                    .spawn(move || core.run(rx))
+                    .expect("spawn broker shard"),
+            );
+        }
 
         Broker {
-            tx,
+            shard_txs,
             counters,
+            index,
             name,
-            loop_handle: Some(loop_handle),
+            next_conn: Arc::new(AtomicU64::new(1)),
+            loop_handles,
         }
     }
 
@@ -139,15 +211,55 @@ impl Broker {
         &self.name
     }
 
+    /// Number of event-loop shards.
+    pub fn shards(&self) -> usize {
+        self.shard_txs.len()
+    }
+
+    /// Current generation of the routing-index snapshot (bumps on every
+    /// subscription / connection / retained mutation).
+    pub fn index_generation(&self) -> u64 {
+        self.index.load().generation
+    }
+
     /// Opens a new transport connection to this broker and returns the
     /// client-side link end. The caller then speaks MQTT over it (or hands
     /// it to [`crate::client::Client`]).
     pub fn connect_transport(&self) -> Result<LinkEnd> {
         let (client_end, broker_end) = link();
-        self.tx
-            .send(Event::NewConnection(broker_end))
-            .map_err(|_| MqttError::BrokerUnavailable)?;
+        self.attach(broker_end)?;
         Ok(client_end)
+    }
+
+    /// Like [`Broker::connect_transport`], but each direction of the link
+    /// buffers at most `capacity` frames. A full broker→client queue
+    /// blocks the delivering shard — the in-process model of TCP flow
+    /// control, used by the broker bench to measure head-of-line blocking.
+    pub fn connect_transport_bounded(&self, capacity: usize) -> Result<LinkEnd> {
+        let (client_end, broker_end) = link_with_capacity(Some(capacity));
+        self.attach(broker_end)?;
+        Ok(client_end)
+    }
+
+    /// Spawns the per-connection reader thread. The reader owns the
+    /// connection until it sees a CONNECT, then registers it with the
+    /// owner shard and keeps forwarding decoded packets there. Fails with
+    /// [`MqttError::BrokerUnavailable`] when any shard loop has exited
+    /// (shutdown in progress or a crashed shard).
+    fn attach(&self, end: LinkEnd) -> Result<()> {
+        if self.loop_handles.iter().any(JoinHandle::is_finished) {
+            return Err(MqttError::BrokerUnavailable);
+        }
+        let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        BrokerCounters::bump(&self.counters.connections_total);
+        BrokerCounters::bump(&self.counters.connections_current);
+        let shard_txs = self.shard_txs.clone();
+        let counters = Arc::clone(&self.counters);
+        std::thread::Builder::new()
+            .name(format!("{}-reader-{conn_id}", self.name))
+            .spawn(move || run_reader(end, conn_id, shard_txs, counters))
+            .expect("spawn reader");
+        Ok(())
     }
 
     /// Point-in-time statistics.
@@ -157,9 +269,12 @@ impl Broker {
 
     /// Releases every delivery buffered by the `Hold` fault rule with
     /// `label` (see [`crate::fault::FaultAction::Hold`]). A no-op when no
-    /// such rule exists or nothing is held.
+    /// such rule exists or nothing is held. Broadcast to every shard: each
+    /// shard releases the deliveries it stashed.
     pub fn release_held(&self, label: &str) {
-        let _ = self.tx.send(Event::ReleaseHeld(label.to_owned()));
+        for tx in &self.shard_txs {
+            let _ = tx.send(Event::ReleaseHeld(label.to_owned()));
+        }
     }
 
     /// Per-fault-rule hit counts, labelled. Empty without a fault plan.
@@ -167,10 +282,16 @@ impl Broker {
         self.counters.fault_hits()
     }
 
-    /// Requests shutdown and waits for the loop thread to finish.
+    /// Requests shutdown and waits for every shard thread to finish.
     pub fn shutdown(mut self) {
-        let _ = self.tx.send(Event::Shutdown);
-        if let Some(h) = self.loop_handle.take() {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        for tx in &self.shard_txs {
+            let _ = tx.send(Event::Shutdown);
+        }
+        for h in self.loop_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -178,16 +299,175 @@ impl Broker {
 
 impl Drop for Broker {
     fn drop(&mut self) {
-        let _ = self.tx.send(Event::Shutdown);
-        if let Some(h) = self.loop_handle.take() {
-            let _ = h.join();
+        self.stop();
+    }
+}
+
+/// Per-connection reader loop: decode frames, gate on CONNECT, forward to
+/// the owner shard.
+fn run_reader(
+    end: LinkEnd,
+    conn_id: ConnId,
+    shard_txs: Vec<Sender<Event>>,
+    counters: Arc<BrokerCounters>,
+) {
+    let (sender, reader) = end.split();
+    let mut sender_slot = Some(sender);
+    // Index of the owning shard once the CONNECT has been seen.
+    let mut registered: Option<usize> = None;
+    let close = |registered: Option<usize>| match registered {
+        Some(shard) => {
+            let _ = shard_txs[shard].send(Event::ConnClosed(conn_id));
+        }
+        None => {
+            // Never reached a shard: the reader owns the counter.
+            counters.connections_current.fetch_sub(1, Ordering::Relaxed);
+        }
+    };
+    loop {
+        let frame = match reader.recv_frame() {
+            Ok(f) => f,
+            Err(_) => {
+                close(registered);
+                return;
+            }
+        };
+        let mut rest: Bytes = frame;
+        // A frame may carry several back-to-back packets.
+        loop {
+            let (packet, used) = match codec::decode(&rest) {
+                Ok(ok) => ok,
+                Err(_) => {
+                    close(registered);
+                    return;
+                }
+            };
+            match registered {
+                None => match packet {
+                    Packet::Connect(c) if c.client_id.is_empty() => {
+                        if let Some(s) = sender_slot.take() {
+                            let _ = s.send_packet(&Packet::Connack(Connack {
+                                session_present: false,
+                                code: ConnectReturnCode::IdentifierRejected,
+                            }));
+                        }
+                        close(None);
+                        return;
+                    }
+                    Packet::Connect(c) => {
+                        let shard = shard_of(&c.client_id, shard_txs.len());
+                        let sender = sender_slot.take().expect("sender taken once");
+                        if shard_txs[shard]
+                            .send(Event::Register {
+                                conn: conn_id,
+                                sender,
+                                connect: c,
+                            })
+                            .is_err()
+                        {
+                            return; // broker shutting down
+                        }
+                        registered = Some(shard);
+                    }
+                    _ => {
+                        // Any packet before CONNECT is a protocol
+                        // violation: drop the connection.
+                        close(None);
+                        return;
+                    }
+                },
+                Some(shard) => {
+                    if shard_txs[shard]
+                        .send(Event::Incoming(conn_id, packet))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+            if used >= rest.len() {
+                break;
+            }
+            rest = rest.slice(used..);
         }
     }
 }
 
+/// Per-publish encode-once frame cache: QoS 0 frames are shared `Bytes`
+/// (no packet id), QoS 1/2 frames share a [`PublishTemplate`] and stamp
+/// each subscriber's packet id into a copy. Keyed by the retain flag,
+/// which differs only for bridge subscribers.
+struct FanoutFrames {
+    topic: TopicName,
+    payload: Bytes,
+    qos0: [Option<Bytes>; 2],
+    /// `[qos1 | qos2][retain]`
+    templates: [[Option<PublishTemplate>; 2]; 2],
+}
+
+impl FanoutFrames {
+    fn new(topic: &TopicName, payload: &Bytes) -> FanoutFrames {
+        FanoutFrames {
+            topic: topic.clone(),
+            payload: payload.clone(),
+            qos0: [None, None],
+            templates: [[None, None], [None, None]],
+        }
+    }
+
+    /// True when `payload` is the original publish payload (the fault
+    /// layer may substitute a rewritten one, which must not hit the cache).
+    fn cacheable(&self, payload: &Bytes) -> bool {
+        payload.len() == self.payload.len() && payload.as_ptr() == self.payload.as_ptr()
+    }
+
+    /// The shared QoS 0 frame for this publish, or `None` when the payload
+    /// was rewritten (caller encodes a one-off frame).
+    fn qos0_frame(&mut self, retain: bool, payload: &Bytes) -> Option<Bytes> {
+        if !self.cacheable(payload) {
+            return None;
+        }
+        let slot = &mut self.qos0[usize::from(retain)];
+        if slot.is_none() {
+            *slot = codec::encode(&Packet::Publish(Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain,
+                topic: self.topic.clone(),
+                packet_id: None,
+                payload: self.payload.clone(),
+            }))
+            .ok();
+        }
+        slot.clone()
+    }
+
+    /// The shared QoS>0 template for this publish, or `None` when the
+    /// payload was rewritten.
+    fn template(&mut self, qos: QoS, retain: bool, payload: &Bytes) -> Option<&PublishTemplate> {
+        if qos == QoS::AtMostOnce || !self.cacheable(payload) {
+            return None;
+        }
+        let slot = &mut self.templates[(qos as usize) - 1][usize::from(retain)];
+        if slot.is_none() {
+            *slot = PublishTemplate::new(&Publish {
+                dup: false,
+                qos,
+                retain,
+                topic: self.topic.clone(),
+                packet_id: None,
+                payload: self.payload.clone(),
+            })
+            .ok();
+        }
+        slot.as_ref()
+    }
+}
+
 struct ConnState {
-    link: FrameSender,
-    client_id: Option<String>,
+    sender: FrameSender,
+    client_id: String,
+    key: ClientKey,
     is_bridge: bool,
     keep_alive: u16,
     last_activity: Instant,
@@ -195,176 +475,189 @@ struct ConnState {
     graceful: bool,
 }
 
-struct BrokerCore {
-    config: BrokerConfig,
+/// One shard's event loop state: its partition of connections and
+/// sessions, plus shared handles to the routing index, the counters, and
+/// every shard's mailbox.
+struct ShardCore {
+    shard: usize,
+    name: String,
+    max_queued_per_session: usize,
+    keepalive_grace: f64,
     counters: Arc<BrokerCounters>,
-    event_tx: Sender<Event>,
-    next_conn_id: ConnId,
+    index: Arc<SharedIndex>,
+    shard_txs: Vec<Sender<Event>>,
     conns: HashMap<ConnId, ConnState>,
-    /// client id → live connection.
+    /// client id → live connection (this shard's clients only).
     by_client: HashMap<String, ConnId>,
-    /// client id → session (present for connected and parked sessions).
+    /// client id → session (connected and parked; this shard's only).
     sessions: HashMap<String, Session>,
-    /// Subscriptions keyed by client id; payload is the granted QoS.
-    trie: SubscriptionTrie<String, QoS>,
-    retained: RetainedStore,
-    /// Fault-injection engine, present when the config carries a plan.
+    /// Fault-injection engine; per-shard runtime over shared rule state.
     faults: Option<FaultState>,
+    /// Cached earliest keep-alive deadline. Never *later* than the true
+    /// earliest deadline: activity only pushes deadlines back (an early
+    /// wake is a cheap no-op that recomputes), registrations fold in via
+    /// `min`, and closes can only remove deadlines. Avoids an O(conns)
+    /// scan per event-loop iteration.
+    keepalive_deadline: Option<Instant>,
 }
 
-impl BrokerCore {
-    fn new(config: BrokerConfig, counters: Arc<BrokerCounters>, event_tx: Sender<Event>) -> Self {
-        let faults = config.fault_plan.as_ref().map(FaultState::new);
-        if let Some(state) = &faults {
-            for (label, hits) in state.labels() {
-                counters.register_fault_rule(label, hits);
-            }
-        }
-        BrokerCore {
-            config,
-            counters,
-            event_tx,
-            next_conn_id: 1,
+impl ShardCore {
+    fn new(
+        shard: usize,
+        config: &BrokerConfig,
+        counters: &Arc<BrokerCounters>,
+        index: &Arc<SharedIndex>,
+        shard_txs: Vec<Sender<Event>>,
+    ) -> ShardCore {
+        ShardCore {
+            shard,
+            name: config.name.clone(),
+            max_queued_per_session: config.max_queued_per_session,
+            keepalive_grace: config.keepalive_grace,
+            counters: Arc::clone(counters),
+            index: Arc::clone(index),
+            shard_txs,
             conns: HashMap::new(),
             by_client: HashMap::new(),
             sessions: HashMap::new(),
-            trie: SubscriptionTrie::new(),
-            retained: RetainedStore::new(),
-            faults,
+            faults: config
+                .fault_plan
+                .as_ref()
+                .map(|plan| FaultState::new(plan, shard as u64)),
+            keepalive_deadline: None,
         }
     }
 
     fn run(&mut self, rx: Receiver<Event>) {
-        while let Ok(event) = rx.recv() {
-            match event {
-                Event::NewConnection(end) => self.on_new_connection(end),
-                Event::Incoming(conn, packet) => self.on_packet(conn, packet),
-                Event::ConnClosed(conn) => self.on_conn_closed(conn),
-                Event::Tick => self.on_tick(),
-                Event::Inject(d) => self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain),
-                Event::ReleaseHeld(label) => {
-                    let released = match &mut self.faults {
-                        Some(state) => state.release(&label),
-                        None => Vec::new(),
-                    };
-                    for d in released {
-                        self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain);
+        'outer: loop {
+            // Drain whatever is queued without any deadline math on the
+            // hot path — but check the cached deadline periodically so a
+            // mailbox that never empties still expires keep-alives.
+            let mut drained = 0u32;
+            loop {
+                match rx.try_recv() {
+                    Ok(event) => {
+                        if !self.handle(event) {
+                            break 'outer;
+                        }
+                        drained = drained.wrapping_add(1);
+                        if drained.is_multiple_of(128)
+                            && self.keepalive_deadline.is_some_and(|d| d <= Instant::now())
+                        {
+                            self.expire_keepalives();
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break 'outer,
+                }
+            }
+            // Quiescent: park until the next keep-alive deadline (or an
+            // event). Deadline-driven — there is no tick, so an idle shard
+            // sleeps indefinitely and a stalled one never piles up ticks.
+            match self.keepalive_deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        self.expire_keepalives();
+                        continue;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(event) => {
+                            if !self.handle(event) {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) => self.expire_keepalives(),
+                        Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
-                Event::Shutdown => break,
+                None => match rx.recv() {
+                    Ok(event) => {
+                        if !self.handle(event) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                },
             }
         }
         // Close every link so clients observe disconnection.
         self.conns.clear();
     }
 
-    fn on_new_connection(&mut self, end: LinkEnd) {
-        let conn_id = self.next_conn_id;
-        self.next_conn_id += 1;
-        let (sender_half, reader_end) = end.split();
-        let event_tx = self.event_tx.clone();
-        std::thread::Builder::new()
-            .name(format!("{}-reader-{conn_id}", self.config.name))
-            .spawn(move || {
-                loop {
-                    match reader_end.recv_frame() {
-                        Ok(frame) => {
-                            let mut rest: Bytes = frame;
-                            // A frame may carry several back-to-back packets.
-                            loop {
-                                match codec::decode(&rest) {
-                                    Ok((packet, used)) => {
-                                        if event_tx.send(Event::Incoming(conn_id, packet)).is_err()
-                                        {
-                                            return;
-                                        }
-                                        if used >= rest.len() {
-                                            break;
-                                        }
-                                        rest = rest.slice(used..);
-                                    }
-                                    Err(_) => {
-                                        let _ = event_tx.send(Event::ConnClosed(conn_id));
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                        Err(_) => {
-                            let _ = event_tx.send(Event::ConnClosed(conn_id));
-                            return;
-                        }
-                    }
+    /// Handles one event; returns false on shutdown.
+    fn handle(&mut self, event: Event) -> bool {
+        match event {
+            Event::Register {
+                conn,
+                sender,
+                connect,
+            } => self.on_register(conn, sender, connect),
+            Event::Incoming(conn, packet) => self.on_packet(conn, packet),
+            Event::ConnClosed(conn) => self.on_conn_closed(conn),
+            Event::Deliver(d) => self.on_deliver(d),
+            Event::Inject(d) => self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain),
+            Event::ReleaseHeld(label) => {
+                let released = match &mut self.faults {
+                    Some(state) => state.release(&label),
+                    None => Vec::new(),
+                };
+                for d in released {
+                    self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain);
                 }
+            }
+            Event::Shutdown => return false,
+        }
+        true
+    }
+
+    fn conn_deadline(&self, c: &ConnState) -> Option<Instant> {
+        (c.keep_alive > 0).then(|| {
+            c.last_activity
+                + Duration::from_secs_f64(f64::from(c.keep_alive) * self.keepalive_grace)
+        })
+    }
+
+    /// Closes every expired connection, then recomputes the cached
+    /// earliest deadline with one full scan (runs only when a deadline
+    /// fires — at most once per keep-alive period per connection — never
+    /// on the per-event hot path).
+    fn expire_keepalives(&mut self) {
+        let grace = self.keepalive_grace;
+        let expired: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.keep_alive > 0
+                    && c.last_activity.elapsed()
+                        > Duration::from_secs_f64(f64::from(c.keep_alive) * grace)
             })
-            .expect("spawn reader");
-        self.conns.insert(
-            conn_id,
-            ConnState {
-                link: sender_half,
-                client_id: None,
-                is_bridge: false,
-                keep_alive: 0,
-                last_activity: Instant::now(),
-                will: None,
-                graceful: false,
-            },
-        );
-        BrokerCounters::bump(&self.counters.connections_total);
-        BrokerCounters::bump(&self.counters.connections_current);
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            BrokerCounters::bump(&self.counters.keepalive_timeouts);
+            self.on_conn_closed(id);
+        }
+        self.keepalive_deadline = self
+            .conns
+            .values()
+            .filter_map(|c| self.conn_deadline(c))
+            .min();
     }
 
-    fn on_packet(&mut self, conn_id: ConnId, packet: Packet) {
-        let Some(conn) = self.conns.get_mut(&conn_id) else {
-            return; // already closed
-        };
-        conn.last_activity = Instant::now();
-        match packet {
-            Packet::Connect(c) => self.on_connect(conn_id, c),
-            Packet::Publish(p) => self.on_publish(conn_id, p),
-            Packet::Puback(id) => self.on_puback(conn_id, id),
-            Packet::Pubrec(id) => self.on_pubrec(conn_id, id),
-            Packet::Pubrel(id) => self.on_pubrel(conn_id, id),
-            Packet::Pubcomp(id) => self.on_pubcomp(conn_id, id),
-            Packet::Subscribe(s) => self.on_subscribe(conn_id, s),
-            Packet::Unsubscribe(u) => self.on_unsubscribe(conn_id, u),
-            Packet::Pingreq => {
-                self.send_to_conn(conn_id, &Packet::Pingresp);
-            }
-            Packet::Disconnect => {
-                if let Some(conn) = self.conns.get_mut(&conn_id) {
-                    conn.graceful = true;
-                    conn.will = None;
-                }
-                self.on_conn_closed(conn_id);
-            }
-            // Server-to-client packets arriving at the broker are protocol
-            // violations; drop the connection.
-            Packet::Connack(_) | Packet::Suback(_) | Packet::Unsuback(_) | Packet::Pingresp => {
-                self.on_conn_closed(conn_id);
-            }
-        }
-    }
-
-    fn on_connect(&mut self, conn_id: ConnId, c: Connect) {
-        if c.client_id.is_empty() {
-            self.send_to_conn(
-                conn_id,
-                &Packet::Connack(Connack {
-                    session_present: false,
-                    code: ConnectReturnCode::IdentifierRejected,
-                }),
-            );
-            self.on_conn_closed(conn_id);
-            return;
-        }
-
-        // Session takeover: disconnect any live connection with this id.
+    fn on_register(&mut self, conn_id: ConnId, sender: FrameSender, c: Connect) {
+        // Session takeover: disconnect any live connection with this id
+        // (always shard-local — same id, same shard).
         if let Some(&old) = self.by_client.get(&c.client_id) {
             if old != conn_id {
                 self.on_conn_closed(old);
             }
         }
+
+        let is_bridge = c.client_id.starts_with(BRIDGE_PREFIX);
+        let key =
+            self.index
+                .register_conn(&c.client_id, self.shard, conn_id, sender.clone(), is_bridge);
 
         let session_present = if c.clean_session {
             // Fresh session: purge stored state and subscriptions.
@@ -373,7 +666,7 @@ impl BrokerCore {
                     .sessions_current
                     .fetch_sub(1, Ordering::Relaxed);
             }
-            let removed = self.trie.unsubscribe_all(&c.client_id);
+            let removed = self.index.unsubscribe_all(key);
             self.counters
                 .subscriptions_current
                 .fetch_sub(removed as u64, Ordering::Relaxed);
@@ -388,7 +681,7 @@ impl BrokerCore {
                 Session::new(
                     c.client_id.clone(),
                     c.clean_session,
-                    self.config.max_queued_per_session,
+                    self.max_queued_per_session,
                 ),
             );
             BrokerCounters::bump(&self.counters.sessions_current);
@@ -396,13 +689,25 @@ impl BrokerCore {
             s.clean = c.clean_session;
         }
 
-        let is_bridge = c.client_id.starts_with(BRIDGE_PREFIX);
-        if let Some(conn) = self.conns.get_mut(&conn_id) {
-            conn.client_id = Some(c.client_id.clone());
-            conn.is_bridge = is_bridge;
-            conn.keep_alive = c.keep_alive;
-            conn.will = c.will;
+        let state = ConnState {
+            sender,
+            client_id: c.client_id.clone(),
+            key,
+            is_bridge,
+            keep_alive: c.keep_alive,
+            last_activity: Instant::now(),
+            will: c.will,
+            graceful: false,
+        };
+        // Fold the newcomer into the cached earliest deadline (the only
+        // mutation that can move the minimum *earlier*).
+        if let Some(deadline) = self.conn_deadline(&state) {
+            self.keepalive_deadline = Some(match self.keepalive_deadline {
+                Some(current) => current.min(deadline),
+                None => deadline,
+            });
         }
+        self.conns.insert(conn_id, state);
         self.by_client.insert(c.client_id.clone(), conn_id);
 
         self.send_to_conn(
@@ -432,7 +737,7 @@ impl BrokerCore {
             // Straight to deliver_raw: these messages already passed the
             // fault plan when they were routed (and queued); evaluating
             // them again would double-apply rules and skew hit windows.
-            self.deliver_raw(client_id.to_owned(), msg.topic, msg.payload, msg.qos, false);
+            self.deliver_raw(client_id, msg.topic, msg.payload, msg.qos, false);
         }
         for (_, inflight_msg) in inflight {
             // Retransmit with a fresh id and DUP=1.
@@ -467,16 +772,47 @@ impl BrokerCore {
         }
     }
 
+    fn on_packet(&mut self, conn_id: ConnId, packet: Packet) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // already closed
+        };
+        conn.last_activity = Instant::now();
+        match packet {
+            Packet::Publish(p) => self.on_publish(conn_id, p),
+            Packet::Puback(id) => self.on_puback(conn_id, id),
+            Packet::Pubrec(id) => self.on_pubrec(conn_id, id),
+            Packet::Pubrel(id) => self.on_pubrel(conn_id, id),
+            Packet::Pubcomp(id) => self.on_pubcomp(conn_id, id),
+            Packet::Subscribe(s) => self.on_subscribe(conn_id, s),
+            Packet::Unsubscribe(u) => self.on_unsubscribe(conn_id, u),
+            Packet::Pingreq => {
+                self.send_to_conn(conn_id, &Packet::Pingresp);
+            }
+            Packet::Disconnect => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.graceful = true;
+                    conn.will = None;
+                }
+                self.on_conn_closed(conn_id);
+            }
+            // A second CONNECT on a live connection, or server-to-client
+            // packets arriving at the broker, are protocol violations;
+            // drop the connection.
+            Packet::Connect(_)
+            | Packet::Connack(_)
+            | Packet::Suback(_)
+            | Packet::Unsuback(_)
+            | Packet::Pingresp => {
+                self.on_conn_closed(conn_id);
+            }
+        }
+    }
+
     fn on_publish(&mut self, conn_id: ConnId, p: Publish) {
         let Some(conn) = self.conns.get(&conn_id) else {
             return;
         };
-        if conn.client_id.is_none() {
-            // PUBLISH before CONNECT: protocol violation.
-            self.on_conn_closed(conn_id);
-            return;
-        }
-        let client_id = conn.client_id.clone().unwrap();
+        let client_id = conn.client_id.clone();
         let is_bridge = conn.is_bridge;
 
         BrokerCounters::bump(&self.counters.publishes_in);
@@ -509,8 +845,11 @@ impl BrokerCore {
     }
 
     /// Routes a publish to every matching subscriber and updates the
-    /// retained store. `origin_client` is the publishing client's id (used
-    /// by fault-rule matching), `None` for broker-internal replays.
+    /// retained store. Matching runs against the current index snapshot —
+    /// no lock is held — and targets are visited in sorted client-id
+    /// order, so delivery order is deterministic at every shard count.
+    /// `origin_client` is the publishing client's id (used by fault-rule
+    /// matching), `None` for broker-internal replays.
     fn route(
         &mut self,
         p: &Publish,
@@ -519,174 +858,315 @@ impl BrokerCore {
         origin_client: Option<&str>,
     ) {
         if p.retain {
-            let had = self.retained.len();
-            self.retained.apply(p);
-            let now = self.retained.len();
-            match now.cmp(&had) {
-                std::cmp::Ordering::Greater => {
+            match self.index.apply_retained(p) {
+                RetainedDelta::Added => {
                     BrokerCounters::bump(&self.counters.retained_current);
                 }
-                std::cmp::Ordering::Less => {
+                RetainedDelta::Removed => {
                     self.counters
                         .retained_current
                         .fetch_sub(1, Ordering::Relaxed);
                 }
-                std::cmp::Ordering::Equal => {}
+                RetainedDelta::Replaced | RetainedDelta::Unchanged => {}
             }
         }
 
+        let snap = self.index.load();
         // Dedupe overlapping subscriptions per client, keeping max QoS.
-        let mut targets: HashMap<String, QoS> = HashMap::new();
-        for (client, granted) in self.trie.matches(&p.topic) {
-            targets
-                .entry(client.clone())
-                .and_modify(|q| *q = (*q).max(*granted))
-                .or_insert(*granted);
-        }
+        let mut matched: Vec<(ClientKey, QoS)> = snap
+            .trie
+            .matches(&p.topic)
+            .into_iter()
+            .map(|(k, q)| (*k, *q))
+            .collect();
+        matched.sort_unstable_by_key(|(k, _)| *k);
+        matched.dedup_by(|next, keep| {
+            if next.0 == keep.0 {
+                keep.1 = keep.1.max(next.1);
+                true
+            } else {
+                false
+            }
+        });
+        // Resolve routes and order deterministically by client id.
+        let mut targets: Vec<(&RouteEntry, ClientKey, QoS)> = matched
+            .iter()
+            .filter_map(|&(k, granted)| snap.routes.entry(k).map(|e| (e, k, granted)))
+            .collect();
+        targets.sort_unstable_by(|a, b| a.0.client.cmp(&b.0.client));
 
-        for (client, granted) in targets {
+        let mut frames = FanoutFrames::new(&p.topic, &p.payload);
+        for (entry, key, granted) in targets {
             // Loop prevention: never echo a bridge's own message back.
-            if origin_is_bridge {
-                if let Some(&target_conn) = self.by_client.get(&client) {
-                    if target_conn == origin {
-                        continue;
-                    }
-                }
+            if origin_is_bridge && entry.conn == Some(origin) {
+                continue;
             }
             let qos = p.qos.min(granted);
             // Forwarded messages carry retain=0 for established subs, with
             // one exception: bridge connections keep the flag so retained
             // state propagates across brokers (mosquitto behaves the same).
-            let retain_out = p.retain && client.starts_with(BRIDGE_PREFIX);
-            self.deliver(
-                client,
-                p.topic.clone(),
-                p.payload.clone(),
+            let retain_out = p.retain && entry.is_bridge;
+            let Some((payload, duplicate, release)) = self.fault_gate(
+                &entry.client,
+                &p.topic,
+                &p.payload,
                 qos,
                 retain_out,
                 origin_client,
-            );
+            ) else {
+                continue;
+            };
+            let d = Delivery {
+                key,
+                topic: p.topic.clone(),
+                payload,
+                qos,
+                retain: retain_out,
+            };
+            if duplicate {
+                let copy = d.clone();
+                self.dispatch(entry, d, Some(&mut frames));
+                self.dispatch(entry, copy, Some(&mut frames));
+            } else {
+                self.dispatch(entry, d, Some(&mut frames));
+            }
+            for r in release {
+                self.deliver_raw(&r.client, r.topic, r.payload, r.qos, r.retain);
+            }
         }
     }
 
-    /// Delivers one message to one client, first consulting the fault
-    /// plan (if any): a matching rule may drop, corrupt, duplicate,
-    /// reorder, hold, or delay the delivery. Deliveries the fault layer
-    /// re-injects go straight to [`BrokerCore::deliver_raw`] so rules
-    /// cannot cascade on their own output.
-    fn deliver(
+    /// Runs one prospective delivery through the fault plan. Returns the
+    /// (possibly rewritten) payload, whether to deliver a duplicate, and
+    /// any stashed deliveries to release afterwards — or `None` when the
+    /// delivery was consumed (dropped, held, stashed, or delayed).
+    fn fault_gate(
         &mut self,
-        client: String,
-        topic: TopicName,
-        payload: Bytes,
+        client: &str,
+        topic: &TopicName,
+        payload: &Bytes,
         qos: QoS,
         retain: bool,
         origin: Option<&str>,
-    ) {
+    ) -> Option<(Bytes, bool, Vec<PendingDelivery>)> {
         let Some(faults) = self.faults.as_mut() else {
-            self.deliver_raw(client, topic, payload, qos, retain);
-            return;
+            return Some((payload.clone(), false, Vec::new()));
         };
-        match faults.evaluate(&client, &topic, &payload, qos, retain, origin) {
+        match faults.evaluate(client, topic, payload, qos, retain, origin) {
             FaultVerdict::Deliver {
                 payload,
                 duplicate,
                 release,
-            } => {
-                self.deliver_raw(client.clone(), topic.clone(), payload.clone(), qos, retain);
-                if duplicate {
-                    self.deliver_raw(client, topic, payload, qos, retain);
-                }
-                for d in release {
-                    self.deliver_raw(d.client, d.topic, d.payload, d.qos, d.retain);
-                }
-            }
-            FaultVerdict::Consumed => {}
+            } => Some((payload, duplicate, release)),
+            FaultVerdict::Consumed => None,
             FaultVerdict::Delayed { delivery, delay } => {
-                let tx = self.event_tx.clone();
+                let tx = self.shard_txs[self.shard].clone();
                 std::thread::Builder::new()
-                    .name(format!("{}-fault-delay", self.config.name))
+                    .name(format!("{}-fault-delay", self.name))
                     .spawn(move || {
                         std::thread::sleep(delay);
                         let _ = tx.send(Event::Inject(delivery));
                     })
                     .expect("spawn fault delay timer");
+                None
             }
         }
     }
 
-    /// Delivers one message to one client (live) or queues it (parked
-    /// persistent session).
+    /// Delivers one fault-cleared message to one subscriber:
+    ///
+    /// * live + QoS 0 → encode-once shared frame pushed straight into the
+    ///   subscriber's sender, from whichever shard is routing;
+    /// * live + QoS 1/2 on this shard → packet id allocated against the
+    ///   local session, frame stamped from the shared template;
+    /// * anything else (other shard's session, or offline) → one hop to
+    ///   the owner shard's mailbox.
+    fn dispatch(&mut self, entry: &RouteEntry, d: Delivery, frames: Option<&mut FanoutFrames>) {
+        match (&entry.conn, &entry.sender) {
+            (Some(conn), Some(sender)) if d.qos == QoS::AtMostOnce => {
+                let frame = match frames.and_then(|f| f.qos0_frame(d.retain, &d.payload)) {
+                    Some(shared) => Some(shared),
+                    None => codec::encode(&Packet::Publish(Publish {
+                        dup: false,
+                        qos: QoS::AtMostOnce,
+                        retain: d.retain,
+                        topic: d.topic.clone(),
+                        packet_id: None,
+                        payload: d.payload.clone(),
+                    }))
+                    .ok(),
+                };
+                let Some(frame) = frame else {
+                    BrokerCounters::bump(&self.counters.dropped);
+                    return;
+                };
+                // Count before sending: once a receiver observes the
+                // frame, the counter must already reflect it.
+                BrokerCounters::bump(&self.counters.publishes_out);
+                BrokerCounters::add(&self.counters.payload_bytes_out, d.payload.len() as u64);
+                if sender.send_frame(frame).is_err() {
+                    // The peer vanished mid-delivery; tell the owner shard
+                    // so it can tear the connection down.
+                    let _ = self.shard_txs[entry.shard].send(Event::ConnClosed(*conn));
+                }
+            }
+            _ if entry.shard == self.shard => {
+                let client = Arc::clone(&entry.client);
+                self.deliver_owned(&client, d, frames);
+            }
+            (None, _) if d.qos == QoS::AtMostOnce => {
+                // Offline subscriber, QoS 0: never queued, so don't pay a
+                // cross-shard hop just to have the owner drop it.
+                BrokerCounters::bump(&self.counters.dropped);
+            }
+            _ => {
+                BrokerCounters::bump(&self.counters.cross_shard_hops);
+                let _ = self.shard_txs[entry.shard].send(Event::Deliver(d));
+            }
+        }
+    }
+
+    /// Cross-shard hop arriving at the session's owner shard.
+    fn on_deliver(&mut self, d: Delivery) {
+        let snap = self.index.load();
+        let Some(entry) = snap.routes.entry(d.key) else {
+            // Session vanished while the hop was in flight.
+            BrokerCounters::bump(&self.counters.dropped);
+            return;
+        };
+        let client = Arc::clone(&entry.client);
+        self.deliver_owned(&client, d, None);
+    }
+
+    /// Owner-shard delivery: consult the *local* connection table (the
+    /// authoritative source for this shard's clients) and either send with
+    /// a session packet id or queue for the offline session.
+    fn deliver_owned(&mut self, client: &str, d: Delivery, frames: Option<&mut FanoutFrames>) {
+        match self.by_client.get(client) {
+            Some(&conn_id) if self.conns.contains_key(&conn_id) => {
+                if d.qos == QoS::AtMostOnce {
+                    // Only reachable when the snapshot lagged the local
+                    // table (e.g. replay right after reconnect).
+                    BrokerCounters::bump(&self.counters.publishes_out);
+                    self.send_to_conn(
+                        conn_id,
+                        &Packet::Publish(Publish {
+                            dup: false,
+                            qos: d.qos,
+                            retain: d.retain,
+                            topic: d.topic,
+                            packet_id: None,
+                            payload: d.payload,
+                        }),
+                    );
+                    return;
+                }
+                let Some(session) = self.sessions.get_mut(client) else {
+                    BrokerCounters::bump(&self.counters.dropped);
+                    return;
+                };
+                let id = session.alloc_packet_id();
+                session.inflight_out.insert(
+                    id,
+                    InflightOut {
+                        topic: d.topic.clone(),
+                        payload: d.payload.clone(),
+                        qos: d.qos,
+                        retain: d.retain,
+                        released: false,
+                    },
+                );
+                BrokerCounters::bump(&self.counters.publishes_out);
+                let shared = frames
+                    .and_then(|f| f.template(d.qos, d.retain, &d.payload))
+                    .map(|t| t.with_packet_id(id));
+                match shared {
+                    Some(frame) => {
+                        BrokerCounters::add(
+                            &self.counters.payload_bytes_out,
+                            d.payload.len() as u64,
+                        );
+                        let send_failed = self
+                            .conns
+                            .get(&conn_id)
+                            .map(|c| c.sender.send_frame(frame).is_err())
+                            .unwrap_or(false);
+                        if send_failed {
+                            self.on_conn_closed(conn_id);
+                        }
+                    }
+                    None => self.send_to_conn(
+                        conn_id,
+                        &Packet::Publish(Publish {
+                            dup: false,
+                            qos: d.qos,
+                            retain: d.retain,
+                            topic: d.topic,
+                            packet_id: Some(id),
+                            payload: d.payload,
+                        }),
+                    ),
+                }
+            }
+            _ => self.queue_offline(client, d),
+        }
+    }
+
+    /// Queues a delivery for an offline persistent session, or drops it
+    /// (QoS 0 / clean session / no session) per spec latitude.
+    fn queue_offline(&mut self, client: &str, d: Delivery) {
+        let Some(session) = self.sessions.get_mut(client) else {
+            BrokerCounters::bump(&self.counters.dropped);
+            return;
+        };
+        if d.qos == QoS::AtMostOnce || session.clean {
+            BrokerCounters::bump(&self.counters.dropped);
+        } else {
+            let intact = session.queue_message(QueuedMessage {
+                topic: d.topic,
+                payload: d.payload,
+                qos: d.qos,
+            });
+            BrokerCounters::bump(&self.counters.queued_current);
+            if !intact {
+                BrokerCounters::bump(&self.counters.dropped);
+                self.counters.queued_current.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Delivers one message to one client by name, bypassing the fault
+    /// plan (used for replays the plan already cleared: queued messages,
+    /// released holds, reordered or delayed deliveries).
     fn deliver_raw(
         &mut self,
-        client: String,
+        client: &str,
         topic: TopicName,
         payload: Bytes,
         qos: QoS,
         retain: bool,
     ) {
-        match self.by_client.get(&client) {
-            Some(&conn_id) if self.conns.contains_key(&conn_id) => {
-                let packet_id = if qos == QoS::AtMostOnce {
-                    None
-                } else {
-                    let Some(session) = self.sessions.get_mut(&client) else {
-                        return;
-                    };
-                    let id = session.alloc_packet_id();
-                    session.inflight_out.insert(
-                        id,
-                        InflightOut {
-                            topic: topic.clone(),
-                            payload: payload.clone(),
-                            qos,
-                            retain,
-                            released: false,
-                        },
-                    );
-                    Some(id)
-                };
-                // Count before sending: once a receiver observes the
-                // frame, the counter must already reflect it.
-                BrokerCounters::bump(&self.counters.publishes_out);
-                self.send_to_conn(
-                    conn_id,
-                    &Packet::Publish(Publish {
-                        dup: false,
-                        qos,
-                        retain,
-                        topic,
-                        packet_id,
-                        payload,
-                    }),
-                );
-            }
-            _ => {
-                // Parked session: queue QoS>0; drop QoS 0 per spec latitude.
-                let Some(session) = self.sessions.get_mut(&client) else {
-                    BrokerCounters::bump(&self.counters.dropped);
-                    return;
-                };
-                if qos == QoS::AtMostOnce || session.clean {
-                    BrokerCounters::bump(&self.counters.dropped);
-                } else {
-                    let intact = session.queue_message(QueuedMessage {
-                        topic,
-                        payload,
-                        qos,
-                    });
-                    BrokerCounters::bump(&self.counters.queued_current);
-                    if !intact {
-                        BrokerCounters::bump(&self.counters.dropped);
-                        self.counters.queued_current.fetch_sub(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
+        let snap = self.index.load();
+        let Some(key) = snap.routes.key_of(client) else {
+            BrokerCounters::bump(&self.counters.dropped);
+            return;
+        };
+        let Some(entry) = snap.routes.entry(key) else {
+            BrokerCounters::bump(&self.counters.dropped);
+            return;
+        };
+        let d = Delivery {
+            key,
+            topic,
+            payload,
+            qos,
+            retain,
+        };
+        self.dispatch(entry, d, None);
     }
 
     fn session_of_conn(&mut self, conn_id: ConnId) -> Option<&mut Session> {
-        let client = self.conns.get(&conn_id)?.client_id.clone()?;
+        let client = self.conns.get(&conn_id)?.client_id.clone();
         self.sessions.get_mut(&client)
     }
 
@@ -719,8 +1199,11 @@ impl BrokerCore {
     }
 
     fn on_subscribe(&mut self, conn_id: ConnId, s: Subscribe) {
-        let Some(client_id) = self.conns.get(&conn_id).and_then(|c| c.client_id.clone()) else {
-            self.on_conn_closed(conn_id);
+        let Some((client_id, key)) = self
+            .conns
+            .get(&conn_id)
+            .map(|c| (c.client_id.clone(), c.key))
+        else {
             return;
         };
         let mut codes = Vec::with_capacity(s.filters.len());
@@ -729,7 +1212,7 @@ impl BrokerCore {
             // The embedded broker grants every valid filter at the
             // requested QoS (codec already validated syntax).
             let granted = *requested;
-            let new = self.trie.subscribe(filter, client_id.clone(), granted);
+            let new = self.index.subscribe(filter, key, granted);
             if new {
                 BrokerCounters::bump(&self.counters.subscriptions_current);
             }
@@ -737,7 +1220,10 @@ impl BrokerCore {
                 session.subscriptions.insert(filter.clone(), granted);
             }
             codes.push(SubackCode::Granted(granted));
-            for (topic, retained) in self.retained.matching(filter) {
+            let snap = self.index.load();
+            let mut matching = snap.retained.matching(filter);
+            matching.sort_by(|(a, _), (b, _)| a.cmp(b));
+            for (topic, retained) in matching {
                 replays.push((topic, retained.payload, retained.qos.min(granted)));
             }
         }
@@ -749,18 +1235,31 @@ impl BrokerCore {
             }),
         );
         for (topic, payload, qos) in replays {
-            // Retained replays carry retain=1.
-            self.deliver(client_id.clone(), topic, payload, qos, true, None);
+            // Retained replays carry retain=1 and pass the fault plan.
+            if let Some((payload, duplicate, release)) =
+                self.fault_gate(&client_id, &topic, &payload, qos, true, None)
+            {
+                self.deliver_raw(&client_id, topic.clone(), payload.clone(), qos, true);
+                if duplicate {
+                    self.deliver_raw(&client_id, topic, payload, qos, true);
+                }
+                for r in release {
+                    self.deliver_raw(&r.client, r.topic, r.payload, r.qos, r.retain);
+                }
+            }
         }
     }
 
     fn on_unsubscribe(&mut self, conn_id: ConnId, u: Unsubscribe) {
-        let Some(client_id) = self.conns.get(&conn_id).and_then(|c| c.client_id.clone()) else {
-            self.on_conn_closed(conn_id);
+        let Some((client_id, key)) = self
+            .conns
+            .get(&conn_id)
+            .map(|c| (c.client_id.clone(), c.key))
+        else {
             return;
         };
         for filter in &u.filters {
-            if self.trie.unsubscribe(filter, &client_id) {
+            if self.index.unsubscribe(filter, key) {
                 self.counters
                     .subscriptions_current
                     .fetch_sub(1, Ordering::Relaxed);
@@ -785,27 +1284,28 @@ impl BrokerCore {
         } else {
             conn.will.clone()
         };
-        let origin_client = conn.client_id.clone();
 
-        if let Some(client_id) = conn.client_id {
-            if self.by_client.get(&client_id) == Some(&conn_id) {
-                self.by_client.remove(&client_id);
-            }
+        if self.by_client.get(&conn.client_id) == Some(&conn_id) {
+            self.by_client.remove(&conn.client_id);
             let clean = self
                 .sessions
-                .get(&client_id)
+                .get(&conn.client_id)
                 .map(|s| s.clean)
                 .unwrap_or(true);
             if clean {
-                if self.sessions.remove(&client_id).is_some() {
+                if self.sessions.remove(&conn.client_id).is_some() {
                     self.counters
                         .sessions_current
                         .fetch_sub(1, Ordering::Relaxed);
                 }
-                let removed = self.trie.unsubscribe_all(&client_id);
+                let removed = self.index.remove_client(conn.key);
                 self.counters
                     .subscriptions_current
                     .fetch_sub(removed as u64, Ordering::Relaxed);
+            } else {
+                // Parked persistent session: keep routes so queued
+                // deliveries still find the owner shard.
+                self.index.deregister_conn(conn.key, conn_id);
             }
         }
 
@@ -819,28 +1319,7 @@ impl BrokerCore {
                 payload: will.payload,
             };
             // conn_id is gone, so origin-echo suppression is a no-op here.
-            self.route(&publish, conn_id, false, origin_client.as_deref());
-        }
-    }
-
-    fn on_tick(&mut self) {
-        if self.conns.is_empty() {
-            return;
-        }
-        let grace = self.config.keepalive_grace;
-        let expired: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                c.keep_alive > 0
-                    && c.last_activity.elapsed()
-                        > Duration::from_secs_f64(c.keep_alive as f64 * grace)
-            })
-            .map(|(&id, _)| id)
-            .collect();
-        for id in expired {
-            BrokerCounters::bump(&self.counters.keepalive_timeouts);
-            self.on_conn_closed(id);
+            self.route(&publish, conn_id, false, Some(&conn.client_id));
         }
     }
 
@@ -851,7 +1330,7 @@ impl BrokerCore {
         if let Packet::Publish(p) = packet {
             BrokerCounters::add(&self.counters.payload_bytes_out, p.payload.len() as u64);
         }
-        if conn.link.send_packet(packet).is_err() {
+        if conn.sender.send_packet(packet).is_err() {
             self.on_conn_closed(conn_id);
         }
     }
@@ -860,6 +1339,7 @@ impl BrokerCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRule;
     use crate::topic::TopicFilter;
     use std::time::Duration;
 
@@ -1169,10 +1649,9 @@ mod tests {
 
     #[test]
     fn keepalive_expiry_drops_connection() {
-        let broker = Broker::start(BrokerConfig {
-            tick_interval: Duration::from_millis(20),
-            ..BrokerConfig::default()
-        });
+        // Keep-alive checks are deadline-driven (no tick): the shard
+        // sleeps until exactly keep_alive * grace and expires then.
+        let broker = Broker::start_default();
         let _quiet = RawClient::connect_full(&broker, "quiet", true, 1, None);
         // 1s keepalive * 1.5 grace = 1.5s until expiry.
         std::thread::sleep(Duration::from_millis(1700));
@@ -1182,10 +1661,7 @@ mod tests {
 
     #[test]
     fn pingreq_keeps_connection_alive() {
-        let broker = Broker::start(BrokerConfig {
-            tick_interval: Duration::from_millis(20),
-            ..BrokerConfig::default()
-        });
+        let broker = Broker::start_default();
         let client = RawClient::connect_full(&broker, "alive", true, 1, None);
         for _ in 0..4 {
             std::thread::sleep(Duration::from_millis(500));
@@ -1233,6 +1709,23 @@ mod tests {
     }
 
     #[test]
+    fn second_connect_drops_connection() {
+        let broker = Broker::start_default();
+        let client = RawClient::connect(&broker, "twice", true);
+        client
+            .link
+            .send_packet(&Packet::Connect(Connect {
+                client_id: "twice".into(),
+                clean_session: true,
+                keep_alive: 0,
+                will: None,
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(broker.stats().connections_current, 0);
+    }
+
+    #[test]
     fn unsubscribe_stops_delivery() {
         let broker = Broker::start_default();
         let sub = RawClient::connect(&broker, "sub", true);
@@ -1253,5 +1746,150 @@ mod tests {
             .link
             .recv_packet_timeout(Duration::from_millis(200))
             .is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-core tests
+    // ------------------------------------------------------------------
+
+    fn sharded(shards: usize) -> Broker {
+        Broker::start(BrokerConfig {
+            name: format!("sharded{shards}"),
+            shards,
+            ..BrokerConfig::default()
+        })
+    }
+
+    #[test]
+    fn sharded_fanout_reaches_every_shard() {
+        let broker = sharded(4);
+        assert_eq!(broker.shards(), 4);
+        let subs: Vec<RawClient> = (0..16)
+            .map(|i| {
+                let c = RawClient::connect(&broker, &format!("s{i:02}"), true);
+                c.subscribe("fan/#", QoS::AtMostOnce);
+                c
+            })
+            .collect();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("fan/x", b"blast", QoS::AtMostOnce, false);
+        for sub in &subs {
+            assert_eq!(sub.expect_publish().payload, Bytes::from_static(b"blast"));
+        }
+        assert_eq!(broker.stats().publishes_out, 16);
+    }
+
+    #[test]
+    fn sharded_qos1_crosses_shards_with_session_ids() {
+        let broker = sharded(4);
+        // 16 ids cover all 4 shards with overwhelming probability.
+        let subs: Vec<RawClient> = (0..16)
+            .map(|i| {
+                let c = RawClient::connect(&broker, &format!("q{i:02}"), true);
+                c.subscribe("t", QoS::AtLeastOnce);
+                c
+            })
+            .collect();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"ack-me", QoS::AtLeastOnce, false);
+        for sub in &subs {
+            let p = sub.expect_publish();
+            assert_eq!(p.qos, QoS::AtLeastOnce);
+            let id = p.packet_id.expect("QoS1 delivery carries a packet id");
+            sub.link.send_packet(&Packet::Puback(id)).unwrap();
+        }
+        // The publisher's shard routed; other shards' sessions were
+        // reached via mailbox hops.
+        assert!(
+            broker.stats().cross_shard_hops > 0,
+            "expected cross-shard hops"
+        );
+    }
+
+    #[test]
+    fn sharded_persistent_queue_and_replay() {
+        let broker = sharded(4);
+        let sub = RawClient::connect(&broker, "parked", false);
+        sub.subscribe("t", QoS::AtLeastOnce);
+        drop(sub);
+        std::thread::sleep(Duration::from_millis(50));
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("t", b"held", QoS::AtLeastOnce, false);
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(broker.stats().queued_current, 1);
+        let sub = RawClient::connect(&broker, "parked", false);
+        let got = sub.expect_publish();
+        assert_eq!(got.payload, Bytes::from_static(b"held"));
+    }
+
+    #[test]
+    fn fanout_order_is_sorted_by_client_id() {
+        // A take(1) drop rule consumes exactly the FIRST delivery of the
+        // fan-out. With sorted fan-out the victim is always the
+        // lexicographically smallest subscriber, run after run —
+        // previously HashMap iteration order picked a random victim.
+        for _ in 0..3 {
+            let plan = FaultPlan::seeded(7).rule(FaultRule::drop_matching("first").take(1));
+            let broker = Broker::start(BrokerConfig {
+                fault_plan: Some(plan),
+                ..BrokerConfig::default()
+            });
+            // Connect in non-sorted order to rule out join-order effects.
+            let names = ["m2", "m0", "m1"];
+            let subs: Vec<RawClient> = names
+                .iter()
+                .map(|n| {
+                    let c = RawClient::connect(&broker, n, true);
+                    c.subscribe("t", QoS::AtMostOnce);
+                    c
+                })
+                .collect();
+            let publ = RawClient::connect(&broker, "pub", true);
+            publ.publish("t", b"x", QoS::AtMostOnce, false);
+            // m0 (sorted-first) is always the victim; m1 and m2 receive.
+            assert_eq!(subs[2].expect_publish().payload, Bytes::from_static(b"x")); // m1
+            assert_eq!(subs[0].expect_publish().payload, Bytes::from_static(b"x")); // m2
+            assert!(
+                subs[1] // m0
+                    .link
+                    .recv_packet_timeout(Duration::from_millis(150))
+                    .is_err(),
+                "sorted-first subscriber m0 must be the dropped one"
+            );
+        }
+    }
+
+    #[test]
+    fn qos0_fanout_shares_one_encoded_frame() {
+        // Encode-once: all QoS0 subscribers of one publish receive the
+        // exact same frame bytes (shared `Bytes`), and payload counters
+        // reflect every delivery.
+        let broker = Broker::start_default();
+        let subs: Vec<RawClient> = (0..5)
+            .map(|i| {
+                let c = RawClient::connect(&broker, &format!("e{i}"), true);
+                c.subscribe("enc", QoS::AtMostOnce);
+                c
+            })
+            .collect();
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("enc", b"shared-bytes", QoS::AtMostOnce, false);
+        let frames: Vec<Bytes> = subs
+            .iter()
+            .map(|s| {
+                s.link
+                    .recv_frame_timeout(Duration::from_secs(5))
+                    .expect("frame")
+            })
+            .collect();
+        for f in &frames[1..] {
+            assert_eq!(&f[..], &frames[0][..]);
+            // The shim's Bytes shares one allocation across clones.
+            assert_eq!(f.as_ptr(), frames[0].as_ptr(), "frame allocation is shared");
+        }
+        assert_eq!(
+            broker.stats().payload_bytes_out,
+            5 * b"shared-bytes".len() as u64
+        );
     }
 }

@@ -218,6 +218,60 @@ fn encode_unsubscribe(u: &Unsubscribe, buf: &mut BytesMut) -> Result<()> {
 }
 
 // ---------------------------------------------------------------------------
+// Encode-once publish frames
+// ---------------------------------------------------------------------------
+
+/// A pre-encoded QoS>0 PUBLISH frame with a patchable packet-id slot.
+///
+/// The broker's fanout path encodes a publish **once per outgoing QoS** and
+/// then stamps each subscriber's session-allocated packet id into a copy of
+/// the shared frame — one `memcpy` plus a two-byte patch per delivery
+/// instead of a full field-by-field re-encode. (QoS 0 frames carry no
+/// packet id, so they are shared as-is without a template.)
+#[derive(Debug, Clone)]
+pub struct PublishTemplate {
+    frame: Bytes,
+    /// Byte offset of the big-endian u16 packet id inside `frame`.
+    id_offset: usize,
+}
+
+impl PublishTemplate {
+    /// Encodes `p` (which must be QoS 1 or 2) into a reusable template.
+    /// The packet id stored in `p` is irrelevant; it is overwritten by
+    /// [`PublishTemplate::with_packet_id`].
+    pub fn new(p: &Publish) -> Result<PublishTemplate> {
+        if p.qos == QoS::AtMostOnce {
+            return Err(MqttError::Malformed("QoS 0 publishes need no template"));
+        }
+        let mut stamped = p.clone();
+        stamped.packet_id = Some(stamped.packet_id.unwrap_or(0));
+        let frame = encode(&Packet::Publish(stamped))?;
+        let remaining = 2 + p.topic.as_str().len() + 2 + p.payload.len();
+        // Fixed header = 1 type byte + the remaining-length varint; the
+        // variable header starts with the 2-byte topic length prefix.
+        let id_offset = 1 + varint_len(remaining) + 2 + p.topic.as_str().len();
+        Ok(PublishTemplate { frame, id_offset })
+    }
+
+    /// Returns a frame with `id` stamped into the packet-id slot.
+    pub fn with_packet_id(&self, id: PacketId) -> Bytes {
+        let mut buf = self.frame.to_vec();
+        buf[self.id_offset..self.id_offset + 2].copy_from_slice(&id.to_be_bytes());
+        Bytes::from(buf)
+    }
+}
+
+/// Number of bytes the remaining-length varint occupies for `len`.
+fn varint_len(len: usize) -> usize {
+    match len {
+        0..=127 => 1,
+        128..=16_383 => 2,
+        16_384..=2_097_151 => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
 
@@ -483,6 +537,41 @@ mod tests {
                 retain: true,
             }),
         }));
+    }
+
+    #[test]
+    fn publish_template_stamps_packet_ids() {
+        for qos in [QoS::AtLeastOnce, QoS::ExactlyOnce] {
+            for (topic, payload) in [
+                ("t", b"x".to_vec()),
+                ("a/very/deep/topic/path", vec![7u8; 200]),
+                ("big", vec![1u8; 20_000]), // 2-byte remaining-length varint
+            ] {
+                let p = Publish {
+                    dup: false,
+                    qos,
+                    retain: qos == QoS::ExactlyOnce,
+                    topic: TopicName::new(topic).unwrap(),
+                    packet_id: None,
+                    payload: Bytes::from(payload.clone()),
+                };
+                let template = PublishTemplate::new(&p).unwrap();
+                for id in [1u16, 9, 0xBEEF, u16::MAX] {
+                    let frame = template.with_packet_id(id);
+                    let (decoded, used) = decode(&frame).unwrap();
+                    assert_eq!(used, frame.len());
+                    let mut expect = p.clone();
+                    expect.packet_id = Some(id);
+                    assert_eq!(decoded, Packet::Publish(expect));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn publish_template_rejects_qos0() {
+        let p = Publish::simple(TopicName::new("t").unwrap(), b"x".to_vec());
+        assert!(PublishTemplate::new(&p).is_err());
     }
 
     #[test]

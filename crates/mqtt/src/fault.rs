@@ -201,6 +201,12 @@ impl FaultRule {
         }
     }
 
+    /// The rule's shared hit counter (registered with the broker's stats
+    /// surface once per broker, not once per shard).
+    pub(crate) fn hits_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.shared.hits)
+    }
+
     /// True when the rule's static predicates match this delivery.
     fn matches(&self, to: &str, topic: &TopicName, from: Option<&str>) -> bool {
         if !self.shared.active.load(Ordering::Acquire) {
@@ -352,7 +358,14 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
-    pub(crate) fn new(plan: &FaultPlan) -> FaultState {
+    /// Builds the runtime for one broker shard. Every shard shares the
+    /// rules' toggle / hit / matched counters (they live behind `Arc`s in
+    /// the rules), so window semantics (`skip`/`take`) consume one global
+    /// ordinal stream regardless of which shard evaluates a delivery.
+    /// Probability draws use a per-shard stream salted by `shard`; shard 0
+    /// reproduces the pre-sharding single-loop stream bit-for-bit, which
+    /// is the deterministic `shards = 1` mode.
+    pub(crate) fn new(plan: &FaultPlan, shard: u64) -> FaultState {
         FaultState {
             rules: plan
                 .rules
@@ -360,23 +373,18 @@ impl FaultState {
                 .enumerate()
                 .map(|(i, rule)| RuleRuntime {
                     rule: rule.clone(),
-                    // Per-rule deterministic stream: seed ⊕ rule index,
-                    // avoiding the all-zero xorshift fixed point.
-                    rng: (plan.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))) | 1,
+                    // Per-rule deterministic stream: seed ⊕ rule index ⊕
+                    // shard salt, avoiding the all-zero xorshift fixed
+                    // point.
+                    rng: (plan.seed
+                        ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        ^ shard.wrapping_mul(0xD1B5_4A32_D192_ED03))
+                        | 1,
                     held: Vec::new(),
                     reorder_slot: None,
                 })
                 .collect(),
         }
-    }
-
-    /// Registers every rule's hit counter with the broker counters so the
-    /// stats surface can report them.
-    pub(crate) fn labels(&self) -> Vec<(String, Arc<AtomicU64>)> {
-        self.rules
-            .iter()
-            .map(|r| (r.rule.label.clone(), Arc::clone(&r.rule.shared.hits)))
-            .collect()
     }
 
     /// Evaluates the plan against one delivery. The first matching active
@@ -525,7 +533,7 @@ mod tests {
                 .take(2),
         );
         let handle = plan.handle("d").unwrap();
-        let mut state = FaultState::new(&plan);
+        let mut state = FaultState::new(&plan, 0);
         // 1st match skipped, 2nd and 3rd dropped, 4th passes again.
         assert!(matches!(
             eval(&mut state, "c", "a/b", None),
@@ -556,7 +564,7 @@ mod tests {
     fn partition_matches_both_directions_and_heals() {
         let plan = FaultPlan::seeded(0).rule(FaultRule::partition("p", "alice", "bob"));
         let handle = plan.handle("p").unwrap();
-        let mut state = FaultState::new(&plan);
+        let mut state = FaultState::new(&plan, 0);
         assert!(matches!(
             eval(&mut state, "bob", "t", Some("alice")),
             FaultVerdict::Consumed
@@ -581,7 +589,7 @@ mod tests {
     #[test]
     fn reorder_stashes_then_releases_on_next_match() {
         let plan = FaultPlan::seeded(0).rule(FaultRule::reorder_next("r").to_client("x").take(1));
-        let mut state = FaultState::new(&plan);
+        let mut state = FaultState::new(&plan, 0);
         assert!(matches!(
             eval(&mut state, "x", "t", None),
             FaultVerdict::Consumed
@@ -595,7 +603,7 @@ mod tests {
     #[test]
     fn hold_buffers_until_released() {
         let plan = FaultPlan::seeded(0).rule(FaultRule::hold("h").on_topic("q"));
-        let mut state = FaultState::new(&plan);
+        let mut state = FaultState::new(&plan, 0);
         assert!(matches!(
             eval(&mut state, "x", "q", None),
             FaultVerdict::Consumed
@@ -611,7 +619,7 @@ mod tests {
     #[test]
     fn corrupt_flips_a_byte() {
         let plan = FaultPlan::seeded(0).rule(FaultRule::corrupt("c"));
-        let mut state = FaultState::new(&plan);
+        let mut state = FaultState::new(&plan, 0);
         match eval(&mut state, "x", "t", None) {
             FaultVerdict::Deliver { payload, .. } => {
                 assert_ne!(&payload[..], b"payload");
@@ -626,7 +634,7 @@ mod tests {
         let outcomes = |seed: u64| -> Vec<bool> {
             let plan =
                 FaultPlan::seeded(seed).rule(FaultRule::drop_matching("p").with_probability(0.5));
-            let mut state = FaultState::new(&plan);
+            let mut state = FaultState::new(&plan, 0);
             (0..64)
                 .map(|_| matches!(eval(&mut state, "x", "t", None), FaultVerdict::Consumed))
                 .collect()

@@ -4,8 +4,10 @@
 //! for the SDFLMQ federated-learning framework. It provides everything the
 //! paper's deployment outsources to EMQX:
 //!
-//! * a [`broker::Broker`] with topic-trie routing, QoS 0/1/2, retained
-//!   messages, persistent sessions, last-will, and keep-alive expiry;
+//! * a sharded [`broker::Broker`] with snapshot-routed topic-trie matching
+//!   ([`index::SharedIndex`]), encode-once fan-out, QoS 0/1/2, retained
+//!   messages, persistent sessions, last-will, and deadline-driven
+//!   keep-alive expiry;
 //! * a threaded [`client::Client`] with blocking QoS handshakes and
 //!   handler-based dispatch;
 //! * [`bridge::Bridge`] — broker bridging with loop prevention, used to
@@ -39,6 +41,7 @@ pub mod client;
 pub mod codec;
 pub mod error;
 pub mod fault;
+pub mod index;
 pub mod packet;
 pub mod retained;
 pub mod session;

@@ -20,7 +20,10 @@ pub struct Retained {
 }
 
 /// Map from topic name to its retained message.
-#[derive(Debug, Default)]
+///
+/// `Clone` so the broker's index writer can publish read-only snapshots
+/// (payloads are `Bytes`, so a clone shares the underlying buffers).
+#[derive(Debug, Default, Clone)]
 pub struct RetainedStore {
     messages: HashMap<TopicName, Retained>,
 }

@@ -39,6 +39,10 @@ pub struct BrokerCounters {
     pub keepalive_timeouts: AtomicU64,
     /// Messages forwarded in from a bridge connection.
     pub bridge_in: AtomicU64,
+    /// Deliveries that hopped between broker shards (a QoS>0 or offline
+    /// delivery whose session lives on a different shard than the one
+    /// that routed the publish). Always 0 with `shards = 1`.
+    pub cross_shard_hops: AtomicU64,
     /// Per-fault-rule hit counters, registered by the broker loop when a
     /// fault plan is installed (label → shared hit counter). The counters
     /// themselves live in the rules; this registry surfaces them through
@@ -93,6 +97,7 @@ impl BrokerCounters {
             dropped: self.dropped.load(Ordering::Relaxed),
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
             bridge_in: self.bridge_in.load(Ordering::Relaxed),
+            cross_shard_hops: self.cross_shard_hops.load(Ordering::Relaxed),
             faults_injected: self
                 .fault_rules
                 .lock()
@@ -133,6 +138,8 @@ pub struct BrokerStatsSnapshot {
     pub keepalive_timeouts: u64,
     /// Messages that arrived over bridges.
     pub bridge_in: u64,
+    /// Deliveries that hopped between broker shards (0 with one shard).
+    pub cross_shard_hops: u64,
     /// Deliveries the fault-injection layer acted on (sum over all rules;
     /// 0 without a fault plan).
     pub faults_injected: u64,

@@ -202,6 +202,14 @@ pub struct FrameSender {
     a_side: bool,
 }
 
+impl std::fmt::Debug for FrameSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameSender")
+            .field("a_side", &self.a_side)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FrameSender {
     /// Sends a raw frame.
     pub fn send_frame(&self, frame: Bytes) -> Result<()> {

@@ -14,14 +14,18 @@ use std::collections::HashMap;
 /// A trie from topic filters to subscriber payloads.
 ///
 /// `S` is the per-subscription payload; `K` is the subscriber key used for
-/// deduplication and removal (the broker uses its connection id).
-#[derive(Debug)]
+/// deduplication and removal (the broker uses an interned client key).
+///
+/// The trie is `Clone` (when `K` and `S` are) so the broker's index writer
+/// can publish read-only copy-on-write snapshots of it (see
+/// [`crate::index`]).
+#[derive(Debug, Clone)]
 pub struct SubscriptionTrie<K, S> {
     root: Node<K, S>,
     len: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node<K, S> {
     children: HashMap<String, Node<K, S>>,
     plus: Option<Box<Node<K, S>>>,

@@ -17,7 +17,7 @@
 use crate::poll::wait_until;
 use crate::trace::{ClientOutcome, ScenarioTrace};
 use parking_lot::{Condvar, Mutex};
-use sdflmq_core::optimizer::{RoleOptimizer, StaticOrder};
+use sdflmq_core::optimizer::{OptimizerKind, RoleOptimizer, StaticOrder};
 use sdflmq_core::session::SessionState;
 use sdflmq_core::{
     ClientId, Coordinator, CoordinatorConfig, CoreError, ModelId, ParamServer, PreferredRole,
@@ -100,6 +100,8 @@ pub struct ScenarioBuilder {
     fault_plan: Option<FaultPlan>,
     hashed_rules: Vec<String>,
     optimizer: fn() -> Box<dyn RoleOptimizer>,
+    optimizer_kind: Option<OptimizerKind>,
+    shards: usize,
     wait_timeout: Duration,
 }
 
@@ -125,6 +127,8 @@ impl ScenarioBuilder {
             fault_plan: None,
             hashed_rules: Vec::new(),
             optimizer: || Box::new(StaticOrder),
+            optimizer_kind: None,
+            shards: 1,
             wait_timeout: Duration::from_secs(60),
         }
     }
@@ -226,6 +230,24 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Declarative role-placement policy (see [`OptimizerKind`]); a kind
+    /// is buildable per run, so it composes with the determinism gate's
+    /// double execution. Takes precedence over [`ScenarioBuilder::optimizer`].
+    pub fn optimizer_kind(mut self, kind: OptimizerKind) -> ScenarioBuilder {
+        self.optimizer_kind = Some(kind);
+        self
+    }
+
+    /// Number of broker event-loop shards (default 1 — the fully
+    /// deterministic mode). Multi-shard scenarios are for soak /
+    /// observability coverage: outcome assertions hold, but trace hashes
+    /// are not rerun-identical because cross-shard interleaving is real
+    /// concurrency.
+    pub fn shards(mut self, shards: usize) -> ScenarioBuilder {
+        self.shards = shards;
+        self
+    }
+
     /// Installs the broker fault plan.
     pub fn faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
         self.fault_plan = Some(plan);
@@ -256,13 +278,17 @@ impl ScenarioBuilder {
         let broker = Broker::start(BrokerConfig {
             name: format!("{}-broker", self.name),
             fault_plan: self.fault_plan.clone(),
+            shards: self.shards,
             ..BrokerConfig::default()
         });
         let coordinator = Coordinator::start(
             &broker,
             CoordinatorConfig {
                 topology: self.topology.clone(),
-                optimizer: (self.optimizer)(),
+                optimizer: match &self.optimizer_kind {
+                    Some(kind) => kind.build(),
+                    None => (self.optimizer)(),
+                },
                 round_timeout: self.round_timeout,
                 quorum: self.quorum,
                 grace: self.grace,

@@ -1,0 +1,169 @@
+//! Massive swarm — hundreds of real clients on the sharded broker core.
+//!
+//! Unlike the simulator-based swarm examples, this stands up the **real**
+//! threaded stack — sharded broker (4 event-loop shards), coordinator,
+//! parameter server, and a few hundred `SdflmqClient` threads — and runs
+//! a full hierarchical FL round set over actual MQTT frames. Client ids
+//! hash across the shards, so every control message, contribution blob,
+//! and global fan-out exercises snapshot routing, encode-once QoS 0
+//! delivery, and cross-shard session mailbox hops.
+//!
+//! ```text
+//! cargo run --release --example massive_swarm
+//! SDFLMQ_SWARM_CLIENTS=400 cargo run --release --example massive_swarm
+//! ```
+
+use sdflmq::core::{
+    ClientId, Coordinator, CoordinatorConfig, MemoryAware, ModelId, ParamServer, PreferredRole,
+    SdflmqClient, SdflmqClientConfig, SessionId, Topology, WaitOutcome,
+};
+use sdflmq::mqtt::{Broker, BrokerConfig};
+use sdflmq::mqttfc::BatchConfig;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+const ROUNDS: u32 = 3;
+const MODEL_LEN: usize = 64;
+
+fn main() {
+    let clients: usize = std::env::var("SDFLMQ_SWARM_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    // Equal representation of the 8 local values keeps the FedAvg mean
+    // exact: mean of 1..=8 is 4.5 whenever `clients` is a multiple of 8.
+    assert_eq!(clients % 8, 0, "client count must be a multiple of 8");
+
+    let broker = Broker::start(BrokerConfig {
+        name: "swarm".into(),
+        shards: SHARDS,
+        ..BrokerConfig::default()
+    });
+    let _coord = Coordinator::start(
+        &broker,
+        CoordinatorConfig {
+            topology: Topology::Hierarchical {
+                aggregator_ratio: 0.25,
+            },
+            optimizer: Box::new(MemoryAware),
+            round_timeout: Duration::from_secs(120),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("start coordinator");
+    let _ps = ParamServer::start(&broker, BatchConfig::default()).expect("start param server");
+
+    let session = SessionId::new("massive-swarm").unwrap();
+    let model = ModelId::new("swarm-mlp").unwrap();
+
+    let join_t0 = Instant::now();
+    let mut fleet = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let client = SdflmqClient::connect(
+            &broker,
+            ClientId::new(format!("dev{i:04}")).unwrap(),
+            SdflmqClientConfig::default(),
+        )
+        .expect("connect client");
+        if i == 0 {
+            client
+                .create_fl_session(
+                    &session,
+                    &model,
+                    Duration::from_secs(3_600),
+                    clients,
+                    clients,
+                    Duration::from_secs(600),
+                    ROUNDS,
+                    PreferredRole::Any,
+                    100,
+                )
+                .expect("create session");
+        } else {
+            client
+                .join_fl_session(&session, &model, PreferredRole::Any, 100)
+                .expect("join session");
+        }
+        fleet.push(client);
+    }
+    let join_span = join_t0.elapsed();
+    println!("{clients} clients joined across {SHARDS} shards in {join_span:?}");
+
+    // One thread per device: train (a constant vector), contribute, wait
+    // for the global, repeat for the full round set.
+    let run_t0 = Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for (i, client) in fleet.into_iter().enumerate() {
+        let session = session.clone();
+        let value = (i % 8) as f32 + 1.0;
+        handles.push(std::thread::spawn(move || {
+            let local = vec![value; MODEL_LEN];
+            let mut rounds = 0u32;
+            loop {
+                client.set_model(&session, &local).expect("set model");
+                client.send_local(&session).expect("send local");
+                match client
+                    .wait_global_update(&session, Duration::from_secs(300))
+                    .expect("wait global")
+                {
+                    WaitOutcome::NextRound(_) => rounds += 1,
+                    WaitOutcome::Completed => {
+                        rounds += 1;
+                        let finals = client.model_params(&session).expect("final model");
+                        return (rounds, finals[0]);
+                    }
+                    WaitOutcome::Evicted => panic!("no churn in this run"),
+                }
+            }
+        }));
+    }
+
+    let mut completed = 0usize;
+    for h in handles {
+        let (rounds, final0) = h.join().expect("client thread");
+        assert_eq!(rounds, ROUNDS, "every client saw every round");
+        assert!(
+            (final0 - 4.5).abs() < 1e-5,
+            "global mean of values 1..=8 is 4.5, got {final0}"
+        );
+        completed += 1;
+    }
+    let run_span = run_t0.elapsed();
+
+    let stats = broker.stats();
+    println!(
+        "\n{completed}/{clients} clients completed {ROUNDS} rounds in {run_span:?} \
+         (global = 4.5 bit-exact at every device)"
+    );
+    println!(
+        "broker: {} publishes in, {} out ({:.1}x fan-out), {} cross-shard hops, \
+         {} payload MB out",
+        stats.publishes_in,
+        stats.publishes_out,
+        stats.fanout_ratio(),
+        stats.cross_shard_hops,
+        stats.payload_bytes_out / (1 << 20)
+    );
+
+    // The acceptance claims, asserted so CI can run this as a smoke test.
+    assert_eq!(completed, clients, "whole fleet finished");
+    assert!(
+        stats.cross_shard_hops > 0,
+        "a {clients}-client fleet must exercise cross-shard delivery"
+    );
+    // Only the infrastructure (coordinator + parameter server) may still
+    // hold connections once every device handle is dropped. Disconnects
+    // are processed asynchronously by the shard loops, so poll briefly.
+    let teardown = Instant::now();
+    loop {
+        let open = broker.stats().connections_current;
+        if open <= 2 {
+            break;
+        }
+        assert!(
+            teardown.elapsed() < Duration::from_secs(5),
+            "device connections must close cleanly (still open: {open})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

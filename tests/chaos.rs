@@ -256,36 +256,48 @@ fn chaos_corrupt_blob_frame_forces_dropped_transfer_then_resend() {
 #[test]
 fn chaos_fifty_client_mixed_codec_churn_soak() {
     let seed = base_seed(42) ^ 0x06;
-    let trace = assert_deterministic(|| {
-        let mut builder = ScenarioBuilder::new("chaos-churn-soak", seed)
-            .rounds(3)
-            .topology(Topology::Hierarchical {
-                aggregator_ratio: 0.3,
-            })
-            .quorum(0.8, Duration::from_secs(2))
-            .round_timeout(Duration::from_secs(30))
-            .max_missed_rounds(3)
-            .capacity_min(30)
-            .model_len(32)
-            .wait_timeout(Duration::from_secs(120));
-        for i in 0..50usize {
-            let behavior = if i >= 44 {
-                Behavior::DieAfterSend(1)
-            } else {
-                Behavior::Normal
-            };
-            let codec = if i % 2 == 0 {
-                UpdateCodec::Int8
-            } else {
-                UpdateCodec::Dense
-            };
-            builder = builder.client(behavior, codec);
-        }
-        builder.uniform_value(1.0).run(|ctl| {
-            ctl.wait_for("round1-open", |c| c.round() == Some(1));
-            ctl.drive_to_completion(Duration::from_secs(10));
+    let trace = assert_deterministic(|| run_churn_soak("chaos-churn-soak", seed, 1));
+    assert_churn_soak_outcomes(&trace);
+}
+
+/// Builds and runs the 50-client churn soak on a broker with `shards`
+/// event-loop shards. `shards = 1` is the hash-asserted deterministic
+/// run; higher counts are observability soaks (real cross-shard
+/// concurrency makes the trace hash run-dependent, but every protocol
+/// outcome below still holds).
+fn run_churn_soak(name: &str, seed: u64, shards: usize) -> ScenarioTrace {
+    let mut builder = ScenarioBuilder::new(name, seed)
+        .rounds(3)
+        .topology(Topology::Hierarchical {
+            aggregator_ratio: 0.3,
         })
-    });
+        .quorum(0.8, Duration::from_secs(2))
+        .round_timeout(Duration::from_secs(30))
+        .max_missed_rounds(3)
+        .capacity_min(30)
+        .model_len(32)
+        .shards(shards)
+        .wait_timeout(Duration::from_secs(120));
+    for i in 0..50usize {
+        let behavior = if i >= 44 {
+            Behavior::DieAfterSend(1)
+        } else {
+            Behavior::Normal
+        };
+        let codec = if i % 2 == 0 {
+            UpdateCodec::Int8
+        } else {
+            UpdateCodec::Dense
+        };
+        builder = builder.client(behavior, codec);
+    }
+    builder.uniform_value(1.0).run(|ctl| {
+        ctl.wait_for("round1-open", |c| c.round() == Some(1));
+        ctl.drive_to_completion(Duration::from_secs(10));
+    })
+}
+
+fn assert_churn_soak_outcomes(trace: &ScenarioTrace) {
     assert_eq!(trace.final_state, "completed");
     assert_eq!(
         trace.survivors.len(),
@@ -311,5 +323,75 @@ fn chaos_fifty_client_mixed_codec_churn_soak() {
             );
             assert_eq!(o.rounds, 3, "client {}", o.client);
         }
+    }
+}
+
+/// The same churn soak on a 4-shard broker: clients hash across four
+/// parallel event loops, QoS>0 deliveries hop between shard mailboxes,
+/// and every protocol outcome (completion, survivor set, bit-exact
+/// global) still holds. Observability-only: no trace-hash assertion —
+/// cross-shard interleaving is real concurrency.
+#[test]
+fn chaos_churn_soak_on_four_shards() {
+    let seed = base_seed(42) ^ 0x06;
+    let trace = run_churn_soak("chaos-churn-soak-s4", seed, 4);
+    assert_churn_soak_outcomes(&trace);
+}
+
+/// Regression for nondeterministic fan-out order: a count-window fault
+/// rule on a *broadcast* topic acts on whichever subscriber is delivered
+/// first. Before fan-out was sorted, `route()` iterated a `HashMap`, so
+/// the victim varied run to run — here the corrupted round-1 global
+/// would land on a random client, moving that client's (hashed)
+/// `dropped_transfers` counter between runs and failing the determinism
+/// gate. Sorted fan-out pins the victim to the lexicographically
+/// smallest subscriber (`c00`) on every run.
+#[test]
+fn chaos_fanout_window_picks_deterministic_victim() {
+    let seed = base_seed(42) ^ 0x07;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::corrupt("mangle-global")
+                .on_topic("sdflmq/session/chaos-fanout-victim/global")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-fanout-victim", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(2)
+            .quorum(0.6, Duration::from_secs(2))
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(3)
+            .capacity_min(2)
+            .faults(plan)
+            .hash_rule("mangle-global")
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                ctl.wait_for("global-corrupted", |c| c.fault_hits("mangle-global") == 1);
+                ctl.drive_to_completion(Duration::from_secs(10));
+            })
+    });
+    assert_eq!(trace.rule_hits, [("mangle-global".to_owned(), 1)]);
+    assert_eq!(trace.final_state, "completed");
+    assert!(
+        trace.evicted.is_empty(),
+        "everyone recovers: {:?}",
+        trace.evicted
+    );
+    // Victim fingerprint: exactly the sorted-first subscriber saw the
+    // corrupt frame; everyone still finishes both rounds bit-exactly.
+    for o in &trace.outcomes {
+        let expect_drops = u64::from(o.client == "c00");
+        assert_eq!(
+            o.dropped_transfers, expect_drops,
+            "client {} dropped_transfers",
+            o.client
+        );
+        assert_eq!(o.rounds, 2, "client {}", o.client);
+        assert_eq!(
+            o.outcome,
+            format!("completed:{}", global_bits(2.0)),
+            "client {}",
+            o.client
+        );
     }
 }
