@@ -23,6 +23,9 @@
 //!   funnels through the index's single writer by design, so it is
 //!   expected to stay flat across shard counts; it is recorded to prove
 //!   the writer does not *regress* as shards are added.
+//! * `recovery` — durable-broker restart cost: seed 1k/10k retained
+//!   topics, time a full WAL replay, then compact and time the snapshot
+//!   replay, recording both on-disk footprints.
 //!
 //! ```text
 //! cargo run --release -p sdflmq-bench --bin broker [-- --smoke]
@@ -35,6 +38,7 @@ use bytes::Bytes;
 use sdflmq_mqtt::broker::{Broker, BrokerConfig};
 use sdflmq_mqtt::codec;
 use sdflmq_mqtt::packet::{Connack, Connect, Packet, Publish, QoS, Subscribe};
+use sdflmq_mqtt::persist::{store, Persistence};
 use sdflmq_mqtt::topic::{TopicFilter, TopicName};
 use sdflmq_mqtt::transport::LinkEnd;
 use sdflmq_mqttfc::Json;
@@ -297,6 +301,102 @@ fn bench_retained(shards: usize, ops_per_pub: usize) -> f64 {
     (PARTITIONS * ops_per_pub) as f64 / wall
 }
 
+struct RecoveryCell {
+    topics: usize,
+    wal_bytes: u64,
+    wal_replay_ms: f64,
+    snapshot_bytes: u64,
+    snapshot_replay_ms: f64,
+}
+
+/// Total size of the persistence files directly under `dir`.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Durable-broker recovery: seed `topics` retained topics through the WAL
+/// (compaction disabled), time a replay from the raw log, then compact
+/// into a snapshot and time the replay again. Reports both on-disk sizes.
+fn bench_recovery(topics: usize) -> RecoveryCell {
+    let dir = std::env::temp_dir().join(format!(
+        "sdflmq-bench-recovery-{topics}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let durable = || {
+        Broker::start(BrokerConfig {
+            name: format!("bench-recovery-{topics}"),
+            // Effectively disable threshold compaction so phase one
+            // leaves a pure append log.
+            persistence: Persistence::at(dir.clone()).snapshot_every(u64::MAX / 2),
+            ..BrokerConfig::default()
+        })
+    };
+
+    // Phase 1: four retained updates per topic, so the append log carries
+    // the churn a snapshot folds away.
+    {
+        let broker = durable();
+        let link = connect(&broker, "rec-pub", None);
+        for i in 0..topics * 4 {
+            let t = i % topics;
+            link.send_packet(&Packet::Publish(Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: true,
+                topic: TopicName::new(format!("rec/{}/{}", t / 100, t % 100)).unwrap(),
+                packet_id: Some((i % 60_000 + 1) as u16),
+                payload: Bytes::from(vec![(i / topics) as u8; 32]),
+            }))
+            .unwrap();
+            match link.recv_packet_timeout(Duration::from_secs(30)).unwrap() {
+                Packet::Puback(_) => {}
+                other => panic!("expected puback, got {other:?}"),
+            }
+        }
+    }
+
+    let wal_bytes = dir_bytes(&dir);
+    let start = Instant::now();
+    let state = store::recover_dir(&dir, 1024);
+    let wal_replay_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(state.retained.len(), topics, "WAL replay must be lossless");
+
+    // Phase 2: recover, fold into a snapshot, measure the compacted form.
+    {
+        let broker = durable();
+        broker.snapshot_now();
+    }
+    let snapshot_bytes = dir_bytes(&dir);
+    let start = Instant::now();
+    let state = store::recover_dir(&dir, 1024);
+    let snapshot_replay_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(
+        state.retained.len(),
+        topics,
+        "snapshot replay must be lossless"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryCell {
+        topics,
+        wal_bytes,
+        wal_replay_ms,
+        snapshot_bytes,
+        snapshot_replay_ms,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shard_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
@@ -355,6 +455,28 @@ fn main() {
         retained.push((shards, rate));
     }
 
+    // --- Durable recovery -------------------------------------------------
+    println!("\nrecovery (WAL replay vs compacted snapshot):");
+    println!("topics  wal-KiB  wal-ms   snap-KiB  snap-ms");
+    let recovery_sizes: &[usize] = if smoke {
+        &[100, 1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    let mut recovery = Vec::new();
+    for &topics in recovery_sizes {
+        let cell = bench_recovery(topics);
+        println!(
+            "{:>6}  {:>7.1}  {:>6.2}  {:>8.1}  {:>7.2}",
+            cell.topics,
+            cell.wal_bytes as f64 / 1024.0,
+            cell.wal_replay_ms,
+            cell.snapshot_bytes as f64 / 1024.0,
+            cell.snapshot_replay_ms
+        );
+        recovery.push(cell);
+    }
+
     // --- Aggregate + acceptance gates ------------------------------------
     let rate_at =
         |v: &[(usize, f64)], s: usize| v.iter().find(|(n, _)| *n == s).map(|(_, r)| *r).unwrap();
@@ -405,6 +527,23 @@ fn main() {
                 retained
                     .iter()
                     .map(|(s, r)| (format!("{s}"), Json::num(*r))),
+            ),
+        ),
+        (
+            "recovery",
+            Json::Array(
+                recovery
+                    .iter()
+                    .map(|c| {
+                        Json::object([
+                            ("retained_topics", Json::num(c.topics as f64)),
+                            ("wal_bytes", Json::num(c.wal_bytes as f64)),
+                            ("wal_replay_ms", Json::num(c.wal_replay_ms)),
+                            ("snapshot_bytes", Json::num(c.snapshot_bytes as f64)),
+                            ("snapshot_replay_ms", Json::num(c.snapshot_replay_ms)),
+                        ])
+                    })
+                    .collect(),
             ),
         ),
         (

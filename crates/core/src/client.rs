@@ -39,6 +39,7 @@ use crate::wirecodec::{ControlMsg, Envelope, MsgKind, WireVersion};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use sdflmq_mqtt::client::Dialer;
 use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
 use sdflmq_mqttfc::{FleetController, RfcConfig};
 use sdflmq_nn::codec::UpdateCodec;
@@ -70,6 +71,11 @@ pub struct SdflmqClientConfig {
     /// [`crate::clock::TestClock`] measures those timeouts in virtual
     /// time so scenario tests can step through them deterministically.
     pub clock: Arc<dyn Clock>,
+    /// Optional broker redial factory. When set, the MQTT layer connects
+    /// with a persistent session (`clean_session = false`) and
+    /// transparently reconnects after a broker restart, resuming its QoS
+    /// windows and offline queue from broker-persisted state.
+    pub dialer: Option<Dialer>,
 }
 
 impl Default for SdflmqClientConfig {
@@ -82,6 +88,7 @@ impl Default for SdflmqClientConfig {
             rfc: RfcConfig::default(),
             update_codec: UpdateCodec::Dense,
             clock: wall_clock(),
+            dialer: None,
         }
     }
 }
@@ -256,7 +263,14 @@ impl SdflmqClient {
         id: ClientId,
         config: SdflmqClientConfig,
     ) -> Result<SdflmqClient> {
-        let mqtt = Client::connect(broker, ClientOptions::new(id.as_str()))?;
+        let mut mqtt_options = ClientOptions::new(id.as_str());
+        if let Some(dialer) = config.dialer.clone() {
+            // A redialing client keeps a broker-side persistent session so
+            // QoS windows and queued messages survive the reconnect.
+            mqtt_options.clean_session = false;
+            mqtt_options.dialer = Some(dialer);
+        }
+        let mqtt = Client::connect(broker, mqtt_options)?;
         let fc = FleetController::new(mqtt.clone(), id.as_str(), config.rfc.clone())?;
         let blobs = BlobChannel::new(mqtt, id.as_str(), config.rfc.batch.clone(), config.rfc.qos);
         let inner = Arc::new(Inner {

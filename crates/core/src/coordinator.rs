@@ -49,7 +49,7 @@ use crate::topics::{functions, topology_topic};
 use crate::wirecodec::{ControlMsg, Envelope, MsgKind, SessionReply, WireVersion};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS};
+use sdflmq_mqtt::{Broker, Client, ClientOptions, Dialer, QoS};
 use sdflmq_mqttfc::{FleetController, Json, RfcConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,6 +90,11 @@ pub struct CoordinatorConfig {
     /// in production; a [`crate::clock::TestClock`] lets tests step round
     /// deadlines, grace windows, strike accrual, and GC virtually.
     pub clock: Arc<dyn Clock>,
+    /// Optional broker redial factory. When set, the coordinator's MQTT
+    /// client uses a persistent session and reconnects transparently
+    /// after a broker restart; in-memory session state (rounds, roles,
+    /// deadlines) lives in this process and survives with it.
+    pub dialer: Option<Dialer>,
 }
 
 impl Default for CoordinatorConfig {
@@ -108,6 +113,7 @@ impl Default for CoordinatorConfig {
             role_ack_timeout: Duration::from_secs(30),
             terminal_linger: Duration::from_secs(60),
             clock: wall_clock(),
+            dialer: None,
         }
     }
 }
@@ -190,7 +196,12 @@ pub const COORDINATOR_ID: &str = "coordinator";
 impl Coordinator {
     /// Starts a coordinator on `broker`.
     pub fn start(broker: &Broker, config: CoordinatorConfig) -> Result<Coordinator> {
-        let client = Client::connect(broker, ClientOptions::new(COORDINATOR_ID))?;
+        let mut mqtt_options = ClientOptions::new(COORDINATOR_ID);
+        if let Some(dialer) = config.dialer.clone() {
+            mqtt_options.clean_session = false;
+            mqtt_options.dialer = Some(dialer);
+        }
+        let client = Client::connect(broker, mqtt_options)?;
         let fc = FleetController::new(client, COORDINATOR_ID, config.rfc.clone())?;
         let clock = Arc::clone(&config.clock);
         let state = Arc::new(Mutex::new(CoordState {

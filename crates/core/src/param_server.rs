@@ -14,7 +14,7 @@ use crate::messages::{Blob, UpdateMeta};
 use crate::topics::global_topic;
 use crate::wirecodec::WireVersion;
 use parking_lot::Mutex;
-use sdflmq_mqtt::{Broker, Client, ClientOptions, QoS, TopicFilter};
+use sdflmq_mqtt::{Broker, Client, ClientOptions, Dialer, QoS, TopicFilter};
 use sdflmq_mqttfc::BatchConfig;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -56,7 +56,24 @@ impl ParamServer {
     /// as the coordinator or a separate one (paper §III.B.2) — here that
     /// simply means any broker the session's clients can reach.
     pub fn start(broker: &Broker, batch: BatchConfig) -> Result<ParamServer> {
-        let client = Client::connect(broker, ClientOptions::new(PARAM_SERVER_ID))?;
+        ParamServer::start_with_dialer(broker, batch, None)
+    }
+
+    /// Starts a parameter server whose MQTT client redials the broker
+    /// after a restart. The in-memory global-model repository lives in
+    /// this process, so stored globals survive a broker crash; the
+    /// persistent session resumes the subscription server-side.
+    pub fn start_with_dialer(
+        broker: &Broker,
+        batch: BatchConfig,
+        dialer: Option<Dialer>,
+    ) -> Result<ParamServer> {
+        let mut mqtt_options = ClientOptions::new(PARAM_SERVER_ID);
+        if let Some(dialer) = dialer {
+            mqtt_options.clean_session = false;
+            mqtt_options.dialer = Some(dialer);
+        }
+        let client = Client::connect(broker, mqtt_options)?;
         let blobs = BlobChannel::new(client, PARAM_SERVER_ID, batch, QoS::AtLeastOnce);
         let repo: Arc<Mutex<HashMap<SessionId, GlobalModel>>> =
             Arc::new(Mutex::new(HashMap::new()));

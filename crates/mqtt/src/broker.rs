@@ -47,6 +47,7 @@ use crate::error::{ConnectReturnCode, MqttError, Result};
 use crate::fault::{FaultPlan, FaultState, FaultVerdict, PendingDelivery};
 use crate::index::{ClientKey, RetainedDelta, RouteEntry, SharedIndex};
 use crate::packet::*;
+use crate::persist::{recovery, PersistStore, Persistence, WalRecord};
 use crate::session::{InflightOut, QueuedMessage, Session};
 use crate::stats::{BrokerCounters, BrokerStatsSnapshot};
 use crate::topic::TopicName;
@@ -78,6 +79,9 @@ pub struct BrokerConfig {
     /// Optional fault-injection plan applied to every delivery (chaos
     /// testing; see [`crate::fault`]). `None` delivers everything.
     pub fault_plan: Option<FaultPlan>,
+    /// WAL + snapshot persistence (see [`crate::persist`]). The default,
+    /// [`Persistence::disabled`], keeps the broker purely in-memory.
+    pub persistence: Persistence,
 }
 
 impl Default for BrokerConfig {
@@ -88,6 +92,7 @@ impl Default for BrokerConfig {
             keepalive_grace: 1.5,
             shards: 1,
             fault_plan: None,
+            persistence: Persistence::disabled(),
         }
     }
 }
@@ -97,7 +102,7 @@ pub type ConnId = u64;
 
 /// Stable FNV-1a shard assignment for a client id. Identical ids always
 /// land on the same shard, so session takeover is shard-local.
-fn shard_of(client_id: &str, shards: usize) -> usize {
+pub(crate) fn shard_of(client_id: &str, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
@@ -130,13 +135,20 @@ enum Event {
     },
     Incoming(ConnId, Packet),
     ConnClosed(ConnId),
-    /// Cross-shard delivery hop (fault plan already evaluated by the
-    /// routing shard).
-    Deliver(Delivery),
+    /// Cross-shard delivery hops, coalesced per target shard (the fault
+    /// plan was already evaluated by the routing shard). A routing shard
+    /// drains its mailbox, buffers every hop, and sends one batch per
+    /// target shard per burst instead of one event per delivery.
+    Deliver(Vec<Delivery>),
     /// Replay a delivery the fault layer deferred (delayed message).
     Inject(PendingDelivery),
     /// Release the deliveries a `Hold` fault rule buffered.
     ReleaseHeld(String),
+    /// Force a compacted snapshot of this shard's persisted state; `ack`
+    /// is signalled when it is on disk.
+    Snapshot {
+        ack: Sender<()>,
+    },
     Shutdown,
 }
 
@@ -148,6 +160,7 @@ pub struct Broker {
     name: String,
     next_conn: Arc<AtomicU64>,
     loop_handles: Vec<JoinHandle<()>>,
+    persist: Option<Arc<PersistStore>>,
 }
 
 impl std::fmt::Debug for Broker {
@@ -167,6 +180,13 @@ impl Broker {
 
     /// Starts a broker with the given configuration, spawning one event
     /// loop thread per shard.
+    ///
+    /// With persistence configured, startup first replays snapshot + WAL:
+    /// persistent sessions (subscriptions, offline queues, QoS windows)
+    /// are rebuilt on their owner shards and re-registered offline in the
+    /// routing index, retained messages are re-seeded, and wills left by
+    /// connections that died with the previous process are fired by each
+    /// shard before it processes its first event.
     pub fn start(config: BrokerConfig) -> Broker {
         let shards = config.shards.max(1);
         let counters = Arc::new(BrokerCounters::default());
@@ -181,13 +201,74 @@ impl Broker {
             }
         }
 
+        // Recovery: replay snapshot + WAL, then seed the routing index and
+        // distribute sessions/wills to their owner shards. A store that
+        // fails to open degrades to in-memory operation.
+        let mut shard_sessions: Vec<HashMap<String, Session>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        let mut shard_wills: Vec<Vec<(String, LastWill)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut persist = None;
+        if let Some(dir) = &config.persistence.dir {
+            if let Ok((store, state)) = PersistStore::open(
+                dir,
+                shards,
+                config.persistence.snapshot_every,
+                config.max_queued_per_session,
+                Arc::clone(&counters),
+            ) {
+                let store = Arc::new(store);
+                // Seed retained state *before* installing the WAL hook so
+                // the replayed messages are not logged again.
+                for (topic, (qos, payload)) in &state.retained {
+                    index.apply_retained(&Publish {
+                        dup: false,
+                        qos: *qos,
+                        retain: true,
+                        topic: topic.clone(),
+                        packet_id: None,
+                        payload: payload.clone(),
+                    });
+                    BrokerCounters::bump(&counters.retained_current);
+                    BrokerCounters::bump(&counters.recovered_retained);
+                }
+                index.set_retained_log(Arc::clone(&store));
+                // Re-register every recovered session offline (routable
+                // before its client reconnects) and restore subscriptions.
+                for (client, session) in state.sessions {
+                    let shard = shard_of(&client, shards);
+                    let key = index.register_offline(&client, shard);
+                    for (filter, qos) in &session.subscriptions {
+                        if index.subscribe(filter, key, *qos) {
+                            BrokerCounters::bump(&counters.subscriptions_current);
+                        }
+                    }
+                    BrokerCounters::bump(&counters.sessions_current);
+                    BrokerCounters::add(&counters.queued_current, session.queued.len() as u64);
+                    BrokerCounters::bump(&counters.recovered_sessions);
+                    shard_sessions[shard].insert(client, session);
+                }
+                // Wills of sessions that died with the process fire during
+                // shard startup (BTreeMap order: sorted by client id).
+                for (client, will) in state.wills {
+                    shard_wills[shard_of(&client, shards)].push((client, will));
+                }
+                persist = Some(store);
+            }
+        }
+
         let channels: Vec<(Sender<Event>, Receiver<Event>)> =
             (0..shards).map(|_| unbounded()).collect();
         let shard_txs: Vec<Sender<Event>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
 
         let mut loop_handles = Vec::with_capacity(shards);
+        let mut shard_sessions = shard_sessions.into_iter();
+        let mut shard_wills = shard_wills.into_iter();
         for (shard, (_, rx)) in channels.into_iter().enumerate() {
             let mut core = ShardCore::new(shard, &config, &counters, &index, shard_txs.clone());
+            core.persist = persist.clone();
+            core.sessions = shard_sessions.next().unwrap_or_default();
+            core.pending_wills = shard_wills.next().unwrap_or_default();
             loop_handles.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-shard-{shard}"))
@@ -203,6 +284,7 @@ impl Broker {
             name,
             next_conn: Arc::new(AtomicU64::new(1)),
             loop_handles,
+            persist,
         }
     }
 
@@ -280,6 +362,31 @@ impl Broker {
     /// Per-fault-rule hit counts, labelled. Empty without a fault plan.
     pub fn fault_hits(&self) -> Vec<(String, u64)> {
         self.counters.fault_hits()
+    }
+
+    /// Forces a compacted snapshot of every shard's persisted session
+    /// state and of the retained store, blocking until all are on disk.
+    /// A no-op without persistence.
+    pub fn snapshot_now(&self) {
+        if self.persist.is_none() {
+            return;
+        }
+        let (ack, done) = unbounded();
+        let mut sent = 0;
+        for tx in &self.shard_txs {
+            if tx.send(Event::Snapshot { ack: ack.clone() }).is_ok() {
+                sent += 1;
+            }
+        }
+        drop(ack);
+        for _ in 0..sent {
+            if done.recv().is_err() {
+                break;
+            }
+        }
+        if let Some(store) = &self.persist {
+            store.compact_retained(&self.index.load().retained);
+        }
     }
 
     /// Requests shutdown and waits for every shard thread to finish.
@@ -473,6 +580,9 @@ struct ConnState {
     last_activity: Instant,
     will: Option<LastWill>,
     graceful: bool,
+    /// True while a will registration is WAL-logged for this connection;
+    /// discharged (WillClear) when the will fires or is suppressed.
+    will_registered: bool,
 }
 
 /// One shard's event loop state: its partition of connections and
@@ -499,6 +609,15 @@ struct ShardCore {
     /// `min`, and closes can only remove deadlines. Avoids an O(conns)
     /// scan per event-loop iteration.
     keepalive_deadline: Option<Instant>,
+    /// Durable store handle (`None` = in-memory broker).
+    persist: Option<Arc<PersistStore>>,
+    /// Wills recovered from the WAL for sessions that died with the
+    /// previous process; fired before the first event is processed.
+    pending_wills: Vec<(String, LastWill)>,
+    /// Cross-shard hops buffered during the current mailbox burst, one
+    /// bucket per target shard; flushed as a single `Deliver` batch per
+    /// shard when the mailbox drains.
+    pending_hops: Vec<Vec<Delivery>>,
 }
 
 impl ShardCore {
@@ -509,6 +628,7 @@ impl ShardCore {
         index: &Arc<SharedIndex>,
         shard_txs: Vec<Sender<Event>>,
     ) -> ShardCore {
+        let shards = shard_txs.len();
         ShardCore {
             shard,
             name: config.name.clone(),
@@ -525,10 +645,28 @@ impl ShardCore {
                 .as_ref()
                 .map(|plan| FaultState::new(plan, shard as u64)),
             keepalive_deadline: None,
+            persist: None,
+            pending_wills: Vec::new(),
+            pending_hops: (0..shards).map(|_| Vec::new()).collect(),
         }
     }
 
     fn run(&mut self, rx: Receiver<Event>) {
+        // Fire wills recovered for sessions that died with the previous
+        // process (sorted by client id; each passes the fault plan via
+        // `route`, so chaos rules apply to testament publishes too).
+        for (client, will) in std::mem::take(&mut self.pending_wills) {
+            let publish = Publish {
+                dup: false,
+                qos: will.qos,
+                retain: will.retain,
+                topic: will.topic,
+                packet_id: None,
+                payload: will.payload,
+            };
+            self.route(&publish, 0, false, Some(&client));
+        }
+        self.flush_hops();
         'outer: loop {
             // Drain whatever is queued without any deadline math on the
             // hot path — but check the cached deadline periodically so a
@@ -551,6 +689,11 @@ impl ShardCore {
                     Err(TryRecvError::Disconnected) => break 'outer,
                 }
             }
+            // Mailbox drained: send the hops this burst produced, one
+            // coalesced batch per target shard (events handled by the
+            // blocking receives below flush on the next pass, which runs
+            // immediately after).
+            self.flush_hops();
             // Quiescent: park until the next keep-alive deadline (or an
             // event). Deadline-driven — there is no tick, so an idle shard
             // sleeps indefinitely and a stalled one never piles up ticks.
@@ -595,7 +738,11 @@ impl ShardCore {
             } => self.on_register(conn, sender, connect),
             Event::Incoming(conn, packet) => self.on_packet(conn, packet),
             Event::ConnClosed(conn) => self.on_conn_closed(conn),
-            Event::Deliver(d) => self.on_deliver(d),
+            Event::Deliver(batch) => {
+                for d in batch {
+                    self.on_deliver(d);
+                }
+            }
             Event::Inject(d) => self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain),
             Event::ReleaseHeld(label) => {
                 let released = match &mut self.faults {
@@ -606,9 +753,73 @@ impl ShardCore {
                     self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain);
                 }
             }
+            Event::Snapshot { ack } => {
+                self.compact_now();
+                let _ = ack.send(());
+            }
             Event::Shutdown => return false,
         }
         true
+    }
+
+    /// Sends the cross-shard hops buffered during the current mailbox
+    /// burst: one `Deliver` batch per target shard, preserving per-shard
+    /// delivery order. No-op with one shard (nothing ever buffers).
+    fn flush_hops(&mut self) {
+        for shard in 0..self.pending_hops.len() {
+            if self.pending_hops[shard].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.pending_hops[shard]);
+            BrokerCounters::bump(&self.counters.cross_shard_batches);
+            let _ = self.shard_txs[shard].send(Event::Deliver(batch));
+        }
+    }
+
+    /// Appends one record to this shard's WAL stream, compacting the
+    /// stream when it outgrows the snapshot threshold. No-op without
+    /// persistence.
+    fn log_wal(&mut self, rec: WalRecord) {
+        let Some(store) = self.persist.as_ref().map(Arc::clone) else {
+            return;
+        };
+        if store.append_shard(self.shard, &rec) {
+            self.compact_now();
+        }
+    }
+
+    /// Writes a compacted snapshot of this shard's persisted state:
+    /// every persistent session plus the wills of live connections, in
+    /// sorted client-id order.
+    fn compact_now(&mut self) {
+        let Some(store) = self.persist.as_ref().map(Arc::clone) else {
+            return;
+        };
+        let mut records = Vec::new();
+        let mut persistent: Vec<&Session> = self.sessions.values().filter(|s| !s.clean).collect();
+        persistent.sort_unstable_by(|a, b| a.client_id.cmp(&b.client_id));
+        for session in persistent {
+            recovery::session_records(session, &mut records);
+        }
+        let mut wills: Vec<(&String, &LastWill)> = self
+            .conns
+            .values()
+            .filter(|c| c.will_registered)
+            .filter_map(|c| c.will.as_ref().map(|w| (&c.client_id, w)))
+            .collect();
+        wills.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (client, will) in wills {
+            records.push(WalRecord::WillSet {
+                client: client.clone(),
+                will: will.clone(),
+            });
+        }
+        store.compact_shard(self.shard, &records);
+    }
+
+    /// True when `client` owns a persistent (WAL-logged) session.
+    fn is_persistent(&self, client: &str) -> bool {
+        self.sessions.get(client).is_some_and(|s| !s.clean)
     }
 
     fn conn_deadline(&self, c: &ConnState) -> Option<Instant> {
@@ -661,10 +872,19 @@ impl ShardCore {
 
         let session_present = if c.clean_session {
             // Fresh session: purge stored state and subscriptions.
-            if self.sessions.remove(&c.client_id).is_some() {
+            if let Some(old) = self.sessions.remove(&c.client_id) {
                 self.counters
                     .sessions_current
                     .fetch_sub(1, Ordering::Relaxed);
+                // The only sessions a clean reconnect can still find are
+                // persistent ones (clean sessions die with their
+                // connection): drop the persisted state too.
+                if !old.clean {
+                    BrokerCounters::bump(&self.counters.sessions_cleaned);
+                    self.log_wal(WalRecord::SessionDestroy {
+                        client: c.client_id.clone(),
+                    });
+                }
             }
             let removed = self.index.unsubscribe_all(key);
             self.counters
@@ -685,8 +905,22 @@ impl ShardCore {
                 ),
             );
             BrokerCounters::bump(&self.counters.sessions_current);
+            if !c.clean_session {
+                self.log_wal(WalRecord::SessionCreate {
+                    client: c.client_id.clone(),
+                });
+            }
         } else if let Some(s) = self.sessions.get_mut(&c.client_id) {
             s.clean = c.clean_session;
+        }
+
+        // Last-will registration is connection-scoped (logged even for
+        // clean sessions, so a will survives a process crash).
+        if let Some(will) = &c.will {
+            self.log_wal(WalRecord::WillSet {
+                client: c.client_id.clone(),
+                will: will.clone(),
+            });
         }
 
         let state = ConnState {
@@ -696,6 +930,7 @@ impl ShardCore {
             is_bridge,
             keep_alive: c.keep_alive,
             last_activity: Instant::now(),
+            will_registered: c.will.is_some(),
             will: c.will,
             graceful: false,
         };
@@ -733,13 +968,18 @@ impl ShardCore {
         self.counters
             .queued_current
             .fetch_sub(queued.len() as u64, Ordering::Relaxed);
+        if !queued.is_empty() {
+            self.log_wal(WalRecord::QueueDrained {
+                client: client_id.to_owned(),
+            });
+        }
         for msg in queued {
             // Straight to deliver_raw: these messages already passed the
             // fault plan when they were routed (and queued); evaluating
             // them again would double-apply rules and skew hit windows.
             self.deliver_raw(client_id, msg.topic, msg.payload, msg.qos, false);
         }
-        for (_, inflight_msg) in inflight {
+        for (old_id, inflight_msg) in inflight {
             // Retransmit with a fresh id and DUP=1.
             let Some(session) = self.sessions.get_mut(client_id) else {
                 return;
@@ -755,6 +995,21 @@ impl ShardCore {
                     released: false,
                 },
             );
+            // The WAL mirrors the id swap: the old window entry goes
+            // away, the retransmission enters under its fresh id.
+            self.log_wal(WalRecord::InflightRemove {
+                client: client_id.to_owned(),
+                id: old_id,
+            });
+            self.log_wal(WalRecord::InflightInsert {
+                client: client_id.to_owned(),
+                id,
+                topic: inflight_msg.topic.clone(),
+                qos: inflight_msg.qos,
+                retain: inflight_msg.retain,
+                released: false,
+                payload: inflight_msg.payload.clone(),
+            });
             // Count before sending: once a receiver observes the frame,
             // the counter must already reflect it.
             BrokerCounters::bump(&self.counters.publishes_out);
@@ -836,6 +1091,12 @@ impl ShardCore {
                     .map(|s| s.inbound_qos2.insert(id))
                     .unwrap_or(true);
                 if fresh {
+                    if self.is_persistent(&client_id) {
+                        self.log_wal(WalRecord::InboundQos2Insert {
+                            client: client_id.clone(),
+                            id,
+                        });
+                    }
                     // Method A: route on first receipt, dedupe duplicates.
                     self.route(&p, conn_id, is_bridge, Some(&client_id));
                 }
@@ -939,7 +1200,8 @@ impl ShardCore {
     /// Runs one prospective delivery through the fault plan. Returns the
     /// (possibly rewritten) payload, whether to deliver a duplicate, and
     /// any stashed deliveries to release afterwards — or `None` when the
-    /// delivery was consumed (dropped, held, stashed, or delayed).
+    /// delivery was consumed (dropped, held, stashed, delayed, or turned
+    /// into an ungraceful teardown of the recipient's connection).
     fn fault_gate(
         &mut self,
         client: &str,
@@ -968,6 +1230,22 @@ impl ShardCore {
                         let _ = tx.send(Event::Inject(delivery));
                     })
                     .expect("spawn fault delay timer");
+                None
+            }
+            FaultVerdict::Kill => {
+                // Sever the recipient's live connection through its owner
+                // shard; the close is ungraceful, so on_conn_closed fires
+                // the client's last-will testament.
+                let snap = self.index.load();
+                if let Some(entry) = snap
+                    .routes
+                    .key_of(client)
+                    .and_then(|key| snap.routes.entry(key))
+                {
+                    if let Some(conn) = entry.conn {
+                        let _ = self.shard_txs[entry.shard].send(Event::ConnClosed(conn));
+                    }
+                }
                 None
             }
         }
@@ -1020,8 +1298,10 @@ impl ShardCore {
                 BrokerCounters::bump(&self.counters.dropped);
             }
             _ => {
+                // Buffer the hop; `flush_hops` sends one coalesced batch
+                // per target shard when the current mailbox burst ends.
                 BrokerCounters::bump(&self.counters.cross_shard_hops);
-                let _ = self.shard_txs[entry.shard].send(Event::Deliver(d));
+                self.pending_hops[entry.shard].push(d);
             }
         }
     }
@@ -1076,6 +1356,18 @@ impl ShardCore {
                         released: false,
                     },
                 );
+                let persistent = !session.clean;
+                if persistent {
+                    self.log_wal(WalRecord::InflightInsert {
+                        client: client.to_owned(),
+                        id,
+                        topic: d.topic.clone(),
+                        qos: d.qos,
+                        retain: d.retain,
+                        released: false,
+                        payload: d.payload.clone(),
+                    });
+                }
                 BrokerCounters::bump(&self.counters.publishes_out);
                 let shared = frames
                     .and_then(|f| f.template(d.qos, d.retain, &d.payload))
@@ -1123,9 +1415,18 @@ impl ShardCore {
             BrokerCounters::bump(&self.counters.dropped);
         } else {
             let intact = session.queue_message(QueuedMessage {
-                topic: d.topic,
-                payload: d.payload,
+                topic: d.topic.clone(),
+                payload: d.payload.clone(),
                 qos: d.qos,
+            });
+            // Recovery replays Enqueue through the same capped
+            // `queue_message`, so an overflowing WAL converges on the
+            // same post-cap queue.
+            self.log_wal(WalRecord::Enqueue {
+                client: client.to_owned(),
+                topic: d.topic,
+                qos: d.qos,
+                payload: d.payload,
             });
             BrokerCounters::bump(&self.counters.queued_current);
             if !intact {
@@ -1171,30 +1472,67 @@ impl ShardCore {
     }
 
     fn on_puback(&mut self, conn_id: ConnId, id: PacketId) {
+        let mut log = None;
         if let Some(session) = self.session_of_conn(conn_id) {
-            session.inflight_out.remove(&id);
+            if session.inflight_out.remove(&id).is_some() && !session.clean {
+                log = Some(WalRecord::InflightRemove {
+                    client: session.client_id.clone(),
+                    id,
+                });
+            }
+        }
+        if let Some(rec) = log {
+            self.log_wal(rec);
         }
     }
 
     fn on_pubrec(&mut self, conn_id: ConnId, id: PacketId) {
+        let mut log = None;
         if let Some(session) = self.session_of_conn(conn_id) {
             if let Some(inflight) = session.inflight_out.get_mut(&id) {
                 inflight.released = true;
+                if !session.clean {
+                    log = Some(WalRecord::InflightRelease {
+                        client: session.client_id.clone(),
+                        id,
+                    });
+                }
             }
+        }
+        if let Some(rec) = log {
+            self.log_wal(rec);
         }
         self.send_to_conn(conn_id, &Packet::Pubrel(id));
     }
 
     fn on_pubrel(&mut self, conn_id: ConnId, id: PacketId) {
+        let mut log = None;
         if let Some(session) = self.session_of_conn(conn_id) {
-            session.inbound_qos2.remove(&id);
+            if session.inbound_qos2.remove(&id) && !session.clean {
+                log = Some(WalRecord::InboundQos2Remove {
+                    client: session.client_id.clone(),
+                    id,
+                });
+            }
+        }
+        if let Some(rec) = log {
+            self.log_wal(rec);
         }
         self.send_to_conn(conn_id, &Packet::Pubcomp(id));
     }
 
     fn on_pubcomp(&mut self, conn_id: ConnId, id: PacketId) {
+        let mut log = None;
         if let Some(session) = self.session_of_conn(conn_id) {
-            session.inflight_out.remove(&id);
+            if session.inflight_out.remove(&id).is_some() && !session.clean {
+                log = Some(WalRecord::InflightRemove {
+                    client: session.client_id.clone(),
+                    id,
+                });
+            }
+        }
+        if let Some(rec) = log {
+            self.log_wal(rec);
         }
     }
 
@@ -1216,8 +1554,19 @@ impl ShardCore {
             if new {
                 BrokerCounters::bump(&self.counters.subscriptions_current);
             }
-            if let Some(session) = self.sessions.get_mut(&client_id) {
-                session.subscriptions.insert(filter.clone(), granted);
+            let persistent = match self.sessions.get_mut(&client_id) {
+                Some(session) => {
+                    session.subscriptions.insert(filter.clone(), granted);
+                    !session.clean
+                }
+                None => false,
+            };
+            if persistent {
+                self.log_wal(WalRecord::Subscribe {
+                    client: client_id.clone(),
+                    filter: filter.clone(),
+                    qos: granted,
+                });
             }
             codes.push(SubackCode::Granted(granted));
             let snap = self.index.load();
@@ -1264,8 +1613,15 @@ impl ShardCore {
                     .subscriptions_current
                     .fetch_sub(1, Ordering::Relaxed);
             }
-            if let Some(session) = self.sessions.get_mut(&client_id) {
-                session.subscriptions.remove(filter);
+            let removed_persistent = match self.sessions.get_mut(&client_id) {
+                Some(session) => session.subscriptions.remove(filter).is_some() && !session.clean,
+                None => false,
+            };
+            if removed_persistent {
+                self.log_wal(WalRecord::Unsubscribe {
+                    client: client_id.clone(),
+                    filter: filter.clone(),
+                });
             }
         }
         self.send_to_conn(conn_id, &Packet::Unsuback(u.packet_id));
@@ -1284,6 +1640,14 @@ impl ShardCore {
         } else {
             conn.will.clone()
         };
+        // Discharge the persisted will registration: whether it fires now
+        // (ungraceful close) or was suppressed (clean DISCONNECT), it must
+        // not fire again after a broker restart.
+        if conn.will_registered {
+            self.log_wal(WalRecord::WillClear {
+                client: conn.client_id.clone(),
+            });
+        }
 
         if self.by_client.get(&conn.client_id) == Some(&conn_id) {
             self.by_client.remove(&conn.client_id);
@@ -1632,6 +1996,48 @@ mod tests {
             .link
             .recv_packet_timeout(Duration::from_millis(200))
             .is_err());
+    }
+
+    #[test]
+    fn kill_connection_fault_fires_will() {
+        // A KillConnection rule assassinates the recipient instead of
+        // delivering — the broker sees an ungraceful close and publishes
+        // the victim's testament.
+        let plan = FaultPlan::seeded(3).rule(
+            FaultRule::kill_connection("assassin")
+                .on_topic("trigger")
+                .to_client("victim")
+                .take(1),
+        );
+        let broker = Broker::start(BrokerConfig {
+            fault_plan: Some(plan),
+            ..BrokerConfig::default()
+        });
+        let watcher = RawClient::connect(&broker, "watcher", true);
+        watcher.subscribe("status/+", QoS::AtMostOnce);
+        let victim = RawClient::connect_full(
+            &broker,
+            "victim",
+            true,
+            0,
+            Some(LastWill {
+                topic: TopicName::new("status/victim").unwrap(),
+                payload: Bytes::from_static(b"assassinated"),
+                qos: QoS::AtMostOnce,
+                retain: false,
+            }),
+        );
+        victim.subscribe("trigger", QoS::AtMostOnce);
+        let publ = RawClient::connect(&broker, "pub", true);
+        publ.publish("trigger", b"bang", QoS::AtMostOnce, false);
+        // The trigger message is consumed, the testament arrives instead.
+        let got = watcher.expect_publish();
+        assert_eq!(got.topic.as_str(), "status/victim");
+        assert_eq!(got.payload, Bytes::from_static(b"assassinated"));
+        // The victim's link is dead and it never saw the trigger.
+        let r = victim.link.recv_packet_timeout(Duration::from_millis(500));
+        assert!(r.is_err(), "victim link should be severed, got {r:?}");
+        assert_eq!(broker.fault_hits(), vec![("assassin".to_owned(), 1)]);
     }
 
     #[test]

@@ -13,13 +13,19 @@
 //!
 //! Messages that match no registered handler land in a default inbox
 //! readable via [`Client::recv_timeout`].
+//!
+//! When a [`Dialer`] is configured the reader thread additionally owns
+//! **reconnection**: on transport loss it redials the broker, replays the
+//! CONNECT handshake, and — if the broker reports no stored session —
+//! re-issues every tracked subscription, so a broker restart is invisible
+//! to application code beyond a window of failed or timed-out calls.
 
 use crate::broker::Broker;
 use crate::codec;
 use crate::error::{ConnectReturnCode, MqttError, Result};
 use crate::packet::*;
 use crate::topic::{TopicFilter, TopicName};
-use crate::transport::{FrameSender, LinkEnd};
+use crate::transport::{FrameReceiver, FrameSender, LinkEnd};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -30,6 +36,15 @@ use std::time::Duration;
 
 /// Handler invoked for each message matching a subscription filter.
 pub type MessageHandler = Arc<dyn Fn(&Publish) + Send + Sync>;
+
+/// Factory producing a fresh transport link to the broker.
+///
+/// Installed via [`ClientOptions::dialer`], it turns the client into an
+/// auto-reconnecting one: the reader thread calls the dialer after a
+/// transport loss until it yields a link whose CONNECT handshake is
+/// accepted. Returning an error means "broker unavailable right now";
+/// the client retries after a short backoff.
+pub type Dialer = Arc<dyn Fn() -> Result<LinkEnd> + Send + Sync>;
 
 /// Client configuration.
 #[derive(Clone)]
@@ -44,6 +59,8 @@ pub struct ClientOptions {
     pub will: Option<LastWill>,
     /// How long blocking operations wait for broker acknowledgements.
     pub response_timeout: Duration,
+    /// Optional redial factory enabling automatic reconnection.
+    pub dialer: Option<Dialer>,
 }
 
 impl ClientOptions {
@@ -55,7 +72,15 @@ impl ClientOptions {
             keep_alive: 0,
             will: None,
             response_timeout: Duration::from_secs(5),
+            dialer: None,
         }
+    }
+
+    /// Installs a redial factory: the client reconnects (and re-subscribes
+    /// when the broker lost the session) after transport failures.
+    pub fn with_dialer(mut self, dialer: Dialer) -> Self {
+        self.dialer = Some(dialer);
+        self
     }
 }
 
@@ -64,10 +89,18 @@ struct Pending {
 }
 
 struct Inner {
-    sender: FrameSender,
+    /// Current transport send half; swapped wholesale on reconnect.
+    sender: RwLock<FrameSender>,
     client_id: String,
     connected: AtomicBool,
+    /// Set by [`Client::disconnect`]: suppresses redialing for good.
+    closed: AtomicBool,
     response_timeout: Duration,
+    /// CONNECT parameters replayed on every redial.
+    clean_session: bool,
+    keep_alive: u16,
+    will: Option<LastWill>,
+    dialer: Option<Dialer>,
     /// Waiters for QoS publish acks, keyed by packet id.
     pending_pub: Mutex<HashMap<PacketId, Pending>>,
     /// Waiters for SUBACK/UNSUBACK, keyed by packet id.
@@ -76,6 +109,9 @@ struct Inner {
     inbound_qos2: Mutex<HashMap<PacketId, Publish>>,
     /// Registered (filter, handler) pairs, scanned per delivery.
     handlers: RwLock<Vec<(TopicFilter, MessageHandler)>>,
+    /// Granted subscriptions, replayed when a redialed broker reports no
+    /// stored session (`session_present == false`).
+    subs: Mutex<HashMap<TopicFilter, QoS>>,
     /// Default inbox for messages with no matching handler.
     inbox_tx: Sender<Publish>,
     /// Packet id allocator.
@@ -99,6 +135,10 @@ impl Inner {
             }
         }
         1
+    }
+
+    fn send(&self, packet: &Packet) -> Result<()> {
+        self.sender.read().send_packet(packet)
     }
 }
 
@@ -153,14 +193,20 @@ impl Client {
         let (inbox_tx, inbox_rx) = unbounded();
         let (dispatch_tx, dispatch_rx) = unbounded::<Publish>();
         let inner = Arc::new(Inner {
-            sender,
+            sender: RwLock::new(sender),
             client_id: options.client_id.clone(),
             connected: AtomicBool::new(true),
+            closed: AtomicBool::new(false),
             response_timeout: options.response_timeout,
+            clean_session: options.clean_session,
+            keep_alive: options.keep_alive,
+            will: options.will.clone(),
+            dialer: options.dialer.clone(),
             pending_pub: Mutex::new(HashMap::new()),
             pending_sub: Mutex::new(HashMap::new()),
             inbound_qos2: Mutex::new(HashMap::new()),
             handlers: RwLock::new(Vec::new()),
+            subs: Mutex::new(HashMap::new()),
             inbox_tx,
             next_id: Mutex::new(1),
             dispatch_tx,
@@ -197,37 +243,51 @@ impl Client {
             })
             .expect("spawn dispatcher");
 
-        // Reader thread: protocol handling.
+        // Reader thread: protocol handling plus (with a dialer) reconnection.
         let reader_inner = Arc::downgrade(&inner);
         std::thread::Builder::new()
             .name(format!("{}-reader", options.client_id))
-            .spawn(move || loop {
-                let frame = match receiver.recv_frame() {
-                    Ok(f) => f,
-                    Err(_) => {
-                        if let Some(inner) = reader_inner.upgrade() {
+            .spawn(move || {
+                let mut receiver = receiver;
+                loop {
+                    let frame = match receiver.recv_frame() {
+                        Ok(f) => f,
+                        Err(_) => {
+                            let Some(inner) = reader_inner.upgrade() else {
+                                return;
+                            };
                             inner.connected.store(false, Ordering::Release);
+                            drop(inner);
+                            match Self::redial(&reader_inner) {
+                                Some(r) => {
+                                    receiver = r;
+                                    continue;
+                                }
+                                None => return,
+                            }
                         }
+                    };
+                    let Some(inner) = reader_inner.upgrade() else {
                         return;
+                    };
+                    let mut rest: Bytes = frame;
+                    while let Ok((packet, used)) = codec::decode(&rest) {
+                        Self::handle_packet(&inner, packet);
+                        if used >= rest.len() {
+                            break;
+                        }
+                        rest = rest.slice(used..);
                     }
-                };
-                let Some(inner) = reader_inner.upgrade() else {
-                    return;
-                };
-                let mut rest: Bytes = frame;
-                while let Ok((packet, used)) = codec::decode(&rest) {
-                    Self::handle_packet(&inner, packet);
-                    if used >= rest.len() {
-                        break;
-                    }
-                    rest = rest.slice(used..);
                 }
             })
             .expect("spawn reader");
 
-        // Pinger thread.
+        // Pinger thread. With a dialer it outlives individual connections:
+        // send failures mark the client disconnected and pinging resumes
+        // once the reader re-establishes the transport.
         if options.keep_alive > 0 {
             let ping_inner = Arc::downgrade(&inner);
+            let redials = options.dialer.is_some();
             let interval = Duration::from_secs_f64((options.keep_alive as f64 / 2.0).max(0.1));
             std::thread::Builder::new()
                 .name(format!("{}-pinger", options.client_id))
@@ -236,18 +296,92 @@ impl Client {
                     let Some(inner) = ping_inner.upgrade() else {
                         return;
                     };
-                    if !inner.connected.load(Ordering::Acquire) {
+                    if inner.closed.load(Ordering::Acquire) {
                         return;
                     }
-                    if inner.sender.send_packet(&Packet::Pingreq).is_err() {
-                        inner.connected.store(false, Ordering::Release);
+                    if !inner.connected.load(Ordering::Acquire) {
+                        if redials {
+                            continue;
+                        }
                         return;
+                    }
+                    if inner.send(&Packet::Pingreq).is_err() {
+                        inner.connected.store(false, Ordering::Release);
+                        if !redials {
+                            return;
+                        }
                     }
                 })
                 .expect("spawn pinger");
         }
 
         Ok(Client { inner, inbox_rx })
+    }
+
+    /// Redial loop run by the reader thread after a transport loss.
+    ///
+    /// Returns the receive half of the fresh link, or `None` when the
+    /// client should stop for good (no dialer configured, explicit
+    /// [`Client::disconnect`], or every `Client` handle dropped).
+    fn redial(weak: &std::sync::Weak<Inner>) -> Option<FrameReceiver> {
+        loop {
+            let inner = weak.upgrade()?;
+            if inner.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let dialer = inner.dialer.clone()?;
+            let attempt = (|| -> Result<FrameReceiver> {
+                let link = dialer()?;
+                let (sender, receiver) = link.split();
+                sender.send_packet(&Packet::Connect(Connect {
+                    client_id: inner.client_id.clone(),
+                    clean_session: inner.clean_session,
+                    keep_alive: inner.keep_alive,
+                    will: inner.will.clone(),
+                }))?;
+                let connack = loop {
+                    let frame = receiver.recv_frame_timeout(inner.response_timeout)?;
+                    let (packet, _) = codec::decode(&frame)?;
+                    match packet {
+                        Packet::Connack(c) => break c,
+                        _ => continue,
+                    }
+                };
+                if connack.code != ConnectReturnCode::Accepted {
+                    return Err(MqttError::ConnectionRefused(connack.code));
+                }
+                *inner.sender.write() = sender;
+                if !connack.session_present {
+                    // The broker has no session for us (clean connect or
+                    // state lost): replay every granted subscription.
+                    // Fire-and-forget — the SUBACKs arrive once this
+                    // receiver is handed back to the read loop, and
+                    // unclaimed acks are ignored by `handle_packet`.
+                    let mut subs: Vec<(TopicFilter, QoS)> = inner
+                        .subs
+                        .lock()
+                        .iter()
+                        .map(|(f, q)| (f.clone(), *q))
+                        .collect();
+                    subs.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+                    for (filter, qos) in subs {
+                        let id = inner.alloc_id();
+                        inner.send(&Packet::Subscribe(Subscribe {
+                            packet_id: id,
+                            filters: vec![(filter, qos)],
+                        }))?;
+                    }
+                }
+                inner.connected.store(true, Ordering::Release);
+                Ok(receiver)
+            })();
+            drop(inner);
+            match attempt {
+                Ok(receiver) => return Some(receiver),
+                // Broker still down (or mid-restart); back off briefly.
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
     }
 
     fn handle_packet(inner: &Arc<Inner>, packet: Packet) {
@@ -259,21 +393,21 @@ impl Client {
                 QoS::AtLeastOnce => {
                     let id = p.packet_id.unwrap_or(0);
                     let _ = inner.dispatch_tx.send(p);
-                    let _ = inner.sender.send_packet(&Packet::Puback(id));
+                    let _ = inner.send(&Packet::Puback(id));
                 }
                 QoS::ExactlyOnce => {
                     let id = p.packet_id.unwrap_or(0);
                     // Hold until PUBREL; replacing an existing entry
                     // implements duplicate suppression.
                     inner.inbound_qos2.lock().insert(id, p);
-                    let _ = inner.sender.send_packet(&Packet::Pubrec(id));
+                    let _ = inner.send(&Packet::Pubrec(id));
                 }
             },
             Packet::Pubrel(id) => {
                 if let Some(p) = inner.inbound_qos2.lock().remove(&id) {
                     let _ = inner.dispatch_tx.send(p);
                 }
-                let _ = inner.sender.send_packet(&Packet::Pubcomp(id));
+                let _ = inner.send(&Packet::Pubcomp(id));
             }
             Packet::Puback(id) | Packet::Pubcomp(id) => {
                 let waiter = inner.pending_pub.lock().remove(&id);
@@ -293,7 +427,7 @@ impl Client {
                     let _ = w.tx.send(Packet::Pubrec(id));
                 }
                 drop(guard);
-                let _ = inner.sender.send_packet(&Packet::Pubrel(id));
+                let _ = inner.send(&Packet::Pubrel(id));
             }
             Packet::Suback(s) => {
                 let waiter = inner.pending_sub.lock().remove(&s.packet_id);
@@ -334,7 +468,7 @@ impl Client {
     ) -> Result<()> {
         self.ensure_connected()?;
         match qos {
-            QoS::AtMostOnce => self.inner.sender.send_packet(&Packet::Publish(Publish {
+            QoS::AtMostOnce => self.inner.send(&Packet::Publish(Publish {
                 dup: false,
                 qos,
                 retain,
@@ -345,7 +479,7 @@ impl Client {
             QoS::AtLeastOnce => {
                 let id = self.inner.alloc_id();
                 let rx = self.register_pub_waiter(id);
-                self.inner.sender.send_packet(&Packet::Publish(Publish {
+                self.inner.send(&Packet::Publish(Publish {
                     dup: false,
                     qos,
                     retain,
@@ -361,7 +495,7 @@ impl Client {
             QoS::ExactlyOnce => {
                 let id = self.inner.alloc_id();
                 let rx = self.register_pub_waiter(id);
-                self.inner.sender.send_packet(&Packet::Publish(Publish {
+                self.inner.send(&Packet::Publish(Publish {
                     dup: false,
                     qos,
                     retain,
@@ -399,18 +533,21 @@ impl Client {
         let id = self.inner.alloc_id();
         let (tx, rx) = bounded(2);
         self.inner.pending_sub.lock().insert(id, Pending { tx });
-        self.inner
-            .sender
-            .send_packet(&Packet::Subscribe(Subscribe {
-                packet_id: id,
-                filters: vec![(filter.clone(), qos)],
-            }))?;
+        self.inner.send(&Packet::Subscribe(Subscribe {
+            packet_id: id,
+            filters: vec![(filter.clone(), qos)],
+        }))?;
         let ack = rx
             .recv_timeout(self.inner.response_timeout)
             .map_err(|_| MqttError::Timeout)?;
         match ack {
             Packet::Suback(s) => match s.return_codes.first() {
-                Some(SubackCode::Granted(granted)) => Ok(*granted),
+                Some(SubackCode::Granted(granted)) => {
+                    // Remember the *requested* QoS so a post-crash replay
+                    // asks for the same grant.
+                    self.inner.subs.lock().insert(filter.clone(), qos);
+                    Ok(*granted)
+                }
                 _ => Err(MqttError::Malformed("subscription refused")),
             },
             other => Err(unexpected(other)),
@@ -441,15 +578,14 @@ impl Client {
     pub fn unsubscribe(&self, filter: &TopicFilter) -> Result<()> {
         self.ensure_connected()?;
         self.inner.handlers.write().retain(|(f, _)| f != filter);
+        self.inner.subs.lock().remove(filter);
         let id = self.inner.alloc_id();
         let (tx, rx) = bounded(2);
         self.inner.pending_sub.lock().insert(id, Pending { tx });
-        self.inner
-            .sender
-            .send_packet(&Packet::Unsubscribe(Unsubscribe {
-                packet_id: id,
-                filters: vec![filter.clone()],
-            }))?;
+        self.inner.send(&Packet::Unsubscribe(Unsubscribe {
+            packet_id: id,
+            filters: vec![filter.clone()],
+        }))?;
         rx.recv_timeout(self.inner.response_timeout)
             .map_err(|_| MqttError::Timeout)?;
         Ok(())
@@ -468,10 +604,11 @@ impl Client {
     }
 
     /// Sends a graceful DISCONNECT. The broker will drop the connection and
-    /// suppress the last will.
+    /// suppress the last will. Auto-reconnecting clients stop redialing.
     pub fn disconnect(&self) -> Result<()> {
+        self.inner.closed.store(true, Ordering::Release);
         self.inner.connected.store(false, Ordering::Release);
-        self.inner.sender.send_packet(&Packet::Disconnect)
+        self.inner.send(&Packet::Disconnect)
     }
 
     fn ensure_connected(&self) -> Result<()> {

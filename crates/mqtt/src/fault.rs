@@ -17,7 +17,10 @@
 //! * [`FaultAction::Hold`] — the delivery is buffered until the test
 //!   releases it via [`crate::broker::Broker::release_held`];
 //! * [`FaultAction::Delay`] — the delivery is re-injected after a
-//!   wall-clock delay (prefer `Hold` in deterministic tests).
+//!   wall-clock delay (prefer `Hold` in deterministic tests);
+//! * [`FaultAction::KillConnection`] — the delivery is consumed and the
+//!   recipient's connection is severed ungracefully, firing its last-will
+//!   testament through the broker's normal close path.
 //!
 //! Every rule carries an activity toggle and a hit counter shared with the
 //! [`FaultHandle`] the test keeps, so partitions can be opened and healed
@@ -54,6 +57,11 @@ pub enum FaultAction {
     Hold,
     /// Re-inject the delivery after a wall-clock delay.
     Delay(Duration),
+    /// Consume the delivery and sever the recipient's live connection
+    /// ungracefully — from the broker's point of view the client died
+    /// while receiving, so its last-will testament (if registered) fires
+    /// through the normal close path.
+    KillConnection,
 }
 
 /// State shared between a rule inside the broker and its [`FaultHandle`].
@@ -125,6 +133,15 @@ impl FaultRule {
     /// A rule that buffers matching deliveries until released.
     pub fn hold(label: impl Into<String>) -> FaultRule {
         FaultRule::new(label, FaultAction::Hold)
+    }
+
+    /// A rule that kills the recipient's connection ungracefully instead
+    /// of delivering the message, firing its last-will testament (if one
+    /// is registered). Scope it with [`FaultRule::to_client`] and bound it
+    /// with [`FaultRule::take`] — an unbounded kill rule will keep
+    /// assassinating a redialing client.
+    pub fn kill_connection(label: impl Into<String>) -> FaultRule {
+        FaultRule::new(label, FaultAction::KillConnection)
     }
 
     /// A network partition between clients `a` and `b`: deliveries in
@@ -337,6 +354,9 @@ pub(crate) enum FaultVerdict {
     },
     /// The delivery was consumed (dropped, held, stashed, or delayed).
     Consumed,
+    /// The delivery was consumed and the recipient's connection must be
+    /// torn down ungracefully (firing its will, if any).
+    Kill,
     /// The delivery was consumed and must be re-injected after `delay`.
     Delayed {
         delivery: PendingDelivery,
@@ -469,6 +489,7 @@ impl FaultState {
                     delivery: pending(),
                     delay: *d,
                 },
+                FaultAction::KillConnection => FaultVerdict::Kill,
             };
         }
         FaultVerdict::Deliver {

@@ -28,6 +28,7 @@
 
 use crate::broker::ConnId;
 use crate::packet::{Publish, QoS};
+use crate::persist::PersistStore;
 use crate::retained::RetainedStore;
 use crate::topic::TopicFilter;
 use crate::transport::FrameSender;
@@ -107,6 +108,10 @@ struct IndexMaster {
     retained: RetainedStore,
     routes: RouteTable,
     next_key: ClientKey,
+    /// Persistence hook: retained writes are WAL-logged *under the writer
+    /// lock*, so the retained stream's record order matches index order
+    /// exactly. `None` when persistence is off.
+    retained_log: Option<Arc<PersistStore>>,
 }
 
 /// Outcome of a retained-store write, for the broker's gauge counters.
@@ -159,6 +164,7 @@ impl SharedIndex {
                 retained: RetainedStore::new(),
                 routes: RouteTable::default(),
                 next_key: 1,
+                retained_log: None,
             }),
             snap: RwLock::new(snapshot),
         }
@@ -203,6 +209,34 @@ impl SharedIndex {
         );
         self.publish(master, Changed::ROUTES);
         key
+    }
+
+    /// Interns `client` and inserts an *offline* route entry (no live
+    /// connection) if none exists, so recovered persistent sessions are
+    /// routable before their clients reconnect. Returns the client's key.
+    pub fn register_offline(&self, client: &str, shard: usize) -> ClientKey {
+        let mut master = self.master.lock();
+        let key = Self::intern(&mut master, client);
+        master
+            .routes
+            .by_key
+            .entry(key)
+            .or_insert_with(|| RouteEntry {
+                client: Arc::from(client),
+                shard,
+                conn: None,
+                sender: None,
+                is_bridge: false,
+            });
+        self.publish(master, Changed::ROUTES);
+        key
+    }
+
+    /// Installs the persistence hook for retained writes. Must be called
+    /// *after* recovered retained state has been seeded (seeding goes
+    /// through [`SharedIndex::apply_retained`] and must not be re-logged).
+    pub fn set_retained_log(&self, store: Arc<PersistStore>) {
+        self.master.lock().retained_log = Some(store);
     }
 
     /// Marks the client offline (parked session): clears the live
@@ -280,6 +314,15 @@ impl SharedIndex {
             }
         };
         if delta != RetainedDelta::Unchanged {
+            if let Some(log) = master.retained_log.as_ref().map(Arc::clone) {
+                // Under the writer lock: record order matches index order.
+                log.append_retained(
+                    &publish.topic,
+                    publish.qos,
+                    &publish.payload,
+                    &master.retained,
+                );
+            }
             self.publish(master, Changed::RETAINED);
         }
         delta

@@ -43,6 +43,7 @@ pub mod error;
 pub mod fault;
 pub mod index;
 pub mod packet;
+pub mod persist;
 pub mod retained;
 pub mod session;
 pub mod stats;
@@ -52,9 +53,10 @@ pub mod trie;
 
 pub use bridge::{Bridge, BridgeConfig, BridgeDirection, BridgeTopic};
 pub use broker::{Broker, BrokerConfig, BRIDGE_PREFIX};
-pub use client::{Client, ClientOptions, MessageHandler};
+pub use client::{Client, ClientOptions, Dialer, MessageHandler};
 pub use error::{ConnectReturnCode, MqttError, Result};
 pub use fault::{FaultAction, FaultHandle, FaultPlan, FaultRule};
 pub use packet::{LastWill, Packet, Publish, QoS};
+pub use persist::Persistence;
 pub use stats::BrokerStatsSnapshot;
 pub use topic::{TopicFilter, TopicName};

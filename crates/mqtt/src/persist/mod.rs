@@ -1,0 +1,77 @@
+//! Broker persistence: write-ahead log + compacted snapshots.
+//!
+//! The subsystem write-ahead-logs every durable broker event — retained
+//! sets/clears, subscribe/unsubscribe, QoS 1/2 inflight transitions,
+//! offline enqueues, session create/destroy, will registration — into
+//! per-shard append streams ([`wal`]), periodically folds them into
+//! compacted snapshots ([`snapshot`]), and on startup replays
+//! snapshot + WAL back into live sessions, retained store, and pending
+//! wills ([`recovery`]). [`store`] owns the on-disk layout and the
+//! append/compaction state machines.
+//!
+//! Persistence is strictly opt-in via [`Persistence`] on
+//! `BrokerConfig`; the default ([`Persistence::disabled`]) leaves the
+//! broker purely in-memory with byte-identical behavior.
+//!
+//! Durability guarantees (see `docs/PERSISTENCE.md` for the full
+//! contract): writes go through the OS page cache without fsync, so
+//! state survives *process* death — the failure mode the chaos harness
+//! injects — but not power loss. A torn append loses only the frame
+//! being written; recovery stops at the first invalid checksum.
+
+pub mod recovery;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use recovery::RecoveredState;
+pub use store::PersistStore;
+pub use wal::WalRecord;
+
+use std::path::PathBuf;
+
+/// Persistence configuration for one broker instance.
+#[derive(Debug, Clone)]
+pub struct Persistence {
+    /// Directory holding WAL and snapshot files; `None` disables
+    /// persistence entirely.
+    pub dir: Option<PathBuf>,
+    /// Records appended to a stream since its last snapshot before the
+    /// stream is compacted again.
+    pub snapshot_every: u64,
+}
+
+impl Persistence {
+    /// Persistence off: the broker is purely in-memory (the default).
+    pub fn disabled() -> Self {
+        Persistence {
+            dir: None,
+            snapshot_every: 4096,
+        }
+    }
+
+    /// Persists WAL + snapshots under `dir` (created if absent).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Persistence {
+            dir: Some(dir.into()),
+            snapshot_every: 4096,
+        }
+    }
+
+    /// Overrides the records-per-snapshot compaction threshold.
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// True when a persistence directory is configured.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
+
+impl Default for Persistence {
+    fn default() -> Self {
+        Persistence::disabled()
+    }
+}

@@ -1,0 +1,324 @@
+//! Replay of snapshot + WAL streams into live broker state.
+//!
+//! Recovery folds record streams into a [`RecoveredState`]: persistent
+//! sessions (subscriptions, offline queues, QoS 1/2 inflight windows,
+//! inbound QoS 2 dedupe sets), pending wills for connections that died
+//! with the process, and the retained-message store. The inverse
+//! direction — serializing live state back into compacted record
+//! streams — also lives here so snapshots and recovery stay in lockstep.
+//!
+//! All maps are `BTreeMap`s and all serializers emit in sorted order:
+//! recovery must be byte-deterministic so the chaos harness can assert
+//! rerun-identical trace hashes across a broker kill + restart.
+
+use super::wal::WalRecord;
+use crate::packet::{LastWill, QoS};
+use crate::session::{InflightOut, QueuedMessage, Session};
+use crate::topic::TopicName;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Broker state reconstructed from snapshot + WAL replay.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Persistent sessions keyed by client id (sorted for determinism).
+    pub sessions: BTreeMap<String, Session>,
+    /// Wills registered by connections that died with the process; the
+    /// restarted broker fires these during startup.
+    pub wills: BTreeMap<String, LastWill>,
+    /// Retained messages keyed by topic (sorted for determinism).
+    pub retained: BTreeMap<TopicName, (QoS, Bytes)>,
+    /// Number of records applied across every stream.
+    pub records_applied: u64,
+}
+
+impl RecoveredState {
+    /// Applies one session-stream record. Records for unknown sessions are
+    /// ignored: the WAL only logs persistent sessions, and a destroy may
+    /// have compacted away the matching create.
+    pub fn apply(&mut self, rec: WalRecord, max_queued: usize) {
+        self.records_applied += 1;
+        match rec {
+            WalRecord::Watermark { .. } => {}
+            WalRecord::SessionCreate { client } => {
+                self.sessions
+                    .insert(client.clone(), Session::new(client, false, max_queued));
+            }
+            WalRecord::SessionDestroy { client } => {
+                self.sessions.remove(&client);
+            }
+            WalRecord::Subscribe {
+                client,
+                filter,
+                qos,
+            } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.subscriptions.insert(filter, qos);
+                }
+            }
+            WalRecord::Unsubscribe { client, filter } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.subscriptions.remove(&filter);
+                }
+            }
+            WalRecord::Enqueue {
+                client,
+                topic,
+                qos,
+                payload,
+            } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.queue_message(QueuedMessage {
+                        topic,
+                        payload,
+                        qos,
+                    });
+                }
+            }
+            WalRecord::QueueDrained { client } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.queued.clear();
+                }
+            }
+            WalRecord::InflightInsert {
+                client,
+                id,
+                topic,
+                qos,
+                retain,
+                released,
+                payload,
+            } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.inflight_out.insert(
+                        id,
+                        InflightOut {
+                            topic,
+                            payload,
+                            qos,
+                            retain,
+                            released,
+                        },
+                    );
+                }
+            }
+            WalRecord::InflightRelease { client, id } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    if let Some(f) = s.inflight_out.get_mut(&id) {
+                        f.released = true;
+                    }
+                }
+            }
+            WalRecord::InflightRemove { client, id } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.inflight_out.remove(&id);
+                }
+            }
+            WalRecord::InboundQos2Insert { client, id } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.inbound_qos2.insert(id);
+                }
+            }
+            WalRecord::InboundQos2Remove { client, id } => {
+                if let Some(s) = self.sessions.get_mut(&client) {
+                    s.inbound_qos2.remove(&id);
+                }
+            }
+            WalRecord::WillSet { client, will } => {
+                self.wills.insert(client, will);
+            }
+            WalRecord::WillClear { client } => {
+                self.wills.remove(&client);
+            }
+            WalRecord::RetainedSet {
+                topic,
+                qos,
+                payload,
+            } => {
+                if payload.is_empty() {
+                    self.retained.remove(&topic);
+                } else {
+                    self.retained.insert(topic, (qos, payload));
+                }
+            }
+        }
+    }
+
+    /// Applies a snapshot stream followed by its live WAL, honouring the
+    /// snapshot watermark (live records with `seq <= watermark` are
+    /// already folded into the snapshot and skipped).
+    pub fn apply_stream(
+        &mut self,
+        watermark: u64,
+        snapshot: Vec<WalRecord>,
+        live: Vec<(u64, WalRecord)>,
+        max_queued: usize,
+    ) {
+        for rec in snapshot {
+            self.apply(rec, max_queued);
+        }
+        for (seq, rec) in live {
+            if seq > watermark {
+                self.apply(rec, max_queued);
+            }
+        }
+    }
+}
+
+/// Serializes one session into compacted records (sorted deterministic
+/// order: create, subscriptions, queued messages, inflight window,
+/// inbound QoS 2 dedupe ids).
+pub fn session_records(session: &Session, out: &mut Vec<WalRecord>) {
+    out.push(WalRecord::SessionCreate {
+        client: session.client_id.clone(),
+    });
+    let mut subs: Vec<_> = session.subscriptions.iter().collect();
+    subs.sort_unstable_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+    for (filter, qos) in subs {
+        out.push(WalRecord::Subscribe {
+            client: session.client_id.clone(),
+            filter: filter.clone(),
+            qos: *qos,
+        });
+    }
+    for msg in &session.queued {
+        out.push(WalRecord::Enqueue {
+            client: session.client_id.clone(),
+            topic: msg.topic.clone(),
+            qos: msg.qos,
+            payload: msg.payload.clone(),
+        });
+    }
+    let mut inflight: Vec<_> = session.inflight_out.iter().collect();
+    inflight.sort_unstable_by_key(|(id, _)| **id);
+    for (id, f) in inflight {
+        out.push(WalRecord::InflightInsert {
+            client: session.client_id.clone(),
+            id: *id,
+            topic: f.topic.clone(),
+            qos: f.qos,
+            retain: f.retain,
+            released: f.released,
+            payload: f.payload.clone(),
+        });
+    }
+    let mut inbound: Vec<_> = session.inbound_qos2.iter().copied().collect();
+    inbound.sort_unstable();
+    for id in inbound {
+        out.push(WalRecord::InboundQos2Insert {
+            client: session.client_id.clone(),
+            id,
+        });
+    }
+}
+
+/// Serializes a retained-message map into compacted records (sorted by
+/// topic).
+pub fn retained_records<'a>(
+    entries: impl Iterator<Item = (&'a TopicName, QoS, &'a Bytes)>,
+) -> Vec<WalRecord> {
+    let mut sorted: Vec<_> = entries.collect();
+    sorted.sort_unstable_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+    sorted
+        .into_iter()
+        .map(|(topic, qos, payload)| WalRecord::RetainedSet {
+            topic: topic.clone(),
+            qos,
+            payload: payload.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicFilter;
+
+    #[test]
+    fn session_records_roundtrip() {
+        let mut s = Session::new("alice".into(), false, 16);
+        s.subscriptions
+            .insert(TopicFilter::new("a/#").unwrap(), QoS::AtLeastOnce);
+        s.subscriptions
+            .insert(TopicFilter::new("b/+").unwrap(), QoS::ExactlyOnce);
+        s.queue_message(QueuedMessage {
+            topic: TopicName::new("a/1").unwrap(),
+            payload: Bytes::from_static(b"q1"),
+            qos: QoS::AtLeastOnce,
+        });
+        s.inflight_out.insert(
+            4,
+            InflightOut {
+                topic: TopicName::new("a/2").unwrap(),
+                payload: Bytes::from_static(b"i1"),
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                released: true,
+            },
+        );
+        s.inbound_qos2.insert(9);
+
+        let mut records = Vec::new();
+        session_records(&s, &mut records);
+        let mut state = RecoveredState::default();
+        for rec in records {
+            state.apply(rec, 16);
+        }
+        let back = state.sessions.get("alice").expect("session recovered");
+        assert_eq!(back.subscriptions, s.subscriptions);
+        assert_eq!(back.queued.len(), 1);
+        assert_eq!(back.inflight_out.len(), 1);
+        assert!(back.inflight_out[&4].released);
+        assert!(back.inbound_qos2.contains(&9));
+    }
+
+    #[test]
+    fn watermark_skips_folded_records() {
+        let mut state = RecoveredState::default();
+        state.apply_stream(
+            2,
+            vec![WalRecord::SessionCreate { client: "a".into() }],
+            vec![
+                // seq 1-2 are covered by the snapshot and must be skipped;
+                // applying them would destroy the session.
+                (1, WalRecord::SessionDestroy { client: "a".into() }),
+                (2, WalRecord::SessionDestroy { client: "a".into() }),
+                (
+                    3,
+                    WalRecord::Subscribe {
+                        client: "a".into(),
+                        filter: TopicFilter::new("x").unwrap(),
+                        qos: QoS::AtMostOnce,
+                    },
+                ),
+            ],
+            8,
+        );
+        let s = state.sessions.get("a").expect("session survives");
+        assert_eq!(s.subscriptions.len(), 1);
+    }
+
+    #[test]
+    fn empty_retained_payload_clears() {
+        let mut state = RecoveredState::default();
+        let t = TopicName::new("cfg").unwrap();
+        state.apply(
+            WalRecord::RetainedSet {
+                topic: t.clone(),
+                qos: QoS::AtLeastOnce,
+                payload: Bytes::from_static(b"v"),
+            },
+            8,
+        );
+        assert_eq!(state.retained.len(), 1);
+        state.apply(
+            WalRecord::RetainedSet {
+                topic: t,
+                qos: QoS::AtLeastOnce,
+                payload: Bytes::new(),
+            },
+            8,
+        );
+        assert!(state.retained.is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! On-disk persistence store: per-shard WAL streams + compacted snapshots.
+//!
+//! Layout inside the persistence directory:
+//!
+//! ```text
+//! wal-shard-{i}.log       per-shard live session stream
+//! snapshot-shard-{i}.wal  compacted per-shard session snapshot
+//! retained.wal            broker-global retained stream (appended under
+//!                         the SharedIndex writer lock, so record order
+//!                         matches the index exactly)
+//! snapshot-retained.wal   compacted retained snapshot
+//! ```
+//!
+//! Session records are disjoint across shard streams because the shard is
+//! a pure function of the client id, so per-shard appends need no
+//! cross-shard ordering. On open, the store replays every stream into a
+//! [`RecoveredState`], then *boot-compacts*: it rewrites fresh snapshots
+//! for the (possibly different) new shard count and truncates the live
+//! WALs, so a restart chain never replays more than one epoch of history.
+//!
+//! Persistence never kills the broker: append errors are swallowed (the
+//! broker degrades to in-memory operation), which is why every public
+//! method here returns `()` rather than `io::Result`.
+
+use super::recovery::{retained_records, session_records, RecoveredState};
+use super::snapshot::{read_snapshot, write_snapshot};
+use super::wal::{read_wal, WalRecord, WalWriter};
+use crate::broker::shard_of;
+use crate::packet::QoS;
+use crate::retained::RetainedStore;
+use crate::stats::BrokerCounters;
+use crate::topic::TopicName;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One live WAL stream plus its compaction bookkeeping.
+#[derive(Debug)]
+struct Stream {
+    writer: Option<WalWriter>,
+    seq: u64,
+    since_snapshot: u64,
+}
+
+impl Stream {
+    fn append(&mut self, rec: &WalRecord, counters: &BrokerCounters) {
+        self.seq += 1;
+        self.since_snapshot += 1;
+        if let Some(w) = self.writer.as_mut() {
+            if w.append(self.seq, rec).is_ok() {
+                BrokerCounters::bump(&counters.wal_records);
+            } else {
+                // Degrade to in-memory operation rather than poisoning
+                // the broker with a dead file handle.
+                self.writer = None;
+            }
+        }
+    }
+
+    fn compact(&mut self, path: &Path, records: &[WalRecord], counters: &BrokerCounters) {
+        if write_snapshot(path, self.seq, records).is_ok() {
+            if let Some(w) = self.writer.as_mut() {
+                let _ = w.reset();
+            }
+            self.since_snapshot = 0;
+            BrokerCounters::bump(&counters.wal_snapshots);
+        }
+    }
+}
+
+/// Durable store shared by every broker shard and the index writer.
+#[derive(Debug)]
+pub struct PersistStore {
+    dir: PathBuf,
+    snapshot_every: u64,
+    counters: Arc<BrokerCounters>,
+    shard_streams: Vec<Mutex<Stream>>,
+    retained_stream: Mutex<Stream>,
+}
+
+fn shard_wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("wal-shard-{shard}.log"))
+}
+
+fn shard_snapshot_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("snapshot-shard-{shard}.wal"))
+}
+
+fn retained_wal_path(dir: &Path) -> PathBuf {
+    dir.join("retained.wal")
+}
+
+fn retained_snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot-retained.wal")
+}
+
+/// Shard stream indexes present on disk (from either a live WAL or a
+/// snapshot file), sorted.
+fn discover_shards(dir: &Path) -> BTreeSet<usize> {
+    let mut found = BTreeSet::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let idx = name
+            .strip_prefix("wal-shard-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .or_else(|| {
+                name.strip_prefix("snapshot-shard-")
+                    .and_then(|s| s.strip_suffix(".wal"))
+            });
+        if let Some(idx) = idx.and_then(|s| s.parse::<usize>().ok()) {
+            found.insert(idx);
+        }
+    }
+    found
+}
+
+/// Replays every stream in `dir` into a [`RecoveredState`]. Used by the
+/// store on open and directly by the recovery benchmark.
+pub fn recover_dir(dir: &Path, max_queued: usize) -> RecoveredState {
+    let mut state = RecoveredState::default();
+    let (watermark, snap) = read_snapshot(&retained_snapshot_path(dir));
+    let live = read_wal(&retained_wal_path(dir));
+    state.apply_stream(watermark, snap, live, max_queued);
+    for shard in discover_shards(dir) {
+        let (watermark, snap) = read_snapshot(&shard_snapshot_path(dir, shard));
+        let live = read_wal(&shard_wal_path(dir, shard));
+        state.apply_stream(watermark, snap, live, max_queued);
+    }
+    state
+}
+
+impl PersistStore {
+    /// Opens the store: replays snapshot + WAL into a [`RecoveredState`],
+    /// boot-compacts onto the new shard layout (sessions are re-assigned
+    /// by `shard_of(client, shards)`, so a restart may change the shard
+    /// count), truncates the live WALs, and removes stale streams from a
+    /// larger previous layout.
+    ///
+    /// Recovered wills are *not* re-persisted: the broker fires them
+    /// during startup, after which they are discharged.
+    pub fn open(
+        dir: &Path,
+        shards: usize,
+        snapshot_every: u64,
+        max_queued: usize,
+        counters: Arc<BrokerCounters>,
+    ) -> std::io::Result<(PersistStore, RecoveredState)> {
+        std::fs::create_dir_all(dir)?;
+        let state = recover_dir(dir, max_queued);
+
+        // Boot compaction: fresh epoch, sequence numbers restart at 0.
+        let mut shard_streams = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut records = Vec::new();
+            for session in state.sessions.values() {
+                if shard_of(&session.client_id, shards) == shard {
+                    session_records(session, &mut records);
+                }
+            }
+            write_snapshot(&shard_snapshot_path(dir, shard), 0, &records)?;
+            let writer = WalWriter::create(&shard_wal_path(dir, shard))?;
+            shard_streams.push(Mutex::new(Stream {
+                writer: Some(writer),
+                seq: 0,
+                since_snapshot: 0,
+            }));
+        }
+        for stale in discover_shards(dir).range(shards..) {
+            let _ = std::fs::remove_file(shard_wal_path(dir, *stale));
+            let _ = std::fs::remove_file(shard_snapshot_path(dir, *stale));
+        }
+
+        let records = retained_records(
+            state
+                .retained
+                .iter()
+                .map(|(topic, (qos, payload))| (topic, *qos, payload)),
+        );
+        write_snapshot(&retained_snapshot_path(dir), 0, &records)?;
+        let retained_writer = WalWriter::create(&retained_wal_path(dir))?;
+
+        Ok((
+            PersistStore {
+                dir: dir.to_path_buf(),
+                snapshot_every: snapshot_every.max(1),
+                counters,
+                shard_streams,
+                retained_stream: Mutex::new(Stream {
+                    writer: Some(retained_writer),
+                    seq: 0,
+                    since_snapshot: 0,
+                }),
+            },
+            state,
+        ))
+    }
+
+    /// Appends one record to a shard's session stream. Returns true when
+    /// the stream has outgrown `snapshot_every` and the owning shard
+    /// should call [`PersistStore::compact_shard`] with its current state.
+    pub fn append_shard(&self, shard: usize, rec: &WalRecord) -> bool {
+        let mut stream = self.shard_streams[shard].lock();
+        stream.append(rec, &self.counters);
+        stream.since_snapshot >= self.snapshot_every
+    }
+
+    /// Replaces a shard's snapshot with `records` (the shard's serialized
+    /// current state) and truncates its live WAL.
+    pub fn compact_shard(&self, shard: usize, records: &[WalRecord]) {
+        let mut stream = self.shard_streams[shard].lock();
+        let path = shard_snapshot_path(&self.dir, shard);
+        stream.compact(&path, records, &self.counters);
+    }
+
+    /// Appends one retained event. Called under the `SharedIndex` writer
+    /// lock so the stream order matches index order exactly; the passed
+    /// `store` is the post-apply retained state, used for self-compaction
+    /// when the stream outgrows `snapshot_every`.
+    pub fn append_retained(
+        &self,
+        topic: &TopicName,
+        qos: QoS,
+        payload: &Bytes,
+        store: &RetainedStore,
+    ) {
+        let mut stream = self.retained_stream.lock();
+        stream.append(
+            &WalRecord::RetainedSet {
+                topic: topic.clone(),
+                qos,
+                payload: payload.clone(),
+            },
+            &self.counters,
+        );
+        if stream.since_snapshot >= self.snapshot_every {
+            let records = retained_records(store.iter().map(|(t, r)| (t, r.qos, &r.payload)));
+            let path = retained_snapshot_path(&self.dir);
+            stream.compact(&path, &records, &self.counters);
+        }
+    }
+
+    /// Forces a compacted retained snapshot (explicit `snapshot_now`).
+    pub fn compact_retained(&self, store: &RetainedStore) {
+        let mut stream = self.retained_stream.lock();
+        let records = retained_records(store.iter().map(|(t, r)| (t, r.qos, &r.payload)));
+        let path = retained_snapshot_path(&self.dir);
+        stream.compact(&path, &records, &self.counters);
+    }
+
+    /// Number of shard streams the store was opened with.
+    pub fn shards(&self) -> usize {
+        self.shard_streams.len()
+    }
+
+    /// The persistence directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::QueuedMessage;
+    use crate::topic::TopicFilter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sdflmq-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn open_append_reopen_recovers() {
+        let dir = temp_dir("roundtrip");
+        let counters = Arc::new(BrokerCounters::default());
+        {
+            let (store, state) =
+                PersistStore::open(&dir, 2, 1024, 64, Arc::clone(&counters)).unwrap();
+            assert!(state.sessions.is_empty());
+            let shard = shard_of("alice", 2);
+            store.append_shard(
+                shard,
+                &WalRecord::SessionCreate {
+                    client: "alice".into(),
+                },
+            );
+            store.append_shard(
+                shard,
+                &WalRecord::Subscribe {
+                    client: "alice".into(),
+                    filter: TopicFilter::new("a/#").unwrap(),
+                    qos: QoS::AtLeastOnce,
+                },
+            );
+            let retained = RetainedStore::new();
+            store.append_retained(
+                &TopicName::new("cfg/x").unwrap(),
+                QoS::AtMostOnce,
+                &Bytes::from_static(b"v"),
+                &retained,
+            );
+        }
+        // Reopen with a different shard count: the session must follow its
+        // new shard assignment.
+        let (_store, state) = PersistStore::open(&dir, 4, 1024, 64, counters).unwrap();
+        let s = state.sessions.get("alice").expect("session recovered");
+        assert_eq!(s.subscriptions.len(), 1);
+        assert_eq!(state.retained.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_truncates_live_wal() {
+        let dir = temp_dir("compact");
+        let counters = Arc::new(BrokerCounters::default());
+        let (store, _) = PersistStore::open(&dir, 1, 4, 64, Arc::clone(&counters)).unwrap();
+        let mut session = crate::session::Session::new("bob".into(), false, 64);
+        session.queue_message(QueuedMessage {
+            topic: TopicName::new("t").unwrap(),
+            payload: Bytes::from_static(b"m"),
+            qos: QoS::AtLeastOnce,
+        });
+        let mut needs_compact = false;
+        for _ in 0..4 {
+            needs_compact = store.append_shard(
+                0,
+                &WalRecord::Enqueue {
+                    client: "bob".into(),
+                    topic: TopicName::new("t").unwrap(),
+                    qos: QoS::AtLeastOnce,
+                    payload: Bytes::from_static(b"m"),
+                },
+            );
+        }
+        assert!(needs_compact, "snapshot_every=4 reached");
+        let mut records = Vec::new();
+        session_records(&session, &mut records);
+        store.compact_shard(0, &records);
+        assert!(
+            read_wal(&shard_wal_path(&dir, 0)).is_empty(),
+            "live WAL truncated after compaction"
+        );
+        let (watermark, snap) = read_snapshot(&shard_snapshot_path(&dir, 0));
+        assert_eq!(watermark, 4);
+        assert!(!snap.is_empty());
+        assert_eq!(counters.snapshot().wal_snapshots, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shrinking_shard_count_drops_stale_streams() {
+        let dir = temp_dir("shrink");
+        let counters = Arc::new(BrokerCounters::default());
+        {
+            let (store, _) = PersistStore::open(&dir, 4, 1024, 64, Arc::clone(&counters)).unwrap();
+            // Park a session on whichever shard "zed" hashes to.
+            store.append_shard(
+                shard_of("zed", 4),
+                &WalRecord::SessionCreate {
+                    client: "zed".into(),
+                },
+            );
+        }
+        let (store, state) = PersistStore::open(&dir, 1, 1024, 64, counters).unwrap();
+        assert_eq!(store.shards(), 1);
+        assert!(state.sessions.contains_key("zed"));
+        assert!(discover_shards(&dir).iter().all(|i| *i < 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,676 @@
+//! Write-ahead-log frames and records.
+//!
+//! Every durable broker event is one [`WalRecord`] serialized in the same
+//! binary idiom as the wire codec (u16-length-prefixed UTF-8 strings,
+//! u32-length-prefixed byte blobs, big-endian integers) and wrapped in a
+//! length-prefixed, checksummed frame:
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = [u64 seq][u8 kind][body...]
+//! ```
+//!
+//! Readers stop at the first invalid frame (truncated length, bad
+//! checksum, unknown kind, or malformed body) — a torn tail from a crash
+//! mid-append loses only the record being written, never the prefix.
+
+use crate::packet::{LastWill, PacketId, QoS};
+use crate::topic::{TopicFilter, TopicName};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`, the per-frame checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// Record kind bytes. Kind 0 is the snapshot watermark header.
+const K_WATERMARK: u8 = 0;
+const K_SESSION_CREATE: u8 = 1;
+const K_SESSION_DESTROY: u8 = 2;
+const K_SUBSCRIBE: u8 = 3;
+const K_UNSUBSCRIBE: u8 = 4;
+const K_ENQUEUE: u8 = 5;
+const K_QUEUE_DRAINED: u8 = 6;
+const K_INFLIGHT_INSERT: u8 = 7;
+const K_INFLIGHT_RELEASE: u8 = 8;
+const K_INFLIGHT_REMOVE: u8 = 9;
+const K_INBOUND_QOS2_INSERT: u8 = 10;
+const K_INBOUND_QOS2_REMOVE: u8 = 11;
+const K_WILL_SET: u8 = 12;
+const K_WILL_CLEAR: u8 = 13;
+const K_RETAINED_SET: u8 = 14;
+
+/// One durable broker event.
+///
+/// Session-scoped records live in the owning shard's stream; retained
+/// records live in the broker-global retained stream (appended under the
+/// index writer lock, so their order matches the index exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Snapshot header: live-WAL records with `seq <= watermark` are
+    /// already folded into the snapshot that starts with this record.
+    Watermark {
+        /// Highest sequence number the snapshot covers.
+        seq: u64,
+    },
+    /// A persistent (`clean_session = false`) session was created.
+    SessionCreate {
+        /// Owning client id.
+        client: String,
+    },
+    /// A session was destroyed (clean reconnect or clean disconnect).
+    SessionDestroy {
+        /// Owning client id.
+        client: String,
+    },
+    /// A subscription was added or its granted QoS replaced.
+    Subscribe {
+        /// Owning client id.
+        client: String,
+        /// Subscribed filter.
+        filter: TopicFilter,
+        /// Granted QoS.
+        qos: QoS,
+    },
+    /// A subscription was removed.
+    Unsubscribe {
+        /// Owning client id.
+        client: String,
+        /// Removed filter.
+        filter: TopicFilter,
+    },
+    /// A message was queued for an offline session.
+    Enqueue {
+        /// Owning client id.
+        client: String,
+        /// Message topic.
+        topic: TopicName,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// The offline queue was drained for replay on reconnect.
+    QueueDrained {
+        /// Owning client id.
+        client: String,
+    },
+    /// An outbound QoS>0 message entered the inflight window.
+    InflightInsert {
+        /// Owning client id.
+        client: String,
+        /// Packet id the delivery was stamped with.
+        id: PacketId,
+        /// Message topic.
+        topic: TopicName,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Retain flag on the (re)transmission.
+        retain: bool,
+        /// QoS 2 state: PUBREC received, PUBREL sent.
+        released: bool,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// PUBREC received for an inflight QoS 2 message.
+    InflightRelease {
+        /// Owning client id.
+        client: String,
+        /// Packet id.
+        id: PacketId,
+    },
+    /// An inflight message was acknowledged (PUBACK / PUBCOMP).
+    InflightRemove {
+        /// Owning client id.
+        client: String,
+        /// Packet id.
+        id: PacketId,
+    },
+    /// An inbound QoS 2 packet id entered the dedupe set.
+    InboundQos2Insert {
+        /// Owning client id.
+        client: String,
+        /// Packet id.
+        id: PacketId,
+    },
+    /// PUBREL received: the inbound QoS 2 id left the dedupe set.
+    InboundQos2Remove {
+        /// Owning client id.
+        client: String,
+        /// Packet id.
+        id: PacketId,
+    },
+    /// A connection registered a last-will message.
+    WillSet {
+        /// Owning client id.
+        client: String,
+        /// Registered will.
+        will: LastWill,
+    },
+    /// The will was discharged (graceful disconnect, or it fired).
+    WillClear {
+        /// Owning client id.
+        client: String,
+    },
+    /// A retained message was stored (empty payload clears the topic).
+    RetainedSet {
+        /// Retained topic.
+        topic: TopicName,
+        /// QoS the message was published with.
+        qos: QoS,
+        /// Retained payload (empty = clear).
+        payload: Bytes,
+    },
+}
+
+impl WalRecord {
+    /// The client id a session-scoped record belongs to, if any.
+    pub fn client(&self) -> Option<&str> {
+        match self {
+            WalRecord::SessionCreate { client }
+            | WalRecord::SessionDestroy { client }
+            | WalRecord::Subscribe { client, .. }
+            | WalRecord::Unsubscribe { client, .. }
+            | WalRecord::Enqueue { client, .. }
+            | WalRecord::QueueDrained { client }
+            | WalRecord::InflightInsert { client, .. }
+            | WalRecord::InflightRelease { client, .. }
+            | WalRecord::InflightRemove { client, .. }
+            | WalRecord::InboundQos2Insert { client, .. }
+            | WalRecord::InboundQos2Remove { client, .. }
+            | WalRecord::WillSet { client, .. }
+            | WalRecord::WillClear { client } => Some(client),
+            WalRecord::Watermark { .. } | WalRecord::RetainedSet { .. } => None,
+        }
+    }
+}
+
+fn put_str(s: &str, buf: &mut BytesMut) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_bytes(b: &[u8], buf: &mut BytesMut) {
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+/// Encodes the record payload (`[seq][kind][body]`) without framing.
+fn encode_payload(seq: u64, rec: &WalRecord, buf: &mut BytesMut) {
+    buf.put_u64(seq);
+    match rec {
+        WalRecord::Watermark { seq } => {
+            buf.put_u8(K_WATERMARK);
+            buf.put_u64(*seq);
+        }
+        WalRecord::SessionCreate { client } => {
+            buf.put_u8(K_SESSION_CREATE);
+            put_str(client, buf);
+        }
+        WalRecord::SessionDestroy { client } => {
+            buf.put_u8(K_SESSION_DESTROY);
+            put_str(client, buf);
+        }
+        WalRecord::Subscribe {
+            client,
+            filter,
+            qos,
+        } => {
+            buf.put_u8(K_SUBSCRIBE);
+            put_str(client, buf);
+            put_str(filter.as_str(), buf);
+            buf.put_u8(*qos as u8);
+        }
+        WalRecord::Unsubscribe { client, filter } => {
+            buf.put_u8(K_UNSUBSCRIBE);
+            put_str(client, buf);
+            put_str(filter.as_str(), buf);
+        }
+        WalRecord::Enqueue {
+            client,
+            topic,
+            qos,
+            payload,
+        } => {
+            buf.put_u8(K_ENQUEUE);
+            put_str(client, buf);
+            put_str(topic.as_str(), buf);
+            buf.put_u8(*qos as u8);
+            put_bytes(payload, buf);
+        }
+        WalRecord::QueueDrained { client } => {
+            buf.put_u8(K_QUEUE_DRAINED);
+            put_str(client, buf);
+        }
+        WalRecord::InflightInsert {
+            client,
+            id,
+            topic,
+            qos,
+            retain,
+            released,
+            payload,
+        } => {
+            buf.put_u8(K_INFLIGHT_INSERT);
+            put_str(client, buf);
+            buf.put_u16(*id);
+            put_str(topic.as_str(), buf);
+            buf.put_u8(*qos as u8);
+            buf.put_u8(u8::from(*retain) | (u8::from(*released) << 1));
+            put_bytes(payload, buf);
+        }
+        WalRecord::InflightRelease { client, id } => {
+            buf.put_u8(K_INFLIGHT_RELEASE);
+            put_str(client, buf);
+            buf.put_u16(*id);
+        }
+        WalRecord::InflightRemove { client, id } => {
+            buf.put_u8(K_INFLIGHT_REMOVE);
+            put_str(client, buf);
+            buf.put_u16(*id);
+        }
+        WalRecord::InboundQos2Insert { client, id } => {
+            buf.put_u8(K_INBOUND_QOS2_INSERT);
+            put_str(client, buf);
+            buf.put_u16(*id);
+        }
+        WalRecord::InboundQos2Remove { client, id } => {
+            buf.put_u8(K_INBOUND_QOS2_REMOVE);
+            put_str(client, buf);
+            buf.put_u16(*id);
+        }
+        WalRecord::WillSet { client, will } => {
+            buf.put_u8(K_WILL_SET);
+            put_str(client, buf);
+            put_str(will.topic.as_str(), buf);
+            buf.put_u8(will.qos as u8);
+            buf.put_u8(u8::from(will.retain));
+            put_bytes(&will.payload, buf);
+        }
+        WalRecord::WillClear { client } => {
+            buf.put_u8(K_WILL_CLEAR);
+            put_str(client, buf);
+        }
+        WalRecord::RetainedSet {
+            topic,
+            qos,
+            payload,
+        } => {
+            buf.put_u8(K_RETAINED_SET);
+            put_str(topic.as_str(), buf);
+            buf.put_u8(*qos as u8);
+            put_bytes(payload, buf);
+        }
+    }
+}
+
+/// Encodes one framed record (`[len][crc][payload]`) into `buf`.
+pub fn encode_frame(seq: u64, rec: &WalRecord, buf: &mut BytesMut) {
+    let mut payload = BytesMut::with_capacity(64);
+    encode_payload(seq, rec, &mut payload);
+    buf.put_u32(payload.len() as u32);
+    buf.put_u32(crc32(&payload));
+    buf.put_slice(&payload);
+}
+
+/// Byte cursor for record bodies; every read is bounds-checked so a
+/// malformed body terminates decoding instead of panicking.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+
+    fn bytes(&mut self) -> Option<Bytes> {
+        let len = self.u32()? as usize;
+        self.take(len).map(|b| Bytes::from(b.to_vec()))
+    }
+
+    fn qos(&mut self) -> Option<QoS> {
+        QoS::from_u8(self.u8()?)
+    }
+
+    fn topic(&mut self) -> Option<TopicName> {
+        TopicName::new(self.str()?).ok()
+    }
+
+    fn filter(&mut self) -> Option<TopicFilter> {
+        TopicFilter::new(self.str()?).ok()
+    }
+}
+
+/// Decodes one record payload; `None` on any malformation.
+fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
+    let mut c = Cursor {
+        data: payload,
+        pos: 0,
+    };
+    let seq = c.u64()?;
+    let kind = c.u8()?;
+    let rec = match kind {
+        K_WATERMARK => WalRecord::Watermark { seq: c.u64()? },
+        K_SESSION_CREATE => WalRecord::SessionCreate { client: c.str()? },
+        K_SESSION_DESTROY => WalRecord::SessionDestroy { client: c.str()? },
+        K_SUBSCRIBE => WalRecord::Subscribe {
+            client: c.str()?,
+            filter: c.filter()?,
+            qos: c.qos()?,
+        },
+        K_UNSUBSCRIBE => WalRecord::Unsubscribe {
+            client: c.str()?,
+            filter: c.filter()?,
+        },
+        K_ENQUEUE => WalRecord::Enqueue {
+            client: c.str()?,
+            topic: c.topic()?,
+            qos: c.qos()?,
+            payload: c.bytes()?,
+        },
+        K_QUEUE_DRAINED => WalRecord::QueueDrained { client: c.str()? },
+        K_INFLIGHT_INSERT => {
+            let client = c.str()?;
+            let id = c.u16()?;
+            let topic = c.topic()?;
+            let qos = c.qos()?;
+            let flags = c.u8()?;
+            WalRecord::InflightInsert {
+                client,
+                id,
+                topic,
+                qos,
+                retain: flags & 1 != 0,
+                released: flags & 2 != 0,
+                payload: c.bytes()?,
+            }
+        }
+        K_INFLIGHT_RELEASE => WalRecord::InflightRelease {
+            client: c.str()?,
+            id: c.u16()?,
+        },
+        K_INFLIGHT_REMOVE => WalRecord::InflightRemove {
+            client: c.str()?,
+            id: c.u16()?,
+        },
+        K_INBOUND_QOS2_INSERT => WalRecord::InboundQos2Insert {
+            client: c.str()?,
+            id: c.u16()?,
+        },
+        K_INBOUND_QOS2_REMOVE => WalRecord::InboundQos2Remove {
+            client: c.str()?,
+            id: c.u16()?,
+        },
+        K_WILL_SET => {
+            let client = c.str()?;
+            let topic = c.topic()?;
+            let qos = c.qos()?;
+            let retain = c.u8()? != 0;
+            let payload = c.bytes()?;
+            WalRecord::WillSet {
+                client,
+                will: LastWill {
+                    topic,
+                    payload,
+                    qos,
+                    retain,
+                },
+            }
+        }
+        K_WILL_CLEAR => WalRecord::WillClear { client: c.str()? },
+        K_RETAINED_SET => WalRecord::RetainedSet {
+            topic: c.topic()?,
+            qos: c.qos()?,
+            payload: c.bytes()?,
+        },
+        _ => return None,
+    };
+    Some((seq, rec))
+}
+
+/// Decodes every valid framed record from `data`, stopping at the first
+/// truncated or corrupted frame (the crash-recovery contract: a torn tail
+/// never invalidates the prefix).
+pub fn decode_frames(data: &[u8]) -> Vec<(u64, WalRecord)> {
+    let mut out = Vec::new();
+    let mut rest = data;
+    while rest.len() >= 8 {
+        let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let Some(frame_end) = len.checked_add(8) else {
+            break;
+        };
+        if frame_end > rest.len() {
+            break; // truncated tail
+        }
+        let payload = &rest[8..frame_end];
+        if crc32(payload) != crc {
+            break; // corrupted frame
+        }
+        let Some(rec) = decode_payload(payload) else {
+            break; // unknown kind / malformed body
+        };
+        out.push(rec);
+        rest = &rest[frame_end..];
+    }
+    out
+}
+
+/// Reads and decodes every valid record from a WAL file. A missing file
+/// is an empty log.
+pub fn read_wal(path: &Path) -> Vec<(u64, WalRecord)> {
+    match std::fs::read(path) {
+        Ok(data) => decode_frames(&data),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Append-only framed-record writer over one WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: std::fs::File,
+}
+
+impl WalWriter {
+    /// Creates (truncating) the WAL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<WalWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(WalWriter { file })
+    }
+
+    /// Appends one framed record and flushes it to the OS.
+    pub fn append(&mut self, seq: u64, rec: &WalRecord) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(64);
+        encode_frame(seq, rec, &mut buf);
+        self.file.write_all(&buf)?;
+        self.file.flush()
+    }
+
+    /// Discards every record (post-compaction truncation).
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::SessionCreate {
+                client: "alice".into(),
+            },
+            WalRecord::Subscribe {
+                client: "alice".into(),
+                filter: TopicFilter::new("a/+/b").unwrap(),
+                qos: QoS::AtLeastOnce,
+            },
+            WalRecord::Enqueue {
+                client: "alice".into(),
+                topic: TopicName::new("a/x/b").unwrap(),
+                qos: QoS::ExactlyOnce,
+                payload: Bytes::from_static(b"payload"),
+            },
+            WalRecord::InflightInsert {
+                client: "alice".into(),
+                id: 7,
+                topic: TopicName::new("t").unwrap(),
+                qos: QoS::ExactlyOnce,
+                retain: true,
+                released: true,
+                payload: Bytes::from_static(b"x"),
+            },
+            WalRecord::WillSet {
+                client: "bob".into(),
+                will: LastWill {
+                    topic: TopicName::new("wills/bob").unwrap(),
+                    payload: Bytes::from_static(b"gone"),
+                    qos: QoS::AtLeastOnce,
+                    retain: false,
+                },
+            },
+            WalRecord::RetainedSet {
+                topic: TopicName::new("cfg/x").unwrap(),
+                qos: QoS::AtMostOnce,
+                payload: Bytes::new(),
+            },
+            WalRecord::Watermark { seq: 42 },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let mut buf = BytesMut::new();
+        for (i, rec) in sample_records().iter().enumerate() {
+            encode_frame(i as u64, rec, &mut buf);
+        }
+        let decoded = decode_frames(&buf);
+        assert_eq!(decoded.len(), sample_records().len());
+        for ((seq, rec), (i, expect)) in decoded.iter().zip(sample_records().iter().enumerate()) {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(rec, expect);
+        }
+    }
+
+    #[test]
+    fn truncated_tail_keeps_prefix() {
+        let mut buf = BytesMut::new();
+        for (i, rec) in sample_records().iter().enumerate() {
+            encode_frame(i as u64, rec, &mut buf);
+        }
+        let full = decode_frames(&buf).len();
+        let cut = decode_frames(&buf[..buf.len() - 3]);
+        assert_eq!(cut.len(), full - 1, "only the torn last frame is lost");
+    }
+
+    #[test]
+    fn corrupt_frame_stops_decoding() {
+        let mut buf = BytesMut::new();
+        for (i, rec) in sample_records().iter().enumerate() {
+            encode_frame(i as u64, rec, &mut buf);
+        }
+        let mut data = buf.to_vec();
+        // Flip a byte inside the second frame's payload.
+        let first_len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize + 8;
+        data[first_len + 10] ^= 0xFF;
+        let decoded = decode_frames(&data);
+        assert_eq!(decoded.len(), 1, "decoding stops at the corrupt frame");
+        assert_eq!(decoded[0].1, sample_records()[0]);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" → 0xCBF43926 (the IEEE check value).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn writer_appends_and_resets() {
+        let dir = std::env::temp_dir().join(format!("sdflmq-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(1, &WalRecord::SessionCreate { client: "c".into() })
+            .unwrap();
+        w.append(2, &WalRecord::WillClear { client: "c".into() })
+            .unwrap();
+        assert_eq!(read_wal(&path).len(), 2);
+        w.reset().unwrap();
+        assert!(read_wal(&path).is_empty());
+        w.append(3, &WalRecord::QueueDrained { client: "c".into() })
+            .unwrap();
+        let recs = read_wal(&path);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -77,6 +77,12 @@ impl RetainedStore {
         self.messages.get(topic)
     }
 
+    /// Iterates over every retained (topic, message) pair, in no
+    /// particular order (the persistence layer sorts before serializing).
+    pub fn iter(&self) -> impl Iterator<Item = (&TopicName, &Retained)> {
+        self.messages.iter()
+    }
+
     /// Clears all retained state.
     pub fn clear(&mut self) {
         self.messages.clear();

@@ -43,6 +43,20 @@ pub struct BrokerCounters {
     /// delivery whose session lives on a different shard than the one
     /// that routed the publish). Always 0 with `shards = 1`.
     pub cross_shard_hops: AtomicU64,
+    /// Batched cross-shard `Deliver` events sent (each batch carries one
+    /// or more hops coalesced per target shard). Always 0 with one shard.
+    pub cross_shard_batches: AtomicU64,
+    /// Persistent sessions destroyed by a clean-session reconnect or a
+    /// clean disconnect.
+    pub sessions_cleaned: AtomicU64,
+    /// Records appended to the write-ahead log (0 with persistence off).
+    pub wal_records: AtomicU64,
+    /// Compacted snapshots written (0 with persistence off).
+    pub wal_snapshots: AtomicU64,
+    /// Sessions reconstructed from snapshot + WAL replay at startup.
+    pub recovered_sessions: AtomicU64,
+    /// Retained messages reconstructed from snapshot + WAL at startup.
+    pub recovered_retained: AtomicU64,
     /// Per-fault-rule hit counters, registered by the broker loop when a
     /// fault plan is installed (label → shared hit counter). The counters
     /// themselves live in the rules; this registry surfaces them through
@@ -98,6 +112,12 @@ impl BrokerCounters {
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
             bridge_in: self.bridge_in.load(Ordering::Relaxed),
             cross_shard_hops: self.cross_shard_hops.load(Ordering::Relaxed),
+            cross_shard_batches: self.cross_shard_batches.load(Ordering::Relaxed),
+            sessions_cleaned: self.sessions_cleaned.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
+            recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
+            recovered_retained: self.recovered_retained.load(Ordering::Relaxed),
             faults_injected: self
                 .fault_rules
                 .lock()
@@ -140,6 +160,18 @@ pub struct BrokerStatsSnapshot {
     pub bridge_in: u64,
     /// Deliveries that hopped between broker shards (0 with one shard).
     pub cross_shard_hops: u64,
+    /// Batched cross-shard `Deliver` events sent (0 with one shard).
+    pub cross_shard_batches: u64,
+    /// Persistent sessions destroyed by clean reconnect/disconnect.
+    pub sessions_cleaned: u64,
+    /// WAL records appended (0 with persistence off).
+    pub wal_records: u64,
+    /// Compacted snapshots written (0 with persistence off).
+    pub wal_snapshots: u64,
+    /// Sessions recovered from snapshot + WAL replay at startup.
+    pub recovered_sessions: u64,
+    /// Retained messages recovered from snapshot + WAL at startup.
+    pub recovered_retained: u64,
     /// Deliveries the fault-injection layer acted on (sum over all rules;
     /// 0 without a fault plan).
     pub faults_injected: u64,

@@ -16,18 +16,39 @@
 
 use crate::poll::wait_until;
 use crate::trace::{ClientOutcome, ScenarioTrace};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use sdflmq_core::optimizer::{OptimizerKind, RoleOptimizer, StaticOrder};
 use sdflmq_core::session::SessionState;
 use sdflmq_core::{
     ClientId, Coordinator, CoordinatorConfig, CoreError, ModelId, ParamServer, PreferredRole,
     SdflmqClient, SdflmqClientConfig, SessionId, TestClock, Topology, UpdateCodec, WaitOutcome,
 };
-use sdflmq_mqtt::{Broker, BrokerConfig, FaultHandle, FaultPlan};
+use sdflmq_mqtt::{Broker, BrokerConfig, Dialer, FaultHandle, FaultPlan, MqttError, Persistence};
 use sdflmq_mqttfc::BatchConfig;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The broker slot shared between the script and every node's redial
+/// closure. `None` while a [`ScenarioCtl::restart_broker`] has killed the
+/// old process-equivalent and not yet started the new one.
+type BrokerSlot = Arc<RwLock<Option<Broker>>>;
+
+/// Distinguishes persistence directories across scenario runs in one
+/// process (`assert_deterministic` executes every builder twice).
+static DURABLE_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A dialer that connects through the shared broker slot, failing fast
+/// (and letting the client back off and retry) while the slot is empty.
+fn slot_dialer(slot: &BrokerSlot) -> Dialer {
+    let slot = Arc::clone(slot);
+    Arc::new(move || match slot.read().as_ref() {
+        Some(broker) => broker.connect_transport(),
+        None => Err(MqttError::Disconnected),
+    })
+}
 
 /// How a scripted client behaves across rounds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +124,7 @@ pub struct ScenarioBuilder {
     optimizer_kind: Option<OptimizerKind>,
     shards: usize,
     wait_timeout: Duration,
+    durable: bool,
 }
 
 impl ScenarioBuilder {
@@ -130,6 +152,7 @@ impl ScenarioBuilder {
             optimizer_kind: None,
             shards: 1,
             wait_timeout: Duration::from_secs(60),
+            durable: false,
         }
     }
 
@@ -269,18 +292,46 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Durable mode: the broker persists WAL + snapshots to a unique
+    /// temporary directory (removed when the run ends), and every node —
+    /// coordinator, parameter server, clients — connects with a
+    /// persistent session plus a redial factory. This is the mode in
+    /// which [`ScenarioCtl::restart_broker`] may kill and resurrect the
+    /// broker mid-scenario.
+    pub fn durable(mut self) -> ScenarioBuilder {
+        self.durable = true;
+        self
+    }
+
     /// Stands the stack up, runs the federation with `script` driving
     /// virtual time and faults, joins every client, and assembles the
     /// trace. Panics (failing the test) if the fleet wedges.
     pub fn run<F: FnOnce(&mut ScenarioCtl)>(self, script: F) -> ScenarioTrace {
         assert!(!self.clients.is_empty(), "scenario needs clients");
         let clock = TestClock::new();
-        let broker = Broker::start(BrokerConfig {
+        // A unique persistence dir per *execution*, so the determinism
+        // gate's two runs never see each other's WAL.
+        let persist_dir: Option<PathBuf> = self.durable.then(|| {
+            std::env::temp_dir().join(format!(
+                "sdflmq-chaos-{}-{}-{}",
+                self.name,
+                std::process::id(),
+                DURABLE_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
+        let broker_config = BrokerConfig {
             name: format!("{}-broker", self.name),
             fault_plan: self.fault_plan.clone(),
             shards: self.shards,
+            persistence: match &persist_dir {
+                Some(dir) => Persistence::at(dir.clone()),
+                None => Persistence::disabled(),
+            },
             ..BrokerConfig::default()
-        });
+        };
+        let broker = Broker::start(broker_config.clone());
+        let slot: BrokerSlot = Arc::new(RwLock::new(None));
+        let dialer = || self.durable.then(|| slot_dialer(&slot));
         let coordinator = Coordinator::start(
             &broker,
             CoordinatorConfig {
@@ -298,11 +349,13 @@ impl ScenarioBuilder {
                 // run; nothing should be GC'd under the test's feet.
                 terminal_linger: Duration::from_secs(86_400),
                 clock: clock.clone(),
+                dialer: dialer(),
                 ..CoordinatorConfig::default()
             },
         )
         .expect("start coordinator");
-        let _ps = ParamServer::start(&broker, BatchConfig::default()).expect("start param server");
+        let _ps = ParamServer::start_with_dialer(&broker, BatchConfig::default(), dialer())
+            .expect("start param server");
 
         let session = SessionId::new(self.name.clone()).expect("scenario name is a valid id");
         let model = ModelId::new("chaos").unwrap();
@@ -319,6 +372,7 @@ impl ScenarioBuilder {
                     update_codec: spec.codec,
                     system_seed: self.seed ^ i as u64,
                     clock: clock.clone(),
+                    dialer: dialer(),
                     ..SdflmqClientConfig::default()
                 },
             )
@@ -349,6 +403,9 @@ impl ScenarioBuilder {
             }
             connected.push(client);
         }
+        // Every node is connected; publish the broker into the slot the
+        // redial closures watch.
+        *slot.write() = Some(broker);
 
         // One thread per client, each returning its outcome record.
         let mut threads = Vec::new();
@@ -378,7 +435,11 @@ impl ScenarioBuilder {
         let mut ctl = ScenarioCtl {
             clock: clock.clone(),
             coordinator: &coordinator,
-            broker: &broker,
+            broker: Arc::clone(&slot),
+            broker_config,
+            // Coordinator + parameter server + every fleet client.
+            expected_connections: fleet as u64 + 2,
+            durable: self.durable,
             session: session.clone(),
             handles: plan_handles.clone(),
             gates,
@@ -435,7 +496,11 @@ impl ScenarioBuilder {
             })
             .collect();
 
-        let stats = broker.stats();
+        let stats = slot
+            .read()
+            .as_ref()
+            .expect("broker present at scenario end")
+            .stats();
         let mut observability = vec![
             ("publishes_in".to_owned(), stats.publishes_in),
             ("publishes_out".to_owned(), stats.publishes_out),
@@ -466,6 +531,12 @@ impl ScenarioBuilder {
         let dir =
             std::env::var("SDFLMQ_CHAOS_TRACE_DIR").unwrap_or_else(|_| "target/chaos".to_owned());
         trace.write_artifact(std::path::Path::new(&dir));
+        // Shut the broker down before deleting its persistence dir so no
+        // shard thread appends to a removed WAL.
+        drop(slot.write().take());
+        if let Some(dir) = persist_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         trace
     }
 }
@@ -476,7 +547,10 @@ impl ScenarioBuilder {
 pub struct ScenarioCtl<'a> {
     clock: Arc<TestClock>,
     coordinator: &'a Coordinator,
-    broker: &'a Broker,
+    broker: BrokerSlot,
+    broker_config: BrokerConfig,
+    expected_connections: u64,
+    durable: bool,
     session: SessionId,
     handles: Vec<FaultHandle>,
     gates: HashMap<String, Arc<RoundRelease>>,
@@ -521,7 +595,47 @@ impl ScenarioCtl<'_> {
     /// Releases every delivery buffered by the `Hold` rule with `label`.
     pub fn release_held(&mut self, label: &str) {
         self.events.push(format!("release:{label}"));
-        self.broker.release_held(label);
+        if let Some(broker) = self.broker.read().as_ref() {
+            broker.release_held(label);
+        }
+    }
+
+    /// Kills the broker process-equivalent and starts a fresh one over
+    /// the same persistence directory, then waits (real time, bounded)
+    /// for the whole fleet to redial. Only valid in
+    /// [`ScenarioBuilder::durable`] mode — without persistence and
+    /// redialing clients the fleet could never resume.
+    ///
+    /// What survives: WAL-persisted broker state (sessions, retained,
+    /// QoS windows, offline queues) and the fault plan's rule state (hit
+    /// counts, activation flags — they live in the plan the config
+    /// clones). What dies with the process: in-flight deliveries and any
+    /// messages a `Hold` rule had stashed, exactly like a real crash.
+    pub fn restart_broker(&mut self) {
+        assert!(
+            self.durable,
+            "restart_broker requires ScenarioBuilder::durable()"
+        );
+        self.events.push("restart-broker".to_owned());
+        // Take the broker out of the slot first: redials that race the
+        // restart see "unavailable" instead of dialing the dying broker.
+        let old = self.broker.write().take();
+        drop(old); // joins shard threads; all WAL appends are on disk
+        let fresh = Broker::start(self.broker_config.clone());
+        *self.broker.write() = Some(fresh);
+        let expected = self.expected_connections;
+        let reconnected = wait_until(self.wait_timeout, || {
+            self.broker
+                .read()
+                .as_ref()
+                .map(|b| b.stats().connections_current >= expected)
+                .unwrap_or(false)
+        });
+        assert!(
+            reconnected,
+            "fleet did not reconnect after broker restart ({} expected)",
+            expected
+        );
     }
 
     /// Unblocks a [`Behavior::Gated`] client's send for `round`.
@@ -618,14 +732,21 @@ impl ScenarioCtl<'_> {
     /// consecutive windows or the session went terminal. Returns whether
     /// the session is terminal.
     fn settle(&self) -> bool {
-        let mut last = self.broker.stats().publishes_out;
+        let publishes_out = || {
+            self.broker
+                .read()
+                .as_ref()
+                .map(|b| b.stats().publishes_out)
+                .unwrap_or(0)
+        };
+        let mut last = publishes_out();
         let mut quiet = 0;
         for _ in 0..100 {
             if self.is_terminal() {
                 return true;
             }
             std::thread::sleep(Duration::from_millis(40));
-            let now = self.broker.stats().publishes_out;
+            let now = publishes_out();
             if now == last {
                 quiet += 1;
                 if quiet >= 2 {

@@ -338,6 +338,62 @@ fn chaos_churn_soak_on_four_shards() {
     assert_churn_soak_outcomes(&trace);
 }
 
+/// The broker is killed and restarted **mid-round** on a durable
+/// (WAL + snapshot) configuration. One trainer's parameter blob is held
+/// hostage inside the broker by a fault rule and dies with the process —
+/// exactly the kind of in-flight loss a real crash inflicts, stalling
+/// round-1 aggregation. The fleet redials, resumes its persistent
+/// sessions from recovered broker state, the round-1 deadline blows, and
+/// the PR-2 resync machinery (re-announce + idempotent re-send) rebuilds
+/// the aggregation and completes every round bit-exactly. Run twice with
+/// identical trace hashes: recovery is deterministic.
+#[test]
+fn chaos_broker_restart_mid_round_recovers_and_completes() {
+    let seed = base_seed(42) ^ 0x08;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::hold("doomed-blob")
+                .on_topic("sdflmq/session/chaos-broker-restart/role/root")
+                .from_client("c02")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-broker-restart", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(2)
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(4)
+            .durable()
+            .faults(plan)
+            .hash_rule("doomed-blob")
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                // All three contribution pings arrive, but c02's blob is
+                // stashed by the hold rule: aggregation is stuck at 2/3.
+                ctl.wait_for("all-pinged", |c| c.contributed() == ["c00", "c01", "c02"]);
+                ctl.wait_for("blob-held", |c| c.fault_hits("doomed-blob") == 1);
+                // Kill the broker. The held blob is gone forever (hold
+                // stashes die with the process); sessions, subscriptions,
+                // and QoS state come back from WAL + snapshot.
+                ctl.restart_broker();
+                assert_eq!(ctl.round(), Some(1), "coordinator memory survives");
+                assert_eq!(
+                    ctl.contributed(),
+                    ["c00", "c01", "c02"],
+                    "liveness pings survive in-process"
+                );
+                // Blow the round-1 deadline: the resync re-announces the
+                // round over the recovered broker, every trainer re-sends
+                // its stored contribution (the fault window is exhausted,
+                // so c02's re-send passes), and the rounds run out.
+                ctl.advance(Duration::from_secs(31));
+                ctl.drive_to_completion(Duration::from_secs(10));
+            })
+    });
+    assert_all_completed(&trace, 2, 2.0); // mean of 1,2,3 — bit-exact
+    assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
+    assert_eq!(trace.rule_hits, [("doomed-blob".to_owned(), 1)]);
+}
+
 /// Regression for nondeterministic fan-out order: a count-window fault
 /// rule on a *broadcast* topic acts on whichever subscriber is delivered
 /// first. Before fan-out was sorted, `route()` iterated a `HashMap`, so
