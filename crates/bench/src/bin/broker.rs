@@ -26,6 +26,12 @@
 //! * `recovery` — durable-broker restart cost: seed 1k/10k retained
 //!   topics, time a full WAL replay, then compact and time the snapshot
 //!   replay, recording both on-disk footprints.
+//! * `connections` — reactor scalability on the *socket* axis: 1k/10k
+//!   real TCP clients connect, subscribe, sit idle, then all receive a
+//!   round's model broadcast. Records the broker-side thread count at
+//!   10k connections and asserts it stays O(shards) — the property the
+//!   readiness-driven reactor buys over thread-per-connection (the old
+//!   design would need 10k reader threads here).
 //!
 //! ```text
 //! cargo run --release -p sdflmq-bench --bin broker [-- --smoke]
@@ -201,6 +207,58 @@ fn bench_fanout(shards: usize, fanout: usize, msgs_per_pub: usize) -> FanoutCell
     }
 }
 
+/// Unsaturated fan-out completion probe: one publisher, `fanout`
+/// subscribers, one message in flight at a time. Measures publish →
+/// last-delivery wall time per round and returns the p50 in
+/// microseconds.
+///
+/// This is the latency cross-shard batching protects: each publish
+/// costs at most one coalesced `Deliver` batch + one wake per shard, so
+/// the 8-shard probe must stay near the single-shard reference even on
+/// one core (a per-message hop design pays ~`fanout` channel sends and
+/// wakes instead). The saturated matrix above cannot gate this — under
+/// full blast with `fanout` drain threads on one core, p50 is
+/// scheduler queueing, not routing cost.
+fn bench_fanout_latency(shards: usize, fanout: usize, rounds: usize) -> f64 {
+    let broker = broker_with(shards);
+    let subs: Vec<LinkEnd> = (0..fanout)
+        .map(|i| {
+            let link = connect(&broker, &format!("lat-sub-{i}"), None);
+            subscribe(&link, "lat/all", QoS::AtMostOnce);
+            link
+        })
+        .collect();
+    let publ = connect(&broker, "lat-pub", None);
+    let frame = codec::encode(&Packet::Publish(Publish {
+        dup: false,
+        qos: QoS::AtMostOnce,
+        retain: false,
+        topic: TopicName::new("lat/all").unwrap(),
+        packet_id: None,
+        payload: Bytes::from_static(b"latency-probe"),
+    }))
+    .unwrap();
+
+    let mut samples = Vec::with_capacity(rounds);
+    // Three warmup rounds prime snapshots and allocators before sampling.
+    for round in 0..rounds + 3 {
+        let t = Instant::now();
+        publ.send_frame(frame.clone()).unwrap();
+        for s in &subs {
+            match s.recv_packet_timeout(Duration::from_secs(30)).unwrap() {
+                Packet::Publish(_) => {}
+                other => panic!("expected publish, got {other:?}"),
+            }
+        }
+        if round >= 3 {
+            samples.push(t.elapsed().as_secs_f64() * 1_000_000.0);
+        }
+    }
+    drop(broker);
+    samples.sort_by(f64::total_cmp);
+    samples[(samples.len() - 1) / 2]
+}
+
 /// Flow-controlled fan-out: one throttled, window-bounded subscriber per
 /// partition. A full window blocks the delivering shard; with one shard
 /// that stall holds every partition hostage (head-of-line blocking),
@@ -301,6 +359,295 @@ fn bench_retained(shards: usize, ops_per_pub: usize) -> f64 {
     (PARTITIONS * ops_per_pub) as f64 / wall
 }
 
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Raises the open-fd limit toward `want` (each TCP client in this
+/// single-process bench costs two descriptors: the client socket and the
+/// broker's accepted end). With `CAP_SYS_RESOURCE` the hard limit itself
+/// is raised; otherwise the soft limit is pushed to the hard ceiling.
+/// Returns the resulting soft limit.
+fn raise_nofile(want: u64) -> u64 {
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur >= want {
+            return lim.cur;
+        }
+        let raised = RLimit {
+            cur: want,
+            max: want.max(lim.max),
+        };
+        if setrlimit(RLIMIT_NOFILE, &raised) == 0 {
+            return want;
+        }
+        let clamped = RLimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if setrlimit(RLIMIT_NOFILE, &clamped) == 0 {
+            lim.max
+        } else {
+            lim.cur
+        }
+    }
+}
+
+/// Counts live threads of this process whose name starts with `prefix`
+/// (via `/proc/self/task`; comm truncates at 15 bytes, so broker names in
+/// the connection bench are kept short).
+fn broker_threads(prefix: &str) -> usize {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| std::fs::read_to_string(e.path().join("comm")).ok())
+        .filter(|comm| comm.trim_end().starts_with(prefix))
+        .count()
+}
+
+struct ConnCell {
+    shards: usize,
+    connections: usize,
+    broker_threads: usize,
+    connect_ms: f64,
+    round_ms: f64,
+    round_msgs_per_s: f64,
+}
+
+/// Reads one complete MQTT packet from a blocking socket, buffering
+/// partial frames in `buf`.
+fn read_tcp_packet(stream: &mut std::net::TcpStream, buf: &mut Vec<u8>) -> Packet {
+    use std::io::Read;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Ok(Some(len)) = codec::frame_length(buf) {
+            if buf.len() >= len {
+                let frame: Vec<u8> = buf.drain(..len).collect();
+                let (packet, _) = codec::decode(&Bytes::from(frame)).expect("valid frame");
+                return packet;
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read from broker");
+        assert!(n > 0, "broker closed connection mid-handshake");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Client-side driver for the connection bench, run as a **child
+/// process** so the broker process carries only its own accepted sockets
+/// (one process cannot hold both ends of 10k connections under a 20k fd
+/// ceiling). Protocol on stdio: connect + subscribe everything, print
+/// `READY <connect_ms>`, wait for `GO`, then read the round broadcast on
+/// every socket (decoding frames, not counting bytes) and print `DONE`.
+fn conn_driver(addr: std::net::SocketAddr, conns: usize) -> ! {
+    use std::io::{BufRead, Read, Write};
+    raise_nofile(65_536);
+
+    let hello = |id: &str| {
+        let mut wire = codec::encode(&Packet::Connect(Connect {
+            client_id: id.to_owned(),
+            clean_session: true,
+            keep_alive: 0,
+            will: None,
+        }))
+        .unwrap()
+        .to_vec();
+        wire.extend_from_slice(
+            &codec::encode(&Packet::Subscribe(Subscribe {
+                packet_id: 1,
+                filters: vec![(TopicFilter::new("round/model").unwrap(), QoS::AtMostOnce)],
+            }))
+            .unwrap(),
+        );
+        wire
+    };
+
+    // CONNECT + SUBSCRIBE pipelined into a single round trip per client.
+    let t0 = Instant::now();
+    let mut socks: Vec<(std::net::TcpStream, Vec<u8>)> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        s.write_all(&hello(&format!("conn-{i}"))).unwrap();
+        let mut buf = Vec::new();
+        match read_tcp_packet(&mut s, &mut buf) {
+            Packet::Connack(Connack { code, .. }) => assert_eq!(code as u8, 0),
+            other => panic!("expected connack, got {other:?}"),
+        }
+        match read_tcp_packet(&mut s, &mut buf) {
+            Packet::Suback(_) => {}
+            other => panic!("expected suback, got {other:?}"),
+        }
+        socks.push((s, buf));
+    }
+    let connect_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    println!("READY {connect_ms}");
+    std::io::stdout().flush().unwrap();
+
+    let mut line = String::new();
+    std::io::stdin().lock().read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "GO", "unexpected driver command");
+
+    for (s, _) in &socks {
+        s.set_nonblocking(true).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut got = vec![false; conns];
+    let mut remaining = conns;
+    let mut chunk = [0u8; 16384];
+    while remaining > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "round broadcast incomplete: {remaining}/{conns} still waiting"
+        );
+        let mut progressed = false;
+        for (i, (s, buf)) in socks.iter_mut().enumerate() {
+            if got[i] {
+                continue;
+            }
+            match s.read(&mut chunk) {
+                Ok(0) => panic!("broker closed connection {i} mid-round"),
+                Ok(n) => {
+                    progressed = true;
+                    buf.extend_from_slice(&chunk[..n]);
+                    while let Ok(Some(len)) = codec::frame_length(buf) {
+                        if buf.len() < len {
+                            break;
+                        }
+                        let frame: Vec<u8> = buf.drain(..len).collect();
+                        let (packet, _) = codec::decode(&Bytes::from(frame)).expect("valid frame");
+                        if let Packet::Publish(p) = packet {
+                            assert_eq!(p.payload.len(), 1024);
+                            got[i] = true;
+                            remaining -= 1;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => panic!("read error on connection {i}: {e}"),
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    println!("DONE");
+    std::io::stdout().flush().unwrap();
+    std::process::exit(0);
+}
+
+/// Connection-count axis over **real TCP**: `conns` clients (held by a
+/// child process, see [`conn_driver`]) connect and subscribe to the round
+/// topic, sit idle while the broker-side thread count is sampled, then a
+/// publisher broadcasts one 1 KiB model update that every client must
+/// receive and decode. The thread count is the headline: it must not grow
+/// with `conns`.
+fn bench_connections(shards: usize, conns: usize) -> ConnCell {
+    use std::io::{BufRead, BufReader, Write};
+    // Short + unique: /proc comm truncates thread names at 15 bytes.
+    let name = format!("cx{shards}n{}", conns / 1000);
+    let broker = Broker::start(BrokerConfig {
+        name: name.clone(),
+        shards,
+        ..BrokerConfig::default()
+    });
+    let addr = broker.listen("127.0.0.1:0").unwrap();
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--conn-driver")
+        .arg(addr.to_string())
+        .arg(conns.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn connection driver");
+    let mut child_in = child.stdin.take().unwrap();
+    let mut child_out = BufReader::new(child.stdout.take().unwrap());
+
+    let mut ready = String::new();
+    child_out.read_line(&mut ready).unwrap();
+    let connect_ms: f64 = ready
+        .trim()
+        .strip_prefix("READY ")
+        .expect("driver READY line")
+        .parse()
+        .unwrap();
+
+    // Idle phase: every client connected and subscribed, nothing moving.
+    std::thread::sleep(Duration::from_millis(300));
+    let threads = broker_threads(&name);
+    assert_eq!(broker.stats().connections_current, conns as u64);
+
+    // Round broadcast: one publisher, one 1 KiB update, `conns` receivers.
+    let mut publisher = std::net::TcpStream::connect(addr).unwrap();
+    publisher.set_nodelay(true).unwrap();
+    publisher
+        .write_all(
+            &codec::encode(&Packet::Connect(Connect {
+                client_id: "round-pub".to_owned(),
+                clean_session: true,
+                keep_alive: 0,
+                will: None,
+            }))
+            .unwrap(),
+        )
+        .unwrap();
+    let mut pub_buf = Vec::new();
+    match read_tcp_packet(&mut publisher, &mut pub_buf) {
+        Packet::Connack(_) => {}
+        other => panic!("expected connack, got {other:?}"),
+    }
+
+    let t1 = Instant::now();
+    child_in.write_all(b"GO\n").unwrap();
+    child_in.flush().unwrap();
+    publisher
+        .write_all(
+            &codec::encode(&Packet::Publish(Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicName::new("round/model").unwrap(),
+                packet_id: None,
+                payload: Bytes::from(vec![0x5au8; 1024]),
+            }))
+            .unwrap(),
+        )
+        .unwrap();
+    let mut done = String::new();
+    child_out.read_line(&mut done).unwrap();
+    assert_eq!(done.trim(), "DONE", "driver failed mid-round");
+    let round_s = t1.elapsed().as_secs_f64();
+
+    child.wait().unwrap();
+    drop(publisher);
+    broker.shutdown();
+    ConnCell {
+        shards,
+        connections: conns,
+        broker_threads: threads,
+        connect_ms,
+        round_ms: round_s * 1_000.0,
+        round_msgs_per_s: conns as f64 / round_s,
+    }
+}
+
 struct RecoveryCell {
     topics: usize,
     wal_bytes: u64,
@@ -398,6 +745,12 @@ fn bench_recovery(topics: usize) -> RecoveryCell {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--conn-driver") {
+        let addr = argv[i + 1].parse().expect("driver addr");
+        let conns = argv[i + 2].parse().expect("driver conn count");
+        conn_driver(addr, conns);
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let shard_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
     let fanouts: &[usize] = if smoke {
@@ -477,6 +830,45 @@ fn main() {
         recovery.push(cell);
     }
 
+    // --- Connection scaling (real TCP reactor) ---------------------------
+    let nofile = raise_nofile(65_536);
+    // Clients live in a child process, so each side holds one fd per
+    // connection; leave headroom for everything else in the process.
+    let fd_budget = nofile.saturating_sub(512) as usize;
+    let conn_counts: &[usize] = if smoke {
+        &[200, 1_000]
+    } else {
+        &[1_000, 10_000]
+    };
+    const CONN_SHARDS: usize = 4;
+    println!("\nconnection scaling (real TCP, {CONN_SHARDS} shards, fd limit {nofile}):");
+    println!(" conns  threads  connect-ms  round-ms  deliveries/s");
+    let mut conn_cells = Vec::new();
+    for &want in conn_counts {
+        let conns = want.min(fd_budget);
+        if conns < want {
+            println!("(fd budget clamps {want} -> {conns})");
+        }
+        let cell = bench_connections(CONN_SHARDS, conns);
+        println!(
+            "{:>6}  {:>7}  {:>10.0}  {:>8.1}  {:>12.0}",
+            cell.connections,
+            cell.broker_threads,
+            cell.connect_ms,
+            cell.round_ms,
+            cell.round_msgs_per_s
+        );
+        assert!(
+            cell.broker_threads <= CONN_SHARDS + 4,
+            "broker-side threads must stay O(shards): {} threads at {} \
+             connections exceeds shards + 4 = {}",
+            cell.broker_threads,
+            cell.connections,
+            CONN_SHARDS + 4
+        );
+        conn_cells.push(cell);
+    }
+
     // --- Aggregate + acceptance gates ------------------------------------
     let rate_at =
         |v: &[(usize, f64)], s: usize| v.iter().find(|(n, _)| *n == s).map(|(_, r)| *r).unwrap();
@@ -498,6 +890,29 @@ fn main() {
         hol_speedup >= 2.0,
         "sharded stall isolation must deliver >= 2x aggregate fan-out \
          throughput at 4 shards vs 1 (got {hol_speedup:.2}x)"
+    );
+
+    // Batched cross-shard delivery gate: one coalesced Deliver batch per
+    // target shard per mailbox burst must keep wide-fanout completion
+    // latency at the max shard count within 1.5x of the single-shard
+    // reference (per-message hops would pay ~fanout channel sends and
+    // wakes per publish and blow far past this on one core).
+    let probe_fanout = if smoke { 200 } else { 1_000 };
+    let probe_rounds = if smoke { 20 } else { 50 };
+    let max_shards = *shard_counts.last().unwrap();
+    let probe_p1 = bench_fanout_latency(1, probe_fanout, probe_rounds);
+    let probe_pn = bench_fanout_latency(max_shards, probe_fanout, probe_rounds);
+    println!(
+        "cross-shard batching probe: fanout-{probe_fanout} completion p50 \
+         {probe_p1:.0}us at 1 shard, {probe_pn:.0}us at {max_shards} shards \
+         ({:.2}x)",
+        probe_pn / probe_p1
+    );
+    assert!(
+        probe_pn <= probe_p1 * 1.5,
+        "batched cross-shard delivery must keep {max_shards}-shard \
+         fanout-{probe_fanout} completion p50 within 1.5x of 1 shard \
+         (got {probe_pn:.0}us vs {probe_p1:.0}us)"
     );
 
     let fanout_json: Vec<Json> = fanout_cells
@@ -541,6 +956,34 @@ fn main() {
                             ("wal_replay_ms", Json::num(c.wal_replay_ms)),
                             ("snapshot_bytes", Json::num(c.snapshot_bytes as f64)),
                             ("snapshot_replay_ms", Json::num(c.snapshot_replay_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fanout_latency_probe",
+            Json::object([
+                ("fanout".to_owned(), Json::num(probe_fanout as f64)),
+                ("p50_us_1_shard".to_owned(), Json::num(probe_p1)),
+                (format!("p50_us_{max_shards}_shards"), Json::num(probe_pn)),
+                ("ratio".to_owned(), Json::num(probe_pn / probe_p1)),
+            ]),
+        ),
+        ("open_fd_limit", Json::num(nofile as f64)),
+        (
+            "connection_scaling",
+            Json::Array(
+                conn_cells
+                    .iter()
+                    .map(|c| {
+                        Json::object([
+                            ("connections", Json::num(c.connections as f64)),
+                            ("shards", Json::num(c.shards as f64)),
+                            ("broker_threads", Json::num(c.broker_threads as f64)),
+                            ("connect_ms", Json::num(c.connect_ms)),
+                            ("round_broadcast_ms", Json::num(c.round_ms)),
+                            ("round_deliveries_per_s", Json::num(c.round_msgs_per_s)),
                         ])
                     })
                     .collect(),

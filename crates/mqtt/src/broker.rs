@@ -1,13 +1,17 @@
 //! The embedded MQTT broker: a sharded, snapshot-routed core.
 //!
 //! Architecture: the broker runs **N parallel shard event loops**
-//! ([`BrokerConfig::shards`]). Each accepted connection gets a lightweight
-//! reader thread that decodes frames off its link; the reader waits for the
-//! CONNECT packet, hashes the client id, and from then on forwards every
-//! packet to the one shard that owns that client. A shard therefore owns a
-//! disjoint partition of connections — their keep-alive deadlines, offline
-//! queues, and QoS 1/2 inflight windows — and two shards never share
-//! session state.
+//! ([`BrokerConfig::shards`]), each a readiness-driven reactor (see
+//! [`crate::reactor`]): one nonblocking poll loop per shard multiplexes
+//! every connection the shard owns — accept handoff, frame decode, CONNECT
+//! gating, keep-alive deadlines, fault-delay timers, and vectored TCP
+//! writes with per-connection write backpressure — so broker-side thread
+//! count is O(shards), never O(connections). A new connection parks on a
+//! provisional shard until its CONNECT arrives; the client id is hashed
+//! and the connection migrates to its owner shard. A shard therefore owns
+//! a disjoint partition of connections — their keep-alive deadlines,
+//! offline queues, and QoS 1/2 inflight windows — and two shards never
+//! share session state.
 //!
 //! Routing state (subscription trie, retained store, client route table)
 //! lives outside the shards in a [`crate::index::SharedIndex`]:
@@ -32,10 +36,19 @@
 //! chaos harness relies on: one thread performs every route, fault
 //! evaluation, and delivery in a fixed order.
 //!
-//! Keep-alive expiry is deadline-driven: each shard sleeps until its
-//! earliest keep-alive deadline (or forever when none is armed) instead of
-//! polling on a tick, so an idle broker parks completely and a stalled
-//! loop can never accumulate a backlog of tick events.
+//! Keep-alive expiry and fault-delay timers are deadline-driven: each
+//! shard parks in its poller until the earliest keep-alive deadline or
+//! timer-heap entry (or forever when none is armed) instead of polling on
+//! a tick, so an idle broker sleeps completely and a stalled loop can
+//! never accumulate a backlog of tick events.
+//!
+//! TCP connections ([`Broker::listen`]) are fully nonblocking: reads
+//! accumulate into a per-connection buffer until whole frames decode, and
+//! writes queue into a per-connection outbound buffer flushed with
+//! vectored writes when the socket is writable. A subscriber whose
+//! outbound queue exceeds the high-water mark
+//! ([`BrokerConfig::tcp_write_hwm`]) is evicted as a slow consumer — an
+//! ungraceful close, so its last will fires.
 //!
 //! Bridge connections (client ids beginning with [`BRIDGE_PREFIX`]) receive
 //! special treatment: messages they publish are never echoed back to them,
@@ -48,15 +61,24 @@ use crate::fault::{FaultPlan, FaultState, FaultVerdict, PendingDelivery};
 use crate::index::{ClientKey, RetainedDelta, RouteEntry, SharedIndex};
 use crate::packet::*;
 use crate::persist::{recovery, PersistStore, Persistence, WalRecord};
+use crate::reactor::{
+    waker, PollEvent, Poller, WakeHandle, WakeReceiver, WriteScheduler, WAKE_TOKEN,
+};
 use crate::session::{InflightOut, QueuedMessage, Session};
 use crate::stats::{BrokerCounters, BrokerStatsSnapshot};
 use crate::topic::TopicName;
-use crate::transport::{link, link_with_capacity, FrameSender, LinkEnd};
+use crate::transport::{
+    link, link_with_capacity, FrameReceiver, FrameSender, LinkEnd, TcpOutbound, TryRecv,
+};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -82,6 +104,10 @@ pub struct BrokerConfig {
     /// WAL + snapshot persistence (see [`crate::persist`]). The default,
     /// [`Persistence::disabled`], keeps the broker purely in-memory.
     pub persistence: Persistence,
+    /// Per-TCP-connection outbound buffer high-water mark in bytes. A
+    /// subscriber whose unflushed outbound queue exceeds this is evicted
+    /// as a slow consumer (ungraceful close: its last will fires).
+    pub tcp_write_hwm: usize,
 }
 
 impl Default for BrokerConfig {
@@ -93,6 +119,7 @@ impl Default for BrokerConfig {
             shards: 1,
             fault_plan: None,
             persistence: Persistence::disabled(),
+            tcp_write_hwm: 16 * 1024 * 1024,
         }
     }
 }
@@ -126,22 +153,52 @@ struct Delivery {
 }
 
 enum Event {
-    /// A reader thread saw a valid CONNECT and hands the connection to its
-    /// owner shard.
-    Register {
+    /// A fresh in-process link lands on its provisional home shard
+    /// (`conn % shards`), which gates it until the CONNECT arrives.
+    /// `target` is the shard index the link's incoming-frame hook reads;
+    /// the home shard retargets it when the connection migrates.
+    LinkAttach {
         conn: ConnId,
         sender: FrameSender,
-        connect: Connect,
+        receiver: FrameReceiver,
+        target: Arc<AtomicUsize>,
     },
-    Incoming(ConnId, Packet),
+    /// A link produced at least one frame (or hung up); the owning shard
+    /// drains one frame per notify.
+    LinkNotify(ConnId),
+    /// A gated link saw its CONNECT; the home shard hands the connection
+    /// to the owner shard (`rest` is any pipelined bytes after CONNECT).
+    LinkMigrate {
+        conn: ConnId,
+        sender: FrameSender,
+        receiver: FrameReceiver,
+        connect: Box<Connect>,
+        rest: Bytes,
+    },
+    /// The acceptor thread hands a fresh TCP socket to its provisional
+    /// home shard, which registers it with the poller and gates it.
+    TcpAccept {
+        conn: ConnId,
+        stream: TcpStream,
+    },
+    /// A gated TCP connection saw its CONNECT on the home shard and moves
+    /// to the owner shard with its read buffer and outbound queue intact.
+    TcpMigrate {
+        conn: ConnId,
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        out: Arc<TcpOutbound>,
+        connect: Box<Connect>,
+    },
     ConnClosed(ConnId),
+    /// A migrated link connection closed at its owner; the home shard
+    /// drops its forwarding entry.
+    ConnGone(ConnId),
     /// Cross-shard delivery hops, coalesced per target shard (the fault
     /// plan was already evaluated by the routing shard). A routing shard
     /// drains its mailbox, buffers every hop, and sends one batch per
     /// target shard per burst instead of one event per delivery.
     Deliver(Vec<Delivery>),
-    /// Replay a delivery the fault layer deferred (delayed message).
-    Inject(PendingDelivery),
     /// Release the deliveries a `Hold` fault rule buffered.
     ReleaseHeld(String),
     /// Force a compacted snapshot of this shard's persisted state; `ack`
@@ -152,14 +209,65 @@ enum Event {
     Shutdown,
 }
 
+/// Mailbox + reactor waker for one shard: sending an event also wakes the
+/// shard out of its poller so the mailbox is drained promptly.
+#[derive(Clone)]
+struct ShardHandle {
+    tx: Sender<Event>,
+    wake: WakeHandle,
+}
+
+impl ShardHandle {
+    fn send(&self, event: Event) -> bool {
+        if self.tx.send(event).is_err() {
+            return false;
+        }
+        self.wake.wake();
+        true
+    }
+}
+
+/// One armed fault-delay timer. Ordered by `(at, seq)` so simultaneous
+/// deadlines fire in arming order (chaos determinism).
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    delivery: PendingDelivery,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One TCP listener: its accept thread, bound address, and stop flag.
+struct ListenerState {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    handle: JoinHandle<()>,
+}
+
 /// A running broker. Dropping the handle shuts the broker down.
 pub struct Broker {
-    shard_txs: Vec<Sender<Event>>,
+    handles: Vec<ShardHandle>,
     counters: Arc<BrokerCounters>,
     index: Arc<SharedIndex>,
     name: String,
     next_conn: Arc<AtomicU64>,
     loop_handles: Vec<JoinHandle<()>>,
+    listeners: Mutex<Vec<ListenerState>>,
     persist: Option<Arc<PersistStore>>,
 }
 
@@ -167,7 +275,7 @@ impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Broker")
             .field("name", &self.name)
-            .field("shards", &self.shard_txs.len())
+            .field("shards", &self.handles.len())
             .finish()
     }
 }
@@ -257,15 +365,34 @@ impl Broker {
             }
         }
 
-        let channels: Vec<(Sender<Event>, Receiver<Event>)> =
-            (0..shards).map(|_| unbounded()).collect();
-        let shard_txs: Vec<Sender<Event>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        // Per-shard plumbing: mailbox + waker + poller + write scheduler.
+        let mut handles = Vec::with_capacity(shards);
+        let mut shard_ios = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded();
+            let (wake, wake_rx) = waker().expect("create shard waker");
+            let mut poller = Poller::new().expect("create shard poller");
+            poller
+                .add(wake_rx.fd(), WAKE_TOKEN, true, false)
+                .expect("register shard waker");
+            let write_sched = Arc::new(WriteScheduler::new(wake.clone()));
+            handles.push(ShardHandle { tx, wake });
+            shard_ios.push(ShardIo {
+                poller,
+                wake_rx,
+                write_sched,
+            });
+            rxs.push(rx);
+        }
 
         let mut loop_handles = Vec::with_capacity(shards);
         let mut shard_sessions = shard_sessions.into_iter();
         let mut shard_wills = shard_wills.into_iter();
-        for (shard, (_, rx)) in channels.into_iter().enumerate() {
-            let mut core = ShardCore::new(shard, &config, &counters, &index, shard_txs.clone());
+        let mut shard_ios = shard_ios.into_iter();
+        for (shard, rx) in rxs.into_iter().enumerate() {
+            let io = shard_ios.next().expect("one io bundle per shard");
+            let mut core = ShardCore::new(shard, &config, &counters, &index, handles.clone(), io);
             core.persist = persist.clone();
             core.sessions = shard_sessions.next().unwrap_or_default();
             core.pending_wills = shard_wills.next().unwrap_or_default();
@@ -278,12 +405,13 @@ impl Broker {
         }
 
         Broker {
-            shard_txs,
+            handles,
             counters,
             index,
             name,
             next_conn: Arc::new(AtomicU64::new(1)),
             loop_handles,
+            listeners: Mutex::new(Vec::new()),
             persist,
         }
     }
@@ -295,7 +423,7 @@ impl Broker {
 
     /// Number of event-loop shards.
     pub fn shards(&self) -> usize {
-        self.shard_txs.len()
+        self.handles.len()
     }
 
     /// Current generation of the routing-index snapshot (bumps on every
@@ -323,9 +451,9 @@ impl Broker {
         Ok(client_end)
     }
 
-    /// Spawns the per-connection reader thread. The reader owns the
-    /// connection until it sees a CONNECT, then registers it with the
-    /// owner shard and keeps forwarding decoded packets there. Fails with
+    /// Hands the broker side of an in-process link to its provisional
+    /// home shard — no thread is spawned; the link's incoming-frame hook
+    /// nudges whichever shard currently owns the connection. Fails with
     /// [`MqttError::BrokerUnavailable`] when any shard loop has exited
     /// (shutdown in progress or a crashed shard).
     fn attach(&self, end: LinkEnd) -> Result<()> {
@@ -335,13 +463,75 @@ impl Broker {
         let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
         BrokerCounters::bump(&self.counters.connections_total);
         BrokerCounters::bump(&self.counters.connections_current);
-        let shard_txs = self.shard_txs.clone();
-        let counters = Arc::clone(&self.counters);
-        std::thread::Builder::new()
-            .name(format!("{}-reader-{conn_id}", self.name))
-            .spawn(move || run_reader(end, conn_id, shard_txs, counters))
-            .expect("spawn reader");
+        let home = (conn_id % self.handles.len() as u64) as usize;
+        let target = Arc::new(AtomicUsize::new(home));
+        // Install the notify hook *before* splitting: every frame the
+        // client sends from here on nudges the shard that owns the
+        // connection (the home shard retargets on migration).
+        let hook_target = Arc::clone(&target);
+        let hook_handles = self.handles.clone();
+        end.set_incoming_notify(Arc::new(move || {
+            let shard = hook_target.load(Ordering::Acquire);
+            hook_handles[shard].send(Event::LinkNotify(conn_id));
+        }));
+        let (sender, receiver) = end.split();
+        if !self.handles[home].send(Event::LinkAttach {
+            conn: conn_id,
+            sender,
+            receiver,
+            target,
+        }) {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return Err(MqttError::BrokerUnavailable);
+        }
         Ok(())
+    }
+
+    /// Binds a TCP listener and starts accepting real socket connections.
+    /// Returns the bound address (useful with port `0`). The accept thread
+    /// is the only per-listener thread; accepted sockets are handed to the
+    /// shard reactors, so broker thread count stays O(shards) no matter
+    /// how many clients connect.
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> Result<SocketAddr> {
+        let listener = TcpListener::bind(addr).map_err(|_| MqttError::BrokerUnavailable)?;
+        let local = listener
+            .local_addr()
+            .map_err(|_| MqttError::BrokerUnavailable)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let handles = self.handles.clone();
+        let counters = Arc::clone(&self.counters);
+        let next_conn = Arc::clone(&self.next_conn);
+        let handle = std::thread::Builder::new()
+            .name(format!("{}-accept", self.name))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+                    BrokerCounters::bump(&counters.connections_total);
+                    BrokerCounters::bump(&counters.connections_current);
+                    let home = (conn % handles.len() as u64) as usize;
+                    if !handles[home].send(Event::TcpAccept { conn, stream }) {
+                        counters.connections_current.fetch_sub(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+        self.listeners
+            .lock()
+            .expect("listener registry lock")
+            .push(ListenerState {
+                stop,
+                addr: local,
+                handle,
+            });
+        Ok(local)
     }
 
     /// Point-in-time statistics.
@@ -354,8 +544,8 @@ impl Broker {
     /// such rule exists or nothing is held. Broadcast to every shard: each
     /// shard releases the deliveries it stashed.
     pub fn release_held(&self, label: &str) {
-        for tx in &self.shard_txs {
-            let _ = tx.send(Event::ReleaseHeld(label.to_owned()));
+        for h in &self.handles {
+            h.send(Event::ReleaseHeld(label.to_owned()));
         }
     }
 
@@ -373,8 +563,8 @@ impl Broker {
         }
         let (ack, done) = unbounded();
         let mut sent = 0;
-        for tx in &self.shard_txs {
-            if tx.send(Event::Snapshot { ack: ack.clone() }).is_ok() {
+        for h in &self.handles {
+            if h.send(Event::Snapshot { ack: ack.clone() }) {
                 sent += 1;
             }
         }
@@ -395,8 +585,19 @@ impl Broker {
     }
 
     fn stop(&mut self) {
-        for tx in &self.shard_txs {
-            let _ = tx.send(Event::Shutdown);
+        // Stop acceptors first: set the flag, then poke each listener with
+        // a throwaway connection so the blocking accept observes it.
+        let listeners =
+            std::mem::take(&mut *self.listeners.lock().expect("listener registry lock"));
+        for l in &listeners {
+            l.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(l.addr);
+        }
+        for l in listeners {
+            let _ = l.handle.join();
+        }
+        for h in &self.handles {
+            h.send(Event::Shutdown);
         }
         for h in self.loop_handles.drain(..) {
             let _ = h.join();
@@ -407,96 +608,6 @@ impl Broker {
 impl Drop for Broker {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-/// Per-connection reader loop: decode frames, gate on CONNECT, forward to
-/// the owner shard.
-fn run_reader(
-    end: LinkEnd,
-    conn_id: ConnId,
-    shard_txs: Vec<Sender<Event>>,
-    counters: Arc<BrokerCounters>,
-) {
-    let (sender, reader) = end.split();
-    let mut sender_slot = Some(sender);
-    // Index of the owning shard once the CONNECT has been seen.
-    let mut registered: Option<usize> = None;
-    let close = |registered: Option<usize>| match registered {
-        Some(shard) => {
-            let _ = shard_txs[shard].send(Event::ConnClosed(conn_id));
-        }
-        None => {
-            // Never reached a shard: the reader owns the counter.
-            counters.connections_current.fetch_sub(1, Ordering::Relaxed);
-        }
-    };
-    loop {
-        let frame = match reader.recv_frame() {
-            Ok(f) => f,
-            Err(_) => {
-                close(registered);
-                return;
-            }
-        };
-        let mut rest: Bytes = frame;
-        // A frame may carry several back-to-back packets.
-        loop {
-            let (packet, used) = match codec::decode(&rest) {
-                Ok(ok) => ok,
-                Err(_) => {
-                    close(registered);
-                    return;
-                }
-            };
-            match registered {
-                None => match packet {
-                    Packet::Connect(c) if c.client_id.is_empty() => {
-                        if let Some(s) = sender_slot.take() {
-                            let _ = s.send_packet(&Packet::Connack(Connack {
-                                session_present: false,
-                                code: ConnectReturnCode::IdentifierRejected,
-                            }));
-                        }
-                        close(None);
-                        return;
-                    }
-                    Packet::Connect(c) => {
-                        let shard = shard_of(&c.client_id, shard_txs.len());
-                        let sender = sender_slot.take().expect("sender taken once");
-                        if shard_txs[shard]
-                            .send(Event::Register {
-                                conn: conn_id,
-                                sender,
-                                connect: c,
-                            })
-                            .is_err()
-                        {
-                            return; // broker shutting down
-                        }
-                        registered = Some(shard);
-                    }
-                    _ => {
-                        // Any packet before CONNECT is a protocol
-                        // violation: drop the connection.
-                        close(None);
-                        return;
-                    }
-                },
-                Some(shard) => {
-                    if shard_txs[shard]
-                        .send(Event::Incoming(conn_id, packet))
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-            }
-            if used >= rest.len() {
-                break;
-            }
-            rest = rest.slice(used..);
-        }
     }
 }
 
@@ -583,6 +694,45 @@ struct ConnState {
     /// True while a will registration is WAL-logged for this connection;
     /// discharged (WillClear) when the will fires or is suppressed.
     will_registered: bool,
+    /// In-process link receive half (`None` for TCP connections, whose
+    /// reads are driven by the poller instead of notify events).
+    link_rx: Option<FrameReceiver>,
+}
+
+/// A link connection parked on its home shard awaiting CONNECT.
+struct PendingLink {
+    sender: FrameSender,
+    receiver: FrameReceiver,
+    /// Shard index the link's incoming-frame hook targets; stored to the
+    /// owner shard when the connection migrates.
+    target: Arc<AtomicUsize>,
+}
+
+/// Reactor-side state of one TCP connection: the nonblocking socket, its
+/// partial-frame read buffer, and the in-progress write queue.
+struct TcpConn {
+    stream: TcpStream,
+    /// Accumulated unparsed bytes (partial frames survive here between
+    /// readiness events).
+    rbuf: Vec<u8>,
+    /// Outbound queue shared with every routing shard's [`FrameSender`].
+    out: Arc<TcpOutbound>,
+    /// Frames drained from `out` and currently being written.
+    writing: VecDeque<Bytes>,
+    /// Bytes of `writing.front()` already written.
+    wr_off: usize,
+    /// True while the poller watches this socket for writability.
+    want_write: bool,
+    /// False while the connection is still CONNECT-gated.
+    registered: bool,
+}
+
+/// Reactor plumbing handed to one shard: its poller, the wake-pipe
+/// receive half, and the write scheduler TCP senders flush through.
+struct ShardIo {
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    write_sched: Arc<WriteScheduler>,
 }
 
 /// One shard's event loop state: its partition of connections and
@@ -590,13 +740,26 @@ struct ConnState {
 /// every shard's mailbox.
 struct ShardCore {
     shard: usize,
-    name: String,
     max_queued_per_session: usize,
     keepalive_grace: f64,
+    tcp_write_hwm: u64,
     counters: Arc<BrokerCounters>,
     index: Arc<SharedIndex>,
-    shard_txs: Vec<Sender<Event>>,
+    handles: Vec<ShardHandle>,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    write_sched: Arc<WriteScheduler>,
     conns: HashMap<ConnId, ConnState>,
+    /// Connections (link or TCP) parked here until their CONNECT arrives.
+    pending_links: HashMap<ConnId, PendingLink>,
+    /// Link connections this (home) shard migrated away: notify events
+    /// that still land here are forwarded to the owner shard.
+    migrated: HashMap<ConnId, usize>,
+    /// TCP connections whose sockets this shard's poller owns.
+    tcp: HashMap<ConnId, TcpConn>,
+    /// Armed fault-delay timers, earliest first.
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    timer_seq: u64,
     /// client id → live connection (this shard's clients only).
     by_client: HashMap<String, ConnId>,
     /// client id → session (connected and parked; this shard's only).
@@ -626,18 +789,27 @@ impl ShardCore {
         config: &BrokerConfig,
         counters: &Arc<BrokerCounters>,
         index: &Arc<SharedIndex>,
-        shard_txs: Vec<Sender<Event>>,
+        handles: Vec<ShardHandle>,
+        io: ShardIo,
     ) -> ShardCore {
-        let shards = shard_txs.len();
+        let shards = handles.len();
         ShardCore {
             shard,
-            name: config.name.clone(),
             max_queued_per_session: config.max_queued_per_session,
             keepalive_grace: config.keepalive_grace,
+            tcp_write_hwm: config.tcp_write_hwm as u64,
             counters: Arc::clone(counters),
             index: Arc::clone(index),
-            shard_txs,
+            handles,
+            poller: io.poller,
+            wake_rx: io.wake_rx,
+            write_sched: io.write_sched,
             conns: HashMap::new(),
+            pending_links: HashMap::new(),
+            migrated: HashMap::new(),
+            tcp: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
             by_client: HashMap::new(),
             sessions: HashMap::new(),
             faults: config
@@ -667,6 +839,7 @@ impl ShardCore {
             self.route(&publish, 0, false, Some(&client));
         }
         self.flush_hops();
+        let mut events: Vec<PollEvent> = Vec::new();
         'outer: loop {
             // Drain whatever is queued without any deadline math on the
             // hot path — but check the cached deadline periodically so a
@@ -690,60 +863,101 @@ impl ShardCore {
                 }
             }
             // Mailbox drained: send the hops this burst produced, one
-            // coalesced batch per target shard (events handled by the
-            // blocking receives below flush on the next pass, which runs
-            // immediately after).
+            // coalesced batch per target shard (events handled on the next
+            // pass flush then).
             self.flush_hops();
-            // Quiescent: park until the next keep-alive deadline (or an
-            // event). Deadline-driven — there is no tick, so an idle shard
-            // sleeps indefinitely and a stalled one never piles up ticks.
-            match self.keepalive_deadline {
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if deadline <= now {
-                        self.expire_keepalives();
-                        continue;
-                    }
-                    match rx.recv_timeout(deadline - now) {
-                        Ok(event) => {
-                            if !self.handle(event) {
-                                break;
-                            }
-                        }
-                        Err(RecvTimeoutError::Timeout) => self.expire_keepalives(),
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
+            // Flush every TCP connection a routing shard scheduled.
+            for conn in self.write_sched.take() {
+                self.flush_tcp(conn);
+            }
+            // Fire due deadlines before parking.
+            let now = Instant::now();
+            if self.keepalive_deadline.is_some_and(|d| d <= now) {
+                self.expire_keepalives();
+                continue;
+            }
+            if self.fire_due_timers(now) {
+                continue;
+            }
+            let mut deadline = self.keepalive_deadline;
+            if let Some(Reverse(t)) = self.timers.peek() {
+                deadline = Some(deadline.map_or(t.at, |d| d.min(t.at)));
+            }
+            // Park in the poller. Arm the waker first, then re-check the
+            // mailbox and write queue: an event or scheduled flush that
+            // raced the arming would otherwise sleep until the deadline.
+            self.wake_rx.arm();
+            if !rx.is_empty() || !self.write_sched.is_empty() {
+                continue;
+            }
+            events.clear();
+            let timeout = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            if self.poller.wait(&mut events, timeout).is_err() {
+                continue;
+            }
+            for ev in events.iter().copied() {
+                if ev.token == WAKE_TOKEN {
+                    self.wake_rx.drain();
+                    continue;
                 }
-                None => match rx.recv() {
-                    Ok(event) => {
-                        if !self.handle(event) {
-                            break;
-                        }
-                    }
-                    Err(_) => break,
-                },
+                if ev.readable {
+                    self.tcp_readable(ev.token);
+                }
+                if ev.writable {
+                    self.tcp_writable(ev.token);
+                }
             }
         }
-        // Close every link so clients observe disconnection.
+        // Close every connection so clients observe disconnection.
         self.conns.clear();
+        self.tcp.clear();
     }
 
     /// Handles one event; returns false on shutdown.
     fn handle(&mut self, event: Event) -> bool {
         match event {
-            Event::Register {
+            Event::LinkAttach {
                 conn,
                 sender,
+                receiver,
+                target,
+            } => {
+                self.pending_links.insert(
+                    conn,
+                    PendingLink {
+                        sender,
+                        receiver,
+                        target,
+                    },
+                );
+                // Frames may have arrived before the attach event did.
+                self.on_link_notify(conn);
+            }
+            Event::LinkNotify(conn) => self.on_link_notify(conn),
+            Event::LinkMigrate {
+                conn,
+                sender,
+                receiver,
                 connect,
-            } => self.on_register(conn, sender, connect),
-            Event::Incoming(conn, packet) => self.on_packet(conn, packet),
-            Event::ConnClosed(conn) => self.on_conn_closed(conn),
+                rest,
+            } => self.on_link_migrate(conn, sender, receiver, *connect, rest),
+            Event::TcpAccept { conn, stream } => self.on_tcp_accept(conn, stream),
+            Event::TcpMigrate {
+                conn,
+                stream,
+                rbuf,
+                out,
+                connect,
+            } => self.on_tcp_migrate(conn, stream, rbuf, out, *connect),
+            Event::ConnClosed(conn) => self.close_transport(conn),
+            Event::ConnGone(conn) => {
+                self.migrated.remove(&conn);
+            }
             Event::Deliver(batch) => {
                 for d in batch {
                     self.on_deliver(d);
                 }
             }
-            Event::Inject(d) => self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain),
             Event::ReleaseHeld(label) => {
                 let released = match &mut self.faults {
                     Some(state) => state.release(&label),
@@ -762,6 +976,498 @@ impl ShardCore {
         true
     }
 
+    /// One link frame (or hangup) is ready. Exactly one frame is popped
+    /// per notify — the link fires one notify per send and one on drop, so
+    /// notifies ≥ frames + 1 and the final pop observes the hangup.
+    fn on_link_notify(&mut self, conn: ConnId) {
+        if let Some(&owner) = self.migrated.get(&conn) {
+            // Raced a migration: the hook already targets the owner for
+            // new frames; forward this stale nudge along.
+            self.handles[owner].send(Event::LinkNotify(conn));
+            return;
+        }
+        if self.pending_links.contains_key(&conn) {
+            self.gate_link_connect(conn);
+            return;
+        }
+        let Some(rx) = self.conns.get(&conn).and_then(|c| c.link_rx.as_ref()) else {
+            return;
+        };
+        match rx.try_recv_frame() {
+            TryRecv::Frame(frame) => self.process_frame_packets(conn, frame),
+            TryRecv::Empty => {}
+            TryRecv::Closed => self.on_conn_closed(conn),
+        }
+    }
+
+    /// CONNECT gate for a parked link connection: pop one frame, decode,
+    /// and either register locally, migrate to the owner shard, or drop
+    /// the protocol violator.
+    fn gate_link_connect(&mut self, conn: ConnId) {
+        let frame = {
+            let Some(pend) = self.pending_links.get(&conn) else {
+                return;
+            };
+            match pend.receiver.try_recv_frame() {
+                TryRecv::Frame(frame) => frame,
+                TryRecv::Empty => return,
+                TryRecv::Closed => {
+                    self.drop_pending_link(conn);
+                    return;
+                }
+            }
+        };
+        let Ok((packet, used)) = codec::decode(&frame) else {
+            self.drop_pending_link(conn);
+            return;
+        };
+        let rest = if used < frame.len() {
+            frame.slice(used..)
+        } else {
+            Bytes::new()
+        };
+        match packet {
+            Packet::Connect(c) if c.client_id.is_empty() => {
+                if let Some(pend) = self.pending_links.remove(&conn) {
+                    let _ = pend.sender.send_packet(&Packet::Connack(Connack {
+                        session_present: false,
+                        code: ConnectReturnCode::IdentifierRejected,
+                    }));
+                }
+                self.counters
+                    .connections_current
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            Packet::Connect(c) => {
+                let Some(pend) = self.pending_links.remove(&conn) else {
+                    return;
+                };
+                let owner = shard_of(&c.client_id, self.handles.len());
+                if owner == self.shard {
+                    self.on_register(conn, pend.sender, c, Some(pend.receiver));
+                    if !rest.is_empty() {
+                        self.process_frame_packets(conn, rest);
+                    }
+                } else {
+                    // Order matters: record the forwarding entry, hand the
+                    // connection over, then retarget the notify hook. Any
+                    // nudge that still lands here is forwarded.
+                    self.migrated.insert(conn, owner);
+                    self.handles[owner].send(Event::LinkMigrate {
+                        conn,
+                        sender: pend.sender,
+                        receiver: pend.receiver,
+                        connect: Box::new(c),
+                        rest,
+                    });
+                    pend.target.store(owner, Ordering::Release);
+                }
+            }
+            _ => {
+                // Any packet before CONNECT is a protocol violation.
+                self.drop_pending_link(conn);
+            }
+        }
+    }
+
+    /// Discards a still-gated link connection (hangup or violation before
+    /// CONNECT): it never reached a shard's connection table, so this
+    /// shard owns the counter decrement.
+    fn drop_pending_link(&mut self, conn: ConnId) {
+        if self.pending_links.remove(&conn).is_some() {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A gated link connection arrives at its owner shard.
+    fn on_link_migrate(
+        &mut self,
+        conn: ConnId,
+        sender: FrameSender,
+        receiver: FrameReceiver,
+        connect: Connect,
+        rest: Bytes,
+    ) {
+        self.on_register(conn, sender, connect, Some(receiver));
+        if !rest.is_empty() {
+            self.process_frame_packets(conn, rest);
+        }
+    }
+
+    /// Decodes and handles every packet in one frame. Stops early when a
+    /// packet closes the connection.
+    fn process_frame_packets(&mut self, conn: ConnId, frame: Bytes) {
+        let mut rest = frame;
+        loop {
+            let Ok((packet, used)) = codec::decode(&rest) else {
+                self.on_conn_closed(conn);
+                return;
+            };
+            self.on_packet(conn, packet);
+            if !self.conns.contains_key(&conn) || used >= rest.len() {
+                return;
+            }
+            rest = rest.slice(used..);
+        }
+    }
+
+    /// A fresh TCP socket lands on its provisional home shard: make it
+    /// nonblocking, register it with the poller, and gate on CONNECT.
+    fn on_tcp_accept(&mut self, conn: ConnId, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let out = TcpOutbound::new(conn, self.tcp_write_hwm, Arc::clone(&self.write_sched));
+        if self
+            .poller
+            .add(stream.as_raw_fd(), conn, true, false)
+            .is_err()
+        {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.tcp.insert(
+            conn,
+            TcpConn {
+                stream,
+                rbuf: Vec::new(),
+                out,
+                writing: VecDeque::new(),
+                wr_off: 0,
+                want_write: false,
+                registered: false,
+            },
+        );
+    }
+
+    /// A gated TCP connection arrives at its owner shard with its read
+    /// buffer and outbound queue intact.
+    fn on_tcp_migrate(
+        &mut self,
+        conn: ConnId,
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        out: Arc<TcpOutbound>,
+        connect: Connect,
+    ) {
+        // Retarget first: pushes that raced the handover scheduled a flush
+        // on the home shard (which no longer owns the socket); from here
+        // on they schedule here, and the unconditional flush below covers
+        // anything already queued.
+        out.retarget(Arc::clone(&self.write_sched));
+        if self
+            .poller
+            .add(stream.as_raw_fd(), conn, true, false)
+            .is_err()
+        {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.tcp.insert(
+            conn,
+            TcpConn {
+                stream,
+                rbuf,
+                out: Arc::clone(&out),
+                writing: VecDeque::new(),
+                wr_off: 0,
+                want_write: false,
+                registered: true,
+            },
+        );
+        self.on_register(conn, FrameSender::from_tcp(out), connect, None);
+        // Pipelined packets may already sit in the read buffer.
+        self.drain_tcp_rbuf(conn);
+        if self.tcp.contains_key(&conn) {
+            self.flush_tcp(conn);
+        }
+    }
+
+    /// Socket readable: pull every available byte into the read buffer,
+    /// then decode whole frames. EOF or a read error closes the
+    /// connection after processing what arrived.
+    fn tcp_readable(&mut self, conn: ConnId) {
+        let mut eof = false;
+        {
+            let Some(tc) = self.tcp.get_mut(&conn) else {
+                return;
+            };
+            let mut chunk = [0u8; 16384];
+            let mut total = 0usize;
+            loop {
+                match tc.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        tc.rbuf.extend_from_slice(&chunk[..n]);
+                        total += n;
+                        // Yield to other connections after 1 MiB; the
+                        // level-triggered poller re-reports readiness.
+                        if total >= 1 << 20 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.drain_tcp_rbuf(conn);
+        if eof {
+            self.close_transport(conn);
+        }
+    }
+
+    /// Decodes every complete frame in the read buffer. TCP frames are
+    /// single packets (framed by [`codec::frame_length`]).
+    fn drain_tcp_rbuf(&mut self, conn: ConnId) {
+        enum Step {
+            Frame(Bytes, bool),
+            Done,
+            Bad(bool),
+        }
+        loop {
+            let step = {
+                let Some(tc) = self.tcp.get_mut(&conn) else {
+                    return;
+                };
+                match codec::frame_length(&tc.rbuf) {
+                    Ok(Some(len)) if tc.rbuf.len() >= len => {
+                        let bytes: Vec<u8> = tc.rbuf.drain(..len).collect();
+                        Step::Frame(Bytes::from(bytes), tc.registered)
+                    }
+                    Ok(_) => Step::Done,
+                    Err(_) => Step::Bad(tc.registered),
+                }
+            };
+            match step {
+                Step::Frame(frame, true) => self.process_frame_packets(conn, frame),
+                Step::Frame(frame, false) => self.gate_tcp_connect(conn, frame),
+                Step::Done => return,
+                Step::Bad(true) => {
+                    self.on_conn_closed(conn);
+                    return;
+                }
+                Step::Bad(false) => {
+                    self.teardown_pre_tcp(conn);
+                    return;
+                }
+            }
+            if !self.tcp.contains_key(&conn) && !self.conns.contains_key(&conn) {
+                return;
+            }
+        }
+    }
+
+    /// CONNECT gate for a TCP connection parked on its home shard.
+    fn gate_tcp_connect(&mut self, conn: ConnId, frame: Bytes) {
+        let Ok((packet, _)) = codec::decode(&frame) else {
+            self.teardown_pre_tcp(conn);
+            return;
+        };
+        match packet {
+            Packet::Connect(c) if c.client_id.is_empty() => {
+                if let Some(tc) = self.tcp.get(&conn) {
+                    let sender = FrameSender::from_tcp(Arc::clone(&tc.out));
+                    let _ = sender.send_packet(&Packet::Connack(Connack {
+                        session_present: false,
+                        code: ConnectReturnCode::IdentifierRejected,
+                    }));
+                }
+                // Best-effort: push the rejection onto the wire before
+                // tearing the socket down.
+                self.flush_tcp(conn);
+                self.teardown_pre_tcp(conn);
+            }
+            Packet::Connect(c) => {
+                let owner = shard_of(&c.client_id, self.handles.len());
+                if owner == self.shard {
+                    let out = {
+                        let Some(tc) = self.tcp.get_mut(&conn) else {
+                            return;
+                        };
+                        tc.registered = true;
+                        Arc::clone(&tc.out)
+                    };
+                    // If registration itself closed the connection, the
+                    // caller's drain loop notices via its liveness check.
+                    self.on_register(conn, FrameSender::from_tcp(out), c, None);
+                } else {
+                    let Some(tc) = self.tcp.remove(&conn) else {
+                        return;
+                    };
+                    let _ = self.poller.remove(tc.stream.as_raw_fd());
+                    self.handles[owner].send(Event::TcpMigrate {
+                        conn,
+                        stream: tc.stream,
+                        rbuf: tc.rbuf,
+                        out: tc.out,
+                        connect: Box::new(c),
+                    });
+                }
+            }
+            _ => self.teardown_pre_tcp(conn),
+        }
+    }
+
+    /// Closes a connection this shard transports, whether it completed
+    /// CONNECT (full session teardown) or is still gated.
+    fn close_transport(&mut self, conn: ConnId) {
+        if self.conns.contains_key(&conn) {
+            self.on_conn_closed(conn);
+        } else if self.tcp.contains_key(&conn) {
+            self.teardown_pre_tcp(conn);
+        }
+    }
+
+    /// Tears down a TCP connection that never completed CONNECT: it is
+    /// absent from every connection table, so this shard decrements the
+    /// connection counter itself.
+    fn teardown_pre_tcp(&mut self, conn: ConnId) {
+        if self.teardown_tcp(conn) {
+            self.counters
+                .connections_current
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes a TCP connection's socket state (poller registration,
+    /// outbound queue). Returns true when the connection was present.
+    fn teardown_tcp(&mut self, conn: ConnId) -> bool {
+        let Some(tc) = self.tcp.remove(&conn) else {
+            return false;
+        };
+        let _ = self.poller.remove(tc.stream.as_raw_fd());
+        tc.out.mark_closed();
+        if tc.out.take_eviction_count() {
+            BrokerCounters::bump(&self.counters.slow_consumer_evictions);
+        }
+        true
+    }
+
+    /// Drains the connection's outbound queue to the socket with vectored
+    /// writes. On `WouldBlock` the poller starts watching writability; a
+    /// high-water-mark breach evicts the slow consumer (ungraceful, so
+    /// its will fires); a dead socket closes the connection.
+    fn flush_tcp(&mut self, conn: ConnId) {
+        let mut evict = false;
+        let mut dead = false;
+        {
+            let Some(tc) = self.tcp.get_mut(&conn) else {
+                return;
+            };
+            tc.out.begin_flush();
+            tc.out.drain_into(&mut tc.writing);
+            if tc.out.is_evicted() {
+                evict = true;
+            } else {
+                let fd = tc.stream.as_raw_fd();
+                loop {
+                    if tc.writing.is_empty() {
+                        break;
+                    }
+                    let res = {
+                        let mut slices: Vec<IoSlice<'_>> =
+                            Vec::with_capacity(32.min(tc.writing.len()));
+                        let mut iter = tc.writing.iter();
+                        if let Some(first) = iter.next() {
+                            slices.push(IoSlice::new(&first[tc.wr_off..]));
+                        }
+                        for b in iter.take(31) {
+                            slices.push(IoSlice::new(b));
+                        }
+                        tc.stream.write_vectored(&slices)
+                    };
+                    match res {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            tc.out.note_written(n as u64);
+                            let mut left = n;
+                            while left > 0 {
+                                let front_len = tc.writing[0].len() - tc.wr_off;
+                                if left >= front_len {
+                                    tc.writing.pop_front();
+                                    tc.wr_off = 0;
+                                    left -= front_len;
+                                } else {
+                                    tc.wr_off += left;
+                                    left = 0;
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if !tc.want_write {
+                                tc.want_write = true;
+                                let _ = self.poller.modify(fd, conn, true, true);
+                            }
+                            break;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                if tc.writing.is_empty() && tc.want_write && !dead {
+                    tc.want_write = false;
+                    let _ = self.poller.modify(fd, conn, true, false);
+                }
+            }
+        }
+        if evict {
+            if self
+                .tcp
+                .get(&conn)
+                .is_some_and(|tc| tc.out.take_eviction_count())
+            {
+                BrokerCounters::bump(&self.counters.slow_consumer_evictions);
+            }
+            self.close_transport(conn);
+        } else if dead {
+            self.close_transport(conn);
+        }
+    }
+
+    /// Socket writable again after backpressure: resume the flush.
+    fn tcp_writable(&mut self, conn: ConnId) {
+        self.flush_tcp(conn);
+    }
+
+    /// Fires every elapsed fault-delay timer (earliest first; ties in
+    /// arming order). Returns true when any fired.
+    fn fire_due_timers(&mut self, now: Instant) -> bool {
+        let mut fired = false;
+        while self.timers.peek().is_some_and(|Reverse(t)| t.at <= now) {
+            let Some(Reverse(t)) = self.timers.pop() else {
+                break;
+            };
+            let d = t.delivery;
+            self.deliver_raw(&d.client, d.topic, d.payload, d.qos, d.retain);
+            fired = true;
+        }
+        fired
+    }
+
     /// Sends the cross-shard hops buffered during the current mailbox
     /// burst: one `Deliver` batch per target shard, preserving per-shard
     /// delivery order. No-op with one shard (nothing ever buffers).
@@ -772,7 +1478,7 @@ impl ShardCore {
             }
             let batch = std::mem::take(&mut self.pending_hops[shard]);
             BrokerCounters::bump(&self.counters.cross_shard_batches);
-            let _ = self.shard_txs[shard].send(Event::Deliver(batch));
+            self.handles[shard].send(Event::Deliver(batch));
         }
     }
 
@@ -856,7 +1562,13 @@ impl ShardCore {
             .min();
     }
 
-    fn on_register(&mut self, conn_id: ConnId, sender: FrameSender, c: Connect) {
+    fn on_register(
+        &mut self,
+        conn_id: ConnId,
+        sender: FrameSender,
+        c: Connect,
+        link_rx: Option<FrameReceiver>,
+    ) {
         // Session takeover: disconnect any live connection with this id
         // (always shard-local — same id, same shard).
         if let Some(&old) = self.by_client.get(&c.client_id) {
@@ -933,6 +1645,7 @@ impl ShardCore {
             will_registered: c.will.is_some(),
             will: c.will,
             graceful: false,
+            link_rx,
         };
         // Fold the newcomer into the cached earliest deadline (the only
         // mutation that can move the minimum *earlier*).
@@ -1222,14 +1935,15 @@ impl ShardCore {
             } => Some((payload, duplicate, release)),
             FaultVerdict::Consumed => None,
             FaultVerdict::Delayed { delivery, delay } => {
-                let tx = self.shard_txs[self.shard].clone();
-                std::thread::Builder::new()
-                    .name(format!("{}-fault-delay", self.name))
-                    .spawn(move || {
-                        std::thread::sleep(delay);
-                        let _ = tx.send(Event::Inject(delivery));
-                    })
-                    .expect("spawn fault delay timer");
+                // Arm a reactor timer instead of spawning a sleeper
+                // thread: the shard's park deadline accounts for the heap
+                // and replays the delivery when it elapses.
+                self.timer_seq += 1;
+                self.timers.push(Reverse(TimerEntry {
+                    at: Instant::now() + delay,
+                    seq: self.timer_seq,
+                    delivery,
+                }));
                 None
             }
             FaultVerdict::Kill => {
@@ -1243,7 +1957,7 @@ impl ShardCore {
                     .and_then(|key| snap.routes.entry(key))
                 {
                     if let Some(conn) = entry.conn {
-                        let _ = self.shard_txs[entry.shard].send(Event::ConnClosed(conn));
+                        self.handles[entry.shard].send(Event::ConnClosed(conn));
                     }
                 }
                 None
@@ -1285,7 +1999,7 @@ impl ShardCore {
                 if sender.send_frame(frame).is_err() {
                     // The peer vanished mid-delivery; tell the owner shard
                     // so it can tear the connection down.
-                    let _ = self.shard_txs[entry.shard].send(Event::ConnClosed(*conn));
+                    self.handles[entry.shard].send(Event::ConnClosed(*conn));
                 }
             }
             _ if entry.shard == self.shard => {
@@ -1634,6 +2348,16 @@ impl ShardCore {
         self.counters
             .connections_current
             .fetch_sub(1, Ordering::Relaxed);
+        // Tear down the transport: a TCP socket leaves the poller; a link
+        // that migrated here tells its home shard to drop the forwarding
+        // entry.
+        self.teardown_tcp(conn_id);
+        if conn.link_rx.is_some() {
+            let home = (conn_id % self.handles.len() as u64) as usize;
+            if home != self.shard {
+                self.handles[home].send(Event::ConnGone(conn_id));
+            }
+        }
 
         let will = if conn.graceful {
             None

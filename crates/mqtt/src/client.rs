@@ -84,6 +84,12 @@ impl ClientOptions {
     }
 }
 
+/// A [`Dialer`] that opens a real TCP connection to `addr` on every dial
+/// (pair with [`crate::broker::Broker::listen`]).
+pub fn tcp_dialer(addr: std::net::SocketAddr) -> Dialer {
+    Arc::new(move || crate::transport::tcp_link(addr))
+}
+
 struct Pending {
     tx: Sender<Packet>,
 }

@@ -329,6 +329,33 @@ pub fn decode(frame: &Bytes) -> Result<(Packet, usize)> {
     Ok((packet, consumed))
 }
 
+/// Computes the total on-wire length (fixed header + body) of the first
+/// packet in `buf` without decoding it. Returns `Ok(None)` when more bytes
+/// are needed to tell — the frame-boundary primitive for nonblocking
+/// stream transports, which accumulate raw bytes and split complete
+/// frames off the front (see [`crate::reactor`]).
+pub fn frame_length(buf: &[u8]) -> Result<Option<usize>> {
+    if buf.len() < 2 {
+        return Ok(None);
+    }
+    let mut value = 0usize;
+    let mut shift = 0u32;
+    for i in 1..=4 {
+        let Some(&byte) = buf.get(i) else {
+            return Ok(None);
+        };
+        value |= ((byte & 0x7F) as usize) << shift;
+        if byte & 0x80 == 0 {
+            if value > MAX_REMAINING_LENGTH {
+                return Err(MqttError::RemainingLengthOverflow);
+            }
+            return Ok(Some(1 + i + value));
+        }
+        shift += 7;
+    }
+    Err(MqttError::RemainingLengthOverflow)
+}
+
 fn decode_remaining_length(buf: &mut Bytes) -> Result<usize> {
     let mut value = 0usize;
     let mut shift = 0u32;
@@ -707,5 +734,33 @@ mod tests {
             ));
             roundtrip(p);
         }
+    }
+
+    #[test]
+    fn frame_length_matches_encoded_size() {
+        for size in [0usize, 1, 127, 128, 16_383, 16_384] {
+            let p = Packet::Publish(Publish::simple(
+                TopicName::new("t").unwrap(),
+                vec![7u8; size],
+            ));
+            let frame = encode(&p).unwrap();
+            assert_eq!(frame_length(&frame).unwrap(), Some(frame.len()));
+            // Every strict prefix is indeterminate, never an error.
+            for cut in 0..frame.len().min(64) {
+                assert!(matches!(
+                    frame_length(&frame[..cut]),
+                    Ok(None) | Ok(Some(_))
+                ));
+            }
+            // A prefix that already covers the header knows the length.
+            assert_eq!(frame_length(&frame[..5]).unwrap(), Some(frame.len()));
+        }
+    }
+
+    #[test]
+    fn frame_length_rejects_overlong_varint() {
+        // Five continuation bytes: the varint never terminates.
+        let bad = [0x30u8, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(frame_length(&bad).is_err());
     }
 }

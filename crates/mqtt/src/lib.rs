@@ -44,6 +44,7 @@ pub mod fault;
 pub mod index;
 pub mod packet;
 pub mod persist;
+pub mod reactor;
 pub mod retained;
 pub mod session;
 pub mod stats;

@@ -37,6 +37,9 @@ pub struct BrokerCounters {
     pub dropped: AtomicU64,
     /// Connections closed due to keep-alive expiry.
     pub keepalive_timeouts: AtomicU64,
+    /// TCP connections evicted for exceeding the outbound write
+    /// high-water mark (slow consumers).
+    pub slow_consumer_evictions: AtomicU64,
     /// Messages forwarded in from a bridge connection.
     pub bridge_in: AtomicU64,
     /// Deliveries that hopped between broker shards (a QoS>0 or offline
@@ -110,6 +113,7 @@ impl BrokerCounters {
             queued_current: self.queued_current.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             keepalive_timeouts: self.keepalive_timeouts.load(Ordering::Relaxed),
+            slow_consumer_evictions: self.slow_consumer_evictions.load(Ordering::Relaxed),
             bridge_in: self.bridge_in.load(Ordering::Relaxed),
             cross_shard_hops: self.cross_shard_hops.load(Ordering::Relaxed),
             cross_shard_batches: self.cross_shard_batches.load(Ordering::Relaxed),
@@ -156,6 +160,8 @@ pub struct BrokerStatsSnapshot {
     pub dropped: u64,
     /// Keep-alive expiries.
     pub keepalive_timeouts: u64,
+    /// Slow-consumer evictions (TCP write high-water mark breaches).
+    pub slow_consumer_evictions: u64,
     /// Messages that arrived over bridges.
     pub bridge_in: u64,
     /// Deliveries that hopped between broker shards (0 with one shard).

@@ -1,23 +1,37 @@
-//! In-process transport links.
+//! Transport links: in-process frame pipes and TCP-backed senders.
 //!
-//! A [`Link`] is a bidirectional, ordered, reliable byte-frame pipe built
-//! from two crossbeam channels — the in-process stand-in for a TCP
-//! connection. Every frame that crosses a link is a complete MQTT packet
-//! encoded by [`crate::codec`], so the wire format is exercised end-to-end
-//! even though no sockets are involved.
+//! A [`LinkEnd`] pair is a bidirectional, ordered, reliable byte-frame
+//! pipe built from two crossbeam channels — the in-process stand-in for a
+//! TCP connection. Every frame that crosses a link is a complete MQTT
+//! packet encoded by [`crate::codec`], so the wire format is exercised
+//! end-to-end even though no sockets are involved.
 //!
-//! Links can optionally carry a [`LinkShaper`] that models per-link latency
-//! and bandwidth by *recording* the bytes sent; the virtual-time experiment
-//! harness (crate `sdflmq-sim`) uses these counters to compute transfer
-//! delays without real sleeps.
+//! Since the reactor refactor the broker no longer spawns a reader thread
+//! per connection, so a link carries an optional **incoming-notify hook**
+//! per direction: when the broker attaches an end, it installs a hook on
+//! the client→broker direction that enqueues a `LinkNotify` mailbox event
+//! (and wakes the owner shard) after every send — and when the client's
+//! last send handle drops, so closure is observed too. The frames
+//! themselves stay in the channel, which keeps bounded links blocking on
+//! a full queue (the in-process model of TCP flow control) and keeps the
+//! one-frame-per-notify pop order deterministic.
+//!
+//! [`FrameSender`] abstracts over the two broker-side send paths: an
+//! in-process channel half, or a [`TcpOutbound`] write queue flushed by
+//! the owner shard's reactor with vectored writes (see
+//! [`crate::reactor`]). Routing code treats both identically.
 
 use crate::codec;
 use crate::error::{MqttError, Result};
 use crate::packet::Packet;
+use crate::reactor::WriteScheduler;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Traffic counters shared by both ends of a link.
@@ -45,13 +59,63 @@ impl LinkStats {
     pub fn total_frames(&self) -> u64 {
         self.a_to_b_frames.load(Ordering::Relaxed) + self.b_to_a_frames.load(Ordering::Relaxed)
     }
+
+    fn record(&self, a_side: bool, len: usize) {
+        if a_side {
+            self.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
+            self.a_to_b_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        } else {
+            self.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
+            self.b_to_a_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Callback fired after a frame is sent toward (or the last send handle
+/// for a direction is dropped on) the subscribing end.
+pub(crate) type NotifyFn = Arc<dyn Fn() + Send + Sync>;
+
+/// One direction's notify hook slot, shared by both ends of the link.
+#[derive(Default)]
+pub(crate) struct NotifySlot(RwLock<Option<NotifyFn>>);
+
+impl NotifySlot {
+    fn fire(&self) {
+        if let Ok(guard) = self.0.read() {
+            if let Some(f) = guard.as_ref() {
+                f();
+            }
+        }
+    }
+
+    fn install(&self, f: NotifyFn) {
+        if let Ok(mut guard) = self.0.write() {
+            *guard = Some(f);
+        }
+    }
+}
+
+/// A send-side handle to a notify slot that also fires the slot when
+/// dropped, so the receiving end observes the sender going away.
+pub(crate) struct DropNotify(Arc<NotifySlot>);
+
+impl Clone for DropNotify {
+    fn clone(&self) -> DropNotify {
+        DropNotify(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for DropNotify {
+    fn drop(&mut self) {
+        self.0.fire();
+    }
 }
 
 /// One end of a bidirectional frame pipe.
 ///
 /// Cloning a `LinkEnd` yields another handle to the *same* end (crossbeam
-/// channels are MPMC), which lets a broker keep the send half while a reader
-/// thread owns the receive loop.
+/// channels are MPMC), which lets a client keep the send half while a
+/// reader thread owns the receive loop.
 #[derive(Clone)]
 pub struct LinkEnd {
     tx: Sender<Bytes>,
@@ -59,6 +123,12 @@ pub struct LinkEnd {
     stats: Arc<LinkStats>,
     /// True for the A side (used to attribute stats direction).
     a_side: bool,
+    /// Fired after every send on this end and when this end's last send
+    /// handle drops; the broker installs its mailbox hook on the peer's
+    /// view of this slot.
+    tx_notify: DropNotify,
+    /// The slot the peer fires toward this end (hook installation point).
+    rx_notify: Arc<NotifySlot>,
 }
 
 impl std::fmt::Debug for LinkEnd {
@@ -89,18 +159,24 @@ pub fn link_with_capacity(capacity: Option<usize>) -> (LinkEnd, LinkEnd) {
         None => unbounded(),
     };
     let stats = Arc::new(LinkStats::default());
+    let a_to_b = Arc::new(NotifySlot::default());
+    let b_to_a = Arc::new(NotifySlot::default());
     (
         LinkEnd {
             tx: a_tx,
             rx: a_rx,
             stats: Arc::clone(&stats),
             a_side: true,
+            tx_notify: DropNotify(Arc::clone(&a_to_b)),
+            rx_notify: Arc::clone(&b_to_a),
         },
         LinkEnd {
             tx: b_tx,
             rx: b_rx,
             stats,
             a_side: false,
+            tx_notify: DropNotify(b_to_a),
+            rx_notify: a_to_b,
         },
     )
 }
@@ -109,13 +185,18 @@ impl LinkEnd {
     /// Sends a raw frame. Blocks if the link is bounded and full.
     pub fn send_frame(&self, frame: Bytes) -> Result<()> {
         self.record_sent(frame.len());
-        self.tx.send(frame).map_err(|_| MqttError::Disconnected)
+        self.tx.send(frame).map_err(|_| MqttError::Disconnected)?;
+        self.tx_notify.0.fire();
+        Ok(())
     }
 
     /// Attempts to send without blocking; returns the frame on a full queue.
     pub fn try_send_frame(&self, frame: Bytes) -> std::result::Result<(), TrySendError<Bytes>> {
         let len = frame.len();
-        self.tx.try_send(frame).inspect(|_| self.record_sent(len))
+        self.tx.try_send(frame).inspect(|_| {
+            self.record_sent(len);
+            self.tx_notify.0.fire();
+        })
     }
 
     /// Encodes and sends one packet.
@@ -162,18 +243,15 @@ impl LinkEnd {
         self.tx.is_full() && self.tx.capacity() == Some(0)
     }
 
+    /// Installs the hook fired whenever the *peer* sends toward this end
+    /// (and when the peer's last send handle drops). The broker's reactor
+    /// uses this to turn link activity into shard mailbox events.
+    pub(crate) fn set_incoming_notify(&self, f: NotifyFn) {
+        self.rx_notify.install(f);
+    }
+
     fn record_sent(&self, len: usize) {
-        if self.a_side {
-            self.stats.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .a_to_b_bytes
-                .fetch_add(len as u64, Ordering::Relaxed);
-        } else {
-            self.stats.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .b_to_a_bytes
-                .fetch_add(len as u64, Ordering::Relaxed);
-        }
+        self.stats.record(self.a_side, len);
     }
 
     /// Splits the end into independent send and receive halves.
@@ -183,48 +261,107 @@ impl LinkEnd {
     /// [`MqttError::Disconnected`]. Keeping a whole `LinkEnd` clone alive in
     /// a reader thread would pin the send half and mask closures.
     pub fn split(self) -> (FrameSender, FrameReceiver) {
+        let LinkEnd {
+            tx,
+            rx,
+            stats,
+            a_side,
+            tx_notify,
+            rx_notify: _,
+        } = self;
         (
             FrameSender {
-                tx: self.tx,
-                stats: self.stats,
-                a_side: self.a_side,
+                inner: SenderInner::Link {
+                    tx,
+                    stats,
+                    a_side,
+                    notify: tx_notify,
+                },
             },
-            FrameReceiver { rx: self.rx },
+            FrameReceiver { rx },
         )
     }
 }
 
-/// Send-only half of a link end.
+enum SenderInner {
+    /// In-process channel half.
+    Link {
+        tx: Sender<Bytes>,
+        stats: Arc<LinkStats>,
+        a_side: bool,
+        notify: DropNotify,
+    },
+    /// TCP write queue flushed by the owner shard's reactor.
+    Tcp(Arc<TcpOutbound>),
+}
+
+impl Clone for SenderInner {
+    fn clone(&self) -> SenderInner {
+        match self {
+            SenderInner::Link {
+                tx,
+                stats,
+                a_side,
+                notify,
+            } => SenderInner::Link {
+                tx: tx.clone(),
+                stats: Arc::clone(stats),
+                a_side: *a_side,
+                notify: notify.clone(),
+            },
+            SenderInner::Tcp(out) => SenderInner::Tcp(Arc::clone(out)),
+        }
+    }
+}
+
+/// Send-only half of a broker↔client connection: an in-process channel
+/// half or a TCP write queue. Cheap to clone; routing code holds one per
+/// live subscriber.
 #[derive(Clone)]
 pub struct FrameSender {
-    tx: Sender<Bytes>,
-    stats: Arc<LinkStats>,
-    a_side: bool,
+    inner: SenderInner,
 }
 
 impl std::fmt::Debug for FrameSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FrameSender")
-            .field("a_side", &self.a_side)
-            .finish_non_exhaustive()
+        match &self.inner {
+            SenderInner::Link { a_side, .. } => f
+                .debug_struct("FrameSender")
+                .field("a_side", a_side)
+                .finish_non_exhaustive(),
+            SenderInner::Tcp(out) => f
+                .debug_struct("FrameSender")
+                .field("tcp_conn", &out.conn)
+                .finish_non_exhaustive(),
+        }
     }
 }
 
 impl FrameSender {
+    /// Wraps a TCP connection's write queue.
+    pub(crate) fn from_tcp(out: Arc<TcpOutbound>) -> FrameSender {
+        FrameSender {
+            inner: SenderInner::Tcp(out),
+        }
+    }
+
     /// Sends a raw frame.
     pub fn send_frame(&self, frame: Bytes) -> Result<()> {
-        if self.a_side {
-            self.stats.a_to_b_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .a_to_b_bytes
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        } else {
-            self.stats.b_to_a_frames.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .b_to_a_bytes
-                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        match &self.inner {
+            SenderInner::Link {
+                tx,
+                stats,
+                a_side,
+                notify,
+                ..
+            } => {
+                stats.record(*a_side, frame.len());
+                tx.send(frame).map_err(|_| MqttError::Disconnected)?;
+                notify.0.fire();
+                Ok(())
+            }
+            SenderInner::Tcp(out) => out.push(frame),
         }
-        self.tx.send(frame).map_err(|_| MqttError::Disconnected)
     }
 
     /// Encodes and sends one packet.
@@ -232,15 +369,28 @@ impl FrameSender {
         self.send_frame(codec::encode(packet)?)
     }
 
-    /// Shared traffic counters for this link.
+    /// Shared traffic counters for this connection.
     pub fn stats(&self) -> &Arc<LinkStats> {
-        &self.stats
+        match &self.inner {
+            SenderInner::Link { stats, .. } => stats,
+            SenderInner::Tcp(out) => &out.stats,
+        }
     }
 }
 
 /// Receive-only half of a link end.
 pub struct FrameReceiver {
     rx: Receiver<Bytes>,
+}
+
+/// Outcome of a non-blocking frame pop.
+pub(crate) enum TryRecv {
+    /// One frame was popped.
+    Frame(Bytes),
+    /// Nothing queued right now.
+    Empty,
+    /// Every peer send handle is gone and the queue is drained.
+    Closed,
 }
 
 impl FrameReceiver {
@@ -257,6 +407,187 @@ impl FrameReceiver {
             RecvTimeoutError::Disconnected => MqttError::Disconnected,
         })
     }
+
+    /// Pops one frame without blocking (the reactor's per-notify pop).
+    pub(crate) fn try_recv_frame(&self) -> TryRecv {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok(frame) => TryRecv::Frame(frame),
+            Err(TryRecvError::Empty) => TryRecv::Empty,
+            Err(TryRecvError::Disconnected) => TryRecv::Closed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP write queue
+// ---------------------------------------------------------------------
+
+/// Shared outbound state of one TCP connection.
+///
+/// Any shard may push encoded frames (routing fan-out crosses shards);
+/// only the owner shard pops, writing with `writev` when its reactor says
+/// the socket is writable. Pushes never block — the queue is unbounded —
+/// but a queue that outgrows `hwm` bytes marks the connection **evicted**
+/// (slow consumer): subsequent pushes fail, and the owner shard tears the
+/// connection down ungracefully, which fires the client's last will.
+pub(crate) struct TcpOutbound {
+    /// Connection id (doubles as the reactor token).
+    conn: u64,
+    q: Mutex<VecDeque<Bytes>>,
+    /// Bytes pushed but not yet written to the socket.
+    queued_bytes: AtomicU64,
+    /// Slow-consumer eviction watermark (bytes).
+    hwm: u64,
+    evicted: AtomicBool,
+    eviction_counted: AtomicBool,
+    closed: AtomicBool,
+    /// Deduplicates flush scheduling: set by the first push after a
+    /// flush, cleared by the owner shard at the start of each flush pass.
+    flush_armed: AtomicBool,
+    /// The owner shard's flush queue; retargeted once if the connection
+    /// migrates from its home shard to its owner at CONNECT time.
+    sched: Mutex<Arc<WriteScheduler>>,
+    stats: Arc<LinkStats>,
+}
+
+impl TcpOutbound {
+    pub(crate) fn new(conn: u64, hwm: u64, sched: Arc<WriteScheduler>) -> Arc<TcpOutbound> {
+        Arc::new(TcpOutbound {
+            conn,
+            q: Mutex::new(VecDeque::new()),
+            queued_bytes: AtomicU64::new(0),
+            hwm,
+            evicted: AtomicBool::new(false),
+            eviction_counted: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            flush_armed: AtomicBool::new(false),
+            sched: Mutex::new(sched),
+            stats: Arc::new(LinkStats::default()),
+        })
+    }
+
+    /// Queues one frame and schedules a flush with the owner shard.
+    fn push(&self, frame: Bytes) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) || self.evicted.load(Ordering::Acquire) {
+            return Err(MqttError::Disconnected);
+        }
+        let len = frame.len() as u64;
+        self.stats.record(false, frame.len());
+        let total = {
+            let mut q = self.q.lock().expect("tcp outbound lock");
+            q.push_back(frame);
+            self.queued_bytes.fetch_add(len, Ordering::Relaxed) + len
+        };
+        if total > self.hwm {
+            self.evicted.store(true, Ordering::Release);
+        }
+        if !self.flush_armed.swap(true, Ordering::AcqRel) {
+            let sched = Arc::clone(&self.sched.lock().expect("tcp sched lock"));
+            sched.schedule(self.conn);
+        }
+        Ok(())
+    }
+
+    /// Moves all queued frames into the owner shard's write buffer.
+    pub(crate) fn drain_into(&self, out: &mut VecDeque<Bytes>) {
+        let mut q = self.q.lock().expect("tcp outbound lock");
+        out.extend(q.drain(..));
+    }
+
+    /// Accounts `n` bytes as written to the socket.
+    pub(crate) fn note_written(&self, n: u64) {
+        self.queued_bytes.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Clears the flush-scheduling flag; called by the owner shard right
+    /// before draining so a concurrent push re-schedules.
+    pub(crate) fn begin_flush(&self) {
+        self.flush_armed.store(false, Ordering::Release);
+    }
+
+    /// Redirects future flush scheduling at the owner shard (CONNECT-time
+    /// migration from the connection's home shard).
+    pub(crate) fn retarget(&self, sched: Arc<WriteScheduler>) {
+        *self.sched.lock().expect("tcp sched lock") = sched;
+    }
+
+    /// True once the write queue crossed the eviction watermark.
+    pub(crate) fn is_evicted(&self) -> bool {
+        self.evicted.load(Ordering::Acquire)
+    }
+
+    /// Returns true exactly once for an evicted connection (counter gate).
+    pub(crate) fn take_eviction_count(&self) -> bool {
+        self.is_evicted() && !self.eviction_counted.swap(true, Ordering::AcqRel)
+    }
+
+    /// Marks the connection closed: future pushes fail fast.
+    pub(crate) fn mark_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client-side TCP link pump
+// ---------------------------------------------------------------------
+
+/// Dials a broker's TCP listener and adapts the socket into a [`LinkEnd`],
+/// so the threaded [`crate::client::Client`] (and any [`LinkEnd`]-based
+/// code) can speak to a remote broker unchanged. Two pump threads carry
+/// frames between the socket and the link; they exit when either side
+/// closes. This is the *client*-side convenience — the broker side stays
+/// thread-free per connection (see [`crate::reactor`]).
+pub fn tcp_link(addr: impl ToSocketAddrs) -> Result<LinkEnd> {
+    let stream = TcpStream::connect(addr).map_err(|_| MqttError::Disconnected)?;
+    let _ = stream.set_nodelay(true);
+    let (app_end, pump_end) = link();
+    let (pump_tx, pump_rx) = pump_end.split();
+    let reader = stream.try_clone().map_err(|_| MqttError::Disconnected)?;
+
+    std::thread::Builder::new()
+        .name("tcp-link-rx".to_owned())
+        .spawn(move || {
+            let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
+            let mut chunk = [0u8; 16384];
+            let mut reader = reader;
+            'read: loop {
+                match reader.read(&mut chunk) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                }
+                loop {
+                    match codec::frame_length(&rbuf) {
+                        Ok(Some(len)) if rbuf.len() >= len => {
+                            let frame: Vec<u8> = rbuf.drain(..len).collect();
+                            if pump_tx.send_frame(Bytes::from(frame)).is_err() {
+                                break 'read;
+                            }
+                        }
+                        Ok(_) => break,
+                        Err(_) => break 'read,
+                    }
+                }
+            }
+            let _ = reader.shutdown(std::net::Shutdown::Both);
+            // pump_tx drops here: the app end observes Disconnected.
+        })
+        .map_err(|_| MqttError::Disconnected)?;
+
+    std::thread::Builder::new()
+        .name("tcp-link-tx".to_owned())
+        .spawn(move || {
+            let mut stream = stream;
+            while let Ok(frame) = pump_rx.recv_frame() {
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        })
+        .map_err(|_| MqttError::Disconnected)?;
+
+    Ok(app_end)
 }
 
 #[cfg(test)]
@@ -264,6 +595,7 @@ mod tests {
     use super::*;
     use crate::packet::{Packet, Publish};
     use crate::topic::TopicName;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn frames_flow_both_directions() {
@@ -333,5 +665,62 @@ mod tests {
             assert_eq!(a.recv_frame().unwrap(), msg);
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn incoming_notify_fires_per_send_and_on_drop() {
+        let (client, broker) = link();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        broker.set_incoming_notify(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        client.send_frame(Bytes::from_static(b"a")).unwrap();
+        client.send_frame(Bytes::from_static(b"b")).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        drop(client);
+        // The drop of the client's send handle fires the hook once more,
+        // so the broker probes the (now disconnected) channel.
+        assert!(hits.load(Ordering::SeqCst) >= 3);
+        let (_tx, rx) = broker.split();
+        assert!(matches!(rx.try_recv_frame(), TryRecv::Frame(_)));
+        assert!(matches!(rx.try_recv_frame(), TryRecv::Frame(_)));
+        assert!(matches!(rx.try_recv_frame(), TryRecv::Closed));
+    }
+
+    #[test]
+    fn split_sender_still_fires_notify() {
+        let (client, broker) = link();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        broker.set_incoming_notify(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        let (tx, _rx) = client.split();
+        tx.send_frame(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        drop(tx);
+        assert!(hits.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn tcp_outbound_evicts_past_watermark() {
+        let (wake, _recv) = crate::reactor::waker().unwrap();
+        let sched = Arc::new(WriteScheduler::new(wake));
+        let out = TcpOutbound::new(1, 10, Arc::clone(&sched));
+        let tx = FrameSender::from_tcp(Arc::clone(&out));
+        tx.send_frame(Bytes::from_static(b"123456")).unwrap();
+        assert!(!out.is_evicted());
+        // Crossing the 10-byte watermark marks the slow consumer.
+        tx.send_frame(Bytes::from_static(b"789abc")).unwrap();
+        assert!(out.is_evicted());
+        assert_eq!(
+            tx.send_frame(Bytes::from_static(b"x")).unwrap_err(),
+            MqttError::Disconnected
+        );
+        assert!(out.take_eviction_count());
+        assert!(!out.take_eviction_count(), "counted exactly once");
+        // Both frames were scheduled as one flush pass.
+        assert_eq!(sched.take(), vec![1]);
     }
 }

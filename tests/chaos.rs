@@ -27,6 +27,24 @@ fn global_bits(v: f64) -> String {
     format!("g={:08x}", (v as f32).to_bits())
 }
 
+/// Pins a `shards = 1` scenario's trace hash to its golden value — the
+/// refactor gate: any change to routing order, fault evaluation, or
+/// delivery sequencing in the deterministic single-shard mode shows up
+/// here as a hash drift. Skipped when the CI seed matrix overrides the
+/// seed (a different seed legitimately produces a different trace).
+fn assert_golden_hash(trace: &ScenarioTrace, golden: u64) {
+    if std::env::var("SDFLMQ_CHAOS_SEED").is_ok() {
+        return;
+    }
+    assert_eq!(
+        trace.hash(),
+        golden,
+        "scenario {} trace hash {:016x} drifted from golden {golden:016x}",
+        trace.scenario,
+        trace.hash(),
+    );
+}
+
 fn assert_all_completed(trace: &ScenarioTrace, rounds: u32, mean: f64) {
     for o in &trace.outcomes {
         assert_eq!(
@@ -91,6 +109,7 @@ fn chaos_partition_coordinator_aggregator_heals_mid_round() {
     });
     assert_all_completed(&trace, 2, 2.0); // mean of 1,2,3
     assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
+    assert_golden_hash(&trace, 0xf235218afa117842);
 }
 
 /// A trainer's parameter blob is delivered twice (at-least-once
@@ -119,6 +138,7 @@ fn chaos_duplicated_contrib_is_deduplicated() {
     });
     // (1+2+4)/3; a double-counted duplicate would read (1+2+2+4)/4 = 2.25.
     assert_all_completed(&trace, 1, 7.0 / 3.0);
+    assert_golden_hash(&trace, 0x710f2135b8b6358a);
     assert_eq!(trace.rule_hits, [("dup".to_owned(), 1)]);
 }
 
@@ -159,6 +179,7 @@ fn chaos_reordered_set_role_and_round_start() {
     });
     assert_all_completed(&trace, 2, 2.0);
     assert_eq!(trace.rule_hits, [("swap".to_owned(), 1)]);
+    assert_golden_hash(&trace, 0x43aa2c77a9000339);
 }
 
 /// Two of three reports close the quorum; the third is held hostage. The
@@ -201,6 +222,7 @@ fn chaos_delayed_quorum_closes_exactly_at_grace_boundary() {
     });
     assert_all_completed(&trace, 2, 2.0);
     assert_eq!(trace.rule_hits, [("late-done".to_owned(), 1)]);
+    assert_golden_hash(&trace, 0x0a938448b5fd9d6d);
 }
 
 /// One byte of a trainer's blob frame is flipped in flight: the
@@ -239,6 +261,7 @@ fn chaos_corrupt_blob_frame_forces_dropped_transfer_then_resend() {
             })
     });
     assert_all_completed(&trace, 1, 2.0);
+    assert_golden_hash(&trace, 0x9ffb783e6514a502);
     assert_eq!(trace.rule_hits, [("flip".to_owned(), 1)]);
     let root = trace.outcomes.iter().find(|o| o.client == "c00").unwrap();
     assert_eq!(
@@ -258,6 +281,7 @@ fn chaos_fifty_client_mixed_codec_churn_soak() {
     let seed = base_seed(42) ^ 0x06;
     let trace = assert_deterministic(|| run_churn_soak("chaos-churn-soak", seed, 1));
     assert_churn_soak_outcomes(&trace);
+    assert_golden_hash(&trace, 0x36d88003b6568f99);
 }
 
 /// Builds and runs the 50-client churn soak on a broker with `shards`
@@ -390,6 +414,7 @@ fn chaos_broker_restart_mid_round_recovers_and_completes() {
             })
     });
     assert_all_completed(&trace, 2, 2.0); // mean of 1,2,3 — bit-exact
+    assert_golden_hash(&trace, 0xc251adf392539833);
     assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
     assert_eq!(trace.rule_hits, [("doomed-blob".to_owned(), 1)]);
 }
@@ -427,6 +452,7 @@ fn chaos_fanout_window_picks_deterministic_victim() {
             })
     });
     assert_eq!(trace.rule_hits, [("mangle-global".to_owned(), 1)]);
+    assert_golden_hash(&trace, 0x6488dfa18e2cad9e);
     assert_eq!(trace.final_state, "completed");
     assert!(
         trace.evicted.is_empty(),
