@@ -24,11 +24,41 @@ use sdflmq_core::{
     simulate, AggregationMethod, FedAvg, MemoryAware, SimConfig, Topology, UpdateCodec,
 };
 use sdflmq_mqttfc::Json;
+use sdflmq_nn::codec::reference;
+use sdflmq_nn::parallel::WorkerPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 const MODEL_PARAMS: usize = 109_386; // 784-128-64-10 MLP
 const CLIENTS: usize = 40;
 const FAN_IN: usize = 32;
+
+/// Counting allocator for the steady-state probe: every `alloc` /
+/// `realloc` bumps a counter, so a round loop that reuses its buffers
+/// shows a *flat* per-round count instead of growth.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn pseudo_model(n: usize) -> Vec<f32> {
     (0..n)
@@ -85,6 +115,119 @@ fn bench_codec(codec: UpdateCodec, rounds: u32, iters: u32) -> CodecResult {
         encode_melems_s: MODEL_PARAMS as f64 / encode_s / 1e6,
         decode_melems_s: MODEL_PARAMS as f64 / decode_s / 1e6,
     }
+}
+
+/// One codec's encode/decode throughput at one thread count. The
+/// 1-thread row runs the retained serial [`reference`] implementation —
+/// the pre-parallel baseline — so the scaling axis measures the whole
+/// data-plane rewrite (SIMD kernels + buffer reuse + chunk workers),
+/// not just thread fan-out.
+struct ThreadRow {
+    threads: usize,
+    encode_melems_s: f64,
+    decode_melems_s: f64,
+}
+
+struct ThreadScaling {
+    codec: UpdateCodec,
+    rows: Vec<ThreadRow>,
+    encode_speedup_4_vs_1: f64,
+}
+
+/// Best-of-`iters` wall time of `f` — minimum, not mean, so one
+/// scheduler preemption (likely on small CI hosts) cannot sink a row.
+fn min_time(iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_threads(codec: UpdateCodec, iters: u32) -> ThreadScaling {
+    let x = pseudo_model(MODEL_PARAMS);
+    let mut rows: Vec<ThreadRow> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (encode_s, decode_s) = if threads == 1 {
+            let mut residual = Vec::new();
+            let encoded = reference::encode(codec, &x, None, &mut residual);
+            let encode_s = min_time(iters, || {
+                residual.clear();
+                let enc = reference::encode(codec, &x, None, &mut residual);
+                assert_eq!(enc.len(), encoded.len());
+            });
+            let decode_s = min_time(iters, || {
+                let dec = reference::decode(codec, &encoded, None).expect("decodes");
+                assert_eq!(dec.len(), MODEL_PARAMS);
+            });
+            (encode_s, decode_s)
+        } else {
+            let pool = WorkerPool::new(threads);
+            let mut residual = Vec::new();
+            let mut encoded = Vec::new();
+            let mut decoded = Vec::new();
+            codec.encode_into(&x, None, &mut residual, &pool, &mut encoded);
+            let encode_s = min_time(iters, || {
+                residual.clear();
+                codec.encode_into(&x, None, &mut residual, &pool, &mut encoded);
+            });
+            let decode_s = min_time(iters, || {
+                codec
+                    .decode_into(&encoded, None, &pool, &mut decoded)
+                    .expect("decodes");
+            });
+            (encode_s, decode_s)
+        };
+        rows.push(ThreadRow {
+            threads,
+            encode_melems_s: MODEL_PARAMS as f64 / encode_s / 1e6,
+            decode_melems_s: MODEL_PARAMS as f64 / decode_s / 1e6,
+        });
+    }
+    let encode_speedup_4_vs_1 = rows[2].encode_melems_s / rows[0].encode_melems_s;
+    ThreadScaling {
+        codec,
+        rows,
+        encode_speedup_4_vs_1,
+    }
+}
+
+/// Steady-state allocation probe: one "round" encodes, decodes, and
+/// folds a model-sized update with *reused* buffers, the way the client
+/// runtime's pooled path does. After warmup the per-round allocation
+/// count must be flat — any growth means a hot-path buffer escaped the
+/// pool.
+fn bench_allocs_per_round(rounds: usize) -> (Vec<u64>, bool) {
+    let codec = UpdateCodec::Int8;
+    let x = pseudo_model(MODEL_PARAMS);
+    let pool = WorkerPool::new(2);
+    let mut residual = Vec::new();
+    let mut encoded = Vec::new();
+    let mut decoded = Vec::new();
+    let round = |residual: &mut Vec<f32>, encoded: &mut Vec<u8>, decoded: &mut Vec<f32>| {
+        codec.encode_into(&x, None, residual, &pool, encoded);
+        codec
+            .decode_into(encoded, None, &pool, decoded)
+            .expect("decodes");
+        let mut acc = FedAvg.accumulator();
+        acc.fold_par(decoded, 600, &pool).expect("fold");
+        let out = acc.finish().expect("finish");
+        assert_eq!(out.len(), MODEL_PARAMS);
+    };
+    // Warmup: buffers and worker thread-locals reach steady capacity.
+    for _ in 0..2 {
+        round(&mut residual, &mut encoded, &mut decoded);
+    }
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        round(&mut residual, &mut encoded, &mut decoded);
+        per_round.push(ALLOCS.load(Ordering::Relaxed) - before);
+    }
+    let flat = per_round.windows(2).all(|w| w[0] == w[1]);
+    (per_round, flat)
 }
 
 /// Streaming FedAvg fold at fan-in 32: throughput and peak buffering.
@@ -167,6 +310,49 @@ fn main() {
          peak buffered vectors {peak_buffered} (O(model))"
     );
 
+    // Thread-scaling axis: 1 thread = the retained serial reference
+    // (the pre-parallel data plane), 2/4 = the chunked parallel path.
+    let thread_iters = iters.max(5);
+    let scaling: Vec<ThreadScaling> = codecs
+        .iter()
+        .map(|c| bench_threads(*c, thread_iters))
+        .collect();
+    println!("\ncodec   threads  enc-Me/s  dec-Me/s   (1 thread = serial reference)");
+    let mut scaling_entries = Vec::new();
+    for s in &scaling {
+        let mut row_entries = Vec::new();
+        for row in &s.rows {
+            println!(
+                "{:<7} {:>7}  {:>8.1}  {:>8.1}",
+                s.codec.name(),
+                row.threads,
+                row.encode_melems_s,
+                row.decode_melems_s,
+            );
+            row_entries.push(Json::object([
+                ("threads", Json::num(row.threads as f64)),
+                ("encode_melems_per_s", Json::num(row.encode_melems_s)),
+                ("decode_melems_per_s", Json::num(row.decode_melems_s)),
+            ]));
+        }
+        println!(
+            "{:<7} encode speedup 4-vs-1: {:.2}x",
+            s.codec.name(),
+            s.encode_speedup_4_vs_1
+        );
+        scaling_entries.push(Json::object([
+            ("codec", Json::str(s.codec.name())),
+            ("rows", Json::Array(row_entries)),
+            ("encode_speedup_4_vs_1", Json::num(s.encode_speedup_4_vs_1)),
+        ]));
+    }
+
+    let (allocs_per_round, allocs_flat) = bench_allocs_per_round(if smoke { 4 } else { 8 });
+    println!(
+        "\nallocations/round (encode+decode+fold, reused buffers): {allocs_per_round:?} \
+         flat={allocs_flat}"
+    );
+
     // The acceptance invariants, asserted so CI smoke runs enforce them.
     let int8 = &results[2];
     let int8_reduction = dense_bytes_per_round as f64 / int8.bytes_per_round as f64;
@@ -175,12 +361,23 @@ fn main() {
         "int8 bytes/round reduction {int8_reduction:.3} < 3.9x"
     );
     assert_eq!(peak_buffered, 1, "FedAvg fold must stay O(model)");
+    let int8_speedup = scaling[2].encode_speedup_4_vs_1;
+    assert!(
+        int8_speedup >= 1.8,
+        "int8 encode at 4 threads only {int8_speedup:.2}x over the serial reference (< 1.8x)"
+    );
+    assert!(
+        allocs_flat,
+        "steady-state allocations grew round over round: {allocs_per_round:?}"
+    );
 
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = Json::object([
         ("model_params", Json::num(MODEL_PARAMS as f64)),
         ("clients", Json::num(CLIENTS as f64)),
         ("rounds", Json::num(rounds as f64)),
         ("smoke", Json::Bool(smoke)),
+        ("cpus", Json::num(cpus as f64)),
         ("codecs", Json::Array(entries)),
         (
             "fedavg_fold",
@@ -190,7 +387,24 @@ fn main() {
                 ("peak_buffered_vectors", Json::num(peak_buffered as f64)),
             ]),
         ),
+        ("thread_scaling", Json::Array(scaling_entries)),
+        (
+            "allocations_per_round",
+            Json::object([
+                (
+                    "per_round",
+                    Json::Array(
+                        allocs_per_round
+                            .iter()
+                            .map(|&n| Json::num(n as f64))
+                            .collect(),
+                    ),
+                ),
+                ("flat", Json::Bool(allocs_flat)),
+            ]),
+        ),
         ("int8_bytes_per_round_reduction", Json::num(int8_reduction)),
+        ("int8_encode_speedup_4_vs_1", Json::num(int8_speedup)),
     ]);
     std::fs::write("BENCH_dataplane.json", doc.to_string_compact())
         .expect("write BENCH_dataplane.json");

@@ -16,6 +16,8 @@
 //! capacity planners can see it.
 
 use crate::error::{CoreError, Result};
+use sdflmq_nn::codec::PAR_CHUNK;
+use sdflmq_nn::parallel::WorkerPool;
 
 /// A weighted parameter contribution: `(params, weight)` where weight is
 /// the number of samples the vector was trained on.
@@ -30,6 +32,14 @@ pub trait Accumulator: Send {
     /// earlier contributions (the fold is then *not* applied, so the
     /// caller may continue with the remaining children).
     fn fold(&mut self, params: &[f32], weight: u64) -> Result<()>;
+
+    /// [`Accumulator::fold`] with a worker pool for chunk-parallel
+    /// accumulators. Defaults to the serial fold; implementations that
+    /// override it must produce **bit-identical** state at any thread
+    /// count (chaos traces hash the resulting global models).
+    fn fold_par(&mut self, params: &[f32], weight: u64, _pool: &WorkerPool) -> Result<()> {
+        self.fold(params, weight)
+    }
 
     /// Number of contributions folded so far.
     fn count(&self) -> usize;
@@ -100,6 +110,34 @@ impl Accumulator for FedAvgAccumulator {
         for (s, p) in self.sum.iter_mut().zip(params) {
             *s += *p as f64 * w;
         }
+        self.total_weight += weight;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn fold_par(&mut self, params: &[f32], weight: u64, pool: &WorkerPool) -> Result<()> {
+        if self.count == 0 {
+            self.sum = vec![0.0; params.len()];
+        } else {
+            check_len(self.sum.len(), params.len())?;
+        }
+        // Disjoint fixed-size ranges, each summed in the same element
+        // order as the serial fold — `sum[i] += p[i] * w` is element-local,
+        // so any partition of the index space is bit-identical.
+        let w = weight as f64;
+        let tasks: Vec<std::sync::Mutex<(&mut [f64], &[f32])>> = self
+            .sum
+            .chunks_mut(PAR_CHUNK)
+            .zip(params.chunks(PAR_CHUNK))
+            .map(std::sync::Mutex::new)
+            .collect();
+        pool.run(tasks.len(), |i| {
+            let mut t = tasks[i].lock().unwrap();
+            let (sum, p) = &mut *t;
+            for (s, p) in sum.iter_mut().zip(p.iter()) {
+                *s += *p as f64 * w;
+            }
+        });
         self.total_weight += weight;
         self.count += 1;
         Ok(())
@@ -421,6 +459,62 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "{}: {a} vs {b}", method.name());
             }
         }
+    }
+
+    #[test]
+    fn fold_par_is_bit_identical_to_serial_fold() {
+        // Disjoint-range parallel FedAvg must match the serial sum bit for
+        // bit at any thread count and across chunk-boundary lengths.
+        use sdflmq_nn::codec::PAR_CHUNK;
+        for n in [0usize, 1, PAR_CHUNK - 1, PAR_CHUNK, PAR_CHUNK + 1, 20_000] {
+            let rows: Vec<Vec<f32>> = (0..4)
+                .map(|r| {
+                    (0..n)
+                        .map(|i| ((i as f32) * 0.11 + r as f32).sin() * 3.7)
+                        .collect()
+                })
+                .collect();
+            let weights = [3u64, 1, 7, 5];
+            let mut serial = FedAvgAccumulator::default();
+            for (row, w) in rows.iter().zip(weights) {
+                serial.fold(row, w).unwrap();
+            }
+            for threads in [1usize, 2, 4] {
+                let pool = WorkerPool::new(threads);
+                let mut par = FedAvgAccumulator::default();
+                for (row, w) in rows.iter().zip(weights) {
+                    par.fold_par(row, w, &pool).unwrap();
+                }
+                assert_eq!(par.count, serial.count);
+                assert_eq!(par.total_weight, serial.total_weight);
+                let a: Vec<u64> = serial.sum.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = par.sum.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_par_rejects_length_mismatch_like_fold() {
+        let pool = WorkerPool::new(2);
+        let mut acc = FedAvgAccumulator::default();
+        acc.fold_par(&[1.0, 2.0], 1, &pool).unwrap();
+        assert!(acc.fold_par(&[1.0], 1, &pool).is_err());
+        assert_eq!(acc.count, 1);
+    }
+
+    #[test]
+    fn default_fold_par_falls_back_to_serial() {
+        // Buffering accumulators don't override fold_par; the default
+        // must behave exactly like fold.
+        let pool = WorkerPool::new(4);
+        let mut acc = CoordinateMedian.accumulator();
+        acc.fold_par(&[1.0], 1, &pool).unwrap();
+        acc.fold_par(&[5.0], 1, &pool).unwrap();
+        acc.fold_par(&[2.0], 1, &pool).unwrap();
+        assert_eq!(acc.buffered_vectors(), 3);
+        let out = acc.finish().unwrap();
+        assert!((out[0] - 2.0).abs() < 1e-6);
     }
 
     #[test]

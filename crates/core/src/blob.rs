@@ -6,6 +6,7 @@
 //! channel reuses the MQTTFC batching layer (compress → split →
 //! CRC-checked chunks → reassemble) on arbitrary topics.
 
+use crate::bufpool::BufferPool;
 use crate::error::Result;
 use crate::messages::{Blob, UpdateMeta};
 use crate::wirecodec::WireVersion;
@@ -39,6 +40,10 @@ pub struct BlobChannel {
     transfer_base: u64,
     next_transfer: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    copied: Arc<AtomicU64>,
+    /// Recycles frame-encode buffers across publishes (steady-state
+    /// rounds re-encode into the previous round's reclaimed storage).
+    pool: Arc<BufferPool>,
 }
 
 impl BlobChannel {
@@ -56,7 +61,23 @@ impl BlobChannel {
             transfer_base: base,
             next_transfer: Arc::new(AtomicU64::new(1)),
             dropped: Arc::new(AtomicU64::new(0)),
+            copied: Arc::new(AtomicU64::new(0)),
+            pool: BufferPool::new(),
         }
+    }
+
+    /// Payload bytes the receive path has copied (multi-chunk
+    /// concatenation and decompression output, summed across this
+    /// channel's subscriptions). Single-chunk uncompressed transfers
+    /// deliver zero-copy slices of the received frames and add nothing.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
+    }
+
+    /// The channel's frame-buffer pool (see [`BufferPool::counters`] for
+    /// the allocation-reuse counters).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Transfers this endpoint received but could not deliver: corrupt
@@ -97,11 +118,16 @@ impl BlobChannel {
         version: WireVersion,
         update: &UpdateMeta,
     ) -> Result<()> {
-        let encoded = blob.encode_update(version, update);
+        // Encode into a pooled buffer; after the frames (which carry
+        // their own copies of the body) are published nothing else holds
+        // the frame buffer, so lending it back lets the next publish
+        // reclaim the allocation.
+        let encoded = blob.encode_update_into(version, update, self.pool.take_bytes());
         let transfer_id = self.transfer_base ^ self.next_transfer.fetch_add(1, Ordering::Relaxed);
         for frame in split(&encoded, transfer_id, &self.batch) {
             self.client.publish(topic, frame, self.qos, false)?;
         }
+        self.pool.lend(encoded);
         Ok(())
     }
 
@@ -114,6 +140,8 @@ impl BlobChannel {
         let reassembler = Mutex::new(Reassembler::new(self.batch.clone()));
         let counter = AtomicU64::new(0);
         let dropped = Arc::clone(&self.dropped);
+        let copied = Arc::clone(&self.copied);
+        let copied_seen = AtomicU64::new(0);
         self.client.subscribe_with(
             filter,
             self.qos,
@@ -121,9 +149,17 @@ impl BlobChannel {
                 if counter.fetch_add(1, Ordering::Relaxed) % 256 == 255 {
                     reassembler.lock().evict_stale();
                 }
-                let result = reassembler
-                    .lock()
-                    .push(publish.topic.as_str(), publish.payload.clone());
+                let result = {
+                    let mut r = reassembler.lock();
+                    // The payload `Bytes` clone shares storage (refcount
+                    // bump, no copy); real copies are what the
+                    // reassembler's own counter reports.
+                    let result = r.push(publish.topic.as_str(), publish.payload.clone());
+                    let now = r.copied_bytes();
+                    let before = copied_seen.swap(now, Ordering::Relaxed);
+                    copied.fetch_add(now - before, Ordering::Relaxed);
+                    result
+                };
                 match result {
                     Ok(PushResult::Complete(body)) => match Blob::decode_update(body) {
                         Ok((blob, update, version)) => handler(blob, BlobCtx { version, update }),
@@ -271,6 +307,60 @@ mod tests {
         let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got, sent);
         assert_eq!(rx_chan.dropped_transfers(), 1);
+    }
+
+    #[test]
+    fn single_chunk_receive_copies_nothing() {
+        let broker = Broker::start_default();
+        let client = Client::connect(&broker, ClientOptions::new("rx0")).unwrap();
+        // Compression off and a payload below the chunk size: the blob
+        // body must arrive as a slice of the received frame.
+        let batch = BatchConfig {
+            compress: false,
+            ..BatchConfig::default()
+        };
+        let rx_chan = BlobChannel::new(client, "rx0", batch, QoS::AtLeastOnce);
+        let (tx, rx) = bounded(1);
+        rx_chan
+            .subscribe(
+                &TopicFilter::new("params/zc").unwrap(),
+                Arc::new(move |b, _| {
+                    let _ = tx.send(b);
+                }),
+            )
+            .unwrap();
+        let client = Client::connect(&broker, ClientOptions::new("tx0")).unwrap();
+        let batch = BatchConfig {
+            compress: false,
+            ..BatchConfig::default()
+        };
+        let tx_chan = BlobChannel::new(client, "tx0", batch, QoS::AtLeastOnce);
+        let sent = blob((0..10_000u32).map(|i| (i % 251) as u8).collect());
+        tx_chan
+            .publish(&TopicName::new("params/zc").unwrap(), &sent)
+            .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, sent);
+        assert_eq!(rx_chan.copied_bytes(), 0, "receive path must be zero-copy");
+    }
+
+    #[test]
+    fn publish_reuses_pooled_frame_buffers() {
+        let broker = Broker::start_default();
+        let tx_chan = channel(&broker, "txp");
+        let topic = TopicName::new("params/pool").unwrap();
+        let sent = blob(vec![3u8; 20_000]);
+        tx_chan.publish(&topic, &sent).unwrap();
+        let (fresh_after_first, _) = tx_chan.buffer_pool().counters();
+        for _ in 0..5 {
+            tx_chan.publish(&topic, &sent).unwrap();
+        }
+        let (fresh, reused) = tx_chan.buffer_pool().counters();
+        assert_eq!(
+            fresh, fresh_after_first,
+            "steady-state publishes must not allocate new frame buffers"
+        );
+        assert_eq!(reused, 5);
     }
 
     #[test]

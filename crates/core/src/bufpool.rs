@@ -1,0 +1,204 @@
+//! Reusable buffer pool for the data plane.
+//!
+//! Every FL round moves model-sized buffers through the same stations:
+//! encode the local update into bytes, frame it for the wire, decode
+//! inbound contributions into `f32` scratch. Allocating those multi-
+//! megabyte vectors fresh each round churns the allocator for no reason —
+//! the sizes are identical round over round. A [`BufferPool`] recycles
+//! them: steady-state rounds run allocation-flat, taking and returning
+//! the same backing storage.
+//!
+//! Published payloads are `Bytes` (shared ownership), so their backing
+//! `Vec<u8>` cannot be returned while any handle is alive. [`lend`]
+//! parks such a payload in the pool; a later [`take_bytes`] reclaims it
+//! through [`Bytes::try_into_vec`] once every other clone has dropped
+//! (typically one round later, when the cached re-send copy is
+//! replaced).
+//!
+//! [`lend`]: BufferPool::lend
+//! [`take_bytes`]: BufferPool::take_bytes
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Buffers retained per kind; excess returns are dropped so a burst
+/// (e.g. a wide fan-in arriving at once) cannot grow the pool forever.
+const MAX_POOLED: usize = 8;
+
+/// A pool of reusable data-plane buffers. Cheap to share (`Arc`);
+/// all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    bytes: Vec<Vec<u8>>,
+    floats: Vec<Vec<f32>>,
+    /// Published payloads awaiting reclamation (see [`BufferPool::lend`]).
+    lent: Vec<Bytes>,
+}
+
+impl BufferPool {
+    /// Creates an empty shared pool.
+    pub fn new() -> Arc<BufferPool> {
+        Arc::new(BufferPool::default())
+    }
+
+    /// Takes a byte buffer: a recycled one when available (reclaiming any
+    /// lent payloads whose other handles have dropped), a fresh empty
+    /// vector otherwise. Always returned cleared.
+    pub fn take_bytes(&self) -> Vec<u8> {
+        let mut inner = self.inner.lock();
+        reclaim(&mut inner);
+        match inner.bytes.pop() {
+            Some(v) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a byte buffer to the pool (cleared, capacity kept).
+    pub fn put_bytes(&self, mut v: Vec<u8>) {
+        v.clear();
+        let mut inner = self.inner.lock();
+        if inner.bytes.len() < MAX_POOLED {
+            inner.bytes.push(v);
+        }
+    }
+
+    /// Takes an `f32` scratch buffer (cleared; capacity from a previous
+    /// round when available).
+    pub fn take_floats(&self) -> Vec<f32> {
+        let mut inner = self.inner.lock();
+        match inner.floats.pop() {
+            Some(v) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns an `f32` scratch buffer to the pool.
+    pub fn put_floats(&self, mut v: Vec<f32>) {
+        v.clear();
+        let mut inner = self.inner.lock();
+        if inner.floats.len() < MAX_POOLED {
+            inner.floats.push(v);
+        }
+    }
+
+    /// Parks a published payload for later reclamation. The backing
+    /// storage returns to the byte pool on a future [`take_bytes`] once
+    /// this is the payload's last handle ([`Bytes::try_into_vec`]);
+    /// payloads still shared elsewhere simply wait.
+    ///
+    /// [`take_bytes`]: BufferPool::take_bytes
+    pub fn lend(&self, payload: Bytes) {
+        let mut inner = self.inner.lock();
+        reclaim(&mut inner);
+        if inner.lent.len() < MAX_POOLED {
+            inner.lent.push(payload);
+        }
+    }
+
+    /// (buffers allocated fresh, buffers served from the pool) — for
+    /// tests and the allocation probe; steady state grows only `reused`.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.fresh.load(Ordering::Relaxed),
+            self.reused.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Moves every lent payload whose other handles have dropped back into
+/// the byte pool.
+fn reclaim(inner: &mut PoolInner) {
+    if inner.lent.is_empty() {
+        return;
+    }
+    let lent = std::mem::take(&mut inner.lent);
+    for b in lent {
+        match b.try_into_vec() {
+            Ok(mut v) => {
+                if inner.bytes.len() < MAX_POOLED {
+                    v.clear();
+                    inner.bytes.push(v);
+                }
+            }
+            Err(b) => inner.lent.push(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_recycles_capacity() {
+        let pool = BufferPool::new();
+        let mut v = pool.take_bytes();
+        v.extend_from_slice(&[1, 2, 3]);
+        let cap = v.capacity();
+        pool.put_bytes(v);
+        let v2 = pool.take_bytes();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(pool.counters(), (1, 1));
+    }
+
+    #[test]
+    fn lent_payload_reclaimed_after_last_handle_drops() {
+        let pool = BufferPool::new();
+        let mut v = pool.take_bytes();
+        v.extend_from_slice(&[7u8; 64]);
+        let ptr = v.as_ptr() as usize;
+        let payload = Bytes::from(v);
+        let held = payload.clone(); // e.g. the re-send cache
+        pool.lend(payload);
+        // Still shared: take allocates fresh.
+        let fresh = pool.take_bytes();
+        assert_eq!(fresh.capacity(), 0);
+        drop(held);
+        // Sole handle now in the pool: reclaimed with the same storage.
+        let recycled = pool.take_bytes();
+        assert_eq!(recycled.as_ptr() as usize, ptr);
+        assert!(recycled.is_empty());
+    }
+
+    #[test]
+    fn float_scratch_roundtrip() {
+        let pool = BufferPool::new();
+        let mut v = pool.take_floats();
+        v.resize(1000, 1.5);
+        let cap = v.capacity();
+        pool.put_floats(v);
+        assert_eq!(pool.take_floats().capacity(), cap);
+    }
+
+    #[test]
+    fn pool_size_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..100 {
+            pool.put_bytes(Vec::with_capacity(16));
+        }
+        let inner = pool.inner.lock();
+        assert!(inner.bytes.len() <= MAX_POOLED);
+    }
+}

@@ -26,6 +26,7 @@
 
 use crate::aggregation::{Accumulator, AggregationMethod, FedAvg};
 use crate::blob::{BlobChannel, BlobCtx};
+use crate::bufpool::BufferPool;
 use crate::clock::{wait_slice, wall_clock, Clock};
 use crate::error::{CoreError, Result};
 use crate::ids::{ClientId, ModelId, SessionId};
@@ -43,11 +44,12 @@ use sdflmq_mqtt::client::Dialer;
 use sdflmq_mqtt::{Broker, Client, ClientOptions, TopicFilter};
 use sdflmq_mqttfc::{FleetController, RfcConfig};
 use sdflmq_nn::codec::UpdateCodec;
+use sdflmq_nn::parallel::WorkerPool;
 use sdflmq_sim::{ClientSystem, SystemSpec};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client configuration.
 pub struct SdflmqClientConfig {
@@ -76,6 +78,13 @@ pub struct SdflmqClientConfig {
     /// transparently reconnects after a broker restart, resuming its QoS
     /// windows and offline queue from broker-persisted state.
     pub dialer: Option<Dialer>,
+    /// Worker threads for the data-plane chunk kernels (codec encode/
+    /// decode and the aggregation fold). `0` shares the process-wide pool
+    /// sized from available parallelism; any other value gives this
+    /// client its own pool of exactly that many threads. Output is
+    /// bit-identical at every setting — the chunk layout is a function of
+    /// the model length, never the thread count.
+    pub data_plane_threads: usize,
 }
 
 impl Default for SdflmqClientConfig {
@@ -89,6 +98,7 @@ impl Default for SdflmqClientConfig {
             update_codec: UpdateCodec::Dense,
             clock: wall_clock(),
             dialer: None,
+            data_plane_threads: 0,
         }
     }
 }
@@ -104,6 +114,30 @@ pub struct DataPlaneStats {
     /// codec id, corrupt encoding, or a delta against a base this client
     /// does not hold.
     pub undecodable_updates: u64,
+    /// Microseconds spent encoding outgoing updates and aggregates.
+    pub encode_us: u64,
+    /// Microseconds spent decoding inbound contributions and globals.
+    pub decode_us: u64,
+    /// Microseconds spent folding contributions into aggregation stacks
+    /// (including the final `finish` of each flush).
+    pub fold_us: u64,
+}
+
+impl DataPlaneStats {
+    /// Encode time in milliseconds.
+    pub fn encode_ms(&self) -> f64 {
+        self.encode_us as f64 / 1000.0
+    }
+
+    /// Decode time in milliseconds.
+    pub fn decode_ms(&self) -> f64 {
+        self.decode_us as f64 / 1000.0
+    }
+
+    /// Fold time in milliseconds.
+    pub fn fold_ms(&self) -> f64 {
+        self.fold_us as f64 / 1000.0
+    }
 }
 
 /// Events surfaced to [`SdflmqClient::wait_global_update`].
@@ -185,8 +219,11 @@ struct LastSent {
     /// The round's first wire encoding, cached because encoding is
     /// *stateful*: the error-feedback residual folds in exactly once per
     /// round, so a re-send must republish these bytes rather than
-    /// re-encode (which would double-count the residual).
-    encoded: Option<(Vec<u8>, UpdateMeta)>,
+    /// re-encode (which would double-count the residual). `Bytes`, so the
+    /// cache shares the published payload's storage instead of copying —
+    /// when the next round replaces it, the buffer pool reclaims the
+    /// allocation.
+    encoded: Option<(Bytes, UpdateMeta)>,
 }
 
 /// A per-round streaming aggregation stack: each child's decoded update
@@ -239,6 +276,16 @@ struct Inner {
     undecodable_updates: AtomicU64,
     /// Time source for blocking waits.
     clock: Arc<dyn Clock>,
+    /// Chunk-kernel workers for codec encode/decode and the parallel
+    /// fold (see [`SdflmqClientConfig::data_plane_threads`]).
+    workers: Arc<WorkerPool>,
+    /// Recycles model-sized encode buffers and decode scratch across
+    /// rounds (see [`crate::bufpool::BufferPool`]).
+    pool: Arc<BufferPool>,
+    /// Cumulative data-plane timings (see [`DataPlaneStats`]).
+    encode_us: AtomicU64,
+    decode_us: AtomicU64,
+    fold_us: AtomicU64,
 }
 
 /// A connected SDFLMQ contributor.
@@ -273,6 +320,11 @@ impl SdflmqClient {
         let mqtt = Client::connect(broker, mqtt_options)?;
         let fc = FleetController::new(mqtt.clone(), id.as_str(), config.rfc.clone())?;
         let blobs = BlobChannel::new(mqtt, id.as_str(), config.rfc.batch.clone(), config.rfc.qos);
+        let workers = if config.data_plane_threads == 0 {
+            WorkerPool::global()
+        } else {
+            Arc::new(WorkerPool::new(config.data_plane_threads))
+        };
         let inner = Arc::new(Inner {
             id: id.clone(),
             fc: fc.clone(),
@@ -284,6 +336,11 @@ impl SdflmqClient {
             update_codec: config.update_codec,
             undecodable_updates: AtomicU64::new(0),
             clock: config.clock,
+            workers,
+            pool: BufferPool::new(),
+            encode_us: AtomicU64::new(0),
+            decode_us: AtomicU64::new(0),
+            fold_us: AtomicU64::new(0),
         });
 
         // Control function: role arbiter + session lifecycle. Decoding
@@ -455,6 +512,9 @@ impl SdflmqClient {
         DataPlaneStats {
             dropped_transfers: self.inner.blobs.dropped_transfers(),
             undecodable_updates: self.inner.undecodable_updates.load(Ordering::Relaxed),
+            encode_us: self.inner.encode_us.load(Ordering::Relaxed),
+            decode_us: self.inner.decode_us.load(Ordering::Relaxed),
+            fold_us: self.inner.fold_us.load(Ordering::Relaxed),
         }
     }
 
@@ -535,19 +595,30 @@ impl SdflmqClient {
         Ok(())
     }
 
-    /// Decodes an inbound payload, taking the model-controller lock only
-    /// when the codec actually needs the stored delta base.
-    fn decode_inbound(
+    /// Decodes an inbound payload into `out`, taking the model-controller
+    /// lock only when the codec actually needs the stored delta base.
+    /// Chunk kernels run on the client's worker pool; the elapsed time
+    /// lands in the `decode_us` counter.
+    fn decode_inbound_into(
         inner: &Inner,
         session_id: &SessionId,
         update: &UpdateMeta,
         payload: &[u8],
-    ) -> Result<Vec<f32>> {
-        if ModelController::decode_needs_base(update) {
-            inner.mc.lock().decode_update(session_id, update, payload)
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let start = Instant::now();
+        let result = if ModelController::decode_needs_base(update) {
+            inner
+                .mc
+                .lock()
+                .decode_update_into(session_id, update, payload, &inner.workers, out)
         } else {
-            ModelController::decode_update_stateless(update, payload)
-        }
+            ModelController::decode_update_stateless_into(update, payload, &inner.workers, out)
+        };
+        inner
+            .decode_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        result
     }
 
     /// The update codec for a role's data plane: the session-floor id the
@@ -581,7 +652,7 @@ impl SdflmqClient {
                 session_id,
                 round,
                 inner.id.as_str().to_owned(),
-                params,
+                &params,
                 weight,
             )
         } else {
@@ -598,20 +669,36 @@ impl SdflmqClient {
                     .filter(|last| last.round == round)
                     .and_then(|last| last.encoded.clone())
             };
-            let (payload, update) = match cached {
-                Some(pair) => pair,
+            let (payload, update, fresh) = match cached {
+                Some((payload, update)) => (payload, update, false),
                 None => {
                     let codec = Self::data_codec(inner, &role);
-                    let pair = inner.mc.lock().encode_update(session_id, codec, &params)?;
+                    // Encode into a pooled buffer on the worker pool; the
+                    // payload `Bytes` shares its storage with the cached
+                    // re-send copy, and the pool reclaims it once the
+                    // next round replaces that cache.
+                    let mut buf = inner.pool.take_bytes();
+                    let start = Instant::now();
+                    let update = inner.mc.lock().encode_update_into(
+                        session_id,
+                        codec,
+                        &params,
+                        &inner.workers,
+                        &mut buf,
+                    )?;
+                    inner
+                        .encode_us
+                        .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    let payload = Bytes::from(buf);
                     let mut sessions = inner.sessions.lock();
                     if let Some(last) = sessions
                         .get_mut(session_id)
                         .and_then(|handle| handle.last_sent.as_mut())
                         .filter(|last| last.round == round)
                     {
-                        last.encoded = Some(pair.clone());
+                        last.encoded = Some((payload.clone(), update));
                     }
-                    pair
+                    (payload, update, true)
                 }
             };
             let blob = Blob {
@@ -619,17 +706,22 @@ impl SdflmqClient {
                 round,
                 sender: inner.id.as_str().to_owned(),
                 weight,
-                params: Bytes::from(payload),
+                params: payload.clone(),
             };
             // Blobs travel client → client: use the session-wide floor
             // version the coordinator stamped into the role, not this
             // client's own negotiation result.
-            inner.blobs.publish_update(
+            let result = inner.blobs.publish_update(
                 &position_topic(session_id, role.parent),
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
                 &update,
-            )
+            );
+            drop(blob);
+            if fresh {
+                inner.pool.lend(payload);
+            }
+            result
         }
     }
 
@@ -912,16 +1004,25 @@ impl SdflmqClient {
                     // Decode with the header's codec; delta payloads
                     // reconstruct against this client's applied global.
                     // Full-vector payloads decode without the controller
-                    // lock — this is the fan-in hot path.
-                    let decoded = Self::decode_inbound(&inner, &sid, &ctx.update, &blob.params);
+                    // lock — this is the fan-in hot path, so the decode
+                    // scratch comes from (and returns to) the buffer
+                    // pool: one allocation serves the whole fan-in.
+                    let mut scratch = inner.pool.take_floats();
+                    let decoded = Self::decode_inbound_into(
+                        &inner,
+                        &sid,
+                        &ctx.update,
+                        &blob.params,
+                        &mut scratch,
+                    );
                     match decoded {
-                        Ok(params) => {
+                        Ok(()) => {
                             let _ = Self::ingest_contribution(
                                 &inner,
                                 &sid,
                                 blob.round,
                                 blob.sender.clone(),
-                                params,
+                                &scratch,
                                 blob.weight,
                             );
                         }
@@ -929,6 +1030,7 @@ impl SdflmqClient {
                             inner.undecodable_updates.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    inner.pool.put_floats(scratch);
                 }),
             )?;
         }
@@ -961,7 +1063,7 @@ impl SdflmqClient {
         session_id: &SessionId,
         round: u32,
         sender: String,
-        params: Vec<f32>,
+        params: &[f32],
         weight: u64,
     ) -> Result<()> {
         let role = {
@@ -990,7 +1092,12 @@ impl SdflmqClient {
             if stack.senders.contains(&sender) {
                 return Ok(()); // duplicate delivery: first fold wins
             }
-            if stack.acc.fold(&params, weight).is_err() {
+            let start = Instant::now();
+            let folded = stack.acc.fold_par(params, weight, &inner.workers);
+            inner
+                .fold_us
+                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            if folded.is_err() {
                 // A mismatched-shape contribution (corrupt or poisoned
                 // child): drop it without marking the sender, so a
                 // corrected re-send can still complete the stack.
@@ -1041,31 +1148,52 @@ impl SdflmqClient {
 
         if let Some((role, stack)) = ready {
             let total_weight = stack.acc.total_weight();
+            let start = Instant::now();
             let aggregated = stack.acc.finish()?;
+            inner
+                .fold_us
+                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
             let codec = Self::data_codec(inner, &role);
-            let (payload, update) =
-                inner
-                    .mc
-                    .lock()
-                    .encode_aggregate(session_id, codec, &aggregated);
+            // One-shot aggregate encode: pooled output buffer, pooled
+            // residual scratch (discarded — no error feedback up the
+            // relay), chunk kernels on the worker pool.
+            let mut buf = inner.pool.take_bytes();
+            let mut scratch = inner.pool.take_floats();
+            let start = Instant::now();
+            let update = inner.mc.lock().encode_aggregate_into(
+                session_id,
+                codec,
+                &aggregated,
+                &inner.workers,
+                &mut scratch,
+                &mut buf,
+            );
+            inner
+                .encode_us
+                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            inner.pool.put_floats(scratch);
+            let payload = Bytes::from(buf);
             let blob = Blob {
                 session_id: session_id.clone(),
                 round,
                 sender: inner.id.as_str().to_owned(),
                 weight: total_weight,
-                params: Bytes::from(payload),
+                params: payload.clone(),
             };
             let destination = if role.is_root() {
                 param_server_topic(session_id)
             } else {
                 position_topic(session_id, role.parent)
             };
-            inner.blobs.publish_update(
+            let result = inner.blobs.publish_update(
                 &destination,
                 &blob,
                 WireVersion::from_u8(role.data_wire).unwrap_or(WireVersion::V1Json),
                 &update,
-            )?;
+            );
+            drop(blob);
+            inner.pool.lend(payload);
+            result?;
             Self::send_contrib_ping(inner, session_id, round);
         }
         Ok(())
@@ -1079,11 +1207,14 @@ impl SdflmqClient {
         }
         // Decode outside the lock where possible; a delta global decoded
         // against a base that a concurrent newer global replaces is caught
-        // by apply_global's stale-round check.
-        let Ok(params) = Self::decode_inbound(inner, session_id, update, &blob.params) else {
+        // by apply_global's stale-round check. The decoded vector is
+        // stored (it becomes the model), so it is not pool scratch.
+        let mut params = Vec::new();
+        if Self::decode_inbound_into(inner, session_id, update, &blob.params, &mut params).is_err()
+        {
             inner.undecodable_updates.fetch_add(1, Ordering::Relaxed);
             return;
-        };
+        }
         let applied = {
             let mut mc = inner.mc.lock();
             matches!(mc.apply_global(session_id, blob.round, params), Ok(true))

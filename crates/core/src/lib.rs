@@ -39,6 +39,7 @@
 
 pub mod aggregation;
 pub mod blob;
+pub mod bufpool;
 pub mod client;
 pub mod clock;
 pub mod clustering;
@@ -58,6 +59,7 @@ pub mod wirecodec;
 
 pub use aggregation::{Accumulator, AggregationMethod, CoordinateMedian, FedAvg, TrimmedMean};
 pub use blob::BlobCtx;
+pub use bufpool::BufferPool;
 pub use client::{DataPlaneStats, SdflmqClient, SdflmqClientConfig, WaitOutcome};
 pub use clock::{wall_clock, Clock, TestClock, WallClock};
 pub use clustering::{build_plan, diff_plans, ClientInfo, ClusterPlan, Topology};

@@ -204,8 +204,23 @@ impl Blob {
 
     /// Encodes with explicit update-codec metadata in the header.
     pub fn encode_update(&self, version: WireVersion, update: &UpdateMeta) -> Bytes {
+        self.encode_update_into(version, update, Vec::new())
+    }
+
+    /// Like [`Blob::encode_update`], but reusing `buf` as the backing
+    /// storage (cleared first) so steady-state senders can recycle frame
+    /// buffers through a [`crate::bufpool::BufferPool`]. Byte-identical
+    /// to [`Blob::encode_update`].
+    pub fn encode_update_into(
+        &self,
+        version: WireVersion,
+        update: &UpdateMeta,
+        mut buf: Vec<u8>,
+    ) -> Bytes {
         let meta = encode_blob_meta(self, update, version);
-        let mut out = BytesMut::with_capacity(4 + meta.len() + self.params.len());
+        buf.clear();
+        buf.reserve(4 + meta.len() + self.params.len());
+        let mut out = BytesMut::from(buf);
         out.put_u32(meta.len() as u32);
         out.put_slice(&meta);
         out.put_slice(&self.params);
@@ -324,6 +339,29 @@ mod tests {
             meta,
             r#"{"round":2,"sender":"c1","session_id":"s1","weight":5}"#
         );
+    }
+
+    #[test]
+    fn encode_update_into_reuses_buffer_and_matches() {
+        let blob = Blob {
+            session_id: SessionId::new("s9").unwrap(),
+            round: 4,
+            sender: "c3".into(),
+            weight: 600,
+            params: Bytes::from(vec![1u8, 2, 3, 4, 5]),
+        };
+        let update = UpdateMeta {
+            codec: 2,
+            elems: 5,
+            delta_base: 1,
+        };
+        for version in [WireVersion::V1Json, WireVersion::V2Binary] {
+            let plain = blob.encode_update(version, &update);
+            // A dirty recycled buffer must not leak into the frame.
+            let recycled = vec![0xAAu8; 256];
+            let pooled = blob.encode_update_into(version, &update, recycled);
+            assert_eq!(&pooled[..], &plain[..]);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::error::{CoreError, Result};
 use crate::ids::SessionId;
 use crate::messages::UpdateMeta;
 use sdflmq_nn::codec::UpdateCodec;
+use sdflmq_nn::parallel::WorkerPool;
 use std::collections::HashMap;
 
 /// State of one session's model on this client.
@@ -129,6 +130,23 @@ impl ModelController {
         codec: UpdateCodec,
         params: &[f32],
     ) -> Result<(Vec<u8>, UpdateMeta)> {
+        let mut out = Vec::new();
+        let meta =
+            self.encode_update_into(session, codec, params, &WorkerPool::global(), &mut out)?;
+        Ok((out, meta))
+    }
+
+    /// [`ModelController::encode_update`] into a caller-provided buffer
+    /// (cleared first), running the codec's chunk kernels on `pool`.
+    /// Output is bit-identical to the serial path at any thread count.
+    pub fn encode_update_into(
+        &mut self,
+        session: &SessionId,
+        codec: UpdateCodec,
+        params: &[f32],
+        pool: &WorkerPool,
+        out: &mut Vec<u8>,
+    ) -> Result<UpdateMeta> {
         let entry = self
             .models
             .get_mut(session)
@@ -142,15 +160,12 @@ impl ModelController {
             ..
         } = entry;
         let (base, delta_base) = delta_base_of(codec, *global_round, last_global, params.len());
-        let bytes = codec.encode(params, base, residual);
-        Ok((
-            bytes,
-            UpdateMeta {
-                codec: codec.id(),
-                elems: params.len() as u64,
-                delta_base,
-            },
-        ))
+        codec.encode_into(params, base, residual, pool, out);
+        Ok(UpdateMeta {
+            codec: codec.id(),
+            elems: params.len() as u64,
+            delta_base,
+        })
     }
 
     /// Encodes a relayed aggregate (no error feedback: an aggregator's
@@ -161,6 +176,32 @@ impl ModelController {
         codec: UpdateCodec,
         params: &[f32],
     ) -> (Vec<u8>, UpdateMeta) {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let meta = self.encode_aggregate_into(
+            session,
+            codec,
+            params,
+            &WorkerPool::global(),
+            &mut scratch,
+            &mut out,
+        );
+        (out, meta)
+    }
+
+    /// [`ModelController::encode_aggregate`] into a caller-provided
+    /// buffer. `scratch` is a reusable residual buffer the one-shot
+    /// encode writes into and the caller then discards or pools (an
+    /// aggregator's truncation error has no next round to be retried in).
+    pub fn encode_aggregate_into(
+        &self,
+        session: &SessionId,
+        codec: UpdateCodec,
+        params: &[f32],
+        pool: &WorkerPool,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<u8>,
+    ) -> UpdateMeta {
         // Delta encoding needs a matching base; an aggregator without one
         // (no model registered, e.g. a pure relay) falls back to dense —
         // payloads are self-describing, so receivers follow the header.
@@ -173,15 +214,13 @@ impl ModelController {
             None if codec.is_delta() => (UpdateCodec::Dense, None, 0),
             _ => (codec, None, 0),
         };
-        let bytes = codec.encode_stateless(params, base);
-        (
-            bytes,
-            UpdateMeta {
-                codec: codec.id(),
-                elems: params.len() as u64,
-                delta_base,
-            },
-        )
+        scratch.clear();
+        codec.encode_into(params, base, scratch, pool, out);
+        UpdateMeta {
+            codec: codec.id(),
+            elems: params.len() as u64,
+            delta_base,
+        }
     }
 
     /// True when decoding a payload with this metadata needs the stored
@@ -196,13 +235,27 @@ impl ModelController {
     /// and zero-base deltas. A free function so the (model-sized) byte
     /// decode runs outside the controller mutex on the hot ingest path.
     pub fn decode_update_stateless(update: &UpdateMeta, payload: &[u8]) -> Result<Vec<f32>> {
+        let mut out = Vec::new();
+        Self::decode_update_stateless_into(update, payload, &WorkerPool::global(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ModelController::decode_update_stateless`] into a caller-
+    /// provided buffer (cleared first), so the fan-in hot path can reuse
+    /// one scratch vector per round instead of allocating per child.
+    pub fn decode_update_stateless_into(
+        update: &UpdateMeta,
+        payload: &[u8],
+        pool: &WorkerPool,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
         let codec = UpdateCodec::from_id(update.codec)
             .ok_or_else(|| CoreError::Protocol(format!("unknown update codec {}", update.codec)))?;
-        let decoded = codec
-            .decode(payload, None)
+        codec
+            .decode_into(payload, None, pool, out)
             .map_err(|e| CoreError::Protocol(format!("undecodable update payload: {e}")))?;
-        check_elems(update, &decoded)?;
-        Ok(decoded)
+        check_elems(update, out)?;
+        Ok(())
     }
 
     /// Decodes an inbound update payload according to its header
@@ -215,8 +268,23 @@ impl ModelController {
         update: &UpdateMeta,
         payload: &[u8],
     ) -> Result<Vec<f32>> {
+        let mut out = Vec::new();
+        self.decode_update_into(session, update, payload, &WorkerPool::global(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ModelController::decode_update`] into a caller-provided buffer
+    /// (cleared first), running chunk kernels on `pool`.
+    pub fn decode_update_into(
+        &self,
+        session: &SessionId,
+        update: &UpdateMeta,
+        payload: &[u8],
+        pool: &WorkerPool,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
         if !Self::decode_needs_base(update) {
-            return Self::decode_update_stateless(update, payload);
+            return Self::decode_update_stateless_into(update, payload, pool, out);
         }
         let codec = UpdateCodec::from_id(update.codec)
             .ok_or_else(|| CoreError::Protocol(format!("unknown update codec {}", update.codec)))?;
@@ -230,11 +298,11 @@ impl ModelController {
             }
             Some(&entry.last_global)
         };
-        let decoded = codec
-            .decode(payload, base)
+        codec
+            .decode_into(payload, base, pool, out)
             .map_err(|e| CoreError::Protocol(format!("undecodable update payload: {e}")))?;
-        check_elems(update, &decoded)?;
-        Ok(decoded)
+        check_elems(update, out)?;
+        Ok(())
     }
 
     /// Removes a session's model (session complete).

@@ -161,6 +161,14 @@ impl ParamServer {
         self.blobs.dropped_transfers()
     }
 
+    /// Payload bytes the server's receive path has copied. The store-and-
+    /// rebroadcast pipeline is otherwise zero-copy: a root aggregate that
+    /// arrives as a single uncompressed chunk is stored and rebroadcast
+    /// as a slice of the received frame.
+    pub fn copied_bytes(&self) -> u64 {
+        self.blobs.copied_bytes()
+    }
+
     /// Number of sessions with stored globals.
     pub fn sessions_tracked(&self) -> usize {
         self.repo.lock().len()

@@ -96,6 +96,11 @@ pub struct SimConfig {
     /// update model-vs-dense divergence (see
     /// [`SimReport::codec_divergence`]).
     pub update_codec: UpdateCodec,
+    /// Worker threads for the data-plane probe's codec and fold timing
+    /// (0 = share the process-wide pool). Codecs and folds are
+    /// bit-identical at every setting, so this changes only the measured
+    /// [`SimReport::encode_ms`] family — never bytes or divergence.
+    pub data_plane_threads: usize,
 }
 
 impl SimConfig {
@@ -130,6 +135,7 @@ impl SimConfig {
             straggler_multiplier: 1.0,
             eviction_detect: SimDuration::from_millis(500),
             update_codec: UpdateCodec::Dense,
+            data_plane_threads: 0,
         }
     }
 
@@ -206,6 +212,8 @@ impl SimConfigBuilder {
         eviction_detect: SimDuration,
         /// Data-plane update codec.
         update_codec: UpdateCodec,
+        /// Worker threads for the data-plane timing probe.
+        data_plane_threads: usize,
     }
 
     /// Selects the role-optimization policy declaratively (see
@@ -281,6 +289,15 @@ pub struct SimReport {
     /// runtime's [`crate::client::DataPlaneStats`] so reports stay
     /// comparable across the two substrates.
     pub dropped_transfers: u64,
+    /// Wall-clock milliseconds one model-sized encode took at
+    /// [`SimConfig::data_plane_threads`], measured by the codec probe
+    /// (real encode of the probe vector, not an estimate).
+    pub encode_ms: f64,
+    /// Wall-clock milliseconds for the matching decode.
+    pub decode_ms: f64,
+    /// Wall-clock milliseconds for one weighted FedAvg fold plus finish
+    /// over the model-sized probe vector.
+    pub fold_ms: f64,
 }
 
 /// A tiny deterministic xorshift generator for dropout/straggler draws —
@@ -441,6 +458,9 @@ pub fn simulate(mut config: SimConfig) -> SimReport {
         codec_compression: probe.compression,
         codec_divergence: probe.divergence,
         dropped_transfers: 0,
+        encode_ms: probe.encode_ms,
+        decode_ms: probe.decode_ms,
+        fold_ms: probe.fold_ms,
     }
 }
 
@@ -451,6 +471,9 @@ struct CodecProbe {
     frame_bytes: u64,
     compression: f64,
     divergence: f64,
+    encode_ms: f64,
+    decode_ms: f64,
+    fold_ms: f64,
 }
 
 impl CodecProbe {
@@ -481,11 +504,39 @@ impl CodecProbe {
         };
         let frame_bytes = frame_of(config.update_codec);
         let dense_bytes = frame_of(UpdateCodec::Dense);
-        let encoded = config.update_codec.encode_stateless(&x, None);
-        let decoded = config
+        // Timed passes run the same parallel entry points the runtime
+        // uses, on a pool sized by the config knob. A fresh residual makes
+        // the encode byte-identical to `encode_stateless`.
+        let workers = if config.data_plane_threads == 0 {
+            sdflmq_nn::parallel::WorkerPool::global()
+        } else {
+            std::sync::Arc::new(sdflmq_nn::parallel::WorkerPool::new(
+                config.data_plane_threads,
+            ))
+        };
+        let mut residual = Vec::new();
+        let mut encoded = Vec::new();
+        let start = std::time::Instant::now();
+        config
             .update_codec
-            .decode(&encoded, None)
-            .unwrap_or_default();
+            .encode_into(&x, None, &mut residual, &workers, &mut encoded);
+        let encode_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let mut decoded = Vec::new();
+        let start = std::time::Instant::now();
+        if config
+            .update_codec
+            .decode_into(&encoded, None, &workers, &mut decoded)
+            .is_err()
+        {
+            decoded.clear();
+        }
+        let decode_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let mut acc: Box<dyn crate::aggregation::Accumulator> =
+            Box::new(crate::aggregation::FedAvgAccumulator::default());
+        let start = std::time::Instant::now();
+        let _ = acc.fold_par(&x, config.samples_per_client as u64, &workers);
+        let _ = acc.finish();
+        let fold_ms = start.elapsed().as_secs_f64() * 1000.0;
         let (mut err2, mut norm2) = (0.0f64, 0.0f64);
         for (a, b) in x.iter().zip(&decoded) {
             let d = (*a - *b) as f64;
@@ -500,6 +551,9 @@ impl CodecProbe {
             } else {
                 0.0
             },
+            encode_ms,
+            decode_ms,
+            fold_ms,
         }
     }
 }
@@ -915,6 +969,31 @@ mod tests {
             topk.codec_compression
         );
         assert!(topk.codec_divergence > int8.codec_divergence);
+    }
+
+    #[test]
+    fn probe_times_data_plane_and_threads_leave_accounting_alone() {
+        let run = |threads: usize| {
+            simulate(
+                SimConfig::builder(4, Topology::Central)
+                    .rounds(1)
+                    .optimizer(Box::new(StaticOrder))
+                    .update_codec(UpdateCodec::Int8)
+                    .data_plane_threads(threads)
+                    .build(),
+            )
+        };
+        let serial = run(1);
+        assert!(serial.encode_ms >= 0.0);
+        assert!(serial.decode_ms >= 0.0);
+        assert!(serial.fold_ms >= 0.0);
+        // The thread knob changes only timings: every byte- and
+        // fidelity-accounting field must match exactly.
+        let parallel = run(4);
+        assert_eq!(serial.update_frame_bytes, parallel.update_frame_bytes);
+        assert_eq!(serial.network_bytes, parallel.network_bytes);
+        assert_eq!(serial.codec_divergence, parallel.codec_divergence);
+        assert_eq!(serial.total, parallel.total);
     }
 
     #[test]

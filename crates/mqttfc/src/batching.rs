@@ -12,7 +12,7 @@
 //! whole-payload CRC before releasing it, and evicts stale partial
 //! transfers after a configurable age so lost chunks cannot leak memory.
 
-use crate::compress::{compress_auto, decompress_auto};
+use crate::compress::{compress_auto, decompress_auto, MODE_RAW};
 use crate::wire::{crc32, Chunk, WireError};
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -105,6 +105,7 @@ struct Partial {
 pub struct Reassembler {
     partials: HashMap<(String, u64), Partial>,
     config: BatchConfig,
+    copied: u64,
 }
 
 impl Reassembler {
@@ -113,6 +114,7 @@ impl Reassembler {
         Reassembler {
             partials: HashMap::new(),
             config,
+            copied: 0,
         }
     }
 
@@ -124,6 +126,13 @@ impl Reassembler {
     /// Total buffered bytes across partial transfers.
     pub fn buffered_bytes(&self) -> usize {
         self.partials.values().map(|p| p.bytes).sum()
+    }
+
+    /// Cumulative payload bytes this reassembler has *copied*: multi-chunk
+    /// concatenation plus decompression output. Single-chunk uncompressed
+    /// transfers complete as slices of the received frame and add nothing.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied
     }
 
     /// Feeds one encoded chunk frame received from `sender`.
@@ -158,10 +167,19 @@ impl Reassembler {
 
         if partial.received as usize == partial.chunks.len() {
             let partial = self.partials.remove(&key).expect("just inserted");
-            let mut body = Vec::with_capacity(partial.bytes);
-            for piece in partial.chunks.into_iter() {
-                body.extend_from_slice(&piece.expect("all received"));
-            }
+            // A single-chunk transfer's body *is* its one chunk — already
+            // a slice of the received frame, so no concatenation copy.
+            let body: Bytes = if partial.chunks.len() == 1 {
+                let mut chunks = partial.chunks;
+                chunks.pop().flatten().expect("all received")
+            } else {
+                let mut v = Vec::with_capacity(partial.bytes);
+                for piece in partial.chunks.into_iter() {
+                    v.extend_from_slice(&piece.expect("all received"));
+                }
+                self.copied += v.len() as u64;
+                Bytes::from(v)
+            };
             let actual = crc32(&body);
             if actual != partial.payload_crc {
                 return Err(WireError::BadChecksum {
@@ -169,9 +187,17 @@ impl Reassembler {
                     actual,
                 });
             }
-            let payload =
-                decompress_auto(&body).map_err(|_| WireError::Invalid("bad compression"))?;
-            Ok(PushResult::Complete(Bytes::from(payload)))
+            // Raw-mode bodies need no inflation either: slicing off the
+            // mode tag yields the payload without touching the bytes.
+            match body.first() {
+                Some(&MODE_RAW) => Ok(PushResult::Complete(body.slice(1..))),
+                _ => {
+                    let payload = decompress_auto(&body)
+                        .map_err(|_| WireError::Invalid("bad compression"))?;
+                    self.copied += payload.len() as u64;
+                    Ok(PushResult::Complete(Bytes::from(payload)))
+                }
+            }
         } else {
             Ok(PushResult::Incomplete {
                 received: partial.received,
@@ -321,6 +347,50 @@ mod tests {
         bad[last] ^= 0xFF;
         let mut r = Reassembler::new(cfg);
         assert!(r.push("s", Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn single_chunk_raw_transfer_is_zero_copy() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 7) as u8).collect();
+        let cfg = config(64 * 1024, false);
+        let frames = split(&payload, 11, &cfg);
+        assert_eq!(frames.len(), 1);
+        let frame = frames[0].clone();
+        let mut r = Reassembler::new(cfg);
+        let PushResult::Complete(out) = r.push("s", frame.clone()).unwrap() else {
+            panic!("single chunk should complete");
+        };
+        assert_eq!(&out[..], &payload[..]);
+        assert_eq!(r.copied_bytes(), 0, "no payload bytes should be copied");
+        // Pointer identity: the delivered payload is a slice of the
+        // received frame's own storage, not a reallocation.
+        let frame_start = frame.as_ptr() as usize;
+        let out_start = out.as_ptr() as usize;
+        assert!(
+            out_start >= frame_start && out_start + out.len() <= frame_start + frame.len(),
+            "payload must alias the frame buffer"
+        );
+    }
+
+    #[test]
+    fn multi_chunk_and_compressed_transfers_count_copies() {
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        // Multi-chunk raw: concatenation copies the body once.
+        let cfg = config(4096, false);
+        let mut r = Reassembler::new(cfg.clone());
+        for f in split(&payload, 1, &cfg) {
+            let _ = r.push("s", f).unwrap();
+        }
+        // The whole body (payload + 1-byte mode tag) was concatenated.
+        assert_eq!(r.copied_bytes(), payload.len() as u64 + 1);
+        // Compressed: decompression output is copied as well.
+        let blocky = vec![5u8; 50_000];
+        let cfg = config(64 * 1024, true);
+        let mut r = Reassembler::new(cfg.clone());
+        for f in split(&blocky, 2, &cfg) {
+            let _ = r.push("s", f).unwrap();
+        }
+        assert_eq!(r.copied_bytes(), blocky.len() as u64);
     }
 
     #[test]

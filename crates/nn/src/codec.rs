@@ -24,8 +24,32 @@
 //! Every encoding is self-describing (own magic + version + element
 //! count), so a receiver can [`UpdateCodec::sniff`] a payload even when
 //! transport metadata is missing or wrong.
+//!
+//! ## Parallel, but bit-identical
+//!
+//! Encode and decode run chunk-parallel on a [`WorkerPool`]: the vector is
+//! split into fixed [`PAR_CHUNK`]-element chunks (a pure function of the
+//! length, never of the thread count) and each chunk is processed
+//! independently. Every byte of output — and every residual bit — is
+//! **identical to the serial reference** at any thread count:
+//!
+//! * fp16/int8 quantization and residual update are element-local;
+//! * the int8 min/max reduction is exactly associative for the values it
+//!   sees (non-NaN, with a rare serial re-scan when the extremum is ±0,
+//!   the one order-dependent case);
+//! * top-k selection uses per-chunk candidates merged under the same
+//!   strict total order as the serial sort, so the selected *set* — and
+//!   therefore the index-sorted payload — is the same.
+//!
+//! The serial implementations survive verbatim in [`reference`] as the
+//! differential-test oracle. Chaos traces hash bit-exact global models, so
+//! this equivalence is load-bearing: `data_plane_threads` must never
+//! change a simulation outcome.
 
+use crate::parallel::{self, WorkerPool};
 use crate::params;
+use crate::simd;
+use std::sync::Mutex;
 
 /// Stable one-byte codec identifiers, carried in blob metadata and in the
 /// session-negotiation `codec` field. Wire-stable: never renumber.
@@ -45,8 +69,23 @@ const CODEC_VERSION: u8 = 1;
 /// Default top-k density: coordinates kept per 1000 (3%).
 pub const DEFAULT_TOPK_PER_MILLE: u16 = 30;
 
+/// Fixed chunk size (elements) for parallel codec kernels.
+///
+/// Determinism-critical: chunk boundaries depend only on the vector
+/// length, so any thread count walks the same chunks and produces the
+/// same bytes. 8192 elements ≈ 32 KiB of f32 — large enough to amortize
+/// dispatch, small enough to load-balance a ~100k-parameter model.
+pub const PAR_CHUNK: usize = 8192;
+
 /// Largest finite binary16 value (fp16 targets saturate here).
 const F16_MAX: f32 = 65504.0;
+
+/// One chunk of a parallel encode pass: `(input, residual, output bytes)`,
+/// wrapped in a `Mutex` so disjoint chunks can be handed to pool workers.
+type EncodeChunk<'a> = Mutex<(&'a [f32], &'a mut [f32], &'a mut [u8])>;
+
+/// One chunk of the compensated-delta pass: `((input, base), residual)`.
+type DeltaChunk<'a> = Mutex<((&'a [f32], &'a [f32]), &'a mut [f32])>;
 
 /// Largest element count a zero-base sparse frame may declare (64M
 /// parameters ≈ 256 MB decoded) — the header is attacker-controlled and,
@@ -182,8 +221,482 @@ impl UpdateCodec {
     /// leave it untouched). For delta codecs, `base` is the shared base
     /// vector (`None` = all zeros, the round-1 state); non-delta codecs
     /// ignore it.
+    ///
+    /// Runs on the process-wide worker pool; output is bit-identical to
+    /// [`reference::encode`] at any thread count. Use
+    /// [`UpdateCodec::encode_into`] to control the pool and reuse buffers.
     pub fn encode(self, x: &[f32], base: Option<&[f32]>, residual: &mut Vec<f32>) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(x, base, residual, &WorkerPool::global(), &mut out);
+        out
+    }
+
+    /// Encodes without error feedback (aggregates relayed up the
+    /// hierarchy are one-shot: there is no next round to retry their
+    /// truncation error in).
+    pub fn encode_stateless(self, x: &[f32], base: Option<&[f32]>) -> Vec<u8> {
+        let mut residual = Vec::new();
+        self.encode(x, base, &mut residual)
+    }
+
+    /// [`UpdateCodec::encode`] into a caller-provided buffer (cleared
+    /// first), running chunk kernels on `pool`.
+    pub fn encode_into(
+        self,
+        x: &[f32],
+        base: Option<&[f32]>,
+        residual: &mut Vec<f32>,
+        pool: &WorkerPool,
+        out: &mut Vec<u8>,
+    ) {
         match self {
+            UpdateCodec::Dense => params::serialize_into(x, pool, out),
+            UpdateCodec::Fp16 => {
+                residual.resize(x.len(), 0.0);
+                out.clear();
+                out.reserve(8 + x.len() * 2);
+                out.extend_from_slice(&FP16_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(x.len() as u32).to_le_bytes());
+                out.resize(8 + x.len() * 2, 0);
+                let body = &mut out[8..];
+                let tasks: Vec<EncodeChunk<'_>> = x
+                    .chunks(PAR_CHUNK)
+                    .zip(residual.chunks_mut(PAR_CHUNK))
+                    .zip(body.chunks_mut(PAR_CHUNK * 2))
+                    .map(|((x, r), o)| Mutex::new((x, r, o)))
+                    .collect();
+                pool.run(tasks.len(), |i| {
+                    let mut t = tasks[i].lock().unwrap();
+                    let (x, r, o) = &mut *t;
+                    fp16_encode_chunk(x, r, o);
+                });
+            }
+            UpdateCodec::Int8 => {
+                let n = x.len();
+                residual.resize(n, 0.0);
+                // Pass 1: min/max of the compensated targets v + r. Chunk
+                // minima combine in chunk order; min/max is associative
+                // for everything this filtered reduction can see except a
+                // ±0 extremum, which defers to the serial loop.
+                let chunks = parallel::chunk_count(n, PAR_CHUNK);
+                let bounds: Vec<Mutex<(f32, f32)>> = (0..chunks)
+                    .map(|_| Mutex::new((f32::INFINITY, f32::NEG_INFINITY)))
+                    .collect();
+                {
+                    let res = &residual[..];
+                    pool.run(chunks, |i| {
+                        let rg = parallel::chunk_range(n, PAR_CHUNK, i);
+                        *bounds[i].lock().unwrap() = simd::minmax_finite(&x[rg.clone()], &res[rg]);
+                    });
+                }
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for b in &bounds {
+                    let (l, h) = *b.lock().unwrap();
+                    lo = lo.min(l);
+                    hi = hi.max(h);
+                }
+                if lo == 0.0 {
+                    lo = simd::minmax_serial(x, residual).0;
+                }
+                if hi == 0.0 {
+                    hi = simd::minmax_serial(x, residual).1;
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    (lo, hi) = (0.0, 0.0);
+                }
+                // The spread is computed in f64: hi − lo can overflow f32
+                // (e.g. ±3e38), and an infinite scale would decode every
+                // element to NaN and poison the residual.
+                let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
+                out.clear();
+                out.reserve(16 + n);
+                out.extend_from_slice(&INT8_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&scale.to_le_bytes());
+                out.resize(16 + n, 0);
+                let body = &mut out[16..];
+                let tasks: Vec<EncodeChunk<'_>> = x
+                    .chunks(PAR_CHUNK)
+                    .zip(residual.chunks_mut(PAR_CHUNK))
+                    .zip(body.chunks_mut(PAR_CHUNK))
+                    .map(|((x, r), o)| Mutex::new((x, r, o)))
+                    .collect();
+                pool.run(tasks.len(), |i| {
+                    let mut t = tasks[i].lock().unwrap();
+                    let (x, r, o) = &mut *t;
+                    simd::int8_body(x, r, o, lo, scale);
+                });
+            }
+            UpdateCodec::TopK { per_mille } => {
+                let n = x.len();
+                residual.resize(n, 0.0);
+                // Compensated delta, computed in place: after this pass
+                // `residual[i]` holds e[i] = x[i] − base[i] + r[i], what we
+                // *owe* the receiver. Element-local, so chunking is free.
+                match base {
+                    Some(b) => {
+                        debug_assert_eq!(b.len(), n);
+                        let tasks: Vec<DeltaChunk<'_>> = x
+                            .chunks(PAR_CHUNK)
+                            .zip(b.chunks(PAR_CHUNK))
+                            .zip(residual.chunks_mut(PAR_CHUNK))
+                            .map(Mutex::new)
+                            .collect();
+                        pool.run(tasks.len(), |i| {
+                            let mut t = tasks[i].lock().unwrap();
+                            let ((x, b), r) = &mut *t;
+                            for ((v, b), r) in x.iter().zip(b.iter()).zip(r.iter_mut()) {
+                                // Evaluation order pinned to the serial
+                                // reference — do not fold into `+=`.
+                                #[allow(clippy::assign_op_pattern)]
+                                {
+                                    *r = v - b + *r;
+                                }
+                            }
+                        });
+                    }
+                    None => {
+                        let tasks: Vec<Mutex<(&[f32], &mut [f32])>> = x
+                            .chunks(PAR_CHUNK)
+                            .zip(residual.chunks_mut(PAR_CHUNK))
+                            .map(Mutex::new)
+                            .collect();
+                        pool.run(tasks.len(), |i| {
+                            let mut t = tasks[i].lock().unwrap();
+                            let (x, r) = &mut *t;
+                            for (v, r) in x.iter().zip(r.iter_mut()) {
+                                // Evaluation order pinned to the serial
+                                // reference — do not fold into `+=`.
+                                #[allow(clippy::assign_op_pattern)]
+                                {
+                                    *r = v + *r;
+                                }
+                            }
+                        });
+                    }
+                }
+                let k = top_k_count(n, per_mille);
+                let mut order: Vec<u32>;
+                if k < n {
+                    // Serial-equivalent selection: the global top-k set
+                    // intersected with any chunk has at most k elements,
+                    // each necessarily in that chunk's own top-k under the
+                    // same strict total order (|e| desc, index asc). So k
+                    // candidates per chunk always cover the true set, and
+                    // the global merge re-selects exactly it.
+                    let chunks = parallel::chunk_count(n, PAR_CHUNK);
+                    let cand: Vec<Mutex<Vec<u32>>> =
+                        (0..chunks).map(|_| Mutex::new(Vec::new())).collect();
+                    {
+                        let e = &residual[..];
+                        pool.run(chunks, |i| {
+                            let rg = parallel::chunk_range(n, PAR_CHUNK, i);
+                            let mut idx: Vec<u32> = (rg.start as u32..rg.end as u32).collect();
+                            if k < idx.len() {
+                                idx.select_nth_unstable_by(k, |&a, &b| topk_cmp(e, a, b));
+                                idx.truncate(k);
+                            }
+                            *cand[i].lock().unwrap() = idx;
+                        });
+                    }
+                    order = Vec::with_capacity(chunks * k);
+                    for c in &cand {
+                        order.append(&mut c.lock().unwrap());
+                    }
+                    let e = &residual[..];
+                    if k < order.len() {
+                        order.select_nth_unstable_by(k, |&a, &b| topk_cmp(e, a, b));
+                        order.truncate(k);
+                    }
+                } else {
+                    order = (0..n as u32).collect();
+                }
+                order.sort_unstable();
+                out.clear();
+                out.reserve(12 + order.len() * 8);
+                out.extend_from_slice(&TOPK_MAGIC);
+                out.push(CODEC_VERSION);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+                for idx in &order {
+                    let i = *idx as usize;
+                    out.extend_from_slice(&idx.to_le_bytes());
+                    out.extend_from_slice(&residual[i].to_le_bytes());
+                    residual[i] = 0.0; // shipped exactly: nothing owed
+                }
+            }
+        }
+    }
+
+    /// Decodes a payload back to a full-length vector. For delta codecs,
+    /// `base` must be the same base the sender encoded against (`None` =
+    /// all zeros); non-delta codecs ignore it.
+    ///
+    /// Runs on the process-wide worker pool; results are identical to
+    /// [`reference::decode`] at any thread count. Use
+    /// [`UpdateCodec::decode_into`] to control the pool and reuse buffers.
+    pub fn decode(self, bytes: &[u8], base: Option<&[f32]>) -> Result<Vec<f32>, CodecError> {
+        let mut out = Vec::new();
+        self.decode_into(bytes, base, &WorkerPool::global(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`UpdateCodec::decode`] into a caller-provided buffer (cleared
+    /// first), running chunk kernels on `pool`.
+    pub fn decode_into(
+        self,
+        bytes: &[u8],
+        base: Option<&[f32]>,
+        pool: &WorkerPool,
+        out: &mut Vec<f32>,
+    ) -> Result<(), CodecError> {
+        match self {
+            UpdateCodec::Dense => Ok(params::deserialize_into(bytes, pool, out)?),
+            UpdateCodec::Fp16 => {
+                let (count, body) = check_header(bytes, &FP16_MAGIC)?;
+                if body.len() < count * 2 {
+                    return Err(CodecError::Truncated);
+                }
+                out.clear();
+                out.resize(count, 0.0);
+                let tasks: Vec<Mutex<(&[u8], &mut [f32])>> = body[..count * 2]
+                    .chunks(PAR_CHUNK * 2)
+                    .zip(out.chunks_mut(PAR_CHUNK))
+                    .map(Mutex::new)
+                    .collect();
+                pool.run(tasks.len(), |i| {
+                    let mut t = tasks[i].lock().unwrap();
+                    let (src, dst) = &mut *t;
+                    for (o, v) in src.chunks_exact(2).zip(dst.iter_mut()) {
+                        *v = f16_to_f32(u16::from_le_bytes([o[0], o[1]]));
+                    }
+                });
+                Ok(())
+            }
+            UpdateCodec::Int8 => {
+                let (count, body) = check_header(bytes, &INT8_MAGIC)?;
+                if body.len() < 8 + count {
+                    return Err(CodecError::Truncated);
+                }
+                let lo = f32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+                let scale = f32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+                out.clear();
+                out.resize(count, 0.0);
+                let tasks: Vec<Mutex<(&[u8], &mut [f32])>> = body[8..8 + count]
+                    .chunks(PAR_CHUNK)
+                    .zip(out.chunks_mut(PAR_CHUNK))
+                    .map(Mutex::new)
+                    .collect();
+                pool.run(tasks.len(), |i| {
+                    let mut t = tasks[i].lock().unwrap();
+                    let (src, dst) = &mut *t;
+                    for (q, v) in src.iter().zip(dst.iter_mut()) {
+                        *v = dequant_int8(lo, scale, *q) as f32;
+                    }
+                });
+                Ok(())
+            }
+            UpdateCodec::TopK { .. } => {
+                // Sparse payloads are small (k ≪ n) and sequential by
+                // construction (strictly increasing indices): no parallel
+                // pass is worth its dispatch here.
+                let (count, body) = check_header(bytes, &TOPK_MAGIC)?;
+                if body.len() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let nnz = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+                if nnz > count {
+                    return Err(CodecError::BadIndex);
+                }
+                let pairs = &body[4..];
+                if pairs.len() < nnz * 8 {
+                    return Err(CodecError::Truncated);
+                }
+                out.clear();
+                match base {
+                    Some(b) => {
+                        if b.len() != count {
+                            return Err(CodecError::BaseMismatch);
+                        }
+                        out.extend_from_slice(b);
+                    }
+                    None => {
+                        // The other codecs tie `count` to the payload
+                        // length; a sparse frame has no such tie, so the
+                        // zero-base allocation is the one place a
+                        // 24-byte frame could demand gigabytes. Cap it.
+                        if count > MAX_SPARSE_ELEMS {
+                            return Err(CodecError::BadIndex);
+                        }
+                        out.resize(count, 0.0);
+                    }
+                }
+                let mut prev: Option<u32> = None;
+                for p in 0..nnz {
+                    let off = p * 8;
+                    let idx = u32::from_le_bytes(pairs[off..off + 4].try_into().expect("4 bytes"));
+                    let val =
+                        f32::from_le_bytes(pairs[off + 4..off + 8].try_into().expect("4 bytes"));
+                    if idx as usize >= count || prev.is_some_and(|p| idx <= p) {
+                        return Err(CodecError::BadIndex);
+                    }
+                    prev = Some(idx);
+                    out[idx as usize] += val;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One fp16 chunk: element-local encode + residual update, shared by the
+/// parallel path at every thread count.
+fn fp16_encode_chunk(x: &[f32], residual: &mut [f32], out: &mut [u8]) {
+    for ((v, r), o) in x
+        .iter()
+        .zip(residual.iter_mut())
+        .zip(out.chunks_exact_mut(2))
+    {
+        let target = v + *r;
+        if target.is_finite() {
+            // Saturate instead of converting to ±inf: an overflowing
+            // target would otherwise leave an infinite residual
+            // (target − inf) that poisons every later round.
+            let clamped = target.clamp(-F16_MAX, F16_MAX);
+            let h = f32_to_f16(clamped);
+            o.copy_from_slice(&h.to_le_bytes());
+            *r = target - f16_to_f32(h);
+        } else {
+            // Non-finite model values ship as-is; feeding them back
+            // would turn the residual into NaN.
+            o.copy_from_slice(&f32_to_f16(target).to_le_bytes());
+            *r = 0.0;
+        }
+    }
+}
+
+/// The top-k selection order: largest |e| first, ties break on index.
+/// Strict and total, which is what makes per-chunk candidate selection
+/// merge back to exactly the serial selection.
+#[inline]
+fn topk_cmp(e: &[f32], a: u32, b: u32) -> std::cmp::Ordering {
+    let (ma, mb) = (e[a as usize].abs(), e[b as usize].abs());
+    mb.total_cmp(&ma).then(a.cmp(&b))
+}
+
+/// Reconstructs an int8 grid point in f64 — `q · scale` can overflow f32
+/// at extreme spreads even though the grid point itself is a finite f32.
+fn dequant_int8(lo: f32, scale: f32, q: u8) -> f64 {
+    lo as f64 + q as f64 * scale as f64
+}
+
+/// Number of coordinates the top-k codec keeps for an `n`-element vector.
+pub fn top_k_count(n: usize, per_mille: u16) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    ((n * per_mille as usize) / 1000).max(1).min(n)
+}
+
+/// Validates a lossy-codec header (magic, version, element count) and
+/// returns `(count, rest)`.
+fn check_header<'a>(bytes: &'a [u8], magic: &[u8; 3]) -> Result<(usize, &'a [u8]), CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..3] != magic {
+        return Err(CodecError::WrongCodec);
+    }
+    if bytes[3] != CODEC_VERSION {
+        return Err(CodecError::BadVersion(bytes[3]));
+    }
+    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    Ok((count, &bytes[8..]))
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
+///
+/// Bit-twiddling fast path (integer RTNE with carry through the exponent),
+/// bit-identical to [`reference::f32_to_f16`] — the hand-rolled branchy
+/// version it replaced — for every input.
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let abs = bits & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Inf / NaN: keep NaN-ness even when the top mantissa bits are 0.
+        let man = bits & 0x007f_ffff;
+        let payload = (man >> 13) as u16;
+        let quiet = u16::from(man != 0 && payload == 0);
+        return sign | 0x7c00 | payload | quiet;
+    }
+    if abs >= 0x4780_0000 {
+        return sign | 0x7c00; // unbiased exponent > 15: overflow → ±inf
+    }
+    if abs >= 0x3880_0000 {
+        // Normal half: round-to-nearest-even as one integer add — the
+        // +0x0fff (+1 on odd) carries through mantissa and exponent in
+        // one go, including the carry to ±inf at the top of the range.
+        let rounded = abs + 0x0fff + ((abs >> 13) & 1);
+        return sign | ((rounded - (112 << 23)) >> 13) as u16;
+    }
+    if abs >= 0x3380_0000 {
+        // Subnormal half (unbiased exponent in −24..−15).
+        let unbiased = ((bits >> 23) & 0xff) as i32 - 127;
+        let full = (bits & 0x007f_ffff) | 0x0080_0000;
+        let shift = (13 - 14 - unbiased) as u32;
+        let mut m = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1; // may carry into the exponent field: still correct
+        }
+        return sign | m as u16;
+    }
+    sign // underflows to ±0
+}
+
+/// Converts IEEE 754 binary16 bits to an `f32` (exact).
+///
+/// Branch-light bit-shift construction, bit-identical to
+/// [`reference::f16_to_f32`] for all 65536 inputs (tested exhaustively).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let mut o = ((h as u32 & 0x7fff) << 13) + ((127 - 15) << 23);
+    let exp = (h >> 10) & 0x1f;
+    if exp == 31 {
+        o += (128 - 16) << 23; // re-bias inf/NaN exponent to 255
+    } else if exp == 0 {
+        // Subnormal (or zero): renormalize by floating-point subtraction
+        // of the implicit-one magic constant.
+        o += 1 << 23;
+        o = (f32::from_bits(o) - f32::from_bits(113 << 23)).to_bits();
+    }
+    f32::from_bits(o | sign)
+}
+
+pub mod reference {
+    //! The serial codec implementations, kept verbatim as the oracle for
+    //! differential tests (and the 1-thread baseline in benches). The
+    //! parallel paths in [`UpdateCodec`] must stay bit-identical to these
+    //! — chaos trace hashes pin bit-exact global models.
+
+    use super::{
+        check_header, dequant_int8, params, top_k_count, CodecError, UpdateCodec, CODEC_VERSION,
+        F16_MAX, FP16_MAGIC, INT8_MAGIC, MAX_SPARSE_ELEMS, TOPK_MAGIC,
+    };
+
+    /// Serial [`UpdateCodec::encode`].
+    pub fn encode(
+        codec: UpdateCodec,
+        x: &[f32],
+        base: Option<&[f32]>,
+        residual: &mut Vec<f32>,
+    ) -> Vec<u8> {
+        match codec {
             UpdateCodec::Dense => params::serialize(x),
             UpdateCodec::Fp16 => {
                 residual.resize(x.len(), 0.0);
@@ -194,17 +707,11 @@ impl UpdateCodec {
                 for (v, r) in x.iter().zip(residual.iter_mut()) {
                     let target = v + *r;
                     if target.is_finite() {
-                        // Saturate instead of converting to ±inf: an
-                        // overflowing target would otherwise leave an
-                        // infinite residual (target − inf) that poisons
-                        // every later round.
                         let clamped = target.clamp(-F16_MAX, F16_MAX);
                         let h = f32_to_f16(clamped);
                         out.extend_from_slice(&h.to_le_bytes());
                         *r = target - f16_to_f32(h);
                     } else {
-                        // Non-finite model values ship as-is; feeding
-                        // them back would turn the residual into NaN.
                         out.extend_from_slice(&f32_to_f16(target).to_le_bytes());
                         *r = 0.0;
                     }
@@ -213,8 +720,6 @@ impl UpdateCodec {
             }
             UpdateCodec::Int8 => {
                 residual.resize(x.len(), 0.0);
-                // Compensated targets first: the quantization grid must
-                // cover value + residual, not just value.
                 let targets: Vec<f32> = x.iter().zip(residual.iter()).map(|(v, r)| v + r).collect();
                 let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
                 for t in &targets {
@@ -226,9 +731,6 @@ impl UpdateCodec {
                 if !lo.is_finite() || !hi.is_finite() {
                     (lo, hi) = (0.0, 0.0);
                 }
-                // The spread is computed in f64: hi − lo can overflow f32
-                // (e.g. ±3e38), and an infinite scale would decode every
-                // element to NaN and poison the residual.
                 let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
                 let mut out = Vec::with_capacity(16 + targets.len());
                 out.extend_from_slice(&INT8_MAGIC);
@@ -236,9 +738,6 @@ impl UpdateCodec {
                 out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
                 out.extend_from_slice(&lo.to_le_bytes());
                 out.extend_from_slice(&scale.to_le_bytes());
-                // Quantize/dequantize in f64: intermediate products like
-                // q·scale or t − lo can overflow f32 at extreme spreads
-                // even though every grid point is a finite f32.
                 for (t, r) in targets.iter().zip(residual.iter_mut()) {
                     let q = if scale > 0.0 && t.is_finite() {
                         ((*t as f64 - lo as f64) / scale as f64)
@@ -248,8 +747,6 @@ impl UpdateCodec {
                         0
                     };
                     out.push(q);
-                    // A non-finite target must not feed back (t − dequant
-                    // would stay inf/NaN forever).
                     *r = if t.is_finite() {
                         (*t as f64 - dequant_int8(lo, scale, q)) as f32
                     } else {
@@ -260,7 +757,6 @@ impl UpdateCodec {
             }
             UpdateCodec::TopK { per_mille } => {
                 residual.resize(x.len(), 0.0);
-                // Compensated delta: what we *owe* the receiver.
                 let mut e: Vec<f32> = match base {
                     Some(b) => {
                         debug_assert_eq!(b.len(), x.len());
@@ -275,8 +771,6 @@ impl UpdateCodec {
                 let k = top_k_count(x.len(), per_mille);
                 let mut order: Vec<u32> = (0..e.len() as u32).collect();
                 if k < order.len() {
-                    // Largest |e| first; ties break on index so the
-                    // selection is deterministic.
                     order.select_nth_unstable_by(k, |&a, &b| {
                         let (ma, mb) = (e[a as usize].abs(), e[b as usize].abs());
                         mb.total_cmp(&ma).then(a.cmp(&b))
@@ -293,7 +787,7 @@ impl UpdateCodec {
                     let i = *idx as usize;
                     out.extend_from_slice(&idx.to_le_bytes());
                     out.extend_from_slice(&e[i].to_le_bytes());
-                    e[i] = 0.0; // shipped exactly: nothing owed
+                    e[i] = 0.0;
                 }
                 *residual = e;
                 out
@@ -301,19 +795,19 @@ impl UpdateCodec {
         }
     }
 
-    /// Encodes without error feedback (aggregates relayed up the
-    /// hierarchy are one-shot: there is no next round to retry their
-    /// truncation error in).
-    pub fn encode_stateless(self, x: &[f32], base: Option<&[f32]>) -> Vec<u8> {
+    /// Serial [`UpdateCodec::encode_stateless`].
+    pub fn encode_stateless(codec: UpdateCodec, x: &[f32], base: Option<&[f32]>) -> Vec<u8> {
         let mut residual = Vec::new();
-        self.encode(x, base, &mut residual)
+        encode(codec, x, base, &mut residual)
     }
 
-    /// Decodes a payload back to a full-length vector. For delta codecs,
-    /// `base` must be the same base the sender encoded against (`None` =
-    /// all zeros); non-delta codecs ignore it.
-    pub fn decode(self, bytes: &[u8], base: Option<&[f32]>) -> Result<Vec<f32>, CodecError> {
-        match self {
+    /// Serial [`UpdateCodec::decode`].
+    pub fn decode(
+        codec: UpdateCodec,
+        bytes: &[u8],
+        base: Option<&[f32]>,
+    ) -> Result<Vec<f32>, CodecError> {
+        match codec {
             UpdateCodec::Dense => Ok(params::deserialize(bytes)?),
             UpdateCodec::Fp16 => {
                 let (count, body) = check_header(bytes, &FP16_MAGIC)?;
@@ -357,10 +851,6 @@ impl UpdateCodec {
                         b.to_vec()
                     }
                     None => {
-                        // The other codecs tie `count` to the payload
-                        // length; a sparse frame has no such tie, so the
-                        // zero-base allocation is the one place a
-                        // 24-byte frame could demand gigabytes. Cap it.
                         if count > MAX_SPARSE_ELEMS {
                             return Err(CodecError::BadIndex);
                         }
@@ -383,108 +873,78 @@ impl UpdateCodec {
             }
         }
     }
-}
 
-/// Reconstructs an int8 grid point in f64 — `q · scale` can overflow f32
-/// at extreme spreads even though the grid point itself is a finite f32.
-fn dequant_int8(lo: f32, scale: f32, q: u8) -> f64 {
-    lo as f64 + q as f64 * scale as f64
-}
-
-/// Number of coordinates the top-k codec keeps for an `n`-element vector.
-pub fn top_k_count(n: usize, per_mille: u16) -> usize {
-    if n == 0 {
-        return 0;
-    }
-    ((n * per_mille as usize) / 1000).max(1).min(n)
-}
-
-/// Validates a lossy-codec header (magic, version, element count) and
-/// returns `(count, rest)`.
-fn check_header<'a>(bytes: &'a [u8], magic: &[u8; 3]) -> Result<(usize, &'a [u8]), CodecError> {
-    if bytes.len() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    if &bytes[..3] != magic {
-        return Err(CodecError::WrongCodec);
-    }
-    if bytes[3] != CODEC_VERSION {
-        return Err(CodecError::BadVersion(bytes[3]));
-    }
-    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
-    Ok((count, &bytes[8..]))
-}
-
-/// Converts an `f32` to IEEE 754 binary16 bits, rounding to nearest even.
-pub fn f32_to_f16(value: f32) -> u16 {
-    let bits = value.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let man = bits & 0x007f_ffff;
-    if exp == 255 {
-        // Inf / NaN: keep NaN-ness even when the top mantissa bits are 0.
-        let payload = (man >> 13) as u16;
-        let quiet = u16::from(man != 0 && payload == 0);
-        return sign | 0x7c00 | payload | quiet;
-    }
-    let unbiased = exp - 127;
-    if unbiased > 15 {
-        return sign | 0x7c00; // overflow → ±inf
-    }
-    if unbiased >= -14 {
-        // Normal half.
-        let e = (unbiased + 15) as u32;
-        let mut m = man >> 13;
-        let rem = man & 0x1fff;
-        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
-            m += 1;
-            if m == 0x400 {
-                // Mantissa carry bumps the exponent (e == 30 → inf is
-                // exactly the binary16 rounding rule).
-                return sign | (((e + 1) << 10) as u16);
+    /// The original branchy `f32` → binary16 conversion (RTNE).
+    pub fn f32_to_f16(value: f32) -> u16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let man = bits & 0x007f_ffff;
+        if exp == 255 {
+            // Inf / NaN: keep NaN-ness even when the top mantissa bits are 0.
+            let payload = (man >> 13) as u16;
+            let quiet = u16::from(man != 0 && payload == 0);
+            return sign | 0x7c00 | payload | quiet;
+        }
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return sign | 0x7c00; // overflow → ±inf
+        }
+        if unbiased >= -14 {
+            // Normal half.
+            let e = (unbiased + 15) as u32;
+            let mut m = man >> 13;
+            let rem = man & 0x1fff;
+            if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+                m += 1;
+                if m == 0x400 {
+                    // Mantissa carry bumps the exponent (e == 30 → inf is
+                    // exactly the binary16 rounding rule).
+                    return sign | (((e + 1) << 10) as u16);
+                }
             }
+            return sign | ((e << 10) as u16) | m as u16;
         }
-        return sign | ((e << 10) as u16) | m as u16;
-    }
-    if unbiased >= -24 {
-        // Subnormal half.
-        let full = man | 0x0080_0000;
-        let shift = (13 - 14 - unbiased) as u32;
-        let mut m = full >> shift;
-        let rem = full & ((1u32 << shift) - 1);
-        let half = 1u32 << (shift - 1);
-        if rem > half || (rem == half && (m & 1) == 1) {
-            m += 1; // may carry into the exponent field: still correct
+        if unbiased >= -24 {
+            // Subnormal half.
+            let full = man | 0x0080_0000;
+            let shift = (13 - 14 - unbiased) as u32;
+            let mut m = full >> shift;
+            let rem = full & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            if rem > half || (rem == half && (m & 1) == 1) {
+                m += 1; // may carry into the exponent field: still correct
+            }
+            return sign | m as u16;
         }
-        return sign | m as u16;
+        sign // underflows to ±0
     }
-    sign // underflows to ±0
-}
 
-/// Converts IEEE 754 binary16 bits to an `f32` (exact).
-pub fn f16_to_f32(h: u16) -> f32 {
-    let sign = ((h & 0x8000) as u32) << 16;
-    let exp = ((h >> 10) & 0x1f) as u32;
-    let man = (h & 0x3ff) as u32;
-    let bits = if exp == 31 {
-        sign | 0x7f80_0000 | (man << 13)
-    } else if exp == 0 {
-        if man == 0 {
-            sign
+    /// The original branchy binary16 → `f32` conversion (exact).
+    pub fn f16_to_f32(h: u16) -> f32 {
+        let sign = ((h & 0x8000) as u32) << 16;
+        let exp = ((h >> 10) & 0x1f) as u32;
+        let man = (h & 0x3ff) as u32;
+        let bits = if exp == 31 {
+            sign | 0x7f80_0000 | (man << 13)
+        } else if exp == 0 {
+            if man == 0 {
+                sign
+            } else {
+                // Subnormal: renormalize into f32's wider exponent range.
+                let mut e: i32 = 127 - 15 + 1;
+                let mut m = man;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
+            }
         } else {
-            // Subnormal: renormalize into f32's wider exponent range.
-            let mut e: i32 = 127 - 15 + 1;
-            let mut m = man;
-            while m & 0x400 == 0 {
-                m <<= 1;
-                e -= 1;
-            }
-            sign | ((e as u32) << 23) | ((m & 0x3ff) << 13)
-        }
-    } else {
-        sign | ((exp + 127 - 15) << 23) | (man << 13)
-    };
-    f32::from_bits(bits)
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +981,138 @@ mod tests {
         // Subnormal halves round-trip.
         let sub = f16_to_f32(0x0001);
         assert_eq!(f32_to_f16(sub), 0x0001);
+    }
+
+    #[test]
+    fn f16_decode_fast_path_matches_reference_exhaustively() {
+        for h in 0..=u16::MAX {
+            let fast = f16_to_f32(h);
+            let slow = reference::f16_to_f32(h);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "h = {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn f16_encode_fast_path_matches_reference() {
+        // Every binary16 value and its f32 neighbours (covers all exact
+        // and near-boundary inputs), plus a dense stride over the whole
+        // f32 bit space and the format's branch thresholds.
+        for h in 0..=u16::MAX {
+            let v = reference::f16_to_f32(h);
+            for ulp in [-2i64, -1, 0, 1, 2] {
+                let w = f32::from_bits((v.to_bits() as i64).wrapping_add(ulp) as u32);
+                assert_eq!(f32_to_f16(w), reference::f32_to_f16(w), "{w} bits");
+            }
+        }
+        for (i, &edge) in [0x3380_0000u32, 0x3880_0000, 0x4780_0000, 0x7f80_0000]
+            .iter()
+            .enumerate()
+        {
+            for delta in -4i64..=4 {
+                for sign in [0u32, 0x8000_0000] {
+                    let bits = (edge as i64 + delta) as u32 | sign;
+                    let v = f32::from_bits(bits);
+                    assert_eq!(
+                        f32_to_f16(v),
+                        reference::f32_to_f16(v),
+                        "edge {i} {bits:#x}"
+                    );
+                }
+            }
+        }
+        let mut bits = 0u32;
+        loop {
+            let v = f32::from_bits(bits);
+            assert_eq!(f32_to_f16(v), reference::f32_to_f16(v), "{bits:#x}");
+            match bits.checked_add(99_991) {
+                Some(b) => bits = b,
+                None => break,
+            }
+        }
+    }
+
+    /// Differential harness: parallel encode/decode at several thread
+    /// counts must be byte- and bit-identical to the serial reference.
+    fn assert_parallel_matches_reference(codec: UpdateCodec, x: &[f32], base: Option<&[f32]>) {
+        let mut ref_residual = Vec::new();
+        let ref_enc = reference::encode(codec, x, base, &mut ref_residual);
+        let ref_dec = reference::decode(codec, &ref_enc, base).unwrap();
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let mut residual = Vec::new();
+            let mut enc = Vec::new();
+            codec.encode_into(x, base, &mut residual, &pool, &mut enc);
+            assert_eq!(enc, ref_enc, "{} bytes @ {threads} threads", codec.name());
+            let res_bits: Vec<u32> = residual.iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = ref_residual.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                res_bits,
+                ref_bits,
+                "{} residual @ {threads} threads",
+                codec.name()
+            );
+            let mut dec = Vec::new();
+            codec.decode_into(&enc, base, &pool, &mut dec).unwrap();
+            let dec_bits: Vec<u32> = dec.iter().map(|v| v.to_bits()).collect();
+            let refd_bits: Vec<u32> = ref_dec.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                dec_bits,
+                refd_bits,
+                "{} decode @ {threads} threads",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_codecs_match_reference_across_chunk_boundaries() {
+        // Adversarial lengths around the fixed chunk size, plus a
+        // multi-chunk length, with specials sprinkled in.
+        for n in [0usize, 1, PAR_CHUNK - 1, PAR_CHUNK, PAR_CHUNK + 1, 20_000] {
+            let mut x = ramp(n);
+            if n > 10 {
+                x[1] = f32::INFINITY;
+                x[3] = f32::NAN;
+                x[5] = -0.0;
+                x[7] = 0.0;
+            }
+            let base: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
+            for codec in [
+                UpdateCodec::Dense,
+                UpdateCodec::Fp16,
+                UpdateCodec::Int8,
+                UpdateCodec::TOP_K_DEFAULT,
+                UpdateCodec::TopK { per_mille: 900 },
+            ] {
+                assert_parallel_matches_reference(codec, &x, None);
+                if codec.is_delta() {
+                    assert_parallel_matches_reference(codec, &x, Some(&base));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_deterministic_round_over_round() {
+        // Residual feedback across rounds must evolve identically to the
+        // reference, not just within a single call.
+        let n = 2 * PAR_CHUNK + 77;
+        let x = ramp(n);
+        let pool = WorkerPool::new(4);
+        for codec in [
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TOP_K_DEFAULT,
+        ] {
+            let mut ref_residual = Vec::new();
+            let mut par_residual = Vec::new();
+            for round in 0..3 {
+                let ref_enc = reference::encode(codec, &x, None, &mut ref_residual);
+                let mut enc = Vec::new();
+                codec.encode_into(&x, None, &mut par_residual, &pool, &mut enc);
+                assert_eq!(enc, ref_enc, "{} round {round}", codec.name());
+            }
+        }
     }
 
     #[test]
@@ -595,6 +1187,30 @@ mod tests {
         let dec = UpdateCodec::Int8.decode(&enc, None).unwrap();
         assert!(dec.iter().all(|v| v.is_finite()), "{dec:?}");
         assert!(residual.iter().all(|v| v.is_finite()), "{residual:?}");
+    }
+
+    #[test]
+    fn int8_signed_zero_extremum_matches_reference() {
+        // A vector whose min (and max) is ±0 with mixed zero signs is the
+        // one case where a reordered min/max could pick the other zero;
+        // the parallel path must still reproduce the serial bytes.
+        for n in [9usize, PAR_CHUNK + 9] {
+            let mut x = vec![0.5f32; n];
+            for (i, v) in x.iter_mut().enumerate() {
+                *v = match i % 4 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => 1.0,
+                    _ => 0.5,
+                };
+            }
+            assert_parallel_matches_reference(UpdateCodec::Int8, &x, None);
+            // All-negative-zero lower bound, mixed upper.
+            let y: Vec<f32> = (0..n)
+                .map(|i| if i % 2 == 0 { -0.0 } else { 0.0 })
+                .collect();
+            assert_parallel_matches_reference(UpdateCodec::Int8, &y, None);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod mlp;
 pub mod optim;
 pub mod parallel;
 pub mod params;
+mod simd;
 pub mod tensor;
 pub mod train;
 

@@ -42,6 +42,73 @@ pub fn serialize(params: &[f32]) -> Vec<u8> {
     out
 }
 
+/// [`serialize`] into a caller-provided buffer (cleared first), converting
+/// chunks on `pool`'s workers. Byte-identical to the serial path — each
+/// element's little-endian bytes land at a fixed offset regardless of
+/// which worker writes them.
+pub fn serialize_into(params: &[f32], pool: &crate::parallel::WorkerPool, out: &mut Vec<u8>) {
+    use crate::codec::PAR_CHUNK;
+    out.clear();
+    out.reserve(8 + params.len() * 4);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    out.resize(8 + params.len() * 4, 0);
+    let body = &mut out[8..];
+    let tasks: Vec<std::sync::Mutex<(&[f32], &mut [u8])>> = params
+        .chunks(PAR_CHUNK)
+        .zip(body.chunks_mut(PAR_CHUNK * 4))
+        .map(std::sync::Mutex::new)
+        .collect();
+    pool.run(tasks.len(), |i| {
+        let mut t = tasks[i].lock().unwrap();
+        let (src, dst) = &mut *t;
+        for (p, o) in src.iter().zip(dst.chunks_exact_mut(4)) {
+            o.copy_from_slice(&p.to_le_bytes());
+        }
+    });
+}
+
+/// [`deserialize`] into a caller-provided buffer (cleared first),
+/// converting chunks on `pool`'s workers. Identical results to the serial
+/// path.
+pub fn deserialize_into(
+    bytes: &[u8],
+    pool: &crate::parallel::WorkerPool,
+    out: &mut Vec<f32>,
+) -> Result<(), ParamError> {
+    use crate::codec::PAR_CHUNK;
+    if bytes.len() < 8 {
+        return Err(ParamError::Truncated);
+    }
+    if bytes[..3] != MAGIC {
+        return Err(ParamError::BadMagic);
+    }
+    if bytes[3] != VERSION {
+        return Err(ParamError::BadVersion(bytes[3]));
+    }
+    let count = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if bytes.len() < 8 + count * 4 {
+        return Err(ParamError::Truncated);
+    }
+    out.clear();
+    out.resize(count, 0.0);
+    let body = &bytes[8..8 + count * 4];
+    let tasks: Vec<std::sync::Mutex<(&[u8], &mut [f32])>> = body
+        .chunks(PAR_CHUNK * 4)
+        .zip(out.chunks_mut(PAR_CHUNK))
+        .map(std::sync::Mutex::new)
+        .collect();
+    pool.run(tasks.len(), |i| {
+        let mut t = tasks[i].lock().unwrap();
+        let (src, dst) = &mut *t;
+        for (o, v) in src.chunks_exact(4).zip(dst.iter_mut()) {
+            *v = f32::from_le_bytes(o.try_into().expect("4 bytes"));
+        }
+    });
+    Ok(())
+}
+
 /// Deserializes a flat parameter vector.
 pub fn deserialize(bytes: &[u8]) -> Result<Vec<f32>, ParamError> {
     if bytes.len() < 8 {

@@ -1,0 +1,395 @@
+//! SIMD kernels for the update codecs.
+//!
+//! Everything here is **bit-identical** to the scalar reference paths in
+//! [`crate::codec::reference`]: the vector code performs the same IEEE-754
+//! operations at the same width in the same per-element order, so the only
+//! reordering is *across* elements — and every cross-element combine is
+//! either element-local (quantize, residual) or exactly associative for the
+//! values involved (min/max, see [`minmax_finite`]). Chaos trace hashes pin
+//! bit-exact globals, so this property is load-bearing, not cosmetic.
+//!
+//! SSE2 is part of the x86_64 baseline, so no runtime feature detection is
+//! needed; other architectures fall back to the scalar bodies.
+
+/// Exact dequantized grid point for int8: `lo + q * scale` in f64.
+#[inline]
+pub(crate) fn dequant_int8(lo: f32, scale: f32, q: u8) -> f64 {
+    lo as f64 + q as f64 * scale as f64
+}
+
+/// Scalar int8 quantizer: round-half-up of `(t - lo) / scale` clamped to
+/// `[0, 255]`, all in f64. The integer trunc-plus-carry formulation is
+/// exactly `z.round().clamp(0.0, 255.0) as u8` for the in-range non-negative
+/// `z` produced by a correct `(lo, scale)` pair, and is what the SIMD path
+/// mirrors lane-for-lane.
+#[inline]
+fn quant_scalar(t: f32, lo: f32, scale: f32) -> u8 {
+    let z = (t as f64 - lo as f64) / scale as f64;
+    if z <= 0.0 {
+        return 0;
+    }
+    let tr = z as u32;
+    let q = tr.saturating_add(((z - tr as f64) >= 0.5) as u32);
+    q.min(255) as u8
+}
+
+/// Fused scalar quantize + residual body: for each element, form the
+/// error-compensated value `t = x + r`, emit its quantized byte, and store
+/// the new residual `t - dequant(q)`.
+pub(crate) fn int8_body_scalar(x: &[f32], r: &mut [f32], out: &mut [u8], lo: f32, scale: f32) {
+    for ((v, r), o) in x.iter().zip(r.iter_mut()).zip(out.iter_mut()) {
+        let t = v + *r;
+        let q = if scale > 0.0 && t.is_finite() {
+            quant_scalar(t, lo, scale)
+        } else {
+            0
+        };
+        *o = q;
+        *r = if t.is_finite() {
+            (t as f64 - dequant_int8(lo, scale, q)) as f32
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Degenerate-scale body (`scale <= 0` or NaN): every byte is 0 and the
+/// residual keeps the full distance to the (constant) grid point.
+fn int8_body_degenerate(x: &[f32], r: &mut [f32], out: &mut [u8], lo: f32, scale: f32) {
+    for ((v, r), o) in x.iter().zip(r.iter_mut()).zip(out.iter_mut()) {
+        let t = v + *r;
+        *o = 0;
+        *r = if t.is_finite() {
+            (t as f64 - dequant_int8(lo, scale, 0)) as f32
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Fused int8 quantize + residual over one chunk. Dispatches to the SSE2
+/// kernel on x86_64 and the scalar body elsewhere; both produce identical
+/// bytes and identical residual bits.
+pub(crate) fn int8_body(x: &[f32], r: &mut [f32], out: &mut [u8], lo: f32, scale: f32) {
+    debug_assert_eq!(x.len(), r.len());
+    debug_assert_eq!(x.len(), out.len());
+    if scale <= 0.0 || scale.is_nan() {
+        int8_body_degenerate(x, r, out, lo, scale);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is unconditionally available on x86_64, and the slices
+    // were length-checked above.
+    unsafe {
+        x86::int8_body_sse2(x, r, out, lo, scale)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    int8_body_scalar(x, r, out, lo, scale)
+}
+
+/// Min/max of the finite error-compensated values `x[i] + r[i]`, identical
+/// bit-for-bit to the serial loop
+///
+/// ```text
+/// if t.is_finite() { lo = lo.min(t); hi = hi.max(t); }
+/// ```
+///
+/// f32 min/max over non-NaN values is associative and commutative *except*
+/// when the extremum is a zero reached with mixed signs: `min(-0.0, +0.0)`
+/// is order-dependent ("second wins on equal"). The SIMD path therefore
+/// re-runs the exact serial loop for whichever bound lands on ±0 — a cheap,
+/// rare branch that restores order-independence without giving up the
+/// vector fast path.
+///
+/// Returns `(lo, hi)`; `(INFINITY, NEG_INFINITY)` when no value is finite.
+pub(crate) fn minmax_finite(x: &[f32], r: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(x.len(), r.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 baseline; slices length-checked above.
+        let (lo, hi) = unsafe { x86::minmax_finite_sse2(x, r) };
+        let lo = if lo == 0.0 { minmax_serial(x, r).0 } else { lo };
+        let hi = if hi == 0.0 { minmax_serial(x, r).1 } else { hi };
+        (lo, hi)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    minmax_serial(x, r)
+}
+
+/// The exact serial min/max loop the codecs are specified against.
+pub(crate) fn minmax_serial(x: &[f32], r: &[f32]) -> (f32, f32) {
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for (v, rr) in x.iter().zip(r.iter()) {
+        let t = v + rr;
+        if t.is_finite() {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Fused quantize + residual, 8 elements per step.
+    ///
+    /// Bit-identical to [`super::int8_body_scalar`]: every arithmetic op is
+    /// the same IEEE-754 operation at the same width in the same order; the
+    /// trunc-plus-carry rounding is reproduced with `cvttpd` + a `cmpge`
+    /// mask, and the clamp with a saturating pack. Requires `scale > 0.0`
+    /// (callers route degenerate scales to the scalar body first).
+    ///
+    /// # Safety
+    /// SSE2 must be available (always true on x86_64) and the three slices
+    /// must have equal lengths.
+    pub unsafe fn int8_body_sse2(x: &[f32], r: &mut [f32], out: &mut [u8], lo: f32, scale: f32) {
+        let n = x.len();
+        let lo64 = _mm_set1_pd(lo as f64);
+        let s64 = _mm_set1_pd(scale as f64);
+        let half = _mm_set1_pd(0.5);
+        let inf = _mm_set1_ps(f32::INFINITY);
+        let absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
+        let max255 = _mm_set1_epi16(255);
+        let mut i = 0;
+        while i + 8 <= n {
+            // Two groups of 4 lanes; q values collected as i32 lanes.
+            let mut qgroups = [_mm_setzero_si128(); 2];
+            for (g, qg) in qgroups.iter_mut().enumerate() {
+                let off = i + g * 4;
+                let xv = _mm_loadu_ps(x.as_ptr().add(off));
+                let rv = _mm_loadu_ps(r.as_ptr().add(off));
+                let t = _mm_add_ps(xv, rv);
+                // finite: |t| < inf (NaN compares false).
+                let finite = _mm_cmplt_ps(_mm_and_ps(t, absmask), inf);
+                // Widen both halves to f64 and divide there, as the scalar
+                // path does.
+                let t_lo = _mm_cvtps_pd(t);
+                let t_hi = _mm_cvtps_pd(_mm_movehl_ps(t, t));
+                let z_lo = _mm_div_pd(_mm_sub_pd(t_lo, lo64), s64);
+                let z_hi = _mm_div_pd(_mm_sub_pd(t_hi, lo64), s64);
+                // Round-half-up via truncate + carry on frac >= 0.5. For
+                // finite lanes z is in [~-255, ~510], inside i32 range, so
+                // cvttpd is exact truncation.
+                let tr_lo = _mm_cvttpd_epi32(z_lo);
+                let tr_hi = _mm_cvttpd_epi32(z_hi);
+                let frac_lo = _mm_sub_pd(z_lo, _mm_cvtepi32_pd(tr_lo));
+                let frac_hi = _mm_sub_pd(z_hi, _mm_cvtepi32_pd(tr_hi));
+                // cmpge mask is all-ones == -1; subtracting it adds the carry.
+                let ge_lo = _mm_castpd_si128(_mm_cmpge_pd(frac_lo, half));
+                let ge_hi = _mm_castpd_si128(_mm_cmpge_pd(frac_hi, half));
+                // Compress the two 64-bit lane masks into 32-bit lanes 0,1.
+                let ge_lo32 = _mm_shuffle_epi32(ge_lo, 0b1000);
+                let ge_hi32 = _mm_shuffle_epi32(ge_hi, 0b1000);
+                let q_lo = _mm_sub_epi32(tr_lo, ge_lo32);
+                let q_hi = _mm_sub_epi32(tr_hi, ge_hi32);
+                // [q0 q1 q2 q3] as i32 lanes.
+                let q4 = _mm_unpacklo_epi64(q_lo, q_hi);
+                // Zero non-finite lanes, then clamp to [0, 255]. The packs
+                // to i16 saturates negatives to i16::MIN and the min against
+                // 255 handles the top; unpack against zero restores i32.
+                let q4 = _mm_and_si128(q4, _mm_castps_si128(finite));
+                let q4 = _mm_packs_epi32(q4, q4);
+                let q4 = _mm_min_epi16(_mm_max_epi16(q4, _mm_setzero_si128()), max255);
+                let q4 = _mm_unpacklo_epi16(q4, _mm_setzero_si128());
+                *qg = q4;
+                // Residual: (t - (lo + q*scale)) in f64, narrowed to f32,
+                // zeroed for non-finite t — exactly the scalar expression.
+                let q_lo64 = _mm_cvtepi32_pd(q4);
+                let q_hi64 = _mm_cvtepi32_pd(_mm_shuffle_epi32(q4, 0b1110));
+                let deq_lo = _mm_add_pd(_mm_mul_pd(q_lo64, s64), lo64);
+                let deq_hi = _mm_add_pd(_mm_mul_pd(q_hi64, s64), lo64);
+                let res_lo = _mm_cvtpd_ps(_mm_sub_pd(t_lo, deq_lo));
+                let res_hi = _mm_cvtpd_ps(_mm_sub_pd(t_hi, deq_hi));
+                let res = _mm_movelh_ps(res_lo, res_hi);
+                let res = _mm_and_ps(res, finite);
+                _mm_storeu_ps(r.as_mut_ptr().add(off), res);
+            }
+            // Pack the 8 q lanes down to bytes and store them.
+            let q16 = _mm_packs_epi32(qgroups[0], qgroups[1]);
+            let q8 = _mm_packus_epi16(q16, q16);
+            _mm_storel_epi64(out.as_mut_ptr().add(i) as *mut __m128i, q8);
+            i += 8;
+        }
+        super::int8_body_scalar(&x[i..], &mut r[i..], &mut out[i..], lo, scale);
+    }
+
+    /// Vector min/max of finite `x[i] + r[i]`. Non-finite lanes are
+    /// replaced by the identity element before the lane-wise min/max, which
+    /// matches the serial loop's `if t.is_finite()` guard. The caller fixes
+    /// up ±0 extrema (the one non-associative case).
+    ///
+    /// # Safety
+    /// SSE2 must be available (always true on x86_64) and the slices must
+    /// have equal lengths.
+    pub unsafe fn minmax_finite_sse2(x: &[f32], r: &[f32]) -> (f32, f32) {
+        let n = x.len();
+        let inf = _mm_set1_ps(f32::INFINITY);
+        let ninf = _mm_set1_ps(f32::NEG_INFINITY);
+        let absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
+        let mut lov = inf;
+        let mut hiv = ninf;
+        let mut i = 0;
+        while i + 4 <= n {
+            let t = _mm_add_ps(
+                _mm_loadu_ps(x.as_ptr().add(i)),
+                _mm_loadu_ps(r.as_ptr().add(i)),
+            );
+            let finite = _mm_cmplt_ps(_mm_and_ps(t, absmask), inf);
+            // Non-finite lanes become +inf for min / -inf for max: inert.
+            let tl = _mm_or_ps(_mm_and_ps(finite, t), _mm_andnot_ps(finite, inf));
+            let th = _mm_or_ps(_mm_and_ps(finite, t), _mm_andnot_ps(finite, ninf));
+            lov = _mm_min_ps(lov, tl);
+            hiv = _mm_max_ps(hiv, th);
+            i += 4;
+        }
+        let mut lanes_lo = [0f32; 4];
+        let mut lanes_hi = [0f32; 4];
+        _mm_storeu_ps(lanes_lo.as_mut_ptr(), lov);
+        _mm_storeu_ps(lanes_hi.as_mut_ptr(), hiv);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for g in 0..4 {
+            lo = lo.min(lanes_lo[g]);
+            hi = hi.max(lanes_hi[g]);
+        }
+        let (tail_lo, tail_hi) = super::minmax_serial(&x[i..], &r[i..]);
+        (lo.min(tail_lo), hi.max(tail_hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_int8(x: &[f32], r0: &[f32], lo: f32, scale: f32) {
+        let mut r_a = r0.to_vec();
+        let mut r_b = r0.to_vec();
+        let mut o_a = vec![0u8; x.len()];
+        let mut o_b = vec![0u8; x.len()];
+        int8_body_scalar(x, &mut r_a, &mut o_a, lo, scale);
+        int8_body(x, &mut r_b, &mut o_b, lo, scale);
+        assert_eq!(o_a, o_b, "q bytes differ (lo={lo}, scale={scale})");
+        let ra: Vec<u32> = r_a.iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u32> = r_b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ra, rb, "residual bits differ (lo={lo}, scale={scale})");
+    }
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn int8_matches_scalar_on_smooth_data() {
+        let n = 10_007;
+        let x: Vec<f32> = (0..n)
+            .map(|i| ((i as f32) * 0.37).sin() * (1.0 + (i % 17) as f32 * 0.25))
+            .collect();
+        let r0 = vec![0.001f32; n];
+        let (lo, hi) = minmax_serial(&x, &r0);
+        let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
+        check_int8(&x, &r0, lo, scale);
+    }
+
+    #[test]
+    fn int8_matches_scalar_on_adversarial_values() {
+        // Grid points, midpoints (the rounding decision boundary), their
+        // ulp-neighbours, non-finite values, zeros.
+        let lo = -3.25f32;
+        let scale = 0.04321f32;
+        let mut adv: Vec<f32> = Vec::new();
+        for q in 0..=255u32 {
+            let mid = (lo as f64 + (q as f64 + 0.5) * scale as f64) as f32;
+            let grid = (lo as f64 + q as f64 * scale as f64) as f32;
+            adv.push(mid);
+            adv.push(grid);
+            for ulp in [-2i64, -1, 1, 2] {
+                adv.push(f32::from_bits((mid.to_bits() as i64 + ulp) as u32));
+            }
+        }
+        adv.extend([f32::INFINITY, f32::NEG_INFINITY, f32::NAN, 0.0, -0.0, lo]);
+        // Values below lo (negative z) cannot arise from a correctly
+        // computed (lo, scale) pair but the bodies must still agree.
+        adv.extend([
+            lo - 0.3 * scale,
+            lo - scale,
+            (lo as f64 - 100.5 * scale as f64) as f32,
+            lo - 1.0,
+        ]);
+        let r0 = vec![0.0f32; adv.len()];
+        check_int8(&adv, &r0, lo, scale);
+        check_int8(&adv, &r0, 0.0, 0.0);
+        check_int8(&adv, &r0, -3e38, ((3e38f64 - (-3e38f64)) / 255.0) as f32);
+        check_int8(&adv, &r0, lo, f32::NAN);
+    }
+
+    #[test]
+    fn int8_matches_scalar_on_random_bit_patterns() {
+        let mut rng = xorshift(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..50 {
+            let len = 1 + (rng() % 200) as usize;
+            let xs: Vec<f32> = (0..len).map(|_| f32::from_bits(rng() as u32)).collect();
+            let rs: Vec<f32> = (0..len)
+                .map(|_| ((rng() % 2000) as f32 - 1000.0) / 997.0)
+                .collect();
+            let (mut lo, mut hi) = minmax_serial(&xs, &rs);
+            if !lo.is_finite() || !hi.is_finite() {
+                lo = 0.0;
+                hi = 0.0;
+            }
+            let scale = ((hi as f64 - lo as f64) / 255.0) as f32;
+            check_int8(&xs, &rs, lo, scale);
+        }
+    }
+
+    #[test]
+    fn minmax_matches_serial_including_signed_zero_ties() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![1.0],
+            vec![f32::NAN, f32::INFINITY],
+            vec![0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, -0.0],
+            vec![-0.0, 0.0, -0.0, 0.0, 0.0],
+            vec![-0.0; 9],
+            vec![0.0; 9],
+            vec![-1.0, -0.0, 0.0, 2.0, f32::NAN, -0.0],
+            (0..1000).map(|i| ((i * 37) % 101) as f32 - 50.0).collect(),
+        ];
+        for x in &cases {
+            let r = vec![0.0f32; x.len()];
+            let (lo_s, hi_s) = minmax_serial(x, &r);
+            let (lo_p, hi_p) = minmax_finite(x, &r);
+            assert_eq!(lo_s.to_bits(), lo_p.to_bits(), "lo for {x:?}");
+            assert_eq!(hi_s.to_bits(), hi_p.to_bits(), "hi for {x:?}");
+        }
+    }
+
+    #[test]
+    fn minmax_matches_serial_on_random_data() {
+        let mut rng = xorshift(0xdead_beef_cafe_f00d);
+        for _ in 0..100 {
+            let len = (rng() % 64) as usize;
+            // Mix of ordinary values, zeros of both signs and non-finites.
+            let x: Vec<f32> = (0..len)
+                .map(|_| match rng() % 6 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    _ => ((rng() % 2000) as f32 - 1000.0) / 3.0,
+                })
+                .collect();
+            let r = vec![0.0f32; len];
+            let (lo_s, hi_s) = minmax_serial(&x, &r);
+            let (lo_p, hi_p) = minmax_finite(&x, &r);
+            assert_eq!(lo_s.to_bits(), lo_p.to_bits());
+            assert_eq!(hi_s.to_bits(), hi_p.to_bits());
+        }
+    }
+}

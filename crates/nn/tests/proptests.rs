@@ -290,3 +290,89 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Parallel-vs-serial differential laws: the chunked multi-threaded
+// codec paths must be *bit-identical* to the retained serial reference
+// at every thread count — payload bytes, error-feedback residual, and
+// decoded values alike. Chaos trace hashes pin bit-exact globals, so
+// "close enough" is not an option here.
+// ---------------------------------------------------------------------
+
+use sdflmq_nn::codec::{reference, PAR_CHUNK};
+use sdflmq_nn::parallel::WorkerPool;
+
+/// Lengths that straddle the parallel chunk boundary (the adversarial
+/// set: empty, single element, chunk−1 / chunk / chunk+1), plus a band
+/// of small random lengths for chunk-interior coverage.
+fn adversarial_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(PAR_CHUNK - 1),
+        Just(PAR_CHUNK),
+        Just(PAR_CHUNK + 1),
+        2usize..600,
+    ]
+}
+
+/// Deterministic xorshift-derived vector — cheap at chunk-sized lengths
+/// where a `vec()` strategy would dominate the test's runtime.
+fn seeded_vec(seed: u64, len: usize, scale: f32) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0 * scale
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every codec's parallel encode and decode agree bit-for-bit with
+    /// the serial reference at 1, 2, and 4 worker threads — including
+    /// the updated error-feedback residual — at lengths that hit the
+    /// empty, single-chunk, exact-boundary, and multi-chunk layouts.
+    #[test]
+    fn parallel_codecs_match_reference_at_every_thread_count(
+        len in adversarial_len(),
+        seed in any::<u64>(),
+        with_base in any::<bool>(),
+    ) {
+        let x = seeded_vec(seed, len, 80.0);
+        let base_vec = seeded_vec(seed.wrapping_add(1), len, 40.0);
+        let prior = seeded_vec(seed.wrapping_add(2), len, 0.5);
+        let base = with_base.then_some(base_vec.as_slice());
+        let pools: Vec<WorkerPool> = [1, 2, 4].into_iter().map(WorkerPool::new).collect();
+        for codec in [
+            UpdateCodec::Dense,
+            UpdateCodec::Fp16,
+            UpdateCodec::Int8,
+            UpdateCodec::TOP_K_DEFAULT,
+        ] {
+            let mut ref_res = prior.clone();
+            let ref_enc = reference::encode(codec, &x, base, &mut ref_res);
+            let ref_dec = reference::decode(codec, &ref_enc, base).unwrap();
+            for pool in &pools {
+                let mut res = prior.clone();
+                let mut enc = Vec::new();
+                codec.encode_into(&x, base, &mut res, pool, &mut enc);
+                prop_assert_eq!(&enc, &ref_enc, "{} encode bytes", codec.name());
+                prop_assert_eq!(res.len(), ref_res.len());
+                for (a, b) in res.iter().zip(&ref_res) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} residual", codec.name());
+                }
+                let mut dec = Vec::new();
+                codec.decode_into(&ref_enc, base, pool, &mut dec).unwrap();
+                prop_assert_eq!(dec.len(), ref_dec.len());
+                for (a, b) in dec.iter().zip(&ref_dec) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} decode", codec.name());
+                }
+            }
+        }
+    }
+}

@@ -125,6 +125,7 @@ pub struct ScenarioBuilder {
     shards: usize,
     wait_timeout: Duration,
     durable: bool,
+    data_plane_threads: usize,
 }
 
 impl ScenarioBuilder {
@@ -153,6 +154,7 @@ impl ScenarioBuilder {
             shards: 1,
             wait_timeout: Duration::from_secs(60),
             durable: false,
+            data_plane_threads: 0,
         }
     }
 
@@ -271,6 +273,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Data-plane worker threads per client (0 = the process-wide shared
+    /// pool). Codecs and folds are bit-identical at every thread count,
+    /// so pinned trace hashes must not move when this changes — that
+    /// invariant is itself under test in the chaos suite.
+    pub fn data_plane_threads(mut self, threads: usize) -> ScenarioBuilder {
+        self.data_plane_threads = threads;
+        self
+    }
+
     /// Installs the broker fault plan.
     pub fn faults(mut self, plan: FaultPlan) -> ScenarioBuilder {
         self.fault_plan = Some(plan);
@@ -373,6 +384,7 @@ impl ScenarioBuilder {
                     system_seed: self.seed ^ i as u64,
                     clock: clock.clone(),
                     dialer: dialer(),
+                    data_plane_threads: self.data_plane_threads,
                     ..SdflmqClientConfig::default()
                 },
             )

@@ -106,6 +106,31 @@ impl Bytes {
         self.end = self.start + at;
         tail
     }
+
+    /// Recovers the backing `Vec<u8>` without copying, when this handle is
+    /// the sole owner of an unsliced shared allocation. Otherwise returns
+    /// `self` unchanged. (The real `bytes` crate spells this
+    /// `TryFrom<Bytes> for Vec<u8>`; buffer pools use it to reclaim
+    /// published payloads once the last clone drops.)
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        match self.storage {
+            Storage::Shared(arc) if self.start == 0 && self.end == arc.len() => {
+                match Arc::try_unwrap(arc) {
+                    Ok(v) => Ok(v),
+                    Err(arc) => Err(Bytes {
+                        storage: Storage::Shared(arc),
+                        start: self.start,
+                        end: self.end,
+                    }),
+                }
+            }
+            storage => Err(Bytes {
+                storage,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -273,6 +298,13 @@ impl BytesMut {
     }
 }
 
+impl From<Vec<u8>> for BytesMut {
+    /// Wraps an existing vector, reusing its allocation and contents.
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data }
+    }
+}
+
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -425,6 +457,30 @@ mod tests {
         assert_eq!(&b[..], &[3, 4, 5]);
         let s = b.slice(1..3);
         assert_eq!(&s[..], &[4, 5]);
+    }
+
+    #[test]
+    fn try_into_vec_recovers_sole_unsliced_owner() {
+        // Sole owner, full range: recovered without copying.
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.try_into_vec().unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(back.as_ptr(), ptr, "no copy");
+
+        // A live clone blocks recovery; dropping it unblocks.
+        let b = Bytes::from(vec![4u8, 5]);
+        let c = b.clone();
+        let b = b.try_into_vec().unwrap_err();
+        drop(c);
+        assert_eq!(b.try_into_vec().unwrap(), vec![4, 5]);
+
+        // Sliced handles and static storage are not recoverable.
+        let mut b = Bytes::from(vec![6u8, 7, 8]);
+        let _head = b.split_to(1);
+        assert!(b.try_into_vec().is_err());
+        assert!(Bytes::from_static(b"xyz").try_into_vec().is_err());
     }
 
     #[test]

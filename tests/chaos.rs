@@ -112,34 +112,88 @@ fn chaos_partition_coordinator_aggregator_heals_mid_round() {
     assert_golden_hash(&trace, 0xf235218afa117842);
 }
 
+/// Builds and runs the duplicated-contribution scenario with each
+/// client's data plane on a pool of `threads` workers (0 = the shared
+/// process pool). Both callers below pin the *same* golden hash: the
+/// parallel codecs and folds are bit-identical to serial, so the thread
+/// count must be invisible in the trace.
+fn run_dup_contrib(threads: usize) -> ScenarioTrace {
+    let seed = base_seed(42) ^ 0x02;
+    let plan = FaultPlan::seeded(seed).rule(
+        FaultRule::duplicate("dup")
+            .on_topic("sdflmq/session/chaos-dup-contrib/role/root")
+            .from_client("c01")
+            .take(1),
+    );
+    ScenarioBuilder::new("chaos-dup-contrib", seed)
+        .normal_clients(2, UpdateCodec::Dense) // c00=1, c01=2
+        .client(Behavior::Normal, UpdateCodec::Dense)
+        .value(4.0) // c02=4: a double-counted c01 would shift the mean
+        .rounds(1)
+        .data_plane_threads(threads)
+        .faults(plan)
+        .hash_rule("dup")
+        .run(|ctl| {
+            ctl.wait_for("completed", |c| c.is_terminal());
+        })
+}
+
 /// A trainer's parameter blob is delivered twice (at-least-once
 /// semantics): the aggregator's sender-keyed stack must fold it exactly
 /// once, keeping the global bit-exact.
 #[test]
 fn chaos_duplicated_contrib_is_deduplicated() {
-    let seed = base_seed(42) ^ 0x02;
-    let trace = assert_deterministic(|| {
-        let plan = FaultPlan::seeded(seed).rule(
-            FaultRule::duplicate("dup")
-                .on_topic("sdflmq/session/chaos-dup-contrib/role/root")
-                .from_client("c01")
-                .take(1),
-        );
-        ScenarioBuilder::new("chaos-dup-contrib", seed)
-            .normal_clients(2, UpdateCodec::Dense) // c00=1, c01=2
-            .client(Behavior::Normal, UpdateCodec::Dense)
-            .value(4.0) // c02=4: a double-counted c01 would shift the mean
-            .rounds(1)
-            .faults(plan)
-            .hash_rule("dup")
-            .run(|ctl| {
-                ctl.wait_for("completed", |c| c.is_terminal());
-            })
-    });
+    let trace = assert_deterministic(|| run_dup_contrib(0));
     // (1+2+4)/3; a double-counted duplicate would read (1+2+2+4)/4 = 2.25.
     assert_all_completed(&trace, 1, 7.0 / 3.0);
     assert_golden_hash(&trace, 0x710f2135b8b6358a);
     assert_eq!(trace.rule_hits, [("dup".to_owned(), 1)]);
+}
+
+/// The parallel data plane is invisible to the protocol: the same pinned
+/// scenario as [`chaos_duplicated_contrib_is_deduplicated`], but every
+/// client encodes, decodes, and folds on its own 4-thread worker pool.
+/// The trace must land on the *same* golden hash — chunk layout is a
+/// pure function of model length, never thread count.
+#[test]
+fn chaos_parallel_data_plane_keeps_golden_hash() {
+    let trace = assert_deterministic(|| run_dup_contrib(4));
+    assert_all_completed(&trace, 1, 7.0 / 3.0);
+    assert_golden_hash(&trace, 0x710f2135b8b6358a);
+    assert_eq!(trace.rule_hits, [("dup".to_owned(), 1)]);
+}
+
+/// A model bigger than one parallel chunk (20 000 params > the
+/// 8192-element codec chunk) through the lossy int8 codec, run at 1 and
+/// at 4 data-plane threads: the two traces must hash identically.
+/// Quantization ranges, error feedback, and the folded global all cross
+/// chunk boundaries here, so any thread-count dependence in the chunked
+/// kernels would move the global's bit pattern and split the hashes.
+#[test]
+fn chaos_multichunk_int8_is_thread_count_invariant() {
+    let seed = base_seed(42) ^ 0x09;
+    let run = |threads: usize| {
+        ScenarioBuilder::new("chaos-threads-int8", seed)
+            .normal_clients(3, UpdateCodec::Int8)
+            .rounds(2)
+            .model_len(20_000)
+            .data_plane_threads(threads)
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                ctl.drive_to_completion(Duration::from_secs(10));
+            })
+    };
+    let serial = assert_deterministic(|| run(1));
+    let parallel = assert_deterministic(|| run(4));
+    assert_eq!(
+        serial.hash(),
+        parallel.hash(),
+        "thread count leaked into the trace: {:016x} vs {:016x}",
+        serial.hash(),
+        parallel.hash(),
+    );
+    assert_eq!(serial.final_state, "completed");
+    assert_eq!(parallel.final_state, "completed");
 }
 
 /// Round-robin hands the root position to a new client in round 2; the
