@@ -321,7 +321,7 @@ impl Broker {
             if let Ok((store, state)) = PersistStore::open(
                 dir,
                 shards,
-                config.persistence.snapshot_every,
+                &config.persistence,
                 config.max_queued_per_session,
                 Arc::clone(&counters),
             ) {
@@ -576,6 +576,9 @@ impl Broker {
         }
         if let Some(store) = &self.persist {
             store.compact_retained(&self.index.load().retained);
+            // Drain barrier: the write-behind queues must be fully
+            // flushed before callers may read the directory.
+            store.drain();
         }
     }
 
@@ -601,6 +604,12 @@ impl Broker {
         }
         for h in self.loop_handles.drain(..) {
             let _ = h.join();
+        }
+        // Shards are gone: flush the write-behind queues and stop the
+        // persistence thread so a dropped broker leaves every accepted
+        // WAL record on disk (restart tests rely on this).
+        if let Some(store) = &self.persist {
+            store.shutdown();
         }
     }
 }
@@ -1482,21 +1491,22 @@ impl ShardCore {
         }
     }
 
-    /// Appends one record to this shard's WAL stream, compacting the
-    /// stream when it outgrows the snapshot threshold. No-op without
-    /// persistence.
+    /// Enqueues one record for this shard's WAL stream (the persistence
+    /// thread does the disk I/O), compacting the stream when it outgrows
+    /// the snapshot threshold. No-op without persistence.
     fn log_wal(&mut self, rec: WalRecord) {
         let Some(store) = self.persist.as_ref().map(Arc::clone) else {
             return;
         };
-        if store.append_shard(self.shard, &rec) {
+        if store.append_shard(self.shard, rec) {
             self.compact_now();
         }
     }
 
-    /// Writes a compacted snapshot of this shard's persisted state:
-    /// every persistent session plus the wills of live connections, in
-    /// sorted client-id order.
+    /// Serializes this shard's persisted state — every persistent
+    /// session plus the wills of live connections, in sorted client-id
+    /// order — and hands it to the persistence thread, which writes the
+    /// compacted snapshot off the shard hot path.
     fn compact_now(&mut self) {
         let Some(store) = self.persist.as_ref().map(Arc::clone) else {
             return;
@@ -1520,7 +1530,7 @@ impl ShardCore {
                 will: will.clone(),
             });
         }
-        store.compact_shard(self.shard, &records);
+        store.compact_shard(self.shard, records);
     }
 
     /// True when `client` owns a persistent (WAL-logged) session.

@@ -58,6 +58,6 @@ pub use client::{Client, ClientOptions, Dialer, MessageHandler};
 pub use error::{ConnectReturnCode, MqttError, Result};
 pub use fault::{FaultAction, FaultHandle, FaultPlan, FaultRule};
 pub use packet::{LastWill, Packet, Publish, QoS};
-pub use persist::Persistence;
+pub use persist::{Durability, Persistence, WalOverflow};
 pub use stats::BrokerStatsSnapshot;
 pub use topic::{TopicFilter, TopicName};

@@ -7,17 +7,19 @@
 //! compacted snapshots ([`snapshot`]), and on startup replays
 //! snapshot + WAL back into live sessions, retained store, and pending
 //! wills ([`recovery`]). [`store`] owns the on-disk layout and the
-//! append/compaction state machines.
+//! write-behind append/compaction pipeline.
 //!
 //! Persistence is strictly opt-in via [`Persistence`] on
 //! `BrokerConfig`; the default ([`Persistence::disabled`]) leaves the
 //! broker purely in-memory with byte-identical behavior.
 //!
-//! Durability guarantees (see `docs/PERSISTENCE.md` for the full
-//! contract): writes go through the OS page cache without fsync, so
-//! state survives *process* death — the failure mode the chaos harness
-//! injects — but not power loss. A torn append loses only the frame
-//! being written; recovery stops at the first invalid checksum.
+//! Shard event-loop threads never touch the disk: appends are cheap
+//! enqueues onto bounded per-stream queues drained by one dedicated
+//! persistence thread that group-commits queued records (batch-encode,
+//! single write per batch) and fsyncs per the configured [`Durability`]
+//! policy. Order is preserved per stream, so the on-disk byte stream is
+//! identical to a per-record writer's. See `docs/PERSISTENCE.md` for
+//! the full crash-loss contract per mode.
 
 pub mod recovery;
 pub mod snapshot;
@@ -29,6 +31,41 @@ pub use store::PersistStore;
 pub use wal::WalRecord;
 
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// When the persistence thread issues `fsync` for appended WAL batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Never fsync: writes land in the OS page cache (the default).
+    /// State survives *process* death — the failure mode the chaos
+    /// harness injects — but a power cut may lose recently appended
+    /// frames (recovery still stops cleanly at the last intact record).
+    OsCache,
+    /// Coalesced fsync: the persistence thread syncs dirty streams at
+    /// most once per `interval`. A power cut loses at most the last
+    /// interval's worth of acknowledged records.
+    GroupCommit {
+        /// Maximum time appended records may sit unsynced.
+        interval: Duration,
+    },
+    /// Fsync after every group-committed batch: a power cut loses only
+    /// records still queued in memory, never records already written.
+    Always,
+}
+
+/// What an appending shard does when its WAL queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOverflow {
+    /// Block the shard until the persistence thread frees a slot (the
+    /// default): durability backpressure propagates to clients, no
+    /// record is ever lost. Stalls are counted in `wal_stalls`.
+    Block,
+    /// Drop the record and keep the shard running: the broker degrades
+    /// to in-memory for that event, counted in `wal_sheds`, and the
+    /// next append triggers a compaction that re-serializes full state
+    /// so the on-disk image converges again.
+    Shed,
+}
 
 /// Persistence configuration for one broker instance.
 #[derive(Debug, Clone)]
@@ -39,6 +76,13 @@ pub struct Persistence {
     /// Records appended to a stream since its last snapshot before the
     /// stream is compacted again.
     pub snapshot_every: u64,
+    /// Fsync policy for the persistence thread.
+    pub durability: Durability,
+    /// Bounded capacity of each per-stream append queue (records queued
+    /// but not yet written by the persistence thread).
+    pub queue_capacity: usize,
+    /// Behavior when an append finds its stream queue full.
+    pub overflow: WalOverflow,
 }
 
 impl Persistence {
@@ -47,6 +91,9 @@ impl Persistence {
         Persistence {
             dir: None,
             snapshot_every: 4096,
+            durability: Durability::OsCache,
+            queue_capacity: 4096,
+            overflow: WalOverflow::Block,
         }
     }
 
@@ -54,13 +101,31 @@ impl Persistence {
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         Persistence {
             dir: Some(dir.into()),
-            snapshot_every: 4096,
+            ..Persistence::disabled()
         }
     }
 
     /// Overrides the records-per-snapshot compaction threshold.
     pub fn snapshot_every(mut self, records: u64) -> Self {
         self.snapshot_every = records.max(1);
+        self
+    }
+
+    /// Overrides the fsync policy (default [`Durability::OsCache`]).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Overrides the per-stream append-queue capacity (default 4096).
+    pub fn queue_capacity(mut self, records: usize) -> Self {
+        self.queue_capacity = records.max(1);
+        self
+    }
+
+    /// Overrides the queue-overflow policy (default [`WalOverflow::Block`]).
+    pub fn overflow(mut self, overflow: WalOverflow) -> Self {
+        self.overflow = overflow;
         self
     }
 

@@ -22,6 +22,19 @@ use std::path::Path;
 /// Writes a compacted snapshot (watermark header + state records) to
 /// `path` via a temporary file and atomic rename.
 pub fn write_snapshot(path: &Path, watermark: u64, records: &[WalRecord]) -> std::io::Result<()> {
+    write_snapshot_durable(path, watermark, records, false)
+}
+
+/// [`write_snapshot`] with an optional fsync before the rename, used by
+/// the persistence thread under the `GroupCommit` / `Always` durability
+/// policies so a power cut cannot leave a renamed-but-unwritten
+/// snapshot in place.
+pub fn write_snapshot_durable(
+    path: &Path,
+    watermark: u64,
+    records: &[WalRecord],
+    sync: bool,
+) -> std::io::Result<()> {
     let mut buf = BytesMut::with_capacity(256 + records.len() * 64);
     encode_frame(
         watermark,
@@ -36,6 +49,9 @@ pub fn write_snapshot(path: &Path, watermark: u64, records: &[WalRecord]) -> std
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(&buf)?;
         file.flush()?;
+        if sync {
+            file.sync_data()?;
+        }
     }
     std::fs::rename(&tmp, path)
 }

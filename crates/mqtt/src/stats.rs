@@ -54,6 +54,25 @@ pub struct BrokerCounters {
     pub sessions_cleaned: AtomicU64,
     /// Records appended to the write-ahead log (0 with persistence off).
     pub wal_records: AtomicU64,
+    /// Group-committed WAL batches written by the persistence thread
+    /// (each batch is one `write` covering `>= 1` records).
+    pub wal_batches: AtomicU64,
+    /// High-water mark of any per-stream WAL queue (records enqueued but
+    /// not yet written by the persistence thread).
+    pub wal_queue_hwm: AtomicU64,
+    /// Times a shard blocked on a full WAL queue (`WalOverflow::Block`).
+    pub wal_stalls: AtomicU64,
+    /// Records dropped on a full WAL queue (`WalOverflow::Shed`).
+    pub wal_sheds: AtomicU64,
+    /// WAL records lost to write errors (the stream degrades to
+    /// in-memory operation after the first failure).
+    pub wal_append_errors: AtomicU64,
+    /// Fsync calls issued by the persistence thread (0 under
+    /// `Durability::OsCache`).
+    pub fsyncs: AtomicU64,
+    /// Cumulative milliseconds the persistence thread spent writing
+    /// compacted snapshots (never shard event-loop time).
+    pub snapshot_ms: AtomicU64,
     /// Compacted snapshots written (0 with persistence off).
     pub wal_snapshots: AtomicU64,
     /// Sessions reconstructed from snapshot + WAL replay at startup.
@@ -78,6 +97,12 @@ impl BrokerCounters {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to at least `n`.
+    #[inline]
+    pub fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Registers a fault rule's hit counter under `label`.
@@ -119,6 +144,13 @@ impl BrokerCounters {
             cross_shard_batches: self.cross_shard_batches.load(Ordering::Relaxed),
             sessions_cleaned: self.sessions_cleaned.load(Ordering::Relaxed),
             wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_batches: self.wal_batches.load(Ordering::Relaxed),
+            wal_queue_hwm: self.wal_queue_hwm.load(Ordering::Relaxed),
+            wal_stalls: self.wal_stalls.load(Ordering::Relaxed),
+            wal_sheds: self.wal_sheds.load(Ordering::Relaxed),
+            wal_append_errors: self.wal_append_errors.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            snapshot_ms: self.snapshot_ms.load(Ordering::Relaxed),
             wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
             recovered_sessions: self.recovered_sessions.load(Ordering::Relaxed),
             recovered_retained: self.recovered_retained.load(Ordering::Relaxed),
@@ -172,6 +204,20 @@ pub struct BrokerStatsSnapshot {
     pub sessions_cleaned: u64,
     /// WAL records appended (0 with persistence off).
     pub wal_records: u64,
+    /// Group-committed WAL batches written by the persistence thread.
+    pub wal_batches: u64,
+    /// High-water mark of any per-stream WAL queue.
+    pub wal_queue_hwm: u64,
+    /// Times a shard blocked on a full WAL queue.
+    pub wal_stalls: u64,
+    /// Records dropped on a full WAL queue (`WalOverflow::Shed`).
+    pub wal_sheds: u64,
+    /// WAL records lost to write errors (degraded durability).
+    pub wal_append_errors: u64,
+    /// Fsync calls issued by the persistence thread.
+    pub fsyncs: u64,
+    /// Milliseconds the persistence thread spent writing snapshots.
+    pub snapshot_ms: u64,
     /// Compacted snapshots written (0 with persistence off).
     pub wal_snapshots: u64,
     /// Sessions recovered from snapshot + WAL replay at startup.

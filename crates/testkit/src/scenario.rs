@@ -23,7 +23,9 @@ use sdflmq_core::{
     ClientId, Coordinator, CoordinatorConfig, CoreError, ModelId, ParamServer, PreferredRole,
     SdflmqClient, SdflmqClientConfig, SessionId, TestClock, Topology, UpdateCodec, WaitOutcome,
 };
-use sdflmq_mqtt::{Broker, BrokerConfig, Dialer, FaultHandle, FaultPlan, MqttError, Persistence};
+use sdflmq_mqtt::{
+    Broker, BrokerConfig, Dialer, Durability, FaultHandle, FaultPlan, MqttError, Persistence,
+};
 use sdflmq_mqttfc::BatchConfig;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -125,6 +127,7 @@ pub struct ScenarioBuilder {
     shards: usize,
     wait_timeout: Duration,
     durable: bool,
+    durability: Option<Durability>,
     data_plane_threads: usize,
 }
 
@@ -154,6 +157,7 @@ impl ScenarioBuilder {
             shards: 1,
             wait_timeout: Duration::from_secs(60),
             durable: false,
+            durability: None,
             data_plane_threads: 0,
         }
     }
@@ -314,6 +318,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Overrides the fsync policy of durable mode (default
+    /// [`Durability::OsCache`]). Implies [`ScenarioBuilder::durable`].
+    /// Persistence timing never enters scenario traces, so any policy
+    /// must reproduce the same golden hash.
+    pub fn durability(mut self, durability: Durability) -> ScenarioBuilder {
+        self.durable = true;
+        self.durability = Some(durability);
+        self
+    }
+
     /// Stands the stack up, runs the federation with `script` driving
     /// virtual time and faults, joins every client, and assembles the
     /// trace. Panics (failing the test) if the fleet wedges.
@@ -335,7 +349,13 @@ impl ScenarioBuilder {
             fault_plan: self.fault_plan.clone(),
             shards: self.shards,
             persistence: match &persist_dir {
-                Some(dir) => Persistence::at(dir.clone()),
+                Some(dir) => {
+                    let mut p = Persistence::at(dir.clone());
+                    if let Some(d) = self.durability {
+                        p = p.durability(d);
+                    }
+                    p
+                }
                 None => Persistence::disabled(),
             },
             ..BrokerConfig::default()

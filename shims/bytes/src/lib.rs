@@ -292,6 +292,11 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// Empties the buffer, retaining its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Freezes into an immutable `Bytes`.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -309,6 +314,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

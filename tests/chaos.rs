@@ -16,7 +16,7 @@
 
 use sdflmq::core::optimizer::RoundRobin;
 use sdflmq::core::{Topology, UpdateCodec};
-use sdflmq::mqtt::{FaultPlan, FaultRule};
+use sdflmq::mqtt::{Durability, FaultPlan, FaultRule};
 use sdflmq_testkit::{assert_deterministic, base_seed, Behavior, ScenarioBuilder, ScenarioTrace};
 use std::time::Duration;
 
@@ -468,6 +468,49 @@ fn chaos_broker_restart_mid_round_recovers_and_completes() {
             })
     });
     assert_all_completed(&trace, 2, 2.0); // mean of 1,2,3 — bit-exact
+    assert_golden_hash(&trace, 0xc251adf392539833);
+    assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
+    assert_eq!(trace.rule_hits, [("doomed-blob".to_owned(), 1)]);
+}
+
+/// The broker-restart scenario rerun under `GroupCommit` durability must
+/// reproduce the exact golden trace of the `OsCache` run above: fsync
+/// scheduling is persistence-thread timing, and persistence timing never
+/// enters trace hashes. A divergence here means the write-behind
+/// pipeline leaked wall-clock behavior into the federation.
+#[test]
+fn chaos_broker_restart_group_commit_matches_oscache_golden() {
+    let seed = base_seed(42) ^ 0x08;
+    let trace = assert_deterministic(|| {
+        let plan = FaultPlan::seeded(seed).rule(
+            FaultRule::hold("doomed-blob")
+                .on_topic("sdflmq/session/chaos-broker-restart/role/root")
+                .from_client("c02")
+                .take(1),
+        );
+        ScenarioBuilder::new("chaos-broker-restart", seed)
+            .normal_clients(3, UpdateCodec::Dense)
+            .rounds(2)
+            .round_timeout(Duration::from_secs(30))
+            .max_missed_rounds(4)
+            .durability(Durability::GroupCommit {
+                interval: Duration::from_millis(2),
+            })
+            .faults(plan)
+            .hash_rule("doomed-blob")
+            .run(|ctl| {
+                ctl.wait_for("round1-open", |c| c.round() == Some(1));
+                ctl.wait_for("all-pinged", |c| c.contributed() == ["c00", "c01", "c02"]);
+                ctl.wait_for("blob-held", |c| c.fault_hits("doomed-blob") == 1);
+                ctl.restart_broker();
+                assert_eq!(ctl.round(), Some(1), "coordinator memory survives");
+                ctl.advance(Duration::from_secs(31));
+                ctl.drive_to_completion(Duration::from_secs(10));
+            })
+    });
+    assert_all_completed(&trace, 2, 2.0);
+    // Same golden as the OsCache restart run: durability is invisible to
+    // the trace.
     assert_golden_hash(&trace, 0xc251adf392539833);
     assert_eq!(trace.survivors, ["c00", "c01", "c02"]);
     assert_eq!(trace.rule_hits, [("doomed-blob".to_owned(), 1)]);
